@@ -1,0 +1,420 @@
+package trajforge
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable1  — classifier performance against naive attacks
+//	BenchmarkFig3    — C&W iteration/time/DTW curves
+//	BenchmarkMinD    — replay-threshold calibration
+//	BenchmarkTable2  — detection rates against adversarial attacks
+//	BenchmarkRCal    — GPS-error calibration (R = 6σ)
+//	BenchmarkTable3  — per-area AP statistics
+//	BenchmarkFig4/5/6 — accuracy vs radius / reference density / AP density
+//	BenchmarkTable4  — final WiFi-detector performance
+//
+// plus the DESIGN.md §5 ablations (soft-DTW attack, θ2 weight, Num_mac
+// feature, Sakoe-Chiba band) and micro-benchmarks of the hot kernels. The
+// experiment benches use reduced scales; cmd/experiments -scale paper is
+// the full harness whose output EXPERIMENTS.md records.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"trajforge/internal/attack"
+	"trajforge/internal/dataset"
+	"trajforge/internal/detect"
+	"trajforge/internal/dtw"
+	"trajforge/internal/experiments"
+	"trajforge/internal/geo"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/xgb"
+)
+
+// benchScale keeps each experiment bench in the seconds range.
+func benchScale() experiments.Scale {
+	s := experiments.TestScale()
+	s.MotionTrips = 40
+	s.MotionPoints = 45
+	s.Epochs = 15
+	s.Restarts = 1
+	s.AttackIterations = 300
+	s.AttackEvalCount = 4
+	s.MinDRepeats = 8
+	s.AreaScale = 0.05
+	s.TrainUploads = 20
+	s.TestUploads = 12
+	s.SweepDetRound = 20
+	return s
+}
+
+var (
+	_benchMotionOnce sync.Once
+	_benchMotionLab  *experiments.MotionLab
+	_benchWiFiOnce   sync.Once
+	_benchWiFiLab    *experiments.WiFiLab
+	_benchMinDOnce   sync.Once
+	_benchMinD       *experiments.MinDResult
+)
+
+func benchMotionLab(b *testing.B) *experiments.MotionLab {
+	b.Helper()
+	_benchMotionOnce.Do(func() {
+		lab, err := experiments.NewMotionLab(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_benchMotionLab = lab
+	})
+	if _benchMotionLab == nil {
+		b.Skip("motion lab failed to build in an earlier benchmark")
+	}
+	return _benchMotionLab
+}
+
+func benchMinD(b *testing.B) *experiments.MinDResult {
+	b.Helper()
+	_benchMinDOnce.Do(func() {
+		res, err := experiments.MinD(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_benchMinD = res
+	})
+	if _benchMinD == nil {
+		b.Skip("MinD calibration failed earlier")
+	}
+	return _benchMinD
+}
+
+func benchWiFiLab(b *testing.B) *experiments.WiFiLab {
+	b.Helper()
+	_benchWiFiOnce.Do(func() {
+		lab, err := experiments.NewWiFiLab(benchScale(), benchMinD(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_benchWiFiLab = lab
+	})
+	if _benchWiFiLab == nil {
+		b.Skip("WiFi lab failed to build in an earlier benchmark")
+	}
+	return _benchWiFiLab
+}
+
+// BenchmarkTable1 regenerates Table I (classifiers vs naive attacks).
+func BenchmarkTable1(b *testing.B) {
+	lab := benchMotionLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(lab)
+		if len(res.Rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the Fig. 3 iteration sweep.
+func BenchmarkFig3(b *testing.B) {
+	lab := benchMotionLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinD regenerates the MinD calibration.
+func BenchmarkMinD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MinD(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (C&W attacks vs all detectors).
+func BenchmarkTable2(b *testing.B) {
+	lab := benchMotionLab(b)
+	mind := benchMinD(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(lab, mind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRCal regenerates the R = 6σ calibration.
+func BenchmarkRCal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RCal(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the Table III AP statistics.
+func BenchmarkTable3(b *testing.B) {
+	lab := benchWiFiLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := experiments.Table3(lab); len(res.Rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates a two-point Fig. 4 radius sweep.
+func BenchmarkFig4(b *testing.B) {
+	lab := benchWiFiLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(lab, []float64{1.0, 2.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates a two-point Fig. 5 density sweep.
+func BenchmarkFig5(b *testing.B) {
+	lab := benchWiFiLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(lab, []float64{0.3, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates a two-point Fig. 6 AP-density sweep.
+func BenchmarkFig6(b *testing.B) {
+	lab := benchWiFiLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(lab, []float64{0.3, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table IV (final detector performance).
+func BenchmarkTable4(b *testing.B) {
+	lab := benchWiFiLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// attackAblation runs one navigation attack with the given config tweak.
+func attackAblation(b *testing.B, tweak func(*attack.CWConfig)) {
+	lab := benchMotionLab(b)
+	forger := attack.NewForger(lab.C.Model, lab.C.Kind)
+	cfg := attack.DefaultCWConfig(attack.ScenarioNavigation)
+	cfg.Iterations = 200
+	cfg.Seed = 99
+	tweak(&cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forger.Forge(lab.TrainNav[0], cfg, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAttackHardDTW is the default hard-DTW attack loss.
+func BenchmarkAblationAttackHardDTW(b *testing.B) {
+	attackAblation(b, func(cfg *attack.CWConfig) {})
+}
+
+// BenchmarkAblationAttackSoftDTW swaps in the exact soft-DTW gradient.
+func BenchmarkAblationAttackSoftDTW(b *testing.B) {
+	attackAblation(b, func(cfg *attack.CWConfig) {
+		cfg.UseSoftDTW = true
+		cfg.SoftGamma = 1.0
+	})
+}
+
+// BenchmarkAblationAttackPerPoint disables the smooth control basis.
+func BenchmarkAblationAttackPerPoint(b *testing.B) {
+	attackAblation(b, func(cfg *attack.CWConfig) { cfg.ControlEvery = -1 })
+}
+
+// featureAblation measures WiFi-detector accuracy with a feature-config
+// tweak; reported as accuracy in a custom metric.
+func featureAblation(b *testing.B, tweak func(*rssimap.FeatureConfig)) {
+	lab := benchWiFiLab(b)
+	al := lab.Areas[0] // walking area
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fcfg := rssimap.DefaultFeatureConfig()
+	tweak(&fcfg)
+	b.ResetTimer()
+	var lastAcc float64
+	for i := 0; i < b.N; i++ {
+		det, err := trainWiFiWith(store, al, fcfg, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		conf, err := det.EvaluateWiFi(al.TestReal, al.TestFake)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastAcc = conf.Accuracy()
+	}
+	b.ReportMetric(lastAcc, "accuracy")
+}
+
+func trainWiFiWith(store *rssimap.Store, al *experiments.AreaLab,
+	fcfg rssimap.FeatureConfig, seed int64) (*WiFiDetector, error) {
+	return detect.TrainWiFiDetector(store, al.TrainReal, al.TrainFake, fcfg,
+		xgb.Config{Rounds: 40, MaxDepth: 4, LearningRate: 0.2, Seed: seed})
+}
+
+// BenchmarkAblationFullFeatures is the paper's full feature vector.
+func BenchmarkAblationFullFeatures(b *testing.B) {
+	featureAblation(b, func(cfg *rssimap.FeatureConfig) {})
+}
+
+// BenchmarkAblationNoTheta2 drops the density-reliability weight θ2.
+func BenchmarkAblationNoTheta2(b *testing.B) {
+	featureAblation(b, func(cfg *rssimap.FeatureConfig) { cfg.DisableTheta2 = true })
+}
+
+// BenchmarkAblationNoNum drops the Num_mac reference-count features.
+func BenchmarkAblationNoNum(b *testing.B) {
+	featureAblation(b, func(cfg *rssimap.FeatureConfig) { cfg.IncludeNum = false })
+}
+
+// BenchmarkAblationNoSummary drops the trajectory-level aggregates.
+func BenchmarkAblationNoSummary(b *testing.B) {
+	featureAblation(b, func(cfg *rssimap.FeatureConfig) { cfg.IncludeSummary = false })
+}
+
+// --- Micro-benchmarks of the hot kernels ---
+
+func benchTrajectories(n, points int) []*Trajectory {
+	rng := rand.New(rand.NewSource(7))
+	start := time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC)
+	out := make([]*Trajectory, n)
+	for i := range out {
+		pos := make([]geo.Point, points)
+		for j := 1; j < points; j++ {
+			pos[j] = geo.Point{
+				X: pos[j-1].X + 1.2 + rng.NormFloat64()*0.3,
+				Y: pos[j-1].Y + rng.NormFloat64()*0.5,
+			}
+		}
+		out[i] = trajectory.New(pos, start, time.Second)
+	}
+	return out
+}
+
+// BenchmarkDTWDistance measures the core DTW kernel on 60-point tracks.
+func BenchmarkDTWDistance(b *testing.B) {
+	ts := benchTrajectories(2, 60)
+	a, c := ts[0].Positions(), ts[1].Positions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dtw.Dist(a, c)
+	}
+}
+
+// BenchmarkDTWBanded measures the Sakoe-Chiba banded variant.
+func BenchmarkDTWBanded(b *testing.B) {
+	ts := benchTrajectories(2, 60)
+	a, c := ts[0].Positions(), ts[1].Positions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dtw.DistBanded(a, c, 8)
+	}
+}
+
+// BenchmarkDTWGradient measures the attack's DTW subgradient.
+func BenchmarkDTWGradient(b *testing.B) {
+	ts := benchTrajectories(2, 60)
+	a, c := ts[0].Positions(), ts[1].Positions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dtw.GradB(a, c, dtw.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMotionSummary measures the XGBoost feature extraction.
+func BenchmarkMotionSummary(b *testing.B) {
+	tr := benchTrajectories(1, 60)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trajectory.Summarize(tr)
+	}
+}
+
+// BenchmarkStoreConfidence measures one Eq. 7 confidence query against a
+// populated store.
+func BenchmarkStoreConfidence(b *testing.B) {
+	lab := benchWiFiLab(b)
+	al := lab.Areas[0]
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := al.TestReal[0]
+	pt := u.Traj.Points[10]
+	scan := u.Scans[10]
+	if len(scan) == 0 {
+		b.Skip("no scan data at probe point")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Confidence(pt.Pos, scan[0].MAC, scan[0].RSSI, 2.5)
+	}
+}
+
+// BenchmarkStoreFeatures measures the full Eq. 8 feature extraction for one
+// 30-point upload.
+func BenchmarkStoreFeatures(b *testing.B) {
+	lab := benchWiFiLab(b)
+	al := lab.Areas[0]
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fcfg := rssimap.DefaultFeatureConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Features(al.TestReal[i%len(al.TestReal)], fcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForgeUpload measures the bulk RSSI-replay forgery.
+func BenchmarkForgeUpload(b *testing.B) {
+	lab := benchWiFiLab(b)
+	al := lab.Areas[0]
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.ForgeUpload(rng, al.Hist[i%len(al.Hist)], 1.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNoResiduals drops the residual-magnitude features.
+func BenchmarkAblationNoResiduals(b *testing.B) {
+	featureAblation(b, func(cfg *rssimap.FeatureConfig) { cfg.IncludeResiduals = false })
+}

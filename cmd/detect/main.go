@@ -1,0 +1,120 @@
+// Command detect verifies trajectory files. It reads one or more CSV
+// trajectories (as written by trajgen/forge), runs the motion classifier
+// and the replay check against the other inputs, and prints a verdict per
+// file. A self-contained classifier is trained at startup on simulated
+// data, so the command works offline.
+//
+// Usage:
+//
+//	detect trips.csv forged.csv ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"trajforge"
+	"trajforge/internal/attack"
+	"trajforge/internal/detect"
+	"trajforge/internal/trajectory"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "detect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "seed for the self-trained classifier")
+	trips := fs.Int("trips", 50, "training trajectories per class")
+	minD := fs.Float64("mind", 1.2, "replay threshold, DTW per metre")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no trajectory files given (expected CSVs from trajgen or forge)")
+	}
+
+	// Load inputs first so bad files fail fast.
+	inputs := make([]*trajforge.Trajectory, 0, len(files))
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", path, err)
+		}
+		tr, err := trajectory.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		if tr.Len() < 3 {
+			return fmt.Errorf("%s: trajectory too short (%d points)", path, tr.Len())
+		}
+		inputs = append(inputs, tr)
+	}
+
+	fmt.Fprintln(stdout, "training motion classifier on simulated data...")
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 500, Height: 400, BlockSize: 70, NumAPs: 1, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	start := time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC)
+	points := inputs[0].Len()
+
+	var reals, fakes []*trajforge.Trajectory
+	for tries := 0; len(reals) < *trips && tries < *trips*30; tries++ {
+		from := trajforge.PlanePoint{X: rng.Float64() * 500, Y: rng.Float64() * 400}
+		to := trajforge.PlanePoint{X: rng.Float64() * 500, Y: rng.Float64() * 400}
+		trip, err := city.Travel(trajforge.TripConfig{
+			From: from, To: to, Mode: trajforge.ModeWalking, Points: points, Start: start,
+		})
+		if err != nil || trip.Upload.Traj.Len() != points {
+			continue
+		}
+		clean, err := city.NavigationFake(from, to, trajforge.ModeWalking, points, start, time.Second)
+		if err != nil || clean.Len() != points {
+			continue
+		}
+		reals = append(reals, trip.Upload.Traj)
+		fakes = append(fakes, attack.NaiveNavigation(rng, clean))
+	}
+	if len(reals) < *trips {
+		return fmt.Errorf("could not assemble training corpus (%d/%d trips)", len(reals), *trips)
+	}
+	target, err := trajforge.TrainTargetClassifier(reals, fakes, 16, 30, *seed+2)
+	if err != nil {
+		return err
+	}
+	motion := &detect.LSTMDetector{DetectorName: "C", Model: target, Kind: trajforge.FeatureDistAngle}
+
+	replay, err := trajforge.NewReplayChecker(*minD)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%-24s %10s %10s %8s\n", "file", "P(real)", "replay?", "verdict")
+	for i, tr := range inputs {
+		p := motion.ProbReal(tr)
+		isReplay := replay.IsReplay(tr)
+		verdict := "ACCEPT"
+		if p < 0.5 {
+			verdict = "REJECT (motion)"
+		} else if isReplay {
+			verdict = "REJECT (replay)"
+		}
+		fmt.Fprintf(stdout, "%-24s %10.3f %10v %8s\n", files[i], p, isReplay, verdict)
+		replay.AddHistory(tr) // later files are checked against earlier ones
+	}
+	return nil
+}

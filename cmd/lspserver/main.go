@@ -1,0 +1,137 @@
+// Command lspserver runs the cloud-side trajectory verification service.
+// On startup it simulates a commercial area, collects a crowdsourced RSSI
+// history, trains the WiFi detector, and serves the verification API:
+//
+//	POST /v1/trajectory   upload a trajectory (JSON; see internal/server)
+//	GET  /v1/stats        provider counters
+//	GET  /v1/health       liveness
+//
+// Usage:
+//
+//	lspserver -addr :8742 [-seed 1] [-uploads 300]
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"trajforge"
+	"trajforge/internal/geo"
+	"trajforge/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lspserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lspserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":8742", "listen address")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	uploads := fs.Int("uploads", 300, "crowdsourced uploads to bootstrap the detector")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Println("bootstrapping provider state (area, history, detector)...")
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 300, Height: 240, BlockSize: 60, NumAPs: 350, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	start := time.Date(2022, 7, 1, 8, 0, 0, 0, time.UTC)
+
+	var hist []*trajforge.Upload
+	for tries := 0; len(hist) < *uploads && tries < *uploads*30; tries++ {
+		from := trajforge.PlanePoint{X: 10 + rng.Float64()*280, Y: 10 + rng.Float64()*220}
+		to := trajforge.PlanePoint{X: 10 + rng.Float64()*280, Y: 10 + rng.Float64()*220}
+		trip, err := city.Travel(trajforge.TripConfig{
+			From: from, To: to, Mode: trajforge.ModeWalking,
+			Points: 30, Start: start, CollectScans: true,
+		})
+		if err != nil || trip.Upload.Traj.Len() != 30 {
+			continue
+		}
+		hist = append(hist, trip.Upload)
+	}
+	if len(hist) < *uploads {
+		return fmt.Errorf("bootstrapped only %d/%d uploads", len(hist), *uploads)
+	}
+
+	nStore := len(hist) * 3 / 4
+	store, err := trajforge.NewRSSIStore(hist[:nStore])
+	if err != nil {
+		return err
+	}
+	var fakes []*trajforge.Upload
+	for _, u := range hist[:nStore/2] {
+		f, err := trajforge.ForgeUploadRSSI(rng, u, 1.2)
+		if err != nil {
+			return err
+		}
+		fakes = append(fakes, f)
+	}
+	det, err := trajforge.TrainWiFiDetector(store, hist[nStore:], fakes)
+	if err != nil {
+		return err
+	}
+	replay, err := trajforge.NewReplayChecker(1.2)
+	if err != nil {
+		return err
+	}
+	for _, u := range hist[:nStore] {
+		replay.AddHistory(u.Traj)
+	}
+
+	pr := geo.NewProjection(geo.LatLon{Lat: 32.06, Lon: 118.79})
+	svc, err := trajforge.NewVerificationServer(server.Config{
+		Projection: pr,
+		Replay:     replay,
+		WiFi:       det,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s (history: %d uploads, %d RSSI records)\n",
+		*addr, nStore, store.Len())
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight uploads.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		fmt.Println("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,129 @@
+// Command render reproduces the paper's Fig. 1: it runs both forgery
+// scenarios in a simulated city and writes SVG maps showing the road
+// network, the reference route/trajectory, and the forged trajectory.
+//
+// Usage:
+//
+//	render -out fig1_replay.svg -scenario replay
+//	render -out fig1_navigation.svg -scenario navigation
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"flag"
+
+	"trajforge"
+	"trajforge/internal/attack"
+	"trajforge/internal/viz"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("render", flag.ContinueOnError)
+	scenarioName := fs.String("scenario", "replay", "attack scenario: replay or navigation")
+	out := fs.String("out", "fig1.svg", "output SVG path")
+	seed := fs.Int64("seed", 1, "seed")
+	iterations := fs.Int("iterations", 500, "C&W budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scenario trajforge.Scenario
+	switch *scenarioName {
+	case "replay":
+		scenario = trajforge.ScenarioReplay
+	case "navigation":
+		scenario = trajforge.ScenarioNavigation
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenarioName)
+	}
+
+	fmt.Fprintln(stdout, "building scenario...")
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 400, Height: 320, BlockSize: 65, NumAPs: 1, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	start := time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC)
+	const points = 40
+
+	var reals, fakes []*trajforge.Trajectory
+	for tries := 0; len(reals) < 50 && tries < 2000; tries++ {
+		from := trajforge.PlanePoint{X: 10 + rng.Float64()*380, Y: 10 + rng.Float64()*300}
+		to := trajforge.PlanePoint{X: 10 + rng.Float64()*380, Y: 10 + rng.Float64()*300}
+		trip, err := city.Travel(trajforge.TripConfig{
+			From: from, To: to, Mode: trajforge.ModeWalking, Points: points, Start: start,
+		})
+		if err != nil || trip.Upload.Traj.Len() != points {
+			continue
+		}
+		clean, err := city.NavigationFake(from, to, trajforge.ModeWalking, points, start, time.Second)
+		if err != nil || clean.Len() != points {
+			continue
+		}
+		reals = append(reals, trip.Upload.Traj)
+		fakes = append(fakes, attack.NaiveNavigation(rng, clean))
+	}
+	if len(reals) < 50 {
+		return fmt.Errorf("could not assemble corpus")
+	}
+	target, err := trajforge.TrainTargetClassifier(reals, fakes, 16, 25, *seed+2)
+	if err != nil {
+		return err
+	}
+
+	ref := reals[0]
+	cfg := trajforge.DefaultForgeryConfig(scenario)
+	cfg.Iterations = *iterations
+	cfg.Seed = *seed + 3
+	refLabel := "historical trajectory"
+	if scenario == trajforge.ScenarioReplay {
+		cfg.MinDPerMeter = 1.2
+	} else {
+		refLabel = "navigation route sample"
+		ref, err = city.NavigationFake(ref.Start().Pos, ref.End().Pos,
+			trajforge.ModeWalking, points, start, time.Second)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(stdout, "forging...")
+	forger := trajforge.NewForger(target, trajforge.FeatureDistAngle)
+	res, err := forger.Forge(ref, cfg, false)
+	if err != nil {
+		return err
+	}
+	if !res.Success {
+		return fmt.Errorf("attack did not converge; try more iterations")
+	}
+
+	scene := viz.NewScene(fmt.Sprintf("Fig. 1 (%s attack): P(real)=%.2f, DTW=%.2f/m",
+		scenario, res.ProbReal, res.DTW/ref.Length()))
+	scene.AddRoads(city.Nav.Graph())
+	scene.AddPath(refLabel, ref.Positions(), viz.Style{Stroke: "#1f77b4", Width: 2.2})
+	scene.AddPath("forged trajectory", res.Forged.Positions(),
+		viz.Style{Stroke: "#d62728", Width: 2.2, Dashed: true, Markers: true})
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+	defer f.Close()
+	if err := scene.Render(f, 900); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
+}

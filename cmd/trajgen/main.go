@@ -1,0 +1,136 @@
+// Command trajgen generates simulated GPS trajectories — the data a
+// location service provider would collect — and writes them as CSV or the
+// [lat, lon, time] wire JSON.
+//
+// Usage:
+//
+//	trajgen -n 10 -mode walking -points 60 -format json -out trips.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"trajforge"
+	"trajforge/internal/geo"
+	"trajforge/internal/trajectory"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trajgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("trajgen", flag.ContinueOnError)
+	n := fs.Int("n", 5, "number of trajectories")
+	modeName := fs.String("mode", "walking", "transport mode: walking, cycling or driving")
+	points := fs.Int("points", 60, "fixes per trajectory")
+	intervalSec := fs.Float64("interval", 1, "seconds between fixes")
+	format := fs.String("format", "csv", "output format: csv, json or geojson")
+	out := fs.String("out", "", "output file (default stdout)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fake := fs.Bool("fake", false, "emit constant-speed navigation fakes instead of real trajectories")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := trajectory.ParseMode(*modeName)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 800, Height: 600, BlockSize: 80, NumAPs: 1, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	start := time.Date(2022, 7, 1, 8, 0, 0, 0, time.UTC)
+	interval := time.Duration(*intervalSec * float64(time.Second))
+	pr := geo.NewProjection(geo.LatLon{Lat: 32.06, Lon: 118.79})
+
+	var produced int
+	var wireOut []json.RawMessage
+	var geoOut []*trajectory.T
+	for tries := 0; produced < *n && tries < *n*30; tries++ {
+		from := trajforge.PlanePoint{X: rng.Float64() * 800, Y: rng.Float64() * 600}
+		to := trajforge.PlanePoint{X: rng.Float64() * 800, Y: rng.Float64() * 600}
+
+		var traj *trajforge.Trajectory
+		if *fake {
+			traj, err = city.NavigationFake(from, to, mode, *points, start, interval)
+			if err != nil {
+				continue
+			}
+		} else {
+			trip, err := city.Travel(trajforge.TripConfig{
+				From: from, To: to, Mode: mode,
+				Points: *points, Start: start, Interval: interval,
+			})
+			if err != nil {
+				continue
+			}
+			traj = trip.Upload.Traj
+		}
+		if traj.Len() != *points {
+			continue
+		}
+		traj.ID = fmt.Sprintf("trip-%03d", produced)
+		traj.Mode = mode
+		produced++
+
+		switch *format {
+		case "csv":
+			fmt.Fprintf(w, "# %s\n", traj.ID)
+			if err := trajectory.WriteCSV(w, traj); err != nil {
+				return err
+			}
+		case "json":
+			data, err := trajectory.MarshalJSONWire(traj, pr)
+			if err != nil {
+				return err
+			}
+			wireOut = append(wireOut, data)
+		case "geojson":
+			geoOut = append(geoOut, traj)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	if produced < *n {
+		return fmt.Errorf("only generated %d/%d trajectories", produced, *n)
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(wireOut)
+	case "geojson":
+		data, err := trajectory.MarshalGeoJSON(geoOut, pr)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

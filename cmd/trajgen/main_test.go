@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, []string{"-n", "2", "-points", "12", "-mode", "walking", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# trip-000") || !strings.Contains(s, "# trip-001") {
+		t.Fatalf("missing trip headers in output:\n%s", s)
+	}
+	if !strings.Contains(s, "x,y,unix_ms") {
+		t.Fatal("missing CSV header")
+	}
+	// 2 headers + 2 CSV headers + 24 rows.
+	if lines := strings.Count(strings.TrimSpace(s), "\n") + 1; lines != 28 {
+		t.Fatalf("unexpected line count %d", lines)
+	}
+}
+
+func TestRunJSONToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trips.json")
+	var out bytes.Buffer
+	err := run(&out, []string{"-n", "1", "-points", "8", "-format", "json", "-out", path, "-seed", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trips []json.RawMessage
+	if err := json.Unmarshal(data, &trips); err != nil {
+		t.Fatalf("output not a JSON array: %v", err)
+	}
+	if len(trips) != 1 {
+		t.Fatalf("trips = %d", len(trips))
+	}
+}
+
+func TestRunFakeMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-n", "1", "-points", "10", "-fake", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# trip-000") {
+		t.Fatal("fake mode produced no trajectory")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-mode", "hover"}); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if err := run(&out, []string{"-format", "xml", "-n", "1", "-points", "8"}); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestRunGeoJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-n", "1", "-points", "8", "-format", "geojson", "-seed", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string            `json:"type"`
+		Features []json.RawMessage `json:"features"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &fc); err != nil {
+		t.Fatalf("invalid GeoJSON: %v", err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) != 1 {
+		t.Fatalf("collection = %+v", fc)
+	}
+}

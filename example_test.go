@@ -1,0 +1,80 @@
+package trajforge_test
+
+import (
+	"fmt"
+	"time"
+
+	"trajforge"
+)
+
+// ExampleNewCity shows the minimal simulation loop: build a world, travel
+// through it, and inspect the collected upload.
+func ExampleNewCity() {
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 300, Height: 240, BlockSize: 60, NumAPs: 200, Seed: 7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	trip, err := city.Travel(trajforge.TripConfig{
+		From:         trajforge.PlanePoint{X: 20, Y: 20},
+		To:           trajforge.PlanePoint{X: 260, Y: 200},
+		Mode:         trajforge.ModeWalking,
+		Points:       20,
+		Start:        time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC),
+		CollectScans: true,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("points:", trip.Upload.Traj.Len())
+	fmt.Println("mode:", trip.Upload.Traj.Mode)
+	fmt.Println("heard APs at every point:", trip.Upload.AverageK() > 0)
+	// Output:
+	// points: 20
+	// mode: walking
+	// heard APs at every point: true
+}
+
+// ExampleNewTrajectory demonstrates the trajectory data model and DTW.
+func ExampleNewTrajectory() {
+	start := time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC)
+	a := trajforge.NewTrajectory([]trajforge.PlanePoint{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+	}, start, time.Second)
+	b := trajforge.NewTrajectory([]trajforge.PlanePoint{
+		{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1},
+	}, start, time.Second)
+	fmt.Printf("length: %.0f m\n", a.Length())
+	fmt.Printf("DTW(a, b): %.0f\n", trajforge.DTWDistance(a, b))
+	// Output:
+	// length: 2 m
+	// DTW(a, b): 3
+}
+
+// ExampleNewReplayChecker shows the server's first line of defense.
+func ExampleNewReplayChecker() {
+	start := time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC)
+	historical := trajforge.NewTrajectory([]trajforge.PlanePoint{
+		{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 0}, {X: 6, Y: 0},
+	}, start, time.Second)
+
+	checker, err := trajforge.NewReplayChecker(1.2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	checker.AddHistory(historical)
+
+	// An exact re-upload is a replay; a genuinely different route is not.
+	fmt.Println("same trajectory again:", checker.IsReplay(historical))
+	other := trajforge.NewTrajectory([]trajforge.PlanePoint{
+		{X: 0, Y: 50}, {X: 2, Y: 52}, {X: 4, Y: 55}, {X: 6, Y: 59},
+	}, start, time.Second)
+	fmt.Println("different route:", checker.IsReplay(other))
+	// Output:
+	// same trajectory again: true
+	// different route: false
+}

@@ -1,0 +1,182 @@
+// Fitness-app cheating — replaying yesterday's run.
+//
+// A fitness app awards a badge for completing today's 5-minute jog. A
+// cheater who stayed home replays yesterday's genuine run. The example
+// walks the escalation from the paper:
+//
+//  1. A byte-level replay (tiny noise) is caught by the server's DTW
+//     replay check against the user's history.
+//  2. The C&W replay attack forges a run at least MinD away from the
+//     historical one — the replay check and the motion classifier both
+//     pass it.
+//  3. The WiFi RSSI countermeasure still catches it, because the replayed
+//     scans are inconsistent with the crowdsourced history at the claimed
+//     (shifted) positions.
+//
+// Run with:
+//
+//	go run ./examples/fitness
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"trajforge"
+	"trajforge/internal/attack"
+	"trajforge/internal/detect"
+	"trajforge/internal/wifi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fitness:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 300, Height: 240, BlockSize: 55, NumAPs: 340, Seed: 21,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(22))
+	yesterday := time.Date(2022, 7, 3, 7, 0, 0, 0, time.UTC)
+	today := yesterday.Add(24 * time.Hour)
+	const points = 40
+
+	fmt.Println("== app bootstrap: runs collected around the park ==")
+	var uploads []*trajforge.Upload
+	var reals, fakes []*trajforge.Trajectory
+	for tries := 0; len(uploads) < 90 && tries < 5000; tries++ {
+		from := trajforge.PlanePoint{X: 10 + rng.Float64()*280, Y: 10 + rng.Float64()*220}
+		to := trajforge.PlanePoint{X: 10 + rng.Float64()*280, Y: 10 + rng.Float64()*220}
+		trip, err := city.Travel(trajforge.TripConfig{
+			From: from, To: to, Mode: trajforge.ModeWalking,
+			Points: points, Start: yesterday, CollectScans: true,
+		})
+		if err != nil || trip.Upload.Traj.Len() != points {
+			continue
+		}
+		clean, err := city.NavigationFake(from, to, trajforge.ModeWalking, points, yesterday, time.Second)
+		if err != nil || clean.Len() != points {
+			continue
+		}
+		uploads = append(uploads, trip.Upload)
+		reals = append(reals, trip.Upload.Traj)
+		fakes = append(fakes, attack.NaiveNavigation(rng, clean))
+	}
+	fmt.Printf("   %d historical runs\n", len(uploads))
+
+	target, err := trajforge.TrainTargetClassifier(reals, fakes, 16, 25, 23)
+	if err != nil {
+		return err
+	}
+	motion := &detect.LSTMDetector{DetectorName: "C", Model: target, Kind: trajforge.FeatureDistAngle}
+
+	// The user's own run history feeds the replay checker.
+	const minD = 1.2
+	replayCheck, err := trajforge.NewReplayChecker(minD)
+	if err != nil {
+		return err
+	}
+	yesterdayRun := uploads[0]
+	replayCheck.AddHistory(yesterdayRun.Traj)
+
+	// WiFi detector over the crowdsourced store.
+	nHist := len(uploads) * 3 / 4
+	store, err := trajforge.NewRSSIStore(uploads[:nHist])
+	if err != nil {
+		return err
+	}
+	var forgedTrain []*trajforge.Upload
+	for _, u := range uploads[:nHist] {
+		f, err := trajforge.ForgeUploadRSSI(rng, u, minD)
+		if err != nil {
+			return err
+		}
+		forgedTrain = append(forgedTrain, f)
+	}
+	wifiDet, err := trajforge.TrainWiFiDetector(store, uploads[nHist:], forgedTrain[:nHist/2])
+	if err != nil {
+		return err
+	}
+
+	report := func(name string, tr *trajforge.Trajectory, scans []wifi.Scan) {
+		replayed := replayCheck.IsReplay(tr)
+		probReal := motion.ProbReal(tr)
+		fmt.Printf("   %-28s replay-check=%-5v P(real)=%.3f", name, replayed, probReal)
+		if scans != nil {
+			pFake, err := wifiDet.ProbFake(&trajforge.Upload{Traj: tr, Scans: scans})
+			if err == nil {
+				fmt.Printf(" wifi-P(fake)=%.3f", pFake)
+			}
+		}
+		switch {
+		case replayed:
+			fmt.Println("  -> REJECTED (replay)")
+		case probReal < 0.5:
+			fmt.Println("  -> REJECTED (motion)")
+		default:
+			fmt.Println("  -> motion checks pass")
+		}
+	}
+
+	fmt.Println("\n== attempt 1: naive replay of yesterday's run ==")
+	naive := attack.NaiveReplay(rng, yesterdayRun.Traj)
+	shiftTimes(naive, 24*time.Hour)
+	report("naive replay", naive, nil)
+
+	fmt.Println("\n== attempt 2: C&W replay forgery (>= MinD away) ==")
+	forger := trajforge.NewForger(target, trajforge.FeatureDistAngle)
+	cfg := trajforge.DefaultForgeryConfig(trajforge.ScenarioReplay)
+	cfg.Iterations = 600
+	cfg.MinDPerMeter = minD
+	cfg.Seed = 24
+	res, err := forger.Forge(yesterdayRun.Traj, cfg, false)
+	if err != nil {
+		return err
+	}
+	if !res.Success {
+		return fmt.Errorf("attack failed to converge")
+	}
+	shiftTimes(res.Forged, 24*time.Hour)
+	replayedScans := replayScans(rng, yesterdayRun.Scans)
+	report("C&W forged run", res.Forged, replayedScans)
+
+	pFake, err := wifiDet.ProbFake(&trajforge.Upload{Traj: res.Forged, Scans: replayedScans})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== verdict ==")
+	if pFake >= 0.5 {
+		fmt.Println("   the forged run defeats the replay check and the classifier,")
+		fmt.Println("   but the WiFi RSSI countermeasure rejects it — no badge today.")
+	} else {
+		fmt.Println("   the forged run escaped every check at this simulation scale.")
+	}
+	_ = today
+	return nil
+}
+
+func shiftTimes(t *trajforge.Trajectory, d time.Duration) {
+	for i := range t.Points {
+		t.Points[i].Time = t.Points[i].Time.Add(d)
+	}
+}
+
+func replayScans(rng *rand.Rand, scans []wifi.Scan) []wifi.Scan {
+	out := make([]wifi.Scan, len(scans))
+	for i, s := range scans {
+		cp := s.Clone()
+		for j := range cp {
+			cp[j].RSSI += rng.Intn(3) - 1
+		}
+		out[i] = cp
+	}
+	return out
+}

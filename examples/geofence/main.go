@@ -1,0 +1,211 @@
+// Geofencing — spoofing a kid tracker, end to end over HTTP.
+//
+// A guardian app tracks a child's walk to school and alerts when the
+// trajectory leaves a safe corridor. The child's phone (rooted, hooked GPS
+// APIs — the paper's client-side attacker) uploads a forged trajectory that
+// stays inside the corridor while the child actually wanders off.
+//
+// This example runs the full cloud stack: a verification server with the
+// replay check, the motion classifier, and the WiFi RSSI detector, serving
+// its HTTP API; the spoofed upload is sent by the real client over a local
+// connection and rejected by the RSSI stage.
+//
+// Run with:
+//
+//	go run ./examples/geofence
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"trajforge"
+	"trajforge/internal/attack"
+	"trajforge/internal/detect"
+	"trajforge/internal/server"
+	"trajforge/internal/wifi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geofence:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 320, Height: 260, BlockSize: 55, NumAPs: 360, Seed: 31,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(32))
+	start := time.Date(2022, 7, 4, 7, 40, 0, 0, time.UTC)
+	const points = 35
+
+	fmt.Println("== provider bootstrap ==")
+	var uploads []*trajforge.Upload
+	var reals, fakes []*trajforge.Trajectory
+	for tries := 0; len(uploads) < 200 && tries < 9000; tries++ {
+		from := trajforge.PlanePoint{X: 10 + rng.Float64()*300, Y: 10 + rng.Float64()*240}
+		to := trajforge.PlanePoint{X: 10 + rng.Float64()*300, Y: 10 + rng.Float64()*240}
+		if tries%2 == 0 {
+			// Half the crowd walks the popular school corridor, so the
+			// provider's coverage is dense exactly where the kid walks.
+			from = trajforge.PlanePoint{X: 20 + rng.Float64()*30, Y: 20 + rng.Float64()*30}
+			to = trajforge.PlanePoint{X: 260 + rng.Float64()*40, Y: 200 + rng.Float64()*40}
+		}
+		trip, err := city.Travel(trajforge.TripConfig{
+			From: from, To: to, Mode: trajforge.ModeWalking,
+			Points: points, Start: start, CollectScans: true,
+		})
+		if err != nil || trip.Upload.Traj.Len() != points {
+			continue
+		}
+		clean, err := city.NavigationFake(from, to, trajforge.ModeWalking, points, start, time.Second)
+		if err != nil || clean.Len() != points {
+			continue
+		}
+		uploads = append(uploads, trip.Upload)
+		reals = append(reals, trip.Upload.Traj)
+		fakes = append(fakes, attack.NaiveNavigation(rng, clean))
+	}
+	fmt.Printf("   %d crowdsourced walks collected\n", len(uploads))
+
+	target, err := trajforge.TrainTargetClassifier(reals, fakes, 16, 25, 33)
+	if err != nil {
+		return err
+	}
+	motion := &detect.LSTMDetector{DetectorName: "C", Model: target, Kind: trajforge.FeatureDistAngle}
+
+	nHist := len(uploads) * 3 / 4
+	store, err := trajforge.NewRSSIStore(uploads[:nHist])
+	if err != nil {
+		return err
+	}
+	var forgedTrain []*trajforge.Upload
+	for _, u := range uploads[:nHist] {
+		f, err := trajforge.ForgeUploadRSSI(rng, u, 1.2)
+		if err != nil {
+			return err
+		}
+		forgedTrain = append(forgedTrain, f)
+	}
+	wifiDet, err := trajforge.TrainWiFiDetector(store, uploads[nHist:], forgedTrain[:nHist/2])
+	if err != nil {
+		return err
+	}
+	replayCheck, err := trajforge.NewReplayChecker(1.2)
+	if err != nil {
+		return err
+	}
+	routeCheck, err := city.NewRouteChecker()
+	if err != nil {
+		return err
+	}
+
+	pr := trajforge.NewProjection(trajforge.LatLon{Lat: 32.06, Lon: 118.79})
+	svc, err := trajforge.NewVerificationServer(server.Config{
+		Projection:     pr,
+		Route:          routeCheck,
+		Replay:         replayCheck,
+		Motion:         motion,
+		WiFi:           wifiDet,
+		IngestAccepted: true, // accepted scans become reference data for later days
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := trajforge.NewVerificationClient(ts.URL, pr)
+	fmt.Printf("   verification server listening at %s\n", ts.URL)
+
+	fmt.Println("\n== week 1: real walks to school are uploaded daily ==")
+	// Fresh walks, not part of the provider's bootstrap data. The RSSI
+	// detector operates at ~90% accuracy, so an honest walk occasionally
+	// fails verification (the guardian just re-checks); we follow the walks
+	// until one is accepted and becomes the attacker's replay material.
+	var schoolRun *trajforge.Upload
+	var v *trajforge.Verdict
+	for day := 1; day <= 7; day++ {
+		var trip *trajforge.Trip
+		for tries := 0; tries < 200; tries++ {
+			cand, err := city.Travel(trajforge.TripConfig{
+				From: trajforge.PlanePoint{X: 30, Y: 30}, To: trajforge.PlanePoint{X: 280, Y: 220},
+				Mode: trajforge.ModeWalking, Points: points,
+				Start:        start.Add(time.Duration(day) * 24 * time.Hour),
+				CollectScans: true,
+			})
+			if err == nil && cand.Upload.Traj.Len() == points {
+				trip = cand
+				break
+			}
+		}
+		if trip == nil {
+			return fmt.Errorf("could not simulate the school walk")
+		}
+		var err error
+		v, err = client.Upload(trip.Upload)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   day %d: accepted=%v checks=%v\n", day, v.Accepted, v.Checks)
+		if v.Accepted {
+			schoolRun = trip.Upload
+			break
+		}
+	}
+	if schoolRun == nil {
+		return fmt.Errorf("no honest walk was accepted this week (false-positive streak)")
+	}
+
+	fmt.Println("\n== the spoof: phone forges the accepted walk while the kid roams ==")
+	forger := trajforge.NewForger(target, trajforge.FeatureDistAngle)
+	cfg := trajforge.DefaultForgeryConfig(trajforge.ScenarioReplay)
+	cfg.Iterations = 600
+	cfg.MinDPerMeter = 1.2
+	cfg.Seed = 34
+	res, err := forger.Forge(schoolRun.Traj, cfg, false)
+	if err != nil {
+		return err
+	}
+	if !res.Success {
+		return fmt.Errorf("attack did not converge")
+	}
+	// Next-day timestamps, replayed scans with +/-1 dB disturbance.
+	for i := range res.Forged.Points {
+		res.Forged.Points[i].Time = res.Forged.Points[i].Time.Add(24 * time.Hour)
+	}
+	scans := make([]wifi.Scan, len(schoolRun.Scans))
+	for i, s := range schoolRun.Scans {
+		cp := s.Clone()
+		for j := range cp {
+			cp[j].RSSI += rng.Intn(3) - 1
+		}
+		scans[i] = cp
+	}
+	v, err = client.Upload(&trajforge.Upload{Traj: res.Forged, Scans: scans})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   verdict: accepted=%v checks=%v\n", v.Accepted, v.Checks)
+	if v.WiFiProbFake != nil {
+		fmt.Printf("   wifi P(fake) = %.3f\n", *v.WiFiProbFake)
+	}
+	if !v.Accepted {
+		fmt.Printf("   reason: %s\n", v.Reason)
+		fmt.Println("   guardian alerted: the reported walk could not be verified.")
+	}
+
+	stats, err := client.FetchStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nprovider stats: %+v\n", *stats)
+	return nil
+}

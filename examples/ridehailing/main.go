@@ -1,0 +1,180 @@
+// Ride-hailing mileage fraud — the paper's motivating scenario.
+//
+// A malicious driver forges a driving trajectory that inflates the billed
+// route: the forged track follows a longer navigation route than the trip
+// actually driven, with motion characteristics tuned (via the C&W attack)
+// to pass the platform's trajectory classifier. The example then shows the
+// two server-side outcomes: the motion check alone accepts the inflated
+// trip, while the WiFi RSSI countermeasure rejects it because the driver
+// cannot produce consistent scans for roads never travelled.
+//
+// Run with:
+//
+//	go run ./examples/ridehailing
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"trajforge"
+	"trajforge/internal/wifi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ridehailing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	city, err := trajforge.NewCity(trajforge.CityConfig{
+		Width: 800, Height: 600, BlockSize: 80, NumAPs: 900, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(8))
+	start := time.Date(2022, 7, 4, 18, 30, 0, 0, time.UTC)
+
+	fmt.Println("== platform bootstrap: historical trips along the main corridor ==")
+	// Like the paper's driving dataset (a main commercial road), the
+	// platform's history concentrates on one west-east corridor, so the
+	// crowdsourced RSSI store is dense where drivers actually drive.
+	const points = 30
+	var uploads []*trajforge.Upload
+	var reals, navFakes []*trajforge.Trajectory
+	for tries := 0; len(uploads) < 120 && tries < 8000; tries++ {
+		from := trajforge.PlanePoint{X: rng.Float64() * 90, Y: 240 + rng.Float64()*120}
+		to := trajforge.PlanePoint{X: 710 + rng.Float64()*90, Y: 240 + rng.Float64()*120}
+		if rng.Intn(2) == 0 {
+			from, to = to, from
+		}
+		trip, err := city.Travel(trajforge.TripConfig{
+			From: from, To: to, Mode: trajforge.ModeDriving,
+			Points: points, Start: start, Interval: 2 * time.Second, CollectScans: true,
+		})
+		if err != nil || trip.Upload.Traj.Len() != points {
+			continue
+		}
+		fake, err := city.NavigationFake(from, to, trajforge.ModeDriving, points, start, 2*time.Second)
+		if err != nil || fake.Len() != points {
+			continue
+		}
+		uploads = append(uploads, trip.Upload)
+		reals = append(reals, trip.Upload.Traj)
+		navFakes = append(navFakes, fake)
+	}
+	fmt.Printf("   %d historical driving trips collected\n", len(uploads))
+
+	target, err := trajforge.TrainTargetClassifier(reals, navFakes, 16, 25, 9)
+	if err != nil {
+		return err
+	}
+
+	nHist := len(uploads) * 3 / 4
+	store, err := trajforge.NewRSSIStore(uploads[:nHist])
+	if err != nil {
+		return err
+	}
+	var forged []*trajforge.Upload
+	for _, u := range uploads[:nHist] {
+		f, err := trajforge.ForgeUploadRSSI(rng, u, 1.4) // driving MinD
+		if err != nil {
+			return err
+		}
+		forged = append(forged, f)
+	}
+	wifiDet, err := trajforge.TrainWiFiDetector(store, uploads[nHist:], forged[:nHist/2])
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n== the fraud: inflate a short trip into a long billed route ==")
+	honest := uploads[0]
+	honestKM := honest.Traj.Length() / 1000
+
+	// The driver claims a much longer trip: a navigation route from the real
+	// pickup to a far-away drop-off, with forged motion along it.
+	// The claimed drop-off is off the corridor (north side streets), where
+	// the driver has never collected WiFi data.
+	var detour *trajforge.Trajectory
+	for tries := 0; tries < 200; tries++ {
+		dest := trajforge.PlanePoint{X: 200 + rng.Float64()*400, Y: 520 + rng.Float64()*70}
+		if dist2(honest.Traj.Start().Pos, dest) < 400*400 {
+			continue
+		}
+		cand, err := city.NavigationFake(honest.Traj.Start().Pos, dest,
+			trajforge.ModeDriving, points, start, 2*time.Second)
+		if err != nil || cand.Len() != points || cand.Length() <= honest.Traj.Length() {
+			continue
+		}
+		detour = cand
+		break
+	}
+	if detour == nil {
+		return fmt.Errorf("could not plan an inflated route")
+	}
+	forger := trajforge.NewForger(target, trajforge.FeatureDistAngle)
+	cfg := trajforge.DefaultForgeryConfig(trajforge.ScenarioNavigation)
+	cfg.Iterations = 600
+	cfg.Seed = 10
+	res, err := forger.Forge(detour, cfg, false)
+	if err != nil {
+		return err
+	}
+	if !res.Success {
+		return fmt.Errorf("the attack failed to converge")
+	}
+	fraudKM := res.Forged.Length() / 1000
+	fmt.Printf("   honest trip:  %.2f km driven\n", honestKM)
+	fmt.Printf("   forged claim: %.2f km billed (P(real) by classifier C: %.3f)\n",
+		fraudKM, res.ProbReal)
+
+	fmt.Println("\n== platform verification ==")
+	probC := target.Forward(trajforge.SequenceFeatures(res.Forged, trajforge.FeatureDistAngle))
+	fmt.Printf("   motion check:  P(real) = %.3f -> %s\n", probC, passFail(probC >= 0.5))
+
+	// The driver can only replay old scans; the claimed detour positions
+	// have no consistent RSSI story.
+	claim := &trajforge.Upload{Traj: res.Forged, Scans: replayScans(rng, honest.Scans)}
+	pFake, err := wifiDet.ProbFake(claim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   WiFi check:    P(fake) = %.3f -> %s\n", pFake, passFail(pFake < 0.5))
+	if pFake >= 0.5 && probC >= 0.5 {
+		fmt.Println("   verdict: mileage fraud caught by the RSSI countermeasure")
+	}
+	return nil
+}
+
+func dist2(a, b trajforge.PlanePoint) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return dx*dx + dy*dy
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// replayScans perturbs historical scans by {-1, 0, 1} dB, as the paper's
+// replay attacker does.
+func replayScans(rng *rand.Rand, scans []wifi.Scan) []wifi.Scan {
+	out := make([]wifi.Scan, len(scans))
+	for i, s := range scans {
+		cp := s.Clone()
+		for j := range cp {
+			cp[j].RSSI += rng.Intn(3) - 1
+		}
+		out[i] = cp
+	}
+	return out
+}

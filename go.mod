@@ -1,0 +1,3 @@
+module trajforge
+
+go 1.22

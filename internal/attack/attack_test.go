@@ -1,0 +1,366 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajforge/internal/dtw"
+	"trajforge/internal/geo"
+	"trajforge/internal/mobility"
+	"trajforge/internal/nav"
+	"trajforge/internal/nn"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/trajectory"
+)
+
+var _t0 = time.Date(2022, 5, 2, 9, 0, 0, 0, time.UTC)
+
+// testWorld builds a small attack scenario: a road network, a batch of real
+// walking trajectories, naive navigation fakes, and a trained target
+// classifier. Built once and reused across tests (read-only afterwards).
+type testWorld struct {
+	svc    *nav.Service
+	target *nn.Classifier
+	reals  []*trajectory.T
+	navs   []*trajectory.T // clean navigation samples (pre-noise)
+}
+
+var _world *testWorld
+
+func world(t *testing.T) *testWorld {
+	t.Helper()
+	if _world != nil {
+		return _world
+	}
+	rng := rand.New(rand.NewSource(1))
+	g, err := roadnet.Generate(rng, roadnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := nav.NewService(g)
+
+	const nPer = 120
+	const points = 40
+	var samples []nn.Sample
+	w := &testWorld{svc: svc}
+	for i := 0; i < nPer; i++ {
+		from, to, err := nav.RandomTripEndpoints(rng, g, 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := svc.Route(from, to, trajectory.ModeWalking)
+		if err != nil {
+			continue
+		}
+		// Real trajectory: mobility simulation along the planned route.
+		tk, err := mobility.Simulate(rng, mobility.Options{
+			Route: plan.Polyline, Mode: trajectory.ModeWalking,
+			Start: _t0, Interval: time.Second, MaxPoints: points,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		real := tk.Trajectory()
+		if real.Len() < points {
+			continue
+		}
+		w.reals = append(w.reals, real)
+		samples = append(samples, nn.Sample{
+			Seq:   trajectory.SequenceFeatures(real, trajectory.FeatureDistAngle),
+			Label: 1,
+		})
+		// Naive navigation fake.
+		clean := plan.Sample(_t0, time.Second, points)
+		if clean.Len() < points {
+			continue
+		}
+		w.navs = append(w.navs, clean)
+		fake := NaiveNavigation(rng, clean)
+		samples = append(samples, nn.Sample{
+			Seq:   trajectory.SequenceFeatures(fake, trajectory.FeatureDistAngle),
+			Label: 0,
+		})
+	}
+	if len(w.reals) < 60 || len(w.navs) < 60 {
+		t.Fatalf("too few usable trajectories: %d real, %d nav", len(w.reals), len(w.navs))
+	}
+
+	c, err := nn.NewClassifier(nn.Config{InputDim: 2, Hidden: []int{12}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(samples, nn.TrainConfig{Epochs: 10, BatchSize: 16, LearningRate: 0.005, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Evaluate(samples); acc < 0.9 {
+		t.Fatalf("target classifier only reaches %.3f on its training data", acc)
+	}
+	w.target = c
+	_world = w
+	return w
+}
+
+func TestNaiveReplayPerturbsEveryPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := trajectory.New([]geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}, _t0, time.Second)
+	fake := NaiveReplay(rng, base)
+	if fake.Len() != base.Len() {
+		t.Fatal("length changed")
+	}
+	var moved int
+	for i := range fake.Points {
+		d := geo.Dist(fake.Points[i].Pos, base.Points[i].Pos)
+		if d > 0 {
+			moved++
+		}
+		if d > 5*NaiveNoiseSD {
+			t.Fatalf("point %d moved %v m, implausible for sd %v", i, d, NaiveNoiseSD)
+		}
+	}
+	if moved != base.Len() {
+		t.Fatalf("only %d/%d points perturbed", moved, base.Len())
+	}
+	// The original must be untouched.
+	if base.Points[0].Pos != (geo.Point{X: 0, Y: 0}) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestMinDEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	route := []geo.Point{{X: 0, Y: 0}, {X: 200, Y: 0}}
+	tracks, err := mobility.RepeatRoute(rng, mobility.Options{
+		Route: route, Mode: trajectory.ModeWalking,
+		Start: _t0, Interval: time.Second, MaxPoints: 50,
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs := make([]*trajectory.T, len(tracks))
+	for i, tk := range tracks {
+		trajs[i] = tk.Trajectory()
+	}
+	minD, err := MinDEstimate(trajs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walking repetitions should differ by roughly 0.3-3 DTW/m (the paper
+	// measures 1.2).
+	if minD < 0.1 || minD > 5 {
+		t.Fatalf("MinD = %v, implausible", minD)
+	}
+	if _, err := MinDEstimate(trajs[:1]); err == nil {
+		t.Fatal("single trajectory must error")
+	}
+}
+
+func TestForgeErrors(t *testing.T) {
+	w := world(t)
+	f := NewForger(w.target, trajectory.FeatureDistAngle)
+	short := trajectory.New([]geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, _t0, time.Second)
+	if _, err := f.Forge(short, DefaultCWConfig(ScenarioNavigation), false); err == nil {
+		t.Fatal("short reference must error")
+	}
+	cfg := DefaultCWConfig(ScenarioReplay)
+	cfg.MinDPerMeter = 0
+	if _, err := f.Forge(w.reals[0], cfg, false); err == nil {
+		t.Fatal("replay without MinD must error")
+	}
+	if _, err := f.Forge(w.reals[0], CWConfig{}, false); err == nil {
+		t.Fatal("unset scenario must error")
+	}
+}
+
+func TestForgeNavigationScenario(t *testing.T) {
+	w := world(t)
+	f := NewForger(w.target, trajectory.FeatureDistAngle)
+
+	ref := w.navs[0]
+	// Sanity: the clean navigation sample must look fake to the target.
+	seq := trajectory.SequenceFeatures(ref, trajectory.FeatureDistAngle)
+	if p := w.target.Forward(seq); p >= 0.5 {
+		t.Skipf("navigation sample already classified real (p=%v); classifier too weak", p)
+	}
+
+	cfg := DefaultCWConfig(ScenarioNavigation)
+	cfg.Iterations = 600
+	cfg.Seed = 11
+	res, err := f.Forge(ref, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("navigation attack failed to find an adversarial trajectory")
+	}
+	if res.ProbReal < 0.5 {
+		t.Fatalf("forged trajectory has P(real) = %v", res.ProbReal)
+	}
+	// Route rationality: forged stays close to the reference route.
+	if perM := dtw.PerMeter(res.DTW, ref.Positions()); perM > 6 {
+		t.Fatalf("forged trajectory strays %v DTW/m from the route", perM)
+	}
+	// Endpoints pinned.
+	if res.Forged.Start().Pos != ref.Start().Pos || res.Forged.End().Pos != ref.End().Pos {
+		t.Fatal("endpoints moved")
+	}
+	// History recorded and monotone best-DTW.
+	if len(res.History) != cfg.Iterations {
+		t.Fatalf("history has %d entries, want %d", len(res.History), cfg.Iterations)
+	}
+	prev := math.Inf(1)
+	for _, h := range res.History {
+		if h.BestDTW > prev+1e-9 {
+			t.Fatal("BestDTW must be non-increasing")
+		}
+		prev = h.BestDTW
+	}
+	if res.FirstAdversarialIter <= 0 {
+		t.Fatal("first adversarial iteration not recorded")
+	}
+}
+
+func TestForgeReplayScenario(t *testing.T) {
+	w := world(t)
+	f := NewForger(w.target, trajectory.FeatureDistAngle)
+
+	hist := w.reals[1]
+	const minD = 1.0 // DTW/m, near the paper's measured walking value
+	cfg := DefaultCWConfig(ScenarioReplay)
+	cfg.Iterations = 600
+	cfg.MinDPerMeter = minD
+	cfg.Seed = 13
+	res, err := f.Forge(hist, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("replay attack failed")
+	}
+	if res.ProbReal < 0.5 {
+		t.Fatalf("P(real) = %v", res.ProbReal)
+	}
+	// The forged trajectory must be at least MinD away from the historical
+	// one (no replay flag) but not absurdly far (route rationality).
+	histPos := hist.Positions()
+	minDAbs := minD * geo.PolylineLength(histPos)
+	if res.DTW < minDAbs {
+		t.Fatalf("DTW %v below the replay threshold %v", res.DTW, minDAbs)
+	}
+	if res.DTW > 8*minDAbs {
+		t.Fatalf("DTW %v too far above threshold %v", res.DTW, minDAbs)
+	}
+}
+
+func TestForgeDeterministicPerSeed(t *testing.T) {
+	w := world(t)
+	f := NewForger(w.target, trajectory.FeatureDistAngle)
+	cfg := DefaultCWConfig(ScenarioNavigation)
+	cfg.Iterations = 120
+	cfg.Seed = 21
+	r1, err := f.Forge(w.navs[1], cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.Forge(w.navs[1], cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Success != r2.Success || math.Abs(r1.DTW-r2.DTW) > 1e-9 {
+		t.Fatal("same seed produced different attacks")
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if ScenarioNavigation.String() != "navigation" || ScenarioReplay.String() != "replay" {
+		t.Fatal("scenario names wrong")
+	}
+	if Scenario(9).String() == "" {
+		t.Fatal("unknown scenario must format")
+	}
+}
+
+// TestOffsetBasisAdjoint checks that pullback is the exact transpose of
+// apply: <apply(ctrl), g> == <ctrl, pullback(g)> for the offset part.
+func TestOffsetBasisAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(60)
+		every := 1 + rng.Intn(10)
+		basis := newOffsetBasis(n, every)
+
+		ctrl := make([]geo.Point, basis.K)
+		for j := range ctrl {
+			ctrl[j] = geo.Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+		}
+		g := make([]geo.Point, n)
+		for i := range g {
+			g[i] = geo.Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+		}
+
+		ref := make([]geo.Point, n) // zeros: apply output = offsets
+		cur := make([]geo.Point, n)
+		basis.apply(cur, ref, ctrl)
+
+		var lhs float64
+		for i := range cur {
+			lhs += cur[i].X*g[i].X + cur[i].Y*g[i].Y
+		}
+		pb := basis.pullback(g)
+		var rhs float64
+		for j := range pb {
+			rhs += ctrl[j].X*pb[j].X + ctrl[j].Y*pb[j].Y
+		}
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("n=%d every=%d: <apply(c),g>=%v != <c,pullback(g)>=%v", n, every, lhs, rhs)
+		}
+	}
+}
+
+func TestOffsetBasisEndpointsPinned(t *testing.T) {
+	basis := newOffsetBasis(30, 6)
+	ctrl := make([]geo.Point, basis.K)
+	for j := range ctrl {
+		ctrl[j] = geo.Point{X: 5, Y: -3}
+	}
+	ctrl[0] = geo.Point{}
+	ctrl[basis.K-1] = geo.Point{}
+	ref := make([]geo.Point, 30)
+	cur := make([]geo.Point, 30)
+	basis.apply(cur, ref, ctrl)
+	if cur[0] != (geo.Point{}) || cur[29] != (geo.Point{}) {
+		t.Fatalf("endpoints moved: %v, %v", cur[0], cur[29])
+	}
+}
+
+func TestOffsetBasisDegenerate(t *testing.T) {
+	// controlEvery <= 0 or >= n falls back to per-point control.
+	b := newOffsetBasis(10, 0)
+	if b.K != 10 {
+		t.Fatalf("degenerate basis K = %d, want 10", b.K)
+	}
+	b = newOffsetBasis(10, 100)
+	if b.K != 10 {
+		t.Fatalf("oversized spacing K = %d, want 10", b.K)
+	}
+}
+
+func TestForgeSoftDTWVariant(t *testing.T) {
+	w := world(t)
+	f := NewForger(w.target, trajectory.FeatureDistAngle)
+	cfg := DefaultCWConfig(ScenarioNavigation)
+	cfg.Iterations = 250
+	cfg.UseSoftDTW = true
+	cfg.SoftGamma = 1.0
+	cfg.Seed = 61
+	res, err := f.Forge(w.navs[2], cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The soft variant must at minimum run to completion and report sane
+	// numbers; convergence quality is measured by the ablation bench.
+	if res.Success && (res.DTW < 0 || res.ProbReal < 0.5) {
+		t.Fatalf("inconsistent soft-DTW result: %+v", res)
+	}
+}

@@ -1,0 +1,384 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"trajforge/internal/dtw"
+	"trajforge/internal/geo"
+	"trajforge/internal/nn"
+	"trajforge/internal/trajectory"
+)
+
+// Scenario selects which loss the optimizer minimises.
+type Scenario int
+
+// Attack scenarios from the paper.
+const (
+	// ScenarioNavigation forges a trajectory around a navigation-planned
+	// route the attacker never travelled (Eq. 1).
+	ScenarioNavigation Scenario = iota + 1
+	// ScenarioReplay forges a trajectory from the attacker's own historical
+	// trajectory, keeping DTW >= MinD so the server's replay check fails
+	// (Eq. 2–3).
+	ScenarioReplay
+)
+
+// smoothNoise draws an autocorrelated offset series (one-step correlation
+// 0.9) with stationary standard deviation sd.
+func smoothNoise(rng *rand.Rand, n int, sd float64) []float64 {
+	const rho = 0.9
+	out := make([]float64, n)
+	out[0] = rng.NormFloat64() * sd
+	innov := sd * math.Sqrt(1-rho*rho)
+	for i := 1; i < n; i++ {
+		out[i] = rho*out[i-1] + rng.NormFloat64()*innov
+	}
+	return out
+}
+
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioNavigation:
+		return "navigation"
+	case ScenarioReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// CWConfig configures the optimizer.
+type CWConfig struct {
+	Scenario Scenario
+	// Iterations is the optimization budget (the paper settles on 1,500).
+	Iterations int
+	// Lambda is the initial weight of the classification term; it is
+	// auto-adjusted during the run as in the paper ("the parameters λ …
+	// automatically adjusted").
+	Lambda float64
+	// AdjustEvery controls how often lambda adapts.
+	AdjustEvery int
+	// LearningRate is the Adam step size on positions, metres.
+	LearningRate float64
+	// MinDPerMeter is the replay threshold in DTW-per-metre (Sec. IV-A3);
+	// required for ScenarioReplay.
+	MinDPerMeter float64
+	// Delta is the small safety margin above MinD (Eq. 2), expressed as a
+	// fraction of the MinD threshold.
+	Delta float64
+	// InitNoiseSD perturbs the starting point of the search, metres.
+	InitNoiseSD float64
+	// ControlEvery parameterises the perturbation with one control offset
+	// every k trajectory points, linearly interpolated in between
+	// (endpoints fixed at zero). A smooth, low-dimensional perturbation
+	// basis keeps the forged kinematics plausible, which is what lets the
+	// adversarial trajectory transfer past motion-statistic detectors;
+	// 0 disables the basis and optimises every point freely.
+	ControlEvery int
+	// UseSoftDTW replaces the hard-DTW subgradient in the distance term
+	// with the exact soft-DTW gradient (squared-Euclidean local cost,
+	// smoothing SoftGamma). An ablation of the optimizer's distance signal
+	// (DESIGN.md §5); only supported in the navigation scenario.
+	UseSoftDTW bool
+	// SoftGamma is the soft-DTW smoothing (default 1.0).
+	SoftGamma float64
+	// Seed drives the initial perturbation.
+	Seed int64
+	// TargetConfidence is the classifier probability above which the fake
+	// counts as adversarial (0.5 if unset).
+	TargetConfidence float64
+}
+
+// DefaultCWConfig mirrors the paper's final settings at this repository's
+// scale.
+func DefaultCWConfig(scenario Scenario) CWConfig {
+	return CWConfig{
+		Scenario:         scenario,
+		Iterations:       1500,
+		Lambda:           5.0,
+		AdjustEvery:      50,
+		LearningRate:     0.35,
+		Delta:            0.05,
+		InitNoiseSD:      1.2,
+		ControlEvery:     6,
+		TargetConfidence: 0.5,
+	}
+}
+
+// IterStat records one optimizer iteration for the Fig. 3 curves.
+type IterStat struct {
+	Iteration int
+	Loss      float64
+	ProbReal  float64
+	DTW       float64
+	// BestDTW is the smallest DTW among adversarial iterates so far
+	// (+Inf until the first adversarial example is found).
+	BestDTW float64
+}
+
+// Result is the outcome of one attack run.
+type Result struct {
+	// Success reports whether an adversarial trajectory was found.
+	Success bool
+	// Forged is the best adversarial trajectory (nil when Success is
+	// false).
+	Forged *trajectory.T
+	// ProbReal is the target classifier's P(real) for Forged.
+	ProbReal float64
+	// DTW is the distance between Forged and the reference.
+	DTW float64
+	// FirstAdversarialIter is the iteration at which the first adversarial
+	// example appeared (-1 when none).
+	FirstAdversarialIter int
+	// History holds one entry per iteration (only when
+	// CWConfig.RecordHistory was requested via Forge's record flag).
+	History []IterStat
+}
+
+// Forger runs C&W-style attacks against a fixed target classifier.
+type Forger struct {
+	target *nn.Classifier
+	kind   trajectory.FeatureKind
+}
+
+// NewForger returns a forger attacking the given classifier, which consumes
+// sequences of the given feature kind (model C uses FeatureDistAngle).
+func NewForger(target *nn.Classifier, kind trajectory.FeatureKind) *Forger {
+	return &Forger{target: target, kind: kind}
+}
+
+// Forge runs the attack starting from the reference trajectory. record
+// enables per-iteration history (used by the Fig. 3 experiment).
+func (f *Forger) Forge(ref *trajectory.T, cfg CWConfig, record bool) (*Result, error) {
+	if ref.Len() < 3 {
+		return nil, fmt.Errorf("attack: reference trajectory too short (%d points)", ref.Len())
+	}
+	if cfg.Scenario == 0 {
+		return nil, fmt.Errorf("attack: scenario not set")
+	}
+	if cfg.Scenario == ScenarioReplay && cfg.MinDPerMeter <= 0 {
+		return nil, fmt.Errorf("attack: replay scenario requires MinDPerMeter > 0")
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1500
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 5
+	}
+	if cfg.AdjustEvery <= 0 {
+		cfg.AdjustEvery = 50
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.35
+	}
+	if cfg.TargetConfidence <= 0 {
+		cfg.TargetConfidence = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	refPos := ref.Positions()
+	n := len(refPos)
+	// MinD threshold in absolute DTW units.
+	minDAbs := cfg.MinDPerMeter * geo.PolylineLength(refPos)
+
+	// The perturbation lives in a smooth basis: control offsets every
+	// ControlEvery points, linearly interpolated, endpoints pinned at zero
+	// (the attack goal fixes P1 = S and Pn = D). The initial offsets are
+	// autocorrelated noise — white noise would leave a jitter signature
+	// that motion-statistic detectors catch even after optimization.
+	basis := newOffsetBasis(n, cfg.ControlEvery)
+	ctrl := make([]geo.Point, basis.K)
+	offX := smoothNoise(rng, basis.K, cfg.InitNoiseSD)
+	offY := smoothNoise(rng, basis.K, cfg.InitNoiseSD)
+	for j := 1; j < basis.K-1; j++ {
+		ctrl[j] = geo.Point{X: offX[j], Y: offY[j]}
+	}
+	cur := make([]geo.Point, n)
+	basis.apply(cur, refPos, ctrl)
+
+	// Adam state over the control points.
+	mX := make([]geo.Point, basis.K)
+	vX := make([]geo.Point, basis.K)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	lambda := cfg.Lambda
+	res := &Result{FirstAdversarialIter: -1}
+	bestDTW := math.Inf(1)
+	var bestPos []geo.Point
+	var bestProb float64
+	successesInWindow := 0
+
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		// Classification term and its gradient.
+		seq := trajectory.SequenceFromPositions(cur, f.kind)
+		seqGrad, entLoss, prob := f.target.InputGrad(seq, 1) // target label: real
+		posGradEnt := trajectory.SequenceGradToPositions(cur, f.kind, seqGrad)
+
+		// Distance term and its gradient.
+		var d float64
+		var dtwGrad []geo.Point
+		var err error
+		if cfg.UseSoftDTW && cfg.Scenario == ScenarioNavigation {
+			gamma := cfg.SoftGamma
+			if gamma <= 0 {
+				gamma = 1
+			}
+			var soft float64
+			soft, dtwGrad, err = dtw.SoftGradB(refPos, cur, gamma)
+			if err != nil {
+				return nil, fmt.Errorf("attack: soft-DTW gradient: %w", err)
+			}
+			// Report distances on the hard-DTW scale so feasibility and
+			// history stay comparable across the ablation.
+			d = dtw.Dist(refPos, cur)
+			_ = soft
+		} else {
+			d, dtwGrad, err = dtw.GradB(refPos, cur, dtw.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("attack: DTW gradient: %w", err)
+			}
+		}
+		distLoss := d
+		distScale := 1.0
+		if cfg.Scenario == ScenarioReplay {
+			// loss2 = max(DTW, 2(MinD+delta) - DTW)  (Eq. 2)
+			mirror := 2*(minDAbs+cfg.Delta*minDAbs) - d
+			if mirror > d {
+				distLoss = mirror
+				distScale = -1 // the active branch decreases in d
+			}
+		}
+
+		loss := lambda*entLoss + distLoss
+		adversarial := prob >= cfg.TargetConfidence
+		feasible := adversarial
+		if cfg.Scenario == ScenarioReplay {
+			feasible = feasible && d >= minDAbs
+		}
+		if feasible {
+			if res.FirstAdversarialIter < 0 {
+				res.FirstAdversarialIter = iter
+			}
+			successesInWindow++
+			if d < bestDTW {
+				bestDTW = d
+				bestPos = append([]geo.Point(nil), cur...)
+				bestProb = prob
+			}
+		}
+		if record {
+			res.History = append(res.History, IterStat{
+				Iteration: iter,
+				Loss:      loss,
+				ProbReal:  prob,
+				DTW:       d,
+				BestDTW:   bestDTW,
+			})
+		}
+
+		// Combined per-point gradient, pulled back onto the control basis;
+		// endpoint controls stay pinned.
+		pointGrad := make([]geo.Point, n)
+		for i := 0; i < n; i++ {
+			pointGrad[i].X = lambda*posGradEnt[i].X + distScale*dtwGrad[i].X
+			pointGrad[i].Y = lambda*posGradEnt[i].Y + distScale*dtwGrad[i].Y
+		}
+		ctrlGrad := basis.pullback(pointGrad)
+		biasCorr1 := 1 - math.Pow(beta1, float64(iter))
+		biasCorr2 := 1 - math.Pow(beta2, float64(iter))
+		for j := 1; j < basis.K-1; j++ {
+			gx := ctrlGrad[j].X
+			gy := ctrlGrad[j].Y
+			mX[j].X = beta1*mX[j].X + (1-beta1)*gx
+			mX[j].Y = beta1*mX[j].Y + (1-beta1)*gy
+			vX[j].X = beta2*vX[j].X + (1-beta2)*gx*gx
+			vX[j].Y = beta2*vX[j].Y + (1-beta2)*gy*gy
+			ctrl[j].X -= cfg.LearningRate * (mX[j].X / biasCorr1) / (math.Sqrt(vX[j].X/biasCorr2) + eps)
+			ctrl[j].Y -= cfg.LearningRate * (mX[j].Y / biasCorr1) / (math.Sqrt(vX[j].Y/biasCorr2) + eps)
+		}
+		basis.apply(cur, refPos, ctrl)
+
+		// Lambda auto-adjustment, C&W style: if the window produced
+		// adversarial iterates, shift weight to the distance term;
+		// otherwise strengthen the classification term.
+		if iter%cfg.AdjustEvery == 0 {
+			if successesInWindow > cfg.AdjustEvery/2 {
+				lambda *= 0.8
+			} else if successesInWindow == 0 {
+				lambda *= 1.6
+			}
+			lambda = math.Min(1e4, math.Max(1e-3, lambda))
+			successesInWindow = 0
+		}
+	}
+
+	if bestPos == nil {
+		return res, nil
+	}
+	forged, err := ref.WithPositions(bestPos)
+	if err != nil {
+		return nil, fmt.Errorf("attack: assemble forged trajectory: %w", err)
+	}
+	res.Success = true
+	res.Forged = forged
+	res.ProbReal = bestProb
+	res.DTW = bestDTW
+	return res, nil
+}
+
+// offsetBasis maps K control offsets onto n per-point offsets by linear
+// (hat-function) interpolation. Control 0 sits on point 0 and control K-1
+// on point n-1; both stay zero so the endpoints never move.
+type offsetBasis struct {
+	n, K    int
+	segment float64 // points per control interval
+}
+
+func newOffsetBasis(n, controlEvery int) *offsetBasis {
+	if controlEvery <= 0 || controlEvery >= n {
+		// Degenerate: one control per point.
+		return &offsetBasis{n: n, K: n, segment: 1}
+	}
+	k := (n-1+controlEvery-1)/controlEvery + 1
+	if k < 3 {
+		k = 3
+	}
+	return &offsetBasis{n: n, K: k, segment: float64(n-1) / float64(k-1)}
+}
+
+// weights returns the two control indices and interpolation weights of
+// point i.
+func (b *offsetBasis) weights(i int) (j0, j1 int, w0, w1 float64) {
+	pos := float64(i) / b.segment
+	j0 = int(pos)
+	if j0 >= b.K-1 {
+		return b.K - 1, b.K - 1, 1, 0
+	}
+	frac := pos - float64(j0)
+	return j0, j0 + 1, 1 - frac, frac
+}
+
+// apply sets cur[i] = ref[i] + interpolated control offset.
+func (b *offsetBasis) apply(cur, ref []geo.Point, ctrl []geo.Point) {
+	for i := 0; i < b.n; i++ {
+		j0, j1, w0, w1 := b.weights(i)
+		cur[i].X = ref[i].X + w0*ctrl[j0].X + w1*ctrl[j1].X
+		cur[i].Y = ref[i].Y + w0*ctrl[j0].Y + w1*ctrl[j1].Y
+	}
+}
+
+// pullback maps a per-point gradient to the control points (the transpose
+// of apply).
+func (b *offsetBasis) pullback(pointGrad []geo.Point) []geo.Point {
+	out := make([]geo.Point, b.K)
+	for i := 0; i < b.n; i++ {
+		j0, j1, w0, w1 := b.weights(i)
+		out[j0].X += w0 * pointGrad[i].X
+		out[j0].Y += w0 * pointGrad[i].Y
+		out[j1].X += w1 * pointGrad[i].X
+		out[j1].Y += w1 * pointGrad[i].Y
+	}
+	return out
+}

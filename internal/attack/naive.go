@@ -1,0 +1,68 @@
+// Package attack implements the paper's trajectory forgery methods
+// (Sec. II): the naive baseline attacks (noisy replay of a historical
+// trajectory and resampled navigation routes) and the machine-learning
+// forgery — a C&W-style optimization that produces adversarial trajectories
+// which a target LSTM classifier accepts as real while staying close (in
+// DTW) to a rational reference route, and, in the replay scenario, at least
+// MinD away from the historical original (Eq. 1–3).
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trajforge/internal/dtw"
+	"trajforge/internal/geo"
+	"trajforge/internal/stats"
+	"trajforge/internal/trajectory"
+)
+
+// NaiveNoiseSD is the per-axis standard deviation of the naive attack's
+// white noise. The paper draws it from the measured GPS error distribution
+// N(0, 0.25) (variance 0.25 m², i.e. σ = 0.5 m).
+const NaiveNoiseSD = 0.5
+
+// NaiveReplay returns a copy of the historical trajectory with i.i.d.
+// Gaussian noise added to every coordinate — the naive replay attack of
+// Sec. IV-A2.
+func NaiveReplay(rng *rand.Rand, hist *trajectory.T) *trajectory.T {
+	cp := hist.Clone()
+	for i := range cp.Points {
+		cp.Points[i].Pos.X += stats.Normal(rng, 0, NaiveNoiseSD)
+		cp.Points[i].Pos.Y += stats.Normal(rng, 0, NaiveNoiseSD)
+	}
+	return cp
+}
+
+// NaiveNavigation perturbs a constant-speed navigation sample the same way
+// ("to avoid being directly detected … the trajectories in AN also need to
+// perform naive attacks").
+func NaiveNavigation(rng *rand.Rand, sample *trajectory.T) *trajectory.T {
+	return NaiveReplay(rng, sample)
+}
+
+// MinDEstimate computes the paper's MinD threshold from repeated traversals
+// of the same route: the minimum pairwise DTW distance between any two of
+// the trajectories, normalised per metre of route length. The fake
+// trajectory must keep at least this distance from the historical one or be
+// flagged as a byte-level replay.
+func MinDEstimate(trajs []*trajectory.T) (perMeter float64, err error) {
+	if len(trajs) < 2 {
+		return 0, fmt.Errorf("attack: need >= 2 traversals to estimate MinD, got %d", len(trajs))
+	}
+	positions := make([][]geo.Point, len(trajs))
+	for i, tr := range trajs {
+		positions[i] = tr.Positions()
+	}
+	min := -1.0
+	for i := 0; i < len(positions); i++ {
+		for j := i + 1; j < len(positions); j++ {
+			d := dtw.Dist(positions[i], positions[j])
+			pm := dtw.PerMeter(d, positions[i])
+			if min < 0 || pm < min {
+				min = pm
+			}
+		}
+	}
+	return min, nil
+}

@@ -1,0 +1,308 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajforge/internal/dtw"
+	"trajforge/internal/geo"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+func smallMotionConfig() MotionConfig {
+	cfg := DefaultMotionConfig()
+	cfg.Trips = 12
+	cfg.Points = 40
+	cfg.Modes = []trajectory.Mode{trajectory.ModeWalking}
+	return cfg
+}
+
+func TestBuildMotionCorpus(t *testing.T) {
+	corpus, err := BuildMotionCorpus(smallMotionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Real) != 12 || len(corpus.CleanNav) != 12 ||
+		len(corpus.NaiveNav) != 12 || len(corpus.NaiveReplay) != 12 {
+		t.Fatalf("corpus sizes: %d %d %d %d",
+			len(corpus.Real), len(corpus.CleanNav), len(corpus.NaiveNav), len(corpus.NaiveReplay))
+	}
+	for i, tr := range corpus.Real {
+		if tr.Len() != 40 {
+			t.Fatalf("real[%d] has %d points", i, tr.Len())
+		}
+		if err := tr.Validate(10 * time.Millisecond); err != nil {
+			t.Fatalf("real[%d]: %v", i, err)
+		}
+	}
+	// Naive replay must be close to its source but not identical.
+	d := dtw.Dist(corpus.Real[0].Positions(), corpus.NaiveReplay[0].Positions())
+	if d == 0 {
+		t.Fatal("naive replay identical to source")
+	}
+	if dtw.PerMeter(d, corpus.Real[0].Positions()) > 2 {
+		t.Fatal("naive replay strays too far")
+	}
+	if corpus.Svc == nil {
+		t.Fatal("nav service missing")
+	}
+}
+
+func TestBuildMotionCorpusDeterministic(t *testing.T) {
+	a, err := BuildMotionCorpus(smallMotionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMotionCorpus(smallMotionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Real {
+		if a.Real[i].Points[3].Pos != b.Real[i].Points[3].Pos {
+			t.Fatal("same config produced different corpora")
+		}
+	}
+}
+
+func TestBuildMotionCorpusErrors(t *testing.T) {
+	bad := smallMotionConfig()
+	bad.Trips = 0
+	if _, err := BuildMotionCorpus(bad); err == nil {
+		t.Fatal("zero trips must error")
+	}
+	bad = smallMotionConfig()
+	bad.Road = roadnet.Config{Width: 1, Height: 1, BlockSize: 100}
+	if _, err := BuildMotionCorpus(bad); err == nil {
+		t.Fatal("degenerate road config must error")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	list := make([]*trajectory.T, 10)
+	train, test := Split(list, 0.7)
+	if len(train) != 7 || len(test) != 3 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+	train, test = Split(list, -1)
+	if len(train) != 0 || len(test) != 10 {
+		t.Fatal("negative fraction must clamp")
+	}
+	train, test = Split(list, 2)
+	if len(train) != 10 || len(test) != 0 {
+		t.Fatal("fraction > 1 must clamp")
+	}
+}
+
+func testAreaSpec() AreaSpec {
+	return AreaSpec{
+		Name: "test", Mode: trajectory.ModeWalking,
+		Width: 130, Height: 110,
+		NumAPs:       220,
+		Trajectories: 60,
+		Points:       30, Interval: 2 * time.Second,
+		BlockSize: 40,
+		Seed:      7,
+	}
+}
+
+func TestBuildArea(t *testing.T) {
+	a, err := BuildArea(testAreaSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Uploads) != 60 {
+		t.Fatalf("uploads = %d", len(a.Uploads))
+	}
+	for i, u := range a.Uploads {
+		if err := u.Validate(); err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+		if u.Traj.Len() != 30 {
+			t.Fatalf("upload %d has %d points", i, u.Traj.Len())
+		}
+	}
+	ks := KStats(a.Uploads)
+	if ks.Mean < 5 || ks.Mean > 80 {
+		t.Fatalf("mean k = %v implausible", ks.Mean)
+	}
+	if ks.Min < 0 || float64(ks.Min) > ks.Mean {
+		t.Fatalf("min k = %d vs mean %v", ks.Min, ks.Mean)
+	}
+	if ks.P10 > ks.Mean {
+		t.Fatalf("p10 %v above mean %v", ks.P10, ks.Mean)
+	}
+}
+
+func TestBuildAreaErrors(t *testing.T) {
+	bad := testAreaSpec()
+	bad.Trajectories = 0
+	if _, err := BuildArea(bad); err == nil {
+		t.Fatal("zero trajectories must error")
+	}
+}
+
+func TestSplitHistorical(t *testing.T) {
+	a, err := BuildArea(testAreaSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, fresh, err := a.SplitHistorical(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 45 || len(fresh) != 15 {
+		t.Fatalf("split = %d/%d", len(hist), len(fresh))
+	}
+	if _, _, err := a.SplitHistorical(0); err == nil {
+		t.Fatal("zero split must error")
+	}
+	if _, _, err := a.SplitHistorical(60); err == nil {
+		t.Fatal("full split must error")
+	}
+	recs := Records(hist)
+	if len(recs) != 45*30 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if len(recs[0].RSSI) == 0 {
+		t.Fatal("record has no RSSI data")
+	}
+}
+
+func TestKStatsEmpty(t *testing.T) {
+	if got := KStats(nil); got.Mean != 0 {
+		t.Fatalf("empty KStats = %+v", got)
+	}
+}
+
+func TestForgeUpload(t *testing.T) {
+	a, err := BuildArea(testAreaSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	hist := a.Uploads[0]
+	const minD = 1.2
+	fake, err := ForgeUpload(rng, hist, minD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fake.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Geometry: forged must clear the replay threshold but stay near the
+	// route.
+	histPos := hist.Traj.Positions()
+	fakePos := fake.Traj.Positions()
+	d := dtw.Dist(histPos, fakePos)
+	perM := dtw.PerMeter(d, histPos)
+	if perM < minD*0.6 {
+		t.Fatalf("forged DTW %v per metre, below ~MinD %v", perM, minD)
+	}
+	if perM > minD*4 {
+		t.Fatalf("forged DTW %v per metre, too far above MinD %v", perM, minD)
+	}
+	// Endpoints pinned.
+	if fakePos[0] != histPos[0] || fakePos[len(fakePos)-1] != histPos[len(histPos)-1] {
+		t.Fatal("endpoints moved")
+	}
+	// RSSI: same MAC sets, values within +/-1 of historical.
+	for i := range fake.Scans {
+		if len(fake.Scans[i]) != len(hist.Scans[i]) {
+			t.Fatalf("scan %d length changed", i)
+		}
+		for j := range fake.Scans[i] {
+			if fake.Scans[i][j].MAC != hist.Scans[i][j].MAC {
+				t.Fatalf("scan %d MAC changed", i)
+			}
+			diff := fake.Scans[i][j].RSSI - hist.Scans[i][j].RSSI
+			if diff < -1 || diff > 1 {
+				t.Fatalf("scan %d RSSI disturbed by %d", i, diff)
+			}
+		}
+	}
+	// The original upload must be untouched.
+	if !samePositions(histPos, a.Uploads[0].Traj.Positions()) {
+		t.Fatal("historical upload mutated")
+	}
+}
+
+func TestForgeUploadErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	short := trajectory.New([]geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}, _startTime, time.Second)
+	u := &wifi.Upload{Traj: short, Scans: make([]wifi.Scan, short.Len())}
+	if _, err := ForgeUpload(rng, u, 1.2); err == nil {
+		t.Fatal("short upload must error")
+	}
+	mismatched := &wifi.Upload{Traj: short, Scans: make([]wifi.Scan, 1)}
+	if _, err := ForgeUpload(rng, mismatched, 1.2); err == nil {
+		t.Fatal("invalid upload must error")
+	}
+}
+
+func samePositions(a, b []geo.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i].X-b[i].X) > 1e-12 || math.Abs(a[i].Y-b[i].Y) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildAreaDeviceHeterogeneity(t *testing.T) {
+	spec := testAreaSpec()
+	spec.DeviceSD = 6
+	spec.Trajectories = 20
+	a, err := BuildArea(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-trajectory mean RSSI must vary more than within a homogeneous
+	// fleet: compare the spread of per-upload mean RSSI.
+	meanOf := func(u *wifi.Upload) float64 {
+		var sum, n float64
+		for _, s := range u.Scans {
+			for _, o := range s {
+				sum += float64(o.RSSI)
+				n++
+			}
+		}
+		return sum / n
+	}
+	means := make([]float64, len(a.Uploads))
+	for i, u := range a.Uploads {
+		means[i] = meanOf(u)
+	}
+	spec.DeviceSD = 0
+	spec.Seed++
+	b, err := BuildArea(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meansHomog := make([]float64, len(b.Uploads))
+	for i, u := range b.Uploads {
+		meansHomog[i] = meanOf(u)
+	}
+	if sdHet, sdHom := sd(means), sd(meansHomog); sdHet <= sdHom {
+		t.Fatalf("heterogeneous fleet spread %v not above homogeneous %v", sdHet, sdHom)
+	}
+}
+
+func sd(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

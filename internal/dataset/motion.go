@@ -1,0 +1,164 @@
+// Package dataset assembles the evaluation corpora of the paper from the
+// simulation substrates: the motion corpora of Sec. IV-A (an OSM-like set
+// of real trajectories, the AN set of navigation-planned fakes, and naive
+// attack sets) and the per-area WiFi corpora of Sec. IV-B (walking, cycling
+// and driving areas with crowdsourced scans, historical/fresh splits, and
+// forged uploads).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"trajforge/internal/attack"
+	"trajforge/internal/mobility"
+	"trajforge/internal/nav"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/trajectory"
+)
+
+// MotionConfig sizes the Sec. IV-A corpora.
+type MotionConfig struct {
+	// Trips is the number of origin/destination pairs per mode.
+	Trips int
+	// Points per trajectory (the paper uses 400; scaled default 60).
+	Points int
+	// Interval between fixes (paper: 1 s).
+	Interval time.Duration
+	// MinTripDist filters trivial trips, metres.
+	MinTripDist float64
+	// Road is the road-network generator config.
+	Road roadnet.Config
+	// Seed drives everything.
+	Seed int64
+	// Modes to include; nil means walking, cycling and driving.
+	Modes []trajectory.Mode
+}
+
+// DefaultMotionConfig returns a corpus size that builds in seconds.
+func DefaultMotionConfig() MotionConfig {
+	return MotionConfig{
+		Trips:       150,
+		Points:      60,
+		Interval:    time.Second,
+		MinTripDist: 250,
+		Road:        roadnet.DefaultConfig(),
+		Seed:        1,
+	}
+}
+
+// MotionCorpus holds the Sec. IV-A datasets.
+type MotionCorpus struct {
+	// Real are simulated genuine trajectories (the OSM stand-in).
+	Real []*trajectory.T
+	// CleanNav are constant-speed navigation samples before noise (AN
+	// before the naive attack).
+	CleanNav []*trajectory.T
+	// NaiveNav are CleanNav plus the naive noise (the AN fakes used to
+	// train the target models).
+	NaiveNav []*trajectory.T
+	// NaiveReplay are Real trajectories replayed with naive noise.
+	NaiveReplay []*trajectory.T
+	// Svc is the navigation service over the generated road network.
+	Svc *nav.Service
+}
+
+var _startTime = time.Date(2022, 6, 15, 8, 0, 0, 0, time.UTC)
+
+// BuildMotionCorpus generates the corpora. Every produced trajectory has
+// exactly cfg.Points fixes; short trips are retried with new endpoints.
+func BuildMotionCorpus(cfg MotionConfig) (*MotionCorpus, error) {
+	if cfg.Trips <= 0 || cfg.Points < 3 {
+		return nil, fmt.Errorf("dataset: invalid motion config (trips=%d, points=%d)", cfg.Trips, cfg.Points)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	modes := cfg.Modes
+	if len(modes) == 0 {
+		modes = trajectory.Modes()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g, err := roadnet.Generate(rng, cfg.Road)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: road network: %w", err)
+	}
+	svc := nav.NewService(g)
+	corpus := &MotionCorpus{Svc: svc}
+
+	for _, mode := range modes {
+		// Longer trips for faster modes so cfg.Points fixes fit the route.
+		minDist := cfg.MinTripDist
+		prof := mobility.ProfileFor(mode)
+		need := prof.CruiseSpeed * cfg.Interval.Seconds() * float64(cfg.Points) * 1.3
+		if need > minDist {
+			minDist = need
+		}
+
+		// Endpoints need not be the full route length apart: planned routes
+		// are longer than the straight line, and the area bounds what is
+		// reachable at all.
+		w, h := g.Size()
+		maxSep := 0.85 * math.Hypot(w, h)
+		sep := math.Min(0.55*minDist, maxSep)
+
+		produced := 0
+		for tries := 0; produced < cfg.Trips && tries < cfg.Trips*60; tries++ {
+			from, to, err := nav.RandomTripEndpoints(rng, g, sep)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: endpoints for %v: %w", mode, err)
+			}
+			plan, err := svc.Route(from, to, mode)
+			if err != nil {
+				continue
+			}
+			if plan.Length < minDist {
+				continue
+			}
+			tk, err := mobility.Simulate(rng, mobility.Options{
+				Route: plan.Polyline, Mode: mode,
+				Start: _startTime, Interval: cfg.Interval, MaxPoints: cfg.Points,
+			})
+			if err != nil {
+				continue
+			}
+			real := tk.Trajectory()
+			clean := plan.Sample(_startTime, cfg.Interval, cfg.Points)
+			if real.Len() != cfg.Points || clean.Len() != cfg.Points {
+				continue
+			}
+			corpus.Real = append(corpus.Real, real)
+			corpus.CleanNav = append(corpus.CleanNav, clean)
+			corpus.NaiveNav = append(corpus.NaiveNav, attack.NaiveNavigation(rng, clean))
+			corpus.NaiveReplay = append(corpus.NaiveReplay, attack.NaiveReplay(rng, real))
+			produced++
+		}
+		if produced < cfg.Trips {
+			return nil, fmt.Errorf("dataset: only %d/%d usable %v trips", produced, cfg.Trips, mode)
+		}
+	}
+	// Shuffle all four parallel lists jointly so that any prefix split is
+	// stratified across modes (the lists are built mode-by-mode above).
+	rng.Shuffle(len(corpus.Real), func(i, j int) {
+		corpus.Real[i], corpus.Real[j] = corpus.Real[j], corpus.Real[i]
+		corpus.CleanNav[i], corpus.CleanNav[j] = corpus.CleanNav[j], corpus.CleanNav[i]
+		corpus.NaiveNav[i], corpus.NaiveNav[j] = corpus.NaiveNav[j], corpus.NaiveNav[i]
+		corpus.NaiveReplay[i], corpus.NaiveReplay[j] = corpus.NaiveReplay[j], corpus.NaiveReplay[i]
+	})
+	return corpus, nil
+}
+
+// Split partitions a trajectory list into train/test halves at the given
+// fraction without copying the trajectories.
+func Split(list []*trajectory.T, trainFrac float64) (train, test []*trajectory.T) {
+	cut := int(trainFrac * float64(len(list)))
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(list) {
+		cut = len(list)
+	}
+	return list[:cut], list[cut:]
+}

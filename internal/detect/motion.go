@@ -1,0 +1,274 @@
+// Package detect implements the server-side detectors evaluated in the
+// paper: the motion-feature classifiers of Sec. IV-A (the LSTM target model
+// C, the transfer models LSTM-1 and LSTM-2, and the XGBoost motion
+// classifier), the simple DTW replay check, and the WiFi-RSSI detector of
+// Sec. III (crowdsourced confidence features + XGBoost).
+package detect
+
+import (
+	"fmt"
+
+	"trajforge/internal/dtw"
+	"trajforge/internal/geo"
+	"trajforge/internal/nn"
+	"trajforge/internal/stats"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/xgb"
+)
+
+// MotionDetector is any classifier that labels a bare trajectory.
+type MotionDetector interface {
+	// Name identifies the detector in reports ("C", "XGBoost", ...).
+	Name() string
+	// ProbReal returns the detector's P(real | trajectory).
+	ProbReal(t *trajectory.T) float64
+}
+
+// IsFake applies the 0.5 threshold.
+func IsFake(d MotionDetector, t *trajectory.T) bool { return d.ProbReal(t) < 0.5 }
+
+// LSTMDetector wraps an nn.Classifier over a feature encoding.
+type LSTMDetector struct {
+	DetectorName string
+	Model        *nn.Classifier
+	Kind         trajectory.FeatureKind
+}
+
+var _ MotionDetector = (*LSTMDetector)(nil)
+
+// Name implements MotionDetector.
+func (d *LSTMDetector) Name() string { return d.DetectorName }
+
+// ProbReal implements MotionDetector.
+func (d *LSTMDetector) ProbReal(t *trajectory.T) float64 {
+	return d.Model.Forward(trajectory.SequenceFeatures(t, d.Kind))
+}
+
+// XGBMotionDetector wraps an xgb.Model over the MotionSummary features of
+// Sec. IV-A4.
+type XGBMotionDetector struct {
+	Model *xgb.Model
+}
+
+var _ MotionDetector = (*XGBMotionDetector)(nil)
+
+// Name implements MotionDetector.
+func (d *XGBMotionDetector) Name() string { return "XGBoost" }
+
+// ProbReal implements MotionDetector. The underlying model is trained with
+// label 1 = real.
+func (d *XGBMotionDetector) ProbReal(t *trajectory.T) float64 {
+	return d.Model.PredictProb(trajectory.Summarize(t).Vector())
+}
+
+// LSTMSpec describes one LSTM detector to train.
+type LSTMSpec struct {
+	Name   string
+	Kind   trajectory.FeatureKind
+	Hidden []int
+	Seed   int64
+	// MeanPool selects the time-averaged head (see nn.Config.MeanPool).
+	MeanPool bool
+	// Restarts > 1 trains multiple seeds and keeps the best (default 1).
+	Restarts int
+}
+
+// PaperModels returns the four detector specs of Table I. The paper's
+// target model C uses (dist, angle) features and one hidden layer; LSTM-1
+// switches to raw (dx, dy); LSTM-2 adds a second hidden layer.
+func PaperModels(hidden int) []LSTMSpec {
+	return []LSTMSpec{
+		{Name: "C", Kind: trajectory.FeatureDistAngle, Hidden: []int{hidden}, Seed: 11, MeanPool: true},
+		{Name: "LSTM-1", Kind: trajectory.FeatureDxDy, Hidden: []int{hidden}, Seed: 12, MeanPool: true},
+		{Name: "LSTM-2", Kind: trajectory.FeatureDistAngle, Hidden: []int{hidden, hidden}, Seed: 13, MeanPool: true},
+	}
+}
+
+// TrainLSTM fits one LSTM detector on real/fake trajectory sets. When
+// spec.Restarts > 1 it trains that many independently seeded models and
+// keeps the one with the highest training-set accuracy — small-data LSTM
+// training has high seed variance.
+func TrainLSTM(spec LSTMSpec, real, fake []*trajectory.T, cfg nn.TrainConfig) (*LSTMDetector, error) {
+	if len(real) == 0 || len(fake) == 0 {
+		return nil, fmt.Errorf("detect: need both real (%d) and fake (%d) trajectories", len(real), len(fake))
+	}
+	samples := make([]nn.Sample, 0, len(real)+len(fake))
+	for _, t := range real {
+		samples = append(samples, nn.Sample{Seq: trajectory.SequenceFeatures(t, spec.Kind), Label: 1})
+	}
+	for _, t := range fake {
+		samples = append(samples, nn.Sample{Seq: trajectory.SequenceFeatures(t, spec.Kind), Label: 0})
+	}
+	restarts := spec.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *nn.Classifier
+	bestAcc := -1.0
+	for r := 0; r < restarts; r++ {
+		model, err := nn.NewClassifier(nn.Config{
+			InputDim: spec.Kind.Dim(), Hidden: spec.Hidden,
+			Seed: spec.Seed + int64(1000*r), MeanPool: spec.MeanPool,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("detect: build %s: %w", spec.Name, err)
+		}
+		runCfg := cfg
+		runCfg.Seed += int64(31 * r)
+		if err := model.Train(samples, runCfg); err != nil {
+			return nil, fmt.Errorf("detect: train %s: %w", spec.Name, err)
+		}
+		if acc := model.Evaluate(samples); acc > bestAcc {
+			bestAcc = acc
+			best = model
+		}
+	}
+	return &LSTMDetector{DetectorName: spec.Name, Model: best, Kind: spec.Kind}, nil
+}
+
+// TrainXGBMotion fits the XGBoost motion detector.
+func TrainXGBMotion(real, fake []*trajectory.T, cfg xgb.Config) (*XGBMotionDetector, error) {
+	if len(real) == 0 || len(fake) == 0 {
+		return nil, fmt.Errorf("detect: need both real (%d) and fake (%d) trajectories", len(real), len(fake))
+	}
+	X := make([][]float64, 0, len(real)+len(fake))
+	y := make([]float64, 0, len(real)+len(fake))
+	for _, t := range real {
+		X = append(X, trajectory.Summarize(t).Vector())
+		y = append(y, 1)
+	}
+	for _, t := range fake {
+		X = append(X, trajectory.Summarize(t).Vector())
+		y = append(y, 0)
+	}
+	model, err := xgb.Train(X, y, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("detect: train XGBoost motion model: %w", err)
+	}
+	return &XGBMotionDetector{Model: model}, nil
+}
+
+// EvaluateMotion scores a detector on labelled sets, with "fake" as the
+// positive class (the detector's job is to catch fakes).
+func EvaluateMotion(d MotionDetector, real, fake []*trajectory.T) stats.Confusion {
+	var c stats.Confusion
+	for _, t := range real {
+		c.Observe(IsFake(d, t), false)
+	}
+	for _, t := range fake {
+		c.Observe(IsFake(d, t), true)
+	}
+	return c
+}
+
+// DetectionRate returns the fraction of the given fakes a detector catches
+// (the paper's Table II metric).
+func DetectionRate(d MotionDetector, fakes []*trajectory.T) float64 {
+	if len(fakes) == 0 {
+		return 0
+	}
+	var caught int
+	for _, t := range fakes {
+		if IsFake(d, t) {
+			caught++
+		}
+	}
+	return float64(caught) / float64(len(fakes))
+}
+
+// ReplayChecker is the server's trivial first line of defense: a new upload
+// whose DTW distance to any historical trajectory falls below MinD (scaled
+// by route length) is flagged as a replay. The C&W replay attack's loss2
+// term exists precisely to defeat this check.
+type ReplayChecker struct {
+	minDPerMeter float64
+	histories    [][]geo.Point
+	lengths      []float64
+	envelopes    []*dtw.Envelope
+}
+
+// NewReplayChecker builds a checker with the given MinD threshold (DTW per
+// metre).
+func NewReplayChecker(minDPerMeter float64) (*ReplayChecker, error) {
+	if minDPerMeter <= 0 {
+		return nil, fmt.Errorf("detect: MinD %g must be positive", minDPerMeter)
+	}
+	return &ReplayChecker{minDPerMeter: minDPerMeter}, nil
+}
+
+// AddHistory records a historical trajectory and precomputes its warping
+// envelope for LB_Keogh pruning.
+func (r *ReplayChecker) AddHistory(t *trajectory.T) {
+	pos := t.Positions()
+	r.histories = append(r.histories, pos)
+	r.lengths = append(r.lengths, t.Length())
+	r.envelopes = append(r.envelopes, dtw.NewEnvelope(pos, len(pos)/4+2))
+}
+
+// IsReplay reports whether the upload is suspiciously close to any
+// historical record. The DTW search is banded for speed; the band is wide
+// enough (a quarter of the sequence) that genuine replays cannot hide.
+// The MinD threshold is normalised by the *historical* route length — the
+// same normalisation the MinD calibration uses, and one an attacker cannot
+// inflate by padding the uploaded trajectory.
+// Histories are pre-filtered with the LB_Keogh lower bound: when the bound
+// already exceeds the threshold, the full quadratic DTW is skipped — the
+// scan over a large provider history touches most records only linearly.
+func (r *ReplayChecker) IsReplay(t *trajectory.T) bool {
+	pos := t.Positions()
+	window := len(pos)/4 + 2
+	for i, hist := range r.histories {
+		threshold := r.minDPerMeter * r.lengths[i]
+		if len(hist) == len(pos) && r.envelopes[i].LBKeogh(pos) >= threshold {
+			continue
+		}
+		if dtw.DistBanded(hist, pos, window) < threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// GRUDetector wraps a GRU classifier — a recurrent architecture outside the
+// paper's LSTM family, used as an extension transfer target for the attack
+// (does an adversarial trajectory tuned against C also fool a different
+// gating structure?).
+type GRUDetector struct {
+	Model *nn.GRUClassifier
+	Kind  trajectory.FeatureKind
+}
+
+var _ MotionDetector = (*GRUDetector)(nil)
+
+// Name implements MotionDetector.
+func (d *GRUDetector) Name() string { return "GRU" }
+
+// ProbReal implements MotionDetector.
+func (d *GRUDetector) ProbReal(t *trajectory.T) float64 {
+	return d.Model.Forward(trajectory.SequenceFeatures(t, d.Kind))
+}
+
+// TrainGRU fits the extension GRU detector on real/fake trajectory sets.
+func TrainGRU(hidden int, real, fake []*trajectory.T, cfg nn.TrainConfig) (*GRUDetector, error) {
+	if len(real) == 0 || len(fake) == 0 {
+		return nil, fmt.Errorf("detect: need both real (%d) and fake (%d) trajectories", len(real), len(fake))
+	}
+	const kind = trajectory.FeatureDistAngle
+	samples := make([]nn.Sample, 0, len(real)+len(fake))
+	for _, t := range real {
+		samples = append(samples, nn.Sample{Seq: trajectory.SequenceFeatures(t, kind), Label: 1})
+	}
+	for _, t := range fake {
+		samples = append(samples, nn.Sample{Seq: trajectory.SequenceFeatures(t, kind), Label: 0})
+	}
+	model, err := nn.NewGRUClassifier(nn.Config{
+		InputDim: kind.Dim(), Hidden: []int{hidden}, Seed: 14, MeanPool: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("detect: build GRU: %w", err)
+	}
+	if err := model.Train(samples, cfg); err != nil {
+		return nil, fmt.Errorf("detect: train GRU: %w", err)
+	}
+	return &GRUDetector{Model: model, Kind: kind}, nil
+}

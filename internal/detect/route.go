@@ -1,0 +1,77 @@
+package detect
+
+import (
+	"fmt"
+
+	"trajforge/internal/roadnet"
+	"trajforge/internal/stats"
+	"trajforge/internal/trajectory"
+)
+
+// RouteChecker implements the paper's route-rationality requirement from
+// the defender's side: a genuine outdoor trajectory, projected onto the
+// map, stays near the road network. Trajectories that cut across blocks or
+// drift far from any road are rejected before the learning-based stages.
+type RouteChecker struct {
+	index *roadnet.EdgeIndex
+	// MaxMeanDist bounds the mean distance to the nearest road (metres).
+	MaxMeanDist float64
+	// MaxPointDist bounds the single worst point (metres).
+	MaxPointDist float64
+	// OffRoadFraction bounds the share of points farther than MaxMeanDist
+	// from any road.
+	OffRoadFraction float64
+}
+
+// NewRouteChecker builds a checker over the road network. The default
+// bounds allow GPS error, lateral wander and corner cutting (mean 15 m,
+// worst point 60 m, at most 30% of points beyond the mean bound).
+func NewRouteChecker(g *roadnet.Graph) (*RouteChecker, error) {
+	if g == nil || g.NumEdges() == 0 {
+		return nil, fmt.Errorf("detect: route checker needs a non-empty road network")
+	}
+	return &RouteChecker{
+		index:           roadnet.NewEdgeIndex(g, 50),
+		MaxMeanDist:     15,
+		MaxPointDist:    60,
+		OffRoadFraction: 0.3,
+	}, nil
+}
+
+// RouteStats summarises a trajectory's relation to the road network.
+type RouteStats struct {
+	MeanDist    float64
+	MaxDist     float64
+	OffRoadFrac float64
+}
+
+// Stats measures the trajectory against the road network.
+func (rc *RouteChecker) Stats(t *trajectory.T) RouteStats {
+	if t.Len() == 0 {
+		return RouteStats{}
+	}
+	dists := make([]float64, t.Len())
+	var offRoad int
+	for i, p := range t.Points {
+		dists[i] = rc.index.DistanceToRoad(p.Pos)
+		if dists[i] > rc.MaxMeanDist {
+			offRoad++
+		}
+	}
+	return RouteStats{
+		MeanDist:    stats.Mean(dists),
+		MaxDist:     stats.Max(dists),
+		OffRoadFrac: float64(offRoad) / float64(t.Len()),
+	}
+}
+
+// IsIrrational reports whether the trajectory violates route rationality.
+func (rc *RouteChecker) IsIrrational(t *trajectory.T) bool {
+	if t.Len() == 0 {
+		return true
+	}
+	s := rc.Stats(t)
+	return s.MeanDist > rc.MaxMeanDist ||
+		s.MaxDist > rc.MaxPointDist ||
+		s.OffRoadFrac > rc.OffRoadFraction
+}

@@ -1,0 +1,94 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/mobility"
+	"trajforge/internal/nav"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/trajectory"
+)
+
+func routeFixture(t *testing.T) (*roadnet.Graph, *RouteChecker) {
+	t.Helper()
+	g, err := roadnet.Generate(rand.New(rand.NewSource(3)), roadnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRouteChecker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, rc
+}
+
+func TestNewRouteCheckerErrors(t *testing.T) {
+	if _, err := NewRouteChecker(nil); err == nil {
+		t.Fatal("nil graph must error")
+	}
+}
+
+func TestRouteCheckerAcceptsRealTrajectories(t *testing.T) {
+	g, rc := routeFixture(t)
+	svc := nav.NewService(g)
+	rng := rand.New(rand.NewSource(4))
+	start := time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC)
+	var checked, rejected int
+	for trial := 0; trial < 20; trial++ {
+		from, to, err := nav.RandomTripEndpoints(rng, g, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := svc.Route(from, to, trajectory.ModeWalking)
+		if err != nil {
+			continue
+		}
+		tk, err := mobility.Simulate(rng, mobility.Options{
+			Route: plan.Polyline, Mode: trajectory.ModeWalking,
+			Start: start, Interval: time.Second, MaxPoints: 40,
+		})
+		if err != nil {
+			continue
+		}
+		checked++
+		if rc.IsIrrational(tk.Trajectory()) {
+			rejected++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d trajectories checked", checked)
+	}
+	if rejected > checked/10 {
+		t.Fatalf("%d/%d genuine trajectories rejected as irrational", rejected, checked)
+	}
+}
+
+func TestRouteCheckerRejectsOffRoadTrajectory(t *testing.T) {
+	_, rc := routeFixture(t)
+	// A straight line far outside the street grid.
+	pos := make([]geo.Point, 30)
+	for i := range pos {
+		pos[i] = geo.Point{X: -300 + float64(i)*2, Y: -300}
+	}
+	tr := trajectory.New(pos, time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC), time.Second)
+	if !rc.IsIrrational(tr) {
+		t.Fatal("far off-road trajectory accepted")
+	}
+	s := rc.Stats(tr)
+	if s.MeanDist < rc.MaxMeanDist {
+		t.Fatalf("stats = %+v, expected large distances", s)
+	}
+}
+
+func TestRouteCheckerEmptyTrajectory(t *testing.T) {
+	_, rc := routeFixture(t)
+	if !rc.IsIrrational(&trajectory.T{}) {
+		t.Fatal("empty trajectory must be irrational")
+	}
+	if s := rc.Stats(&trajectory.T{}); s.MeanDist != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}

@@ -1,0 +1,84 @@
+package detect
+
+import (
+	"fmt"
+
+	"trajforge/internal/trajectory"
+)
+
+// RuleChecker is the rule-based detector family of the paper's related work
+// (He et al., Polakis et al.): cheap sanity rules on speed, acceleration
+// and teleportation. The paper's point — which the fitness example and the
+// Table II experiments reproduce — is that such rules are trivially
+// defeated by replaying a genuine historical trajectory; they remain useful
+// as a first filter against crude fakes.
+type RuleChecker struct {
+	// MaxSpeed per mode in m/s; modes without an entry use MaxSpeedDefault.
+	MaxSpeed map[trajectory.Mode]float64
+	// MaxSpeedDefault bounds unknown-mode speeds.
+	MaxSpeedDefault float64
+	// MaxAccel bounds the absolute per-step acceleration in m/s².
+	MaxAccel float64
+	// MaxJump bounds a single-step displacement in metres (teleport check),
+	// 0 disables it.
+	MaxJump float64
+}
+
+// NewRuleChecker returns rules with generous physical bounds per mode.
+func NewRuleChecker() *RuleChecker {
+	return &RuleChecker{
+		MaxSpeed: map[trajectory.Mode]float64{
+			trajectory.ModeWalking: 4,  // sprinting pedestrian
+			trajectory.ModeCycling: 14, // downhill racer
+			trajectory.ModeDriving: 45, // 160 km/h
+		},
+		MaxSpeedDefault: 45,
+		MaxAccel:        8,
+		MaxJump:         200,
+	}
+}
+
+// Violation describes why a trajectory failed the rules.
+type Violation struct {
+	Rule  string
+	Index int
+	Value float64
+	Limit float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at step %d: %.2f exceeds %.2f", v.Rule, v.Index, v.Value, v.Limit)
+}
+
+// Check returns every rule violation of the trajectory (empty when clean).
+func (rc *RuleChecker) Check(t *trajectory.T) []Violation {
+	var out []Violation
+	limit := rc.MaxSpeedDefault
+	if v, ok := rc.MaxSpeed[t.Mode]; ok {
+		limit = v
+	}
+	steps := t.Steps()
+	for i, s := range steps {
+		if rc.MaxJump > 0 && s.Dist > rc.MaxJump {
+			out = append(out, Violation{Rule: "teleport", Index: i, Value: s.Dist, Limit: rc.MaxJump})
+		}
+		if s.Dt > 0 && limit > 0 {
+			if speed := s.Dist / s.Dt; speed > limit {
+				out = append(out, Violation{Rule: "speed", Index: i, Value: speed, Limit: limit})
+			}
+		}
+	}
+	if rc.MaxAccel > 0 {
+		for i, a := range t.Accelerations() {
+			if a > rc.MaxAccel || a < -rc.MaxAccel {
+				out = append(out, Violation{Rule: "acceleration", Index: i + 1, Value: a, Limit: rc.MaxAccel})
+			}
+		}
+	}
+	return out
+}
+
+// IsSuspicious reports whether any rule fired.
+func (rc *RuleChecker) IsSuspicious(t *trajectory.T) bool {
+	return len(rc.Check(t)) > 0
+}

@@ -1,0 +1,112 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajforge/internal/attack"
+	"trajforge/internal/geo"
+	"trajforge/internal/trajectory"
+)
+
+var _rt0 = time.Date(2022, 7, 4, 9, 0, 0, 0, time.UTC)
+
+func TestRuleCheckerCleanTrajectory(t *testing.T) {
+	c := corpus(t)
+	rc := NewRuleChecker()
+	var flagged int
+	for _, tr := range c.Real[:40] {
+		if rc.IsSuspicious(tr) {
+			flagged++
+		}
+	}
+	if flagged > 2 {
+		t.Fatalf("%d/40 genuine trajectories violate the physical rules", flagged)
+	}
+}
+
+func TestRuleCheckerCatchesTeleport(t *testing.T) {
+	rc := NewRuleChecker()
+	pos := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 500, Y: 0}, {X: 501, Y: 0}}
+	tr := trajectory.New(pos, _rt0, time.Second)
+	tr.Mode = trajectory.ModeWalking
+	vs := rc.Check(tr)
+	if len(vs) == 0 {
+		t.Fatal("teleport not caught")
+	}
+	var teleport, speed bool
+	for _, v := range vs {
+		switch v.Rule {
+		case "teleport":
+			teleport = true
+		case "speed":
+			speed = true
+		}
+		if v.String() == "" {
+			t.Fatal("violation must format")
+		}
+	}
+	if !teleport || !speed {
+		t.Fatalf("expected teleport and speed violations, got %v", vs)
+	}
+}
+
+func TestRuleCheckerCatchesImpossibleSpeedPerMode(t *testing.T) {
+	rc := NewRuleChecker()
+	// 10 m/s is fine for driving, impossible for walking.
+	pos := make([]geo.Point, 10)
+	for i := 1; i < 10; i++ {
+		pos[i] = geo.Point{X: pos[i-1].X + 10}
+	}
+	walk := trajectory.New(pos, _rt0, time.Second)
+	walk.Mode = trajectory.ModeWalking
+	if !rc.IsSuspicious(walk) {
+		t.Fatal("10 m/s walking accepted")
+	}
+	drive := trajectory.New(pos, _rt0, time.Second)
+	drive.Mode = trajectory.ModeDriving
+	if rc.IsSuspicious(drive) {
+		t.Fatal("10 m/s driving rejected")
+	}
+	// Unknown mode uses the default cap.
+	unknown := trajectory.New(pos, _rt0, time.Second)
+	if rc.IsSuspicious(unknown) {
+		t.Fatal("10 m/s with default cap rejected")
+	}
+}
+
+func TestRuleCheckerCatchesImpossibleAcceleration(t *testing.T) {
+	rc := NewRuleChecker()
+	// 0 -> 30 m/s in one second: 30 m/s² burst.
+	pos := []geo.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 30.5, Y: 0}, {X: 60.5, Y: 0}}
+	tr := trajectory.New(pos, _rt0, time.Second)
+	tr.Mode = trajectory.ModeDriving
+	var accel bool
+	for _, v := range rc.Check(tr) {
+		if v.Rule == "acceleration" {
+			accel = true
+		}
+	}
+	if !accel {
+		t.Fatal("acceleration burst not caught")
+	}
+}
+
+// TestRuleCheckerDefeatedByReplay reproduces the paper's related-work
+// critique: a replayed genuine trajectory passes every physical rule.
+func TestRuleCheckerDefeatedByReplay(t *testing.T) {
+	c := corpus(t)
+	rc := NewRuleChecker()
+	rng := rand.New(rand.NewSource(9))
+	var caught int
+	for _, tr := range c.Real[:30] {
+		replay := attack.NaiveReplay(rng, tr)
+		if rc.IsSuspicious(replay) {
+			caught++
+		}
+	}
+	if caught > 5 {
+		t.Fatalf("rules caught %d/30 replays; they should be blind to them", caught)
+	}
+}

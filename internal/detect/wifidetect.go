@@ -1,0 +1,113 @@
+package detect
+
+import (
+	"fmt"
+
+	"trajforge/internal/rssimap"
+	"trajforge/internal/stats"
+	"trajforge/internal/wifi"
+	"trajforge/internal/xgb"
+)
+
+// WiFiDetector is the paper's dedicated countermeasure (Sec. III-C): every
+// uploaded point carries a WiFi scan; the crowdsourced store turns the scan
+// into (Num, Φ) confidence features, and an XGBoost model labels the whole
+// trajectory. The positive class is "fake".
+type WiFiDetector struct {
+	Store    *rssimap.Store
+	Model    *xgb.Model
+	Features rssimap.FeatureConfig
+}
+
+// TrainWiFiDetector fits the detector from labelled uploads against a
+// historical store.
+func TrainWiFiDetector(store *rssimap.Store, real, fake []*wifi.Upload,
+	fcfg rssimap.FeatureConfig, xcfg xgb.Config) (*WiFiDetector, error) {
+	if store == nil || store.Len() == 0 {
+		return nil, fmt.Errorf("detect: historical store is empty")
+	}
+	if len(real) == 0 || len(fake) == 0 {
+		return nil, fmt.Errorf("detect: need both real (%d) and fake (%d) uploads", len(real), len(fake))
+	}
+	X := make([][]float64, 0, len(real)+len(fake))
+	y := make([]float64, 0, len(real)+len(fake))
+	for i, u := range real {
+		feat, err := store.Features(u, fcfg)
+		if err != nil {
+			return nil, fmt.Errorf("detect: features of real upload %d: %w", i, err)
+		}
+		X = append(X, feat)
+		y = append(y, 0)
+	}
+	for i, u := range fake {
+		feat, err := store.Features(u, fcfg)
+		if err != nil {
+			return nil, fmt.Errorf("detect: features of fake upload %d: %w", i, err)
+		}
+		X = append(X, feat)
+		y = append(y, 1)
+	}
+	model, err := xgb.Train(X, y, xcfg)
+	if err != nil {
+		return nil, fmt.Errorf("detect: train WiFi detector: %w", err)
+	}
+	return &WiFiDetector{Store: store, Model: model, Features: fcfg}, nil
+}
+
+// ProbFake returns P(fake | upload).
+func (d *WiFiDetector) ProbFake(u *wifi.Upload) (float64, error) {
+	feat, err := d.Store.Features(u, d.Features)
+	if err != nil {
+		return 0, err
+	}
+	return d.Model.PredictProb(feat), nil
+}
+
+// IsFake applies the 0.5 threshold.
+func (d *WiFiDetector) IsFake(u *wifi.Upload) (bool, error) {
+	p, err := d.ProbFake(u)
+	return p >= 0.5, err
+}
+
+// EvaluateWiFi scores the detector on labelled uploads; fake is the
+// positive class.
+func (d *WiFiDetector) EvaluateWiFi(real, fake []*wifi.Upload) (stats.Confusion, error) {
+	var c stats.Confusion
+	for i, u := range real {
+		isFake, err := d.IsFake(u)
+		if err != nil {
+			return c, fmt.Errorf("detect: evaluate real upload %d: %w", i, err)
+		}
+		c.Observe(isFake, false)
+	}
+	for i, u := range fake {
+		isFake, err := d.IsFake(u)
+		if err != nil {
+			return c, fmt.Errorf("detect: evaluate fake upload %d: %w", i, err)
+		}
+		c.Observe(isFake, true)
+	}
+	return c, nil
+}
+
+// AUC scores the detector threshold-free over labelled uploads: the
+// probability that a random fake outranks a random real in P(fake).
+func (d *WiFiDetector) AUC(real, fake []*wifi.Upload) (float64, error) {
+	pos := make([]float64, 0, len(fake))
+	neg := make([]float64, 0, len(real))
+	for i, u := range fake {
+		p, err := d.ProbFake(u)
+		if err != nil {
+			return 0, fmt.Errorf("detect: AUC fake %d: %w", i, err)
+		}
+		pos = append(pos, p)
+	}
+	for i, u := range real {
+		p, err := d.ProbFake(u)
+		if err != nil {
+			return 0, fmt.Errorf("detect: AUC real %d: %w", i, err)
+		}
+		neg = append(neg, p)
+	}
+	return stats.AUC(pos, neg), nil
+}

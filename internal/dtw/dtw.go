@@ -1,0 +1,195 @@
+// Package dtw implements Dynamic Time Warping between planar point
+// sequences. The paper uses DTW both as the route-similarity term of the
+// forgery loss (Eq. 1–3) and as the replay-detection distance, so this
+// package provides the distance itself, the optimal alignment path, a
+// Sakoe-Chiba banded variant for speed, and the subgradient of the distance
+// with respect to one of the two sequences, which the C&W-style attack
+// optimizer back-propagates into trajectory positions.
+package dtw
+
+import (
+	"fmt"
+	"math"
+
+	"trajforge/internal/geo"
+)
+
+// PathStep is one cell of an alignment path: a[I] is matched to b[J].
+type PathStep struct {
+	I, J int
+}
+
+// Options configures a DTW computation.
+type Options struct {
+	// Window is the Sakoe-Chiba band half-width in steps; cells with
+	// |i - j| > Window are excluded. Zero or negative means no band.
+	Window int
+}
+
+// Dist returns the DTW distance between the two point sequences using
+// Euclidean local cost and no band.
+func Dist(a, b []geo.Point) float64 {
+	d, _ := distance(a, b, Options{}, false)
+	return d
+}
+
+// DistBanded returns the DTW distance constrained to a Sakoe-Chiba band.
+// A band too narrow to connect the corners yields +Inf.
+func DistBanded(a, b []geo.Point, window int) float64 {
+	d, _ := distance(a, b, Options{Window: window}, false)
+	return d
+}
+
+// Path returns the DTW distance together with one optimal alignment path
+// from (0, 0) to (len(a)-1, len(b)-1).
+func Path(a, b []geo.Point, opts Options) (float64, []PathStep, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, nil, fmt.Errorf("dtw: empty sequence (len a=%d, len b=%d)", len(a), len(b))
+	}
+	d, path := distance(a, b, opts, true)
+	if math.IsInf(d, 1) {
+		return d, nil, fmt.Errorf("dtw: band window %d disconnects sequences of length %d and %d",
+			opts.Window, len(a), len(b))
+	}
+	return d, path, nil
+}
+
+// distance runs the DP. When wantPath is true it keeps the full cost matrix
+// and backtracks; otherwise it uses two rolling rows.
+func distance(a, b []geo.Point, opts Options, wantPath bool) (float64, []PathStep) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1), nil
+	}
+	inBand := func(i, j int) bool {
+		if opts.Window <= 0 {
+			return true
+		}
+		// Scale the band for unequal lengths so the diagonal stays inside.
+		diag := float64(j) * float64(n-1) / math.Max(1, float64(m-1))
+		return math.Abs(float64(i)-diag) <= float64(opts.Window)
+	}
+
+	if !wantPath {
+		prev := make([]float64, m)
+		cur := make([]float64, m)
+		for j := 0; j < m; j++ {
+			prev[j] = math.Inf(1)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				cur[j] = math.Inf(1)
+			}
+			for j := 0; j < m; j++ {
+				if !inBand(i, j) {
+					continue
+				}
+				cost := geo.Dist(a[i], b[j])
+				switch {
+				case i == 0 && j == 0:
+					cur[j] = cost
+				case i == 0:
+					cur[j] = cost + cur[j-1]
+				case j == 0:
+					cur[j] = cost + prev[j]
+				default:
+					cur[j] = cost + math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+				}
+			}
+			prev, cur = cur, prev
+		}
+		return prev[m-1], nil
+	}
+
+	// Full matrix for backtracking.
+	acc := make([]float64, n*m)
+	for i := range acc {
+		acc[i] = math.Inf(1)
+	}
+	at := func(i, j int) float64 { return acc[i*m+j] }
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if !inBand(i, j) {
+				continue
+			}
+			cost := geo.Dist(a[i], b[j])
+			switch {
+			case i == 0 && j == 0:
+				acc[i*m+j] = cost
+			case i == 0:
+				acc[i*m+j] = cost + at(i, j-1)
+			case j == 0:
+				acc[i*m+j] = cost + at(i-1, j)
+			default:
+				acc[i*m+j] = cost + math.Min(at(i-1, j), math.Min(at(i, j-1), at(i-1, j-1)))
+			}
+		}
+	}
+	total := at(n-1, m-1)
+	if math.IsInf(total, 1) {
+		return total, nil
+	}
+
+	// Backtrack greedily along minimal predecessors.
+	path := make([]PathStep, 0, n+m)
+	i, j := n-1, m-1
+	path = append(path, PathStep{i, j})
+	for i > 0 || j > 0 {
+		switch {
+		case i == 0:
+			j--
+		case j == 0:
+			i--
+		default:
+			d := at(i-1, j-1)
+			u := at(i-1, j)
+			l := at(i, j-1)
+			if d <= u && d <= l {
+				i--
+				j--
+			} else if u <= l {
+				i--
+			} else {
+				j--
+			}
+		}
+		path = append(path, PathStep{i, j})
+	}
+	// Reverse into forward order.
+	for lo, hi := 0, len(path)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		path[lo], path[hi] = path[hi], path[lo]
+	}
+	return total, path
+}
+
+// GradB returns the DTW distance and its subgradient with respect to the
+// points of b, holding a fixed and holding the optimal alignment path fixed
+// (the standard subgradient of DTW through its argmin path). The gradient of
+// the Euclidean local cost |a_i - b_j| w.r.t. b_j is (b_j - a_i)/|a_i - b_j|;
+// zero-distance matches contribute nothing.
+func GradB(a, b []geo.Point, opts Options) (float64, []geo.Point, error) {
+	d, path, err := Path(a, b, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	grad := make([]geo.Point, len(b))
+	for _, st := range path {
+		diff := b[st.J].Sub(a[st.I])
+		norm := diff.Norm()
+		if norm > 1e-9 {
+			grad[st.J].X += diff.X / norm
+			grad[st.J].Y += diff.Y / norm
+		}
+	}
+	return d, grad, nil
+}
+
+// PerMeter normalises a DTW distance by the reference path length,
+// giving the "DTW per metre" unit the paper uses for MinD thresholds.
+func PerMeter(d float64, ref []geo.Point) float64 {
+	l := geo.PolylineLength(ref)
+	if l <= 0 {
+		return 0
+	}
+	return d / l
+}

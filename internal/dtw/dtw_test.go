@@ -1,0 +1,329 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trajforge/internal/geo"
+)
+
+func pts(coords ...float64) []geo.Point {
+	out := make([]geo.Point, 0, len(coords)/2)
+	for i := 0; i+1 < len(coords); i += 2 {
+		out = append(out, geo.Point{X: coords[i], Y: coords[i+1]})
+	}
+	return out
+}
+
+func randSeq(rng *rand.Rand, n int) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+	}
+	return out
+}
+
+func TestDistIdentical(t *testing.T) {
+	a := pts(0, 0, 1, 1, 2, 2, 3, 3)
+	if d := Dist(a, a); d != 0 {
+		t.Fatalf("DTW to self = %v, want 0", d)
+	}
+}
+
+func TestDistKnownValue(t *testing.T) {
+	// a = (0,0),(1,0); b = (0,1),(1,1): best alignment is pointwise,
+	// each local cost 1, total 2.
+	a := pts(0, 0, 1, 0)
+	b := pts(0, 1, 1, 1)
+	if d := Dist(a, b); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("DTW = %v, want 2", d)
+	}
+}
+
+func TestDistHandlesTimeShift(t *testing.T) {
+	// b is a doubled version of a (each point repeated): DTW must be 0
+	// because warping absorbs the repetition.
+	a := pts(0, 0, 1, 0, 2, 0)
+	b := pts(0, 0, 0, 0, 1, 0, 1, 0, 2, 0, 2, 0)
+	if d := Dist(a, b); d != 0 {
+		t.Fatalf("DTW to repeated self = %v, want 0", d)
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 3+rng.Intn(10))
+		b := randSeq(rng, 3+rng.Intn(10))
+		return math.Abs(Dist(a, b)-Dist(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistNonNegativeAndEmpty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return Dist(randSeq(rng, 2+rng.Intn(8)), randSeq(rng, 2+rng.Intn(8))) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(Dist(nil, pts(0, 0)), 1) {
+		t.Fatal("empty sequence must give +Inf")
+	}
+}
+
+func TestPathValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randSeq(rng, 12)
+	b := randSeq(rng, 17)
+	d, path, err := Path(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != (PathStep{0, 0}) || path[len(path)-1] != (PathStep{11, 16}) {
+		t.Fatalf("path endpoints wrong: %v .. %v", path[0], path[len(path)-1])
+	}
+	var sum float64
+	for k, st := range path {
+		sum += geo.Dist(a[st.I], b[st.J])
+		if k > 0 {
+			di := st.I - path[k-1].I
+			dj := st.J - path[k-1].J
+			if di < 0 || dj < 0 || di > 1 || dj > 1 || (di == 0 && dj == 0) {
+				t.Fatalf("illegal path move at %d: %v -> %v", k, path[k-1], st)
+			}
+		}
+	}
+	if math.Abs(sum-d) > 1e-9 {
+		t.Fatalf("path cost %v != DTW %v", sum, d)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	if _, _, err := Path(nil, pts(0, 0), Options{}); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestBandedMatchesFullForWideWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSeq(rng, 20)
+	b := randSeq(rng, 20)
+	full := Dist(a, b)
+	banded := DistBanded(a, b, 25)
+	if math.Abs(full-banded) > 1e-9 {
+		t.Fatalf("wide band %v != full %v", banded, full)
+	}
+	// A narrow band is a restriction, so cost can only grow.
+	if narrow := DistBanded(a, b, 2); narrow < full-1e-9 {
+		t.Fatalf("narrow band %v < full %v", narrow, full)
+	}
+}
+
+func TestBandedUnequalLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randSeq(rng, 10)
+	b := randSeq(rng, 30)
+	// The scaled band must still connect the corners.
+	d := DistBanded(a, b, 3)
+	if math.IsInf(d, 1) {
+		t.Fatal("scaled band disconnected unequal-length sequences")
+	}
+}
+
+func TestGradBNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randSeq(rng, 8)
+	b := randSeq(rng, 8)
+	_, grad, err := GradB(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subgradient check: the optimal path may switch under perturbation, so
+	// compare against central differences and allow a loose tolerance; the
+	// direction must agree well for most coordinates.
+	const h = 1e-5
+	bad := 0
+	for j := range b {
+		for axis := 0; axis < 2; axis++ {
+			bump := func(delta float64) float64 {
+				bb := append([]geo.Point(nil), b...)
+				if axis == 0 {
+					bb[j].X += delta
+				} else {
+					bb[j].Y += delta
+				}
+				return Dist(a, bb)
+			}
+			numeric := (bump(h) - bump(-h)) / (2 * h)
+			var got float64
+			if axis == 0 {
+				got = grad[j].X
+			} else {
+				got = grad[j].Y
+			}
+			if math.Abs(got-numeric) > 1e-3 {
+				bad++
+			}
+		}
+	}
+	if bad > 2 { // allow a couple of path-switch points
+		t.Fatalf("%d/%d subgradient coordinates disagree with finite differences", bad, 2*len(b))
+	}
+}
+
+func TestSoftDistApproachesHardDTW(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randSeq(rng, 10)
+	b := randSeq(rng, 10)
+	// Hard DTW with squared-Euclidean cost for comparison.
+	sq := func(a, b []geo.Point) float64 {
+		n, m := len(a), len(b)
+		acc := make([]float64, n*m)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				c := geo.Dist2(a[i], b[j])
+				best := math.Inf(1)
+				if i == 0 && j == 0 {
+					best = 0
+				}
+				if i > 0 {
+					best = math.Min(best, acc[(i-1)*m+j])
+				}
+				if j > 0 {
+					best = math.Min(best, acc[i*m+j-1])
+				}
+				if i > 0 && j > 0 {
+					best = math.Min(best, acc[(i-1)*m+j-1])
+				}
+				acc[i*m+j] = c + best
+			}
+		}
+		return acc[n*m-1]
+	}
+	hard := sq(a, b)
+	soft, err := SoftDist(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(soft-hard)/hard > 0.01 {
+		t.Fatalf("soft-DTW(gamma->0) = %v, hard = %v", soft, hard)
+	}
+	// Soft-DTW is a lower bound of hard DTW (soft-min <= min).
+	if soft > hard+1e-9 {
+		t.Fatalf("soft %v > hard %v", soft, hard)
+	}
+}
+
+func TestSoftGradBNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randSeq(rng, 6)
+	b := randSeq(rng, 7)
+	const gamma = 5.0
+	_, grad, err := SoftGradB(a, b, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-5
+	for j := range b {
+		for axis := 0; axis < 2; axis++ {
+			bump := func(delta float64) float64 {
+				bb := append([]geo.Point(nil), b...)
+				if axis == 0 {
+					bb[j].X += delta
+				} else {
+					bb[j].Y += delta
+				}
+				v, err := SoftDist(a, bb, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+			numeric := (bump(h) - bump(-h)) / (2 * h)
+			var got float64
+			if axis == 0 {
+				got = grad[j].X
+			} else {
+				got = grad[j].Y
+			}
+			rel := math.Abs(got-numeric) / math.Max(1, math.Abs(numeric))
+			if rel > 1e-4 {
+				t.Fatalf("soft grad[%d] axis %d = %v, numeric %v", j, axis, got, numeric)
+			}
+		}
+	}
+}
+
+func TestSoftDistErrors(t *testing.T) {
+	if _, err := SoftDist(pts(0, 0), pts(1, 1), 0); err == nil {
+		t.Fatal("gamma=0 must error")
+	}
+	if _, err := SoftDist(nil, pts(1, 1), 1); err == nil {
+		t.Fatal("empty sequence must error")
+	}
+	if _, _, err := SoftGradB(nil, pts(1, 1), 1); err == nil {
+		t.Fatal("empty sequence must error in grad")
+	}
+}
+
+func TestPerMeter(t *testing.T) {
+	ref := pts(0, 0, 100, 0, 200, 0)
+	if got := PerMeter(50, ref); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("PerMeter = %v, want 0.25", got)
+	}
+	if PerMeter(50, pts(1, 1)) != 0 {
+		t.Fatal("degenerate reference must yield 0")
+	}
+}
+
+// Property: LB_Keogh never exceeds the banded DTW distance for equal-length
+// sequences (it would otherwise prune true replays).
+func TestLBKeoghIsLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a := randSeq(rng, n)
+		b := randSeq(rng, n)
+		window := 1 + rng.Intn(8)
+		env := NewEnvelope(a, window)
+		lb := env.LBKeogh(b)
+		full := DistBanded(a, b, window)
+		return lb <= full+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLBKeoghSelfIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a := randSeq(rng, 30)
+	env := NewEnvelope(a, 3)
+	if lb := env.LBKeogh(a); lb != 0 {
+		t.Fatalf("LB_Keogh of the sequence against itself = %v, want 0", lb)
+	}
+	// Negative window clamps to zero.
+	env0 := NewEnvelope(a, -5)
+	if env0.Window != 0 {
+		t.Fatal("negative window not clamped")
+	}
+}
+
+func TestLBKeoghDetectsFarSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	a := randSeq(rng, 20)
+	far := make([]geo.Point, 20)
+	for i := range far {
+		far[i] = geo.Point{X: a[i].X + 500, Y: a[i].Y}
+	}
+	env := NewEnvelope(a, 2)
+	if lb := env.LBKeogh(far); lb < 20*400 {
+		t.Fatalf("far sequence bound %v too small", lb)
+	}
+}

@@ -1,0 +1,36 @@
+package dtw_test
+
+import (
+	"fmt"
+
+	"trajforge/internal/dtw"
+	"trajforge/internal/geo"
+)
+
+// ExampleDist shows that DTW absorbs time warps: a trajectory compared with
+// a stuttered copy of itself has zero distance, while a laterally shifted
+// copy pays for every point.
+func ExampleDist() {
+	a := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	stuttered := []geo.Point{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 0}}
+	shifted := []geo.Point{{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}}
+
+	fmt.Printf("stuttered: %.0f\n", dtw.Dist(a, stuttered))
+	fmt.Printf("shifted:   %.0f\n", dtw.Dist(a, shifted))
+	// Output:
+	// stuttered: 0
+	// shifted:   3
+}
+
+// ExampleEnvelope_LBKeogh shows the lower bound used to prune replay
+// checks: it never exceeds the true banded distance.
+func ExampleEnvelope_LBKeogh() {
+	a := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	q := []geo.Point{{X: 0, Y: 2}, {X: 1, Y: 2}, {X: 2, Y: 2}, {X: 3, Y: 2}}
+	env := dtw.NewEnvelope(a, 1)
+	lb := env.LBKeogh(q)
+	full := dtw.DistBanded(a, q, 1)
+	fmt.Println("bound holds:", lb <= full)
+	// Output:
+	// bound holds: true
+}

@@ -1,0 +1,84 @@
+package dtw
+
+import (
+	"math"
+
+	"trajforge/internal/geo"
+)
+
+// Envelope is the per-index upper/lower band of a sequence under a warping
+// window, used by the LB_Keogh lower bound. For planar points the envelope
+// is kept per axis.
+type Envelope struct {
+	MinX, MaxX []float64
+	MinY, MaxY []float64
+	Window     int
+}
+
+// NewEnvelope builds the warping envelope of seq with the given Sakoe-Chiba
+// half-width (window < 0 is treated as 0).
+func NewEnvelope(seq []geo.Point, window int) *Envelope {
+	if window < 0 {
+		window = 0
+	}
+	n := len(seq)
+	e := &Envelope{
+		MinX: make([]float64, n), MaxX: make([]float64, n),
+		MinY: make([]float64, n), MaxY: make([]float64, n),
+		Window: window,
+	}
+	for i := 0; i < n; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window
+		if hi >= n {
+			hi = n - 1
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for j := lo; j <= hi; j++ {
+			minX = math.Min(minX, seq[j].X)
+			maxX = math.Max(maxX, seq[j].X)
+			minY = math.Min(minY, seq[j].Y)
+			maxY = math.Max(maxY, seq[j].Y)
+		}
+		e.MinX[i], e.MaxX[i] = minX, maxX
+		e.MinY[i], e.MaxY[i] = minY, maxY
+	}
+	return e
+}
+
+// LBKeogh returns a lower bound of the banded DTW distance between the
+// envelope's sequence and q, assuming equal lengths; unequal lengths
+// compare the overlapping prefix (still a valid lower bound for the
+// prefix-extended alignment and safe for pruning with a small margin).
+//
+// For each point of q outside the envelope box at its index, the Euclidean
+// distance to the box is a per-step cost every banded alignment must pay,
+// so the sum lower-bounds DTW under the same window.
+func (e *Envelope) LBKeogh(q []geo.Point) float64 {
+	n := len(e.MinX)
+	if len(q) < n {
+		n = len(q)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var dx, dy float64
+		switch {
+		case q[i].X < e.MinX[i]:
+			dx = e.MinX[i] - q[i].X
+		case q[i].X > e.MaxX[i]:
+			dx = q[i].X - e.MaxX[i]
+		}
+		switch {
+		case q[i].Y < e.MinY[i]:
+			dy = e.MinY[i] - q[i].Y
+		case q[i].Y > e.MaxY[i]:
+			dy = q[i].Y - e.MaxY[i]
+		}
+		sum += math.Hypot(dx, dy)
+	}
+	return sum
+}

@@ -1,0 +1,115 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+
+	"trajforge/internal/geo"
+)
+
+// SoftDist returns the soft-DTW value between a and b with smoothing gamma
+// (> 0), using squared Euclidean local cost. Soft-DTW replaces the min in
+// the DTW recursion with a soft-min, making the objective differentiable
+// everywhere; the repository uses it as an ablation against the hard-DTW
+// subgradient in the attack loss (DESIGN.md §5).
+func SoftDist(a, b []geo.Point, gamma float64) (float64, error) {
+	v, _, err := softForward(a, b, gamma)
+	return v, err
+}
+
+// SoftGradB returns the soft-DTW value and its exact gradient with respect
+// to the points of b, computed with the soft-DTW backward pass
+// (Cuturi & Blondel, 2017).
+func SoftGradB(a, b []geo.Point, gamma float64) (float64, []geo.Point, error) {
+	v, r, err := softForward(a, b, gamma)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, m := len(a), len(b)
+	rAt := func(i, j int) float64 { return r[(i-1)*m+(j-1)] } // 1-based view
+	cost := func(i, j int) float64 { return geo.Dist2(a[i-1], b[j-1]) }
+
+	// e[i][j] = d v / d r[i][j], 1-based over the same n x m table. The
+	// terminal cell's sensitivity is 1; every other cell accumulates the
+	// soft-min split weights from its (up to three) successors.
+	e := make([]float64, n*m)
+	eAt := func(i, j int) float64 { return e[(i-1)*m+(j-1)] }
+	for i := n; i >= 1; i-- {
+		for j := m; j >= 1; j-- {
+			if i == n && j == m {
+				e[(i-1)*m+(j-1)] = 1
+				continue
+			}
+			var sum float64
+			if i+1 <= n {
+				w := math.Exp((rAt(i+1, j) - rAt(i, j) - cost(i+1, j)) / gamma)
+				sum += w * eAt(i+1, j)
+			}
+			if j+1 <= m {
+				w := math.Exp((rAt(i, j+1) - rAt(i, j) - cost(i, j+1)) / gamma)
+				sum += w * eAt(i, j+1)
+			}
+			if i+1 <= n && j+1 <= m {
+				w := math.Exp((rAt(i+1, j+1) - rAt(i, j) - cost(i+1, j+1)) / gamma)
+				sum += w * eAt(i+1, j+1)
+			}
+			e[(i-1)*m+(j-1)] = sum
+		}
+	}
+
+	// d cost(i, j) / d b[j-1] = 2 (b[j-1] - a[i-1]).
+	grad := make([]geo.Point, m)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			w := eAt(i, j)
+			if w == 0 {
+				continue
+			}
+			grad[j-1] = grad[j-1].Add(b[j-1].Sub(a[i-1]).Scale(2 * w))
+		}
+	}
+	return v, grad, nil
+}
+
+// softForward computes the soft-DTW DP table r (n x m, row-major) and the
+// final value r[n-1][m-1].
+func softForward(a, b []geo.Point, gamma float64) (float64, []float64, error) {
+	if gamma <= 0 {
+		return 0, nil, fmt.Errorf("dtw: soft-DTW gamma %g must be positive", gamma)
+	}
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, nil, fmt.Errorf("dtw: empty sequence (len a=%d, len b=%d)", n, m)
+	}
+	r := make([]float64, n*m)
+	softMin := func(x, y, z float64) float64 {
+		mn := math.Min(x, math.Min(y, z))
+		if math.IsInf(mn, 1) {
+			return mn
+		}
+		s := math.Exp(-(x-mn)/gamma) + math.Exp(-(y-mn)/gamma) + math.Exp(-(z-mn)/gamma)
+		return mn - gamma*math.Log(s)
+	}
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			c := geo.Dist2(a[i], b[j])
+			up, left, diag := inf, inf, inf
+			if i > 0 {
+				up = r[(i-1)*m+j]
+			}
+			if j > 0 {
+				left = r[i*m+j-1]
+			}
+			if i > 0 && j > 0 {
+				diag = r[(i-1)*m+j-1]
+			}
+			if i == 0 && j == 0 {
+				r[0] = c
+				continue
+			}
+			r[i*m+j] = c + softMin(up, left, diag)
+		}
+	}
+	return r[n*m-1], r, nil
+}

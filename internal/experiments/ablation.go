@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"trajforge/internal/dataset"
+	"trajforge/internal/rssimap"
+)
+
+// AblationRow is one defense-feature variant and its test accuracy.
+type AblationRow struct {
+	Variant  string
+	Accuracy float64
+	Recall   float64
+}
+
+// AblationResult is the DESIGN.md §5 defense ablation: which parts of the
+// Eq. 5–8 feature pipeline carry the detection power.
+type AblationResult struct {
+	Area string
+	Rows []AblationRow
+}
+
+// DefenseAblation retrains the walking-area WiFi detector under feature
+// variants: the full pipeline, θ2 disabled, Num_mac dropped, the
+// trajectory-level aggregates dropped, and exact-match RPD (tolerance 0).
+func DefenseAblation(lab *WiFiLab) (*AblationResult, error) {
+	if len(lab.Areas) == 0 {
+		return nil, fmt.Errorf("experiments: lab has no areas")
+	}
+	al := lab.Areas[0]
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation store: %w", err)
+	}
+	variants := []struct {
+		name  string
+		tweak func(*rssimap.FeatureConfig)
+	}{
+		{"full (default config)", func(*rssimap.FeatureConfig) {}},
+		{"no residual features", func(c *rssimap.FeatureConfig) { c.IncludeResiduals = false }},
+		{"no theta2 weight", func(c *rssimap.FeatureConfig) { c.DisableTheta2 = true }},
+		{"no Num_mac feature", func(c *rssimap.FeatureConfig) { c.IncludeNum = false }},
+		{"no trajectory aggregates", func(c *rssimap.FeatureConfig) { c.IncludeSummary = false }},
+		{"exact-match RPD (tol 0)", func(c *rssimap.FeatureConfig) { c.Tol = 0 }},
+		{"wide-match RPD (tol 3)", func(c *rssimap.FeatureConfig) { c.Tol = 3 }},
+	}
+	res := &AblationResult{Area: al.Area.Spec.Name}
+	for _, v := range variants {
+		fcfg := rssimap.DefaultFeatureConfig()
+		v.tweak(&fcfg)
+		dr, err := al.trainAndScore(store, fcfg, lab.Scale.SweepDetRound, lab.Scale.Seed+997)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
+		}
+		res.Rows = append(res.Rows, AblationRow{Variant: v.name, Accuracy: dr.Accuracy, Recall: dr.Recall})
+	}
+	return res, nil
+}
+
+// Render formats the ablation table.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Defense feature ablation (%s area)\n", r.Area)
+	fmt.Fprintf(&b, "%-28s %9s %8s\n", "Variant", "Accuracy", "Recall")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %9.4f %8.4f\n", row.Variant, row.Accuracy, row.Recall)
+	}
+	return b.String()
+}

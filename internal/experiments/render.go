@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Render formats Table I as aligned text.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — classification performance against naive attacks\n")
+	fmt.Fprintf(&b, "%-10s %9s %10s %8s %9s\n", "Classifier", "Accuracy", "Precision", "Recall", "F1-score")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %9.4f %10.4f %8.4f %9.4f\n",
+			row.Model, row.Accuracy, row.Precision, row.Recall, row.F1)
+	}
+	return b.String()
+}
+
+// Render formats the MinD calibration.
+func (r *MinDResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MinD calibration — minimum pairwise DTW/m over repeated traversals\n")
+	fmt.Fprintf(&b, "%-10s %10s %8s\n", "Mode", "MinD(/m)", "Repeats")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %10.3f %8d\n", row.Mode, row.PerMeter, row.Repeats)
+	}
+	return b.String()
+}
+
+// Render formats the R calibration.
+func (r *RCalResult) Render() string {
+	return fmt.Sprintf("R calibration — %d static fixes: sigma = %.3f m, R = 6*sigma = %.3f m\n",
+		r.N, r.Sigma, r.R)
+}
+
+// Render formats the Fig. 3 curves.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — C&W iterations vs time and DTW (first adversarial at iter %d)\n",
+		r.FirstAdversarial)
+	fmt.Fprintf(&b, "%10s %10s %12s %7s\n", "Iterations", "Time (s)", "Best DTW", "Found")
+	for _, p := range r.Points {
+		dtwStr := "-"
+		if !math.IsInf(p.BestDTW, 1) {
+			dtwStr = fmt.Sprintf("%.1f", p.BestDTW)
+		}
+		fmt.Fprintf(&b, "%10d %10.2f %12s %7v\n", p.Iterations, p.Seconds, dtwStr, p.Found)
+	}
+	return b.String()
+}
+
+// Render formats Table II.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — successful detection rate against adversarial attacks\n")
+	fmt.Fprintf(&b, "(attack success: replay %.0f%%, navigation %.0f%%)\n",
+		100*r.ReplaySuccess, 100*r.NavSuccess)
+	fmt.Fprintf(&b, "%-10s %15s %19s\n", "Model", "Replay attacks", "Navigation attacks")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %14.1f%% %18.1f%%\n", row.Model, 100*row.ReplayRate, 100*row.NavRate)
+	}
+	return b.String()
+}
+
+// Render formats Table III.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — statistics of k (APs heard per point)\n")
+	fmt.Fprintf(&b, "%-10s %9s %7s %12s\n", "Area", "Avg k", "Min k", "90% points")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %9.1f %7d %9s%.0f\n", row.Area, row.MeanK, row.MinK, "k >= ", row.P90K)
+	}
+	return b.String()
+}
+
+// Render formats a sweep (Fig. 4, 5 or 6) as one row per sample.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep — detection accuracy vs %s\n", r.Param)
+	areas := make([]string, 0, len(r.Curves))
+	for a := range r.Curves {
+		areas = append(areas, a)
+	}
+	sort.Strings(areas)
+	for _, area := range areas {
+		fmt.Fprintf(&b, "%-10s", area)
+		pts := append([]SweepPoint(nil), r.Curves[area]...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  (%.2f, %.3f)", p.X, p.Accuracy)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render formats Table IV.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV — performance of the WiFi RSSI detection scheme (r = 2.5 m)\n")
+	fmt.Fprintf(&b, "%-10s %9s %10s %8s %9s\n", "Area", "Accuracy", "Precision", "Recall", "F1-score")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %9.4f %10.4f %8.4f %9.4f\n",
+			row.Area, row.Accuracy, row.Precision, row.Recall, row.F1)
+	}
+	return b.String()
+}

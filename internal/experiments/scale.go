@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. IV) from the simulation substrates: Table I (classifier
+// performance against naive attacks), Fig. 3 (C&W iteration curves), the
+// MinD and R calibrations, Table II (detection rates against adversarial
+// attacks), Table III (AP-count statistics), Fig. 4–6 (detection accuracy
+// versus reference radius, reference density, and AP density), and
+// Table IV (final detector performance). Each experiment returns typed rows
+// and renders an aligned text table; cmd/experiments is the CLI front end
+// and bench_test.go wraps each entry point in a benchmark.
+package experiments
+
+import "time"
+
+// Scale sizes every experiment. The paper's corpora (50,000 trajectories of
+// 400 points, 5,000 scans per area, GPU training) are scaled down to CPU
+// budgets; Scale makes the trade-off explicit and reproducible.
+type Scale struct {
+	// Motion corpus (Sec. IV-A).
+	MotionTrips  int // trips per mode
+	MotionPoints int // fixes per trajectory (paper: 400)
+
+	// Target-model training.
+	Hidden    int // LSTM hidden width (paper: 256)
+	Epochs    int // training epochs (paper: 100)
+	BatchSize int
+	Restarts  int // independent training restarts per LSTM, best kept
+
+	// Attack runs.
+	AttackIterations int // C&W budget (paper: 1,500)
+	AttackEvalCount  int // fakes per scenario for Table II (paper: 1,000)
+	MinDRepeats      int // traversals per mode for MinD (paper: 50)
+
+	// WiFi areas (Sec. IV-B).
+	AreaScale     float64 // multiplies the canonical per-area trajectory counts
+	HistFraction  float64 // share of uploads kept as provider history (paper: 4/5)
+	TrainUploads  int     // real/fake training uploads per area
+	TestUploads   int     // real/fake test uploads per area
+	StaticFixes   int     // fixes for the R calibration (paper: 500)
+	SweepDetRound int     // XGBoost rounds during the Fig. 4-6 sweeps
+
+	Interval time.Duration
+	Seed     int64
+}
+
+// TestScale finishes in a couple of minutes on a laptop; shapes are
+// preserved, absolute numbers are noisier than PaperScale.
+func TestScale() Scale {
+	return Scale{
+		MotionTrips:  80,
+		MotionPoints: 60,
+		Hidden:       16,
+		Epochs:       40,
+		BatchSize:    8,
+		Restarts:     2,
+
+		AttackIterations: 500,
+		AttackEvalCount:  30,
+		MinDRepeats:      12,
+
+		AreaScale:     0.12,
+		HistFraction:  0.8,
+		TrainUploads:  50,
+		TestUploads:   35,
+		StaticFixes:   500,
+		SweepDetRound: 40,
+
+		Interval: time.Second,
+		Seed:     1,
+	}
+}
+
+// PaperScale is the full harness scale used by cmd/experiments and
+// EXPERIMENTS.md; expect tens of minutes of CPU.
+func PaperScale() Scale {
+	return Scale{
+		MotionTrips:  250,
+		MotionPoints: 80,
+		Hidden:       32,
+		Epochs:       50,
+		BatchSize:    16,
+		Restarts:     2,
+
+		AttackIterations: 1500,
+		AttackEvalCount:  100,
+		MinDRepeats:      50,
+
+		AreaScale:     0.35,
+		HistFraction:  0.8,
+		TrainUploads:  150,
+		TestUploads:   80,
+		StaticFixes:   500,
+		SweepDetRound: 60,
+
+		Interval: time.Second,
+		Seed:     1,
+	}
+}

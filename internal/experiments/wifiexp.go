@@ -1,0 +1,469 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"trajforge/internal/dataset"
+	"trajforge/internal/detect"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/wifi"
+	"trajforge/internal/xgb"
+)
+
+// AreaLab is one collection area with its historical store and labelled
+// upload sets, ready for detector training.
+type AreaLab struct {
+	Area *dataset.Area
+	// Hist is the provider's crowdsourced history; Fresh the held-out
+	// genuine uploads.
+	Hist, Fresh []*wifi.Upload
+
+	// Labelled material. Training fakes and test fakes are forged from
+	// disjoint historical uploads; training reals come from the provider's
+	// own stock, test reals from Fresh — the paper's protocol, with one
+	// adjustment: StoreUploads excludes the training reals, because a
+	// trajectory whose own scans sit in the store at zero distance gets a
+	// self-inflated Φ that no freshly verified upload can have (the bias is
+	// negligible at the paper's density but dominates at sparse scales).
+	TrainReal, TrainFake []*wifi.Upload
+	TestReal, TestFake   []*wifi.Upload
+	// StoreUploads feed the provider's crowdsourced store.
+	StoreUploads []*wifi.Upload
+
+	// MinD used to calibrate the forgeries.
+	MinD float64
+}
+
+// WiFiLab holds all three areas.
+type WiFiLab struct {
+	Scale Scale
+	Areas []*AreaLab
+}
+
+// NewWiFiLab builds the three canonical areas concurrently.
+func NewWiFiLab(scale Scale, minD *MinDResult) (*WiFiLab, error) {
+	specs := []dataset.AreaSpec{
+		dataset.WalkingArea(scale.AreaScale),
+		dataset.CyclingArea(scale.AreaScale),
+		dataset.DrivingArea(scale.AreaScale),
+	}
+	lab := &WiFiLab{Scale: scale, Areas: make([]*AreaLab, len(specs))}
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec dataset.AreaSpec) {
+			defer wg.Done()
+			al, err := buildAreaLab(scale, spec, minD.ByMode(spec.Mode))
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: area %q: %w", spec.Name, err)
+				return
+			}
+			lab.Areas[i] = al
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lab, nil
+}
+
+func buildAreaLab(scale Scale, spec dataset.AreaSpec, minD float64) (*AreaLab, error) {
+	if minD <= 0 {
+		minD = 1.2
+	}
+	area, err := dataset.BuildArea(spec)
+	if err != nil {
+		return nil, err
+	}
+	nHist := int(scale.HistFraction * float64(len(area.Uploads)))
+	hist, fresh, err := area.SplitHistorical(nHist)
+	if err != nil {
+		return nil, err
+	}
+	al := &AreaLab{Area: area, Hist: hist, Fresh: fresh, MinD: minD}
+
+	nTrain := scale.TrainUploads
+	nTest := scale.TestUploads
+	if nTest > len(fresh) {
+		nTest = len(fresh)
+	}
+	// Forgeries come from historical uploads: train fakes from the front,
+	// test fakes from the middle, training reals from the back.
+	if 2*nTrain+nTest > len(hist) {
+		return nil, fmt.Errorf("history too small: need %d uploads, have %d", 2*nTrain+nTest, len(hist))
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 77))
+	for i := 0; i < nTrain; i++ {
+		f, err := dataset.ForgeUpload(rng, hist[i], minD)
+		if err != nil {
+			return nil, err
+		}
+		al.TrainFake = append(al.TrainFake, f)
+	}
+	for i := nTrain; i < nTrain+nTest; i++ {
+		f, err := dataset.ForgeUpload(rng, hist[i], minD)
+		if err != nil {
+			return nil, err
+		}
+		al.TestFake = append(al.TestFake, f)
+	}
+	al.TrainReal = hist[len(hist)-nTrain:]
+	al.TestReal = fresh[:nTest]
+	al.StoreUploads = hist[:len(hist)-nTrain]
+	return al, nil
+}
+
+// trainAndScore fits a WiFi detector on the lab's training sets against the
+// given store and feature config, then scores the test sets.
+func (al *AreaLab) trainAndScore(store *rssimap.Store, fcfg rssimap.FeatureConfig,
+	rounds int, seed int64) (detResult, error) {
+	det, err := detect.TrainWiFiDetector(store, al.TrainReal, al.TrainFake, fcfg, xgb.Config{
+		Rounds: rounds, MaxDepth: 4, LearningRate: 0.2, Seed: seed,
+	})
+	if err != nil {
+		return detResult{}, err
+	}
+	conf, err := det.EvaluateWiFi(al.TestReal, al.TestFake)
+	if err != nil {
+		return detResult{}, err
+	}
+	return detResult{
+		Accuracy:  conf.Accuracy(),
+		Precision: conf.Precision(),
+		Recall:    conf.Recall(),
+		F1:        conf.F1(),
+	}, nil
+}
+
+type detResult struct {
+	Accuracy, Precision, Recall, F1 float64
+}
+
+// Table3Row is one column of Table III.
+type Table3Row struct {
+	Area  string
+	MeanK float64
+	MinK  int
+	// P90K: 90% of points hear at least this many APs.
+	P90K float64
+}
+
+// Table3Result is the AP statistics table.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 reports per-area AP-count statistics.
+func Table3(lab *WiFiLab) *Table3Result {
+	res := &Table3Result{}
+	for _, al := range lab.Areas {
+		ks := dataset.KStats(al.Area.Uploads)
+		res.Rows = append(res.Rows, Table3Row{
+			Area:  al.Area.Spec.Name,
+			MeanK: ks.Mean,
+			MinK:  ks.Min,
+			P90K:  ks.P10,
+		})
+	}
+	return res
+}
+
+// SweepPoint is one sample of an accuracy-vs-parameter curve.
+type SweepPoint struct {
+	X        float64
+	Accuracy float64
+}
+
+// SweepResult is one curve per area.
+type SweepResult struct {
+	// Param names the swept parameter ("r (m)", "density (/m^2)", "avg k").
+	Param  string
+	Curves map[string][]SweepPoint // area name -> curve
+}
+
+// Fig4 sweeps the reference radius r (Fig. 4 of the paper: accuracy rises
+// to a peak near r = 2.5 m, then flattens or dips).
+func Fig4(lab *WiFiLab, radii []float64) (*SweepResult, error) {
+	if len(radii) == 0 {
+		radii = []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
+	}
+	res := &SweepResult{Param: "r (m)", Curves: map[string][]SweepPoint{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(lab.Areas))
+	for ai, al := range lab.Areas {
+		wg.Add(1)
+		go func(ai int, al *AreaLab) {
+			defer wg.Done()
+			store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+			if err != nil {
+				errs[ai] = err
+				return
+			}
+			for _, r := range radii {
+				fcfg := rssimap.DefaultFeatureConfig()
+				fcfg.R = r
+				dr, err := al.trainAndScore(store, fcfg, lab.Scale.SweepDetRound, lab.Scale.Seed+int64(ai))
+				if err != nil {
+					errs[ai] = err
+					return
+				}
+				mu.Lock()
+				res.Curves[al.Area.Spec.Name] = append(res.Curves[al.Area.Spec.Name],
+					SweepPoint{X: r, Accuracy: dr.Accuracy})
+				mu.Unlock()
+			}
+		}(ai, al)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig4: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Fig5 sweeps the reference-point density by randomly deleting historical
+// records (Fig. 5: accuracy exceeds 90% once density >= ~0.2/m²).
+func Fig5(lab *WiFiLab, keepFractions []float64) (*SweepResult, error) {
+	if len(keepFractions) == 0 {
+		keepFractions = []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
+	}
+	res := &SweepResult{Param: "density (/m^2)", Curves: map[string][]SweepPoint{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(lab.Areas))
+	for ai, al := range lab.Areas {
+		wg.Add(1)
+		go func(ai int, al *AreaLab) {
+			defer wg.Done()
+			records := dataset.Records(al.StoreUploads)
+			rng := rand.New(rand.NewSource(lab.Scale.Seed + int64(900+ai)))
+			for _, keep := range keepFractions {
+				subset := sampleRecords(rng, records, keep)
+				store, err := rssimap.NewStore(rssimap.DefaultConfig(), subset)
+				if err != nil {
+					errs[ai] = err
+					return
+				}
+				density := meanReferenceDensity(store, al.TestReal, rssimap.DefaultFeatureConfig().R)
+				dr, err := al.trainAndScore(store, rssimap.DefaultFeatureConfig(),
+					lab.Scale.SweepDetRound, lab.Scale.Seed+int64(ai))
+				if err != nil {
+					errs[ai] = err
+					return
+				}
+				mu.Lock()
+				res.Curves[al.Area.Spec.Name] = append(res.Curves[al.Area.Spec.Name],
+					SweepPoint{X: density, Accuracy: dr.Accuracy})
+				mu.Unlock()
+			}
+		}(ai, al)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig5: %w", err)
+		}
+	}
+	return res, nil
+}
+
+func sampleRecords(rng *rand.Rand, records []rssimap.Record, keep float64) []rssimap.Record {
+	if keep >= 1 {
+		return records
+	}
+	out := make([]rssimap.Record, 0, int(keep*float64(len(records)))+1)
+	for _, r := range records {
+		if rng.Float64() < keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// meanReferenceDensity measures the realised reference-point density around
+// the test uploads' points (the paper's "average number of reference points
+// per square metre in the reference area of each trajectory point").
+func meanReferenceDensity(store *rssimap.Store, uploads []*wifi.Upload, r float64) float64 {
+	var sum float64
+	var n int
+	area := 3.14159265 * r * r
+	for _, u := range uploads {
+		for _, pt := range u.Traj.Points {
+			sum += float64(len(store.ReferencePoints(pt.Pos, r))) / area
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Fig6 sweeps the AP density by deleting APs globally (Fig. 6: accuracy
+// stays above 70% even at k = 1 and exceeds 90% for average k >= ~7.5;
+// driving saturates lowest).
+func Fig6(lab *WiFiLab, keepFractions []float64) (*SweepResult, error) {
+	if len(keepFractions) == 0 {
+		keepFractions = []float64{0.04, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
+	}
+	res := &SweepResult{Param: "avg k", Curves: map[string][]SweepPoint{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(lab.Areas))
+	for ai, al := range lab.Areas {
+		wg.Add(1)
+		go func(ai int, al *AreaLab) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(lab.Scale.Seed + int64(1700+ai)))
+			for _, keep := range keepFractions {
+				keepMAC := macSubset(rng, al.Hist, keep)
+				storeUploads := filterUploads(al.StoreUploads, keepMAC)
+				store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(storeUploads))
+				if err != nil {
+					errs[ai] = err
+					return
+				}
+				filtered := &AreaLab{
+					Area:      al.Area,
+					TrainReal: filterUploads(al.TrainReal, keepMAC),
+					TrainFake: filterUploads(al.TrainFake, keepMAC),
+					TestReal:  filterUploads(al.TestReal, keepMAC),
+					TestFake:  filterUploads(al.TestFake, keepMAC),
+				}
+				avgK := averageK(filtered.TestReal)
+				dr, err := filtered.trainAndScore(store, rssimap.DefaultFeatureConfig(),
+					lab.Scale.SweepDetRound, lab.Scale.Seed+int64(ai))
+				if err != nil {
+					errs[ai] = err
+					return
+				}
+				mu.Lock()
+				res.Curves[al.Area.Spec.Name] = append(res.Curves[al.Area.Spec.Name],
+					SweepPoint{X: avgK, Accuracy: dr.Accuracy})
+				mu.Unlock()
+			}
+		}(ai, al)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig6: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// macSubset picks the MAC set to keep so that roughly the given fraction of
+// observations survives.
+func macSubset(rng *rand.Rand, uploads []*wifi.Upload, keep float64) map[string]bool {
+	macs := map[string]bool{}
+	for _, u := range uploads {
+		for _, s := range u.Scans {
+			for _, o := range s {
+				macs[o.MAC] = true
+			}
+		}
+	}
+	kept := map[string]bool{}
+	for mac := range macs {
+		if keep >= 1 || rng.Float64() < keep {
+			kept[mac] = true
+		}
+	}
+	return kept
+}
+
+// filterUploads removes observations of deleted APs (deep copies; inputs
+// untouched).
+func filterUploads(uploads []*wifi.Upload, keepMAC map[string]bool) []*wifi.Upload {
+	out := make([]*wifi.Upload, len(uploads))
+	for i, u := range uploads {
+		scans := make([]wifi.Scan, len(u.Scans))
+		for j, s := range u.Scans {
+			var ns wifi.Scan
+			for _, o := range s {
+				if keepMAC[o.MAC] {
+					ns = append(ns, o)
+				}
+			}
+			scans[j] = ns
+		}
+		out[i] = &wifi.Upload{Traj: u.Traj, Scans: scans}
+	}
+	return out
+}
+
+func averageK(uploads []*wifi.Upload) float64 {
+	var sum, n int
+	for _, u := range uploads {
+		for _, s := range u.Scans {
+			sum += len(s)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Table4Row is one line of Table IV.
+type Table4Row struct {
+	Area      string
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Table4Result is the final detector performance table.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4 trains the full detector (r = 2.5 m) per area and reports the
+// held-out metrics.
+func Table4(lab *WiFiLab) (*Table4Result, error) {
+	res := &Table4Result{Rows: make([]Table4Row, len(lab.Areas))}
+	var wg sync.WaitGroup
+	errs := make([]error, len(lab.Areas))
+	for ai, al := range lab.Areas {
+		wg.Add(1)
+		go func(ai int, al *AreaLab) {
+			defer wg.Done()
+			store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+			if err != nil {
+				errs[ai] = err
+				return
+			}
+			dr, err := al.trainAndScore(store, rssimap.DefaultFeatureConfig(), 60, lab.Scale.Seed+int64(ai))
+			if err != nil {
+				errs[ai] = err
+				return
+			}
+			res.Rows[ai] = Table4Row{
+				Area:      al.Area.Spec.Name,
+				Accuracy:  dr.Accuracy,
+				Precision: dr.Precision,
+				Recall:    dr.Recall,
+				F1:        dr.F1,
+			}
+		}(ai, al)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Table4: %w", err)
+		}
+	}
+	return res, nil
+}

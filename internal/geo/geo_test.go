@@ -1,0 +1,221 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestLatLonValid(t *testing.T) {
+	cases := []struct {
+		name string
+		ll   LatLon
+		want bool
+	}{
+		{"origin", LatLon{0, 0}, true},
+		{"nanjing", LatLon{32.06, 118.79}, true},
+		{"north pole", LatLon{90, 0}, true},
+		{"lat too big", LatLon{90.01, 0}, false},
+		{"lon too small", LatLon{0, -180.5}, false},
+		{"nan lat", LatLon{math.NaN(), 0}, false},
+		{"nan lon", LatLon{0, math.NaN()}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.ll.Valid(); got != tc.want {
+				t.Fatalf("Valid(%v) = %v, want %v", tc.ll, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// One degree of latitude is ~111.2 km everywhere.
+	a := LatLon{Lat: 32, Lon: 118}
+	b := LatLon{Lat: 33, Lon: 118}
+	d := HaversineMeters(a, b)
+	if !almostEqual(d, 111195, 50) {
+		t.Fatalf("1 degree latitude = %.0f m, want ~111195", d)
+	}
+	if HaversineMeters(a, a) != 0 {
+		t.Fatalf("distance to self must be 0")
+	}
+	if d2 := HaversineMeters(b, a); !almostEqual(d, d2, 1e-9) {
+		t.Fatalf("haversine not symmetric: %f vs %f", d, d2)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	origin := LatLon{Lat: 32.0603, Lon: 118.7969} // Nanjing
+	pr := NewProjection(origin)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		ll := LatLon{
+			Lat: origin.Lat + (rng.Float64()-0.5)*0.05,
+			Lon: origin.Lon + (rng.Float64()-0.5)*0.05,
+		}
+		back := pr.ToLatLon(pr.ToPlane(ll))
+		if !almostEqual(back.Lat, ll.Lat, 1e-9) || !almostEqual(back.Lon, ll.Lon, 1e-9) {
+			t.Fatalf("round trip drifted: %v -> %v", ll, back)
+		}
+	}
+}
+
+func TestProjectionMatchesHaversine(t *testing.T) {
+	origin := LatLon{Lat: 32.06, Lon: 118.79}
+	pr := NewProjection(origin)
+	// Within a few km the planar distance must agree with haversine to <0.1%.
+	other := LatLon{Lat: 32.07, Lon: 118.80}
+	planar := Dist(pr.ToPlane(origin), pr.ToPlane(other))
+	sphere := HaversineMeters(origin, other)
+	if math.Abs(planar-sphere)/sphere > 1e-3 {
+		t.Fatalf("planar %.2f vs haversine %.2f disagree by >0.1%%", planar, sphere)
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{1, -2}
+	if got := p.Add(q); got != (Point{4, 2}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{2, 6}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := Dist(p, q); !almostEqual(got, math.Hypot(2, 6), 1e-12) {
+		t.Fatalf("Dist = %v", got)
+	}
+	if got := Dist2(p, q); !almostEqual(got, 40, 1e-12) {
+		t.Fatalf("Dist2 = %v, want 40", got)
+	}
+}
+
+func TestBearing(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{1, 0}, 0},
+		{Point{0, 0}, Point{0, 1}, math.Pi / 2},
+		{Point{0, 0}, Point{-1, 0}, math.Pi},
+		{Point{0, 0}, Point{0, -1}, -math.Pi / 2},
+	}
+	for _, tc := range cases {
+		if got := Bearing(tc.p, tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Fatalf("Bearing(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestAngleDiffProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		d := AngleDiff(a, b)
+		if d <= -math.Pi || d > math.Pi {
+			return false
+		}
+		// a-b and d must differ by a multiple of 2pi.
+		k := (a - b - d) / (2 * math.Pi)
+		return almostEqual(k, math.Round(k), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Point{0, 0}, Point{10, 20}
+	if got := Lerp(p, q, 0); got != p {
+		t.Fatalf("Lerp t=0 = %v", got)
+	}
+	if got := Lerp(p, q, 1); got != q {
+		t.Fatalf("Lerp t=1 = %v", got)
+	}
+	if got := Lerp(p, q, 0.5); got != (Point{5, 10}) {
+		t.Fatalf("Lerp t=0.5 = %v", got)
+	}
+}
+
+func TestPolylineLengthAndPointAlong(t *testing.T) {
+	pts := []Point{{0, 0}, {3, 0}, {3, 4}}
+	if got := PolylineLength(pts); !almostEqual(got, 7, 1e-12) {
+		t.Fatalf("length = %v, want 7", got)
+	}
+	if got := PointAlong(pts, 0); got != pts[0] {
+		t.Fatalf("PointAlong(0) = %v", got)
+	}
+	if got := PointAlong(pts, 3); got != (Point{3, 0}) {
+		t.Fatalf("PointAlong(3) = %v", got)
+	}
+	if got := PointAlong(pts, 5); got != (Point{3, 2}) {
+		t.Fatalf("PointAlong(5) = %v", got)
+	}
+	if got := PointAlong(pts, 100); got != pts[2] {
+		t.Fatalf("PointAlong(beyond) = %v, want clamp to end", got)
+	}
+	if got := PointAlong(pts, -5); got != pts[0] {
+		t.Fatalf("PointAlong(negative) = %v, want clamp to start", got)
+	}
+	if got := PointAlong(nil, 1); got != (Point{}) {
+		t.Fatalf("PointAlong(nil) = %v", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}}
+	got := Resample(pts, 5)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	for i, p := range got {
+		want := Point{X: 2.5 * float64(i)}
+		if !almostEqual(p.X, want.X, 1e-9) || !almostEqual(p.Y, 0, 1e-9) {
+			t.Fatalf("pt %d = %v, want %v", i, p, want)
+		}
+	}
+	if Resample(pts, 1) != nil {
+		t.Fatal("n<2 must return nil")
+	}
+	if Resample(nil, 5) != nil {
+		t.Fatal("empty input must return nil")
+	}
+}
+
+func TestResamplePreservesEndpointsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		out := Resample(pts, 7)
+		return len(out) == 7 &&
+			Dist(out[0], pts[0]) < 1e-9 &&
+			Dist(out[6], pts[n-1]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	min, max := BoundingBox([]Point{{1, 5}, {-2, 3}, {4, -1}})
+	if min != (Point{-2, -1}) || max != (Point{4, 5}) {
+		t.Fatalf("bbox = %v, %v", min, max)
+	}
+	min, max = BoundingBox(nil)
+	if min != (Point{}) || max != (Point{}) {
+		t.Fatalf("empty bbox = %v, %v", min, max)
+	}
+}

@@ -1,0 +1,182 @@
+// Package mat provides the small dense linear-algebra kernels used by the
+// neural-network substrate: row-major matrices, matrix-vector products and
+// their transposes, outer-product accumulation, and element-wise helpers.
+// It is deliberately minimal — just what an LSTM with BPTT needs — and
+// allocation-conscious: all hot-path operations write into caller-provided
+// destinations.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set writes the element at (r, c).
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a shared slice.
+func (m *Mat) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements to 0.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// FillUniform fills m with samples from U(-scale, scale).
+func (m *Mat) FillUniform(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// MulVec computes dst = m * x. dst must have length m.Rows and x length
+// m.Cols; dst is overwritten.
+func (m *Mat) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch: %dx%d * %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var sum float64
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		dst[r] = sum
+	}
+}
+
+// MulVecAdd computes dst += m * x.
+func (m *Mat) MulVecAdd(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecAdd shape mismatch: %dx%d * %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var sum float64
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		dst[r] += sum
+	}
+}
+
+// MulVecT computes dst += mᵀ * x (the backward pass of MulVec). x must have
+// length m.Rows and dst length m.Cols.
+func (m *Mat) MulVecT(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecT shape mismatch: (%dx%d)T * %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			dst[c] += xr * v
+		}
+	}
+}
+
+// AddOuter accumulates m += a ⊗ b (outer product). a must have length
+// m.Rows and b length m.Cols.
+func (m *Mat) AddOuter(a, b []float64) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("mat: AddOuter shape mismatch: %d x %d into %dx%d",
+			len(a), len(b), m.Rows, m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		ar := a[r]
+		if ar == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c := range row {
+			row[c] += ar * b[c]
+		}
+	}
+}
+
+// AddScaled accumulates m += s * other.
+func (m *Mat) AddScaled(other *Mat, s float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("mat: AddScaled shape mismatch")
+	}
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Axpy computes dst += s * x element-wise for vectors.
+func Axpy(dst []float64, s float64, x []float64) {
+	if len(dst) != len(x) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		dst[i] += s * v
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var sum float64
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Sigmoid returns 1/(1+e^-x), computed stably for large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Tanh is math.Tanh, re-exported for symmetry.
+func Tanh(x float64) float64 { return math.Tanh(x) }

@@ -1,0 +1,198 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("At/Set broken")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 7 {
+		t.Fatalf("Row = %v", row)
+	}
+	row[0] = 5 // Row shares storage by contract
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must share storage")
+	}
+}
+
+func TestCloneAndZero(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 3)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 3 {
+		t.Fatal("Clone shares storage")
+	}
+	m.Zero()
+	if m.At(0, 0) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := New(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 2)
+	m.MulVec(dst, x)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+	m.MulVecAdd(dst, x)
+	if dst[0] != -4 || dst[1] != -4 {
+		t.Fatalf("MulVecAdd = %v", dst)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := New(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 2}
+	dst := make([]float64, 3)
+	m.MulVecT(dst, x)
+	want := []float64{9, 12, 15}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", dst, want)
+		}
+	}
+}
+
+// MulVecT is the adjoint of MulVec: <Mx, y> == <x, Mᵀy>.
+func TestMulVecAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		m := New(r, c)
+		m.FillUniform(rng, 2)
+		x := make([]float64, c)
+		y := make([]float64, r)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		mx := make([]float64, r)
+		m.MulVec(mx, x)
+		mty := make([]float64, c)
+		m.MulVecT(mty, y)
+		return math.Abs(Dot(mx, y)-Dot(x, mty)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := New(2, 2)
+	m.AddOuter([]float64{1, 2}, []float64{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("AddOuter = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	m := New(1, 2)
+	o := New(1, 2)
+	copy(o.Data, []float64{2, 4})
+	m.AddScaled(o, 0.5)
+	if m.Data[0] != 1 || m.Data[1] != 2 {
+		t.Fatalf("AddScaled = %v", m.Data)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	dst := []float64{1, 1}
+	Axpy(dst, 2, []float64{3, 4})
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Fatalf("Axpy = %v", dst)
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	m := New(2, 3)
+	for name, fn := range map[string]func(){
+		"MulVec":    func() { m.MulVec(make([]float64, 2), make([]float64, 2)) },
+		"MulVecAdd": func() { m.MulVecAdd(make([]float64, 1), make([]float64, 3)) },
+		"MulVecT":   func() { m.MulVecT(make([]float64, 2), make([]float64, 3)) },
+		"AddOuter":  func() { m.AddOuter(make([]float64, 3), make([]float64, 3)) },
+		"AddScaled": func() { m.AddScaled(New(3, 2), 1) },
+		"Axpy":      func() { Axpy(make([]float64, 1), 1, make([]float64, 2)) },
+		"Dot":       func() { Dot(make([]float64, 1), make([]float64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic on shape mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Fatal("Sigmoid(0) != 0.5")
+	}
+	if Sigmoid(1000) != 1 || Sigmoid(-1000) != 0 {
+		t.Fatal("Sigmoid not saturating stably")
+	}
+	// Symmetry: sigmoid(-x) = 1 - sigmoid(x).
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		if math.Abs(Sigmoid(-x)-(1-Sigmoid(x))) > 1e-12 {
+			t.Fatalf("symmetry broken at %v", x)
+		}
+	}
+	if Tanh(0.5) != math.Tanh(0.5) {
+		t.Fatal("Tanh wrapper broken")
+	}
+}
+
+func TestFillUniform(t *testing.T) {
+	m := New(10, 10)
+	m.FillUniform(rand.New(rand.NewSource(1)), 0.5)
+	for _, v := range m.Data {
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("value %v outside scale", v)
+		}
+	}
+	var allZero = true
+	for _, v := range m.Data {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("FillUniform produced all zeros")
+	}
+}

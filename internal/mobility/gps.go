@@ -1,0 +1,95 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/stats"
+)
+
+// StaticFixes simulates a stationary receiver at pos collecting n GPS fixes
+// at the given interval — the experiment the paper runs ("we collect over
+// 500 GPS coordinates at the same position") to calibrate the maximum
+// position deviation R.
+func StaticFixes(rng *rand.Rand, gps GPSModel, pos geo.Point, n int, interval time.Duration) ([]geo.Point, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need n > 0 fixes, got %d", n)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("mobility: interval %v must be positive", interval)
+	}
+	rho := math.Pow(gps.BiasRho, interval.Seconds())
+	innov := gps.BiasSD * math.Sqrt(1-rho*rho)
+	bx := stats.Normal(rng, 0, gps.BiasSD)
+	by := stats.Normal(rng, 0, gps.BiasSD)
+	out := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = geo.Point{
+			X: pos.X + bx + stats.Normal(rng, 0, gps.WhiteSD),
+			Y: pos.Y + by + stats.Normal(rng, 0, gps.WhiteSD),
+		}
+		bx = rho*bx + stats.Normal(rng, 0, innov)
+		by = rho*by + stats.Normal(rng, 0, innov)
+	}
+	return out, nil
+}
+
+// RCalibration is the result of the paper's R determination experiment.
+type RCalibration struct {
+	// Sigma is the estimated scale of the unilateral normal distribution of
+	// the distance between a fix and the mean position.
+	Sigma float64
+	// R is the maximum position deviation 6*Sigma.
+	R float64
+	// MeanPos is the estimated true position (average of all fixes).
+	MeanPos geo.Point
+	// N is the number of fixes used.
+	N int
+}
+
+// CalibrateR reproduces Sec. III-C: take the average coordinate as the true
+// position, model the distance d of each fix from it as unilateral normal
+// d ~ |N(0, σ²)|, estimate σ, and return R = 6σ.
+func CalibrateR(fixes []geo.Point) (RCalibration, error) {
+	if len(fixes) < 10 {
+		return RCalibration{}, fmt.Errorf("mobility: need >= 10 fixes to calibrate R, got %d", len(fixes))
+	}
+	var mean geo.Point
+	for _, p := range fixes {
+		mean.X += p.X
+		mean.Y += p.Y
+	}
+	mean.X /= float64(len(fixes))
+	mean.Y /= float64(len(fixes))
+
+	// For d = |x| with x ~ N(0, σ²) in 2-D radial form we estimate σ from
+	// E[d²] = 2σ² (two axes each contributing σ²).
+	var sumSq float64
+	for _, p := range fixes {
+		sumSq += geo.Dist2(p, mean)
+	}
+	sigma := math.Sqrt(sumSq / (2 * float64(len(fixes))))
+	return RCalibration{Sigma: sigma, R: 6 * sigma, MeanPos: mean, N: len(fixes)}, nil
+}
+
+// RepeatRoute simulates the same route n times with independent randomness,
+// as in the paper's MinD experiment ("we walked a 200 m route continuously
+// 50 times"). All runs share the route and profile but differ in speed
+// processes, stops, lateral wander, and GPS error.
+func RepeatRoute(rng *rand.Rand, opts Options, n int) ([]*Track, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need n > 0 repetitions, got %d", n)
+	}
+	out := make([]*Track, 0, n)
+	for i := 0; i < n; i++ {
+		tk, err := Simulate(rng, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: repetition %d: %w", i, err)
+		}
+		out = append(out, tk)
+	}
+	return out, nil
+}

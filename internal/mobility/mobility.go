@@ -1,0 +1,331 @@
+// Package mobility simulates real human movement along planned routes and
+// the GPS receiver observing it. It is the substitute for the paper's
+// OSM/GeoLife-style corpus of real trajectories: the classifiers only ever
+// see motion features, so what matters is that the simulator reproduces the
+// statistical signatures of genuine movement — smooth accelerations,
+// mode-specific speed processes, pauses, turn slow-downs, lateral wander
+// within the roadway, and autocorrelated GPS error — which is exactly what
+// the naive fakes of Sec. IV-A2 lack.
+//
+// The simulator integrates a longitudinal speed process along a route
+// polyline at a fine internal time step and records fixes at the requested
+// sampling interval, returning both the ground-truth positions (used by the
+// WiFi propagation simulator) and the GPS fixes (what the client uploads).
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/stats"
+	"trajforge/internal/trajectory"
+)
+
+// Profile holds the kinematic parameters of a transportation mode.
+type Profile struct {
+	Mode trajectory.Mode
+	// CruiseSpeed is the mean preferred speed in m/s.
+	CruiseSpeed float64
+	// SpeedSD is the stationary standard deviation of the speed process.
+	SpeedSD float64
+	// SpeedRho is the 1-second autocorrelation of the speed process.
+	SpeedRho float64
+	// MaxAccel and MaxDecel bound speed changes in m/s^2 (both positive).
+	MaxAccel, MaxDecel float64
+	// TurnSpeed is the speed the agent slows to for sharp turns.
+	TurnSpeed float64
+	// StopRatePerMeter is the expected number of en-route stops per metre
+	// (signals, crossings, rests).
+	StopRatePerMeter float64
+	// StopMin, StopMax bound the stop duration in seconds.
+	StopMin, StopMax float64
+	// LateralSD is the standard deviation of the slowly varying lateral
+	// offset from the route centreline in metres (pavement wander, lane
+	// position, overtaking).
+	LateralSD float64
+	// LateralRho is the per-second autocorrelation of the lateral offset.
+	LateralRho float64
+}
+
+// ProfileFor returns the default profile of a mode.
+func ProfileFor(mode trajectory.Mode) Profile {
+	switch mode {
+	case trajectory.ModeCycling:
+		return Profile{
+			Mode:        trajectory.ModeCycling,
+			CruiseSpeed: 4.2, SpeedSD: 0.7, SpeedRho: 0.92,
+			MaxAccel: 1.0, MaxDecel: 1.8,
+			TurnSpeed:        2.0,
+			StopRatePerMeter: 1.0 / 400,
+			StopMin:          3, StopMax: 25,
+			LateralSD: 1.3, LateralRho: 0.97,
+		}
+	case trajectory.ModeDriving:
+		return Profile{
+			Mode:        trajectory.ModeDriving,
+			CruiseSpeed: 11.5, SpeedSD: 2.2, SpeedRho: 0.95,
+			MaxAccel: 2.2, MaxDecel: 3.5,
+			TurnSpeed:        4.5,
+			StopRatePerMeter: 1.0 / 350,
+			StopMin:          5, StopMax: 45,
+			LateralSD: 1.1, LateralRho: 0.98,
+		}
+	default:
+		return Profile{
+			Mode:        trajectory.ModeWalking,
+			CruiseSpeed: 1.4, SpeedSD: 0.22, SpeedRho: 0.90,
+			MaxAccel: 0.8, MaxDecel: 1.2,
+			TurnSpeed:        0.9,
+			StopRatePerMeter: 1.0 / 250,
+			StopMin:          2, StopMax: 15,
+			LateralSD: 0.9, LateralRho: 0.96,
+		}
+	}
+}
+
+// GPSModel describes the receiver error process. The paper measures the
+// static positioning error as unilateral normal with R = 6σ = 3 m, i.e.
+// σ = 0.5 m per axis; real receivers drift slowly, so the error is a 2-D
+// Gauss-Markov process plus a small white component.
+type GPSModel struct {
+	// BiasSD is the stationary per-axis standard deviation of the slowly
+	// drifting error component in metres.
+	BiasSD float64
+	// BiasRho is the 1-second autocorrelation of the drifting component.
+	BiasRho float64
+	// WhiteSD is the per-fix white error standard deviation in metres.
+	WhiteSD float64
+}
+
+// DefaultGPS returns the error model calibrated to the paper (σ = 0.5 m).
+func DefaultGPS() GPSModel {
+	return GPSModel{BiasSD: 0.45, BiasRho: 0.93, WhiteSD: 0.12}
+}
+
+// TrackPoint pairs the ground-truth position with the GPS fix observed
+// there.
+type TrackPoint struct {
+	True geo.Point
+	Fix  geo.Point
+	Time time.Time
+}
+
+// Track is the full simulator output.
+type Track struct {
+	Points []TrackPoint
+	Mode   trajectory.Mode
+}
+
+// Trajectory converts the GPS fixes to the upload-format trajectory.
+func (tk *Track) Trajectory() *trajectory.T {
+	t := &trajectory.T{Mode: tk.Mode, Points: make([]trajectory.Point, len(tk.Points))}
+	for i, p := range tk.Points {
+		t.Points[i] = trajectory.Point{Pos: p.Fix, Time: p.Time}
+	}
+	return t
+}
+
+// TruePositions returns the ground-truth position sequence.
+func (tk *Track) TruePositions() []geo.Point {
+	out := make([]geo.Point, len(tk.Points))
+	for i, p := range tk.Points {
+		out[i] = p.True
+	}
+	return out
+}
+
+// Options configures one simulation run.
+type Options struct {
+	// Route is the centreline polyline to follow.
+	Route []geo.Point
+	// Profile holds the kinematics; zero value means ProfileFor(Mode).
+	Profile Profile
+	// Mode is used when Profile is zero.
+	Mode trajectory.Mode
+	// GPS is the receiver model; zero value means DefaultGPS().
+	GPS GPSModel
+	// Start is the timestamp of the first fix.
+	Start time.Time
+	// Interval is the fix sampling interval (must be positive).
+	Interval time.Duration
+	// MaxPoints stops the simulation after this many fixes; <= 0 means run
+	// until the route ends.
+	MaxPoints int
+}
+
+// internal integration step.
+const _dt = 0.1 // seconds
+
+// Simulate runs one agent along the route and returns its track.
+func Simulate(rng *rand.Rand, opts Options) (*Track, error) {
+	if len(opts.Route) < 2 {
+		return nil, fmt.Errorf("mobility: route needs >= 2 points, got %d", len(opts.Route))
+	}
+	if opts.Interval <= 0 {
+		return nil, fmt.Errorf("mobility: interval %v must be positive", opts.Interval)
+	}
+	prof := opts.Profile
+	if prof.CruiseSpeed == 0 {
+		prof = ProfileFor(opts.Mode)
+	}
+	gps := opts.GPS
+	if gps.BiasSD == 0 && gps.WhiteSD == 0 {
+		gps = DefaultGPS()
+	}
+	routeLen := geo.PolylineLength(opts.Route)
+	if routeLen <= 0 {
+		return nil, fmt.Errorf("mobility: degenerate route of length 0")
+	}
+
+	// Pre-plan stop events by arc length.
+	stops := planStops(rng, prof, routeLen)
+
+	// Discount rho values from per-second to per-dt.
+	speedRho := math.Pow(prof.SpeedRho, _dt)
+	latRho := math.Pow(prof.LateralRho, _dt)
+	biasRho := math.Pow(gps.BiasRho, _dt)
+
+	speedInnov := prof.SpeedSD * math.Sqrt(1-speedRho*speedRho)
+	latInnov := prof.LateralSD * math.Sqrt(1-latRho*latRho)
+	biasInnov := gps.BiasSD * math.Sqrt(1-biasRho*biasRho)
+
+	// State.
+	dist := 0.0
+	v := math.Max(0.3, prof.CruiseSpeed*(0.5+rng.Float64()*0.3)) // start below cruise
+	speedDev := stats.Normal(rng, 0, prof.SpeedSD)
+	lat := stats.Normal(rng, 0, prof.LateralSD)
+	biasX := stats.Normal(rng, 0, gps.BiasSD)
+	biasY := stats.Normal(rng, 0, gps.BiasSD)
+	stopRemaining := 0.0
+	nextStop := 0
+
+	interval := opts.Interval.Seconds()
+	tk := &Track{Mode: prof.Mode}
+	elapsed := 0.0
+	nextSample := 0.0
+
+	record := func() {
+		truePos := offsetPosition(opts.Route, dist, lat)
+		fix := geo.Point{X: truePos.X + biasX + stats.Normal(rng, 0, gps.WhiteSD),
+			Y: truePos.Y + biasY + stats.Normal(rng, 0, gps.WhiteSD)}
+		// Round to the millisecond so the fixed-dt float accumulation does
+		// not leak 1 ms jitter into the recorded timestamps.
+		ms := math.Round(elapsed * 1000)
+		tk.Points = append(tk.Points, TrackPoint{
+			True: truePos,
+			Fix:  fix,
+			Time: opts.Start.Add(time.Duration(ms) * time.Millisecond),
+		})
+	}
+
+	maxSteps := int(4 * (routeLen/math.Max(0.5, prof.CruiseSpeed) + 600) / _dt)
+	for step := 0; step < maxSteps; step++ {
+		if elapsed >= nextSample-1e-9 {
+			record()
+			nextSample += interval
+			if opts.MaxPoints > 0 && len(tk.Points) >= opts.MaxPoints {
+				break
+			}
+		}
+		if dist >= routeLen {
+			break
+		}
+
+		// Trigger a planned stop when its arc position is crossed.
+		if nextStop < len(stops) && dist >= stops[nextStop].at {
+			stopRemaining = stops[nextStop].duration
+			nextStop++
+		}
+
+		// Target speed: OU deviation around cruise, limited by turns ahead.
+		speedDev = speedRho*speedDev + stats.Normal(rng, 0, speedInnov)
+		target := math.Max(0.2, prof.CruiseSpeed+speedDev)
+		if limit := turnLimit(opts.Route, dist, v, prof); limit < target {
+			target = limit
+		}
+		if stopRemaining > 0 {
+			target = 0
+			stopRemaining -= _dt
+		}
+
+		// Accelerate toward target under the profile's limits.
+		dv := target - v
+		maxUp := prof.MaxAccel * _dt
+		maxDown := prof.MaxDecel * _dt
+		if dv > maxUp {
+			dv = maxUp
+		} else if dv < -maxDown {
+			dv = -maxDown
+		}
+		v += dv
+		if v < 0 {
+			v = 0
+		}
+
+		dist += v * _dt
+		lat = latRho*lat + stats.Normal(rng, 0, latInnov)
+		biasX = biasRho*biasX + stats.Normal(rng, 0, biasInnov)
+		biasY = biasRho*biasY + stats.Normal(rng, 0, biasInnov)
+		elapsed += _dt
+	}
+	if len(tk.Points) < 2 {
+		return nil, fmt.Errorf("mobility: simulation produced %d fixes", len(tk.Points))
+	}
+	return tk, nil
+}
+
+type stopEvent struct {
+	at       float64 // arc length, metres
+	duration float64 // seconds
+}
+
+// planStops draws Poisson-ish stop events along the route.
+func planStops(rng *rand.Rand, prof Profile, routeLen float64) []stopEvent {
+	if prof.StopRatePerMeter <= 0 {
+		return nil
+	}
+	var out []stopEvent
+	// Exponential gaps between stops.
+	at := rng.ExpFloat64() / prof.StopRatePerMeter
+	for at < routeLen {
+		dur := prof.StopMin + rng.Float64()*(prof.StopMax-prof.StopMin)
+		out = append(out, stopEvent{at: at, duration: dur})
+		at += rng.ExpFloat64() / prof.StopRatePerMeter
+	}
+	return out
+}
+
+// turnLimit returns the speed allowed by upcoming route curvature. It looks
+// ahead over the braking distance and lowers the cap near sharp corners.
+func turnLimit(route []geo.Point, dist, v float64, prof Profile) float64 {
+	braking := v * v / (2 * math.Max(0.1, prof.MaxDecel))
+	lookahead := math.Max(3, braking+2)
+
+	here := geo.PointAlong(route, dist)
+	ahead1 := geo.PointAlong(route, dist+lookahead/2)
+	ahead2 := geo.PointAlong(route, dist+lookahead)
+	h1 := geo.Bearing(here, ahead1)
+	h2 := geo.Bearing(ahead1, ahead2)
+	turn := math.Abs(geo.AngleDiff(h2, h1))
+	if turn < 0.3 {
+		return math.Inf(1)
+	}
+	// Interpolate between full speed and TurnSpeed as the turn sharpens.
+	frac := math.Min(1, (turn-0.3)/1.2)
+	return prof.CruiseSpeed*(1-frac) + prof.TurnSpeed*frac
+}
+
+// offsetPosition returns the point at arc length dist shifted laterally
+// (perpendicular to the local heading) by lat metres.
+func offsetPosition(route []geo.Point, dist, lat float64) geo.Point {
+	p := geo.PointAlong(route, dist)
+	// Local heading from a short chord.
+	a := geo.PointAlong(route, math.Max(0, dist-1))
+	b := geo.PointAlong(route, dist+1)
+	h := geo.Bearing(a, b)
+	// Perpendicular (rotate heading by +90 degrees).
+	return geo.Point{X: p.X - math.Sin(h)*lat, Y: p.Y + math.Cos(h)*lat}
+}

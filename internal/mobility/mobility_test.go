@@ -1,0 +1,280 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/stats"
+	"trajforge/internal/trajectory"
+)
+
+var _t0 = time.Date(2022, 4, 10, 8, 0, 0, 0, time.UTC)
+
+// straight 600 m route with one right-angle corner at 300 m.
+func cornerRoute() []geo.Point {
+	return []geo.Point{{X: 0, Y: 0}, {X: 300, Y: 0}, {X: 300, Y: 300}}
+}
+
+func simulate(t *testing.T, seed int64, mode trajectory.Mode, maxPoints int) *Track {
+	t.Helper()
+	tk, err := Simulate(rand.New(rand.NewSource(seed)), Options{
+		Route:     cornerRoute(),
+		Mode:      mode,
+		Start:     _t0,
+		Interval:  time.Second,
+		MaxPoints: maxPoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+func TestSimulateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Simulate(rng, Options{Route: []geo.Point{{X: 1, Y: 1}}, Interval: time.Second}); err == nil {
+		t.Fatal("short route must error")
+	}
+	if _, err := Simulate(rng, Options{Route: cornerRoute()}); err == nil {
+		t.Fatal("zero interval must error")
+	}
+	degenerate := []geo.Point{{X: 5, Y: 5}, {X: 5, Y: 5}}
+	if _, err := Simulate(rng, Options{Route: degenerate, Interval: time.Second}); err == nil {
+		t.Fatal("zero-length route must error")
+	}
+}
+
+func TestSimulateProducesRegularTrajectory(t *testing.T) {
+	tk := simulate(t, 2, trajectory.ModeWalking, 60)
+	if len(tk.Points) != 60 {
+		t.Fatalf("points = %d, want 60", len(tk.Points))
+	}
+	tr := tk.Trajectory()
+	if err := tr.Validate(10 * time.Millisecond); err != nil {
+		t.Fatalf("trajectory invalid: %v", err)
+	}
+	if tr.Mode != trajectory.ModeWalking {
+		t.Fatal("mode not propagated")
+	}
+	if got := len(tk.TruePositions()); got != 60 {
+		t.Fatalf("true positions = %d", got)
+	}
+}
+
+func TestSimulateSpeedsAreRealistic(t *testing.T) {
+	for _, tc := range []struct {
+		mode       trajectory.Mode
+		minMean    float64
+		maxMean    float64
+		hardCeil   float64
+		pointCount int
+	}{
+		{trajectory.ModeWalking, 0.6, 1.8, 3.0, 120},
+		{trajectory.ModeCycling, 2.0, 5.0, 9.0, 100},
+		{trajectory.ModeDriving, 5.0, 13.0, 20.0, 40},
+	} {
+		tk := simulate(t, 3, tc.mode, tc.pointCount)
+		speeds := tk.Trajectory().Speeds()
+		mean := stats.Mean(speeds)
+		if mean < tc.minMean || mean > tc.maxMean {
+			t.Fatalf("%v mean speed %v outside [%v, %v]", tc.mode, mean, tc.minMean, tc.maxMean)
+		}
+		if mx := stats.Max(speeds); mx > tc.hardCeil {
+			t.Fatalf("%v max speed %v exceeds %v", tc.mode, mx, tc.hardCeil)
+		}
+	}
+}
+
+func TestSimulateRespectsAccelerationLimits(t *testing.T) {
+	tk := simulate(t, 5, trajectory.ModeDriving, 60)
+	prof := ProfileFor(trajectory.ModeDriving)
+	for i, a := range tk.Trajectory().Accelerations() {
+		// GPS noise adds apparent acceleration; allow ~4 sd of slack.
+		slack := 2.5
+		if a > prof.MaxAccel+slack || a < -prof.MaxDecel-slack {
+			t.Fatalf("accel[%d] = %v outside profile bounds", i, a)
+		}
+	}
+}
+
+func TestSimulateStaysNearRoute(t *testing.T) {
+	tk := simulate(t, 7, trajectory.ModeCycling, 90)
+	route := cornerRoute()
+	prof := ProfileFor(trajectory.ModeCycling)
+	maxOff := prof.LateralSD*4 + 3 // lateral wander + GPS + corner cut
+	for i, p := range tk.Points {
+		if d := distToPolyline(p.True, route); d > maxOff {
+			t.Fatalf("point %d is %v m from route (max %v)", i, d, maxOff)
+		}
+	}
+}
+
+func TestSimulateRunsDiffer(t *testing.T) {
+	a := simulate(t, 11, trajectory.ModeWalking, 60).Trajectory()
+	b := simulate(t, 12, trajectory.ModeWalking, 60).Trajectory()
+	var diff float64
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		diff += geo.Dist(a.Points[i].Pos, b.Points[i].Pos)
+	}
+	if diff/float64(n) < 0.3 {
+		t.Fatalf("independent runs nearly identical (mean diff %v m)", diff/float64(n))
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	a := simulate(t, 21, trajectory.ModeDriving, 40)
+	b := simulate(t, 21, trajectory.ModeDriving, 40)
+	for i := range a.Points {
+		if a.Points[i].Fix != b.Points[i].Fix {
+			t.Fatalf("same seed diverged at point %d", i)
+		}
+	}
+}
+
+func TestSimulateEndsAtRouteEnd(t *testing.T) {
+	tk, err := Simulate(rand.New(rand.NewSource(31)), Options{
+		Route:    cornerRoute(),
+		Mode:     trajectory.ModeDriving,
+		Start:    _t0,
+		Interval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := tk.Points[len(tk.Points)-1].True
+	routeEnd := geo.Point{X: 300, Y: 300}
+	if geo.Dist(end, routeEnd) > 25 {
+		t.Fatalf("track ends %v m from route end", geo.Dist(end, routeEnd))
+	}
+}
+
+func TestGPSNoiseIsAutocorrelated(t *testing.T) {
+	// The error series of consecutive fixes must be smooth: the mean step of
+	// the error process must be well below its marginal spread.
+	tk := simulate(t, 41, trajectory.ModeWalking, 200)
+	errsX := make([]float64, len(tk.Points))
+	for i, p := range tk.Points {
+		errsX[i] = p.Fix.X - p.True.X
+	}
+	var stepSum float64
+	for i := 1; i < len(errsX); i++ {
+		stepSum += math.Abs(errsX[i] - errsX[i-1])
+	}
+	meanStep := stepSum / float64(len(errsX)-1)
+	spread := stats.StdDev(errsX)
+	if spread <= 0 || meanStep > spread {
+		t.Fatalf("GPS error not autocorrelated: mean step %v vs spread %v", meanStep, spread)
+	}
+}
+
+func TestStaticFixesAndCalibrateR(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	fixes, err := StaticFixes(rng, DefaultGPS(), geo.Point{X: 10, Y: -5}, 500, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := CalibrateR(fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: sigma ~ 0.5 m, R = 6 sigma ~ 3 m.
+	if cal.Sigma < 0.25 || cal.Sigma > 0.8 {
+		t.Fatalf("sigma = %v, want ~0.5", cal.Sigma)
+	}
+	if math.Abs(cal.R-6*cal.Sigma) > 1e-12 {
+		t.Fatal("R must equal 6 sigma")
+	}
+	if geo.Dist(cal.MeanPos, geo.Point{X: 10, Y: -5}) > 1 {
+		t.Fatalf("mean position %v too far from truth", cal.MeanPos)
+	}
+	if cal.N != 500 {
+		t.Fatalf("N = %d", cal.N)
+	}
+}
+
+func TestStaticFixesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := StaticFixes(rng, DefaultGPS(), geo.Point{}, 0, time.Second); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := StaticFixes(rng, DefaultGPS(), geo.Point{}, 5, 0); err == nil {
+		t.Fatal("zero interval must error")
+	}
+	if _, err := CalibrateR(make([]geo.Point, 3)); err == nil {
+		t.Fatal("too few fixes must error")
+	}
+}
+
+func TestRepeatRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tracks, err := RepeatRoute(rng, Options{
+		Route:     cornerRoute(),
+		Mode:      trajectory.ModeWalking,
+		Start:     _t0,
+		Interval:  time.Second,
+		MaxPoints: 40,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 5 {
+		t.Fatalf("tracks = %d", len(tracks))
+	}
+	// Runs must differ from each other.
+	same := 0
+	for i := range tracks[0].Points {
+		if tracks[0].Points[i].Fix == tracks[1].Points[i].Fix {
+			same++
+		}
+	}
+	if same > len(tracks[0].Points)/2 {
+		t.Fatal("repetitions look identical")
+	}
+	if _, err := RepeatRoute(rng, Options{}, 0); err == nil {
+		t.Fatal("n=0 must error")
+	}
+}
+
+func TestProfileForCoversModes(t *testing.T) {
+	for _, m := range trajectory.Modes() {
+		p := ProfileFor(m)
+		if p.Mode != m {
+			t.Fatalf("profile mode %v != %v", p.Mode, m)
+		}
+		if p.CruiseSpeed <= 0 || p.MaxAccel <= 0 || p.MaxDecel <= 0 {
+			t.Fatalf("degenerate profile for %v: %+v", m, p)
+		}
+	}
+	// Unknown mode falls back to walking kinematics.
+	if p := ProfileFor(trajectory.Mode(99)); p.CruiseSpeed != 1.4 {
+		t.Fatal("unknown mode must fall back to walking")
+	}
+}
+
+func distToPolyline(p geo.Point, line []geo.Point) float64 {
+	best := math.Inf(1)
+	for i := 1; i < len(line); i++ {
+		if d := distToSegment(p, line[i-1], line[i]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func distToSegment(p, a, b geo.Point) float64 {
+	ab := b.Sub(a)
+	denom := ab.X*ab.X + ab.Y*ab.Y
+	if denom == 0 {
+		return geo.Dist(p, a)
+	}
+	t := ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / denom
+	t = math.Max(0, math.Min(1, t))
+	return geo.Dist(p, geo.Lerp(a, b, t))
+}

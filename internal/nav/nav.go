@@ -1,0 +1,116 @@
+// Package nav is the navigation-service substrate standing in for the
+// commercial navigation system (Amap / Google Maps) used by the paper's
+// navigation attack. Given a start, a destination, and a transport mode it
+// returns a planned route with a recommended speed, and can sample the route
+// into a constant-interval trajectory — precisely the procedure the paper
+// uses to build its AN dataset ("we set a reasonable speed … then sample at
+// 1 s intervals on the route").
+package nav
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/routing"
+	"trajforge/internal/trajectory"
+)
+
+// Service plans routes over a road network.
+type Service struct {
+	graph *roadnet.Graph
+}
+
+// NewService returns a navigation service over g.
+func NewService(g *roadnet.Graph) *Service {
+	return &Service{graph: g}
+}
+
+// Graph returns the underlying road network.
+func (s *Service) Graph() *roadnet.Graph { return s.graph }
+
+// Plan is a navigation result.
+type Plan struct {
+	// Polyline is the route geometry, start to end.
+	Polyline []geo.Point
+	// Length is the route length in metres.
+	Length float64
+	// RecommendedSpeed is the service's suggested cruise speed in m/s,
+	// derived from the per-edge mode speeds (length-weighted harmonic mean,
+	// i.e. total length over total travel time).
+	RecommendedSpeed float64
+	// Duration is the estimated travel time.
+	Duration time.Duration
+	Mode     trajectory.Mode
+}
+
+// Route plans a route between the road-network positions nearest to from
+// and to.
+func (s *Service) Route(from, to geo.Point, mode trajectory.Mode) (*Plan, error) {
+	a := s.graph.NearestNode(from)
+	b := s.graph.NearestNode(to)
+	if a == b {
+		return nil, fmt.Errorf("nav: start and destination map to the same intersection %d", a)
+	}
+	r, err := routing.Plan(s.graph, routing.Query{
+		From: a, To: b,
+		Mode:      mode,
+		Objective: routing.FastestTime,
+		UseAStar:  true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nav: plan %v route: %w", mode, err)
+	}
+	var travelTime float64
+	for _, eid := range r.Edges {
+		e := s.graph.Edge(eid)
+		travelTime += e.Length / routing.ModeSpeed(mode, e)
+	}
+	speed := r.Length / travelTime
+	return &Plan{
+		Polyline:         r.Polyline(s.graph),
+		Length:           r.Length,
+		RecommendedSpeed: speed,
+		Duration:         time.Duration(travelTime * float64(time.Second)),
+		Mode:             mode,
+	}, nil
+}
+
+// Sample converts a plan into a trajectory by moving along the route at the
+// recommended speed and recording a fix every interval — the naive,
+// kinematically too-clean artifact the paper's AN dataset consists of.
+// The trajectory ends when the route is exhausted or n points are recorded;
+// n <= 0 means run to the end of the route.
+func (p *Plan) Sample(start time.Time, interval time.Duration, n int) *trajectory.T {
+	if n <= 0 {
+		n = int(p.Length/(p.RecommendedSpeed*interval.Seconds())) + 1
+	}
+	pos := make([]geo.Point, 0, n)
+	for i := 0; i < n; i++ {
+		dist := p.RecommendedSpeed * interval.Seconds() * float64(i)
+		if dist > p.Length && i > 1 {
+			break
+		}
+		pos = append(pos, geo.PointAlong(p.Polyline, dist))
+	}
+	t := trajectory.New(pos, start, interval)
+	t.Mode = p.Mode
+	return t
+}
+
+// RandomTripEndpoints picks a random origin/destination pair of network
+// nodes at least minDist metres apart, mirroring the paper's "randomly
+// selected location pairs in Nanjing". It fails after a bounded number of
+// attempts on degenerate networks.
+func RandomTripEndpoints(rng *rand.Rand, g *roadnet.Graph, minDist float64) (from, to geo.Point, err error) {
+	for i := 0; i < 256; i++ {
+		a := g.Node(rng.Intn(g.NumNodes())).Pos
+		b := g.Node(rng.Intn(g.NumNodes())).Pos
+		if geo.Dist(a, b) >= minDist {
+			return a, b, nil
+		}
+	}
+	return geo.Point{}, geo.Point{}, fmt.Errorf("nav: no endpoints %g m apart after 256 draws", minDist)
+}

@@ -1,0 +1,133 @@
+package nav
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/trajectory"
+)
+
+var _t0 = time.Date(2022, 4, 1, 10, 0, 0, 0, time.UTC)
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	g, err := roadnet.Generate(rand.New(rand.NewSource(10)), roadnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewService(g)
+}
+
+func TestRouteBasics(t *testing.T) {
+	s := testService(t)
+	plan, err := s.Route(geo.Point{X: 20, Y: 20}, geo.Point{X: 750, Y: 550}, trajectory.ModeWalking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Polyline) < 2 {
+		t.Fatalf("polyline too short: %d", len(plan.Polyline))
+	}
+	if plan.Length < 700 {
+		t.Fatalf("route length %v implausibly short", plan.Length)
+	}
+	if plan.RecommendedSpeed <= 0 {
+		t.Fatalf("recommended speed %v", plan.RecommendedSpeed)
+	}
+	if plan.Mode != trajectory.ModeWalking {
+		t.Fatal("mode not set")
+	}
+	wantDur := plan.Length / plan.RecommendedSpeed
+	if math.Abs(plan.Duration.Seconds()-wantDur) > 1 {
+		t.Fatalf("duration %v inconsistent with length/speed %v", plan.Duration.Seconds(), wantDur)
+	}
+}
+
+func TestRouteSameIntersectionError(t *testing.T) {
+	s := testService(t)
+	p := s.Graph().Node(0).Pos
+	if _, err := s.Route(p, p, trajectory.ModeWalking); err == nil {
+		t.Fatal("same endpoints must error")
+	}
+}
+
+func TestRouteSpeedsByMode(t *testing.T) {
+	s := testService(t)
+	from := geo.Point{X: 10, Y: 10}
+	to := geo.Point{X: 700, Y: 500}
+	walk, err := s.Route(from, to, trajectory.ModeWalking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive, err := s.Route(from, to, trajectory.ModeDriving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walk.RecommendedSpeed > 2 {
+		t.Fatalf("walking speed %v too high", walk.RecommendedSpeed)
+	}
+	if drive.RecommendedSpeed < 2*walk.RecommendedSpeed {
+		t.Fatalf("driving speed %v not much faster than walking %v",
+			drive.RecommendedSpeed, walk.RecommendedSpeed)
+	}
+}
+
+func TestSampleConstantKinematics(t *testing.T) {
+	s := testService(t)
+	plan, err := s.Route(geo.Point{X: 0, Y: 0}, geo.Point{X: 600, Y: 400}, trajectory.ModeCycling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := plan.Sample(_t0, time.Second, 40)
+	if tr.Len() != 40 {
+		t.Fatalf("len = %d, want 40", tr.Len())
+	}
+	if err := tr.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	// The sampled trajectory moves at exactly the recommended speed
+	// (this unnatural smoothness is what makes the AN corpus detectable).
+	speeds := tr.Speeds()
+	for i, v := range speeds {
+		if math.Abs(v-plan.RecommendedSpeed) > 0.3 {
+			t.Fatalf("speed[%d] = %v, want ~%v", i, v, plan.RecommendedSpeed)
+		}
+	}
+}
+
+func TestSampleRunsToRouteEnd(t *testing.T) {
+	s := testService(t)
+	plan, err := s.Route(geo.Point{X: 0, Y: 0}, geo.Point{X: 300, Y: 200}, trajectory.ModeWalking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := plan.Sample(_t0, time.Second, 0)
+	if tr.Len() < 2 {
+		t.Fatalf("auto-length sample too short: %d", tr.Len())
+	}
+	last := tr.End().Pos
+	routeEnd := plan.Polyline[len(plan.Polyline)-1]
+	if geo.Dist(last, routeEnd) > plan.RecommendedSpeed+1 {
+		t.Fatalf("sample ends %v m from route end", geo.Dist(last, routeEnd))
+	}
+}
+
+func TestRandomTripEndpoints(t *testing.T) {
+	s := testService(t)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 20; i++ {
+		from, to, err := RandomTripEndpoints(rng, s.Graph(), 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if geo.Dist(from, to) < 300 {
+			t.Fatalf("endpoints %v m apart, want >= 300", geo.Dist(from, to))
+		}
+	}
+	if _, _, err := RandomTripEndpoints(rng, s.Graph(), 1e9); err == nil {
+		t.Fatal("impossible min distance must error")
+	}
+}

@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchClassifier(b *testing.B, hidden []int) (*Classifier, []Sample) {
+	b.Helper()
+	c, err := NewClassifier(Config{InputDim: 2, Hidden: hidden, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]Sample, 64)
+	for i := range samples {
+		samples[i] = Sample{Seq: randSeq(rng, 60, 2), Label: float64(i % 2)}
+	}
+	return c, samples
+}
+
+func BenchmarkForward(b *testing.B) {
+	c, samples := benchClassifier(b, []int{24})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(samples[i%len(samples)].Seq)
+	}
+}
+
+func BenchmarkBackward(b *testing.B) {
+	c, samples := benchClassifier(b, []int{24})
+	g := c.NewGrads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := samples[i%len(samples)]
+		c.Backward(s.Seq, s.Label, g)
+	}
+}

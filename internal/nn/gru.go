@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"math/rand"
+
+	"trajforge/internal/mat"
+)
+
+// GRULayer is a gated recurrent unit layer — a second recurrent
+// architecture used to extend the paper's transferability study beyond
+// LSTM variants (Table II). Gates are packed row-wise in the order reset
+// (r), update (z), candidate (n): row block k*H .. (k+1)*H of Wx/Wh/B
+// belongs to gate k. The candidate uses the standard formulation
+// n = tanh(Wx_n x + r ⊙ (Wh_n h) + b_n), h' = (1-z) ⊙ n + z ⊙ h.
+type GRULayer struct {
+	In, Hidden int
+	Wx         *mat.Mat  // 3H x In
+	Wh         *mat.Mat  // 3H x Hidden
+	B          []float64 // 3H
+}
+
+// newGRULayer initialises a layer with fan-in-scaled uniform weights.
+func newGRULayer(rng *rand.Rand, in, hidden int) *GRULayer {
+	l := &GRULayer{
+		In:     in,
+		Hidden: hidden,
+		Wx:     mat.New(3*hidden, in),
+		Wh:     mat.New(3*hidden, hidden),
+		B:      make([]float64, 3*hidden),
+	}
+	l.Wx.FillUniform(rng, 1.0/float64(in))
+	l.Wh.FillUniform(rng, 1.0/float64(hidden))
+	return l
+}
+
+// gruTape records a sequence pass for backprop.
+type gruTape struct {
+	T  int
+	xs [][]float64
+	// Per-step activations, length T*H each.
+	r, z, n, h []float64
+	// whn[t*H+j] caches (Wh_n h_{t-1})_j, needed by the reset-gate grad.
+	whn []float64
+}
+
+func (tp *gruTape) resize(T, H int) {
+	size := T * H
+	if cap(tp.r) < size {
+		tp.r = make([]float64, size)
+		tp.z = make([]float64, size)
+		tp.n = make([]float64, size)
+		tp.h = make([]float64, size)
+		tp.whn = make([]float64, size)
+	}
+	tp.r = tp.r[:size]
+	tp.z = tp.z[:size]
+	tp.n = tp.n[:size]
+	tp.h = tp.h[:size]
+	tp.whn = tp.whn[:size]
+	tp.T = T
+}
+
+// forward runs the sequence through the layer, filling the tape and
+// returning per-step hidden-state views.
+func (l *GRULayer) forward(xs [][]float64, tp *gruTape, scratch *scratchpad) [][]float64 {
+	T := len(xs)
+	H := l.Hidden
+	tp.resize(T, H)
+	tp.xs = xs
+
+	h := scratch.vec(H)
+	zx := scratch.vec(3 * H) // Wx x + B
+	zh := scratch.vec(3 * H) // Wh h
+	for j := range h {
+		h[j] = 0
+	}
+	hs := make([][]float64, T)
+	for t, x := range xs {
+		copy(zx, l.B)
+		l.Wx.MulVecAdd(zx, x)
+		for j := range zh {
+			zh[j] = 0
+		}
+		l.Wh.MulVec(zh, h)
+
+		base := t * H
+		for j := 0; j < H; j++ {
+			rv := mat.Sigmoid(zx[j] + zh[j])
+			zv := mat.Sigmoid(zx[H+j] + zh[H+j])
+			whn := zh[2*H+j]
+			nv := mat.Tanh(zx[2*H+j] + rv*whn)
+			hv := (1-zv)*nv + zv*h[j]
+
+			tp.r[base+j] = rv
+			tp.z[base+j] = zv
+			tp.n[base+j] = nv
+			tp.whn[base+j] = whn
+			tp.h[base+j] = hv
+			h[j] = hv
+		}
+		hs[t] = tp.h[base : base+H]
+	}
+	return hs
+}
+
+// gruGrads mirrors the layer's parameters.
+type gruGrads struct {
+	Wx *mat.Mat
+	Wh *mat.Mat
+	B  []float64
+}
+
+func newGRUGrads(l *GRULayer) *gruGrads {
+	return &gruGrads{
+		Wx: mat.New(3*l.Hidden, l.In),
+		Wh: mat.New(3*l.Hidden, l.Hidden),
+		B:  make([]float64, 3*l.Hidden),
+	}
+}
+
+// backward runs truncated-free BPTT through the layer; dh[t] is the
+// gradient arriving at h_t from above (nil = zero). Parameter gradients
+// accumulate into grads when non-nil; per-step input gradients are
+// returned (views into scratch storage).
+func (l *GRULayer) backward(tp *gruTape, dh [][]float64, grads *gruGrads, scratch *scratchpad) [][]float64 {
+	T := tp.T
+	H := l.Hidden
+
+	dxBack := scratch.vec(T * l.In)
+	for i := range dxBack {
+		dxBack[i] = 0
+	}
+	dxs := make([][]float64, T)
+
+	dhNext := scratch.vec(H)
+	dhTotal := scratch.vec(H)
+	dzx := scratch.vec(3 * H) // grads w.r.t. the Wx x + B pre-activations
+	dzh := scratch.vec(3 * H) // grads w.r.t. the Wh h pre-activations
+	for j := 0; j < H; j++ {
+		dhNext[j] = 0
+	}
+
+	for t := T - 1; t >= 0; t-- {
+		base := t * H
+		for j := 0; j < H; j++ {
+			dhTotal[j] = dhNext[j]
+		}
+		if dh[t] != nil {
+			for j := 0; j < H; j++ {
+				dhTotal[j] += dh[t][j]
+			}
+		}
+
+		for j := 0; j < H; j++ {
+			rv := tp.r[base+j]
+			zv := tp.z[base+j]
+			nv := tp.n[base+j]
+			whn := tp.whn[base+j]
+			var hPrev float64
+			if t > 0 {
+				hPrev = tp.h[base-H+j]
+			}
+
+			g := dhTotal[j]
+			dn := g * (1 - zv)
+			dz := g * (hPrev - nv)
+			dPreN := dn * (1 - nv*nv) // through tanh
+
+			dr := dPreN * whn
+			// Pre-activations of the sigmoid gates.
+			dzx[j] = dr * rv * (1 - rv)
+			dzx[H+j] = dz * zv * (1 - zv)
+			dzx[2*H+j] = dPreN
+
+			dzh[j] = dzx[j]
+			dzh[H+j] = dzx[H+j]
+			dzh[2*H+j] = dPreN * rv
+
+			// Direct carry into h_{t-1}.
+			dhNext[j] = g * zv
+		}
+		if grads != nil {
+			grads.Wx.AddOuter(dzx, tp.xs[t])
+			if t > 0 {
+				grads.Wh.AddOuter(dzh, tp.h[base-H:base])
+			}
+			mat.Axpy(grads.B, 1, dzx)
+		}
+		dx := dxBack[t*l.In : (t+1)*l.In]
+		l.Wx.MulVecT(dx, dzx)
+		dxs[t] = dx
+		if t > 0 {
+			l.Wh.MulVecT(dhNext, dzh)
+		}
+	}
+	return dxs
+}

@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewGRUClassifierErrors(t *testing.T) {
+	if _, err := NewGRUClassifier(Config{InputDim: 0, Hidden: []int{4}}); err == nil {
+		t.Fatal("zero input dim must error")
+	}
+	if _, err := NewGRUClassifier(Config{InputDim: 2, Hidden: []int{4, 4}}); err == nil {
+		t.Fatal("two layers must error")
+	}
+	if _, err := NewGRUClassifier(Config{InputDim: 2, Hidden: []int{0}}); err == nil {
+		t.Fatal("zero hidden must error")
+	}
+}
+
+func TestGRUForwardIsProbability(t *testing.T) {
+	c, err := NewGRUClassifier(Config{InputDim: 2, Hidden: []int{6}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		p := c.Forward(randSeq(rng, 10, 2))
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Forward = %v", p)
+		}
+	}
+	if c.Forward(nil) != 0.5 {
+		t.Fatal("empty sequence must return 0.5")
+	}
+}
+
+// TestGRUParamGradNumerical validates the GRU backward pass (parameters and
+// inputs) against finite differences, for both head variants.
+func TestGRUParamGradNumerical(t *testing.T) {
+	for _, meanPool := range []bool{false, true} {
+		c, err := NewGRUClassifier(Config{InputDim: 2, Hidden: []int{5}, Seed: 7, MeanPool: meanPool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Norm = Normalizer{Mean: []float64{0.2, -0.1}, Std: []float64{1.5, 0.8}}
+		rng := rand.New(rand.NewSource(8))
+		seq := randSeq(rng, 6, 2)
+		const label = 1.0
+
+		grads := c.NewGrads()
+		_, _, inputGrad := c.Backward(seq, label, grads)
+
+		const h = 1e-6
+		check := func(name string, param, grad []float64, indices []int) {
+			for _, idx := range indices {
+				orig := param[idx]
+				param[idx] = orig + h
+				lp := c.Loss(seq, label)
+				param[idx] = orig - h
+				lm := c.Loss(seq, label)
+				param[idx] = orig
+				numeric := (lp - lm) / (2 * h)
+				if math.Abs(numeric-grad[idx]) > 1e-4*(1+math.Abs(numeric)) {
+					t.Fatalf("meanPool=%v %s[%d]: analytic %v vs numeric %v",
+						meanPool, name, idx, grad[idx], numeric)
+				}
+			}
+		}
+		idx := []int{0, 3, 7, 11}
+		check("Wx", c.Layer.Wx.Data, grads.Layer.Wx.Data, idx)
+		check("Wh", c.Layer.Wh.Data, grads.Layer.Wh.Data, idx)
+		check("B", c.Layer.B, grads.Layer.B, idx)
+		check("HeadW", c.HeadW, grads.HeadW, []int{0, 2, 4})
+
+		// Input gradients.
+		for tt := range seq {
+			for j := range seq[tt] {
+				orig := seq[tt][j]
+				seq[tt][j] = orig + h
+				lp := c.Loss(seq, label)
+				seq[tt][j] = orig - h
+				lm := c.Loss(seq, label)
+				seq[tt][j] = orig
+				numeric := (lp - lm) / (2 * h)
+				if math.Abs(numeric-inputGrad[tt][j]) > 1e-4*(1+math.Abs(numeric)) {
+					t.Fatalf("meanPool=%v input[%d][%d]: analytic %v vs numeric %v",
+						meanPool, tt, j, inputGrad[tt][j], numeric)
+				}
+			}
+		}
+	}
+}
+
+func TestGRUTrainSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	gen := func(label float64, n int) []Sample {
+		out := make([]Sample, n)
+		for i := range out {
+			seq := make([][]float64, 12)
+			drift := 0.5
+			if label == 0 {
+				drift = -0.5
+			}
+			for tt := range seq {
+				seq[tt] = []float64{drift + 0.3*rng.NormFloat64(), 0.2 * rng.NormFloat64()}
+			}
+			out[i] = Sample{Seq: seq, Label: label}
+		}
+		return out
+	}
+	train := append(gen(1, 100), gen(0, 100)...)
+	test := append(gen(1, 40), gen(0, 40)...)
+
+	c, err := NewGRUClassifier(Config{InputDim: 2, Hidden: []int{8}, Seed: 21, MeanPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(train, TrainConfig{Epochs: 12, BatchSize: 16, LearningRate: 0.01, Seed: 22}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Evaluate(test); acc < 0.95 {
+		t.Fatalf("GRU accuracy %v < 0.95 on trivially separable task", acc)
+	}
+	if c.Evaluate(nil) != 0 {
+		t.Fatal("empty Evaluate must be 0")
+	}
+}
+
+func TestGRUTrainErrors(t *testing.T) {
+	c, _ := NewGRUClassifier(Config{InputDim: 2, Hidden: []int{4}, Seed: 1})
+	if err := c.Train(nil, TrainConfig{}); err == nil {
+		t.Fatal("empty training set must error")
+	}
+}

@@ -1,0 +1,270 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"trajforge/internal/mat"
+)
+
+// GRUClassifier is a single-layer GRU binary sequence classifier with a
+// (mean-pooled) sigmoid head. It extends the paper's transferability study
+// (Table II) with a recurrent architecture genuinely different from the
+// LSTM family: an attack tuned against model C can be scored against a
+// detector whose gating structure it has never seen.
+type GRUClassifier struct {
+	Layer    *GRULayer
+	HeadW    []float64
+	HeadB    float64
+	Norm     Normalizer
+	MeanPool bool
+
+	pool sync.Pool // of *gruRuntime
+}
+
+type gruRuntime struct {
+	tape    gruTape
+	scratch scratchpad
+}
+
+func (c *GRUClassifier) getRT() *gruRuntime {
+	if v := c.pool.Get(); v != nil {
+		rt := v.(*gruRuntime)
+		rt.scratch.Reset()
+		return rt
+	}
+	return &gruRuntime{}
+}
+
+// NewGRUClassifier builds a randomly initialised GRU classifier.
+func NewGRUClassifier(cfg Config) (*GRUClassifier, error) {
+	if cfg.InputDim <= 0 {
+		return nil, fmt.Errorf("nn: input dim %d must be positive", cfg.InputDim)
+	}
+	if len(cfg.Hidden) != 1 {
+		return nil, errors.New("nn: GRU classifier supports exactly one hidden layer")
+	}
+	if cfg.Hidden[0] <= 0 {
+		return nil, fmt.Errorf("nn: hidden size %d must be positive", cfg.Hidden[0])
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &GRUClassifier{
+		Layer:    newGRULayer(rng, cfg.InputDim, cfg.Hidden[0]),
+		HeadW:    make([]float64, cfg.Hidden[0]),
+		MeanPool: cfg.MeanPool,
+	}
+	scale := 1.0 / float64(cfg.Hidden[0])
+	for i := range c.HeadW {
+		c.HeadW[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return c, nil
+}
+
+// InputDim returns the expected per-step feature dimensionality.
+func (c *GRUClassifier) InputDim() int { return c.Layer.In }
+
+// forwardAll returns the head input (scratch view) and probability.
+func (c *GRUClassifier) forwardAll(rt *gruRuntime, seq [][]float64) ([]float64, float64) {
+	xs := c.Norm.Apply(seq)
+	hs := c.Layer.forward(xs, &rt.tape, &rt.scratch)
+	head := hs[len(hs)-1]
+	if c.MeanPool {
+		pooled := rt.scratch.vec(len(head))
+		for j := range pooled {
+			pooled[j] = 0
+		}
+		inv := 1 / float64(len(hs))
+		for _, h := range hs {
+			for j, v := range h {
+				pooled[j] += v * inv
+			}
+		}
+		head = pooled
+	}
+	return head, mat.Sigmoid(mat.Dot(c.HeadW, head) + c.HeadB)
+}
+
+// Forward returns P(real | seq).
+func (c *GRUClassifier) Forward(seq [][]float64) float64 {
+	if len(seq) == 0 {
+		return 0.5
+	}
+	rt := c.getRT()
+	defer c.pool.Put(rt)
+	_, p := c.forwardAll(rt, seq)
+	return p
+}
+
+// Loss returns the BCE of the sequence against the label.
+func (c *GRUClassifier) Loss(seq [][]float64, label float64) float64 {
+	return bce(c.Forward(seq), label)
+}
+
+// GRUGrads mirrors the trainable parameters.
+type GRUGrads struct {
+	Layer *gruGrads
+	HeadW []float64
+	HeadB float64
+}
+
+// NewGrads allocates a zero gradient.
+func (c *GRUClassifier) NewGrads() *GRUGrads {
+	return &GRUGrads{Layer: newGRUGrads(c.Layer), HeadW: make([]float64, len(c.HeadW))}
+}
+
+// Zero resets the gradient.
+func (g *GRUGrads) Zero() {
+	g.Layer.Wx.Zero()
+	g.Layer.Wh.Zero()
+	for i := range g.Layer.B {
+		g.Layer.B[i] = 0
+	}
+	for i := range g.HeadW {
+		g.HeadW[i] = 0
+	}
+	g.HeadB = 0
+}
+
+// Backward accumulates parameter gradients (grads may be nil) and returns
+// (loss, probability, input-sequence gradient).
+func (c *GRUClassifier) Backward(seq [][]float64, label float64, grads *GRUGrads) (loss, p float64, inputGrad [][]float64) {
+	rt := c.getRT()
+	defer c.pool.Put(rt)
+
+	head, prob := c.forwardAll(rt, seq)
+	loss = bce(prob, label)
+	dLogit := prob - label
+	if grads != nil {
+		mat.Axpy(grads.HeadW, dLogit, head)
+		grads.HeadB += dLogit
+	}
+
+	T := len(seq)
+	dh := make([][]float64, T)
+	if c.MeanPool {
+		dhAll := rt.scratch.vec(c.Layer.Hidden)
+		inv := 1 / float64(T)
+		for j := range dhAll {
+			dhAll[j] = dLogit * c.HeadW[j] * inv
+		}
+		for t := 0; t < T; t++ {
+			dh[t] = dhAll
+		}
+	} else {
+		dhLast := rt.scratch.vec(c.Layer.Hidden)
+		for j := range dhLast {
+			dhLast[j] = dLogit * c.HeadW[j]
+		}
+		dh[T-1] = dhLast
+	}
+	var lg *gruGrads
+	if grads != nil {
+		lg = grads.Layer
+	}
+	dx := c.Layer.backward(&rt.tape, dh, lg, &rt.scratch)
+
+	out := make([][]float64, T)
+	backing := make([]float64, T*c.InputDim())
+	for t, row := range dx {
+		r := backing[t*c.InputDim() : (t+1)*c.InputDim()]
+		copy(r, row)
+		out[t] = r
+	}
+	return loss, prob, c.Norm.gradBack(out)
+}
+
+// Train fits the classifier with mini-batch Adam (sequential — the GRU is
+// an extension model, not a hot path).
+func (c *GRUClassifier) Train(samples []Sample, cfg TrainConfig) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("nn: no training samples")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 1e-3
+	}
+	if cfg.LRDecay <= 0 || cfg.LRDecay > 1 {
+		cfg.LRDecay = 1
+	}
+	if !c.Norm.Fitted() {
+		seqs := make([][][]float64, len(samples))
+		for i, s := range samples {
+			seqs[i] = s.Seq
+		}
+		c.Norm = FitNormalizer(seqs, c.InputDim())
+	}
+
+	params := [][]float64{c.Layer.Wx.Data, c.Layer.Wh.Data, c.Layer.B, c.HeadW}
+	m := make([][]float64, len(params))
+	v := make([][]float64, len(params))
+	for i, p := range params {
+		m[i] = make([]float64, len(p))
+		v[i] = make([]float64, len(p))
+	}
+	var mB, vB float64
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	grads := c.NewGrads()
+	lr := cfg.LearningRate
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			grads.Zero()
+			for _, idx := range order[start:end] {
+				s := samples[idx]
+				c.Backward(s.Seq, s.Label, grads)
+			}
+			invN := 1.0 / float64(end-start)
+			gts := [][]float64{grads.Layer.Wx.Data, grads.Layer.Wh.Data, grads.Layer.B, grads.HeadW}
+			step++
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			for i, p := range params {
+				for j := range p {
+					g := gts[i][j] * invN
+					m[i][j] = beta1*m[i][j] + (1-beta1)*g
+					v[i][j] = beta2*v[i][j] + (1-beta2)*g*g
+					p[j] -= lr * (m[i][j] / bc1) / (math.Sqrt(v[i][j]/bc2) + eps)
+				}
+			}
+			gb := grads.HeadB * invN
+			mB = beta1*mB + (1-beta1)*gb
+			vB = beta2*vB + (1-beta2)*gb*gb
+			c.HeadB -= lr * (mB / bc1) / (math.Sqrt(vB/bc2) + eps)
+		}
+		lr *= cfg.LRDecay
+	}
+	return nil
+}
+
+// Evaluate returns the accuracy at the 0.5 threshold.
+func (c *GRUClassifier) Evaluate(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var correct int
+	for _, s := range samples {
+		if (c.Forward(s.Seq) >= 0.5) == (s.Label >= 0.5) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

@@ -1,0 +1,282 @@
+// Package nn implements the neural-network substrate from scratch: an LSTM
+// sequence classifier with a sigmoid head (the paper's target model C and
+// its transfer variants LSTM-1/LSTM-2), full backpropagation through time
+// for training, the Adam optimizer, and — crucially for the C&W attack —
+// gradients of the loss with respect to the *input sequence*.
+//
+// The implementation is pure Go over internal/mat kernels and is
+// allocation-conscious: one forward/backward pass over a T-step sequence
+// performs O(1) heap allocations (big backing arrays sliced per step).
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trajforge/internal/mat"
+)
+
+// LSTMLayer is a single LSTM layer. The four gates are packed row-wise in
+// the order input (i), forget (f), candidate (g), output (o): row block k*H
+// .. (k+1)*H of Wx/Wh/B belongs to gate k.
+type LSTMLayer struct {
+	In, Hidden int
+	Wx         *mat.Mat  // 4H x In
+	Wh         *mat.Mat  // 4H x Hidden
+	B          []float64 // 4H
+}
+
+// newLSTMLayer initialises a layer with uniform weights scaled by fan-in
+// and a positive forget-gate bias (the standard trick that stabilises early
+// training).
+func newLSTMLayer(rng *rand.Rand, in, hidden int) *LSTMLayer {
+	l := &LSTMLayer{
+		In:     in,
+		Hidden: hidden,
+		Wx:     mat.New(4*hidden, in),
+		Wh:     mat.New(4*hidden, hidden),
+		B:      make([]float64, 4*hidden),
+	}
+	scaleX := 1.0 / float64(in)
+	scaleH := 1.0 / float64(hidden)
+	l.Wx.FillUniform(rng, scaleX)
+	l.Wh.FillUniform(rng, scaleH)
+	for j := hidden; j < 2*hidden; j++ {
+		l.B[j] = 1 // forget gate bias
+	}
+	return l
+}
+
+// layerTape records one sequence pass through a layer for BPTT. All
+// per-step vectors are views into shared backing arrays.
+type layerTape struct {
+	T  int
+	xs [][]float64 // layer inputs per step (views owned by the caller)
+	// Gate activations and cell states, length T*H each.
+	i, f, g, o, c, tanhC, h []float64
+}
+
+func (tp *layerTape) resize(T, H int) {
+	n := T * H
+	if cap(tp.i) < n {
+		tp.i = make([]float64, n)
+		tp.f = make([]float64, n)
+		tp.g = make([]float64, n)
+		tp.o = make([]float64, n)
+		tp.c = make([]float64, n)
+		tp.tanhC = make([]float64, n)
+		tp.h = make([]float64, n)
+	}
+	tp.i = tp.i[:n]
+	tp.f = tp.f[:n]
+	tp.g = tp.g[:n]
+	tp.o = tp.o[:n]
+	tp.c = tp.c[:n]
+	tp.tanhC = tp.tanhC[:n]
+	tp.h = tp.h[:n]
+	tp.T = T
+}
+
+// hiddenAt returns the hidden-state view of step t.
+func (tp *layerTape) hiddenAt(t, H int) []float64 { return tp.h[t*H : (t+1)*H] }
+
+// forward runs the whole sequence through the layer, filling the tape. The
+// returned slice holds per-step hidden-state views into the tape.
+func (l *LSTMLayer) forward(xs [][]float64, tp *layerTape, scratch *scratchpad) [][]float64 {
+	T := len(xs)
+	H := l.Hidden
+	tp.resize(T, H)
+	tp.xs = xs
+
+	h := scratch.vec(H)
+	c := scratch.vec(H)
+	z := scratch.vec(4 * H)
+	for j := range h {
+		h[j], c[j] = 0, 0
+	}
+
+	hs := make([][]float64, T)
+	for t, x := range xs {
+		copy(z, l.B)
+		l.Wx.MulVecAdd(z, x)
+		l.Wh.MulVecAdd(z, h)
+
+		base := t * H
+		for j := 0; j < H; j++ {
+			iv := mat.Sigmoid(z[j])
+			fv := mat.Sigmoid(z[H+j])
+			gv := mat.Tanh(z[2*H+j])
+			ov := mat.Sigmoid(z[3*H+j])
+			cv := fv*c[j] + iv*gv
+			tc := mat.Tanh(cv)
+			hv := ov * tc
+
+			tp.i[base+j] = iv
+			tp.f[base+j] = fv
+			tp.g[base+j] = gv
+			tp.o[base+j] = ov
+			tp.c[base+j] = cv
+			tp.tanhC[base+j] = tc
+			tp.h[base+j] = hv
+
+			c[j] = cv
+			h[j] = hv
+		}
+		hs[t] = tp.h[base : base+H]
+	}
+	return hs
+}
+
+// lstmGrads mirrors the layer's parameters.
+type lstmGrads struct {
+	Wx *mat.Mat
+	Wh *mat.Mat
+	B  []float64
+}
+
+func newLSTMGrads(l *LSTMLayer) *lstmGrads {
+	return &lstmGrads{
+		Wx: mat.New(4*l.Hidden, l.In),
+		Wh: mat.New(4*l.Hidden, l.Hidden),
+		B:  make([]float64, 4*l.Hidden),
+	}
+}
+
+func (g *lstmGrads) zero() {
+	g.Wx.Zero()
+	g.Wh.Zero()
+	for i := range g.B {
+		g.B[i] = 0
+	}
+}
+
+func (g *lstmGrads) addScaled(other *lstmGrads, s float64) {
+	g.Wx.AddScaled(other.Wx, s)
+	g.Wh.AddScaled(other.Wh, s)
+	mat.Axpy(g.B, s, other.B)
+}
+
+// backward runs BPTT through the layer. dh[t] is the gradient arriving at
+// the hidden output of step t from above (the head and/or the next layer);
+// nil entries mean zero. It returns per-step input gradients (views into a
+// scratch backing array that remains valid until the scratchpad is reused
+// for another backward pass of the same layer). Parameter gradients
+// accumulate into grads when non-nil.
+func (l *LSTMLayer) backward(tp *layerTape, dh [][]float64, grads *lstmGrads, scratch *scratchpad) [][]float64 {
+	T := tp.T
+	H := l.Hidden
+
+	dxBack := scratch.vec(T * l.In)
+	for i := range dxBack {
+		dxBack[i] = 0
+	}
+	dxs := make([][]float64, T)
+
+	dhNext := scratch.vec(H)
+	dcNext := scratch.vec(H)
+	dhTotal := scratch.vec(H)
+	dz := scratch.vec(4 * H)
+	for j := 0; j < H; j++ {
+		dhNext[j], dcNext[j] = 0, 0
+	}
+
+	for t := T - 1; t >= 0; t-- {
+		base := t * H
+		for j := 0; j < H; j++ {
+			dhTotal[j] = dhNext[j]
+		}
+		if dh[t] != nil {
+			for j := 0; j < H; j++ {
+				dhTotal[j] += dh[t][j]
+			}
+		}
+
+		for j := 0; j < H; j++ {
+			iv := tp.i[base+j]
+			fv := tp.f[base+j]
+			gv := tp.g[base+j]
+			ov := tp.o[base+j]
+			tc := tp.tanhC[base+j]
+			var cPrev float64
+			if t > 0 {
+				cPrev = tp.c[base-H+j]
+			}
+
+			dc := dcNext[j] + dhTotal[j]*ov*(1-tc*tc)
+			do := dhTotal[j] * tc
+			di := dc * gv
+			df := dc * cPrev
+			dg := dc * iv
+
+			dz[j] = di * iv * (1 - iv)
+			dz[H+j] = df * fv * (1 - fv)
+			dz[2*H+j] = dg * (1 - gv*gv)
+			dz[3*H+j] = do * ov * (1 - ov)
+
+			dcNext[j] = dc * fv
+		}
+		if grads != nil {
+			grads.Wx.AddOuter(dz, tp.xs[t])
+			if t > 0 {
+				grads.Wh.AddOuter(dz, tp.h[base-H:base])
+			}
+			mat.Axpy(grads.B, 1, dz)
+		}
+		dx := dxBack[t*l.In : (t+1)*l.In]
+		l.Wx.MulVecT(dx, dz)
+		dxs[t] = dx
+
+		for j := 0; j < H; j++ {
+			dhNext[j] = 0
+		}
+		if t > 0 {
+			l.Wh.MulVecT(dhNext, dz)
+		}
+	}
+	return dxs
+}
+
+// scratchpad hands out reusable float64 buffers. Each vec call returns a
+// fresh region, so multiple live buffers are fine; Reset recycles the
+// arena. Not safe for concurrent use — use one per worker.
+type scratchpad struct {
+	arenas [][]float64
+	next   int
+}
+
+// vec returns a length-n buffer (contents undefined).
+func (s *scratchpad) vec(n int) []float64 {
+	for i := s.next; i < len(s.arenas); i++ {
+		if cap(s.arenas[i]) >= n {
+			s.arenas[i], s.arenas[s.next] = s.arenas[s.next], s.arenas[i]
+			buf := s.arenas[s.next][:n]
+			s.next++
+			return buf
+		}
+	}
+	buf := make([]float64, n)
+	s.arenas = append(s.arenas, buf)
+	// Move the new arena into the consumed region.
+	last := len(s.arenas) - 1
+	s.arenas[last], s.arenas[s.next] = s.arenas[s.next], s.arenas[last]
+	s.next++
+	return buf
+}
+
+// Reset makes all buffers reusable again. Previously returned views become
+// invalid.
+func (s *scratchpad) Reset() { s.next = 0 }
+
+// check layer invariants at construction time in tests.
+func (l *LSTMLayer) validate() error {
+	if l.Wx.Rows != 4*l.Hidden || l.Wx.Cols != l.In {
+		return fmt.Errorf("nn: Wx shape %dx%d, want %dx%d", l.Wx.Rows, l.Wx.Cols, 4*l.Hidden, l.In)
+	}
+	if l.Wh.Rows != 4*l.Hidden || l.Wh.Cols != l.Hidden {
+		return fmt.Errorf("nn: Wh shape %dx%d, want %dx%d", l.Wh.Rows, l.Wh.Cols, 4*l.Hidden, l.Hidden)
+	}
+	if len(l.B) != 4*l.Hidden {
+		return fmt.Errorf("nn: B length %d, want %d", len(l.B), 4*l.Hidden)
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"trajforge/internal/mat"
+)
+
+// Config describes a classifier architecture.
+type Config struct {
+	// InputDim is the per-step feature dimensionality.
+	InputDim int
+	// Hidden lists the hidden sizes of the stacked LSTM layers. The paper's
+	// model C uses one layer; LSTM-2 adds a second.
+	Hidden []int
+	// Seed initialises the weights.
+	Seed int64
+	// MeanPool feeds the head the time-average of the top layer's hidden
+	// states instead of the final state. Global motion statistics (speed
+	// variance, jitter) are spread evenly over the sequence, so pooling
+	// speeds up learning dramatically at small training scales.
+	MeanPool bool
+}
+
+// Classifier is a stacked-LSTM binary sequence classifier with a sigmoid
+// head. Output is the probability that the sequence is a *real* trajectory
+// (label 1); fakes carry label 0. Forward/Backward are safe for concurrent
+// use: per-call state comes from an internal pool.
+type Classifier struct {
+	Layers []*LSTMLayer
+	// Head maps the final hidden state to a logit.
+	HeadW []float64
+	HeadB float64
+	// Norm is the per-dimension input normalisation fitted on the training
+	// set and applied inside Forward.
+	Norm Normalizer
+	// MeanPool mirrors Config.MeanPool.
+	MeanPool bool
+
+	pool sync.Pool // of *runtimeState
+}
+
+// runtimeState is the reusable per-call working memory.
+type runtimeState struct {
+	tapes   []layerTape
+	scratch scratchpad
+}
+
+func (c *Classifier) getRT() *runtimeState {
+	if v := c.pool.Get(); v != nil {
+		rt := v.(*runtimeState)
+		if len(rt.tapes) == len(c.Layers) {
+			rt.scratch.Reset()
+			return rt
+		}
+	}
+	return &runtimeState{tapes: make([]layerTape, len(c.Layers))}
+}
+
+func (c *Classifier) putRT(rt *runtimeState) { c.pool.Put(rt) }
+
+// Normalizer standardises input features per dimension.
+type Normalizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// Fitted reports whether the normaliser has been fitted.
+func (n *Normalizer) Fitted() bool { return len(n.Mean) > 0 }
+
+// Apply returns the standardised copy of seq.
+func (n *Normalizer) Apply(seq [][]float64) [][]float64 {
+	if !n.Fitted() {
+		return seq
+	}
+	out := make([][]float64, len(seq))
+	backing := make([]float64, len(seq)*len(n.Mean))
+	for t, row := range seq {
+		r := backing[t*len(n.Mean) : (t+1)*len(n.Mean)]
+		for j, v := range row {
+			r[j] = (v - n.Mean[j]) / n.Std[j]
+		}
+		out[t] = r
+	}
+	return out
+}
+
+// gradBack maps a gradient on normalised features back to raw features.
+func (n *Normalizer) gradBack(grad [][]float64) [][]float64 {
+	if !n.Fitted() {
+		return grad
+	}
+	out := make([][]float64, len(grad))
+	for t, row := range grad {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = v / n.Std[j]
+		}
+		out[t] = r
+	}
+	return out
+}
+
+// FitNormalizer estimates per-dimension mean/std over all steps of all
+// sequences, flooring std to avoid division blow-ups.
+func FitNormalizer(seqs [][][]float64, dim int) Normalizer {
+	mean := make([]float64, dim)
+	std := make([]float64, dim)
+	var count float64
+	for _, seq := range seqs {
+		for _, row := range seq {
+			for j := 0; j < dim; j++ {
+				mean[j] += row[j]
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return Normalizer{}
+	}
+	for j := range mean {
+		mean[j] /= count
+	}
+	for _, seq := range seqs {
+		for _, row := range seq {
+			for j := 0; j < dim; j++ {
+				d := row[j] - mean[j]
+				std[j] += d * d
+			}
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / count)
+		if std[j] < 1e-6 {
+			std[j] = 1e-6
+		}
+	}
+	return Normalizer{Mean: mean, Std: std}
+}
+
+// NewClassifier builds a randomly initialised classifier.
+func NewClassifier(cfg Config) (*Classifier, error) {
+	if cfg.InputDim <= 0 {
+		return nil, fmt.Errorf("nn: input dim %d must be positive", cfg.InputDim)
+	}
+	if len(cfg.Hidden) == 0 {
+		return nil, errors.New("nn: need at least one hidden layer")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Classifier{}
+	in := cfg.InputDim
+	for _, h := range cfg.Hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("nn: hidden size %d must be positive", h)
+		}
+		c.Layers = append(c.Layers, newLSTMLayer(rng, in, h))
+		in = h
+	}
+	c.HeadW = make([]float64, in)
+	scale := 1.0 / float64(in)
+	for i := range c.HeadW {
+		c.HeadW[i] = (rng.Float64()*2 - 1) * scale
+	}
+	c.MeanPool = cfg.MeanPool
+	return c, nil
+}
+
+// InputDim returns the expected per-step feature dimensionality.
+func (c *Classifier) InputDim() int { return c.Layers[0].In }
+
+// forwardAll runs the full network on rt, returning the head input (final
+// or mean-pooled hidden state, a scratch view) and the probability. The
+// tapes stay populated for a backward pass.
+func (c *Classifier) forwardAll(rt *runtimeState, seq [][]float64) ([]float64, float64) {
+	xs := c.Norm.Apply(seq)
+	var hs [][]float64
+	for li, l := range c.Layers {
+		hs = l.forward(xs, &rt.tapes[li], &rt.scratch)
+		xs = hs
+	}
+	head := hs[len(hs)-1]
+	if c.MeanPool {
+		pooled := rt.scratch.vec(len(head))
+		for j := range pooled {
+			pooled[j] = 0
+		}
+		inv := 1 / float64(len(hs))
+		for _, h := range hs {
+			for j, v := range h {
+				pooled[j] += v * inv
+			}
+		}
+		head = pooled
+	}
+	logit := mat.Dot(c.HeadW, head) + c.HeadB
+	return head, mat.Sigmoid(logit)
+}
+
+// Forward returns P(real | seq).
+func (c *Classifier) Forward(seq [][]float64) float64 {
+	if len(seq) == 0 {
+		return 0.5
+	}
+	rt := c.getRT()
+	defer c.putRT(rt)
+	_, p := c.forwardAll(rt, seq)
+	return p
+}
+
+// PredictReal reports whether the classifier considers the sequence real at
+// the 0.5 threshold.
+func (c *Classifier) PredictReal(seq [][]float64) bool { return c.Forward(seq) >= 0.5 }
+
+// Loss returns the binary cross-entropy of the sequence against the label
+// (1 = real, 0 = fake).
+func (c *Classifier) Loss(seq [][]float64, label float64) float64 {
+	p := c.Forward(seq)
+	return bce(p, label)
+}
+
+func bce(p, label float64) float64 {
+	const eps = 1e-12
+	p = math.Min(1-eps, math.Max(eps, p))
+	return -(label*math.Log(p) + (1-label)*math.Log(1-p))
+}
+
+// Grads mirrors all trainable parameters.
+type Grads struct {
+	Layers []*lstmGrads
+	HeadW  []float64
+	HeadB  float64
+}
+
+// NewGrads allocates a zero gradient for c.
+func (c *Classifier) NewGrads() *Grads {
+	g := &Grads{HeadW: make([]float64, len(c.HeadW))}
+	for _, l := range c.Layers {
+		g.Layers = append(g.Layers, newLSTMGrads(l))
+	}
+	return g
+}
+
+// Zero resets the gradient.
+func (g *Grads) Zero() {
+	for _, l := range g.Layers {
+		l.zero()
+	}
+	for i := range g.HeadW {
+		g.HeadW[i] = 0
+	}
+	g.HeadB = 0
+}
+
+// AddScaled accumulates g += s * other.
+func (g *Grads) AddScaled(other *Grads, s float64) {
+	for i, l := range g.Layers {
+		l.addScaled(other.Layers[i], s)
+	}
+	mat.Axpy(g.HeadW, s, other.HeadW)
+	g.HeadB += s * other.HeadB
+}
+
+// Backward computes the BCE loss of (seq, label), accumulates parameter
+// gradients into grads (when non-nil), and returns (loss, probability,
+// gradient w.r.t. the raw input sequence). The returned gradient rows are
+// freshly allocated and safe to retain.
+func (c *Classifier) Backward(seq [][]float64, label float64, grads *Grads) (loss, p float64, inputGrad [][]float64) {
+	rt := c.getRT()
+	defer c.putRT(rt)
+
+	final, prob := c.forwardAll(rt, seq)
+	loss = bce(prob, label)
+	dLogit := prob - label
+
+	if grads != nil {
+		mat.Axpy(grads.HeadW, dLogit, final)
+		grads.HeadB += dLogit
+	}
+
+	// Seed dh for the top layer: the last timestep receives the full head
+	// gradient, or every timestep receives 1/T of it under mean pooling.
+	T := len(seq)
+	top := len(c.Layers) - 1
+	dh := make([][]float64, T)
+	if c.MeanPool {
+		dhAll := rt.scratch.vec(c.Layers[top].Hidden)
+		inv := 1 / float64(T)
+		for j := range dhAll {
+			dhAll[j] = dLogit * c.HeadW[j] * inv
+		}
+		for t := 0; t < T; t++ {
+			dh[t] = dhAll
+		}
+	} else {
+		dhLast := rt.scratch.vec(c.Layers[top].Hidden)
+		for j := range dhLast {
+			dhLast[j] = dLogit * c.HeadW[j]
+		}
+		dh[T-1] = dhLast
+	}
+
+	var dx [][]float64
+	for li := top; li >= 0; li-- {
+		var lg *lstmGrads
+		if grads != nil {
+			lg = grads.Layers[li]
+		}
+		dx = c.Layers[li].backward(&rt.tapes[li], dh, lg, &rt.scratch)
+		dh = dx
+	}
+	// Detach from scratch storage before returning.
+	out := make([][]float64, T)
+	backing := make([]float64, T*c.InputDim())
+	for t, row := range dx {
+		r := backing[t*c.InputDim() : (t+1)*c.InputDim()]
+		copy(r, row)
+		out[t] = r
+	}
+	return loss, prob, c.Norm.gradBack(out)
+}
+
+// InputGrad returns the gradient of the BCE loss w.r.t. the raw input
+// sequence, plus the loss and probability — the signal the C&W attack
+// optimises against.
+func (c *Classifier) InputGrad(seq [][]float64, label float64) (grad [][]float64, loss, p float64) {
+	loss, p, grad = c.Backward(seq, label, nil)
+	return grad, loss, p
+}

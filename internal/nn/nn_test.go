@@ -1,0 +1,396 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSeq(rng *rand.Rand, T, dim int) [][]float64 {
+	seq := make([][]float64, T)
+	for t := range seq {
+		seq[t] = make([]float64, dim)
+		for j := range seq[t] {
+			seq[t][j] = rng.NormFloat64()
+		}
+	}
+	return seq
+}
+
+func TestNewClassifierErrors(t *testing.T) {
+	if _, err := NewClassifier(Config{InputDim: 0, Hidden: []int{4}}); err == nil {
+		t.Fatal("zero input dim must error")
+	}
+	if _, err := NewClassifier(Config{InputDim: 2}); err == nil {
+		t.Fatal("no hidden layers must error")
+	}
+	if _, err := NewClassifier(Config{InputDim: 2, Hidden: []int{0}}); err == nil {
+		t.Fatal("zero hidden size must error")
+	}
+}
+
+func TestForwardIsProbability(t *testing.T) {
+	c, err := NewClassifier(Config{InputDim: 2, Hidden: []int{8}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		p := c.Forward(randSeq(rng, 10, 2))
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Forward = %v", p)
+		}
+	}
+	if c.Forward(nil) != 0.5 {
+		t.Fatal("empty sequence must return 0.5")
+	}
+	if c.InputDim() != 2 {
+		t.Fatal("InputDim wrong")
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	c, _ := NewClassifier(Config{InputDim: 2, Hidden: []int{6}, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	seq := randSeq(rng, 12, 2)
+	if c.Forward(seq) != c.Forward(seq) {
+		t.Fatal("Forward not deterministic")
+	}
+}
+
+// TestParameterGradNumerical verifies BPTT parameter gradients against
+// central finite differences for a 2-layer stack.
+func TestParameterGradNumerical(t *testing.T) {
+	c, err := NewClassifier(Config{InputDim: 2, Hidden: []int{5, 4}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	seq := randSeq(rng, 6, 2)
+	const label = 1.0
+
+	grads := c.NewGrads()
+	c.Backward(seq, label, grads)
+
+	check := func(name string, param []float64, grad []float64, indices []int) {
+		const h = 1e-6
+		for _, idx := range indices {
+			orig := param[idx]
+			param[idx] = orig + h
+			lp := c.Loss(seq, label)
+			param[idx] = orig - h
+			lm := c.Loss(seq, label)
+			param[idx] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grad[idx]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, idx, grad[idx], numeric)
+			}
+		}
+	}
+
+	idx := []int{0, 3, 7, 11}
+	for li, l := range c.Layers {
+		lg := grads.Layers[li]
+		check("Wx", l.Wx.Data, lg.Wx.Data, idx)
+		check("Wh", l.Wh.Data, lg.Wh.Data, idx)
+		check("B", l.B, lg.B, idx)
+	}
+	check("HeadW", c.HeadW, grads.HeadW, []int{0, 1, 2, 3})
+
+	// HeadB scalar.
+	const h = 1e-6
+	orig := c.HeadB
+	c.HeadB = orig + h
+	lp := c.Loss(seq, label)
+	c.HeadB = orig - h
+	lm := c.Loss(seq, label)
+	c.HeadB = orig
+	numeric := (lp - lm) / (2 * h)
+	if math.Abs(numeric-grads.HeadB) > 1e-5 {
+		t.Fatalf("HeadB: analytic %v vs numeric %v", grads.HeadB, numeric)
+	}
+}
+
+// TestInputGradNumerical verifies the input-sequence gradient (the quantity
+// the C&W attack uses) against finite differences, including through the
+// normaliser.
+func TestInputGradNumerical(t *testing.T) {
+	c, err := NewClassifier(Config{InputDim: 2, Hidden: []int{6}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Norm = Normalizer{Mean: []float64{0.5, -0.2}, Std: []float64{2.0, 0.7}}
+	rng := rand.New(rand.NewSource(10))
+	seq := randSeq(rng, 5, 2)
+	const label = 0.0
+
+	grad, loss, p := c.InputGrad(seq, label)
+	if loss <= 0 || p < 0 || p > 1 {
+		t.Fatalf("loss=%v p=%v", loss, p)
+	}
+	const h = 1e-6
+	for tt := range seq {
+		for j := range seq[tt] {
+			orig := seq[tt][j]
+			seq[tt][j] = orig + h
+			lp := c.Loss(seq, label)
+			seq[tt][j] = orig - h
+			lm := c.Loss(seq, label)
+			seq[tt][j] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grad[tt][j]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("input grad[%d][%d]: analytic %v vs numeric %v", tt, j, grad[tt][j], numeric)
+			}
+		}
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	seqs := [][][]float64{
+		{{1, 10}, {3, 30}},
+		{{5, 50}, {7, 70}},
+	}
+	n := FitNormalizer(seqs, 2)
+	if math.Abs(n.Mean[0]-4) > 1e-9 || math.Abs(n.Mean[1]-40) > 1e-9 {
+		t.Fatalf("mean = %v", n.Mean)
+	}
+	out := n.Apply(seqs[0])
+	// Standardised values must have the right sign and magnitude.
+	if out[0][0] >= 0 || out[1][0] >= 0 {
+		t.Fatalf("standardised below-mean values must be negative: %v", out)
+	}
+	// Constant dimension must not divide by zero.
+	constSeqs := [][][]float64{{{2, 5}, {2, 5}}}
+	nc := FitNormalizer(constSeqs, 2)
+	applied := nc.Apply(constSeqs[0])
+	for _, row := range applied {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("constant feature produced NaN/Inf")
+			}
+		}
+	}
+	unfitted := FitNormalizer(nil, 2)
+	if unfitted.Fitted() {
+		t.Fatal("empty fit must be unfitted")
+	}
+}
+
+// TestTrainSeparatesSyntheticClasses trains on an easy synthetic task:
+// class 1 sequences drift upward, class 0 drift downward.
+func TestTrainSeparatesSyntheticClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	gen := func(label float64, n int) []Sample {
+		out := make([]Sample, n)
+		for i := range out {
+			T := 12
+			seq := make([][]float64, T)
+			drift := 0.5
+			if label == 0 {
+				drift = -0.5
+			}
+			for tt := 0; tt < T; tt++ {
+				seq[tt] = []float64{
+					drift + 0.3*rng.NormFloat64(),
+					0.2 * rng.NormFloat64(),
+				}
+			}
+			out[i] = Sample{Seq: seq, Label: label}
+		}
+		return out
+	}
+	train := append(gen(1, 120), gen(0, 120)...)
+	test := append(gen(1, 40), gen(0, 40)...)
+
+	c, err := NewClassifier(Config{InputDim: 2, Hidden: []int{8}, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Train(train, TrainConfig{Epochs: 12, BatchSize: 16, LearningRate: 0.01, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Evaluate(test); acc < 0.95 {
+		t.Fatalf("accuracy %v < 0.95 on trivially separable task", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	c, _ := NewClassifier(Config{InputDim: 2, Hidden: []int{4}, Seed: 1})
+	if err := c.Train(nil, TrainConfig{}); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	bad := []Sample{{Seq: [][]float64{{1, 2, 3}}, Label: 1}}
+	if err := c.Train(bad, TrainConfig{}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	empty := []Sample{{Seq: nil, Label: 1}}
+	if err := c.Train(empty, TrainConfig{}); err == nil {
+		t.Fatal("empty sequence must error")
+	}
+}
+
+func TestTrainProgressCallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	samples := []Sample{
+		{Seq: randSeq(rng, 5, 2), Label: 1},
+		{Seq: randSeq(rng, 5, 2), Label: 0},
+	}
+	c, _ := NewClassifier(Config{InputDim: 2, Hidden: []int{4}, Seed: 31})
+	var epochs int
+	err := c.Train(samples, TrainConfig{Epochs: 3, BatchSize: 2, Progress: func(e int, loss float64) {
+		epochs++
+		if math.IsNaN(loss) {
+			t.Fatal("NaN loss")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 3 {
+		t.Fatalf("progress called %d times, want 3", epochs)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, _ := NewClassifier(Config{InputDim: 2, Hidden: []int{5, 3}, Seed: 40})
+	c.Norm = Normalizer{Mean: []float64{1, 2}, Std: []float64{3, 4}}
+	rng := rand.New(rand.NewSource(41))
+	seq := randSeq(rng, 8, 2)
+	want := c.Forward(seq)
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Forward(seq); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("loaded model predicts %v, want %v", got, want)
+	}
+	if len(back.Layers) != 2 {
+		t.Fatal("layer count lost")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage must error")
+	}
+	var buf bytes.Buffer
+	c, _ := NewClassifier(Config{InputDim: 2, Hidden: []int{4}, Seed: 1})
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream.
+	data := buf.Bytes()
+	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	c, _ := NewClassifier(Config{InputDim: 2, Hidden: []int{4}, Seed: 1})
+	if c.Evaluate(nil) != 0 {
+		t.Fatal("empty Evaluate must be 0")
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	c, _ := NewClassifier(Config{InputDim: 2, Hidden: []int{3}, Seed: 2})
+	g := c.NewGrads()
+	for i := range g.HeadW {
+		g.HeadW[i] = 100
+	}
+	g.HeadB = 100
+	clipGrads(g, 1.0)
+	var norm float64
+	for _, t := range gradTensors(g) {
+		for _, v := range t {
+			norm += v * v
+		}
+	}
+	norm += g.HeadB * g.HeadB
+	if math.Sqrt(norm) > 1.0+1e-9 {
+		t.Fatalf("clipped norm = %v", math.Sqrt(norm))
+	}
+	// A small gradient must be untouched.
+	g.Zero()
+	g.HeadB = 0.1
+	clipGrads(g, 1.0)
+	if g.HeadB != 0.1 {
+		t.Fatal("small gradient modified")
+	}
+}
+
+// TestInputGradNumericalMeanPool repeats the input-gradient check with the
+// mean-pooled head, which spreads the head gradient over all timesteps.
+func TestInputGradNumericalMeanPool(t *testing.T) {
+	c, err := NewClassifier(Config{InputDim: 2, Hidden: []int{5}, Seed: 17, MeanPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	seq := randSeq(rng, 6, 2)
+	const label = 1.0
+	grad, _, _ := c.InputGrad(seq, label)
+	const h = 1e-6
+	for tt := range seq {
+		for j := range seq[tt] {
+			orig := seq[tt][j]
+			seq[tt][j] = orig + h
+			lp := c.Loss(seq, label)
+			seq[tt][j] = orig - h
+			lm := c.Loss(seq, label)
+			seq[tt][j] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grad[tt][j]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("mean-pool grad[%d][%d]: analytic %v vs numeric %v", tt, j, grad[tt][j], numeric)
+			}
+		}
+	}
+}
+
+// TestParameterGradNumericalMeanPool checks parameter gradients under the
+// pooled head as well.
+func TestParameterGradNumericalMeanPool(t *testing.T) {
+	c, err := NewClassifier(Config{InputDim: 2, Hidden: []int{4}, Seed: 19, MeanPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	seq := randSeq(rng, 5, 2)
+	grads := c.NewGrads()
+	c.Backward(seq, 0, grads)
+	const h = 1e-6
+	for _, idx := range []int{0, 5, 9} {
+		orig := c.Layers[0].Wx.Data[idx]
+		c.Layers[0].Wx.Data[idx] = orig + h
+		lp := c.Loss(seq, 0)
+		c.Layers[0].Wx.Data[idx] = orig - h
+		lm := c.Loss(seq, 0)
+		c.Layers[0].Wx.Data[idx] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-grads.Layers[0].Wx.Data[idx]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("Wx[%d]: analytic %v vs numeric %v", idx, grads.Layers[0].Wx.Data[idx], numeric)
+		}
+	}
+	// MeanPool must survive a save/load round trip.
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.MeanPool {
+		t.Fatal("MeanPool flag lost in serialization")
+	}
+	if math.Abs(back.Forward(seq)-c.Forward(seq)) > 1e-15 {
+		t.Fatal("loaded pooled model diverges")
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"trajforge/internal/mat"
+)
+
+// snapshot is the gob wire form of a classifier.
+type snapshot struct {
+	Layers   []layerSnapshot
+	HeadW    []float64
+	HeadB    float64
+	Mean     []float64
+	Std      []float64
+	MeanPool bool
+}
+
+type layerSnapshot struct {
+	In, Hidden int
+	Wx, Wh     []float64
+	B          []float64
+}
+
+// Save writes the classifier to w in gob format.
+func (c *Classifier) Save(w io.Writer) error {
+	s := snapshot{HeadW: c.HeadW, HeadB: c.HeadB, Mean: c.Norm.Mean, Std: c.Norm.Std, MeanPool: c.MeanPool}
+	for _, l := range c.Layers {
+		s.Layers = append(s.Layers, layerSnapshot{
+			In: l.In, Hidden: l.Hidden,
+			Wx: l.Wx.Data, Wh: l.Wh.Data, B: l.B,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("nn: encode classifier: %w", err)
+	}
+	return nil
+}
+
+// Load reads a classifier written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decode classifier: %w", err)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("nn: snapshot has no layers")
+	}
+	c := &Classifier{HeadW: s.HeadW, HeadB: s.HeadB, Norm: Normalizer{Mean: s.Mean, Std: s.Std}, MeanPool: s.MeanPool}
+	for i, ls := range s.Layers {
+		if ls.In <= 0 || ls.Hidden <= 0 {
+			return nil, fmt.Errorf("nn: layer %d has invalid shape %dx%d", i, ls.In, ls.Hidden)
+		}
+		l := &LSTMLayer{
+			In: ls.In, Hidden: ls.Hidden,
+			Wx: &mat.Mat{Rows: 4 * ls.Hidden, Cols: ls.In, Data: ls.Wx},
+			Wh: &mat.Mat{Rows: 4 * ls.Hidden, Cols: ls.Hidden, Data: ls.Wh},
+			B:  ls.B,
+		}
+		if len(l.Wx.Data) != l.Wx.Rows*l.Wx.Cols || len(l.Wh.Data) != l.Wh.Rows*l.Wh.Cols {
+			return nil, fmt.Errorf("nn: layer %d weight data truncated", i)
+		}
+		if err := l.validate(); err != nil {
+			return nil, err
+		}
+		c.Layers = append(c.Layers, l)
+	}
+	if len(c.HeadW) != c.Layers[len(c.Layers)-1].Hidden {
+		return nil, fmt.Errorf("nn: head width %d does not match final hidden %d",
+			len(c.HeadW), c.Layers[len(c.Layers)-1].Hidden)
+	}
+	return c, nil
+}

@@ -1,0 +1,296 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Sample is one labelled training sequence.
+type Sample struct {
+	Seq   [][]float64
+	Label float64 // 1 = real, 0 = fake
+}
+
+// TrainConfig controls Train.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// LearningRate for Adam (the paper uses 1e-3).
+	LearningRate float64
+	// LRDecay multiplies the learning rate after every epoch (default 1).
+	LRDecay float64
+	// KeepBest restores the parameters of the epoch with the lowest mean
+	// training loss at the end of training, guarding against late-epoch
+	// divergence on small datasets.
+	KeepBest bool
+	// Workers bounds the gradient-worker goroutines; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed drives shuffling.
+	Seed int64
+	// Progress, when non-nil, receives the mean loss after each epoch.
+	Progress func(epoch int, meanLoss float64)
+}
+
+// Adam holds optimizer state for one tensor.
+type adamState struct {
+	m, v []float64
+}
+
+// Adam is the Adam optimizer over a classifier's parameters.
+type Adam struct {
+	lr      float64
+	beta1   float64
+	beta2   float64
+	eps     float64
+	t       int
+	states  []adamState
+	tensors [][]float64 // views of the parameter slices, same order as states
+}
+
+// NewAdam builds an optimizer for c with the given learning rate.
+func NewAdam(c *Classifier, lr float64) *Adam {
+	a := &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	add := func(p []float64) {
+		a.tensors = append(a.tensors, p)
+		a.states = append(a.states, adamState{
+			m: make([]float64, len(p)),
+			v: make([]float64, len(p)),
+		})
+	}
+	for _, l := range c.Layers {
+		add(l.Wx.Data)
+		add(l.Wh.Data)
+		add(l.B)
+	}
+	add(c.HeadW)
+	// HeadB handled as a one-element pseudo tensor via pointer capture in
+	// Step; store a slot for it.
+	a.states = append(a.states, adamState{m: make([]float64, 1), v: make([]float64, 1)})
+	return a
+}
+
+// gradTensors lists g's tensors in the same order as the optimizer's.
+func gradTensors(g *Grads) [][]float64 {
+	var out [][]float64
+	for _, l := range g.Layers {
+		out = append(out, l.Wx.Data, l.Wh.Data, l.B)
+	}
+	out = append(out, g.HeadW)
+	return out
+}
+
+// Step applies one Adam update of c's parameters from the gradient g.
+func (a *Adam) Step(c *Classifier, g *Grads) {
+	a.t++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	gts := gradTensors(g)
+	for i, params := range a.tensors {
+		st := a.states[i]
+		grad := gts[i]
+		for j := range params {
+			st.m[j] = a.beta1*st.m[j] + (1-a.beta1)*grad[j]
+			st.v[j] = a.beta2*st.v[j] + (1-a.beta2)*grad[j]*grad[j]
+			mh := st.m[j] / bc1
+			vh := st.v[j] / bc2
+			params[j] -= a.lr * mh / (math.Sqrt(vh) + a.eps)
+		}
+	}
+	// HeadB.
+	st := a.states[len(a.states)-1]
+	st.m[0] = a.beta1*st.m[0] + (1-a.beta1)*g.HeadB
+	st.v[0] = a.beta2*st.v[0] + (1-a.beta2)*g.HeadB*g.HeadB
+	c.HeadB -= a.lr * (st.m[0] / bc1) / (math.Sqrt(st.v[0]/bc2) + a.eps)
+}
+
+// Train fits the classifier on samples with mini-batch Adam. It fits the
+// input normaliser first (if not already fitted), shuffles every epoch, and
+// computes per-sample gradients in parallel worker goroutines that are
+// joined before each optimizer step.
+func (c *Classifier) Train(samples []Sample, cfg TrainConfig) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("nn: no training samples")
+	}
+	for i, s := range samples {
+		if len(s.Seq) == 0 {
+			return fmt.Errorf("nn: sample %d has empty sequence", i)
+		}
+		if len(s.Seq[0]) != c.InputDim() {
+			return fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(s.Seq[0]), c.InputDim())
+		}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 1e-3
+	}
+	if cfg.LRDecay <= 0 || cfg.LRDecay > 1 {
+		cfg.LRDecay = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	if !c.Norm.Fitted() {
+		seqs := make([][][]float64, len(samples))
+		for i, s := range samples {
+			seqs[i] = s.Seq
+		}
+		c.Norm = FitNormalizer(seqs, c.InputDim())
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewAdam(c, cfg.LearningRate)
+	bestLoss := math.Inf(1)
+	var bestParams []float64
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+
+	// Per-worker gradient buffers, reused across batches.
+	workerGrads := make([]*Grads, workers)
+	for i := range workerGrads {
+		workerGrads[i] = c.NewGrads()
+	}
+	batchGrad := c.NewGrads()
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+
+			losses := make([]float64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					workerGrads[w].Zero()
+					for k := w; k < len(batch); k += workers {
+						s := samples[batch[k]]
+						loss, _, _ := c.Backward(s.Seq, s.Label, workerGrads[w])
+						losses[w] += loss
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			batchGrad.Zero()
+			invN := 1.0 / float64(len(batch))
+			for w := 0; w < workers; w++ {
+				batchGrad.AddScaled(workerGrads[w], invN)
+				epochLoss += losses[w]
+			}
+			clipGrads(batchGrad, 5.0)
+			opt.Step(c, batchGrad)
+		}
+		meanLoss := epochLoss / float64(len(samples))
+		if cfg.KeepBest && meanLoss < bestLoss {
+			bestLoss = meanLoss
+			bestParams = c.snapshotParams(bestParams)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, meanLoss)
+		}
+		opt.lr *= cfg.LRDecay
+	}
+	if cfg.KeepBest && bestParams != nil {
+		c.restoreParams(bestParams)
+	}
+	return nil
+}
+
+// paramTensors lists the classifier's parameter slices in a stable order.
+func (c *Classifier) paramTensors() [][]float64 {
+	var out [][]float64
+	for _, l := range c.Layers {
+		out = append(out, l.Wx.Data, l.Wh.Data, l.B)
+	}
+	out = append(out, c.HeadW)
+	return out
+}
+
+// snapshotParams flattens all parameters (including HeadB) into buf.
+func (c *Classifier) snapshotParams(buf []float64) []float64 {
+	buf = buf[:0]
+	for _, t := range c.paramTensors() {
+		buf = append(buf, t...)
+	}
+	return append(buf, c.HeadB)
+}
+
+// restoreParams writes a snapshot back into the model.
+func (c *Classifier) restoreParams(buf []float64) {
+	pos := 0
+	for _, t := range c.paramTensors() {
+		copy(t, buf[pos:pos+len(t)])
+		pos += len(t)
+	}
+	c.HeadB = buf[pos]
+}
+
+// clipGrads rescales the gradient when its global norm exceeds maxNorm,
+// preventing exploding BPTT gradients.
+func clipGrads(g *Grads, maxNorm float64) {
+	var sq float64
+	for _, t := range gradTensors(g) {
+		for _, v := range t {
+			sq += v * v
+		}
+	}
+	sq += g.HeadB * g.HeadB
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := maxNorm / norm
+	for _, t := range gradTensors(g) {
+		for i := range t {
+			t[i] *= scale
+		}
+	}
+	g.HeadB *= scale
+}
+
+// Evaluate returns the fraction of samples classified correctly at the 0.5
+// threshold, computed in parallel.
+func (c *Classifier) Evaluate(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	correct := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < len(samples); k += workers {
+				s := samples[k]
+				if (c.Forward(s.Seq) >= 0.5) == (s.Label >= 0.5) {
+					correct[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int
+	for _, n := range correct {
+		total += n
+	}
+	return float64(total) / float64(len(samples))
+}

@@ -1,0 +1,107 @@
+package roadnet
+
+import (
+	"math"
+
+	"trajforge/internal/geo"
+)
+
+// EdgeIndex answers nearest-road queries over a graph: the distance from a
+// position to the closest road segment. The paper's "route rationality"
+// requirement — a trajectory projected to the map should match a reasonable
+// route — reduces to points staying near the road network, which is what a
+// provider can check cheaply before any learning-based verification.
+type EdgeIndex struct {
+	g    *Graph
+	cell float64
+	grid map[[2]int][]int32 // cell -> edge IDs overlapping it
+}
+
+// NewEdgeIndex builds the index with the given cell size (metres); cell
+// sizes around one block width work well. Non-positive cell sizes fall back
+// to 50 m.
+func NewEdgeIndex(g *Graph, cell float64) *EdgeIndex {
+	if cell <= 0 {
+		cell = 50
+	}
+	idx := &EdgeIndex{g: g, cell: cell, grid: make(map[[2]int][]int32)}
+	for _, e := range g.Edges() {
+		if e.From > e.To {
+			continue // index each undirected pair once
+		}
+		a := g.Node(e.From).Pos
+		b := g.Node(e.To).Pos
+		idx.addSegment(int32(e.ID), a, b)
+	}
+	return idx
+}
+
+// addSegment registers the edge in every cell its bounding box touches.
+func (idx *EdgeIndex) addSegment(id int32, a, b geo.Point) {
+	minX := int(math.Floor(math.Min(a.X, b.X) / idx.cell))
+	maxX := int(math.Floor(math.Max(a.X, b.X) / idx.cell))
+	minY := int(math.Floor(math.Min(a.Y, b.Y) / idx.cell))
+	maxY := int(math.Floor(math.Max(a.Y, b.Y) / idx.cell))
+	for cx := minX; cx <= maxX; cx++ {
+		for cy := minY; cy <= maxY; cy++ {
+			key := [2]int{cx, cy}
+			idx.grid[key] = append(idx.grid[key], id)
+		}
+	}
+}
+
+// DistanceToRoad returns the distance from p to the nearest road segment.
+// The search widens ring by ring until a hit is found; it always terminates
+// because the graph has at least one edge.
+func (idx *EdgeIndex) DistanceToRoad(p geo.Point) float64 {
+	cx := int(math.Floor(p.X / idx.cell))
+	cy := int(math.Floor(p.Y / idx.cell))
+	best := math.Inf(1)
+	// Upper bound on the rings that can possibly matter: from p to the far
+	// corner of the covered area.
+	w, h := idx.g.Size()
+	reach := math.Hypot(math.Max(math.Abs(p.X), math.Abs(p.X-w)),
+		math.Max(math.Abs(p.Y), math.Abs(p.Y-h)))
+	maxRing := int(reach/idx.cell) + 2
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate is found, one extra ring guarantees correctness
+		// (a nearer segment can live at most one ring further out).
+		if !math.IsInf(best, 1) && float64(ring-1)*idx.cell > best {
+			return best
+		}
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				if abs(dx) != ring && abs(dy) != ring {
+					continue // interior cells already visited
+				}
+				for _, id := range idx.grid[[2]int{cx + dx, cy + dy}] {
+					e := idx.g.Edge(int(id))
+					d := distToSegment(p, idx.g.Node(e.From).Pos, idx.g.Node(e.To).Pos)
+					if d < best {
+						best = d
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// distToSegment returns the distance from p to segment ab.
+func distToSegment(p, a, b geo.Point) float64 {
+	ab := b.Sub(a)
+	denom := ab.X*ab.X + ab.Y*ab.Y
+	if denom == 0 {
+		return geo.Dist(p, a)
+	}
+	t := ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / denom
+	t = math.Max(0, math.Min(1, t))
+	return geo.Dist(p, geo.Lerp(a, b, t))
+}

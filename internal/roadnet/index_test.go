@@ -1,0 +1,75 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajforge/internal/geo"
+)
+
+func TestEdgeIndexMatchesBruteForce(t *testing.T) {
+	g, err := Generate(rand.New(rand.NewSource(5)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewEdgeIndex(g, 50)
+
+	brute := func(p geo.Point) float64 {
+		best := math.Inf(1)
+		for _, e := range g.Edges() {
+			d := distToSegment(p, g.Node(e.From).Pos, g.Node(e.To).Pos)
+			if d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		p := geo.Point{X: rng.Float64()*900 - 50, Y: rng.Float64()*700 - 50}
+		got := idx.DistanceToRoad(p)
+		want := brute(p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("DistanceToRoad(%v) = %v, brute force %v", p, got, want)
+		}
+	}
+}
+
+func TestEdgeIndexOnRoadIsZero(t *testing.T) {
+	g, err := Generate(rand.New(rand.NewSource(7)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewEdgeIndex(g, 50)
+	// Node positions are on the network by definition.
+	for i := 0; i < g.NumNodes(); i += 7 {
+		if d := idx.DistanceToRoad(g.Node(i).Pos); d > 1e-9 {
+			t.Fatalf("node %d is %v m from the network", i, d)
+		}
+	}
+}
+
+func TestEdgeIndexDefaultCell(t *testing.T) {
+	g, err := Generate(rand.New(rand.NewSource(8)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewEdgeIndex(g, 0) // falls back to default cell
+	if d := idx.DistanceToRoad(geo.Point{X: 400, Y: 300}); math.IsInf(d, 1) {
+		t.Fatal("default-cell index found nothing")
+	}
+}
+
+func TestEdgeIndexFarPoint(t *testing.T) {
+	g, err := Generate(rand.New(rand.NewSource(9)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewEdgeIndex(g, 50)
+	d := idx.DistanceToRoad(geo.Point{X: 5000, Y: 5000})
+	if math.IsInf(d, 1) || d < 1000 {
+		t.Fatalf("far point distance = %v", d)
+	}
+}

@@ -1,0 +1,281 @@
+// Package roadnet generates and represents synthetic urban road networks.
+// The paper's navigation attack plans routes on a commercial map (Amap);
+// this package is the offline substitute: a deterministic, seeded generator
+// produces a perturbed-grid street network with typed roads (footways,
+// streets, arterials), intersection nodes, and per-edge speed limits, over
+// which internal/routing plans walking/cycling/driving routes.
+package roadnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trajforge/internal/geo"
+)
+
+// RoadClass describes the type of a road edge.
+type RoadClass int
+
+// Road classes, from smallest to largest.
+const (
+	ClassFootway RoadClass = iota + 1
+	ClassStreet
+	ClassArterial
+)
+
+func (c RoadClass) String() string {
+	switch c {
+	case ClassFootway:
+		return "footway"
+	case ClassStreet:
+		return "street"
+	case ClassArterial:
+		return "arterial"
+	default:
+		return fmt.Sprintf("RoadClass(%d)", int(c))
+	}
+}
+
+// Node is a road-network vertex (an intersection or endpoint).
+type Node struct {
+	ID  int
+	Pos geo.Point
+}
+
+// Edge is a directed road segment between two nodes. Every generated edge
+// has a twin in the opposite direction.
+type Edge struct {
+	ID     int
+	From   int
+	To     int
+	Class  RoadClass
+	Length float64 // metres
+	// SpeedLimit is the legal driving speed in m/s; walking and cycling
+	// speeds are capped by mode profiles instead.
+	SpeedLimit float64
+	// Signalized reports whether the To-end intersection has a traffic
+	// light (drivers may need to stop there).
+	Signalized bool
+}
+
+// Graph is a road network.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+	adj   [][]int // node ID -> outgoing edge IDs
+	// width, height of the covered area in metres.
+	width, height float64
+}
+
+// Nodes returns the node list (shared storage; callers must not modify).
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Edges returns the edge list (shared storage; callers must not modify).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Out returns the outgoing edge IDs of node id.
+func (g *Graph) Out(id int) []int { return g.adj[id] }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Size returns the width and height of the covered area in metres.
+func (g *Graph) Size() (w, h float64) { return g.width, g.height }
+
+// NearestNode returns the ID of the node closest to p.
+func (g *Graph) NearestNode(p geo.Point) int {
+	best := 0
+	bestD := geo.Dist2(p, g.nodes[0].Pos)
+	for _, n := range g.nodes[1:] {
+		if d := geo.Dist2(p, n.Pos); d < bestD {
+			best = n.ID
+			bestD = d
+		}
+	}
+	return best
+}
+
+// Config controls network generation.
+type Config struct {
+	// Width, Height of the area in metres.
+	Width, Height float64
+	// BlockSize is the nominal distance between parallel streets in metres.
+	BlockSize float64
+	// Jitter perturbs intersection positions by up to this many metres so
+	// the grid looks organic and headings vary.
+	Jitter float64
+	// ArterialEvery makes every k-th row/column an arterial road (0
+	// disables arterials).
+	ArterialEvery int
+	// DropProb removes this fraction of interior edges, creating dead ends
+	// and detours (routes become non-trivial). Connectivity is restored by
+	// keeping a spanning structure.
+	DropProb float64
+	// SignalProb is the probability that an intersection is signalized.
+	SignalProb float64
+}
+
+// DefaultConfig returns a config resembling a dense commercial district.
+func DefaultConfig() Config {
+	return Config{
+		Width:         800,
+		Height:        600,
+		BlockSize:     80,
+		Jitter:        12,
+		ArterialEvery: 4,
+		DropProb:      0.12,
+		SignalProb:    0.35,
+	}
+}
+
+// Generate builds a road network from cfg using rng. The same seed yields
+// the same network.
+func Generate(rng *rand.Rand, cfg Config) (*Graph, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("roadnet: area %gx%g must be positive", cfg.Width, cfg.Height)
+	}
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("roadnet: block size %g must be positive", cfg.BlockSize)
+	}
+	cols := int(cfg.Width/cfg.BlockSize) + 1
+	rows := int(cfg.Height/cfg.BlockSize) + 1
+	if cols < 2 || rows < 2 {
+		return nil, fmt.Errorf("roadnet: area %gx%g too small for block size %g",
+			cfg.Width, cfg.Height, cfg.BlockSize)
+	}
+
+	g := &Graph{width: cfg.Width, height: cfg.Height}
+	signal := make([]bool, 0, rows*cols)
+
+	// Lay out jittered grid intersections.
+	id := 0
+	nodeAt := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		nodeAt[r] = make([]int, cols)
+		for c := 0; c < cols; c++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter
+			pos := geo.Point{
+				X: clamp(float64(c)*cfg.BlockSize+jx, 0, cfg.Width),
+				Y: clamp(float64(r)*cfg.BlockSize+jy, 0, cfg.Height),
+			}
+			g.nodes = append(g.nodes, Node{ID: id, Pos: pos})
+			signal = append(signal, rng.Float64() < cfg.SignalProb)
+			nodeAt[r][c] = id
+			id++
+		}
+	}
+
+	isArterial := func(rc int) bool {
+		return cfg.ArterialEvery > 0 && rc%cfg.ArterialEvery == 0
+	}
+	classFor := func(rowRoad bool, index int) RoadClass {
+		if isArterial(index) {
+			return ClassArterial
+		}
+		// Alternate small streets and footways on non-arterial roads.
+		if index%2 == 1 {
+			return ClassStreet
+		}
+		if rowRoad {
+			return ClassStreet
+		}
+		return ClassFootway
+	}
+
+	// Candidate undirected edges along rows and columns.
+	type cand struct {
+		a, b  int
+		class RoadClass
+		keep  bool // spanning edges are never dropped
+	}
+	cands := make([]cand, 0, rows*cols*2)
+	for r := 0; r < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			// Horizontal edges of row r: keep row 0 as part of the spanning
+			// comb so the graph stays connected after drops.
+			cands = append(cands, cand{
+				a: nodeAt[r][c], b: nodeAt[r][c+1],
+				class: classFor(true, r),
+				keep:  r == 0,
+			})
+		}
+	}
+	for c := 0; c < cols; c++ {
+		for r := 0; r+1 < rows; r++ {
+			// All vertical edges are spanning (comb teeth).
+			cands = append(cands, cand{
+				a: nodeAt[r][c], b: nodeAt[r+1][c],
+				class: classFor(false, c),
+				keep:  true,
+			})
+		}
+	}
+
+	g.adj = make([][]int, len(g.nodes))
+	addEdge := func(a, b int, class RoadClass) {
+		length := geo.Dist(g.nodes[a].Pos, g.nodes[b].Pos)
+		limit := speedLimit(class)
+		for _, dir := range [2][2]int{{a, b}, {b, a}} {
+			e := Edge{
+				ID:         len(g.edges),
+				From:       dir[0],
+				To:         dir[1],
+				Class:      class,
+				Length:     length,
+				SpeedLimit: limit,
+				Signalized: signal[dir[1]],
+			}
+			g.edges = append(g.edges, e)
+			g.adj[dir[0]] = append(g.adj[dir[0]], e.ID)
+		}
+	}
+	for _, cd := range cands {
+		if !cd.keep && rng.Float64() < cfg.DropProb {
+			continue
+		}
+		addEdge(cd.a, cd.b, cd.class)
+	}
+	return g, nil
+}
+
+// speedLimit returns the driving speed limit in m/s for a road class.
+func speedLimit(c RoadClass) float64 {
+	switch c {
+	case ClassArterial:
+		return 16.7 // 60 km/h
+	case ClassStreet:
+		return 11.1 // 40 km/h
+	default:
+		return 4.0 // footways: drivers excluded, cap for completeness
+	}
+}
+
+// Allows reports whether a road class is usable by the given mode index
+// semantics used by routing: walking uses everything, cycling skips
+// arterial-only restrictions (none here), driving cannot use footways.
+func Allows(c RoadClass, driving bool) bool {
+	if driving {
+		return c != ClassFootway
+	}
+	return true
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

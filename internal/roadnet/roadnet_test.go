@@ -1,0 +1,165 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"trajforge/internal/geo"
+)
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, Config{Width: 0, Height: 100, BlockSize: 10}); err == nil {
+		t.Fatal("zero width must error")
+	}
+	if _, err := Generate(rng, Config{Width: 100, Height: 100, BlockSize: 0}); err == nil {
+		t.Fatal("zero block size must error")
+	}
+	if _, err := Generate(rng, Config{Width: 5, Height: 5, BlockSize: 100}); err == nil {
+		t.Fatal("area smaller than one block must error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	g1, err := Generate(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed produced different sizes: %d/%d vs %d/%d",
+			g1.NumNodes(), g1.NumEdges(), g2.NumNodes(), g2.NumEdges())
+	}
+	for i := range g1.Nodes() {
+		if g1.Node(i).Pos != g2.Node(i).Pos {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	g, err := Generate(rand.New(rand.NewSource(3)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 50 {
+		t.Fatalf("too few nodes: %d", g.NumNodes())
+	}
+	// Every edge must have a reverse twin and positive length.
+	reverse := make(map[[2]int]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		reverse[[2]int{e.From, e.To}] = true
+	}
+	for _, e := range g.Edges() {
+		if !reverse[[2]int{e.To, e.From}] {
+			t.Fatalf("edge %d has no reverse twin", e.ID)
+		}
+		if e.Length <= 0 {
+			t.Fatalf("edge %d has non-positive length %v", e.ID, e.Length)
+		}
+		if e.SpeedLimit <= 0 {
+			t.Fatalf("edge %d has non-positive speed limit", e.ID)
+		}
+		if e.From == e.To {
+			t.Fatalf("edge %d is a self-loop", e.ID)
+		}
+	}
+	// Adjacency must be consistent with edges.
+	for nid := 0; nid < g.NumNodes(); nid++ {
+		for _, eid := range g.Out(nid) {
+			if g.Edge(eid).From != nid {
+				t.Fatalf("adjacency of node %d lists edge %d with From=%d", nid, eid, g.Edge(eid).From)
+			}
+		}
+	}
+	// Nodes must be inside the area.
+	w, h := g.Size()
+	for _, n := range g.Nodes() {
+		if n.Pos.X < 0 || n.Pos.X > w || n.Pos.Y < 0 || n.Pos.Y > h {
+			t.Fatalf("node %d at %v escapes %gx%g", n.ID, n.Pos, w, h)
+		}
+	}
+}
+
+func TestGraphConnectivity(t *testing.T) {
+	// Even with aggressive edge dropping, the spanning comb keeps the
+	// walking graph connected.
+	cfg := DefaultConfig()
+	cfg.DropProb = 0.5
+	g, err := Generate(rand.New(rand.NewSource(11)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, g.NumNodes())
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.Out(n) {
+			to := g.Edge(eid).To
+			if !seen[to] {
+				seen[to] = true
+				count++
+				queue = append(queue, to)
+			}
+		}
+	}
+	if count != g.NumNodes() {
+		t.Fatalf("graph disconnected: reached %d of %d nodes", count, g.NumNodes())
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	g, err := Generate(rand.New(rand.NewSource(5)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []Node{g.Node(0), g.Node(g.NumNodes() / 2), g.Node(g.NumNodes() - 1)} {
+		got := g.NearestNode(n.Pos)
+		if geo.Dist(g.Node(got).Pos, n.Pos) > 1e-9 && got != n.ID {
+			t.Fatalf("NearestNode(%v) = %d, want %d", n.Pos, got, n.ID)
+		}
+	}
+}
+
+func TestRoadClassProperties(t *testing.T) {
+	if ClassFootway.String() != "footway" || ClassStreet.String() != "street" ||
+		ClassArterial.String() != "arterial" {
+		t.Fatal("class names wrong")
+	}
+	if RoadClass(0).String() == "" {
+		t.Fatal("unknown class must format")
+	}
+	if !Allows(ClassFootway, false) || Allows(ClassFootway, true) {
+		t.Fatal("footway permissions wrong")
+	}
+	if !Allows(ClassArterial, true) {
+		t.Fatal("arterial must allow driving")
+	}
+}
+
+func TestArterialsExist(t *testing.T) {
+	g, err := Generate(rand.New(rand.NewSource(2)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[RoadClass]int{}
+	for _, e := range g.Edges() {
+		counts[e.Class]++
+	}
+	for _, c := range []RoadClass{ClassFootway, ClassStreet, ClassArterial} {
+		if counts[c] == 0 {
+			t.Fatalf("no edges of class %v generated", c)
+		}
+	}
+	// Arterials must be faster than streets.
+	if speedLimit(ClassArterial) <= speedLimit(ClassStreet) {
+		t.Fatal("arterial speed must exceed street speed")
+	}
+}

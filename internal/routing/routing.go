@@ -1,0 +1,208 @@
+// Package routing plans routes over a roadnet.Graph. It provides Dijkstra
+// and A* searches under either shortest-distance or fastest-time objectives,
+// with per-mode road-class restrictions, and converts the resulting node
+// path to a polyline for trajectory sampling. It is the route-planning half
+// of the navigation-service substrate (the paper's Amap stand-in).
+package routing
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/trajectory"
+)
+
+// ErrNoRoute is returned when the destination is unreachable under the
+// requested restrictions.
+var ErrNoRoute = errors.New("routing: no route")
+
+// Objective selects what the search minimises.
+type Objective int
+
+// Supported objectives.
+const (
+	// ShortestDistance minimises total metres.
+	ShortestDistance Objective = iota + 1
+	// FastestTime minimises travel time at per-edge mode speeds.
+	FastestTime
+)
+
+// Query describes a routing request.
+type Query struct {
+	From, To  int // node IDs
+	Mode      trajectory.Mode
+	Objective Objective
+	// UseAStar enables the A* heuristic (admissible for both objectives).
+	UseAStar bool
+}
+
+// Route is a planned path.
+type Route struct {
+	Nodes []int   // node IDs, From..To
+	Edges []int   // edge IDs, len(Nodes)-1
+	Cost  float64 // metres or seconds depending on the objective
+	// Length is always the total metres.
+	Length float64
+}
+
+// Polyline returns the route geometry.
+func (r *Route) Polyline(g *roadnet.Graph) []geo.Point {
+	out := make([]geo.Point, len(r.Nodes))
+	for i, id := range r.Nodes {
+		out[i] = g.Node(id).Pos
+	}
+	return out
+}
+
+// ModeSpeed returns the nominal cruise speed of a mode on an edge in m/s.
+// Walking and cycling are bounded by the traveller, driving by the limit.
+func ModeSpeed(mode trajectory.Mode, e roadnet.Edge) float64 {
+	switch mode {
+	case trajectory.ModeWalking:
+		return 1.4
+	case trajectory.ModeCycling:
+		return math.Min(4.5, e.SpeedLimit)
+	case trajectory.ModeDriving:
+		return e.SpeedLimit
+	default:
+		return 1.4
+	}
+}
+
+// usable reports whether mode may traverse the edge.
+func usable(mode trajectory.Mode, e roadnet.Edge) bool {
+	return roadnet.Allows(e.Class, mode == trajectory.ModeDriving)
+}
+
+// edgeCost returns the search cost of an edge under the objective.
+func edgeCost(obj Objective, mode trajectory.Mode, e roadnet.Edge) float64 {
+	if obj == FastestTime {
+		return e.Length / ModeSpeed(mode, e)
+	}
+	return e.Length
+}
+
+// maxModeSpeed is an upper bound of ModeSpeed over all edges, used by the
+// admissible time heuristic.
+func maxModeSpeed(mode trajectory.Mode) float64 {
+	switch mode {
+	case trajectory.ModeWalking:
+		return 1.4
+	case trajectory.ModeCycling:
+		return 4.5
+	case trajectory.ModeDriving:
+		return 16.7
+	default:
+		return 1.4
+	}
+}
+
+// Plan runs the search described by q over g.
+func Plan(g *roadnet.Graph, q Query) (*Route, error) {
+	n := g.NumNodes()
+	if q.From < 0 || q.From >= n || q.To < 0 || q.To >= n {
+		return nil, fmt.Errorf("routing: node out of range (from=%d, to=%d, n=%d)", q.From, q.To, n)
+	}
+	obj := q.Objective
+	if obj == 0 {
+		obj = ShortestDistance
+	}
+	mode := q.Mode
+	if mode == 0 {
+		mode = trajectory.ModeWalking
+	}
+
+	heuristic := func(node int) float64 { return 0 }
+	if q.UseAStar {
+		goal := g.Node(q.To).Pos
+		if obj == FastestTime {
+			v := maxModeSpeed(mode)
+			heuristic = func(node int) float64 { return geo.Dist(g.Node(node).Pos, goal) / v }
+		} else {
+			heuristic = func(node int) float64 { return geo.Dist(g.Node(node).Pos, goal) }
+		}
+	}
+
+	dist := make([]float64, n)
+	prevEdge := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[q.From] = 0
+
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeItem{node: q.From, priority: heuristic(q.From)})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if done[it.node] {
+			continue
+		}
+		if it.node == q.To {
+			break
+		}
+		done[it.node] = true
+		for _, eid := range g.Out(it.node) {
+			e := g.Edge(eid)
+			if !usable(mode, e) {
+				continue
+			}
+			nd := dist[it.node] + edgeCost(obj, mode, e)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prevEdge[e.To] = eid
+				heap.Push(pq, nodeItem{node: e.To, priority: nd + heuristic(e.To)})
+			}
+		}
+	}
+	if math.IsInf(dist[q.To], 1) {
+		return nil, fmt.Errorf("%w: %d -> %d for %v", ErrNoRoute, q.From, q.To, mode)
+	}
+
+	// Reconstruct.
+	r := &Route{Cost: dist[q.To]}
+	for node := q.To; node != q.From; {
+		eid := prevEdge[node]
+		e := g.Edge(eid)
+		r.Edges = append(r.Edges, eid)
+		r.Nodes = append(r.Nodes, node)
+		r.Length += e.Length
+		node = e.From
+	}
+	r.Nodes = append(r.Nodes, q.From)
+	reverseInts(r.Nodes)
+	reverseInts(r.Edges)
+	return r, nil
+}
+
+func reverseInts(s []int) {
+	for lo, hi := 0, len(s)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		s[lo], s[hi] = s[hi], s[lo]
+	}
+}
+
+type nodeItem struct {
+	node     int
+	priority float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].priority < h[j].priority }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+var _ heap.Interface = (*nodeHeap)(nil)

@@ -1,0 +1,171 @@
+package routing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/trajectory"
+)
+
+func testGraph(t *testing.T, seed int64) *roadnet.Graph {
+	t.Helper()
+	g, err := roadnet.Generate(rand.New(rand.NewSource(seed)), roadnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPlanBasics(t *testing.T) {
+	g := testGraph(t, 1)
+	from := g.NearestNode(geo.Point{X: 0, Y: 0})
+	to := g.NearestNode(geo.Point{X: 700, Y: 500})
+	r, err := Plan(g, Query{From: from, To: to, Mode: trajectory.ModeWalking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes[0] != from || r.Nodes[len(r.Nodes)-1] != to {
+		t.Fatalf("route endpoints wrong: %d..%d", r.Nodes[0], r.Nodes[len(r.Nodes)-1])
+	}
+	if len(r.Edges) != len(r.Nodes)-1 {
+		t.Fatalf("edges %d vs nodes %d inconsistent", len(r.Edges), len(r.Nodes))
+	}
+	// Route must be contiguous.
+	for i, eid := range r.Edges {
+		e := g.Edge(eid)
+		if e.From != r.Nodes[i] || e.To != r.Nodes[i+1] {
+			t.Fatalf("edge %d does not connect nodes %d->%d", eid, r.Nodes[i], r.Nodes[i+1])
+		}
+	}
+	// Cost equals summed edge length for ShortestDistance.
+	var sum float64
+	for _, eid := range r.Edges {
+		sum += g.Edge(eid).Length
+	}
+	if math.Abs(sum-r.Cost) > 1e-9 || math.Abs(sum-r.Length) > 1e-9 {
+		t.Fatalf("cost %v / length %v != edge sum %v", r.Cost, r.Length, sum)
+	}
+	// Route length must be at least the straight-line distance.
+	straight := geo.Dist(g.Node(from).Pos, g.Node(to).Pos)
+	if r.Length < straight-1e-9 {
+		t.Fatalf("route length %v shorter than straight line %v", r.Length, straight)
+	}
+	pl := r.Polyline(g)
+	if len(pl) != len(r.Nodes) {
+		t.Fatal("polyline length mismatch")
+	}
+}
+
+func TestPlanSelfRoute(t *testing.T) {
+	g := testGraph(t, 1)
+	r, err := Plan(g, Query{From: 5, To: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nodes) != 1 || r.Cost != 0 {
+		t.Fatalf("self route = %+v", r)
+	}
+}
+
+func TestPlanOutOfRange(t *testing.T) {
+	g := testGraph(t, 1)
+	if _, err := Plan(g, Query{From: -1, To: 0}); err == nil {
+		t.Fatal("negative node must error")
+	}
+	if _, err := Plan(g, Query{From: 0, To: g.NumNodes()}); err == nil {
+		t.Fatal("overflow node must error")
+	}
+}
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 9)
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 25; trial++ {
+		from := rng.Intn(g.NumNodes())
+		to := rng.Intn(g.NumNodes())
+		for _, obj := range []Objective{ShortestDistance, FastestTime} {
+			for _, mode := range trajectory.Modes() {
+				d, err1 := Plan(g, Query{From: from, To: to, Mode: mode, Objective: obj})
+				a, err2 := Plan(g, Query{From: from, To: to, Mode: mode, Objective: obj, UseAStar: true})
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("A* and Dijkstra disagree on feasibility: %v vs %v", err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if math.Abs(d.Cost-a.Cost) > 1e-6 {
+					t.Fatalf("A* cost %v != Dijkstra cost %v (%d->%d %v %v)",
+						a.Cost, d.Cost, from, to, mode, obj)
+				}
+			}
+		}
+	}
+}
+
+func TestDrivingAvoidsFootways(t *testing.T) {
+	g := testGraph(t, 4)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		from := rng.Intn(g.NumNodes())
+		to := rng.Intn(g.NumNodes())
+		r, err := Plan(g, Query{From: from, To: to, Mode: trajectory.ModeDriving, Objective: FastestTime})
+		if err != nil {
+			if errors.Is(err, ErrNoRoute) {
+				continue // some nodes may only be reachable on foot
+			}
+			t.Fatal(err)
+		}
+		for _, eid := range r.Edges {
+			if g.Edge(eid).Class == roadnet.ClassFootway {
+				t.Fatalf("driving route uses footway edge %d", eid)
+			}
+		}
+	}
+}
+
+func TestFastestTimePrefersArterials(t *testing.T) {
+	g := testGraph(t, 6)
+	from := g.NearestNode(geo.Point{X: 0, Y: 0})
+	to := g.NearestNode(geo.Point{X: 780, Y: 580})
+	shortest, err := Plan(g, Query{From: from, To: to, Mode: trajectory.ModeDriving, Objective: ShortestDistance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastest, err := Plan(g, Query{From: from, To: to, Mode: trajectory.ModeDriving, Objective: FastestTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fastest route may be longer in metres but must not be slower in time.
+	timeOf := func(r *Route) float64 {
+		var s float64
+		for _, eid := range r.Edges {
+			e := g.Edge(eid)
+			s += e.Length / ModeSpeed(trajectory.ModeDriving, e)
+		}
+		return s
+	}
+	if timeOf(fastest) > timeOf(shortest)+1e-9 {
+		t.Fatalf("fastest route %v slower than shortest %v", timeOf(fastest), timeOf(shortest))
+	}
+}
+
+func TestModeSpeed(t *testing.T) {
+	e := roadnet.Edge{SpeedLimit: 16.7, Class: roadnet.ClassArterial}
+	if ModeSpeed(trajectory.ModeWalking, e) != 1.4 {
+		t.Fatal("walking speed wrong")
+	}
+	if got := ModeSpeed(trajectory.ModeCycling, e); got != 4.5 {
+		t.Fatalf("cycling speed = %v", got)
+	}
+	if got := ModeSpeed(trajectory.ModeDriving, e); got != 16.7 {
+		t.Fatalf("driving speed = %v", got)
+	}
+	slow := roadnet.Edge{SpeedLimit: 3, Class: roadnet.ClassStreet}
+	if got := ModeSpeed(trajectory.ModeCycling, slow); got != 3 {
+		t.Fatalf("cycling must respect low limits, got %v", got)
+	}
+}

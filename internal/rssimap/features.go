@@ -1,0 +1,290 @@
+package rssimap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/wifi"
+)
+
+// FeatureConfig controls trajectory feature extraction (Eq. 8).
+type FeatureConfig struct {
+	// R is the reference radius r around each uploaded point (the paper
+	// sweeps it in Fig. 4 and settles on 2.5 m).
+	R float64
+	// TopK is the number of strongest reported APs considered per point
+	// ("we take the k strongest WiFi RSSIs into consideration").
+	TopK int
+	// Tol is the RPD matching tolerance in dB.
+	Tol Tolerance
+	// IncludeNum includes the Num_mac reference-point count features; the
+	// paper includes them, and the ablation benches measure their value.
+	IncludeNum bool
+	// IncludeResiduals appends, per AP slot, the absolute difference
+	// between the reported RSSI and the θ1-weighted mean of the reference
+	// points that heard the same AP. The paper's Eq. 7 confidence counts
+	// tolerance-window matches and throws away *how far off* a mismatching
+	// value is — exactly the information that separates a 2–3 m replay
+	// displacement from honest GPS error. An implementation extension in
+	// the spirit of Eq. 8 (see DESIGN.md §4b); the ablation benches measure
+	// its value.
+	IncludeResiduals bool
+	// DisableTheta2 drops the density-reliability weight from Eq. 7,
+	// treating every reference point's RPD as equally reliable — the θ2
+	// ablation of DESIGN.md §5.
+	DisableTheta2 bool
+	// IncludeSummary appends six trajectory-level aggregates of the
+	// per-point confidences. The paper's concatenated vector (Eq. 8) is
+	// sufficient at its 5,000-sample training scale; the aggregates make
+	// the classifier sample-efficient at smaller scales without changing
+	// what is measured (see DESIGN.md substitutions).
+	IncludeSummary bool
+}
+
+// DefaultFeatureConfig mirrors the paper's final settings.
+func DefaultFeatureConfig() FeatureConfig {
+	return FeatureConfig{R: 2.5, TopK: 5, Tol: 1, IncludeNum: true, IncludeSummary: true, IncludeResiduals: true}
+}
+
+// summaryDim is the number of trajectory-level aggregate features.
+const summaryDim = 6
+
+// FeatureDim returns the length of the vector produced for an upload of n
+// points.
+func (c FeatureConfig) FeatureDim(n int) int {
+	per := 1
+	if c.IncludeNum {
+		per++
+	}
+	if c.IncludeResiduals {
+		per++
+	}
+	dim := n * c.TopK * per
+	if c.IncludeSummary {
+		dim += summaryDim
+		if c.IncludeResiduals {
+			dim += residualSummaryDim
+		}
+	}
+	return dim
+}
+
+// residualSummaryDim is the number of trajectory-level residual aggregates.
+const residualSummaryDim = 3
+
+// PointConfidence is the verification result of one reported AP at one
+// point.
+type PointConfidence struct {
+	MAC string
+	// Phi is the Eq. 7 confidence of the reported RSSI.
+	Phi float64
+	// Num is the number of reference points used.
+	Num int
+	// Residual is |reported - θ1-weighted reference mean| in dB over the
+	// references that heard the AP; NaN-free: it is 0 when no reference
+	// heard the AP (Heard reports that case).
+	Residual float64
+	// Heard is the number of references that heard the AP at all.
+	Heard int
+}
+
+// PointConfidences verifies the TopK strongest observations of one scan at
+// position o, sharing a single reference-point query across APs.
+func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg FeatureConfig) []PointConfidence {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	top := scan.TopK(cfg.TopK)
+	out := make([]PointConfidence, len(top))
+	refs := s.withinRadius(o, cfg.R)
+	if len(refs) == 0 {
+		for i, obs := range top {
+			out[i] = PointConfidence{MAC: obs.MAC}
+		}
+		return out
+	}
+	// θ1 weights (Eq. 5), shared by every AP of the scan. The distance is
+	// floored at a few centimetres so a coincident record cannot absorb all
+	// weight.
+	const minDist = 0.05
+	invSum := 0.0
+	inv := make([]float64, len(refs))
+	for i, idx := range refs {
+		d := math.Max(minDist, geo.Dist(s.records[idx].pos, o))
+		inv[i] = 1 / d
+		invSum += inv[i]
+	}
+	// θ2 per reference, shared across APs.
+	th2 := make([]float64, len(refs))
+	for i, idx := range refs {
+		if cfg.DisableTheta2 {
+			th2[i] = 1
+		} else {
+			th2[i] = s.theta2(idx)
+		}
+	}
+	for i, obs := range top {
+		var phi float64
+		var wSum, wMean float64
+		var heard int
+		if id, known := s.macIDs[obs.MAC]; known {
+			for j, idx := range refs {
+				theta1 := inv[j] / invSum
+				phi += theta1 * th2[j] * s.rpdLocked(idx, id, int16(obs.RSSI), int16(cfg.Tol))
+				if v, ok := s.records[idx].rssiOf(id); ok {
+					wSum += inv[j]
+					wMean += inv[j] * float64(v)
+					heard++
+				}
+			}
+		}
+		pc := PointConfidence{MAC: obs.MAC, Phi: phi, Num: len(refs), Heard: heard}
+		if wSum > 0 {
+			diff := float64(obs.RSSI) - wMean/wSum
+			if diff < 0 {
+				diff = -diff
+			}
+			pc.Residual = diff
+		}
+		out[i] = pc
+	}
+	return out
+}
+
+// Features computes the paper's feature vector for an uploaded trajectory:
+// for each point, the (Num_mac, Φ) pairs of the TopK strongest reported
+// APs, concatenated in point order (Eq. 8), optionally followed by
+// trajectory-level aggregates. Points that heard fewer than TopK APs are
+// padded with zeros.
+func (s *Store) Features(u *wifi.Upload, cfg FeatureConfig) ([]float64, error) {
+	if err := u.Validate(); err != nil {
+		return nil, fmt.Errorf("rssimap: %w", err)
+	}
+	if cfg.R <= 0 {
+		return nil, fmt.Errorf("rssimap: feature radius %g must be positive", cfg.R)
+	}
+	if cfg.TopK <= 0 {
+		return nil, fmt.Errorf("rssimap: top-k %d must be positive", cfg.TopK)
+	}
+	n := u.Traj.Len()
+	out := make([]float64, 0, cfg.FeatureDim(n))
+
+	// Per-point aggregates for the summary block.
+	pointPhi := make([]float64, 0, n)
+	pointNum := make([]float64, 0, n)
+	pointRes := make([]float64, 0, n)
+	var zeroRefPoints int
+
+	for i, pt := range u.Traj.Points {
+		confs := s.PointConfidences(pt.Pos, u.Scans[i], cfg)
+		var phiSum, numSum, resSum float64
+		var resN int
+		for j := 0; j < cfg.TopK; j++ {
+			if j >= len(confs) {
+				if cfg.IncludeNum {
+					out = append(out, 0)
+				}
+				out = append(out, 0)
+				if cfg.IncludeResiduals {
+					out = append(out, 0)
+				}
+				continue
+			}
+			if cfg.IncludeNum {
+				out = append(out, float64(confs[j].Num))
+			}
+			out = append(out, confs[j].Phi)
+			if cfg.IncludeResiduals {
+				out = append(out, confs[j].Residual)
+				if confs[j].Heard > 0 {
+					resSum += confs[j].Residual
+					resN++
+				}
+			}
+			phiSum += confs[j].Phi
+			numSum += float64(confs[j].Num)
+		}
+		slots := float64(cfg.TopK)
+		pointPhi = append(pointPhi, phiSum/slots)
+		pointNum = append(pointNum, numSum/slots)
+		if resN > 0 {
+			pointRes = append(pointRes, resSum/float64(resN))
+		}
+		if len(confs) == 0 || confs[0].Num == 0 {
+			zeroRefPoints++
+		}
+	}
+
+	if cfg.IncludeSummary {
+		out = append(out,
+			mean(pointPhi),
+			quantile(pointPhi, 0.25),
+			minOf(pointPhi),
+			mean(pointNum),
+			minOf(pointNum),
+			float64(zeroRefPoints)/float64(n),
+		)
+		if cfg.IncludeResiduals {
+			out = append(out,
+				mean(pointRes),
+				quantile(pointRes, 0.75),
+				maxOf(pointRes),
+			)
+		}
+	}
+	return out, nil
+}
+
+func maxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,160 @@
+package rssimap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trajforge/internal/geo"
+)
+
+// randStore builds a random store of up to 60 records in a 30x30 m patch.
+func randStore(t testing.TB, rng *rand.Rand) *Store {
+	n := 5 + rng.Intn(55)
+	recs := make([]Record, n)
+	for i := range recs {
+		m := map[string]int{}
+		for a := 0; a < 1+rng.Intn(6); a++ {
+			m[fmt.Sprintf("ap-%d", rng.Intn(8))] = -40 - rng.Intn(50)
+		}
+		recs[i] = Record{
+			Pos:  geo.Point{X: rng.Float64() * 30, Y: rng.Float64() * 30},
+			RSSI: m,
+		}
+	}
+	s, err := NewStore(DefaultConfig(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Property: RPD and Φ always land in [0, 1], for any store and query.
+func TestPropertyConfidenceBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randStore(t, rng)
+		for trial := 0; trial < 20; trial++ {
+			o := geo.Point{X: rng.Float64() * 30, Y: rng.Float64() * 30}
+			mac := fmt.Sprintf("ap-%d", rng.Intn(8))
+			rssi := -40 - rng.Intn(50)
+			phi, num := s.Confidence(o, mac, rssi, 2.5)
+			if phi < 0 || phi > 1 || num < 0 {
+				return false
+			}
+			phi, _ = s.ConfidenceTol(o, mac, rssi, 2.5, 2)
+			if phi < 0 || phi > 1 {
+				return false
+			}
+			if h := int32(rng.Intn(s.Len())); s.RPD(h, mac, rssi) < 0 || s.RPD(h, mac, rssi) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: widening the match tolerance never decreases Φ.
+func TestPropertyToleranceMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randStore(t, rng)
+		for trial := 0; trial < 20; trial++ {
+			o := geo.Point{X: rng.Float64() * 30, Y: rng.Float64() * 30}
+			mac := fmt.Sprintf("ap-%d", rng.Intn(8))
+			rssi := -40 - rng.Intn(50)
+			prev := -1.0
+			for tol := Tolerance(0); tol <= 3; tol++ {
+				phi, _ := s.ConfidenceTol(o, mac, rssi, 2.5, tol)
+				if phi < prev-1e-12 {
+					return false
+				}
+				prev = phi
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is equivalent to building the store from the union —
+// neighbor caches, densities and confidences all agree.
+func TestPropertyIncrementalAddEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nA := 5 + rng.Intn(25)
+		nB := 1 + rng.Intn(15)
+		all := make([]Record, 0, nA+nB)
+		for i := 0; i < nA+nB; i++ {
+			all = append(all, Record{
+				Pos:  geo.Point{X: rng.Float64() * 25, Y: rng.Float64() * 25},
+				RSSI: map[string]int{fmt.Sprintf("ap-%d", rng.Intn(5)): -50 - rng.Intn(30)},
+			})
+		}
+		incr, err := NewStore(DefaultConfig(), append([]Record(nil), all[:nA]...))
+		if err != nil {
+			return false
+		}
+		incr.Add(all[nA:])
+		full, err := NewStore(DefaultConfig(), append([]Record(nil), all...))
+		if err != nil {
+			return false
+		}
+		if incr.Len() != full.Len() {
+			return false
+		}
+		for trial := 0; trial < 15; trial++ {
+			o := geo.Point{X: rng.Float64() * 25, Y: rng.Float64() * 25}
+			mac := fmt.Sprintf("ap-%d", rng.Intn(5))
+			rssi := -50 - rng.Intn(30)
+			p1, n1 := incr.Confidence(o, mac, rssi, 2.5)
+			p2, n2 := full.Confidence(o, mac, rssi, 2.5)
+			if n1 != n2 || absF(p1-p2) > 1e-12 {
+				return false
+			}
+		}
+		for h := 0; h < incr.Len(); h++ {
+			if absF(incr.Density(int32(h))-full.Density(int32(h))) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an exactly matching record placed at the query position can
+// only raise the confidence.
+func TestPropertyMatchingRecordRaisesConfidence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randStore(t, rng)
+		o := geo.Point{X: rng.Float64() * 30, Y: rng.Float64() * 30}
+		const mac = "ap-1"
+		rssi := -60
+		before, _ := s.ConfidenceTol(o, mac, rssi, 2.5, 1)
+		s.Add([]Record{{Pos: o, RSSI: map[string]int{mac: rssi}}})
+		after, _ := s.ConfidenceTol(o, mac, rssi, 2.5, 1)
+		// The new record dominates θ1 at distance ~0 and its own counting
+		// area contains a perfect match, so confidence must not collapse.
+		return after >= before*0.5 && after > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

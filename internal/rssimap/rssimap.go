@@ -1,0 +1,354 @@
+// Package rssimap implements the provider-side half of the paper's defense
+// (Sec. III): a crowdsourced store of historical (position, WiFi scan)
+// records with a grid spatial index, the RSSI probability distribution
+// (RPD) around each historical point (Eq. 4), the distance weight θ1
+// (Eq. 5), the density-reliability weight θ2 (Eq. 6), the per-RSSI
+// confidence Φ (Eq. 7), and the fixed-length trajectory feature vector fed
+// to the XGBoost detector (Eq. 8).
+//
+// The store is built for the scan-heavy access pattern of verification:
+// MAC addresses are interned to integer IDs at build time, per-record
+// readings are kept as ID-sorted arrays (binary search instead of string
+// hashing in the RPD inner loop), reference-point queries use a uniform
+// grid, and every record's RPD counting area is precomputed and maintained
+// incrementally by Add.
+package rssimap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/wifi"
+)
+
+// Record is one crowdsourced historical point: where a user reported being
+// and what their phone heard there.
+type Record struct {
+	Pos  geo.Point
+	RSSI map[string]int // MAC -> dBm
+}
+
+// RecordFromScan converts a scan into a record.
+func RecordFromScan(pos geo.Point, s wifi.Scan) Record {
+	m := make(map[string]int, len(s))
+	for _, o := range s {
+		m[o.MAC] = o.RSSI
+	}
+	return Record{Pos: pos, RSSI: m}
+}
+
+// Config holds the defense's spatial parameters.
+type Config struct {
+	// R is the RPD counting radius (the paper calibrates R = 6σ = 3 m).
+	R float64
+	// DensityBase is the paper's 1/t = 0.9 in θ2 = 1 - (1/t)^ε.
+	DensityBase float64
+}
+
+// DefaultConfig returns the paper's calibrated parameters.
+func DefaultConfig() Config {
+	return Config{R: 3.0, DensityBase: 0.9}
+}
+
+// reading is one (interned MAC, RSSI) pair.
+type reading struct {
+	mac  int32
+	rssi int16
+}
+
+// storedRecord is the internal, query-optimised form of a Record.
+type storedRecord struct {
+	pos      geo.Point
+	readings []reading // sorted by mac
+}
+
+// rssiOf returns the record's reading of mac via binary search.
+func (r *storedRecord) rssiOf(mac int32) (int16, bool) {
+	lo, hi := 0, len(r.readings)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.readings[mid].mac < mac {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.readings) && r.readings[lo].mac == mac {
+		return r.readings[lo].rssi, true
+	}
+	return 0, false
+}
+
+// Store is the provider's historical RSSI database. It is safe for
+// concurrent use: queries take a read lock, Add takes the write lock, so a
+// live verification service can keep crowdsourcing while verifying.
+type Store struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	records []storedRecord
+	macIDs  map[string]int32
+
+	cell float64
+	grid map[[2]int][]int32
+
+	// neighbors[i] caches the indices of records within R of record i
+	// (including i itself) — the RPD counting area C_H(R).
+	neighbors [][]int32
+}
+
+// NewStore builds a store over the given records.
+func NewStore(cfg Config, records []Record) (*Store, error) {
+	if cfg.R <= 0 {
+		return nil, fmt.Errorf("rssimap: counting radius R=%g must be positive", cfg.R)
+	}
+	if cfg.DensityBase <= 0 || cfg.DensityBase >= 1 {
+		return nil, fmt.Errorf("rssimap: density base %g must be in (0, 1)", cfg.DensityBase)
+	}
+	s := &Store{
+		cfg:    cfg,
+		macIDs: make(map[string]int32),
+		cell:   cfg.R,
+		grid:   make(map[[2]int][]int32),
+	}
+	s.records = make([]storedRecord, 0, len(records))
+	for _, rec := range records {
+		s.appendRecordLocked(rec)
+	}
+	// Precompute RPD counting areas.
+	s.neighbors = make([][]int32, len(s.records))
+	for i := range s.records {
+		s.neighbors[i] = s.withinRadius(s.records[i].pos, cfg.R)
+	}
+	return s, nil
+}
+
+// appendRecordLocked interns MACs and appends the record plus its grid
+// entry; the caller must hold the write lock (or be the constructor).
+func (s *Store) appendRecordLocked(rec Record) int32 {
+	sr := storedRecord{pos: rec.Pos, readings: make([]reading, 0, len(rec.RSSI))}
+	for mac, v := range rec.RSSI {
+		id, ok := s.macIDs[mac]
+		if !ok {
+			id = int32(len(s.macIDs))
+			s.macIDs[mac] = id
+		}
+		sr.readings = append(sr.readings, reading{mac: id, rssi: int16(v)})
+	}
+	sort.Slice(sr.readings, func(i, j int) bool { return sr.readings[i].mac < sr.readings[j].mac })
+	idx := int32(len(s.records))
+	s.records = append(s.records, sr)
+	s.grid[s.cellOf(rec.Pos)] = append(s.grid[s.cellOf(rec.Pos)], idx)
+	return idx
+}
+
+// Len returns the number of historical records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Record returns the i-th record in the public (map) form.
+func (s *Store) Record(i int) Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.records[i]
+	// Reverse the interning for the public view.
+	names := s.macNamesLocked()
+	m := make(map[string]int, len(sr.readings))
+	for _, rd := range sr.readings {
+		m[names[rd.mac]] = int(rd.rssi)
+	}
+	return Record{Pos: sr.pos, RSSI: m}
+}
+
+func (s *Store) macNamesLocked() []string {
+	names := make([]string, len(s.macIDs))
+	for mac, id := range s.macIDs {
+		names[id] = mac
+	}
+	return names
+}
+
+// Add ingests new crowdsourced records incrementally, updating the spatial
+// index and the cached RPD counting areas of every affected neighbor — the
+// online path a live provider uses as accepted uploads keep arriving.
+func (s *Store) Add(records []Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range records {
+		idx := s.appendRecordLocked(rec)
+		// The new record's counting area, and symmetric updates to its
+		// neighbors' areas (withinRadius already sees the new record).
+		area := s.withinRadius(rec.Pos, s.cfg.R)
+		s.neighbors = append(s.neighbors, area)
+		for _, n := range area {
+			if n != idx {
+				s.neighbors[n] = append(s.neighbors[n], idx)
+			}
+		}
+	}
+}
+
+// AddUploads ingests every point of the given uploads that carries a scan.
+func (s *Store) AddUploads(uploads []*wifi.Upload) {
+	var recs []Record
+	for _, u := range uploads {
+		if u.Validate() != nil {
+			continue
+		}
+		for i, pt := range u.Traj.Points {
+			if len(u.Scans[i]) == 0 {
+				continue
+			}
+			recs = append(recs, RecordFromScan(pt.Pos, u.Scans[i]))
+		}
+	}
+	s.Add(recs)
+}
+
+func (s *Store) cellOf(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / s.cell)), int(math.Floor(p.Y / s.cell))}
+}
+
+// withinRadius returns the indices of records within radius of p. Callers
+// must hold at least the read lock.
+func (s *Store) withinRadius(p geo.Point, radius float64) []int32 {
+	reach := int(math.Ceil(radius / s.cell))
+	c := s.cellOf(p)
+	r2 := radius * radius
+	var out []int32
+	for dx := -reach; dx <= reach; dx++ {
+		for dy := -reach; dy <= reach; dy++ {
+			for _, idx := range s.grid[[2]int{c[0] + dx, c[1] + dy}] {
+				if geo.Dist2(s.records[idx].pos, p) <= r2 {
+					out = append(out, idx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReferencePoints returns the indices of historical records within radius r
+// of position O — the paper's reference points in C_O(r).
+func (s *Store) ReferencePoints(o geo.Point, r float64) []int32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.withinRadius(o, r)
+}
+
+// RPD evaluates Eq. 4: the fraction of records in the counting area of
+// reference point h whose reported RSSI for mac equals x. Records that did
+// not hear mac at all count toward the denominator — an AP that is usually
+// silent here makes any reported value for it suspicious.
+func (s *Store) RPD(h int32, mac string, x int) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.macIDs[mac]
+	if !ok {
+		if len(s.neighbors[h]) == 0 {
+			return 0
+		}
+		return 0
+	}
+	return s.rpdLocked(h, id, int16(x), 0)
+}
+
+// rpdLocked evaluates the (tolerance-widened) RPD for an interned MAC.
+// Callers must hold the read lock.
+func (s *Store) rpdLocked(h int32, mac int32, x int16, tol int16) float64 {
+	area := s.neighbors[h]
+	if len(area) == 0 {
+		return 0
+	}
+	var hits int
+	for _, idx := range area {
+		if v, ok := s.records[idx].rssiOf(mac); ok && absI16(v-x) <= tol {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(area))
+}
+
+// Density returns ε for reference point h: counting-area population per
+// square metre (Eq. 6).
+func (s *Store) Density(h int32) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.densityLocked(h)
+}
+
+func (s *Store) densityLocked(h int32) float64 {
+	return float64(len(s.neighbors[h])) / (math.Pi * s.cfg.R * s.cfg.R)
+}
+
+// theta2 evaluates Eq. 6: reliability of the RPD of reference point h.
+// Callers must hold the read lock.
+func (s *Store) theta2(h int32) float64 {
+	return 1 - math.Pow(s.cfg.DensityBase, s.densityLocked(h))
+}
+
+// Confidence evaluates Eq. 7 for one reported (mac, rssi) at position o
+// using the reference points within radius r. It returns Φ and the number
+// of reference points used (the paper's Num_mac feature).
+func (s *Store) Confidence(o geo.Point, mac string, rssi int, r float64) (phi float64, num int) {
+	return s.ConfidenceTol(o, mac, rssi, r, 0)
+}
+
+// Tolerance widens the RPD match: a reported value x matches a historical
+// value v when |x - v| <= tol. The paper's exact-match Eq. 4 is tol = 0;
+// integer-dBm quantisation plus measurement noise makes tol = 1-2 the
+// practical choice, and the experiments expose it as an ablation.
+type Tolerance int
+
+// RPDTol is RPD with a +/- tol dB matching window.
+func (s *Store) RPDTol(h int32, mac string, x int, tol Tolerance) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.macIDs[mac]
+	if !ok {
+		return 0
+	}
+	return s.rpdLocked(h, id, int16(x), int16(tol))
+}
+
+// ConfidenceTol is Confidence with a matching tolerance.
+func (s *Store) ConfidenceTol(o geo.Point, mac string, rssi int, r float64, tol Tolerance) (phi float64, num int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := s.withinRadius(o, r)
+	if len(refs) == 0 {
+		return 0, 0
+	}
+	id, known := s.macIDs[mac]
+	// θ1 normalisation: sum of inverse distances (Eq. 5). Floor the
+	// distance at a few centimetres so a coincident record does not absorb
+	// all weight.
+	const minDist = 0.05
+	invSum := 0.0
+	inv := make([]float64, len(refs))
+	for i, idx := range refs {
+		d := math.Max(minDist, geo.Dist(s.records[idx].pos, o))
+		inv[i] = 1 / d
+		invSum += inv[i]
+	}
+	if known {
+		for i, idx := range refs {
+			theta1 := inv[i] / invSum
+			phi += theta1 * s.theta2(idx) * s.rpdLocked(idx, id, int16(rssi), int16(tol))
+		}
+	}
+	return phi, len(refs)
+}
+
+func absI16(x int16) int16 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,325 @@
+package rssimap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+var _t0 = time.Date(2022, 6, 1, 12, 0, 0, 0, time.UTC)
+
+// gridRecords builds a dense lattice of records where AP "a" has RSSI -50
+// everywhere and AP "b" ramps east from -70.
+func gridRecords(spacing float64, w, h int) []Record {
+	var out []Record
+	for i := 0; i < w; i++ {
+		for j := 0; j < h; j++ {
+			pos := geo.Point{X: float64(i) * spacing, Y: float64(j) * spacing}
+			out = append(out, Record{Pos: pos, RSSI: map[string]int{
+				"a": -50,
+				"b": -70 + int(pos.X/10),
+			}})
+		}
+	}
+	return out
+}
+
+func mustStore(t *testing.T, cfg Config, recs []Record) *Store {
+	t.Helper()
+	s, err := NewStore(cfg, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStoreErrors(t *testing.T) {
+	if _, err := NewStore(Config{R: 0, DensityBase: 0.9}, nil); err == nil {
+		t.Fatal("R=0 must error")
+	}
+	if _, err := NewStore(Config{R: 3, DensityBase: 1.5}, nil); err == nil {
+		t.Fatal("density base out of range must error")
+	}
+	s := mustStore(t, DefaultConfig(), nil)
+	if s.Len() != 0 {
+		t.Fatal("empty store must have Len 0")
+	}
+}
+
+func TestReferencePoints(t *testing.T) {
+	recs := gridRecords(1, 10, 10)
+	s := mustStore(t, DefaultConfig(), recs)
+	refs := s.ReferencePoints(geo.Point{X: 4.5, Y: 4.5}, 1.0)
+	// Points within 1 m of (4.5, 4.5) on a 1 m lattice: the 4 corners at
+	// distance ~0.707.
+	if len(refs) != 4 {
+		t.Fatalf("reference points = %d, want 4", len(refs))
+	}
+	for _, idx := range refs {
+		if geo.Dist(s.Record(int(idx)).Pos, geo.Point{X: 4.5, Y: 4.5}) > 1 {
+			t.Fatal("reference point outside radius")
+		}
+	}
+	if got := s.ReferencePoints(geo.Point{X: 500, Y: 500}, 2); len(got) != 0 {
+		t.Fatal("far query must find nothing")
+	}
+}
+
+func TestRPDUniformValue(t *testing.T) {
+	recs := gridRecords(1, 8, 8)
+	s := mustStore(t, DefaultConfig(), recs)
+	// AP "a" is -50 at every record, so RPD(-50) = 1 and RPD(-60) = 0.
+	if got := s.RPD(0, "a", -50); got != 1 {
+		t.Fatalf("RPD(a, -50) = %v, want 1", got)
+	}
+	if got := s.RPD(0, "a", -60); got != 0 {
+		t.Fatalf("RPD(a, -60) = %v, want 0", got)
+	}
+	// Unheard MAC: probability 0 for any value.
+	if got := s.RPD(0, "zz", -50); got != 0 {
+		t.Fatalf("RPD(unknown) = %v", got)
+	}
+}
+
+func TestRPDCountsMissingAsDenominator(t *testing.T) {
+	// Two coincident records, only one hears "c" at -40: RPD must be 0.5.
+	recs := []Record{
+		{Pos: geo.Point{X: 0, Y: 0}, RSSI: map[string]int{"c": -40}},
+		{Pos: geo.Point{X: 0.1, Y: 0}, RSSI: map[string]int{}},
+	}
+	s := mustStore(t, DefaultConfig(), recs)
+	if got := s.RPD(0, "c", -40); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("RPD = %v, want 0.5", got)
+	}
+}
+
+func TestRPDTolWindow(t *testing.T) {
+	recs := []Record{
+		{Pos: geo.Point{X: 0, Y: 0}, RSSI: map[string]int{"a": -50}},
+		{Pos: geo.Point{X: 0.5, Y: 0}, RSSI: map[string]int{"a": -52}},
+	}
+	s := mustStore(t, DefaultConfig(), recs)
+	if got := s.RPDTol(0, "a", -51, 0); got != 0 {
+		t.Fatalf("tol 0 must not match, got %v", got)
+	}
+	if got := s.RPDTol(0, "a", -51, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("tol 1 must match both, got %v", got)
+	}
+}
+
+func TestDensityAndTheta2(t *testing.T) {
+	recs := gridRecords(1, 20, 20)
+	s := mustStore(t, DefaultConfig(), recs)
+	// Interior record on a 1 m lattice with R = 3: |C_H(R)| ~ pi*9 ~ 28
+	// records, density ~ 1/m^2.
+	interior := int32(10*20 + 10)
+	eps := s.Density(interior)
+	if eps < 0.8 || eps > 1.2 {
+		t.Fatalf("density = %v, want ~1", eps)
+	}
+	th2 := s.theta2(interior)
+	want := 1 - math.Pow(0.9, eps)
+	if math.Abs(th2-want) > 1e-12 {
+		t.Fatalf("theta2 = %v, want %v", th2, want)
+	}
+	if th2 <= 0 || th2 >= 1 {
+		t.Fatalf("theta2 = %v outside (0,1)", th2)
+	}
+	// Denser areas must be more reliable.
+	sparse := mustStore(t, DefaultConfig(), gridRecords(3, 10, 10))
+	if sparse.theta2(int32(5*10+5)) >= th2 {
+		t.Fatal("sparser store must have lower theta2")
+	}
+}
+
+func TestConfidenceConsistentReportScoresHigh(t *testing.T) {
+	recs := gridRecords(1, 12, 12)
+	s := mustStore(t, DefaultConfig(), recs)
+	o := geo.Point{X: 5.3, Y: 5.7}
+	good, numGood := s.Confidence(o, "a", -50, 2.5)
+	bad, numBad := s.Confidence(o, "a", -58, 2.5)
+	if numGood == 0 || numGood != numBad {
+		t.Fatalf("reference counts: %d vs %d", numGood, numBad)
+	}
+	if good <= bad {
+		t.Fatalf("consistent report (%v) must outscore wrong one (%v)", good, bad)
+	}
+	if bad != 0 {
+		t.Fatalf("impossible value must have zero confidence, got %v", bad)
+	}
+	// No references: zero confidence.
+	phi, num := s.Confidence(geo.Point{X: 900, Y: 900}, "a", -50, 2.5)
+	if phi != 0 || num != 0 {
+		t.Fatalf("far query = (%v, %d)", phi, num)
+	}
+}
+
+func TestConfidenceTheta1DistanceWeighting(t *testing.T) {
+	// One near record says -50, one far record says -60. A report of -50
+	// must beat a report of -60 because the near record carries more θ1.
+	recs := []Record{
+		{Pos: geo.Point{X: 0.2, Y: 0}, RSSI: map[string]int{"a": -50}},
+		{Pos: geo.Point{X: 2.0, Y: 0}, RSSI: map[string]int{"a": -60}},
+	}
+	// Use small R so each record's counting area contains only itself.
+	s := mustStore(t, Config{R: 0.5, DensityBase: 0.9}, recs)
+	nearVal, _ := s.Confidence(geo.Point{X: 0, Y: 0}, "a", -50, 2.5)
+	farVal, _ := s.Confidence(geo.Point{X: 0, Y: 0}, "a", -60, 2.5)
+	if nearVal <= farVal {
+		t.Fatalf("near-supported value %v must outscore far-supported %v", nearVal, farVal)
+	}
+}
+
+func TestConfidenceCoincidentRecordIsStable(t *testing.T) {
+	recs := []Record{{Pos: geo.Point{X: 1, Y: 1}, RSSI: map[string]int{"a": -40}}}
+	s := mustStore(t, DefaultConfig(), recs)
+	phi, num := s.Confidence(geo.Point{X: 1, Y: 1}, "a", -40, 2.5)
+	if num != 1 || math.IsNaN(phi) || math.IsInf(phi, 0) {
+		t.Fatalf("coincident query = (%v, %d)", phi, num)
+	}
+}
+
+func buildUpload(n int, scan wifi.Scan) *wifi.Upload {
+	pos := make([]geo.Point, n)
+	scans := make([]wifi.Scan, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: float64(i), Y: 0}
+		scans[i] = scan.Clone()
+	}
+	return &wifi.Upload{
+		Traj:  trajectory.New(pos, _t0, 2*time.Second),
+		Scans: scans,
+	}
+}
+
+func TestFeaturesShapeAndPadding(t *testing.T) {
+	recs := gridRecords(1, 12, 4)
+	s := mustStore(t, DefaultConfig(), recs)
+	cfg := FeatureConfig{R: 2.5, TopK: 3, Tol: 1, IncludeNum: true}
+	u := buildUpload(5, wifi.Scan{{MAC: "a", RSSI: -50}}) // only 1 of 3 slots filled
+	feat, err := s.Features(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat) != cfg.FeatureDim(5) {
+		t.Fatalf("feature dim = %d, want %d", len(feat), cfg.FeatureDim(5))
+	}
+	// Slots beyond the first AP must be zero-padded.
+	per := cfg.TopK * 2
+	for p := 0; p < 5; p++ {
+		base := p * per
+		if feat[base] == 0 {
+			t.Fatalf("point %d: Num of first AP must be nonzero", p)
+		}
+		for slot := 1; slot < cfg.TopK; slot++ {
+			if feat[base+2*slot] != 0 || feat[base+2*slot+1] != 0 {
+				t.Fatalf("point %d slot %d not padded", p, slot)
+			}
+		}
+	}
+}
+
+func TestFeaturesWithoutNum(t *testing.T) {
+	recs := gridRecords(1, 8, 4)
+	s := mustStore(t, DefaultConfig(), recs)
+	cfg := FeatureConfig{R: 2.5, TopK: 2, Tol: 1, IncludeNum: false}
+	u := buildUpload(3, wifi.Scan{{MAC: "a", RSSI: -50}, {MAC: "b", RSSI: -70}})
+	feat, err := s.Features(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat) != 3*2 {
+		t.Fatalf("dim = %d, want 6", len(feat))
+	}
+}
+
+func TestFeaturesErrors(t *testing.T) {
+	s := mustStore(t, DefaultConfig(), gridRecords(1, 4, 4))
+	u := buildUpload(3, nil)
+	bad := FeatureConfig{R: 0, TopK: 3}
+	if _, err := s.Features(u, bad); err == nil {
+		t.Fatal("R=0 must error")
+	}
+	bad = FeatureConfig{R: 2, TopK: 0}
+	if _, err := s.Features(u, bad); err == nil {
+		t.Fatal("TopK=0 must error")
+	}
+	mismatched := &wifi.Upload{Traj: u.Traj, Scans: u.Scans[:1]}
+	if _, err := s.Features(mismatched, DefaultFeatureConfig()); err == nil {
+		t.Fatal("invalid upload must error")
+	}
+}
+
+func TestFeaturesDiscriminative(t *testing.T) {
+	// Core defense property: features of a truthful upload must have higher
+	// total confidence than features of an upload reporting replayed
+	// (wrong-position) RSSIs.
+	rng := rand.New(rand.NewSource(9))
+	world, err := wifi.NewWorld(rng, wifi.DefaultConfig(120, 120, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Historical records on a dense lattice with true scans.
+	var recs []Record
+	for x := 10.0; x < 110; x += 1.2 {
+		for y := 38.0; y < 44; y += 1.2 {
+			p := geo.Point{X: x, Y: y}
+			recs = append(recs, RecordFromScan(p, world.Scan(rng, p)))
+		}
+	}
+	s := mustStore(t, DefaultConfig(), recs)
+	cfg := DefaultFeatureConfig()
+
+	// Truthful upload: fresh scans along the corridor.
+	n := 20
+	pos := make([]geo.Point, n)
+	scans := make([]wifi.Scan, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: 15 + float64(i)*4, Y: 41}
+		scans[i] = world.Scan(rng, pos[i])
+	}
+	honest := &wifi.Upload{Traj: trajectory.New(pos, _t0, 2*time.Second), Scans: scans}
+
+	// Forged upload: claims the same positions but replays scans captured
+	// 18 m away (as a replay attacker adding {-1,0,1} noise would).
+	fScans := make([]wifi.Scan, n)
+	for i := range pos {
+		src := world.Scan(rng, geo.Point{X: pos[i].X, Y: pos[i].Y + 18})
+		for j := range src {
+			src[j].RSSI += rng.Intn(3) - 1
+		}
+		fScans[i] = src
+	}
+	forged := &wifi.Upload{Traj: trajectory.New(pos, _t0, 2*time.Second), Scans: fScans}
+
+	hf, err := s.Features(honest, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := s.Features(forged, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots are (Num, Φ, Residual) triples before the summary block.
+	concatLen := n * cfg.TopK * 3
+	sumAt := func(feat []float64, offset int) float64 {
+		var sum float64
+		for i := offset; i < concatLen; i += 3 {
+			sum += feat[i]
+		}
+		return sum
+	}
+	if hPhi, fPhi := sumAt(hf, 1), sumAt(ff, 1); hPhi <= 1.5*fPhi {
+		t.Fatalf("honest Φ mass %v not clearly above forged %v", hPhi, fPhi)
+	}
+	// Forged uploads replay values from 18 m away: their residuals against
+	// the local reference mean must dominate the honest ones.
+	if hRes, fRes := sumAt(hf, 2), sumAt(ff, 2); fRes <= 1.5*hRes {
+		t.Fatalf("forged residual mass %v not clearly above honest %v", fRes, hRes)
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/wifi"
+)
+
+// Client is a minimal client for the verification service, used by the
+// example applications and the end-to-end tests.
+type Client struct {
+	BaseURL    string
+	Projection *geo.Projection
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string, pr *geo.Projection) *Client {
+	return &Client{BaseURL: baseURL, Projection: pr, HTTPClient: http.DefaultClient}
+}
+
+// BuildRequest converts an upload to the wire form.
+func (c *Client) BuildRequest(u *wifi.Upload) (*UploadRequest, error) {
+	if err := u.Validate(); err != nil {
+		return nil, fmt.Errorf("server: build request: %w", err)
+	}
+	req := &UploadRequest{ID: u.Traj.ID, Points: make([]uploadPoint, u.Traj.Len())}
+	if u.Traj.Mode != 0 {
+		req.Mode = u.Traj.Mode.String()
+	}
+	for i, p := range u.Traj.Points {
+		ll := c.Projection.ToLatLon(p.Pos)
+		req.Points[i] = uploadPoint{
+			Lat:  ll.Lat,
+			Lon:  ll.Lon,
+			Time: p.Time.UnixMilli(),
+			Scan: u.Scans[i],
+		}
+	}
+	return req, nil
+}
+
+// Upload sends the trajectory and returns the provider's verdict.
+func (c *Client) Upload(u *wifi.Upload) (*Verdict, error) {
+	req, err := c.BuildRequest(u)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("server: marshal upload: %w", err)
+	}
+	resp, err := c.HTTPClient.Post(c.BaseURL+"/v1/trajectory", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("server: post upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("server: upload rejected with status %d: %s", resp.StatusCode, e.Error)
+	}
+	var v Verdict
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("server: decode verdict: %w", err)
+	}
+	return &v, nil
+}
+
+// FetchStats retrieves the provider counters.
+func (c *Client) FetchStats() (*Stats, error) {
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("server: get stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var s Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, fmt.Errorf("server: decode stats: %w", err)
+	}
+	return &s, nil
+}

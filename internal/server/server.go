@@ -1,0 +1,300 @@
+// Package server implements the location-service-provider substrate: the
+// cloud-side HTTP service that ingests [lat, lon, time] trajectory uploads
+// (with per-point WiFi scans) and runs the paper's verification pipeline —
+// the DTW replay check, the motion-feature classifier, and the WiFi RSSI
+// detector — before accepting a trajectory into the provider's history.
+//
+// It is a deliberately small, stdlib-only net/http service: JSON in, JSON
+// out, safe for concurrent uploads, with the provider state guarded by a
+// read-write mutex.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"trajforge/internal/detect"
+	"trajforge/internal/geo"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+// Verdict is the provider's decision about one upload.
+type Verdict struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+	// Checks reports each verification stage that ran: "pass", "fail", or
+	// "skipped".
+	Checks map[string]string `json:"checks"`
+	// MotionProbReal is the motion classifier's P(real), when it ran.
+	MotionProbReal *float64 `json:"motion_prob_real,omitempty"`
+	// WiFiProbFake is the RSSI detector's P(fake), when it ran.
+	WiFiProbFake *float64 `json:"wifi_prob_fake,omitempty"`
+}
+
+// Config wires the verification stages. Any stage may be nil, in which
+// case it is skipped.
+type Config struct {
+	// Projection maps wire lat/lon to the provider's local plane.
+	Projection *geo.Projection
+	// Rules is the cheap physical-sanity filter (speed/acceleration/
+	// teleport caps); the paper's related work shows replay defeats it, so
+	// it is only ever a first line.
+	Rules *detect.RuleChecker
+	// Route rejects trajectories that stray from the road network (the
+	// paper's route-rationality requirement).
+	Route *detect.RouteChecker
+	// Replay rejects near-duplicates of historical trajectories.
+	Replay *detect.ReplayChecker
+	// Motion is the trajectory-only classifier (the paper shows it is
+	// defeated by adversarial forgeries — the server keeps it as a cheap
+	// first filter).
+	Motion detect.MotionDetector
+	// WiFi is the RSSI countermeasure; when set, uploads must carry scans.
+	WiFi *detect.WiFiDetector
+	// RequireScans rejects uploads without WiFi scans even if WiFi is nil.
+	RequireScans bool
+	// IngestAccepted adds the scans of accepted uploads to the WiFi
+	// detector's crowdsourced store, so the provider's coverage keeps
+	// growing (and a user's own accepted uploads become the reference that
+	// catches their later replay forgeries).
+	IngestAccepted bool
+	// MaxPoints bounds upload size (default 10,000).
+	MaxPoints int
+}
+
+// Service is the verification server.
+type Service struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	accepted int
+	rejected int
+	history  []*trajectory.T
+}
+
+// New returns a service; the projection is required.
+func New(cfg Config) (*Service, error) {
+	if cfg.Projection == nil {
+		return nil, errors.New("server: projection is required")
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 10000
+	}
+	return &Service{cfg: cfg}, nil
+}
+
+// Stats is the provider's counters.
+type Stats struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	History  int `json:"history"`
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Accepted: s.accepted, Rejected: s.rejected, History: len(s.history)}
+}
+
+// uploadPoint is the wire form of one fix plus its scan.
+type uploadPoint struct {
+	Lat  float64            `json:"lat"`
+	Lon  float64            `json:"lon"`
+	Time int64              `json:"time"` // Unix milliseconds
+	Scan []wifi.Observation `json:"scan,omitempty"`
+}
+
+// UploadRequest is the wire form of a trajectory upload.
+type UploadRequest struct {
+	ID     string        `json:"id,omitempty"`
+	Mode   string        `json:"mode,omitempty"`
+	Points []uploadPoint `json:"points"`
+}
+
+// decode converts the wire request into internal types.
+func (s *Service) decode(req *UploadRequest) (*wifi.Upload, error) {
+	if len(req.Points) < 2 {
+		return nil, fmt.Errorf("trajectory needs >= 2 points, got %d", len(req.Points))
+	}
+	if len(req.Points) > s.cfg.MaxPoints {
+		return nil, fmt.Errorf("trajectory has %d points, limit %d", len(req.Points), s.cfg.MaxPoints)
+	}
+	t := &trajectory.T{ID: req.ID, Points: make([]trajectory.Point, len(req.Points))}
+	if req.Mode != "" {
+		m, err := trajectory.ParseMode(req.Mode)
+		if err != nil {
+			return nil, err
+		}
+		t.Mode = m
+	}
+	scans := make([]wifi.Scan, len(req.Points))
+	var anyScan bool
+	for i, p := range req.Points {
+		ll := geo.LatLon{Lat: p.Lat, Lon: p.Lon}
+		if !ll.Valid() {
+			return nil, fmt.Errorf("point %d: invalid coordinate %v", i, ll)
+		}
+		t.Points[i] = trajectory.Point{
+			Pos:  s.cfg.Projection.ToPlane(ll),
+			Time: time.UnixMilli(p.Time).UTC(),
+		}
+		if len(p.Scan) > 0 {
+			scans[i] = wifi.Scan(p.Scan)
+			anyScan = true
+		} else {
+			scans[i] = wifi.Scan{}
+		}
+	}
+	if err := t.Validate(500 * time.Millisecond); err != nil {
+		return nil, err
+	}
+	if !anyScan && (s.cfg.RequireScans || s.cfg.WiFi != nil) {
+		return nil, errors.New("upload carries no WiFi scans")
+	}
+	return &wifi.Upload{Traj: t, Scans: scans}, nil
+}
+
+// Verify runs the full pipeline on an already-decoded upload.
+func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
+	v := Verdict{Checks: map[string]string{
+		"rules":  "skipped",
+		"route":  "skipped",
+		"replay": "skipped",
+		"motion": "skipped",
+		"wifi":   "skipped",
+	}}
+
+	if s.cfg.Rules != nil {
+		if vs := s.cfg.Rules.Check(u.Traj); len(vs) > 0 {
+			v.Checks["rules"] = "fail"
+			v.Reason = "physically implausible motion: " + vs[0].String()
+			return v, nil
+		}
+		v.Checks["rules"] = "pass"
+	}
+
+	if s.cfg.Route != nil {
+		if s.cfg.Route.IsIrrational(u.Traj) {
+			v.Checks["route"] = "fail"
+			v.Reason = "trajectory does not follow the road network"
+			return v, nil
+		}
+		v.Checks["route"] = "pass"
+	}
+
+	if s.cfg.Replay != nil {
+		s.mu.RLock()
+		isReplay := s.cfg.Replay.IsReplay(u.Traj)
+		s.mu.RUnlock()
+		if isReplay {
+			v.Checks["replay"] = "fail"
+			v.Reason = "trajectory replays a historical record"
+			return v, nil
+		}
+		v.Checks["replay"] = "pass"
+	}
+
+	if s.cfg.Motion != nil {
+		p := s.cfg.Motion.ProbReal(u.Traj)
+		v.MotionProbReal = &p
+		if p < 0.5 {
+			v.Checks["motion"] = "fail"
+			v.Reason = "motion characteristics inconsistent with real movement"
+			return v, nil
+		}
+		v.Checks["motion"] = "pass"
+	}
+
+	if s.cfg.WiFi != nil {
+		p, err := s.cfg.WiFi.ProbFake(u)
+		if err != nil {
+			return v, fmt.Errorf("server: wifi check: %w", err)
+		}
+		v.WiFiProbFake = &p
+		if p >= 0.5 {
+			v.Checks["wifi"] = "fail"
+			v.Reason = "reported RSSIs inconsistent with crowdsourced history"
+			return v, nil
+		}
+		v.Checks["wifi"] = "pass"
+	}
+
+	v.Accepted = true
+	return v, nil
+}
+
+// record updates counters and, on acceptance, the provider history.
+func (s *Service) record(u *wifi.Upload, v Verdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v.Accepted {
+		s.accepted++
+		s.history = append(s.history, u.Traj)
+		if s.cfg.Replay != nil {
+			s.cfg.Replay.AddHistory(u.Traj)
+		}
+		if s.cfg.IngestAccepted && s.cfg.WiFi != nil {
+			s.cfg.WiFi.Store.AddUploads([]*wifi.Upload{u})
+		}
+		return
+	}
+	s.rejected++
+}
+
+// Handler returns the HTTP mux of the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/trajectory", s.handleUpload)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	var req UploadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed JSON: " + err.Error()})
+		return
+	}
+	u, err := s.decode(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	verdict, err := s.Verify(u)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	s.record(u, verdict)
+	writeJSON(w, http.StatusOK, verdict)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding errors after the header is written can only be logged; for
+	// this substrate they are ignored (the client sees a truncated body).
+	_ = json.NewEncoder(w).Encode(v)
+}

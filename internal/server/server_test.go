@@ -1,0 +1,359 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trajforge/internal/detect"
+	"trajforge/internal/geo"
+	"trajforge/internal/mobility"
+	"trajforge/internal/roadnet"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+var (
+	_origin = geo.LatLon{Lat: 32.06, Lon: 118.79}
+	_t0     = time.Date(2022, 7, 1, 9, 0, 0, 0, time.UTC)
+)
+
+// fixedMotion is a stub detector with a programmable answer.
+type fixedMotion struct{ prob float64 }
+
+func (f *fixedMotion) Name() string                         { return "stub" }
+func (f *fixedMotion) ProbReal(t *trajectory.T) float64     { return f.prob }
+func (f *fixedMotion) set(p float64)                        { f.prob = p }
+func realisticUpload(t *testing.T, seed int64) *wifi.Upload { return uploadFor(t, seed, 30) }
+func uploadFor(t *testing.T, seed int64, n int) *wifi.Upload {
+	t.Helper()
+	tk, err := mobility.Simulate(rand.New(rand.NewSource(seed)), mobility.Options{
+		Route:     []geo.Point{{X: 0, Y: 0}, {X: 300, Y: 0}},
+		Mode:      trajectory.ModeWalking,
+		Start:     _t0,
+		Interval:  time.Second,
+		MaxPoints: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := tk.Trajectory()
+	scans := make([]wifi.Scan, traj.Len())
+	for i := range scans {
+		scans[i] = wifi.Scan{{MAC: "02:4e:00:00:00:01", RSSI: -60}}
+	}
+	return &wifi.Upload{Traj: traj, Scans: scans}
+}
+
+func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server, *Client) {
+	t.Helper()
+	if cfg.Projection == nil {
+		cfg.Projection = geo.NewProjection(_origin)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts, NewClient(ts.URL, cfg.Projection)
+}
+
+func TestNewRequiresProjection(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil projection must error")
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	_, ts, client := newTestService(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health = %d", resp.StatusCode)
+	}
+	st, err := client.FetchStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted != 0 || st.Rejected != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+}
+
+func TestUploadAcceptedWithoutCheckers(t *testing.T) {
+	svc, _, client := newTestService(t, Config{})
+	v, err := client.Upload(realisticUpload(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Fatalf("verdict = %+v", v)
+	}
+	for stage, status := range v.Checks {
+		if status != "skipped" {
+			t.Fatalf("stage %s = %s, want skipped", stage, status)
+		}
+	}
+	if st := svc.Stats(); st.Accepted != 1 || st.History != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMotionCheckRejects(t *testing.T) {
+	stub := &fixedMotion{prob: 0.2}
+	svc, _, client := newTestService(t, Config{Motion: stub})
+	v, err := client.Upload(realisticUpload(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted || v.Checks["motion"] != "fail" {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.MotionProbReal == nil || *v.MotionProbReal != 0.2 {
+		t.Fatalf("prob = %v", v.MotionProbReal)
+	}
+	stub.set(0.9)
+	v, err = client.Upload(realisticUpload(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted || v.Checks["motion"] != "pass" {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if st := svc.Stats(); st.Accepted != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReplayCheckRejectsSecondUpload(t *testing.T) {
+	rc, err := detect.NewReplayChecker(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, client := newTestService(t, Config{Replay: rc})
+	u := realisticUpload(t, 4)
+	v, err := client.Upload(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Fatalf("first upload rejected: %+v", v)
+	}
+	// Uploading a barely-perturbed copy must now be flagged as a replay.
+	replay := u.Traj.Clone()
+	rng := rand.New(rand.NewSource(5))
+	for i := range replay.Points {
+		replay.Points[i].Pos.X += rng.NormFloat64() * 0.3
+	}
+	v, err = client.Upload(&wifi.Upload{Traj: replay, Scans: u.Scans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted || v.Checks["replay"] != "fail" {
+		t.Fatalf("replay accepted: %+v", v)
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	_, ts, _ := newTestService(t, Config{MaxPoints: 10})
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/trajectory", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{malformed"); code != http.StatusBadRequest {
+		t.Fatalf("malformed = %d", code)
+	}
+	if code := post(`{"points":[{"lat":0,"lon":0,"time":0}]}`); code != http.StatusBadRequest {
+		t.Fatalf("single point = %d", code)
+	}
+	if code := post(`{"points":[{"lat":999,"lon":0,"time":0},{"lat":0,"lon":0,"time":1000}]}`); code != http.StatusBadRequest {
+		t.Fatalf("bad coordinate = %d", code)
+	}
+	if code := post(`{"mode":"hover","points":[{"lat":0,"lon":0,"time":0},{"lat":0,"lon":0,"time":1000}]}`); code != http.StatusBadRequest {
+		t.Fatalf("bad mode = %d", code)
+	}
+	// Too many points.
+	var b bytes.Buffer
+	b.WriteString(`{"points":[`)
+	for i := 0; i < 12; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"lat":32,"lon":118,"time":%d}`, i*1000)
+	}
+	b.WriteString(`]}`)
+	if code := post(b.String()); code != http.StatusBadRequest {
+		t.Fatalf("oversized = %d", code)
+	}
+	// Non-monotonic timestamps.
+	if code := post(`{"points":[{"lat":32,"lon":118,"time":1000},{"lat":32,"lon":118,"time":0}]}`); code != http.StatusBadRequest {
+		t.Fatalf("non-monotonic = %d", code)
+	}
+}
+
+func TestScansRequiredWhenConfigured(t *testing.T) {
+	_, _, client := newTestService(t, Config{RequireScans: true})
+	u := realisticUpload(t, 6)
+	for i := range u.Scans {
+		u.Scans[i] = wifi.Scan{}
+	}
+	if _, err := client.Upload(u); err == nil {
+		t.Fatal("scan-less upload must be rejected")
+	}
+}
+
+func TestMethodRestrictions(t *testing.T) {
+	_, ts, _ := newTestService(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/trajectory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/trajectory = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentUploads(t *testing.T) {
+	rc, err := detect.NewReplayChecker(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _, client := newTestService(t, Config{Replay: rc})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = client.Upload(realisticUpload(t, int64(100+i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+	st := svc.Stats()
+	if st.Accepted+st.Rejected != n {
+		t.Fatalf("stats = %+v, want %d total", st, n)
+	}
+}
+
+func TestVerdictJSONShape(t *testing.T) {
+	v := Verdict{Accepted: true, Checks: map[string]string{"replay": "pass"}}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"accepted":true`)) {
+		t.Fatalf("verdict JSON = %s", data)
+	}
+}
+
+func TestRouteCheckRejectsOffRoad(t *testing.T) {
+	g, err := roadnet.Generate(rand.New(rand.NewSource(9)), roadnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := detect.NewRouteChecker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, client := newTestService(t, Config{Route: rc})
+
+	// On-road upload: follows an actual route.
+	onRoad := realisticUpload(t, 31)
+	v, err := client.Upload(onRoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture route (0,0)->(300,0) may not align with this graph, so
+	// only assert the check ran.
+	if v.Checks["route"] == "skipped" {
+		t.Fatal("route check did not run")
+	}
+
+	// Far off-road upload must fail the route check.
+	off := realisticUpload(t, 32)
+	for i := range off.Traj.Points {
+		off.Traj.Points[i].Pos.X -= 2000
+		off.Traj.Points[i].Pos.Y -= 2000
+	}
+	v, err = client.Upload(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted || v.Checks["route"] != "fail" {
+		t.Fatalf("off-road upload verdict = %+v", v)
+	}
+}
+
+func TestWiFiCheckInternalErrorSurfacesAs500(t *testing.T) {
+	// A detector with a broken feature config makes the WiFi stage error;
+	// the server must answer 500, not crash or mislabel.
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &detect.WiFiDetector{
+		Store:    store,
+		Model:    nil,                                   // never reached
+		Features: rssimap.FeatureConfig{R: -1, TopK: 3}, // invalid radius
+	}
+	_, ts, client := newTestService(t, Config{WiFi: det})
+	_ = ts
+	u := realisticUpload(t, 41)
+	if _, err := client.Upload(u); err == nil {
+		t.Fatal("broken WiFi stage must surface an error")
+	}
+}
+
+func TestRulesCheckRejectsTeleport(t *testing.T) {
+	_, _, client := newTestService(t, Config{Rules: detect.NewRuleChecker()})
+	u := realisticUpload(t, 51)
+	// Clean upload passes.
+	v, err := client.Upload(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted || v.Checks["rules"] != "pass" {
+		t.Fatalf("clean upload verdict = %+v", v)
+	}
+	// Inject a teleport.
+	bad := uploadFor(t, 52, 30)
+	bad.Traj.Points[10].Pos.X += 5000
+	v, err = client.Upload(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted || v.Checks["rules"] != "fail" {
+		t.Fatalf("teleport verdict = %+v", v)
+	}
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Field2D is a spatially correlated Gaussian random field over a rectangle.
+// It is built from i.i.d. Gaussian lattice values smoothed by repeated box
+// blurs (approximating a Gaussian kernel) and rescaled to a target standard
+// deviation, then evaluated with bilinear interpolation. The WiFi shadowing
+// model uses one Field2D per access point so that nearby positions observe
+// similar — but not identical — received signal strengths, the property the
+// paper's defense exploits.
+type Field2D struct {
+	w, h    int     // lattice size
+	cell    float64 // metres per lattice cell
+	originX float64
+	originY float64
+	values  []float64
+}
+
+// FieldConfig configures NewField2D.
+type FieldConfig struct {
+	// Width and Height of the covered rectangle in metres.
+	Width, Height float64
+	// OriginX, OriginY is the south-west corner of the rectangle.
+	OriginX, OriginY float64
+	// CorrLength is the spatial correlation length in metres; values a
+	// CorrLength apart are strongly correlated, values several CorrLength
+	// apart are nearly independent.
+	CorrLength float64
+	// StdDev is the stationary standard deviation of the field.
+	StdDev float64
+}
+
+// NewField2D samples a correlated field. It returns an error when the
+// configuration is degenerate.
+func NewField2D(rng *rand.Rand, cfg FieldConfig) (*Field2D, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("stats: field area %gx%g must be positive", cfg.Width, cfg.Height)
+	}
+	if cfg.CorrLength <= 0 {
+		return nil, fmt.Errorf("stats: correlation length %g must be positive", cfg.CorrLength)
+	}
+	// Lattice resolution: 2 cells per correlation length gives smooth
+	// interpolation without excessive memory.
+	cell := cfg.CorrLength / 2
+	w := int(cfg.Width/cell) + 3
+	h := int(cfg.Height/cell) + 3
+
+	values := make([]float64, w*h)
+	for i := range values {
+		values[i] = rng.NormFloat64()
+	}
+	// Three box blurs with radius ~ corrLength/cell approximate a Gaussian
+	// kernel of that scale.
+	radius := 2 // cells; cell = corrLength/2, so radius covers one corrLength
+	for pass := 0; pass < 3; pass++ {
+		values = boxBlur(values, w, h, radius)
+	}
+	// Rescale to the requested standard deviation.
+	sd := StdDev(values)
+	if sd > 0 {
+		scale := cfg.StdDev / sd
+		for i := range values {
+			values[i] *= scale
+		}
+	}
+	return &Field2D{
+		w: w, h: h,
+		cell:    cell,
+		originX: cfg.OriginX,
+		originY: cfg.OriginY,
+		values:  values,
+	}, nil
+}
+
+// boxBlur applies a separable box filter of the given radius in cells.
+func boxBlur(v []float64, w, h, radius int) []float64 {
+	tmp := make([]float64, len(v))
+	// Horizontal pass.
+	for y := 0; y < h; y++ {
+		row := v[y*w : (y+1)*w]
+		out := tmp[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			var sum float64
+			var n int
+			for dx := -radius; dx <= radius; dx++ {
+				xx := x + dx
+				if xx < 0 || xx >= w {
+					continue
+				}
+				sum += row[xx]
+				n++
+			}
+			out[x] = sum / float64(n)
+		}
+	}
+	// Vertical pass.
+	out := make([]float64, len(v))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum float64
+			var n int
+			for dy := -radius; dy <= radius; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= h {
+					continue
+				}
+				sum += tmp[yy*w+x]
+				n++
+			}
+			out[y*w+x] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// At evaluates the field at (x, y) metres using bilinear interpolation.
+// Points outside the covered rectangle clamp to the boundary.
+func (f *Field2D) At(x, y float64) float64 {
+	gx := (x - f.originX) / f.cell
+	gy := (y - f.originY) / f.cell
+	if gx < 0 {
+		gx = 0
+	}
+	if gy < 0 {
+		gy = 0
+	}
+	maxX := float64(f.w - 1)
+	maxY := float64(f.h - 1)
+	if gx > maxX {
+		gx = maxX
+	}
+	if gy > maxY {
+		gy = maxY
+	}
+	x0 := int(gx)
+	y0 := int(gy)
+	x1 := x0 + 1
+	y1 := y0 + 1
+	if x1 >= f.w {
+		x1 = f.w - 1
+	}
+	if y1 >= f.h {
+		y1 = f.h - 1
+	}
+	fx := gx - float64(x0)
+	fy := gy - float64(y0)
+
+	v00 := f.values[y0*f.w+x0]
+	v10 := f.values[y0*f.w+x1]
+	v01 := f.values[y1*f.w+x0]
+	v11 := f.values[y1*f.w+x1]
+	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion is a binary-classification confusion matrix. The positive class
+// follows the paper's convention for detectors: "fake" is the positive class
+// a detector tries to catch.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one (predicted, actual) pair.
+func (c *Confusion) Observe(predictedPositive, actualPositive bool) {
+	switch {
+	case predictedPositive && actualPositive:
+		c.TP++
+	case predictedPositive && !actualPositive:
+		c.FP++
+	case !predictedPositive && actualPositive:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of observations recorded.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positive predictions exist.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when no actual positives exist.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p := c.Precision()
+	r := c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("acc=%.4f prec=%.4f rec=%.4f f1=%.4f (tp=%d fp=%d tn=%d fn=%d)",
+		c.Accuracy(), c.Precision(), c.Recall(), c.F1(), c.TP, c.FP, c.TN, c.FN)
+}
+
+// AUC computes the area under the ROC curve from scores of positive and
+// negative examples (higher score = more positive). It is the
+// Mann-Whitney U statistic: the probability that a random positive outranks
+// a random negative, with ties counting half. Empty inputs yield 0.5.
+func AUC(posScores, negScores []float64) float64 {
+	if len(posScores) == 0 || len(negScores) == 0 {
+		return 0.5
+	}
+	// Sort-based O((m+n) log(m+n)) ranking.
+	type scored struct {
+		v   float64
+		pos bool
+	}
+	all := make([]scored, 0, len(posScores)+len(negScores))
+	for _, v := range posScores {
+		all = append(all, scored{v, true})
+	}
+	for _, v := range negScores {
+		all = append(all, scored{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign average ranks within tie groups and sum the positive ranks.
+	var rankSum float64
+	i := 0
+	for i < len(all) {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 .. j) average
+		for k := i; k < j; k++ {
+			if all[k].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	m := float64(len(posScores))
+	n := float64(len(negScores))
+	u := rankSum - m*(m+1)/2
+	return u / (m * n)
+}

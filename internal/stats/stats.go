@@ -1,0 +1,155 @@
+// Package stats provides the statistical plumbing shared across the
+// simulator and the detectors: summary statistics, distribution sampling,
+// spatially correlated Gaussian fields (used by the WiFi shadowing model),
+// and binary-classification metrics.
+//
+// All sampling takes an explicit *rand.Rand so that every experiment in the
+// repository is deterministic given a seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P10    float64
+	Median float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P10:    Quantile(xs, 0.10),
+		Median: Quantile(xs, 0.50),
+		P90:    Quantile(xs, 0.90),
+		Max:    Max(xs),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p10=%.3f med=%.3f p90=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P10, s.Median, s.P90, s.Max)
+}
+
+// Normal samples from N(mean, sd^2).
+func Normal(rng *rand.Rand, mean, sd float64) float64 {
+	return mean + sd*rng.NormFloat64()
+}
+
+// TruncNormal samples from N(mean, sd^2) truncated to [lo, hi] by rejection;
+// after 64 rejected draws it clamps, which keeps the function total even for
+// pathological bounds.
+func TruncNormal(rng *rand.Rand, mean, sd, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		x := Normal(rng, mean, sd)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Max(lo, math.Min(hi, mean))
+}
+
+// GaussMarkov generates a first-order autocorrelated Gaussian series of
+// length n with stationary standard deviation sd and one-step correlation
+// rho in [0, 1). It models slowly wandering GPS error.
+func GaussMarkov(rng *rand.Rand, n int, sd, rho float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	out[0] = Normal(rng, 0, sd)
+	innov := sd * math.Sqrt(1-rho*rho)
+	for i := 1; i < n; i++ {
+		out[i] = rho*out[i-1] + Normal(rng, 0, innov)
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/short inputs must yield 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Quantile must not mutate its input.
+	xs2 := []float64{5, 1, 3}
+	Quantile(xs2, 0.5)
+	if xs2[0] != 5 || xs2[1] != 1 || xs2[2] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty Summarize = %+v", z)
+	}
+	if s.String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = Normal(rng, 10, 2)
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.1 {
+		t.Fatalf("mean = %v, want ~10", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 0.1 {
+		t.Fatalf("sd = %v, want ~2", sd)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		x := TruncNormal(rng, 0, 5, -1, 1)
+		if x < -1 || x > 1 {
+			t.Fatalf("sample %v outside [-1,1]", x)
+		}
+	}
+	// Pathological bounds must clamp, not loop forever.
+	if x := TruncNormal(rng, 0, 0.001, 50, 60); x != 50 {
+		t.Fatalf("clamp = %v, want 50", x)
+	}
+}
+
+func TestGaussMarkovCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const rho = 0.9
+	xs := GaussMarkov(rng, 50000, 1, rho)
+	// Empirical lag-1 autocorrelation should be close to rho.
+	var num, den float64
+	m := Mean(xs)
+	for i := 1; i < len(xs); i++ {
+		num += (xs[i] - m) * (xs[i-1] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if got := num / den; math.Abs(got-rho) > 0.02 {
+		t.Fatalf("lag-1 autocorr = %v, want ~%v", got, rho)
+	}
+	if sd := StdDev(xs); math.Abs(sd-1) > 0.05 {
+		t.Fatalf("stationary sd = %v, want ~1", sd)
+	}
+	if GaussMarkov(rng, 0, 1, 0.5) != nil {
+		t.Fatal("n=0 must return nil")
+	}
+}
+
+func TestField2DConfigErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewField2D(rng, FieldConfig{Width: 0, Height: 10, CorrLength: 5, StdDev: 1}); err == nil {
+		t.Fatal("zero width must error")
+	}
+	if _, err := NewField2D(rng, FieldConfig{Width: 10, Height: 10, CorrLength: 0, StdDev: 1}); err == nil {
+		t.Fatal("zero correlation length must error")
+	}
+}
+
+func TestField2DSpatialCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f, err := NewField2D(rng, FieldConfig{Width: 200, Height: 200, CorrLength: 10, StdDev: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearby points must be much closer in value than far-apart points.
+	var nearDiff, farDiff float64
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		x := 20 + rng.Float64()*160
+		y := 20 + rng.Float64()*160
+		nearDiff += math.Abs(f.At(x, y) - f.At(x+1, y+1))
+		farDiff += math.Abs(f.At(x, y) - f.At(math.Mod(x+97, 200), math.Mod(y+131, 200)))
+	}
+	nearDiff /= trials
+	farDiff /= trials
+	if nearDiff >= farDiff/2 {
+		t.Fatalf("near diff %v not << far diff %v; field not spatially correlated", nearDiff, farDiff)
+	}
+}
+
+func TestField2DStdDevAndClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f, err := NewField2D(rng, FieldConfig{Width: 300, Height: 300, CorrLength: 8, StdDev: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		xs = append(xs, f.At(rng.Float64()*300, rng.Float64()*300))
+	}
+	if sd := StdDev(xs); sd < 2 || sd > 6 {
+		t.Fatalf("field sd = %v, want ~4", sd)
+	}
+	// Out-of-range evaluation must clamp, not panic.
+	_ = f.At(-100, -100)
+	_ = f.At(1e6, 1e6)
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	// 8 TP, 2 FP, 9 TN, 1 FN
+	for i := 0; i < 8; i++ {
+		c.Observe(true, true)
+	}
+	for i := 0; i < 2; i++ {
+		c.Observe(true, false)
+	}
+	for i := 0; i < 9; i++ {
+		c.Observe(false, false)
+	}
+	c.Observe(false, true)
+
+	if c.Total() != 20 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-8.0/9.0) > 1e-12 {
+		t.Fatalf("recall = %v", got)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 9.0) / (0.8 + 8.0/9.0)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Fatalf("f1 = %v, want %v", got, wantF1)
+	}
+	if c.String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+}
+
+func TestConfusionEmptyAndDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must yield zero metrics")
+	}
+	c.Observe(false, false)
+	if c.Precision() != 0 || c.Recall() != 0 {
+		t.Fatal("degenerate confusion must not divide by zero")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	if got := AUC([]float64{0.9, 0.8}, []float64{0.1, 0.2}); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Perfectly wrong.
+	if got := AUC([]float64{0.1, 0.2}, []float64{0.8, 0.9}); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// All tied: 0.5.
+	if got := AUC([]float64{0.5, 0.5}, []float64{0.5}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	// Empty inputs: 0.5 by convention.
+	if AUC(nil, []float64{1}) != 0.5 || AUC([]float64{1}, nil) != 0.5 {
+		t.Fatal("empty AUC convention broken")
+	}
+	// Known mixed case: pos {0.8, 0.4}, neg {0.6, 0.2}.
+	// Pairs: (0.8>0.6)=1, (0.8>0.2)=1, (0.4<0.6)=0, (0.4>0.2)=1 -> 3/4.
+	if got := AUC([]float64{0.8, 0.4}, []float64{0.6, 0.2}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("mixed AUC = %v", got)
+	}
+}
+
+func TestAUCMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pos := make([]float64, 1+rng.Intn(20))
+		neg := make([]float64, 1+rng.Intn(20))
+		for i := range pos {
+			pos[i] = math.Round(rng.Float64()*10) / 10 // force ties
+		}
+		for i := range neg {
+			neg[i] = math.Round(rng.Float64()*10) / 10
+		}
+		var wins float64
+		for _, p := range pos {
+			for _, n := range neg {
+				switch {
+				case p > n:
+					wins++
+				case p == n:
+					wins += 0.5
+				}
+			}
+		}
+		brute := wins / float64(len(pos)*len(neg))
+		return math.Abs(AUC(pos, neg)-brute) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

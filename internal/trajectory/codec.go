@@ -1,0 +1,174 @@
+package trajectory
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"trajforge/internal/geo"
+)
+
+// wireTrajectory is the upload format of the simulated location service
+// provider: [lat, lon, time] triples, exactly as in the paper.
+type wireTrajectory struct {
+	ID     string      `json:"id,omitempty"`
+	Mode   string      `json:"mode,omitempty"`
+	Points []wirePoint `json:"points"`
+}
+
+type wirePoint struct {
+	Lat  float64 `json:"lat"`
+	Lon  float64 `json:"lon"`
+	Time int64   `json:"time"` // Unix milliseconds
+}
+
+// MarshalJSONWire encodes t as the [lat, lon, time] wire format using the
+// given projection to convert plane coordinates back to WGS-84.
+func MarshalJSONWire(t *T, pr *geo.Projection) ([]byte, error) {
+	w := wireTrajectory{ID: t.ID, Points: make([]wirePoint, len(t.Points))}
+	if t.Mode != 0 {
+		w.Mode = t.Mode.String()
+	}
+	for i, p := range t.Points {
+		ll := pr.ToLatLon(p.Pos)
+		w.Points[i] = wirePoint{Lat: ll.Lat, Lon: ll.Lon, Time: p.Time.UnixMilli()}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSONWire decodes the [lat, lon, time] wire format, projecting
+// coordinates onto the local plane.
+func UnmarshalJSONWire(data []byte, pr *geo.Projection) (*T, error) {
+	var w wireTrajectory
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("trajectory: decode wire JSON: %w", err)
+	}
+	t := &T{ID: w.ID, Points: make([]Point, len(w.Points))}
+	if w.Mode != "" {
+		m, err := ParseMode(w.Mode)
+		if err != nil {
+			return nil, err
+		}
+		t.Mode = m
+	}
+	for i, p := range w.Points {
+		ll := geo.LatLon{Lat: p.Lat, Lon: p.Lon}
+		if !ll.Valid() {
+			return nil, fmt.Errorf("trajectory: point %d: invalid coordinate %v", i, ll)
+		}
+		t.Points[i] = Point{Pos: pr.ToPlane(ll), Time: time.UnixMilli(p.Time).UTC()}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the trajectory as "x,y,unix_ms" rows with a header.
+func WriteCSV(w io.Writer, t *T) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y", "unix_ms"}); err != nil {
+		return fmt.Errorf("trajectory: write CSV header: %w", err)
+	}
+	for _, p := range t.Points {
+		rec := []string{
+			strconv.FormatFloat(p.Pos.X, 'f', -1, 64),
+			strconv.FormatFloat(p.Pos.Y, 'f', -1, 64),
+			strconv.FormatInt(p.Time.UnixMilli(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trajectory: write CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trajectory: flush CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV reads a trajectory written by WriteCSV.
+func ReadCSV(r io.Reader) (*T, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trajectory: read CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trajectory: empty CSV")
+	}
+	t := &T{Points: make([]Point, 0, len(rows)-1)}
+	for i, row := range rows[1:] {
+		if len(row) != 3 {
+			return nil, fmt.Errorf("trajectory: CSV row %d has %d fields, want 3", i+1, len(row))
+		}
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: CSV row %d x: %w", i+1, err)
+		}
+		y, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: CSV row %d y: %w", i+1, err)
+		}
+		ms, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: CSV row %d time: %w", i+1, err)
+		}
+		t.Points = append(t.Points, Point{
+			Pos:  geo.Point{X: x, Y: y},
+			Time: time.UnixMilli(ms).UTC(),
+		})
+	}
+	return t, nil
+}
+
+// geoJSON types (the subset needed for LineString features).
+type geoJSONFeatureCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string                 `json:"type"`
+	Geometry   geoJSONGeometry        `json:"geometry"`
+	Properties map[string]interface{} `json:"properties,omitempty"`
+}
+
+type geoJSONGeometry struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"`
+}
+
+// MarshalGeoJSON encodes trajectories as a GeoJSON FeatureCollection of
+// LineStrings (RFC 7946: [lon, lat] coordinate order) for inspection in
+// standard GIS tooling. Each feature carries the trajectory's id, mode,
+// and start/end timestamps as properties.
+func MarshalGeoJSON(trajs []*T, pr *geo.Projection) ([]byte, error) {
+	fc := geoJSONFeatureCollection{Type: "FeatureCollection"}
+	for i, t := range trajs {
+		if t.Len() < 2 {
+			return nil, fmt.Errorf("trajectory: GeoJSON feature %d has %d points", i, t.Len())
+		}
+		coords := make([][2]float64, t.Len())
+		for j, p := range t.Points {
+			ll := pr.ToLatLon(p.Pos)
+			coords[j] = [2]float64{ll.Lon, ll.Lat}
+		}
+		props := map[string]interface{}{
+			"start": t.Start().Time.UTC().Format(time.RFC3339),
+			"end":   t.End().Time.UTC().Format(time.RFC3339),
+		}
+		if t.ID != "" {
+			props["id"] = t.ID
+		}
+		if t.Mode != 0 {
+			props["mode"] = t.Mode.String()
+		}
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type:       "Feature",
+			Geometry:   geoJSONGeometry{Type: "LineString", Coordinates: coords},
+			Properties: props,
+		})
+	}
+	return json.MarshalIndent(fc, "", "  ")
+}

@@ -1,0 +1,165 @@
+package trajectory
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+)
+
+func TestJSONWireRoundTrip(t *testing.T) {
+	pr := geo.NewProjection(geo.LatLon{Lat: 32.06, Lon: 118.79})
+	tr := lineTraj(6, 3)
+	tr.Mode = ModeDriving
+	tr.ID = "trip-1"
+
+	data, err := MarshalJSONWire(tr, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalJSONWire(data, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "trip-1" || back.Mode != ModeDriving || back.Len() != 6 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	for i := range tr.Points {
+		if geo.Dist(back.Points[i].Pos, tr.Points[i].Pos) > 1e-6 {
+			t.Fatalf("point %d drifted: %v vs %v", i, back.Points[i].Pos, tr.Points[i].Pos)
+		}
+		if !back.Points[i].Time.Equal(tr.Points[i].Time) {
+			t.Fatalf("point %d time drifted", i)
+		}
+	}
+}
+
+func TestJSONWireErrors(t *testing.T) {
+	pr := geo.NewProjection(geo.LatLon{})
+	if _, err := UnmarshalJSONWire([]byte("{nope"), pr); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+	if _, err := UnmarshalJSONWire([]byte(`{"points":[{"lat":999,"lon":0,"time":0}]}`), pr); err == nil {
+		t.Fatal("invalid coordinate must error")
+	}
+	if _, err := UnmarshalJSONWire([]byte(`{"mode":"hover","points":[]}`), pr); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := lineTraj(4, 1.5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 4 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	for i := range tr.Points {
+		if back.Points[i].Pos != tr.Points[i].Pos {
+			t.Fatalf("point %d = %v, want %v", i, back.Points[i].Pos, tr.Points[i].Pos)
+		}
+		if !back.Points[i].Time.Equal(tr.Points[i].Time) {
+			t.Fatalf("time %d mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad x", "x,y,unix_ms\noops,1,0\n"},
+		{"bad y", "x,y,unix_ms\n1,oops,0\n"},
+		{"bad time", "x,y,unix_ms\n1,2,oops\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestCSVHeaderOnly(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("x,y,unix_ms\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d, want 0", tr.Len())
+	}
+}
+
+func TestWireTimesAreUTC(t *testing.T) {
+	pr := geo.NewProjection(geo.LatLon{Lat: 32, Lon: 118})
+	tr := New([]geo.Point{{}, {X: 1}}, time.Date(2022, 5, 1, 12, 0, 0, 0, time.UTC), time.Second)
+	data, err := MarshalJSONWire(tr, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalJSONWire(data, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc := back.Points[0].Time.Location(); loc != time.UTC {
+		t.Fatalf("decoded location = %v, want UTC", loc)
+	}
+}
+
+func TestMarshalGeoJSON(t *testing.T) {
+	pr := geo.NewProjection(geo.LatLon{Lat: 32.06, Lon: 118.79})
+	a := lineTraj(4, 2)
+	a.ID = "t1"
+	a.Mode = ModeWalking
+	b := lineTraj(3, 5)
+
+	data, err := MarshalGeoJSON([]*T{a, b}, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string       `json:"type"`
+				Coordinates [][2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]interface{} `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(data, &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) != 2 {
+		t.Fatalf("collection = %+v", fc)
+	}
+	f := fc.Features[0]
+	if f.Geometry.Type != "LineString" || len(f.Geometry.Coordinates) != 4 {
+		t.Fatalf("geometry = %+v", f.Geometry)
+	}
+	// RFC 7946: [lon, lat] order — longitude ~118.79 first.
+	if f.Geometry.Coordinates[0][0] < 100 {
+		t.Fatalf("coordinate order wrong: %v", f.Geometry.Coordinates[0])
+	}
+	if f.Properties["id"] != "t1" || f.Properties["mode"] != "walking" {
+		t.Fatalf("properties = %v", f.Properties)
+	}
+	// Short trajectory must error.
+	short := &T{Points: a.Points[:1]}
+	if _, err := MarshalGeoJSON([]*T{short}, pr); err == nil {
+		t.Fatal("short trajectory must error")
+	}
+}

@@ -1,0 +1,277 @@
+package trajectory
+
+import (
+	"math"
+
+	"trajforge/internal/geo"
+)
+
+// FeatureKind selects how a trajectory is encoded as a per-step feature
+// sequence for the sequence classifiers. The paper's target model C uses
+// (distance, angle); its transfer model LSTM-1 uses raw (dx, dy).
+type FeatureKind int
+
+// Supported sequence encodings.
+const (
+	// FeatureDistAngle encodes each step as (Euclidean distance, direction).
+	FeatureDistAngle FeatureKind = iota + 1
+	// FeatureDxDy encodes each step as the raw displacement components.
+	FeatureDxDy
+)
+
+// Dim returns the per-step feature dimensionality.
+func (k FeatureKind) Dim() int { return 2 }
+
+func (k FeatureKind) String() string {
+	switch k {
+	case FeatureDistAngle:
+		return "dist-angle"
+	case FeatureDxDy:
+		return "dx-dy"
+	default:
+		return "FeatureKind(?)"
+	}
+}
+
+// SequenceFeatures encodes the trajectory as a [n-1][dim] feature sequence
+// for the LSTM classifiers.
+func SequenceFeatures(t *T, kind FeatureKind) [][]float64 {
+	steps := t.Steps()
+	out := make([][]float64, len(steps))
+	for i, s := range steps {
+		switch kind {
+		case FeatureDxDy:
+			out[i] = []float64{s.Dx, s.Dy}
+		default:
+			out[i] = []float64{s.Dist, s.Angle}
+		}
+	}
+	return out
+}
+
+// SequenceFromPositions computes the same encoding directly from a position
+// slice with a constant time step. The attack optimizer uses this to relate
+// classifier inputs back to positions.
+func SequenceFromPositions(pos []geo.Point, kind FeatureKind) [][]float64 {
+	if len(pos) < 2 {
+		return nil
+	}
+	out := make([][]float64, len(pos)-1)
+	for i := 1; i < len(pos); i++ {
+		dx := pos[i].X - pos[i-1].X
+		dy := pos[i].Y - pos[i-1].Y
+		switch kind {
+		case FeatureDxDy:
+			out[i-1] = []float64{dx, dy}
+		default:
+			out[i-1] = []float64{math.Hypot(dx, dy), math.Atan2(dy, dx)}
+		}
+	}
+	return out
+}
+
+// SequenceGradToPositions back-propagates a gradient on the sequence
+// features (as produced by SequenceFromPositions) to a gradient on the
+// positions. gradSeq must have len(pos)-1 rows of 2 columns. The returned
+// slice has one (dX, dY) gradient per position.
+//
+// For FeatureDistAngle the Jacobian of (dist, angle) w.r.t. (dx, dy) is
+//
+//	d dist/d dx = dx/dist        d dist/d dy = dy/dist
+//	d angle/d dx = -dy/dist^2    d angle/d dy = dx/dist^2
+//
+// with the convention that a zero-length step contributes no gradient.
+func SequenceGradToPositions(pos []geo.Point, kind FeatureKind, gradSeq [][]float64) []geo.Point {
+	grad := make([]geo.Point, len(pos))
+	for i := 1; i < len(pos); i++ {
+		g := gradSeq[i-1]
+		dx := pos[i].X - pos[i-1].X
+		dy := pos[i].Y - pos[i-1].Y
+
+		var gdx, gdy float64
+		switch kind {
+		case FeatureDxDy:
+			gdx, gdy = g[0], g[1]
+		default:
+			dist := math.Hypot(dx, dy)
+			if dist > 1e-9 {
+				gdx = g[0]*dx/dist - g[1]*dy/(dist*dist)
+				gdy = g[0]*dy/dist + g[1]*dx/(dist*dist)
+			}
+		}
+		grad[i].X += gdx
+		grad[i].Y += gdy
+		grad[i-1].X -= gdx
+		grad[i-1].Y -= gdy
+	}
+	return grad
+}
+
+// MotionSummary is the fixed-length feature vector used by the XGBoost
+// motion classifier (Sec. IV-A4): location features (start/end position and
+// time) plus state features (speed and acceleration overall and per axis).
+type MotionSummary struct {
+	StartX, StartY float64
+	EndX, EndY     float64
+	DurationSec    float64
+
+	MeanSpeed, MaxSpeed, StdSpeed    float64
+	MeanAccel, MaxAbsAccel, StdAccel float64
+
+	MeanSpeedX, StdSpeedX float64 // longitude-direction speed
+	MeanSpeedY, StdSpeedY float64 // latitude-direction speed
+	MeanAccelX, StdAccelX float64
+	MeanAccelY, StdAccelY float64
+
+	// MeanSpeedDiffXY is the mean |speedX - speedY| ("velocity difference in
+	// longitude and latitude" in the paper).
+	MeanSpeedDiffXY float64
+
+	// StopFraction is the fraction of steps slower than 0.2 m/s.
+	StopFraction float64
+	// HeadingChange is the mean absolute per-step heading change in radians.
+	HeadingChange float64
+}
+
+// MotionVectorDim is the length of the vector returned by Vector.
+const MotionVectorDim = 21
+
+// Vector flattens the summary into a feature vector for tree models.
+func (m MotionSummary) Vector() []float64 {
+	return []float64{
+		m.StartX, m.StartY, m.EndX, m.EndY, m.DurationSec,
+		m.MeanSpeed, m.MaxSpeed, m.StdSpeed,
+		m.MeanAccel, m.MaxAbsAccel, m.StdAccel,
+		m.MeanSpeedX, m.StdSpeedX, m.MeanSpeedY, m.StdSpeedY,
+		m.MeanAccelX, m.StdAccelX, m.MeanAccelY, m.StdAccelY,
+		m.MeanSpeedDiffXY,
+		m.StopFraction + m.HeadingChange, // combined smoothness channel
+	}
+}
+
+// Summarize extracts the motion summary of a trajectory. Trajectories with
+// fewer than three points yield a zero summary.
+func Summarize(t *T) MotionSummary {
+	var m MotionSummary
+	if len(t.Points) < 3 {
+		return m
+	}
+	steps := t.Steps()
+	m.StartX = t.Points[0].Pos.X
+	m.StartY = t.Points[0].Pos.Y
+	m.EndX = t.End().Pos.X
+	m.EndY = t.End().Pos.Y
+	m.DurationSec = t.Duration().Seconds()
+
+	n := len(steps)
+	speeds := make([]float64, n)
+	speedX := make([]float64, n)
+	speedY := make([]float64, n)
+	var stops int
+	for i, s := range steps {
+		if s.Dt > 0 {
+			speeds[i] = s.Dist / s.Dt
+			speedX[i] = s.Dx / s.Dt
+			speedY[i] = s.Dy / s.Dt
+		}
+		if speeds[i] < 0.2 {
+			stops++
+		}
+	}
+	accels := diffOver(speeds, steps)
+	accelX := diffOver(speedX, steps)
+	accelY := diffOver(speedY, steps)
+
+	m.MeanSpeed = mean(speeds)
+	m.MaxSpeed = maxOf(speeds)
+	m.StdSpeed = stddev(speeds)
+	m.MeanAccel = mean(accels)
+	m.MaxAbsAccel = maxAbs(accels)
+	m.StdAccel = stddev(accels)
+	m.MeanSpeedX = mean(speedX)
+	m.StdSpeedX = stddev(speedX)
+	m.MeanSpeedY = mean(speedY)
+	m.StdSpeedY = stddev(speedY)
+	m.MeanAccelX = mean(accelX)
+	m.StdAccelX = stddev(accelX)
+	m.MeanAccelY = mean(accelY)
+	m.StdAccelY = stddev(accelY)
+
+	var diffXY float64
+	for i := range speeds {
+		diffXY += math.Abs(speedX[i] - speedY[i])
+	}
+	m.MeanSpeedDiffXY = diffXY / float64(n)
+	m.StopFraction = float64(stops) / float64(n)
+
+	var headSum float64
+	var headN int
+	for i := 1; i < n; i++ {
+		if steps[i].Dist < 0.05 || steps[i-1].Dist < 0.05 {
+			continue // heading of a near-zero step is noise
+		}
+		headSum += math.Abs(geo.AngleDiff(steps[i].Angle, steps[i-1].Angle))
+		headN++
+	}
+	if headN > 0 {
+		m.HeadingChange = headSum / float64(headN)
+	}
+	return m
+}
+
+func diffOver(v []float64, steps []Step) []float64 {
+	if len(v) < 2 {
+		return nil
+	}
+	out := make([]float64, len(v)-1)
+	for i := 1; i < len(v); i++ {
+		if steps[i].Dt > 0 {
+			out[i-1] = (v[i] - v[i-1]) / steps[i].Dt
+		}
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

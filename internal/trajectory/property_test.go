@@ -1,0 +1,122 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trajforge/internal/geo"
+)
+
+func randWalk(rng *rand.Rand, n int) *T {
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{
+			X: pos[i-1].X + 1 + rng.NormFloat64()*0.4,
+			Y: pos[i-1].Y + rng.NormFloat64()*0.4,
+		}
+	}
+	return New(pos, _t0, time.Second)
+}
+
+// Property: the dx-dy feature sequence integrates back to the positions
+// (displacements are exact differences).
+func TestPropertyDxDyIntegratesToPositions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randWalk(rng, 3+rng.Intn(30))
+		seq := SequenceFeatures(tr, FeatureDxDy)
+		p := tr.Points[0].Pos
+		for i, step := range seq {
+			p.X += step[0]
+			p.Y += step[1]
+			want := tr.Points[i+1].Pos
+			if math.Abs(p.X-want.X) > 1e-9 || math.Abs(p.Y-want.Y) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the dist-angle encoding preserves step lengths, and the dist
+// channel is exactly the norm of the dx-dy channel.
+func TestPropertyEncodingsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randWalk(rng, 3+rng.Intn(30))
+		da := SequenceFeatures(tr, FeatureDistAngle)
+		xy := SequenceFeatures(tr, FeatureDxDy)
+		for i := range da {
+			if math.Abs(da[i][0]-math.Hypot(xy[i][0], xy[i][1])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the motion state features (speeds, accelerations, heading
+// change, stop fraction) are invariant under translation of the whole
+// trajectory; only the location features move.
+func TestPropertySummaryTranslationInvariant(t *testing.T) {
+	f := func(seed int64, dxRaw, dyRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dx := math.Mod(dxRaw, 1e4)
+		dy := math.Mod(dyRaw, 1e4)
+		tr := randWalk(rng, 5+rng.Intn(25))
+		moved := tr.Clone()
+		for i := range moved.Points {
+			moved.Points[i].Pos.X += dx
+			moved.Points[i].Pos.Y += dy
+		}
+		a := Summarize(tr)
+		b := Summarize(moved)
+		close := func(x, y float64) bool { return math.Abs(x-y) < 1e-6 }
+		return close(a.MeanSpeed, b.MeanSpeed) &&
+			close(a.StdSpeed, b.StdSpeed) &&
+			close(a.MeanAccel, b.MeanAccel) &&
+			close(a.HeadingChange, b.HeadingChange) &&
+			close(a.StopFraction, b.StopFraction) &&
+			close(a.StartX+dx, b.StartX) &&
+			close(a.EndY+dy, b.EndY)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the dist-angle state features are invariant under rotation of
+// the whole trajectory (speed magnitudes don't depend on orientation).
+func TestPropertySpeedsRotationInvariant(t *testing.T) {
+	f := func(seed int64, angleRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		theta := math.Mod(angleRaw, 2*math.Pi)
+		sin, cos := math.Sin(theta), math.Cos(theta)
+		tr := randWalk(rng, 5+rng.Intn(25))
+		rot := tr.Clone()
+		for i := range rot.Points {
+			p := rot.Points[i].Pos
+			rot.Points[i].Pos = geo.Point{X: p.X*cos - p.Y*sin, Y: p.X*sin + p.Y*cos}
+		}
+		sa := tr.Speeds()
+		sb := rot.Speeds()
+		for i := range sa {
+			if math.Abs(sa[i]-sb[i]) > 1e-6 {
+				return false
+			}
+		}
+		return math.Abs(tr.Length()-rot.Length()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package trajectory defines the trajectory data model used throughout the
+// system — a time-ordered sequence of GPS positions, exactly the
+// [lat, lon, time] triples the paper's location service provider ingests —
+// together with motion-feature extraction, resampling, validation, and
+// JSON/CSV codecs.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"trajforge/internal/geo"
+)
+
+// Mode is the transportation mode of a trajectory.
+type Mode int
+
+// Transportation modes covered by the paper's evaluation.
+const (
+	ModeWalking Mode = iota + 1
+	ModeCycling
+	ModeDriving
+)
+
+var _modeNames = map[Mode]string{
+	ModeWalking: "walking",
+	ModeCycling: "cycling",
+	ModeDriving: "driving",
+}
+
+func (m Mode) String() string {
+	if s, ok := _modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts a mode name to a Mode.
+func ParseMode(s string) (Mode, error) {
+	for m, name := range _modeNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("trajectory: unknown mode %q", s)
+}
+
+// Modes lists all supported transportation modes in a stable order.
+func Modes() []Mode { return []Mode{ModeWalking, ModeCycling, ModeDriving} }
+
+// Point is a single GPS fix: a position on the local plane plus a timestamp.
+type Point struct {
+	Pos  geo.Point `json:"pos"`
+	Time time.Time `json:"time"`
+}
+
+// T is a trajectory: a time-ordered sequence of GPS fixes sampled at a
+// constant interval, the unit of upload, forgery, and verification in the
+// paper.
+type T struct {
+	// Points are the fixes, oldest first.
+	Points []Point `json:"points"`
+	// Mode is the claimed transportation mode, when known.
+	Mode Mode `json:"mode,omitempty"`
+	// ID is an optional caller-assigned identifier.
+	ID string `json:"id,omitempty"`
+}
+
+// Validation errors.
+var (
+	ErrTooShort     = errors.New("trajectory: fewer than 2 points")
+	ErrNotMonotonic = errors.New("trajectory: timestamps not strictly increasing")
+	ErrIrregular    = errors.New("trajectory: sampling interval not constant")
+)
+
+// Len returns the number of fixes.
+func (t *T) Len() int { return len(t.Points) }
+
+// Positions returns the position sequence (a fresh slice).
+func (t *T) Positions() []geo.Point {
+	out := make([]geo.Point, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = p.Pos
+	}
+	return out
+}
+
+// Clone returns a deep copy of the trajectory.
+func (t *T) Clone() *T {
+	cp := &T{Mode: t.Mode, ID: t.ID}
+	cp.Points = append([]Point(nil), t.Points...)
+	return cp
+}
+
+// Start returns the first fix; it panics on an empty trajectory.
+func (t *T) Start() Point { return t.Points[0] }
+
+// End returns the last fix; it panics on an empty trajectory.
+func (t *T) End() Point { return t.Points[len(t.Points)-1] }
+
+// Duration returns the time spanned by the trajectory.
+func (t *T) Duration() time.Duration {
+	if len(t.Points) < 2 {
+		return 0
+	}
+	return t.End().Time.Sub(t.Start().Time)
+}
+
+// Interval returns the sampling interval, assuming it is constant; it
+// returns 0 for trajectories with fewer than two points.
+func (t *T) Interval() time.Duration {
+	if len(t.Points) < 2 {
+		return 0
+	}
+	return t.Points[1].Time.Sub(t.Points[0].Time)
+}
+
+// Length returns the path length in metres (sum of step displacements).
+func (t *T) Length() float64 {
+	return geo.PolylineLength(t.Positions())
+}
+
+// Validate checks that the trajectory has at least two points, strictly
+// increasing timestamps, and a constant sampling interval (within tol).
+func (t *T) Validate(tol time.Duration) error {
+	if len(t.Points) < 2 {
+		return ErrTooShort
+	}
+	want := t.Interval()
+	if want <= 0 {
+		return ErrNotMonotonic
+	}
+	for i := 1; i < len(t.Points); i++ {
+		dt := t.Points[i].Time.Sub(t.Points[i-1].Time)
+		if dt <= 0 {
+			return fmt.Errorf("%w: step %d", ErrNotMonotonic, i)
+		}
+		diff := dt - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			return fmt.Errorf("%w: step %d is %v, want %v", ErrIrregular, i, dt, want)
+		}
+	}
+	return nil
+}
+
+// New builds a trajectory from positions sampled at a constant interval
+// starting at start time.
+func New(positions []geo.Point, start time.Time, interval time.Duration) *T {
+	pts := make([]Point, len(positions))
+	for i, pos := range positions {
+		pts[i] = Point{Pos: pos, Time: start.Add(time.Duration(i) * interval)}
+	}
+	return &T{Points: pts}
+}
+
+// WithPositions returns a copy of t whose positions are replaced by pos,
+// keeping the timestamps, mode and ID. len(pos) must equal t.Len().
+func (t *T) WithPositions(pos []geo.Point) (*T, error) {
+	if len(pos) != len(t.Points) {
+		return nil, fmt.Errorf("trajectory: got %d positions for %d points", len(pos), len(t.Points))
+	}
+	cp := t.Clone()
+	for i := range cp.Points {
+		cp.Points[i].Pos = pos[i]
+	}
+	return cp, nil
+}
+
+// Step describes the displacement between two consecutive fixes.
+type Step struct {
+	// Dist is the Euclidean displacement length in metres.
+	Dist float64
+	// Angle is the displacement direction in radians (see geo.Bearing).
+	Angle float64
+	// Dx, Dy are the displacement components in metres.
+	Dx, Dy float64
+	// Dt is the elapsed time in seconds.
+	Dt float64
+}
+
+// Steps returns the n-1 displacement records of an n-point trajectory,
+// matching the paper's Δ(P_i, P_{i+1}) = (Edu, Angle) description.
+func (t *T) Steps() []Step {
+	if len(t.Points) < 2 {
+		return nil
+	}
+	out := make([]Step, len(t.Points)-1)
+	for i := 1; i < len(t.Points); i++ {
+		a := t.Points[i-1]
+		b := t.Points[i]
+		dx := b.Pos.X - a.Pos.X
+		dy := b.Pos.Y - a.Pos.Y
+		out[i-1] = Step{
+			Dist:  math.Hypot(dx, dy),
+			Angle: geo.Bearing(a.Pos, b.Pos),
+			Dx:    dx,
+			Dy:    dy,
+			Dt:    b.Time.Sub(a.Time).Seconds(),
+		}
+	}
+	return out
+}
+
+// Speeds returns the per-step speeds in m/s.
+func (t *T) Speeds() []float64 {
+	steps := t.Steps()
+	out := make([]float64, len(steps))
+	for i, s := range steps {
+		if s.Dt > 0 {
+			out[i] = s.Dist / s.Dt
+		}
+	}
+	return out
+}
+
+// Accelerations returns the per-step accelerations in m/s^2 (one fewer than
+// Speeds).
+func (t *T) Accelerations() []float64 {
+	speeds := t.Speeds()
+	if len(speeds) < 2 {
+		return nil
+	}
+	steps := t.Steps()
+	out := make([]float64, len(speeds)-1)
+	for i := 1; i < len(speeds); i++ {
+		if steps[i].Dt > 0 {
+			out[i-1] = (speeds[i] - speeds[i-1]) / steps[i].Dt
+		}
+	}
+	return out
+}
+
+// Windows splits the trajectory into consecutive fixed-size windows with
+// the given stride — how the paper carves its corpora out of long recorded
+// traces ("select 400 consecutive position points"). Each window shares
+// point storage with the parent. stride <= 0 means non-overlapping windows
+// (stride = size).
+func (t *T) Windows(size, stride int) []*T {
+	if size < 2 || t.Len() < size {
+		return nil
+	}
+	if stride <= 0 {
+		stride = size
+	}
+	var out []*T
+	for start := 0; start+size <= len(t.Points); start += stride {
+		out = append(out, &T{
+			Points: t.Points[start : start+size : start+size],
+			Mode:   t.Mode,
+			ID:     t.ID,
+		})
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package trajectory
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+)
+
+var _t0 = time.Date(2022, 3, 1, 9, 0, 0, 0, time.UTC)
+
+func lineTraj(n int, step float64) *T {
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: float64(i) * step}
+	}
+	return New(pos, _t0, time.Second)
+}
+
+func TestModeString(t *testing.T) {
+	if ModeWalking.String() != "walking" || ModeCycling.String() != "cycling" || ModeDriving.String() != "driving" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(99).String() != "Mode(99)" {
+		t.Fatal("unknown mode formatting wrong")
+	}
+	for _, m := range Modes() {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%s) = %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseMode("teleport"); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	tr := lineTraj(5, 2)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Start().Pos != (geo.Point{}) || tr.End().Pos != (geo.Point{X: 8}) {
+		t.Fatal("start/end wrong")
+	}
+	if tr.Duration() != 4*time.Second {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	if tr.Interval() != time.Second {
+		t.Fatalf("Interval = %v", tr.Interval())
+	}
+	if got := tr.Length(); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("Length = %v", got)
+	}
+	pos := tr.Positions()
+	pos[0].X = 999 // must not alias internal storage
+	if tr.Points[0].Pos.X == 999 {
+		t.Fatal("Positions aliases internal state")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := lineTraj(3, 1)
+	tr.Mode = ModeCycling
+	tr.ID = "abc"
+	cp := tr.Clone()
+	cp.Points[0].Pos.X = 42
+	if tr.Points[0].Pos.X == 42 {
+		t.Fatal("Clone shares point storage")
+	}
+	if cp.Mode != ModeCycling || cp.ID != "abc" {
+		t.Fatal("Clone dropped metadata")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := lineTraj(5, 1).Validate(0); err != nil {
+		t.Fatalf("valid trajectory rejected: %v", err)
+	}
+	short := &T{Points: []Point{{Time: _t0}}}
+	if !errors.Is(short.Validate(0), ErrTooShort) {
+		t.Fatal("want ErrTooShort")
+	}
+	bad := lineTraj(3, 1)
+	bad.Points[2].Time = bad.Points[1].Time // duplicate timestamp
+	if !errors.Is(bad.Validate(0), ErrNotMonotonic) {
+		t.Fatal("want ErrNotMonotonic")
+	}
+	irr := lineTraj(3, 1)
+	irr.Points[2].Time = irr.Points[2].Time.Add(500 * time.Millisecond)
+	if !errors.Is(irr.Validate(time.Millisecond), ErrIrregular) {
+		t.Fatal("want ErrIrregular")
+	}
+	if err := irr.Validate(time.Second); err != nil {
+		t.Fatalf("tolerant Validate rejected: %v", err)
+	}
+}
+
+func TestWithPositions(t *testing.T) {
+	tr := lineTraj(4, 1)
+	newPos := []geo.Point{{X: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+	cp, err := tr.WithPositions(newPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Points[2].Pos != (geo.Point{X: 2, Y: 2}) {
+		t.Fatal("positions not replaced")
+	}
+	if cp.Points[2].Time != tr.Points[2].Time {
+		t.Fatal("timestamps lost")
+	}
+	if tr.Points[1].Pos.Y != 0 {
+		t.Fatal("original mutated")
+	}
+	if _, err := tr.WithPositions(newPos[:2]); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestStepsSpeedsAccelerations(t *testing.T) {
+	// Speeds 1, 3 m/s over 1 s steps -> acceleration 2 m/s^2.
+	pos := []geo.Point{{X: 0}, {X: 1}, {X: 4}}
+	tr := New(pos, _t0, time.Second)
+	steps := tr.Steps()
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if steps[0].Dist != 1 || steps[1].Dist != 3 || steps[0].Angle != 0 {
+		t.Fatalf("steps = %+v", steps)
+	}
+	sp := tr.Speeds()
+	if sp[0] != 1 || sp[1] != 3 {
+		t.Fatalf("speeds = %v", sp)
+	}
+	acc := tr.Accelerations()
+	if len(acc) != 1 || acc[0] != 2 {
+		t.Fatalf("accels = %v", acc)
+	}
+	if (&T{}).Steps() != nil {
+		t.Fatal("empty Steps must be nil")
+	}
+}
+
+func TestSequenceFeatures(t *testing.T) {
+	pos := []geo.Point{{X: 0, Y: 0}, {X: 3, Y: 4}}
+	tr := New(pos, _t0, time.Second)
+	da := SequenceFeatures(tr, FeatureDistAngle)
+	if len(da) != 1 || math.Abs(da[0][0]-5) > 1e-12 {
+		t.Fatalf("dist-angle = %v", da)
+	}
+	if math.Abs(da[0][1]-math.Atan2(4, 3)) > 1e-12 {
+		t.Fatalf("angle = %v", da[0][1])
+	}
+	xy := SequenceFeatures(tr, FeatureDxDy)
+	if xy[0][0] != 3 || xy[0][1] != 4 {
+		t.Fatalf("dx-dy = %v", xy)
+	}
+	if SequenceFromPositions(pos[:1], FeatureDxDy) != nil {
+		t.Fatal("single point must yield nil sequence")
+	}
+	if FeatureDistAngle.Dim() != 2 || FeatureDistAngle.String() == "" || FeatureDxDy.String() == "" {
+		t.Fatal("feature kind metadata wrong")
+	}
+}
+
+// TestSequenceGradNumerical checks the analytic feature->position gradient
+// against central finite differences for both encodings.
+func TestSequenceGradNumerical(t *testing.T) {
+	pos := []geo.Point{{X: 0, Y: 0}, {X: 2, Y: 1}, {X: 3, Y: 3}, {X: 5, Y: 2}}
+	for _, kind := range []FeatureKind{FeatureDistAngle, FeatureDxDy} {
+		// Scalar objective: weighted sum of all features.
+		weights := [][]float64{{0.3, -0.7}, {1.1, 0.4}, {-0.5, 0.9}}
+		objective := func(p []geo.Point) float64 {
+			seq := SequenceFromPositions(p, kind)
+			var sum float64
+			for i, row := range seq {
+				sum += weights[i][0]*row[0] + weights[i][1]*row[1]
+			}
+			return sum
+		}
+		analytic := SequenceGradToPositions(pos, kind, weights)
+		const h = 1e-6
+		for i := range pos {
+			for axis := 0; axis < 2; axis++ {
+				bump := func(delta float64) float64 {
+					pp := append([]geo.Point(nil), pos...)
+					if axis == 0 {
+						pp[i].X += delta
+					} else {
+						pp[i].Y += delta
+					}
+					return objective(pp)
+				}
+				numeric := (bump(h) - bump(-h)) / (2 * h)
+				var got float64
+				if axis == 0 {
+					got = analytic[i].X
+				} else {
+					got = analytic[i].Y
+				}
+				if math.Abs(got-numeric) > 1e-5 {
+					t.Fatalf("kind %v: grad[%d].axis%d = %v, numeric %v", kind, i, axis, got, numeric)
+				}
+			}
+		}
+	}
+}
+
+func TestSequenceGradZeroStep(t *testing.T) {
+	// A zero-length step must not produce NaN gradients for dist-angle.
+	pos := []geo.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 2}}
+	grad := SequenceGradToPositions(pos, FeatureDistAngle, [][]float64{{1, 1}, {1, 1}})
+	for i, g := range grad {
+		if math.IsNaN(g.X) || math.IsNaN(g.Y) {
+			t.Fatalf("grad[%d] is NaN", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// Constant 2 m/s eastward walk: zero acceleration, zero heading change.
+	tr := lineTraj(10, 2)
+	m := Summarize(tr)
+	if math.Abs(m.MeanSpeed-2) > 1e-9 || m.StdSpeed > 1e-9 {
+		t.Fatalf("speed stats: %+v", m)
+	}
+	if math.Abs(m.MeanAccel) > 1e-9 || m.MaxAbsAccel > 1e-9 {
+		t.Fatalf("accel stats: %+v", m)
+	}
+	if m.HeadingChange != 0 {
+		t.Fatalf("heading change = %v", m.HeadingChange)
+	}
+	if m.StopFraction != 0 {
+		t.Fatalf("stop fraction = %v", m.StopFraction)
+	}
+	if m.EndX != 18 || m.DurationSec != 9 {
+		t.Fatalf("location features: %+v", m)
+	}
+	v := m.Vector()
+	if len(v) != MotionVectorDim {
+		t.Fatalf("vector dim = %d, want %d", len(v), MotionVectorDim)
+	}
+	if z := Summarize(&T{}); z.MeanSpeed != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestSummarizeDetectsStops(t *testing.T) {
+	// Half the steps stationary.
+	pos := make([]geo.Point, 11)
+	for i := 1; i < 11; i++ {
+		if i%2 == 0 {
+			pos[i] = pos[i-1]
+		} else {
+			pos[i] = geo.Point{X: pos[i-1].X + 1.5, Y: pos[i-1].Y}
+		}
+	}
+	tr := New(pos, _t0, time.Second)
+	m := Summarize(tr)
+	if m.StopFraction < 0.4 || m.StopFraction > 0.6 {
+		t.Fatalf("stop fraction = %v, want ~0.5", m.StopFraction)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	tr := lineTraj(10, 1)
+	ws := tr.Windows(4, 3)
+	if len(ws) != 3 { // starts 0, 3, 6
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	for i, w := range ws {
+		if w.Len() != 4 {
+			t.Fatalf("window %d has %d points", i, w.Len())
+		}
+		if err := w.Validate(0); err != nil {
+			t.Fatalf("window %d invalid: %v", i, err)
+		}
+	}
+	if ws[1].Points[0].Pos.X != 3 {
+		t.Fatalf("window 1 starts at %v", ws[1].Points[0].Pos)
+	}
+	// Default stride = size (non-overlapping).
+	if got := len(tr.Windows(5, 0)); got != 2 {
+		t.Fatalf("non-overlapping windows = %d, want 2", got)
+	}
+	// Degenerate cases.
+	if tr.Windows(1, 1) != nil || tr.Windows(20, 1) != nil {
+		t.Fatal("degenerate windows must be nil")
+	}
+}

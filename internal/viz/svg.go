@@ -1,0 +1,170 @@
+// Package viz renders road networks and trajectories to standalone SVG —
+// enough to reproduce the paper's Fig. 1 (forged trajectories projected on
+// the map next to their reference routes) without any graphics dependency.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/roadnet"
+)
+
+// Style describes how one polyline layer is drawn.
+type Style struct {
+	Stroke  string
+	Width   float64
+	Dashed  bool
+	Opacity float64 // 0 means 1.0
+	// Markers draws a dot at every vertex.
+	Markers bool
+}
+
+// Layer is one set of polylines sharing a style and a legend label.
+type Layer struct {
+	Label string
+	Lines [][]geo.Point
+	Style Style
+}
+
+// Scene is a renderable collection of layers.
+type Scene struct {
+	Title  string
+	layers []Layer
+}
+
+// NewScene returns an empty scene.
+func NewScene(title string) *Scene { return &Scene{Title: title} }
+
+// AddRoads adds the road network as a background layer.
+func (s *Scene) AddRoads(g *roadnet.Graph) {
+	lines := make([][]geo.Point, 0, g.NumEdges()/2)
+	for _, e := range g.Edges() {
+		if e.From > e.To {
+			continue // draw each undirected pair once
+		}
+		lines = append(lines, []geo.Point{g.Node(e.From).Pos, g.Node(e.To).Pos})
+	}
+	s.layers = append(s.layers, Layer{
+		Label: "roads",
+		Lines: lines,
+		Style: Style{Stroke: "#c9c9c9", Width: 1.4},
+	})
+}
+
+// AddPath adds one trajectory or route polyline.
+func (s *Scene) AddPath(label string, pts []geo.Point, style Style) {
+	s.layers = append(s.layers, Layer{Label: label, Lines: [][]geo.Point{pts}, Style: style})
+}
+
+// bounds returns the bounding box over all layers.
+func (s *Scene) bounds() (min, max geo.Point, ok bool) {
+	min = geo.Point{X: math.Inf(1), Y: math.Inf(1)}
+	max = geo.Point{X: math.Inf(-1), Y: math.Inf(-1)}
+	for _, l := range s.layers {
+		for _, line := range l.Lines {
+			for _, p := range line {
+				min.X = math.Min(min.X, p.X)
+				min.Y = math.Min(min.Y, p.Y)
+				max.X = math.Max(max.X, p.X)
+				max.Y = math.Max(max.Y, p.Y)
+			}
+		}
+	}
+	return min, max, !math.IsInf(min.X, 1)
+}
+
+// Render writes the scene as a standalone SVG of the given pixel width
+// (height follows the aspect ratio). It returns an error for an empty
+// scene or a non-positive width.
+func (s *Scene) Render(w io.Writer, pixelWidth float64) error {
+	if pixelWidth <= 0 {
+		return fmt.Errorf("viz: pixel width %g must be positive", pixelWidth)
+	}
+	min, max, ok := s.bounds()
+	if !ok {
+		return fmt.Errorf("viz: scene %q is empty", s.Title)
+	}
+	const pad = 12 // world-units padding
+	min.X -= pad
+	min.Y -= pad
+	max.X += pad
+	max.Y += pad
+	worldW := max.X - min.X
+	worldH := max.Y - min.Y
+	if worldW <= 0 {
+		worldW = 1
+	}
+	if worldH <= 0 {
+		worldH = 1
+	}
+	scale := pixelWidth / worldW
+	pixelHeight := worldH * scale
+
+	// SVG Y grows downward; world Y grows northward, so flip.
+	tx := func(p geo.Point) (float64, float64) {
+		return (p.X - min.X) * scale, (max.Y - p.Y) * scale
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		pixelWidth, pixelHeight, pixelWidth, pixelHeight)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if s.Title != "" {
+		fmt.Fprintf(&b, `<text x="10" y="18" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+			escape(s.Title))
+	}
+
+	legendY := 38.0
+	for _, l := range s.layers {
+		style := l.Style
+		if style.Width == 0 {
+			style.Width = 1.5
+		}
+		opacity := style.Opacity
+		if opacity == 0 {
+			opacity = 1
+		}
+		dash := ""
+		if style.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		for _, line := range l.Lines {
+			if len(line) < 2 {
+				continue
+			}
+			var pts []string
+			for _, p := range line {
+				x, y := tx(p)
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f" stroke-opacity="%.2f"%s/>`+"\n",
+				strings.Join(pts, " "), style.Stroke, style.Width, opacity, dash)
+			if style.Markers {
+				for _, p := range line {
+					x, y := tx(p)
+					fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="%.2f"/>`+"\n",
+						x, y, style.Width*1.2, style.Stroke, opacity)
+				}
+			}
+		}
+		if l.Label != "" && l.Label != "roads" {
+			fmt.Fprintf(&b, `<line x1="10" y1="%.0f" x2="34" y2="%.0f" stroke="%s" stroke-width="%.1f"%s/>`+"\n",
+				legendY, legendY, style.Stroke, style.Width, dash)
+			fmt.Fprintf(&b, `<text x="40" y="%.0f" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+				legendY+4, escape(l.Label))
+			legendY += 18
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,85 @@
+package viz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/roadnet"
+)
+
+func TestRenderBasicScene(t *testing.T) {
+	g, err := roadnet.Generate(rand.New(rand.NewSource(1)), roadnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScene("Fig. 1 — attack example")
+	s.AddRoads(g)
+	s.AddPath("historical trajectory", []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100, Y: 80}},
+		Style{Stroke: "#1f77b4", Width: 2})
+	s.AddPath("forged trajectory", []geo.Point{{X: 0, Y: 2}, {X: 98, Y: 3}, {X: 103, Y: 82}},
+		Style{Stroke: "#d62728", Width: 2, Dashed: true, Markers: true})
+
+	var buf bytes.Buffer
+	if err := s.Render(&buf, 800); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "historical trajectory", "forged trajectory",
+		"stroke-dasharray", "circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// The title must be present and escaped content must not break markup.
+	if !strings.Contains(out, "Fig. 1") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	empty := NewScene("empty")
+	if err := empty.Render(&buf, 800); err == nil {
+		t.Fatal("empty scene must error")
+	}
+	s := NewScene("x")
+	s.AddPath("p", []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}, Style{Stroke: "red"})
+	if err := s.Render(&buf, 0); err == nil {
+		t.Fatal("zero width must error")
+	}
+}
+
+func TestRenderEscapesLabels(t *testing.T) {
+	s := NewScene(`<script>"evil" & co</script>`)
+	s.AddPath(`a<b>"c"&d`, []geo.Point{{X: 0, Y: 0}, {X: 5, Y: 5}}, Style{Stroke: "blue"})
+	var buf bytes.Buffer
+	if err := s.Render(&buf, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<script>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestRenderDegenerateGeometry(t *testing.T) {
+	// A single-point "line" and identical points must not divide by zero.
+	s := NewScene("degenerate")
+	s.AddPath("dot", []geo.Point{{X: 5, Y: 5}}, Style{Stroke: "green"})
+	s.AddPath("flat", []geo.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}, Style{Stroke: "black"})
+	var buf bytes.Buffer
+	if err := s.Render(&buf, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG produced")
+	}
+}

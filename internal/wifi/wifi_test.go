@@ -1,0 +1,285 @@
+package wifi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/trajectory"
+)
+
+// Worlds are expensive to build (one correlated shadowing field per AP),
+// so tests share them per seed.
+var _worlds = map[int64]*World{}
+
+func testWorld(t *testing.T, seed int64) *World {
+	t.Helper()
+	if w, ok := _worlds[seed]; ok {
+		return w
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w, err := NewWorld(rng, DefaultConfig(200, 170, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_worlds[seed] = w
+	return w
+}
+
+func TestNewWorldErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewWorld(rng, Config{Width: 0, Height: 10, NumAPs: 5}); err == nil {
+		t.Fatal("zero width must error")
+	}
+	if _, err := NewWorld(rng, DefaultConfig(10, 10, 0)); err == nil {
+		t.Fatal("zero APs must error")
+	}
+	bad := DefaultConfig(10, 10, 5)
+	bad.TxRefMin, bad.TxRefMax = -30, -60
+	if _, err := NewWorld(rng, bad); err == nil {
+		t.Fatal("inverted range must error")
+	}
+}
+
+func TestScanBasics(t *testing.T) {
+	w := testWorld(t, 2)
+	rng := rand.New(rand.NewSource(3))
+	s := w.Scan(rng, geo.Point{X: 100, Y: 85})
+	if len(s) == 0 {
+		t.Fatal("no APs heard in the middle of a dense area")
+	}
+	// Sorted strongest-first, all above the floor.
+	for i, o := range s {
+		if o.RSSI < -90 {
+			t.Fatalf("observation below floor: %v", o)
+		}
+		if i > 0 && s[i-1].RSSI < o.RSSI {
+			t.Fatal("scan not sorted by strength")
+		}
+		if o.MAC == "" {
+			t.Fatal("empty MAC")
+		}
+	}
+	// No duplicate MACs.
+	seen := map[string]bool{}
+	for _, o := range s {
+		if seen[o.MAC] {
+			t.Fatalf("duplicate MAC %s", o.MAC)
+		}
+		seen[o.MAC] = true
+	}
+}
+
+func TestScanKIsPlausible(t *testing.T) {
+	// The paper's walking area hears ~29 APs on average; our default
+	// parameters should land in the same regime (10-60).
+	w := testWorld(t, 4)
+	rng := rand.New(rand.NewSource(5))
+	var total int
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		p := geo.Point{X: 20 + rng.Float64()*160, Y: 20 + rng.Float64()*130}
+		total += len(w.Scan(rng, p))
+	}
+	avg := float64(total) / trials
+	if avg < 8 || avg > 80 {
+		t.Fatalf("average k = %v, outside the plausible regime", avg)
+	}
+}
+
+func TestRSSIDecreasesWithDistance(t *testing.T) {
+	w := testWorld(t, 6)
+	ap := w.aps[0]
+	// Noise-free mean RSSI must decay monotonically with distance (up to
+	// shadowing, so compare well-separated rings on the same bearing).
+	near := w.meanRSSI(ap, geo.Point{X: ap.Pos.X + 2, Y: ap.Pos.Y})
+	mid := w.meanRSSI(ap, geo.Point{X: ap.Pos.X + 12, Y: ap.Pos.Y})
+	far := w.meanRSSI(ap, geo.Point{X: ap.Pos.X + 40, Y: ap.Pos.Y})
+	if near <= mid || mid <= far {
+		t.Fatalf("RSSI not decaying: %v, %v, %v", near, mid, far)
+	}
+}
+
+func TestScanSpatialConsistency(t *testing.T) {
+	// Scans 1 m apart must be far more similar than scans 40 m apart:
+	// this is the property the paper's defense exploits.
+	w := testWorld(t, 7)
+	rng := rand.New(rand.NewSource(8))
+	var nearDiff, farDiff float64
+	var nearN, farN int
+	for trial := 0; trial < 40; trial++ {
+		p := geo.Point{X: 40 + rng.Float64()*120, Y: 40 + rng.Float64()*90}
+		s0 := w.Scan(rng, p)
+		s1 := w.Scan(rng, geo.Point{X: p.X + 1, Y: p.Y})
+		s2 := w.Scan(rng, geo.Point{X: p.X + 40, Y: p.Y})
+		for _, o := range s0 {
+			if v, ok := s1.RSSIOf(o.MAC); ok {
+				nearDiff += math.Abs(float64(v - o.RSSI))
+				nearN++
+			}
+			if v, ok := s2.RSSIOf(o.MAC); ok {
+				farDiff += math.Abs(float64(v - o.RSSI))
+				farN++
+			}
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Fatal("no overlapping APs found")
+	}
+	if nearDiff/float64(nearN) >= farDiff/float64(farN) {
+		t.Fatalf("near diff %v not smaller than far diff %v",
+			nearDiff/float64(nearN), farDiff/float64(farN))
+	}
+}
+
+func TestRepeatedScansDiffer(t *testing.T) {
+	w := testWorld(t, 9)
+	rng := rand.New(rand.NewSource(10))
+	p := geo.Point{X: 100, Y: 85}
+	s1 := w.Scan(rng, p)
+	s2 := w.Scan(rng, p)
+	var diffs, common int
+	for _, o := range s1 {
+		if v, ok := s2.RSSIOf(o.MAC); ok {
+			common++
+			if v != o.RSSI {
+				diffs++
+			}
+		}
+	}
+	if common == 0 {
+		t.Fatal("no common APs between repeated scans")
+	}
+	if diffs == 0 {
+		t.Fatal("repeated scans identical; measurement noise missing")
+	}
+}
+
+func TestScanHelpers(t *testing.T) {
+	s := Scan{{MAC: "a", RSSI: -40}, {MAC: "b", RSSI: -60}, {MAC: "c", RSSI: -80}}
+	if v, ok := s.RSSIOf("b"); !ok || v != -60 {
+		t.Fatal("RSSIOf broken")
+	}
+	if _, ok := s.RSSIOf("zz"); ok {
+		t.Fatal("RSSIOf must miss unknown MAC")
+	}
+	top := s.TopK(2)
+	if len(top) != 2 || top[0].MAC != "a" {
+		t.Fatalf("TopK = %v", top)
+	}
+	if len(s.TopK(10)) != 3 {
+		t.Fatal("TopK must clamp")
+	}
+	cl := s.Clone()
+	cl[0].RSSI = 0
+	if s[0].RSSI == 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMACUniqueness(t *testing.T) {
+	w := testWorld(t, 11)
+	seen := map[string]bool{}
+	for _, ap := range w.aps {
+		if seen[ap.MAC] {
+			t.Fatalf("duplicate MAC %s", ap.MAC)
+		}
+		seen[ap.MAC] = true
+	}
+	if w.NumAPs() != 300 {
+		t.Fatalf("NumAPs = %d", w.NumAPs())
+	}
+	if width, height := w.Size(); width != 200 || height != 170 {
+		t.Fatalf("Size = %v x %v", width, height)
+	}
+}
+
+func TestUploadValidate(t *testing.T) {
+	tr := trajectory.New([]geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}},
+		time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC), time.Second)
+	u := &Upload{Traj: tr, Scans: []Scan{{}, {}}}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Upload{Traj: tr, Scans: []Scan{{}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched scans must error")
+	}
+	if err := (&Upload{}).Validate(); err == nil {
+		t.Fatal("nil trajectory must error")
+	}
+	u2 := &Upload{Traj: tr, Scans: []Scan{{{MAC: "a", RSSI: -50}}, {{MAC: "a", RSSI: -50}, {MAC: "b", RSSI: -60}}}}
+	if got := u2.AverageK(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("AverageK = %v", got)
+	}
+	if (&Upload{}).AverageK() != 0 {
+		t.Fatal("empty AverageK must be 0")
+	}
+}
+
+func TestDeterministicWorld(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(20))
+	w1, err := NewWorld(rng1, DefaultConfig(120, 100, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng2 := rand.New(rand.NewSource(20))
+	w2, err := NewWorld(rng2, DefaultConfig(120, 100, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.Point{X: 50, Y: 50}
+	s1 := w1.Scan(rand.New(rand.NewSource(1)), p)
+	s2 := w2.Scan(rand.New(rand.NewSource(1)), p)
+	if len(s1) != len(s2) {
+		t.Fatal("same seeds produced different worlds")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same seeds produced different scans")
+		}
+	}
+}
+
+func TestShadowingMakesRSSIPositionDependent(t *testing.T) {
+	// Two positions equidistant from an AP must often see different mean
+	// RSSI because of the shadowing field.
+	w := testWorld(t, 21)
+	var differing int
+	for _, ap := range w.aps[:50] {
+		a := w.meanRSSI(ap, geo.Point{X: ap.Pos.X + 15, Y: ap.Pos.Y})
+		b := w.meanRSSI(ap, geo.Point{X: ap.Pos.X - 15, Y: ap.Pos.Y})
+		if math.Abs(a-b) > 2 {
+			differing++
+		}
+	}
+	if differing < 10 {
+		t.Fatalf("only %d/50 APs show shadowing asymmetry", differing)
+	}
+}
+
+func TestScanWithDeviceOffset(t *testing.T) {
+	w := testWorld(t, 30)
+	p := geo.Point{X: 100, Y: 85}
+	base := w.ScanWithDevice(rand.New(rand.NewSource(1)), p, 0)
+	hot := w.ScanWithDevice(rand.New(rand.NewSource(1)), p, 8)
+	if len(hot) < len(base) {
+		t.Fatalf("+8 dB device hears fewer APs (%d) than baseline (%d)", len(hot), len(base))
+	}
+	// Common APs must read ~8 dB hotter (same measurement noise by seed).
+	var diffs, n int
+	for _, o := range base {
+		if v, ok := hot.RSSIOf(o.MAC); ok {
+			diffs += v - o.RSSI
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no common APs")
+	}
+	if avg := float64(diffs) / float64(n); avg < 7 || avg > 9 {
+		t.Fatalf("device offset shifted RSSIs by %v dB, want ~8", avg)
+	}
+}

@@ -1,0 +1,102 @@
+package xgb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: tree models are invariant to strictly monotone per-feature
+// transformations of the inputs (applied consistently to train and test):
+// splits happen at the same partitions, so predictions are identical.
+func TestPropertyMonotoneTransformInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		X, y := xorData(rng, 150)
+		m1, err := Train(X, y, Config{Rounds: 10, MaxDepth: 3, Seed: 1})
+		if err != nil {
+			return false
+		}
+		// Monotone transforms per feature: exp, cube, and affine.
+		transform := func(row []float64) []float64 {
+			return []float64{
+				math.Exp(row[0]),
+				row[1] * row[1] * row[1],
+				3*row[2] + 7,
+			}
+		}
+		Xt := make([][]float64, len(X))
+		for i, row := range X {
+			Xt[i] = transform(row)
+		}
+		m2, err := Train(Xt, y, Config{Rounds: 10, MaxDepth: 3, Seed: 1})
+		if err != nil {
+			return false
+		}
+		for i := range X {
+			p1 := m1.PredictProb(X[i])
+			p2 := m2.PredictProb(Xt[i])
+			if math.Abs(p1-p2) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: probabilities stay in (0, 1) and the hard label agrees with the
+// 0.5 threshold for arbitrary inputs, including extremes.
+func TestPropertyProbabilityConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := xorData(rng, 200)
+	m, err := Train(X, y, Config{Rounds: 20, MaxDepth: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c float64) bool {
+		row := []float64{a, b, c}
+		p := m.PredictProb(row)
+		if p <= 0 || p >= 1 || math.IsNaN(p) {
+			return false
+		}
+		return m.Predict(row) == (p >= 0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more boosting rounds never increase training loss by much —
+// boosting fits the training set monotonically (up to shrinkage noise).
+func TestPropertyMoreRoundsFitTrainingBetter(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := xorData(rng, 300)
+	logLoss := func(m *Model) float64 {
+		var sum float64
+		for i := range X {
+			p := math.Min(1-1e-12, math.Max(1e-12, m.PredictProb(X[i])))
+			if y[i] == 1 {
+				sum -= math.Log(p)
+			} else {
+				sum -= math.Log(1 - p)
+			}
+		}
+		return sum / float64(len(X))
+	}
+	var prev float64 = math.Inf(1)
+	for _, rounds := range []int{5, 20, 60} {
+		m, err := Train(X, y, Config{Rounds: rounds, MaxDepth: 3, LearningRate: 0.3, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss := logLoss(m)
+		if loss > prev+1e-6 {
+			t.Fatalf("training loss rose from %v to %v at %d rounds", prev, loss, rounds)
+		}
+		prev = loss
+	}
+}

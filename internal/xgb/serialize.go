@@ -1,0 +1,37 @@
+package xgb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Save writes the model to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("xgb: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("xgb: decode model: %w", err)
+	}
+	if m.NumFeat <= 0 {
+		return nil, fmt.Errorf("xgb: decoded model has %d features", m.NumFeat)
+	}
+	for ti, t := range m.Trees {
+		for ni, nd := range t.Nodes {
+			if nd.Feature >= m.NumFeat {
+				return nil, fmt.Errorf("xgb: tree %d node %d splits on feature %d of %d", ti, ni, nd.Feature, m.NumFeat)
+			}
+			if nd.Feature >= 0 && (nd.Left < 0 || nd.Left >= len(t.Nodes) || nd.Right < 0 || nd.Right >= len(t.Nodes)) {
+				return nil, fmt.Errorf("xgb: tree %d node %d has out-of-range children", ti, ni)
+			}
+		}
+	}
+	return &m, nil
+}

@@ -1,0 +1,132 @@
+package xgb
+
+import (
+	"math"
+	"sort"
+)
+
+// treeBuilder grows one regression tree per boosting round using exact
+// greedy split finding on (gradient, hessian) statistics.
+type treeBuilder struct {
+	X   [][]float64
+	cfg Config
+}
+
+func newTreeBuilder(X [][]float64, cfg Config) *treeBuilder {
+	return &treeBuilder{X: X, cfg: cfg}
+}
+
+// build grows a tree over the given row and column subsets.
+func (b *treeBuilder) build(rows, cols []int, grad, hess []float64, gainAcc []float64) tree {
+	t := tree{}
+	b.grow(&t, rows, cols, grad, hess, 0, gainAcc)
+	return t
+}
+
+// grow appends the subtree for rows and returns its node index.
+func (b *treeBuilder) grow(t *tree, rows, cols []int, grad, hess []float64, depth int, gainAcc []float64) int {
+	var gSum, hSum float64
+	for _, r := range rows {
+		gSum += grad[r]
+		hSum += hess[r]
+	}
+
+	leaf := func() int {
+		w := -gSum / (hSum + b.cfg.Lambda) * b.cfg.LearningRate
+		t.Nodes = append(t.Nodes, node{Feature: -1, Weight: w})
+		return len(t.Nodes) - 1
+	}
+	if depth >= b.cfg.MaxDepth || len(rows) < 2 {
+		return leaf()
+	}
+
+	best := splitResult{gain: b.cfg.Gamma}
+	for _, f := range cols {
+		if s := b.bestSplit(rows, f, grad, hess, gSum, hSum); s.gain > best.gain {
+			best = s
+			best.feature = f
+		}
+	}
+	if !best.valid {
+		return leaf()
+	}
+	gainAcc[best.feature] += best.gain
+
+	left := make([]int, 0, len(rows))
+	right := make([]int, 0, len(rows))
+	for _, r := range rows {
+		if b.X[r][best.feature] < best.thresh {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	// Reserve this node's slot before growing children.
+	idx := len(t.Nodes)
+	t.Nodes = append(t.Nodes, node{})
+	li := b.grow(t, left, cols, grad, hess, depth+1, gainAcc)
+	ri := b.grow(t, right, cols, grad, hess, depth+1, gainAcc)
+	t.Nodes[idx] = node{
+		Feature: best.feature,
+		Thresh:  best.thresh,
+		Left:    li,
+		Right:   ri,
+		Default: best.defaultLeft,
+	}
+	return idx
+}
+
+type splitResult struct {
+	valid       bool
+	feature     int
+	thresh      float64
+	gain        float64
+	defaultLeft bool
+}
+
+// bestSplit finds the best threshold on feature f for the node's rows.
+func (b *treeBuilder) bestSplit(rows []int, f int, grad, hess []float64, gSum, hSum float64) splitResult {
+	type entry struct {
+		v    float64
+		g, h float64
+	}
+	entries := make([]entry, 0, len(rows))
+	for _, r := range rows {
+		v := b.X[r][f]
+		if math.IsNaN(v) {
+			continue // missing values follow the default direction
+		}
+		entries = append(entries, entry{v: v, g: grad[r], h: hess[r]})
+	}
+	if len(entries) < 2 {
+		return splitResult{}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].v < entries[j].v })
+
+	lambda := b.cfg.Lambda
+	parentScore := gSum * gSum / (hSum + lambda)
+
+	var gl, hl float64
+	best := splitResult{gain: b.cfg.Gamma}
+	for i := 0; i+1 < len(entries); i++ {
+		gl += entries[i].g
+		hl += entries[i].h
+		if entries[i].v == entries[i+1].v {
+			continue // cannot split between equal values
+		}
+		gr := gSum - gl
+		hr := hSum - hl
+		if hl < b.cfg.MinChildWeight || hr < b.cfg.MinChildWeight {
+			continue
+		}
+		gain := 0.5 * (gl*gl/(hl+lambda) + gr*gr/(hr+lambda) - parentScore)
+		if gain > best.gain {
+			best.valid = true
+			best.gain = gain
+			best.thresh = (entries[i].v + entries[i+1].v) / 2
+			// Send missing values to the heavier side.
+			best.defaultLeft = hl >= hr
+		}
+	}
+	return best
+}

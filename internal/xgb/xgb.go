@@ -1,0 +1,271 @@
+// Package xgb implements gradient-boosted decision trees with the
+// second-order logistic objective of the XGBoost algorithm (Chen & Guestrin,
+// KDD'16): exact greedy split finding on gradient/hessian statistics, L2
+// leaf regularisation, minimum-gain pruning, shrinkage, and optional row and
+// column subsampling. The paper uses XGBoost twice — as a transfer target of
+// the forgery attack (motion features) and as the final classifier of the
+// WiFi RSSI defense — so this package is shared by both detectors.
+package xgb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config controls training.
+type Config struct {
+	// Rounds is the number of boosting iterations (trees).
+	Rounds int
+	// MaxDepth bounds tree depth (root = depth 0).
+	MaxDepth int
+	// LearningRate is the shrinkage factor applied to each tree.
+	LearningRate float64
+	// Lambda is the L2 regularisation on leaf weights.
+	Lambda float64
+	// Gamma is the minimum gain required to make a split.
+	Gamma float64
+	// MinChildWeight is the minimum hessian sum per child.
+	MinChildWeight float64
+	// SubsampleRows, SubsampleCols in (0, 1]; 0 means 1.
+	SubsampleRows, SubsampleCols float64
+	// Seed drives subsampling.
+	Seed int64
+}
+
+// DefaultConfig returns settings that work well at this repository's data
+// scales.
+func DefaultConfig() Config {
+	return Config{
+		Rounds:         60,
+		MaxDepth:       4,
+		LearningRate:   0.2,
+		Lambda:         1.0,
+		Gamma:          0.0,
+		MinChildWeight: 1.0,
+		SubsampleRows:  0.9,
+		SubsampleCols:  0.9,
+	}
+}
+
+// node is one tree node in flattened storage.
+type node struct {
+	Feature int     // split feature, -1 for leaf
+	Thresh  float64 // go left when x[Feature] < Thresh
+	Left    int     // child indices
+	Right   int
+	Weight  float64 // leaf value (already shrunk)
+	Default bool    // direction for NaN: true = left
+}
+
+// tree is a fitted regression tree.
+type tree struct {
+	Nodes []node
+}
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		nd := t.Nodes[i]
+		if nd.Feature < 0 {
+			return nd.Weight
+		}
+		v := x[nd.Feature]
+		if math.IsNaN(v) {
+			if nd.Default {
+				i = nd.Left
+			} else {
+				i = nd.Right
+			}
+			continue
+		}
+		if v < nd.Thresh {
+			i = nd.Left
+		} else {
+			i = nd.Right
+		}
+	}
+}
+
+// Model is a fitted boosted ensemble for binary classification.
+type Model struct {
+	Trees      []tree
+	BaseMargin float64
+	NumFeat    int
+	// Gain accumulates per-feature split gain (importance).
+	Gain []float64
+}
+
+// Errors returned by Train.
+var (
+	ErrNoData   = errors.New("xgb: empty training set")
+	ErrBadShape = errors.New("xgb: inconsistent feature dimensions")
+)
+
+// Train fits a model on X (n rows of d features) with binary labels y.
+func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	n := len(X)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("%w: %d rows, %d labels", ErrNoData, n, len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return nil, fmt.Errorf("%w: zero features", ErrBadShape)
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrBadShape, i, len(row), d)
+		}
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = DefaultConfig().Rounds
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = DefaultConfig().MaxDepth
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = DefaultConfig().LearningRate
+	}
+	if cfg.Lambda < 0 {
+		cfg.Lambda = 0
+	}
+	if cfg.MinChildWeight <= 0 {
+		cfg.MinChildWeight = 1e-6
+	}
+	if cfg.SubsampleRows <= 0 || cfg.SubsampleRows > 1 {
+		cfg.SubsampleRows = 1
+	}
+	if cfg.SubsampleCols <= 0 || cfg.SubsampleCols > 1 {
+		cfg.SubsampleCols = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := &Model{NumFeat: d, Gain: make([]float64, d)}
+	// Base margin: log-odds of the positive rate.
+	var pos float64
+	for _, v := range y {
+		pos += v
+	}
+	rate := math.Min(1-1e-6, math.Max(1e-6, pos/float64(n)))
+	m.BaseMargin = math.Log(rate / (1 - rate))
+
+	margin := make([]float64, n)
+	for i := range margin {
+		margin[i] = m.BaseMargin
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+
+	builder := newTreeBuilder(X, cfg)
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			p := sigmoid(margin[i])
+			grad[i] = p - y[i]
+			hess[i] = math.Max(1e-12, p*(1-p))
+		}
+		rows := sampleRows(rng, n, cfg.SubsampleRows)
+		cols := sampleCols(rng, d, cfg.SubsampleCols)
+		tr := builder.build(rows, cols, grad, hess, m.Gain)
+		m.Trees = append(m.Trees, tr)
+		// Update margins (over all rows, not just the subsample).
+		for i := 0; i < n; i++ {
+			margin[i] += tr.predict(X[i])
+		}
+	}
+	return m, nil
+}
+
+// PredictProb returns P(label = 1 | x).
+func (m *Model) PredictProb(x []float64) float64 {
+	return sigmoid(m.margin(x))
+}
+
+// Predict returns the hard label at the 0.5 threshold.
+func (m *Model) Predict(x []float64) bool { return m.PredictProb(x) >= 0.5 }
+
+func (m *Model) margin(x []float64) float64 {
+	s := m.BaseMargin
+	for i := range m.Trees {
+		s += m.Trees[i].predict(x)
+	}
+	return s
+}
+
+// PredictBatch scores many rows in parallel.
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(X); i += workers {
+				out[i] = m.PredictProb(X[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// Importance returns gain-based feature importances normalised to sum 1
+// (all zeros when the model never split).
+func (m *Model) Importance() []float64 {
+	out := make([]float64, len(m.Gain))
+	var total float64
+	for _, g := range m.Gain {
+		total += g
+	}
+	if total == 0 {
+		return out
+	}
+	for i, g := range m.Gain {
+		out[i] = g / total
+	}
+	return out
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+func sampleRows(rng *rand.Rand, n int, frac float64) []int {
+	if frac >= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	k := int(math.Ceil(frac * float64(n)))
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	return perm
+}
+
+func sampleCols(rng *rand.Rand, d int, frac float64) []int {
+	if frac >= 1 {
+		idx := make([]int, d)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	k := int(math.Ceil(frac * float64(d)))
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(d)[:k]
+	sort.Ints(perm)
+	return perm
+}

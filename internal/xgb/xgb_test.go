@@ -1,0 +1,241 @@
+package xgb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// xorData builds a noisy XOR problem: not linearly separable, so trees must
+// actually split to solve it.
+func xorData(rng *rand.Rand, n int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		X[i] = []float64{a, b, rng.NormFloat64()} // third feature is noise
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Fatal("empty data must error")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 0}, Config{}); err == nil {
+		t.Fatal("label count mismatch must error")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, []float64{1, 0}, Config{}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if _, err := Train([][]float64{{}}, []float64{1}, Config{}); err == nil {
+		t.Fatal("zero features must error")
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := xorData(rng, 600)
+	Xt, yt := xorData(rng, 300)
+	m, err := Train(X, y, Config{Rounds: 60, MaxDepth: 3, LearningRate: 0.3, Lambda: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var correct int
+	for i := range Xt {
+		if m.Predict(Xt[i]) == (yt[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(Xt)); acc < 0.93 {
+		t.Fatalf("XOR accuracy = %v, want >= 0.93", acc)
+	}
+}
+
+func TestPredictProbRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := xorData(rng, 200)
+	m, err := Train(X, y, Config{Rounds: 10, MaxDepth: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range X {
+		p := m.PredictProb(row)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("prob = %v", p)
+		}
+	}
+}
+
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := xorData(rng, 200)
+	m, err := Train(X, y, Config{Rounds: 15, MaxDepth: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(X)
+	for i := range X {
+		if batch[i] != m.PredictProb(X[i]) {
+			t.Fatalf("batch[%d] = %v != single %v", i, batch[i], m.PredictProb(X[i]))
+		}
+	}
+}
+
+func TestConstantLabels(t *testing.T) {
+	// All-positive labels: model must predict ~1 everywhere without NaNs.
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []float64{1, 1, 1}
+	m, err := Train(X, y, Config{Rounds: 5, MaxDepth: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range X {
+		if p := m.PredictProb(row); p < 0.9 || math.IsNaN(p) {
+			t.Fatalf("prob = %v, want ~1", p)
+		}
+	}
+}
+
+func TestImportanceIdentifiesSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := xorData(rng, 800)
+	m, err := Train(X, y, Config{Rounds: 40, MaxDepth: 3, LearningRate: 0.3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.Importance()
+	if len(imp) != 3 {
+		t.Fatalf("importance dims = %d", len(imp))
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v", sum)
+	}
+	// The noise feature must be the least important.
+	if imp[2] >= imp[0] || imp[2] >= imp[1] {
+		t.Fatalf("noise feature ranked too high: %v", imp)
+	}
+}
+
+func TestImportanceNoSplits(t *testing.T) {
+	// Constant features: nothing to split on, importance all zero.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []float64{1, 0, 1, 0}
+	m, err := Train(X, y, Config{Rounds: 3, MaxDepth: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Importance() {
+		if v != 0 {
+			t.Fatalf("importance = %v, want zeros", m.Importance())
+		}
+	}
+}
+
+func TestMissingValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := xorData(rng, 400)
+	// Punch NaN holes in 10% of entries.
+	for i := range X {
+		if rng.Float64() < 0.1 {
+			X[i][rng.Intn(3)] = math.NaN()
+		}
+	}
+	m, err := Train(X, y, Config{Rounds: 30, MaxDepth: 3, LearningRate: 0.3, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{math.NaN(), math.NaN(), math.NaN()}
+	if p := m.PredictProb(probe); math.IsNaN(p) || p < 0 || p > 1 {
+		t.Fatalf("all-NaN prediction = %v", p)
+	}
+}
+
+func TestSubsamplingStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X, y := xorData(rng, 600)
+	m, err := Train(X, y, Config{
+		Rounds: 80, MaxDepth: 3, LearningRate: 0.3,
+		SubsampleRows: 0.7, SubsampleCols: 0.7, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var correct int
+	for i := range X {
+		if m.Predict(X[i]) == (y[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.9 {
+		t.Fatalf("subsampled accuracy = %v", acc)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	X, y := xorData(rng, 200)
+	m1, err := Train(X, y, Config{Rounds: 10, MaxDepth: 3, SubsampleRows: 0.8, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(X, y, Config{Rounds: 10, MaxDepth: 3, SubsampleRows: 0.8, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if m1.PredictProb(X[i]) != m2.PredictProb(X[i]) {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	X, y := xorData(rng, 300)
+	m, err := Train(X, y, Config{Rounds: 20, MaxDepth: 3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if back.PredictProb(X[i]) != m.PredictProb(X[i]) {
+			t.Fatal("loaded model diverges")
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("junk must error")
+	}
+}
+
+func TestGammaPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	X, y := xorData(rng, 300)
+	strict, err := Train(X, y, Config{Rounds: 10, MaxDepth: 4, Gamma: 1e9, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an absurd gamma no split clears the bar: all trees are stumps
+	// (single leaf).
+	for ti, tr := range strict.Trees {
+		if len(tr.Nodes) != 1 || tr.Nodes[0].Feature != -1 {
+			t.Fatalf("tree %d has %d nodes despite gamma pruning", ti, len(tr.Nodes))
+		}
+	}
+}

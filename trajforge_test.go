@@ -1,0 +1,256 @@
+package trajforge
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"trajforge/internal/server"
+	"trajforge/internal/trajectory"
+)
+
+var _t0 = time.Date(2022, 7, 2, 10, 0, 0, 0, time.UTC)
+
+func smallCity(t *testing.T) *City {
+	t.Helper()
+	city, err := NewCity(CityConfig{Width: 300, Height: 240, BlockSize: 60, NumAPs: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func TestNewCityErrors(t *testing.T) {
+	if _, err := NewCity(CityConfig{Width: 0, Height: 100}); err == nil {
+		t.Fatal("zero width must error")
+	}
+}
+
+func TestCityTravelProducesUpload(t *testing.T) {
+	city := smallCity(t)
+	trip, err := city.Travel(TripConfig{
+		From: PlanePoint{X: 10, Y: 10}, To: PlanePoint{X: 280, Y: 220},
+		Mode: ModeWalking, Points: 30, Start: _t0, CollectScans: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trip.Upload.Traj.Len() != 30 {
+		t.Fatalf("points = %d", trip.Upload.Traj.Len())
+	}
+	if err := trip.Upload.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if trip.Upload.AverageK() < 1 {
+		t.Fatalf("no APs heard: %v", trip.Upload.AverageK())
+	}
+	if len(trip.Truth) != 30 || len(trip.Route) < 2 {
+		t.Fatal("truth/route missing")
+	}
+}
+
+func TestCityTravelErrors(t *testing.T) {
+	city := smallCity(t)
+	if _, err := city.Travel(TripConfig{Points: 1}); err == nil {
+		t.Fatal("short trip must error")
+	}
+	same := PlanePoint{X: 10, Y: 10}
+	if _, err := city.Travel(TripConfig{From: same, To: same, Points: 10}); err == nil {
+		t.Fatal("degenerate trip must error")
+	}
+}
+
+func TestPlanRouteAndNavigationFake(t *testing.T) {
+	city := smallCity(t)
+	route, speed, err := city.PlanRoute(PlanePoint{X: 5, Y: 5}, PlanePoint{X: 290, Y: 230}, ModeCycling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) < 2 || speed <= 0 {
+		t.Fatalf("route=%d speed=%v", len(route), speed)
+	}
+	fake, err := city.NavigationFake(PlanePoint{X: 5, Y: 5}, PlanePoint{X: 290, Y: 230},
+		ModeCycling, 25, _t0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fake.Len() != 25 {
+		t.Fatalf("fake len = %d", fake.Len())
+	}
+}
+
+// TestAttackDefenseRoundTrip drives the whole public API end to end:
+// generate data, train the target, forge a trajectory that fools it, then
+// catch the forgery with the WiFi detector via the HTTP service.
+func TestAttackDefenseRoundTrip(t *testing.T) {
+	city := smallCity(t)
+
+	// 1. Corpus: real trips and naive navigation fakes.
+	var reals []*Trajectory
+	var fakes []*Trajectory
+	var uploads []*Upload
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 60; i++ {
+		from := PlanePoint{X: 10 + rng.Float64()*270, Y: 10 + rng.Float64()*210}
+		to := PlanePoint{X: 10 + rng.Float64()*270, Y: 10 + rng.Float64()*210}
+		trip, err := city.Travel(TripConfig{From: from, To: to, Mode: ModeWalking,
+			Points: 30, Start: _t0, CollectScans: true})
+		if err != nil || trip.Upload.Traj.Len() != 30 {
+			continue // trip too short for the requested point count
+		}
+		reals = append(reals, trip.Upload.Traj)
+		uploads = append(uploads, trip.Upload)
+		fake, err := city.NavigationFake(from, to, ModeWalking, 30, _t0, time.Second)
+		if err != nil {
+			continue
+		}
+		fakes = append(fakes, fake)
+	}
+	if len(reals) < 30 || len(fakes) < 30 {
+		t.Fatalf("corpus too small: %d real, %d fake", len(reals), len(fakes))
+	}
+
+	// 2. Target classifier and attack.
+	target, err := TrainTargetClassifier(reals, fakes, 12, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forger := NewForger(target, FeatureDistAngle)
+	cfg := DefaultForgeryConfig(ScenarioReplay)
+	cfg.Iterations = 300
+	cfg.MinDPerMeter = 1.0
+	cfg.Seed = 6
+	res, err := forger.Forge(reals[0], cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Skip("attack did not converge at this tiny scale")
+	}
+	if DTWDistance(reals[0], res.Forged) < 0.5*reals[0].Length() {
+		t.Log("forged trajectory is close to historical; replay check may flag it")
+	}
+
+	// 3. Defense: store + detector from the uploads.
+	nHist := len(uploads) * 3 / 4
+	store, err := NewRSSIStore(uploads[:nHist])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fakeUploads []*Upload
+	frng := rand.New(rand.NewSource(7))
+	for _, u := range uploads[:nHist] {
+		f, err := ForgeUploadRSSI(frng, u, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fakeUploads = append(fakeUploads, f)
+	}
+	det, err := TrainWiFiDetector(store, uploads[nHist:], fakeUploads[:nHist/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Serve it and check a forged upload is rejected.
+	pr := NewProjection(LatLon{Lat: 32.06, Lon: 118.79})
+	svc, err := NewVerificationServer(server.Config{Projection: pr, WiFi: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := NewVerificationClient(ts.URL, pr)
+
+	var caught int
+	probe := fakeUploads[nHist/2:]
+	for _, f := range probe {
+		v, err := client.Upload(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Accepted {
+			caught++
+		}
+	}
+	if caught*2 < len(probe) {
+		t.Fatalf("WiFi defense caught only %d/%d forged uploads", caught, len(probe))
+	}
+}
+
+func TestReplayCheckerFacade(t *testing.T) {
+	rc, err := NewReplayChecker(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrajectory([]PlanePoint{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}, _t0, time.Second)
+	rc.AddHistory(tr)
+	if !rc.IsReplay(tr) {
+		t.Fatal("identical trajectory must be a replay")
+	}
+}
+
+func TestEstimateMinDFacade(t *testing.T) {
+	a := NewTrajectory([]PlanePoint{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 20, Y: 0}}, _t0, time.Second)
+	b := NewTrajectory([]PlanePoint{{X: 0, Y: 1}, {X: 10, Y: 1}, {X: 20, Y: 1}}, _t0, time.Second)
+	minD, err := EstimateMinD([]*Trajectory{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minD <= 0 {
+		t.Fatalf("MinD = %v", minD)
+	}
+}
+
+func TestModeConstantsMatch(t *testing.T) {
+	if ModeWalking != trajectory.ModeWalking || ModeDriving != trajectory.ModeDriving {
+		t.Fatal("mode constants diverge")
+	}
+}
+
+func TestCityRouteChecker(t *testing.T) {
+	city := smallCity(t)
+	rc, err := city.NewRouteChecker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, err := city.Travel(TripConfig{
+		From: PlanePoint{X: 20, Y: 20}, To: PlanePoint{X: 250, Y: 200},
+		Mode: ModeWalking, Points: 25, Start: _t0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.IsIrrational(trip.Upload.Traj) {
+		t.Fatal("genuine trip flagged as route-irrational")
+	}
+	// Teleport the trip far off the map.
+	off := trip.Upload.Traj.Clone()
+	for i := range off.Points {
+		off.Points[i].Pos.X += 5000
+	}
+	if !rc.IsIrrational(off) {
+		t.Fatal("off-map trip accepted")
+	}
+}
+
+func TestForgeUploadRSSIFacade(t *testing.T) {
+	city := smallCity(t)
+	trip, err := city.Travel(TripConfig{
+		From: PlanePoint{X: 20, Y: 20}, To: PlanePoint{X: 250, Y: 200},
+		Mode: ModeWalking, Points: 25, Start: _t0, CollectScans: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake, err := ForgeUploadRSSI(rand.New(rand.NewSource(5)), trip.Upload, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fake.Traj.Len() != trip.Upload.Traj.Len() {
+		t.Fatal("forged upload length changed")
+	}
+	if DTWDistance(trip.Upload.Traj, fake.Traj) <= 0 {
+		t.Fatal("forged upload identical to source")
+	}
+}
