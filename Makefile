@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-hot check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package replays every figure/table pipeline; under the
+# race detector that exceeds go test's default 10m per-package budget.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark harness: every table/figure of the paper plus the hot-kernel
+# micro-benchmarks. Slow — see bench-hot for the quick perf loop.
+bench:
+	$(GO) test . -run NONE -bench . -benchmem
+
+# Just the verification hot path: confidence queries, serial vs. batch
+# feature extraction, and a full detector evaluation pass.
+bench-hot:
+	$(GO) test . -run NONE -benchmem \
+		-bench 'StoreConfidence|StoreFeatures|EvaluateWiFi$$'
+
+check: build vet test

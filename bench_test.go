@@ -377,6 +377,7 @@ func BenchmarkStoreConfidence(b *testing.B) {
 	if len(scan) == 0 {
 		b.Skip("no scan data at probe point")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		store.Confidence(pt.Pos, scan[0].MAC, scan[0].RSSI, 2.5)
@@ -393,9 +394,74 @@ func BenchmarkStoreFeatures(b *testing.B) {
 		b.Fatal(err)
 	}
 	fcfg := rssimap.DefaultFeatureConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := store.Features(al.TestReal[i%len(al.TestReal)], fcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreFeaturesSerial extracts Eq. 8 vectors for the whole test set
+// one upload at a time — the baseline BenchmarkStoreFeaturesBatch is measured
+// against (same workload, same store).
+func BenchmarkStoreFeaturesSerial(b *testing.B) {
+	lab := benchWiFiLab(b)
+	al := lab.Areas[0]
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fcfg := rssimap.DefaultFeatureConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range al.TestReal {
+			if _, err := store.Features(u, fcfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStoreFeaturesBatch runs the identical workload through the
+// worker-fanned FeaturesBatch path; compare ns/op against
+// BenchmarkStoreFeaturesSerial on a multi-core machine.
+func BenchmarkStoreFeaturesBatch(b *testing.B) {
+	lab := benchWiFiLab(b)
+	al := lab.Areas[0]
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fcfg := rssimap.DefaultFeatureConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.FeaturesBatch(al.TestReal, fcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateWiFi measures a full detector evaluation pass (batch
+// feature extraction + parallel scoring) over the area's test set.
+func BenchmarkEvaluateWiFi(b *testing.B) {
+	lab := benchWiFiLab(b)
+	al := lab.Areas[0]
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := trainWiFiWith(store, al, rssimap.DefaultFeatureConfig(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.EvaluateWiFi(al.TestReal, al.TestFake); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -132,6 +132,22 @@ func run(args []string) error {
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		printStats(svc.Stats())
 		return nil
+	}
+}
+
+// printStats summarises the session: counters plus where verification time
+// went, per pipeline stage.
+func printStats(st server.Stats) {
+	fmt.Printf("session: %d accepted, %d rejected, %d in history\n",
+		st.Accepted, st.Rejected, st.History)
+	for _, name := range []string{"rules", "route", "replay", "motion", "wifi"} {
+		sg := st.Stages[name]
+		if sg.Count == 0 {
+			continue
+		}
+		fmt.Printf("  stage %-6s %6d runs, avg %8.1f us, total %d ms\n",
+			name, sg.Count, sg.AvgMicros, sg.TotalMicros/1000)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"trajforge/internal/dtw"
 	"trajforge/internal/geo"
 	"trajforge/internal/nn"
+	"trajforge/internal/parallel"
 	"trajforge/internal/stats"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/xgb"
@@ -149,31 +150,37 @@ func TrainXGBMotion(real, fake []*trajectory.T, cfg xgb.Config) (*XGBMotionDetec
 }
 
 // EvaluateMotion scores a detector on labelled sets, with "fake" as the
-// positive class (the detector's job is to catch fakes).
+// positive class (the detector's job is to catch fakes). The per-trajectory
+// classifications fan out across the worker pool — every MotionDetector in
+// this package keeps its per-call state in an internal pool, so concurrent
+// ProbReal calls are safe.
 func EvaluateMotion(d MotionDetector, real, fake []*trajectory.T) stats.Confusion {
+	realFake := parallel.Map(len(real), func(i int) bool { return IsFake(d, real[i]) })
+	fakeFake := parallel.Map(len(fake), func(i int) bool { return IsFake(d, fake[i]) })
 	var c stats.Confusion
-	for _, t := range real {
-		c.Observe(IsFake(d, t), false)
+	for _, isFake := range realFake {
+		c.Observe(isFake, false)
 	}
-	for _, t := range fake {
-		c.Observe(IsFake(d, t), true)
+	for _, isFake := range fakeFake {
+		c.Observe(isFake, true)
 	}
 	return c
 }
 
 // DetectionRate returns the fraction of the given fakes a detector catches
-// (the paper's Table II metric).
+// (the paper's Table II metric). Classifications run in parallel.
 func DetectionRate(d MotionDetector, fakes []*trajectory.T) float64 {
 	if len(fakes) == 0 {
 		return 0
 	}
-	var caught int
-	for _, t := range fakes {
-		if IsFake(d, t) {
-			caught++
+	caught := parallel.Map(len(fakes), func(i int) bool { return IsFake(d, fakes[i]) })
+	var n int
+	for _, hit := range caught {
+		if hit {
+			n++
 		}
 	}
-	return float64(caught) / float64(len(fakes))
+	return float64(n) / float64(len(fakes))
 }
 
 // ReplayChecker is the server's trivial first line of defense: a new upload

@@ -3,6 +3,7 @@ package detect
 import (
 	"fmt"
 
+	"trajforge/internal/parallel"
 	"trajforge/internal/rssimap"
 	"trajforge/internal/stats"
 	"trajforge/internal/wifi"
@@ -29,21 +30,21 @@ func TrainWiFiDetector(store *rssimap.Store, real, fake []*wifi.Upload,
 	if len(real) == 0 || len(fake) == 0 {
 		return nil, fmt.Errorf("detect: need both real (%d) and fake (%d) uploads", len(real), len(fake))
 	}
+	realX, err := store.FeaturesBatch(real, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("detect: features of real %w", err)
+	}
+	fakeX, err := store.FeaturesBatch(fake, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("detect: features of fake %w", err)
+	}
 	X := make([][]float64, 0, len(real)+len(fake))
 	y := make([]float64, 0, len(real)+len(fake))
-	for i, u := range real {
-		feat, err := store.Features(u, fcfg)
-		if err != nil {
-			return nil, fmt.Errorf("detect: features of real upload %d: %w", i, err)
-		}
+	for _, feat := range realX {
 		X = append(X, feat)
 		y = append(y, 0)
 	}
-	for i, u := range fake {
-		feat, err := store.Features(u, fcfg)
-		if err != nil {
-			return nil, fmt.Errorf("detect: features of fake upload %d: %w", i, err)
-		}
+	for _, feat := range fakeX {
 		X = append(X, feat)
 		y = append(y, 1)
 	}
@@ -63,6 +64,19 @@ func (d *WiFiDetector) ProbFake(u *wifi.Upload) (float64, error) {
 	return d.Model.PredictProb(feat), nil
 }
 
+// ProbFakeBatch returns P(fake | upload) for many uploads, fanning the
+// feature extraction and prediction across the worker pool. Results are
+// ordered by upload index and identical to calling ProbFake serially.
+func (d *WiFiDetector) ProbFakeBatch(uploads []*wifi.Upload) ([]float64, error) {
+	feats, err := d.Store.FeaturesBatch(uploads, d.Features)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(feats))
+	parallel.ForEach(len(feats), func(i int) { out[i] = d.Model.PredictProb(feats[i]) })
+	return out, nil
+}
+
 // IsFake applies the 0.5 threshold.
 func (d *WiFiDetector) IsFake(u *wifi.Upload) (bool, error) {
 	p, err := d.ProbFake(u)
@@ -70,22 +84,22 @@ func (d *WiFiDetector) IsFake(u *wifi.Upload) (bool, error) {
 }
 
 // EvaluateWiFi scores the detector on labelled uploads; fake is the
-// positive class.
+// positive class. Uploads are verified through the batch path.
 func (d *WiFiDetector) EvaluateWiFi(real, fake []*wifi.Upload) (stats.Confusion, error) {
 	var c stats.Confusion
-	for i, u := range real {
-		isFake, err := d.IsFake(u)
-		if err != nil {
-			return c, fmt.Errorf("detect: evaluate real upload %d: %w", i, err)
-		}
-		c.Observe(isFake, false)
+	realP, err := d.ProbFakeBatch(real)
+	if err != nil {
+		return c, fmt.Errorf("detect: evaluate real %w", err)
 	}
-	for i, u := range fake {
-		isFake, err := d.IsFake(u)
-		if err != nil {
-			return c, fmt.Errorf("detect: evaluate fake upload %d: %w", i, err)
-		}
-		c.Observe(isFake, true)
+	fakeP, err := d.ProbFakeBatch(fake)
+	if err != nil {
+		return c, fmt.Errorf("detect: evaluate fake %w", err)
+	}
+	for _, p := range realP {
+		c.Observe(p >= 0.5, false)
+	}
+	for _, p := range fakeP {
+		c.Observe(p >= 0.5, true)
 	}
 	return c, nil
 }
@@ -93,21 +107,13 @@ func (d *WiFiDetector) EvaluateWiFi(real, fake []*wifi.Upload) (stats.Confusion,
 // AUC scores the detector threshold-free over labelled uploads: the
 // probability that a random fake outranks a random real in P(fake).
 func (d *WiFiDetector) AUC(real, fake []*wifi.Upload) (float64, error) {
-	pos := make([]float64, 0, len(fake))
-	neg := make([]float64, 0, len(real))
-	for i, u := range fake {
-		p, err := d.ProbFake(u)
-		if err != nil {
-			return 0, fmt.Errorf("detect: AUC fake %d: %w", i, err)
-		}
-		pos = append(pos, p)
+	pos, err := d.ProbFakeBatch(fake)
+	if err != nil {
+		return 0, fmt.Errorf("detect: AUC fake %w", err)
 	}
-	for i, u := range real {
-		p, err := d.ProbFake(u)
-		if err != nil {
-			return 0, fmt.Errorf("detect: AUC real %d: %w", i, err)
-		}
-		neg = append(neg, p)
+	neg, err := d.ProbFakeBatch(real)
+	if err != nil {
+		return 0, fmt.Errorf("detect: AUC real %w", err)
 	}
 	return stats.AUC(pos, neg), nil
 }

@@ -11,6 +11,7 @@ import (
 	"trajforge/internal/geo"
 	"trajforge/internal/mobility"
 	"trajforge/internal/nn"
+	"trajforge/internal/parallel"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/xgb"
 )
@@ -342,23 +343,35 @@ func Table2(lab *MotionLab, minD *MinDResult) (*Table2Result, error) {
 		return nil, fmt.Errorf("experiments: no attack material")
 	}
 
+	// Each forge run is independently seeded, so the runs fan out across
+	// the worker pool; collecting in index order keeps the fake set (and
+	// therefore every downstream detection rate) identical to the serial
+	// loop. The target classifier's Backward keeps its per-call state in an
+	// internal pool, so concurrent attacks against it are safe.
 	runScenario := func(scenario attack.Scenario, refs []*trajectory.T) ([]*trajectory.T, float64, error) {
-		cfg := attack.DefaultCWConfig(scenario)
-		cfg.Iterations = lab.Scale.AttackIterations
+		base := attack.DefaultCWConfig(scenario)
+		base.Iterations = lab.Scale.AttackIterations
 		if scenario == attack.ScenarioReplay {
-			cfg.MinDPerMeter = minD.ByMode(trajectory.ModeWalking)
-			if cfg.MinDPerMeter <= 0 {
-				cfg.MinDPerMeter = 1.2
+			base.MinDPerMeter = minD.ByMode(trajectory.ModeWalking)
+			if base.MinDPerMeter <= 0 {
+				base.MinDPerMeter = 1.2
 			}
 		}
-		var fakes []*trajectory.T
-		var success int
-		for i := 0; i < n; i++ {
+		results, err := parallel.MapErr(n, func(i int) (*attack.Result, error) {
+			cfg := base
 			cfg.Seed = lab.Scale.Seed + int64(1000*int(scenario)+i)
 			res, err := forger.Forge(refs[i], cfg, false)
 			if err != nil {
-				return nil, 0, fmt.Errorf("experiments: forge %v #%d: %w", scenario, i, err)
+				return nil, fmt.Errorf("experiments: forge %v #%d: %w", scenario, i, err)
 			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		var fakes []*trajectory.T
+		var success int
+		for _, res := range results {
 			if res.Success {
 				success++
 				fakes = append(fakes, res.Forged)

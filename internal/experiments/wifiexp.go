@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"trajforge/internal/dataset"
 	"trajforge/internal/detect"
+	"trajforge/internal/parallel"
 	"trajforge/internal/rssimap"
 	"trajforge/internal/wifi"
 	"trajforge/internal/xgb"
@@ -49,28 +49,18 @@ func NewWiFiLab(scale Scale, minD *MinDResult) (*WiFiLab, error) {
 		dataset.CyclingArea(scale.AreaScale),
 		dataset.DrivingArea(scale.AreaScale),
 	}
-	lab := &WiFiLab{Scale: scale, Areas: make([]*AreaLab, len(specs))}
-	var wg sync.WaitGroup
-	errs := make([]error, len(specs))
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec dataset.AreaSpec) {
-			defer wg.Done()
-			al, err := buildAreaLab(scale, spec, minD.ByMode(spec.Mode))
-			if err != nil {
-				errs[i] = fmt.Errorf("experiments: area %q: %w", spec.Name, err)
-				return
-			}
-			lab.Areas[i] = al
-		}(i, spec)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	areas, err := parallel.MapErr(len(specs), func(i int) (*AreaLab, error) {
+		spec := specs[i]
+		al, err := buildAreaLab(scale, spec, minD.ByMode(spec.Mode))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("experiments: area %q: %w", spec.Name, err)
 		}
+		return al, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return lab, nil
+	return &WiFiLab{Scale: scale, Areas: areas}, nil
 }
 
 func buildAreaLab(scale Scale, spec dataset.AreaSpec, minD float64) (*AreaLab, error) {
@@ -187,47 +177,62 @@ type SweepResult struct {
 	Curves map[string][]SweepPoint // area name -> curve
 }
 
+// sweepTask is one (area, sweep point) cell of a Fig. 4-6 grid. The
+// expensive train-and-score work of every cell fans out across the worker
+// pool at once — with three areas and several sweep points each, per-area
+// goroutines alone leave most cores idle on the tail.
+type sweepTask struct {
+	ai  int
+	run func() (SweepPoint, error)
+}
+
+// runSweep executes the tasks in parallel and assembles per-area curves in
+// task order (deterministic regardless of scheduling).
+func runSweep(lab *WiFiLab, param, name string, tasks []sweepTask) (*SweepResult, error) {
+	points, err := parallel.MapErr(len(tasks), func(ti int) (SweepPoint, error) {
+		return tasks[ti].run()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	res := &SweepResult{Param: param, Curves: map[string][]SweepPoint{}}
+	for ti, p := range points {
+		area := lab.Areas[tasks[ti].ai].Area.Spec.Name
+		res.Curves[area] = append(res.Curves[area], p)
+	}
+	return res, nil
+}
+
 // Fig4 sweeps the reference radius r (Fig. 4 of the paper: accuracy rises
 // to a peak near r = 2.5 m, then flattens or dips).
 func Fig4(lab *WiFiLab, radii []float64) (*SweepResult, error) {
 	if len(radii) == 0 {
 		radii = []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
 	}
-	res := &SweepResult{Param: "r (m)", Curves: map[string][]SweepPoint{}}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make([]error, len(lab.Areas))
-	for ai, al := range lab.Areas {
-		wg.Add(1)
-		go func(ai int, al *AreaLab) {
-			defer wg.Done()
-			store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
-			if err != nil {
-				errs[ai] = err
-				return
-			}
-			for _, r := range radii {
+	// One store per area, shared read-only by that area's sweep cells.
+	stores, err := parallel.MapErr(len(lab.Areas), func(ai int) (*rssimap.Store, error) {
+		return rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(lab.Areas[ai].StoreUploads))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Fig4: %w", err)
+	}
+	var tasks []sweepTask
+	for ai := range lab.Areas {
+		ai, al := ai, lab.Areas[ai]
+		for _, r := range radii {
+			r := r
+			tasks = append(tasks, sweepTask{ai: ai, run: func() (SweepPoint, error) {
 				fcfg := rssimap.DefaultFeatureConfig()
 				fcfg.R = r
-				dr, err := al.trainAndScore(store, fcfg, lab.Scale.SweepDetRound, lab.Scale.Seed+int64(ai))
+				dr, err := al.trainAndScore(stores[ai], fcfg, lab.Scale.SweepDetRound, lab.Scale.Seed+int64(ai))
 				if err != nil {
-					errs[ai] = err
-					return
+					return SweepPoint{}, err
 				}
-				mu.Lock()
-				res.Curves[al.Area.Spec.Name] = append(res.Curves[al.Area.Spec.Name],
-					SweepPoint{X: r, Accuracy: dr.Accuracy})
-				mu.Unlock()
-			}
-		}(ai, al)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: Fig4: %w", err)
+				return SweepPoint{X: r, Accuracy: dr.Accuracy}, nil
+			}})
 		}
 	}
-	return res, nil
+	return runSweep(lab, "r (m)", "Fig4", tasks)
 }
 
 // Fig5 sweeps the reference-point density by randomly deleting historical
@@ -236,44 +241,33 @@ func Fig5(lab *WiFiLab, keepFractions []float64) (*SweepResult, error) {
 	if len(keepFractions) == 0 {
 		keepFractions = []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
 	}
-	res := &SweepResult{Param: "density (/m^2)", Curves: map[string][]SweepPoint{}}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make([]error, len(lab.Areas))
-	for ai, al := range lab.Areas {
-		wg.Add(1)
-		go func(ai int, al *AreaLab) {
-			defer wg.Done()
-			records := dataset.Records(al.StoreUploads)
-			rng := rand.New(rand.NewSource(lab.Scale.Seed + int64(900+ai)))
-			for _, keep := range keepFractions {
-				subset := sampleRecords(rng, records, keep)
+	// The random subsets are drawn serially — each area's rng is consumed
+	// in keep-fraction order, exactly as the serial sweep did — so results
+	// do not depend on scheduling; only the expensive store build and
+	// train-and-score fan out.
+	var tasks []sweepTask
+	for ai := range lab.Areas {
+		ai, al := ai, lab.Areas[ai]
+		records := dataset.Records(al.StoreUploads)
+		rng := rand.New(rand.NewSource(lab.Scale.Seed + int64(900+ai)))
+		for _, keep := range keepFractions {
+			subset := sampleRecords(rng, records, keep)
+			tasks = append(tasks, sweepTask{ai: ai, run: func() (SweepPoint, error) {
 				store, err := rssimap.NewStore(rssimap.DefaultConfig(), subset)
 				if err != nil {
-					errs[ai] = err
-					return
+					return SweepPoint{}, err
 				}
 				density := meanReferenceDensity(store, al.TestReal, rssimap.DefaultFeatureConfig().R)
 				dr, err := al.trainAndScore(store, rssimap.DefaultFeatureConfig(),
 					lab.Scale.SweepDetRound, lab.Scale.Seed+int64(ai))
 				if err != nil {
-					errs[ai] = err
-					return
+					return SweepPoint{}, err
 				}
-				mu.Lock()
-				res.Curves[al.Area.Spec.Name] = append(res.Curves[al.Area.Spec.Name],
-					SweepPoint{X: density, Accuracy: dr.Accuracy})
-				mu.Unlock()
-			}
-		}(ai, al)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: Fig5: %w", err)
+				return SweepPoint{X: density, Accuracy: dr.Accuracy}, nil
+			}})
 		}
 	}
-	return res, nil
+	return runSweep(lab, "density (/m^2)", "Fig5", tasks)
 }
 
 func sampleRecords(rng *rand.Rand, records []rssimap.Record, keep float64) []rssimap.Record {
@@ -315,22 +309,20 @@ func Fig6(lab *WiFiLab, keepFractions []float64) (*SweepResult, error) {
 	if len(keepFractions) == 0 {
 		keepFractions = []float64{0.04, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
 	}
-	res := &SweepResult{Param: "avg k", Curves: map[string][]SweepPoint{}}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make([]error, len(lab.Areas))
-	for ai, al := range lab.Areas {
-		wg.Add(1)
-		go func(ai int, al *AreaLab) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(lab.Scale.Seed + int64(1700+ai)))
-			for _, keep := range keepFractions {
-				keepMAC := macSubset(rng, al.Hist, keep)
+	// MAC subsets are drawn serially (per-area rng in keep-fraction order,
+	// as the serial sweep did); the deterministic filtering, store build,
+	// and train-and-score fan out per cell.
+	var tasks []sweepTask
+	for ai := range lab.Areas {
+		ai, al := ai, lab.Areas[ai]
+		rng := rand.New(rand.NewSource(lab.Scale.Seed + int64(1700+ai)))
+		for _, keep := range keepFractions {
+			keepMAC := macSubset(rng, al.Hist, keep)
+			tasks = append(tasks, sweepTask{ai: ai, run: func() (SweepPoint, error) {
 				storeUploads := filterUploads(al.StoreUploads, keepMAC)
 				store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(storeUploads))
 				if err != nil {
-					errs[ai] = err
-					return
+					return SweepPoint{}, err
 				}
 				filtered := &AreaLab{
 					Area:      al.Area,
@@ -343,23 +335,13 @@ func Fig6(lab *WiFiLab, keepFractions []float64) (*SweepResult, error) {
 				dr, err := filtered.trainAndScore(store, rssimap.DefaultFeatureConfig(),
 					lab.Scale.SweepDetRound, lab.Scale.Seed+int64(ai))
 				if err != nil {
-					errs[ai] = err
-					return
+					return SweepPoint{}, err
 				}
-				mu.Lock()
-				res.Curves[al.Area.Spec.Name] = append(res.Curves[al.Area.Spec.Name],
-					SweepPoint{X: avgK, Accuracy: dr.Accuracy})
-				mu.Unlock()
-			}
-		}(ai, al)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: Fig6: %w", err)
+				return SweepPoint{X: avgK, Accuracy: dr.Accuracy}, nil
+			}})
 		}
 	}
-	return res, nil
+	return runSweep(lab, "avg k", "Fig6", tasks)
 }
 
 // macSubset picks the MAC set to keep so that roughly the given fraction of
@@ -433,37 +415,26 @@ type Table4Result struct {
 // Table4 trains the full detector (r = 2.5 m) per area and reports the
 // held-out metrics.
 func Table4(lab *WiFiLab) (*Table4Result, error) {
-	res := &Table4Result{Rows: make([]Table4Row, len(lab.Areas))}
-	var wg sync.WaitGroup
-	errs := make([]error, len(lab.Areas))
-	for ai, al := range lab.Areas {
-		wg.Add(1)
-		go func(ai int, al *AreaLab) {
-			defer wg.Done()
-			store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
-			if err != nil {
-				errs[ai] = err
-				return
-			}
-			dr, err := al.trainAndScore(store, rssimap.DefaultFeatureConfig(), 60, lab.Scale.Seed+int64(ai))
-			if err != nil {
-				errs[ai] = err
-				return
-			}
-			res.Rows[ai] = Table4Row{
-				Area:      al.Area.Spec.Name,
-				Accuracy:  dr.Accuracy,
-				Precision: dr.Precision,
-				Recall:    dr.Recall,
-				F1:        dr.F1,
-			}
-		}(ai, al)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	rows, err := parallel.MapErr(len(lab.Areas), func(ai int) (Table4Row, error) {
+		al := lab.Areas[ai]
+		store, err := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(al.StoreUploads))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: Table4: %w", err)
+			return Table4Row{}, err
 		}
+		dr, err := al.trainAndScore(store, rssimap.DefaultFeatureConfig(), 60, lab.Scale.Seed+int64(ai))
+		if err != nil {
+			return Table4Row{}, err
+		}
+		return Table4Row{
+			Area:      al.Area.Spec.Name,
+			Accuracy:  dr.Accuracy,
+			Precision: dr.Precision,
+			Recall:    dr.Recall,
+			F1:        dr.F1,
+		}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Table4: %w", err)
 	}
-	return res, nil
+	return &Table4Result{Rows: rows}, nil
 }

@@ -1,0 +1,117 @@
+// Package parallel is the repo-wide fan-out layer: a GOMAXPROCS-aware
+// worker pool over index ranges with deterministic result ordering. The
+// verification pipeline is embarrassingly parallel at several granularities
+// — uploads within a batch, trajectories within an evaluation, sweep points
+// within an experiment — and every call site wants the same three things:
+// chunked work distribution (so neighbouring indices share cache lines and
+// lock acquisitions), results written by index (so parallel output is
+// bit-identical to the serial loop), and zero goroutine overhead when only
+// one core is available. The helpers here provide exactly that and nothing
+// more: no contexts, no cancellation, no channels in the API.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the number of goroutines used for n independent tasks:
+// GOMAXPROCS, capped by n, never below 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if n < w {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chunkSize picks the unit of work-stealing: small enough to balance uneven
+// tasks across workers, large enough to amortise the atomic fetch.
+func chunkSize(n, workers int) int {
+	c := n / (workers * 4)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ForEachChunk partitions [0, n) into contiguous chunks and invokes
+// fn(lo, hi) for each, across Workers(n) goroutines. Every index is covered
+// exactly once. fn must be safe for concurrent invocation. Call sites that
+// need a per-goroutine resource (a lock acquisition, a scratch buffer)
+// amortise it over the chunk.
+func ForEachChunk(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n)
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := chunkSize(n, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				hi := int(next.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across the worker pool.
+func ForEach(n int, fn func(i int)) {
+	ForEachChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map runs fn over [0, n) in parallel and returns the results in index
+// order, identical to the serial loop.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEachChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}
+
+// MapErr is Map for fallible tasks. All tasks run to completion; if any
+// fail, the error of the lowest index is returned (deterministic regardless
+// of scheduling) and the results are discarded.
+func MapErr[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEachChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], errs[i] = fn(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"trajforge/internal/geo"
+	"trajforge/internal/parallel"
 	"trajforge/internal/wifi"
 )
 
@@ -95,9 +96,23 @@ type PointConfidence struct {
 func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg FeatureConfig) []PointConfidence {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	sc := getScratch()
+	defer putScratch(sc)
+	// Copy out of the scratch-backed buffer: the caller owns the result.
+	return append([]PointConfidence(nil), s.pointConfidencesLocked(sc, o, scan, cfg)...)
+}
+
+// pointConfidencesLocked is the per-point verification kernel. The returned
+// slice is backed by sc.confs and valid only until the scratch is reused.
+// Callers must hold the read lock.
+func (s *Store) pointConfidencesLocked(sc *scratch, o geo.Point, scan wifi.Scan, cfg FeatureConfig) []PointConfidence {
 	top := scan.TopK(cfg.TopK)
-	out := make([]PointConfidence, len(top))
-	refs := s.withinRadius(o, cfg.R)
+	if cap(sc.confs) < len(top) {
+		sc.confs = make([]PointConfidence, len(top))
+	}
+	out := sc.confs[:len(top)]
+	sc.refs = s.withinRadiusInto(sc.refs, o, cfg.R)
+	refs := sc.refs
 	if len(refs) == 0 {
 		for i, obs := range top {
 			out[i] = PointConfidence{MAC: obs.MAC}
@@ -109,20 +124,12 @@ func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg FeatureConfig)
 	// weight.
 	const minDist = 0.05
 	invSum := 0.0
-	inv := make([]float64, len(refs))
+	sc.inv = resizeF64(sc.inv, len(refs))
+	inv := sc.inv
 	for i, idx := range refs {
 		d := math.Max(minDist, geo.Dist(s.records[idx].pos, o))
 		inv[i] = 1 / d
 		invSum += inv[i]
-	}
-	// θ2 per reference, shared across APs.
-	th2 := make([]float64, len(refs))
-	for i, idx := range refs {
-		if cfg.DisableTheta2 {
-			th2[i] = 1
-		} else {
-			th2[i] = s.theta2(idx)
-		}
 	}
 	for i, obs := range top {
 		var phi float64
@@ -131,7 +138,11 @@ func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg FeatureConfig)
 		if id, known := s.macIDs[obs.MAC]; known {
 			for j, idx := range refs {
 				theta1 := inv[j] / invSum
-				phi += theta1 * th2[j] * s.rpdLocked(idx, id, int16(obs.RSSI), int16(cfg.Tol))
+				th2 := 1.0
+				if !cfg.DisableTheta2 {
+					th2 = s.th2[idx]
+				}
+				phi += theta1 * th2 * s.rpdLocked(idx, id, int16(obs.RSSI), int16(cfg.Tol))
 				if v, ok := s.records[idx].rssiOf(id); ok {
 					wSum += inv[j]
 					wMean += inv[j] * float64(v)
@@ -158,26 +169,68 @@ func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg FeatureConfig)
 // trajectory-level aggregates. Points that heard fewer than TopK APs are
 // padded with zeros.
 func (s *Store) Features(u *wifi.Upload, cfg FeatureConfig) ([]float64, error) {
+	if err := validateFeatureArgs(u, cfg); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sc := getScratch()
+	defer putScratch(sc)
+	return s.featuresLocked(sc, u, cfg), nil
+}
+
+// FeaturesBatch extracts the feature vectors of many uploads, fanning the
+// work across the worker pool. Each worker holds the read lock for a whole
+// chunk of uploads (one acquisition amortised over the chunk, instead of
+// one per trajectory point) and reuses one scratch. Results are ordered by
+// upload index and bit-identical to calling Features serially.
+func (s *Store) FeaturesBatch(uploads []*wifi.Upload, cfg FeatureConfig) ([][]float64, error) {
+	for i, u := range uploads {
+		if err := validateFeatureArgs(u, cfg); err != nil {
+			return nil, fmt.Errorf("upload %d: %w", i, err)
+		}
+	}
+	out := make([][]float64, len(uploads))
+	parallel.ForEachChunk(len(uploads), func(lo, hi int) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		sc := getScratch()
+		defer putScratch(sc)
+		for i := lo; i < hi; i++ {
+			out[i] = s.featuresLocked(sc, uploads[i], cfg)
+		}
+	})
+	return out, nil
+}
+
+func validateFeatureArgs(u *wifi.Upload, cfg FeatureConfig) error {
 	if err := u.Validate(); err != nil {
-		return nil, fmt.Errorf("rssimap: %w", err)
+		return fmt.Errorf("rssimap: %w", err)
 	}
 	if cfg.R <= 0 {
-		return nil, fmt.Errorf("rssimap: feature radius %g must be positive", cfg.R)
+		return fmt.Errorf("rssimap: feature radius %g must be positive", cfg.R)
 	}
 	if cfg.TopK <= 0 {
-		return nil, fmt.Errorf("rssimap: top-k %d must be positive", cfg.TopK)
+		return fmt.Errorf("rssimap: top-k %d must be positive", cfg.TopK)
 	}
+	return nil
+}
+
+// featuresLocked is the Eq. 8 kernel: it allocates only the returned
+// vector; every intermediate lives in the scratch. Callers must hold the
+// read lock and have validated the arguments.
+func (s *Store) featuresLocked(sc *scratch, u *wifi.Upload, cfg FeatureConfig) []float64 {
 	n := u.Traj.Len()
 	out := make([]float64, 0, cfg.FeatureDim(n))
 
 	// Per-point aggregates for the summary block.
-	pointPhi := make([]float64, 0, n)
-	pointNum := make([]float64, 0, n)
-	pointRes := make([]float64, 0, n)
+	pointPhi := resizeF64(sc.pointPhi, n)[:0]
+	pointNum := resizeF64(sc.pointNum, n)[:0]
+	pointRes := resizeF64(sc.pointRes, n)[:0]
 	var zeroRefPoints int
 
 	for i, pt := range u.Traj.Points {
-		confs := s.PointConfidences(pt.Pos, u.Scans[i], cfg)
+		confs := s.pointConfidencesLocked(sc, pt.Pos, u.Scans[i], cfg)
 		var phiSum, numSum, resSum float64
 		var resN int
 		for j := 0; j < cfg.TopK; j++ {
@@ -219,7 +272,7 @@ func (s *Store) Features(u *wifi.Upload, cfg FeatureConfig) ([]float64, error) {
 	if cfg.IncludeSummary {
 		out = append(out,
 			mean(pointPhi),
-			quantile(pointPhi, 0.25),
+			quantileInto(sc, pointPhi, 0.25),
 			minOf(pointPhi),
 			mean(pointNum),
 			minOf(pointNum),
@@ -228,12 +281,14 @@ func (s *Store) Features(u *wifi.Upload, cfg FeatureConfig) ([]float64, error) {
 		if cfg.IncludeResiduals {
 			out = append(out,
 				mean(pointRes),
-				quantile(pointRes, 0.75),
+				quantileInto(sc, pointRes, 0.75),
 				maxOf(pointRes),
 			)
 		}
 	}
-	return out, nil
+	// Hand the (possibly re-grown) aggregate buffers back to the scratch.
+	sc.pointPhi, sc.pointNum, sc.pointRes = pointPhi, pointNum, pointRes
+	return out
 }
 
 func maxOf(xs []float64) float64 {
@@ -273,11 +328,17 @@ func minOf(xs []float64) float64 {
 	return m
 }
 
-func quantile(xs []float64, q float64) float64 {
+// quantileInto is quantile with the sort buffer taken from the scratch.
+func quantileInto(sc *scratch, xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
+	sc.sorted = append(resizeF64(sc.sorted, len(xs))[:0], xs...)
+	return quantileSorted(sc.sorted, q)
+}
+
+// quantileSorted sorts buf in place and interpolates the q-quantile.
+func quantileSorted(sorted []float64, q float64) float64 {
 	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(pos)

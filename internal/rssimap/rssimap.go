@@ -98,6 +98,12 @@ type Store struct {
 	// neighbors[i] caches the indices of records within R of record i
 	// (including i itself) — the RPD counting area C_H(R).
 	neighbors [][]int32
+
+	// th2[i] caches θ2 of record i (Eq. 6). It depends only on
+	// len(neighbors[i]), so Add invalidates it incrementally for exactly the
+	// records whose counting area a new record enters — the math.Pow leaves
+	// the per-point confidence hot loop entirely.
+	th2 []float64
 }
 
 // NewStore builds a store over the given records.
@@ -118,10 +124,12 @@ func NewStore(cfg Config, records []Record) (*Store, error) {
 	for _, rec := range records {
 		s.appendRecordLocked(rec)
 	}
-	// Precompute RPD counting areas.
+	// Precompute RPD counting areas and the θ2 cache.
 	s.neighbors = make([][]int32, len(s.records))
+	s.th2 = make([]float64, len(s.records))
 	for i := range s.records {
 		s.neighbors[i] = s.withinRadius(s.records[i].pos, cfg.R)
+		s.th2[i] = s.theta2Fresh(int32(i))
 	}
 	return s, nil
 }
@@ -183,14 +191,19 @@ func (s *Store) Add(records []Record) {
 	for _, rec := range records {
 		idx := s.appendRecordLocked(rec)
 		// The new record's counting area, and symmetric updates to its
-		// neighbors' areas (withinRadius already sees the new record).
+		// neighbors' areas (withinRadius already sees the new record). The
+		// θ2 cache entries of exactly those records change, so they are
+		// recomputed here and nowhere else.
 		area := s.withinRadius(rec.Pos, s.cfg.R)
 		s.neighbors = append(s.neighbors, area)
+		s.th2 = append(s.th2, 0)
 		for _, n := range area {
 			if n != idx {
 				s.neighbors[n] = append(s.neighbors[n], idx)
+				s.th2[n] = s.theta2Fresh(n)
 			}
 		}
+		s.th2[idx] = s.theta2Fresh(idx)
 	}
 }
 
@@ -218,10 +231,19 @@ func (s *Store) cellOf(p geo.Point) [2]int {
 // withinRadius returns the indices of records within radius of p. Callers
 // must hold at least the read lock.
 func (s *Store) withinRadius(p geo.Point, radius float64) []int32 {
+	return s.withinRadiusInto(nil, p, radius)
+}
+
+// withinRadiusInto appends the indices of records within radius of p to
+// out[:0] and returns it — the allocation-free form for callers that hold a
+// reusable buffer. Callers must hold at least the read lock. Index order is
+// deterministic (grid cells in row-major reach order, append order within a
+// cell), so downstream float accumulation is reproducible.
+func (s *Store) withinRadiusInto(out []int32, p geo.Point, radius float64) []int32 {
+	out = out[:0]
 	reach := int(math.Ceil(radius / s.cell))
 	c := s.cellOf(p)
 	r2 := radius * radius
-	var out []int32
 	for dx := -reach; dx <= reach; dx++ {
 		for dy := -reach; dy <= reach; dy++ {
 			for _, idx := range s.grid[[2]int{c[0] + dx, c[1] + dy}] {
@@ -251,9 +273,6 @@ func (s *Store) RPD(h int32, mac string, x int) float64 {
 	defer s.mu.RUnlock()
 	id, ok := s.macIDs[mac]
 	if !ok {
-		if len(s.neighbors[h]) == 0 {
-			return 0
-		}
 		return 0
 	}
 	return s.rpdLocked(h, id, int16(x), 0)
@@ -287,10 +306,18 @@ func (s *Store) densityLocked(h int32) float64 {
 	return float64(len(s.neighbors[h])) / (math.Pi * s.cfg.R * s.cfg.R)
 }
 
-// theta2 evaluates Eq. 6: reliability of the RPD of reference point h.
-// Callers must hold the read lock.
-func (s *Store) theta2(h int32) float64 {
+// theta2Fresh evaluates Eq. 6 from scratch: reliability of the RPD of
+// reference point h. Callers must hold the write lock (or be the
+// constructor); queries read the th2 cache instead.
+func (s *Store) theta2Fresh(h int32) float64 {
 	return 1 - math.Pow(s.cfg.DensityBase, s.densityLocked(h))
+}
+
+// Theta2 returns the cached Eq. 6 reliability weight of record h.
+func (s *Store) Theta2(h int32) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.th2[h]
 }
 
 // Confidence evaluates Eq. 7 for one reported (mac, rssi) at position o
@@ -317,33 +344,75 @@ func (s *Store) RPDTol(h int32, mac string, x int, tol Tolerance) float64 {
 	return s.rpdLocked(h, id, int16(x), int16(tol))
 }
 
-// ConfidenceTol is Confidence with a matching tolerance.
+// ConfidenceTol is Confidence with a matching tolerance. The steady-state
+// path is allocation-free: reference indices and θ1 weights live in pooled
+// per-goroutine scratch, and θ2 comes from the incrementally maintained
+// cache.
 func (s *Store) ConfidenceTol(o geo.Point, mac string, rssi int, r float64, tol Tolerance) (phi float64, num int) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	refs := s.withinRadius(o, r)
+	sc := getScratch()
+	defer putScratch(sc)
+	return s.confidenceTolLocked(sc, o, mac, rssi, r, tol)
+}
+
+// confidenceTolLocked is the Eq. 7 kernel. Callers must hold the read lock
+// and supply a scratch.
+func (s *Store) confidenceTolLocked(sc *scratch, o geo.Point, mac string, rssi int, r float64, tol Tolerance) (phi float64, num int) {
+	sc.refs = s.withinRadiusInto(sc.refs, o, r)
+	refs := sc.refs
 	if len(refs) == 0 {
 		return 0, 0
 	}
 	id, known := s.macIDs[mac]
+	if !known {
+		return 0, len(refs)
+	}
 	// θ1 normalisation: sum of inverse distances (Eq. 5). Floor the
 	// distance at a few centimetres so a coincident record does not absorb
 	// all weight.
 	const minDist = 0.05
 	invSum := 0.0
-	inv := make([]float64, len(refs))
+	sc.inv = resizeF64(sc.inv, len(refs))
+	inv := sc.inv
 	for i, idx := range refs {
 		d := math.Max(minDist, geo.Dist(s.records[idx].pos, o))
 		inv[i] = 1 / d
 		invSum += inv[i]
 	}
-	if known {
-		for i, idx := range refs {
-			theta1 := inv[i] / invSum
-			phi += theta1 * s.theta2(idx) * s.rpdLocked(idx, id, int16(rssi), int16(tol))
-		}
+	for i, idx := range refs {
+		theta1 := inv[i] / invSum
+		phi += theta1 * s.th2[idx] * s.rpdLocked(idx, id, int16(rssi), int16(tol))
 	}
 	return phi, len(refs)
+}
+
+// scratch is the reusable working memory of one verification goroutine:
+// reference-point indices, θ1 weights, per-AP confidences, and the
+// feature-extraction aggregates. Pooled so the steady-state confidence and
+// feature paths allocate nothing beyond their returned vectors.
+type scratch struct {
+	refs  []int32
+	inv   []float64
+	confs []PointConfidence
+
+	pointPhi []float64
+	pointNum []float64
+	pointRes []float64
+	sorted   []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// resizeF64 returns a slice of length n reusing buf's capacity.
+func resizeF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 func absI16(x int16) int16 {

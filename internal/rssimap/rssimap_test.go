@@ -122,7 +122,7 @@ func TestDensityAndTheta2(t *testing.T) {
 	if eps < 0.8 || eps > 1.2 {
 		t.Fatalf("density = %v, want ~1", eps)
 	}
-	th2 := s.theta2(interior)
+	th2 := s.Theta2(interior)
 	want := 1 - math.Pow(0.9, eps)
 	if math.Abs(th2-want) > 1e-12 {
 		t.Fatalf("theta2 = %v, want %v", th2, want)
@@ -132,7 +132,7 @@ func TestDensityAndTheta2(t *testing.T) {
 	}
 	// Denser areas must be more reliable.
 	sparse := mustStore(t, DefaultConfig(), gridRecords(3, 10, 10))
-	if sparse.theta2(int32(5*10+5)) >= th2 {
+	if sparse.Theta2(int32(5*10+5)) >= th2 {
 		t.Fatal("sparser store must have lower theta2")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trajforge/internal/detect"
@@ -67,6 +68,18 @@ type Config struct {
 	MaxPoints int
 }
 
+// stageNames lists the verification stages in pipeline order; it fixes the
+// key set of Stats.Stages and the timing-counter slots.
+var stageNames = []string{"rules", "route", "replay", "motion", "wifi"}
+
+// stageClock accumulates wall time spent in one verification stage across
+// all uploads. Counters are atomic so the hot upload path never takes the
+// service lock for telemetry.
+type stageClock struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
 // Service is the verification server.
 type Service struct {
 	cfg Config
@@ -75,6 +88,8 @@ type Service struct {
 	accepted int
 	rejected int
 	history  []*trajectory.T
+
+	stages [5]stageClock // indexed in stageNames order
 }
 
 // New returns a service; the projection is required.
@@ -88,18 +103,46 @@ func New(cfg Config) (*Service, error) {
 	return &Service{cfg: cfg}, nil
 }
 
-// Stats is the provider's counters.
+// StageStats is the cumulative timing of one verification stage.
+type StageStats struct {
+	// Count is how many uploads ran the stage (skipped stages don't count).
+	Count int64 `json:"count"`
+	// TotalMicros is the cumulative wall time, microseconds.
+	TotalMicros int64 `json:"total_micros"`
+	// AvgMicros is TotalMicros / Count (0 when the stage never ran).
+	AvgMicros float64 `json:"avg_micros"`
+}
+
+// Stats is the provider's counters, including per-stage verification
+// timings — the operational view of where upload latency goes.
 type Stats struct {
-	Accepted int `json:"accepted"`
-	Rejected int `json:"rejected"`
-	History  int `json:"history"`
+	Accepted int                   `json:"accepted"`
+	Rejected int                   `json:"rejected"`
+	History  int                   `json:"history"`
+	Stages   map[string]StageStats `json:"stages"`
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats {
+	stages := make(map[string]StageStats, len(stageNames))
+	for i, name := range stageNames {
+		n := s.stages[i].count.Load()
+		us := s.stages[i].nanos.Load() / 1e3
+		st := StageStats{Count: n, TotalMicros: us}
+		if n > 0 {
+			st.AvgMicros = float64(us) / float64(n)
+		}
+		stages[name] = st
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return Stats{Accepted: s.accepted, Rejected: s.rejected, History: len(s.history)}
+	return Stats{Accepted: s.accepted, Rejected: s.rejected, History: len(s.history), Stages: stages}
+}
+
+// observeStage charges the elapsed time since start to stage i.
+func (s *Service) observeStage(i int, start time.Time) {
+	s.stages[i].count.Add(1)
+	s.stages[i].nanos.Add(time.Since(start).Nanoseconds())
 }
 
 // uploadPoint is the wire form of one fix plus its scan.
@@ -171,7 +214,10 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 	}}
 
 	if s.cfg.Rules != nil {
-		if vs := s.cfg.Rules.Check(u.Traj); len(vs) > 0 {
+		start := time.Now()
+		vs := s.cfg.Rules.Check(u.Traj)
+		s.observeStage(0, start)
+		if len(vs) > 0 {
 			v.Checks["rules"] = "fail"
 			v.Reason = "physically implausible motion: " + vs[0].String()
 			return v, nil
@@ -180,7 +226,10 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 	}
 
 	if s.cfg.Route != nil {
-		if s.cfg.Route.IsIrrational(u.Traj) {
+		start := time.Now()
+		irrational := s.cfg.Route.IsIrrational(u.Traj)
+		s.observeStage(1, start)
+		if irrational {
 			v.Checks["route"] = "fail"
 			v.Reason = "trajectory does not follow the road network"
 			return v, nil
@@ -189,9 +238,11 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 	}
 
 	if s.cfg.Replay != nil {
+		start := time.Now()
 		s.mu.RLock()
 		isReplay := s.cfg.Replay.IsReplay(u.Traj)
 		s.mu.RUnlock()
+		s.observeStage(2, start)
 		if isReplay {
 			v.Checks["replay"] = "fail"
 			v.Reason = "trajectory replays a historical record"
@@ -201,7 +252,9 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 	}
 
 	if s.cfg.Motion != nil {
+		start := time.Now()
 		p := s.cfg.Motion.ProbReal(u.Traj)
+		s.observeStage(3, start)
 		v.MotionProbReal = &p
 		if p < 0.5 {
 			v.Checks["motion"] = "fail"
@@ -212,7 +265,11 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 	}
 
 	if s.cfg.WiFi != nil {
+		// The detector's ProbFake runs the scratch-buffered feature path of
+		// rssimap, so per-request verification does not allocate per point.
+		start := time.Now()
 		p, err := s.cfg.WiFi.ProbFake(u)
+		s.observeStage(4, start)
 		if err != nil {
 			return v, fmt.Errorf("server: wifi check: %w", err)
 		}

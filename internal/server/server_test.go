@@ -264,6 +264,37 @@ func TestConcurrentUploads(t *testing.T) {
 	if st.Accepted+st.Rejected != n {
 		t.Fatalf("stats = %+v, want %d total", st, n)
 	}
+	// Every upload ran the replay stage exactly once, concurrently; the
+	// atomic stage clocks must agree.
+	if got := st.Stages["replay"].Count; got != n {
+		t.Fatalf("replay stage count = %d, want %d", got, n)
+	}
+}
+
+func TestStageTimingsAccumulate(t *testing.T) {
+	stub := &fixedMotion{prob: 0.9}
+	svc, _, client := newTestService(t, Config{Motion: stub, Rules: detect.NewRuleChecker()})
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := client.Upload(realisticUpload(t, int64(300+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	for _, stage := range []string{"rules", "motion"} {
+		sg := st.Stages[stage]
+		if sg.Count != n {
+			t.Fatalf("stage %s count = %d, want %d", stage, sg.Count, n)
+		}
+		if sg.TotalMicros < 0 {
+			t.Fatalf("stage %s total = %d", stage, sg.TotalMicros)
+		}
+	}
+	for _, stage := range []string{"route", "replay", "wifi"} {
+		if sg := st.Stages[stage]; sg.Count != 0 {
+			t.Fatalf("skipped stage %s count = %d, want 0", stage, sg.Count)
+		}
+	}
 }
 
 func TestVerdictJSONShape(t *testing.T) {
