@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot check
+.PHONY: build test race vet bench bench-hot bench-store check
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,11 @@ bench:
 bench-hot:
 	$(GO) test . -run NONE -benchmem \
 		-bench 'StoreConfidence|StoreFeatures|EvaluateWiFi$$'
+
+# Storage backends: sharded vs global store under concurrent ingestion and
+# batch feature extraction, plus WAL append/replay throughput.
+bench-store:
+	$(GO) test . -run NONE -benchmem \
+		-bench 'ShardedVsGlobal|WAL'
 
 check: build vet test

@@ -18,8 +18,12 @@ package trajforge
 // the full harness whose output EXPERIMENTS.md records.
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -30,7 +34,10 @@ import (
 	"trajforge/internal/experiments"
 	"trajforge/internal/geo"
 	"trajforge/internal/rssimap"
+	"trajforge/internal/shardstore"
 	"trajforge/internal/trajectory"
+	"trajforge/internal/wal"
+	"trajforge/internal/wifi"
 	"trajforge/internal/xgb"
 )
 
@@ -483,4 +490,174 @@ func BenchmarkForgeUpload(b *testing.B) {
 // BenchmarkAblationNoResiduals drops the residual-magnitude features.
 func BenchmarkAblationNoResiduals(b *testing.B) {
 	featureAblation(b, func(cfg *rssimap.FeatureConfig) { cfg.IncludeResiduals = false })
+}
+
+// --- Storage backends (make bench-store) ---
+
+// benchStoreRecords builds a deterministic crowdsourced corpus spread over
+// a width×height area.
+func benchStoreRecords(rng *rand.Rand, n int, width, height float64) []rssimap.Record {
+	recs := make([]rssimap.Record, n)
+	for i := range recs {
+		m := make(map[string]int)
+		for j := 0; j < 3+rng.Intn(4); j++ {
+			m[fmt.Sprintf("02:4e:00:00:00:%02x", rng.Intn(48))] = -40 - rng.Intn(50)
+		}
+		recs[i] = rssimap.Record{
+			Pos:  geo.Point{X: rng.Float64() * width, Y: rng.Float64() * height},
+			RSSI: m,
+		}
+	}
+	return recs
+}
+
+// benchStoreUpload builds a scan-carrying upload wandering across tiles.
+func benchStoreUpload(rng *rand.Rand, n int, width, height float64) *wifi.Upload {
+	pos := make([]geo.Point, n)
+	p := geo.Point{X: rng.Float64() * width, Y: rng.Float64() * height}
+	for i := range pos {
+		p.X = math.Abs(math.Mod(p.X+rng.NormFloat64()*4, width))
+		p.Y = math.Abs(math.Mod(p.Y+rng.NormFloat64()*4, height))
+		pos[i] = p
+	}
+	traj := trajectory.New(pos, time.Date(2022, 7, 1, 8, 0, 0, 0, time.UTC), time.Second)
+	scans := make([]wifi.Scan, n)
+	for i := range scans {
+		for j := 0; j < 4; j++ {
+			scans[i] = append(scans[i], wifi.Observation{
+				MAC:  fmt.Sprintf("02:4e:00:00:00:%02x", rng.Intn(48)),
+				RSSI: -40 - rng.Intn(50),
+			})
+		}
+	}
+	return &wifi.Upload{Traj: traj, Scans: scans}
+}
+
+// BenchmarkShardedVsGlobalAdd measures concurrent ingestion contention:
+// every goroutine hammers Add on one shared store. The global store funnels
+// through a single write lock; the sharded store spreads the batches across
+// per-tile locks.
+func BenchmarkShardedVsGlobalAdd(b *testing.B) {
+	const width, height = 400, 400
+	rng := rand.New(rand.NewSource(41))
+	batches := make([][]rssimap.Record, 256)
+	for i := range batches {
+		batches[i] = benchStoreRecords(rng, 50, width, height)
+	}
+	run := func(b *testing.B, store rssimap.Backend) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var next atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1)
+				store.Add(batches[int(i)%len(batches)])
+			}
+		})
+	}
+	b.Run("global", func(b *testing.B) {
+		store, err := rssimap.NewStore(rssimap.DefaultConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, store)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		store, err := shardstore.New(shardstore.DefaultConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, store)
+	})
+}
+
+// BenchmarkShardedVsGlobalFeaturesBatch runs the identical Eq. 8 batch
+// workload against both backends; the answers are bit-identical, only the
+// locking and cell lookup differ.
+func BenchmarkShardedVsGlobalFeaturesBatch(b *testing.B) {
+	const width, height = 250, 250
+	rng := rand.New(rand.NewSource(43))
+	recs := benchStoreRecords(rng, 4000, width, height)
+	uploads := make([]*wifi.Upload, 16)
+	for i := range uploads {
+		uploads[i] = benchStoreUpload(rng, 30, width, height)
+	}
+	fcfg := rssimap.DefaultFeatureConfig()
+	run := func(b *testing.B, store rssimap.Backend) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := store.FeaturesBatch(uploads, fcfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("global", func(b *testing.B) {
+		store, err := rssimap.NewStore(rssimap.DefaultConfig(), recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, store)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		store, err := shardstore.New(shardstore.DefaultConfig(), recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, store)
+	})
+}
+
+// BenchmarkWALAppend measures one group-committed frame append (1 KiB
+// payload, fsync batched on the default-style 2ms interval).
+func BenchmarkWALAppend(b *testing.B) {
+	log, err := wal.Open(filepath.Join(b.TempDir(), "bench.wal"),
+		wal.Options{SyncInterval: 2 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	rng := rand.New(rand.NewSource(47))
+	payload := make([]byte, 1024)
+	rng.Read(payload)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := log.Append(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALReplay measures a full recovery scan of a 4096-frame log
+// (512 B payloads), CRC checks included.
+func BenchmarkWALReplay(b *testing.B) {
+	log, err := wal.Open(filepath.Join(b.TempDir(), "bench.wal"), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	rng := rand.New(rand.NewSource(53))
+	payload := make([]byte, 512)
+	rng.Read(payload)
+	const frames = 4096
+	for i := 0; i < frames; i++ {
+		if err := log.Append(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(frames * int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		err := log.Replay(func(typ byte, p []byte) error {
+			n++
+			return nil
+		})
+		if err != nil || n != frames {
+			b.Fatalf("replayed %d frames, err %v", n, err)
+		}
+	}
 }

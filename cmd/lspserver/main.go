@@ -6,9 +6,15 @@
 //	GET  /v1/stats        provider counters
 //	GET  /v1/health       liveness
 //
+// With -data-dir the provider state is durable: accepted uploads are
+// journaled to a write-ahead log before the next upload is served, the
+// full state is snapshotted on compaction and shutdown, and a restart
+// recovers counters, history, and the crowdsourced store bit-identically
+// — including uploads accepted moments before a crash.
+//
 // Usage:
 //
-//	lspserver -addr :8742 [-seed 1] [-uploads 300]
+//	lspserver -addr :8742 [-seed 1] [-uploads 300] [-data-dir DIR] [-sharded]
 package main
 
 import (
@@ -25,8 +31,11 @@ import (
 	"flag"
 
 	"trajforge"
+	"trajforge/internal/dataset"
 	"trajforge/internal/geo"
+	"trajforge/internal/rssimap"
 	"trajforge/internal/server"
+	"trajforge/internal/shardstore"
 )
 
 func main() {
@@ -41,10 +50,33 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8742", "listen address")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	uploads := fs.Int("uploads", 300, "crowdsourced uploads to bootstrap the detector")
+	dataDir := fs.String("data-dir", "", "directory for the WAL and snapshots (empty = in-memory only)")
+	sharded := fs.Bool("sharded", false, "partition the RSSI store by geographic tile")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Open the durability layer first: recovered state decides below
+	// whether the store is seeded from disk or from the bootstrap corpus.
+	var persist *server.Persistence
+	var recovered *server.RecoveredState
+	if *dataDir != "" {
+		p, err := server.OpenPersistence(*dataDir, server.PersistOptions{})
+		if err != nil {
+			return err
+		}
+		persist = p
+		recovered = p.Recovered()
+		if !recovered.Empty() {
+			fmt.Printf("recovered from %s: %d accepted, %d rejected, %d records, %d WAL uploads\n",
+				*dataDir, recovered.Accepted, recovered.Rejected,
+				len(recovered.Records), len(recovered.Uploads))
+		}
+	}
+
+	// The bootstrap simulation is deterministic in -seed, so the training
+	// corpus (and the detector) is reproducible across restarts even when
+	// the store itself comes from disk.
 	fmt.Println("bootstrapping provider state (area, history, detector)...")
 	city, err := trajforge.NewCity(trajforge.CityConfig{
 		Width: 300, Height: 240, BlockSize: 60, NumAPs: 350, Seed: *seed,
@@ -72,8 +104,21 @@ func run(args []string) error {
 		return fmt.Errorf("bootstrapped only %d/%d uploads", len(hist), *uploads)
 	}
 
+	// Seed the store: recovered records when the data directory holds a
+	// snapshot (it already contains the bootstrap of the first run), the
+	// fresh bootstrap corpus otherwise. Uploads replayed from the WAL are
+	// applied later through Service.Restore, after the service exists.
 	nStore := len(hist) * 3 / 4
-	store, err := trajforge.NewRSSIStore(hist[:nStore])
+	records := dataset.Records(hist[:nStore])
+	if recovered != nil && !recovered.Empty() {
+		records = recovered.Records
+	}
+	var store trajforge.RSSIBackend
+	if *sharded {
+		store, err = shardstore.New(shardstore.DefaultConfig(), records)
+	} else {
+		store, err = rssimap.NewStore(rssimap.DefaultConfig(), records)
+	}
 	if err != nil {
 		return err
 	}
@@ -99,12 +144,24 @@ func run(args []string) error {
 
 	pr := geo.NewProjection(geo.LatLon{Lat: 32.06, Lon: 118.79})
 	svc, err := trajforge.NewVerificationServer(server.Config{
-		Projection: pr,
-		Replay:     replay,
-		WiFi:       det,
+		Projection:     pr,
+		Replay:         replay,
+		WiFi:           det,
+		IngestAccepted: persist != nil,
+		Persist:        persist,
 	})
 	if err != nil {
 		return err
+	}
+	if persist != nil {
+		svc.Restore(recovered)
+		if recovered.Empty() {
+			// First run on this directory: snapshot the bootstrap store so
+			// a crash before the first compaction can still recover it.
+			if err := persist.Compact(); err != nil {
+				return err
+			}
+		}
 	}
 	fmt.Printf("listening on %s (history: %d uploads, %d RSSI records)\n",
 		*addr, nStore, store.Len())
@@ -114,7 +171,8 @@ func run(args []string) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight uploads.
+	// Serve until SIGINT/SIGTERM, then drain in-flight uploads, flush the
+	// WAL queue, and take the final snapshot.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -133,12 +191,18 @@ func run(args []string) error {
 			return err
 		}
 		printStats(svc.Stats())
+		if err := svc.Close(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		if persist != nil {
+			fmt.Printf("state persisted to %s\n", *dataDir)
+		}
 		return nil
 	}
 }
 
 // printStats summarises the session: counters plus where verification time
-// went, per pipeline stage.
+// went, per pipeline stage, plus durability and sharding state when on.
 func printStats(st server.Stats) {
 	fmt.Printf("session: %d accepted, %d rejected, %d in history\n",
 		st.Accepted, st.Rejected, st.History)
@@ -149,5 +213,13 @@ func printStats(st server.Stats) {
 		}
 		fmt.Printf("  stage %-6s %6d runs, avg %8.1f us, total %d ms\n",
 			name, sg.Count, sg.AvgMicros, sg.TotalMicros/1000)
+	}
+	if p := st.Persistence; p != nil {
+		fmt.Printf("  wal: %d frames, %d bytes, generation %d\n",
+			p.WALFrames, p.WALBytes, p.Generation)
+	}
+	if sh := st.Shards; sh != nil {
+		fmt.Printf("  shards: %d tiles, %d records (%d stored with halo), busiest %d\n",
+			sh.Shards, sh.Records, sh.StoredRecords, sh.MaxShardRecords)
 	}
 }

@@ -13,16 +13,17 @@ import (
 // WiFiDetector is the paper's dedicated countermeasure (Sec. III-C): every
 // uploaded point carries a WiFi scan; the crowdsourced store turns the scan
 // into (Num, Φ) confidence features, and an XGBoost model labels the whole
-// trajectory. The positive class is "fake".
+// trajectory. The positive class is "fake". Store is any rssimap.Backend —
+// the global in-memory store or a geo-sharded one.
 type WiFiDetector struct {
-	Store    *rssimap.Store
+	Store    rssimap.Backend
 	Model    *xgb.Model
 	Features rssimap.FeatureConfig
 }
 
 // TrainWiFiDetector fits the detector from labelled uploads against a
 // historical store.
-func TrainWiFiDetector(store *rssimap.Store, real, fake []*wifi.Upload,
+func TrainWiFiDetector(store rssimap.Backend, real, fake []*wifi.Upload,
 	fcfg rssimap.FeatureConfig, xcfg xgb.Config) (*WiFiDetector, error) {
 	if store == nil || store.Len() == 0 {
 		return nil, fmt.Errorf("detect: historical store is empty")

@@ -1,12 +1,27 @@
 package experiments
 
 import (
+	"flag"
+	"fmt"
 	"math"
+	"os"
 	"strings"
 	"testing"
 
 	"trajforge/internal/trajectory"
 )
+
+// TestMain skips the package under -short: every test here replays a full
+// figure/table pipeline (minutes under the race detector), which the quick
+// CI race job doesn't need — the shapes are covered by the regular job.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if testing.Short() {
+		fmt.Println("skipping experiments pipelines in -short mode")
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // tinyScale keeps the whole experiment pipeline under a few seconds.
 func tinyScale() Scale {

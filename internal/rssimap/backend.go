@@ -1,0 +1,36 @@
+package rssimap
+
+import (
+	"trajforge/internal/geo"
+	"trajforge/internal/wifi"
+)
+
+// Backend is the verification surface of a crowdsourced RSSI history: the
+// ingestion path (Add/AddUploads), the Eq. 7 confidence query, and the
+// Eq. 8 feature extraction the WiFi detector consumes. Store implements it
+// as one global grid-indexed database; shardstore.Store implements it as a
+// geo-sharded federation of Stores. Detector training, the verification
+// server, and snapshot persistence all program against this interface so a
+// provider can swap backends without touching the pipeline.
+type Backend interface {
+	// Len returns the number of historical records.
+	Len() int
+	// Records returns every record in insertion order (fresh copies) — the
+	// serialization surface snapshots use.
+	Records() []Record
+	// Add ingests crowdsourced records incrementally.
+	Add(records []Record)
+	// AddUploads ingests every point of the given uploads that carries a scan.
+	AddUploads(uploads []*wifi.Upload)
+	// ConfidenceTol evaluates Eq. 7 for one reported (mac, rssi) at o.
+	ConfidenceTol(o geo.Point, mac string, rssi int, r float64, tol Tolerance) (phi float64, num int)
+	// PointConfidences verifies the TopK strongest observations of one scan.
+	PointConfidences(o geo.Point, scan wifi.Scan, cfg FeatureConfig) []PointConfidence
+	// Features computes the Eq. 8 feature vector of an upload.
+	Features(u *wifi.Upload, cfg FeatureConfig) ([]float64, error)
+	// FeaturesBatch extracts the feature vectors of many uploads in parallel,
+	// bit-identical to calling Features serially.
+	FeaturesBatch(uploads []*wifi.Upload, cfg FeatureConfig) ([][]float64, error)
+}
+
+var _ Backend = (*Store)(nil)

@@ -102,6 +102,16 @@ func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg FeatureConfig)
 	return append([]PointConfidence(nil), s.pointConfidencesLocked(sc, o, scan, cfg)...)
 }
 
+// PointConfidencesInto is PointConfidences appending into dst[:0] — the
+// allocation-free form for callers that hold a reusable buffer.
+func (s *Store) PointConfidencesInto(dst []PointConfidence, o geo.Point, scan wifi.Scan, cfg FeatureConfig) []PointConfidence {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sc := getScratch()
+	defer putScratch(sc)
+	return append(dst[:0], s.pointConfidencesLocked(sc, o, scan, cfg)...)
+}
+
 // pointConfidencesLocked is the per-point verification kernel. The returned
 // slice is backed by sc.confs and valid only until the scratch is reused.
 // Callers must hold the read lock.
@@ -220,6 +230,32 @@ func validateFeatureArgs(u *wifi.Upload, cfg FeatureConfig) error {
 // vector; every intermediate lives in the scratch. Callers must hold the
 // read lock and have validated the arguments.
 func (s *Store) featuresLocked(sc *scratch, u *wifi.Upload, cfg FeatureConfig) []float64 {
+	return aggregateFeatures(sc, u, cfg, func(i int) []PointConfidence {
+		return s.pointConfidencesLocked(sc, u.Traj.Points[i].Pos, u.Scans[i], cfg)
+	})
+}
+
+// FeaturesFrom computes the Eq. 8 feature vector of an upload from an
+// arbitrary per-point confidence source — the hook sharded (or remote)
+// backends use to share Store.Features' exact aggregation, including its
+// float accumulation order. confsAt returns the verified TopK confidences
+// of point i; its result is only read before the next confsAt call, so a
+// reused buffer is fine.
+func FeaturesFrom(u *wifi.Upload, cfg FeatureConfig, confsAt func(i int, pos geo.Point, scan wifi.Scan) []PointConfidence) ([]float64, error) {
+	if err := validateFeatureArgs(u, cfg); err != nil {
+		return nil, err
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	return aggregateFeatures(sc, u, cfg, func(i int) []PointConfidence {
+		return confsAt(i, u.Traj.Points[i].Pos, u.Scans[i])
+	}), nil
+}
+
+// aggregateFeatures concatenates per-point confidences into the Eq. 8
+// vector plus the optional summary block. It allocates only the returned
+// vector; the aggregate buffers live in the scratch.
+func aggregateFeatures(sc *scratch, u *wifi.Upload, cfg FeatureConfig, confsAt func(i int) []PointConfidence) []float64 {
 	n := u.Traj.Len()
 	out := make([]float64, 0, cfg.FeatureDim(n))
 
@@ -229,8 +265,8 @@ func (s *Store) featuresLocked(sc *scratch, u *wifi.Upload, cfg FeatureConfig) [
 	pointRes := resizeF64(sc.pointRes, n)[:0]
 	var zeroRefPoints int
 
-	for i, pt := range u.Traj.Points {
-		confs := s.pointConfidencesLocked(sc, pt.Pos, u.Scans[i], cfg)
+	for i := range u.Traj.Points {
+		confs := confsAt(i)
 		var phiSum, numSum, resSum float64
 		var resN int
 		for j := 0; j < cfg.TopK; j++ {

@@ -91,6 +91,10 @@ type Store struct {
 	mu      sync.RWMutex
 	records []storedRecord
 	macIDs  map[string]int32
+	// macNames is the cached reverse of macIDs (index = interned ID). It is
+	// extended whenever appendRecordLocked interns a new MAC, so Record never
+	// rebuilds the table from the map.
+	macNames []string
 
 	cell float64
 	grid map[[2]int][]int32
@@ -143,6 +147,7 @@ func (s *Store) appendRecordLocked(rec Record) int32 {
 		if !ok {
 			id = int32(len(s.macIDs))
 			s.macIDs[mac] = id
+			s.macNames = append(s.macNames, mac)
 		}
 		sr.readings = append(sr.readings, reading{mac: id, rssi: int16(v)})
 	}
@@ -174,12 +179,24 @@ func (s *Store) Record(i int) Record {
 	return Record{Pos: sr.pos, RSSI: m}
 }
 
-func (s *Store) macNamesLocked() []string {
-	names := make([]string, len(s.macIDs))
-	for mac, id := range s.macIDs {
-		names[id] = mac
+func (s *Store) macNamesLocked() []string { return s.macNames }
+
+// Records returns every historical record in insertion order, in the public
+// (map) form — the serialization surface snapshots use. The returned slice
+// and maps are fresh copies.
+func (s *Store) Records() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := s.macNamesLocked()
+	out := make([]Record, len(s.records))
+	for i, sr := range s.records {
+		m := make(map[string]int, len(sr.readings))
+		for _, rd := range sr.readings {
+			m[names[rd.mac]] = int(rd.rssi)
+		}
+		out[i] = Record{Pos: sr.pos, RSSI: m}
 	}
-	return names
+	return out
 }
 
 // Add ingests new crowdsourced records incrementally, updating the spatial
@@ -209,6 +226,13 @@ func (s *Store) Add(records []Record) {
 
 // AddUploads ingests every point of the given uploads that carries a scan.
 func (s *Store) AddUploads(uploads []*wifi.Upload) {
+	s.Add(UploadRecords(uploads))
+}
+
+// UploadRecords extracts the crowdsourced records of the given uploads:
+// every point that carries a scan, in point order, skipping invalid
+// uploads — the shared ingestion rule of every Backend.
+func UploadRecords(uploads []*wifi.Upload) []Record {
 	var recs []Record
 	for _, u := range uploads {
 		if u.Validate() != nil {
@@ -221,7 +245,7 @@ func (s *Store) AddUploads(uploads []*wifi.Upload) {
 			recs = append(recs, RecordFromScan(pt.Pos, u.Scans[i]))
 		}
 	}
-	s.Add(recs)
+	return recs
 }
 
 func (s *Store) cellOf(p geo.Point) [2]int {
@@ -404,7 +428,7 @@ type scratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
-func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func getScratch() *scratch   { return scratchPool.Get().(*scratch) }
 func putScratch(sc *scratch) { scratchPool.Put(sc) }
 
 // resizeF64 returns a slice of length n reusing buf's capacity.

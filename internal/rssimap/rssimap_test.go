@@ -323,3 +323,83 @@ func TestFeaturesDiscriminative(t *testing.T) {
 		t.Fatalf("forged residual mass %v not clearly above honest %v", fRes, hRes)
 	}
 }
+
+func TestMACNameCacheStaysCurrentAcrossAdd(t *testing.T) {
+	s := mustStore(t, DefaultConfig(), []Record{
+		{Pos: geo.Point{X: 0, Y: 0}, RSSI: map[string]int{"a": -50, "b": -60}},
+	})
+	// Adds that intern brand-new MACs must extend the cached reverse table,
+	// so Record reverses every interned ID correctly afterwards.
+	s.Add([]Record{
+		{Pos: geo.Point{X: 1, Y: 0}, RSSI: map[string]int{"b": -61, "c": -70}},
+		{Pos: geo.Point{X: 2, Y: 0}, RSSI: map[string]int{"d": -80}},
+	})
+	want := []map[string]int{
+		{"a": -50, "b": -60},
+		{"b": -61, "c": -70},
+		{"d": -80},
+	}
+	for i, m := range want {
+		got := s.Record(i).RSSI
+		if len(got) != len(m) {
+			t.Fatalf("record %d = %v, want %v", i, got, m)
+		}
+		for mac, v := range m {
+			if got[mac] != v {
+				t.Fatalf("record %d mac %s = %d, want %d", i, mac, got[mac], v)
+			}
+		}
+	}
+	// The cache must cover exactly the interned set, in intern order.
+	s.mu.RLock()
+	names := s.macNamesLocked()
+	if len(names) != len(s.macIDs) {
+		t.Fatalf("cache has %d names for %d ids", len(names), len(s.macIDs))
+	}
+	for mac, id := range s.macIDs {
+		if names[id] != mac {
+			t.Fatalf("cache[%d] = %q, want %q", id, names[id], mac)
+		}
+	}
+	s.mu.RUnlock()
+}
+
+func TestRecordsRoundtripInsertionOrder(t *testing.T) {
+	recs := gridRecords(2, 5, 5)
+	s := mustStore(t, DefaultConfig(), recs)
+	s.Add([]Record{{Pos: geo.Point{X: 50, Y: 50}, RSSI: map[string]int{"z": -42}}})
+	got := s.Records()
+	if len(got) != len(recs)+1 {
+		t.Fatalf("Records len = %d, want %d", len(got), len(recs)+1)
+	}
+	for i, rec := range recs {
+		if got[i].Pos != rec.Pos {
+			t.Fatalf("record %d pos = %v, want %v", i, got[i].Pos, rec.Pos)
+		}
+		for mac, v := range rec.RSSI {
+			if got[i].RSSI[mac] != v {
+				t.Fatalf("record %d mac %s = %d, want %d", i, mac, got[i].RSSI[mac], v)
+			}
+		}
+	}
+	if last := got[len(got)-1]; last.RSSI["z"] != -42 {
+		t.Fatalf("appended record = %+v", last)
+	}
+	// A store rebuilt from Records answers Features bit-identically.
+	rebuilt := mustStore(t, DefaultConfig(), got)
+	u := buildUpload(5, wifi.Scan{{MAC: "a", RSSI: -50}, {MAC: "b", RSSI: -70}})
+	cfg := DefaultFeatureConfig()
+	f1, err := s.Features(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := rebuilt.Features(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1 {
+		if math.Float64bits(f1[i]) != math.Float64bits(f2[i]) {
+			t.Fatalf("feature %d: %v != %v", i, f1[i], f2[i])
+		}
+	}
+}

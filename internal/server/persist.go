@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trajforge/internal/rssimap"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wal"
+	"trajforge/internal/wifi"
+)
+
+// WAL frame types.
+const (
+	frameAccepted byte = 1 // payload: one accepted upload (see walcodec.go)
+	frameRejected byte = 2 // empty payload; only bumps the rejected counter
+)
+
+const (
+	walFileName  = "records.wal"
+	snapFileName = "snapshot.bin"
+)
+
+// PersistOptions tunes the durability layer.
+type PersistOptions struct {
+	// SyncInterval is the WAL group-commit interval; zero fsyncs every
+	// append (fully durable, slow). Default 2ms.
+	SyncInterval time.Duration
+	// QueueDepth bounds the async append queue. Uploads block once the
+	// queue is full — the backpressure that keeps a slow disk from letting
+	// unacknowledged frames pile up without bound. Default 256.
+	QueueDepth int
+	// CompactBytes auto-compacts (snapshot + log reset) once the WAL grows
+	// past this size. Default 64 MiB; negative disables auto-compaction.
+	CompactBytes int64
+}
+
+func (o *PersistOptions) setDefaults() {
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 2 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 64 << 20
+	}
+}
+
+// RecoveredState is what OpenPersistence reconstructed from disk: the last
+// snapshot plus every WAL frame appended after it. The caller seeds its
+// store backend from Records before building the detector; Service.Restore
+// applies the rest (counters, history, replayed uploads).
+type RecoveredState struct {
+	// Accepted and Rejected are the provider counters, WAL frames included.
+	Accepted, Rejected int
+	// Records is the crowdsourced store content at snapshot time.
+	Records []rssimap.Record
+	// History is the accepted-trajectory history at snapshot time.
+	History []*trajectory.T
+	// Uploads are the accepted uploads replayed from the WAL, in ingestion
+	// order. Their trajectories are NOT in History and their scans are NOT
+	// in Records — Service.Restore applies them through the same code path
+	// a live accept takes, so recovery is equivalent to re-receiving them.
+	Uploads []*wifi.Upload
+}
+
+// Empty reports whether nothing was recovered (fresh data directory).
+func (st *RecoveredState) Empty() bool {
+	return st.Accepted == 0 && st.Rejected == 0 &&
+		len(st.Records) == 0 && len(st.History) == 0 && len(st.Uploads) == 0
+}
+
+// snapshotData is the gob-encoded snapshot payload. gob stores float64 and
+// time.Time losslessly, so a snapshot roundtrip keeps features bit-identical.
+type snapshotData struct {
+	Accepted, Rejected int
+	Records            []rssimap.Record
+	History            []*trajectory.T
+}
+
+// persistEntry is one queued WAL append; a barrier entry (barrier != nil)
+// carries no frame and is closed once everything before it is on disk.
+type persistEntry struct {
+	accepted bool
+	upload   *wifi.Upload
+	barrier  chan struct{}
+}
+
+// Persistence is the provider's durability layer: a write-ahead log of
+// verdicts plus periodic snapshots. Accepted uploads are framed into the
+// log asynchronously (bounded queue, group-committed fsync); compaction
+// snapshots the full provider state and resets the log.
+type Persistence struct {
+	opts     PersistOptions
+	dir      string
+	log      *wal.Log
+	snapPath string
+
+	recovered *RecoveredState
+
+	svc       *Service // bound by server.New
+	queue     chan persistEntry
+	compactCh chan chan error
+	stop      chan struct{}
+	stopOnce  sync.Once
+	done      chan struct{}
+	buf       []byte // appender goroutine scratch
+
+	lastSnapshot atomic.Int64 // UnixNano of the last committed snapshot
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// OpenPersistence opens (or initialises) the data directory and recovers
+// the provider state from the snapshot and WAL. The generation protocol:
+// a snapshot newer than the log supersedes it entirely (crash between
+// snapshot rename and log reset); equal generations replay the log on top
+// of the snapshot; a log newer than its snapshot means the snapshot file
+// was lost and recovery refuses to guess.
+func OpenPersistence(dir string, opts PersistOptions) (*Persistence, error) {
+	opts.setDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	log, err := wal.Open(filepath.Join(dir, walFileName), wal.Options{SyncInterval: opts.SyncInterval})
+	if err != nil {
+		return nil, err
+	}
+	p := &Persistence{
+		opts:      opts,
+		dir:       dir,
+		log:       log,
+		snapPath:  filepath.Join(dir, snapFileName),
+		queue:     make(chan persistEntry, opts.QueueDepth),
+		compactCh: make(chan chan error),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if err := p.load(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// load reconciles snapshot and WAL generations and replays the log.
+func (p *Persistence) load() error {
+	st := &RecoveredState{}
+	snapGen, payload, err := wal.ReadSnapshot(p.snapPath)
+	switch {
+	case errors.Is(err, wal.ErrNoSnapshot):
+		snapGen = 0
+	case err != nil:
+		return err
+	default:
+		var snap snapshotData
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+			return fmt.Errorf("%w: snapshot payload: %v", wal.ErrCorrupt, err)
+		}
+		st.Accepted, st.Rejected = snap.Accepted, snap.Rejected
+		st.Records, st.History = snap.Records, snap.History
+	}
+
+	walGen := p.log.Generation()
+	switch {
+	case snapGen > walGen:
+		// Crash between snapshot rename and log reset: the snapshot already
+		// contains every frame in the stale log, so discard the frames and
+		// re-point the log at the snapshot's generation.
+		if err := p.log.Reset(snapGen); err != nil {
+			return err
+		}
+	case snapGen < walGen && walGen > 1:
+		// The log was compacted at least once, so a snapshot of its
+		// generation must exist; a missing or older one means lost data.
+		return fmt.Errorf("%w: snapshot generation %d behind log generation %d in %s",
+			wal.ErrCorrupt, snapGen, walGen, p.dir)
+	default:
+		err := p.log.Replay(func(typ byte, payload []byte) error {
+			switch typ {
+			case frameAccepted:
+				u, err := decodeUpload(payload)
+				if err != nil {
+					return err
+				}
+				st.Uploads = append(st.Uploads, u)
+				st.Accepted++
+			case frameRejected:
+				st.Rejected++
+			default:
+				return fmt.Errorf("%w: unknown frame type %d", wal.ErrCorrupt, typ)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	p.recovered = st
+	return nil
+}
+
+// Recovered returns the state reconstructed at open time.
+func (p *Persistence) Recovered() *RecoveredState { return p.recovered }
+
+// bind attaches the persistence to its service and starts the appender.
+func (p *Persistence) bind(s *Service) error {
+	if p.svc != nil {
+		return errors.New("server: persistence already bound to a service")
+	}
+	p.svc = s
+	go p.run()
+	return nil
+}
+
+// enqueueLocked queues one verdict for the appender. It is called with the
+// service mutex held, which is what makes the WAL frame order match the
+// store ingestion order (and recovery bit-identical): no other upload can
+// commit state between this upload's ingestion and its enqueue. A full
+// queue blocks the upload — that is the backpressure, and it cannot
+// deadlock because the appender drains the queue without ever waiting on
+// the service mutex.
+func (p *Persistence) enqueueLocked(e persistEntry) {
+	p.queue <- e
+}
+
+// run is the appender goroutine: it drains the queue into the WAL and
+// triggers auto-compaction.
+func (p *Persistence) run() {
+	defer close(p.done)
+	for {
+		select {
+		case e := <-p.queue:
+			p.appendEntry(e)
+			p.maybeAutoCompact()
+		case ch := <-p.compactCh:
+			ch <- p.compact()
+		case <-p.stop:
+			p.drainQueue()
+			return
+		}
+	}
+}
+
+// appendEntry frames one entry into the log.
+func (p *Persistence) appendEntry(e persistEntry) {
+	if e.barrier != nil {
+		p.noteErr(p.log.Sync())
+		close(e.barrier)
+		return
+	}
+	if !e.accepted {
+		p.noteErr(p.log.Append(frameRejected, nil))
+		return
+	}
+	buf, err := appendUpload(p.buf[:0], e.upload)
+	if err != nil {
+		p.noteErr(err)
+		return
+	}
+	p.buf = buf
+	p.noteErr(p.log.Append(frameAccepted, buf))
+}
+
+// drainQueue appends everything currently queued without blocking.
+func (p *Persistence) drainQueue() {
+	for {
+		select {
+		case e := <-p.queue:
+			p.appendEntry(e)
+		default:
+			return
+		}
+	}
+}
+
+func (p *Persistence) maybeAutoCompact() {
+	if p.opts.CompactBytes <= 0 {
+		return
+	}
+	if _, bytes := p.log.Stats(); bytes >= p.opts.CompactBytes {
+		p.noteErr(p.compact())
+	}
+}
+
+// compact writes a snapshot of the full provider state and resets the log
+// to the snapshot's generation. It runs on the appender goroutine (or on
+// Close's, once the appender has exited), so it is the sole WAL writer.
+func (p *Persistence) compact() error {
+	if p.svc == nil {
+		return errors.New("server: persistence not bound to a service")
+	}
+	// Phase 1: win the service write lock while keeping the queue drained —
+	// an upload blocked on a full queue holds the lock, so draining is what
+	// lets it finish and release.
+	for !p.svc.mu.TryLock() {
+		p.drainQueue()
+		runtime.Gosched()
+	}
+	// Phase 2: the lock freezes enqueues, so after one more drain the WAL
+	// holds exactly the frames the captured state accounts for.
+	p.drainQueue()
+	st := p.svc.snapshotLocked()
+	gen := p.log.Generation() + 1
+	p.svc.mu.Unlock()
+	// Phase 3: persist outside the lock. Uploads accepted from here on sit
+	// in the queue until compaction finishes, so their frames land after
+	// the reset and replay cleanly on top of the snapshot.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return fmt.Errorf("server: encode snapshot: %w", err)
+	}
+	if err := wal.WriteSnapshot(p.snapPath, gen, buf.Bytes()); err != nil {
+		return err
+	}
+	if err := p.log.Reset(gen); err != nil {
+		return err
+	}
+	p.lastSnapshot.Store(time.Now().UnixNano())
+	return nil
+}
+
+// Compact synchronously snapshots the provider state and resets the log.
+func (p *Persistence) Compact() error {
+	if p.svc == nil {
+		return errors.New("server: persistence not bound to a service")
+	}
+	ch := make(chan error, 1)
+	select {
+	case p.compactCh <- ch:
+		return <-ch
+	case <-p.done:
+		return errors.New("server: persistence closed")
+	}
+}
+
+// Flush blocks until every entry queued before the call is appended and
+// fsynced — the durability barrier crash tests cut at.
+func (p *Persistence) Flush() error {
+	if p.svc == nil {
+		return errors.New("server: persistence not bound to a service")
+	}
+	barrier := make(chan struct{})
+	select {
+	case p.queue <- persistEntry{barrier: barrier}:
+	case <-p.done:
+		return errors.New("server: persistence closed")
+	}
+	select {
+	case <-barrier:
+	case <-p.done:
+		// The appender exits by draining the queue, so a shutdown race
+		// still lands the barrier's predecessors; the final Close sync
+		// covers durability.
+	}
+	return p.Err()
+}
+
+// close stops the appender, takes a final snapshot, and closes the log.
+func (p *Persistence) close() error {
+	var err error
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+		if p.svc != nil {
+			// The appender is gone; any upload that raced shutdown is
+			// still queued and gets drained by the compaction itself.
+			err = p.compact()
+		}
+		if cerr := p.log.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = p.Err()
+		}
+	})
+	return err
+}
+
+// noteErr records the first background append failure.
+func (p *Persistence) noteErr(err error) {
+	if err == nil {
+		return
+	}
+	p.errMu.Lock()
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// Err returns the first background append/compact failure, if any.
+func (p *Persistence) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.firstErr
+}
+
+// PersistStats is the durability slice of /v1/stats.
+type PersistStats struct {
+	// WALBytes is the log size on disk, header included.
+	WALBytes int64 `json:"wal_bytes"`
+	// WALFrames is the number of frames appended since the last compaction.
+	WALFrames uint64 `json:"wal_frames"`
+	// Generation is the log generation (bumped by every compaction).
+	Generation uint64 `json:"generation"`
+	// LastSnapshot is the RFC 3339 time of the last committed snapshot,
+	// empty if none this process lifetime.
+	LastSnapshot string `json:"last_snapshot,omitempty"`
+	// QueueDepth is the current number of verdicts awaiting append.
+	QueueDepth int `json:"queue_depth"`
+	// Error is the first background persistence failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+func (p *Persistence) stats() *PersistStats {
+	frames, bytes := p.log.Stats()
+	st := &PersistStats{
+		WALBytes:   bytes,
+		WALFrames:  frames,
+		Generation: p.log.Generation(),
+		QueueDepth: len(p.queue),
+	}
+	if ns := p.lastSnapshot.Load(); ns != 0 {
+		st.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+	}
+	if err := p.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	return st
+}

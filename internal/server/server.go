@@ -20,6 +20,7 @@ import (
 
 	"trajforge/internal/detect"
 	"trajforge/internal/geo"
+	"trajforge/internal/shardstore"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/wifi"
 )
@@ -66,6 +67,12 @@ type Config struct {
 	IngestAccepted bool
 	// MaxPoints bounds upload size (default 10,000).
 	MaxPoints int
+	// Persist, when set, journals every verdict to the write-ahead log and
+	// snapshots the provider state on compaction, so counters, history and
+	// the crowdsourced store survive restarts. Seed the store from
+	// Persist.Recovered().Records before building the WiFi detector, then
+	// call Restore after New; Close takes the final snapshot.
+	Persist *Persistence
 }
 
 // stageNames lists the verification stages in pipeline order; it fixes the
@@ -100,7 +107,64 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxPoints <= 0 {
 		cfg.MaxPoints = 10000
 	}
-	return &Service{cfg: cfg}, nil
+	s := &Service{cfg: cfg}
+	if cfg.Persist != nil {
+		if err := cfg.Persist.bind(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Restore applies recovered state: counters, snapshot history, and the
+// uploads replayed from the WAL — the latter through the same ingestion
+// path a live accept takes, so a restarted provider answers queries
+// bit-identically to one that never went down. The caller must already
+// have seeded the store backend from state.Records.
+func (s *Service) Restore(state *RecoveredState) {
+	if state == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.accepted = state.Accepted
+	s.rejected = state.Rejected
+	for _, t := range state.History {
+		s.history = append(s.history, t)
+		if s.cfg.Replay != nil {
+			s.cfg.Replay.AddHistory(t)
+		}
+	}
+	for _, u := range state.Uploads {
+		s.history = append(s.history, u.Traj)
+		if s.cfg.Replay != nil {
+			s.cfg.Replay.AddHistory(u.Traj)
+		}
+		if s.cfg.IngestAccepted && s.cfg.WiFi != nil {
+			s.cfg.WiFi.Store.AddUploads([]*wifi.Upload{u})
+		}
+	}
+}
+
+// Close drains the persistence queue, takes a final snapshot, and closes
+// the log. Shut the HTTP server down first so no uploads are in flight.
+// Without persistence it is a no-op.
+func (s *Service) Close() error {
+	if s.cfg.Persist == nil {
+		return nil
+	}
+	return s.cfg.Persist.close()
+}
+
+// snapshotLocked captures the state a snapshot persists. Called with s.mu
+// held (by the compaction protocol in persist.go).
+func (s *Service) snapshotLocked() snapshotData {
+	st := snapshotData{Accepted: s.accepted, Rejected: s.rejected}
+	st.History = append([]*trajectory.T(nil), s.history...)
+	if s.cfg.WiFi != nil {
+		st.Records = s.cfg.WiFi.Store.Records()
+	}
+	return st
 }
 
 // StageStats is the cumulative timing of one verification stage.
@@ -120,6 +184,12 @@ type Stats struct {
 	Rejected int                   `json:"rejected"`
 	History  int                   `json:"history"`
 	Stages   map[string]StageStats `json:"stages"`
+	// Persistence reports the WAL/snapshot state when a data directory is
+	// configured.
+	Persistence *PersistStats `json:"persistence,omitempty"`
+	// Shards reports store partitioning when the WiFi detector runs
+	// against a geo-sharded backend.
+	Shards *shardstore.Stats `json:"shards,omitempty"`
 }
 
 // Stats returns a snapshot of the counters.
@@ -134,9 +204,23 @@ func (s *Service) Stats() Stats {
 		}
 		stages[name] = st
 	}
+	var ps *PersistStats
+	if s.cfg.Persist != nil {
+		ps = s.cfg.Persist.stats()
+	}
+	var sh *shardstore.Stats
+	if s.cfg.WiFi != nil {
+		if ss, ok := s.cfg.WiFi.Store.(*shardstore.Store); ok {
+			v := ss.Stats()
+			sh = &v
+		}
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return Stats{Accepted: s.accepted, Rejected: s.rejected, History: len(s.history), Stages: stages}
+	return Stats{
+		Accepted: s.accepted, Rejected: s.rejected, History: len(s.history),
+		Stages: stages, Persistence: ps, Shards: sh,
+	}
 }
 
 // observeStage charges the elapsed time since start to stage i.
@@ -286,7 +370,10 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 	return v, nil
 }
 
-// record updates counters and, on acceptance, the provider history.
+// record updates counters and, on acceptance, the provider history. The
+// WAL enqueue happens under the same lock as the state change, so frame
+// order always matches ingestion order — the invariant that makes recovery
+// bit-identical.
 func (s *Service) record(u *wifi.Upload, v Verdict) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -299,9 +386,15 @@ func (s *Service) record(u *wifi.Upload, v Verdict) {
 		if s.cfg.IngestAccepted && s.cfg.WiFi != nil {
 			s.cfg.WiFi.Store.AddUploads([]*wifi.Upload{u})
 		}
+		if s.cfg.Persist != nil {
+			s.cfg.Persist.enqueueLocked(persistEntry{accepted: true, upload: u})
+		}
 		return
 	}
 	s.rejected++
+	if s.cfg.Persist != nil {
+		s.cfg.Persist.enqueueLocked(persistEntry{accepted: false})
+	}
 }
 
 // Handler returns the HTTP mux of the service.
@@ -310,6 +403,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/trajectory", s.handleUpload)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
@@ -323,6 +420,12 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 	var req UploadRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed JSON: " + err.Error()})
 		return
 	}

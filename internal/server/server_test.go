@@ -388,3 +388,90 @@ func TestRulesCheckRejectsTeleport(t *testing.T) {
 		t.Fatalf("teleport verdict = %+v", v)
 	}
 }
+
+// postJSON posts a raw body to /v1/trajectory and returns code + body.
+func postJSON(t *testing.T, ts *httptest.Server, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/trajectory", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// TestDecodeErrorBodies pins down both the status code and the error body
+// of every decode-stage rejection, so clients can rely on the messages.
+func TestDecodeErrorBodies(t *testing.T) {
+	_, ts, _ := newTestService(t, Config{MaxPoints: 5, RequireScans: true})
+
+	code, body := postJSON(t, ts, `{"points":[{"lat":32,"lon":118,"time":0,"scan":[{"mac":"a","rssi":-50}]}]}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "2 points, got 1") {
+		t.Fatalf("too few points = %d %q", code, body)
+	}
+
+	var b bytes.Buffer
+	b.WriteString(`{"points":[`)
+	for i := 0; i < 6; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"lat":32,"lon":118,"time":%d,"scan":[{"mac":"a","rssi":-50}]}`, i*1000)
+	}
+	b.WriteString(`]}`)
+	code, body = postJSON(t, ts, b.String())
+	if code != http.StatusBadRequest || !strings.Contains(body, "limit 5") {
+		t.Fatalf("over MaxPoints = %d %q", code, body)
+	}
+
+	code, body = postJSON(t, ts,
+		`{"points":[{"lat":91,"lon":118,"time":0},{"lat":32,"lon":118,"time":1000}]}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "invalid coordinate") {
+		t.Fatalf("invalid coordinate = %d %q", code, body)
+	}
+
+	code, body = postJSON(t, ts,
+		`{"points":[{"lat":32,"lon":118,"time":0},{"lat":32,"lon":118,"time":1000}]}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "no WiFi scans") {
+		t.Fatalf("missing scans = %d %q", code, body)
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	_, ts, _ := newTestService(t, Config{})
+	// A single >16 MiB JSON string forces the decoder through the
+	// MaxBytesReader limit before it can finish the token.
+	body := `{"id":"` + strings.Repeat("x", 17<<20) + `"}`
+	code, resp := postJSON(t, ts, body)
+	if code != http.StatusRequestEntityTooLarge || !strings.Contains(resp, "exceeds") {
+		t.Fatalf("oversized body = %d %q", code, resp)
+	}
+}
+
+func TestHealthRejectsNonGET(t *testing.T) {
+	_, ts, _ := newTestService(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/health", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/health = %d", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/health", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /v1/health = %d", resp.StatusCode)
+	}
+}

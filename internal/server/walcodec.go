@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+// WAL frame payload codec for accepted uploads. The wire JSON form cannot
+// be reused here: it roundtrips positions through lat/lon, which perturbs
+// the plane coordinates by ulps and would break bit-identical recovery.
+// This codec stores the already-projected plane floats verbatim
+// (little-endian IEEE-754 bits), so a store rebuilt from the log answers
+// feature queries bit-identically to the store that ingested the upload.
+//
+// Layout (version 1, little endian):
+//
+//	u8 version | u8 mode | u16 len(id) | id |
+//	u32 nPoints | nPoints × { f64 X | f64 Y | i64 unixNanos } |
+//	nPoints × { u16 nObs | nObs × { u8 len(mac) | mac | i16 rssi } }
+
+const uploadCodecVersion = 1
+
+// appendUpload encodes u onto buf and returns the extended slice.
+func appendUpload(buf []byte, u *wifi.Upload) ([]byte, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if len(u.Traj.ID) > math.MaxUint16 {
+		return nil, fmt.Errorf("server: upload id of %d bytes too long to persist", len(u.Traj.ID))
+	}
+	buf = append(buf, uploadCodecVersion, byte(u.Traj.Mode))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(u.Traj.ID)))
+	buf = append(buf, u.Traj.ID...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(u.Traj.Len()))
+	for _, pt := range u.Traj.Points {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.Pos.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.Pos.Y))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(pt.Time.UnixNano()))
+	}
+	for _, scan := range u.Scans {
+		if len(scan) > math.MaxUint16 {
+			return nil, fmt.Errorf("server: scan of %d observations too large to persist", len(scan))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(scan)))
+		for _, obs := range scan {
+			if len(obs.MAC) > math.MaxUint8 {
+				return nil, fmt.Errorf("server: MAC %q too long to persist", obs.MAC)
+			}
+			buf = append(buf, byte(len(obs.MAC)))
+			buf = append(buf, obs.MAC...)
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(obs.RSSI)))
+		}
+	}
+	return buf, nil
+}
+
+// frameReader is a bounds-checked cursor over one frame payload.
+type frameReader struct {
+	data []byte
+	off  int
+}
+
+func (r *frameReader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.data) {
+		return nil, fmt.Errorf("server: truncated upload frame at byte %d", r.off)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *frameReader) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *frameReader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *frameReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *frameReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// decodeUpload parses one frame payload back into an upload.
+func decodeUpload(data []byte) (*wifi.Upload, error) {
+	r := &frameReader{data: data}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != uploadCodecVersion {
+		return nil, fmt.Errorf("server: unknown upload frame version %d", ver)
+	}
+	mode, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	idLen, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	id, err := r.take(int(idLen))
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n)*24 > int64(len(data)) {
+		return nil, fmt.Errorf("server: upload frame claims %d points in %d bytes", n, len(data))
+	}
+	t := &trajectory.T{
+		ID:     string(id),
+		Mode:   trajectory.Mode(mode),
+		Points: make([]trajectory.Point, n),
+	}
+	for i := range t.Points {
+		xb, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		yb, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		ns, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		t.Points[i].Pos.X = math.Float64frombits(xb)
+		t.Points[i].Pos.Y = math.Float64frombits(yb)
+		t.Points[i].Time = time.Unix(0, int64(ns)).UTC()
+	}
+	scans := make([]wifi.Scan, n)
+	for i := range scans {
+		nObs, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		scan := make(wifi.Scan, 0, nObs)
+		for j := 0; j < int(nObs); j++ {
+			macLen, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			mac, err := r.take(int(macLen))
+			if err != nil {
+				return nil, err
+			}
+			rssi, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			scan = append(scan, wifi.Observation{MAC: string(mac), RSSI: int(int16(rssi))})
+		}
+		scans[i] = scan
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("server: %d trailing bytes in upload frame", len(data)-r.off)
+	}
+	return &wifi.Upload{Traj: t, Scans: scans}, nil
+}

@@ -1,0 +1,338 @@
+// Package shardstore geo-shards the provider's crowdsourced RSSI history.
+//
+// The global rssimap.Store serializes every Add behind one write lock and
+// every query behind one read lock — fine for a lab, a bottleneck for a
+// provider ingesting uploads from a whole city. This package partitions the
+// plane into square tiles and keeps one independent rssimap.Store per tile,
+// so ingestion and verification in different districts never contend: each
+// shard has its own RWMutex, grid, and θ2 cache.
+//
+// Correctness across tile boundaries is preserved by halo replication.
+// Every record is owned by the tile containing it and replicated into any
+// neighboring tile whose region lies within the halo margin
+//
+//	margin = MaxQueryRadius + Store.R
+//
+// of the record. With that margin, the single shard owning a query position
+// contains every record any Eq. 5/7 reference query (radius ≤
+// MaxQueryRadius) can reach, *and* the complete Eq. 4 counting area (radius
+// Store.R) of every record those queries use as a reference — so a query
+// against the owning shard returns results bit-identical to the global
+// store, float accumulation order included (the per-shard grid uses the
+// same absolute cells and preserves global insertion order). TileSize ≥
+// 2·margin bounds replication: a record lands in at most the 4 tiles of one
+// corner block, so Add touches at most 4 shards and queries exactly 1.
+package shardstore
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/parallel"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/wifi"
+)
+
+// Config sizes the sharding.
+type Config struct {
+	// Store configures each per-tile rssimap.Store (counting radius R,
+	// density base).
+	Store rssimap.Config
+	// TileSize is the shard tile side in metres. It must be at least
+	// 2·(MaxQueryRadius + Store.R) so halo replication stays within one
+	// corner block (≤ 4 shards per record).
+	TileSize float64
+	// MaxQueryRadius is the largest reference radius r the store guarantees
+	// exact answers for. Queries beyond it silently degrade to the owning
+	// shard's view (references in unreplicated tiles are missed).
+	MaxQueryRadius float64
+}
+
+// DefaultConfig shards with the paper's calibrated store parameters, exact
+// answers up to r = 5 m (double the paper's 2.5 m reference radius), and
+// 25 m tiles.
+func DefaultConfig() Config {
+	return Config{Store: rssimap.DefaultConfig(), TileSize: 25, MaxQueryRadius: 5}
+}
+
+// Store is a geo-sharded crowdsourced RSSI history. It implements
+// rssimap.Backend, so detectors and the verification server use it
+// interchangeably with the global store.
+type Store struct {
+	cfg    Config
+	margin float64
+
+	// mu guards the shard map and the canonical record log; the expensive
+	// per-shard work (grid insertion, θ2 maintenance, queries) runs under
+	// each shard's own lock, so ingestion in distant tiles proceeds in
+	// parallel.
+	mu     sync.RWMutex
+	shards map[[2]int]*rssimap.Store
+	log    []rssimap.Record
+}
+
+var _ rssimap.Backend = (*Store)(nil)
+
+// New builds a sharded store over the given records.
+func New(cfg Config, records []rssimap.Record) (*Store, error) {
+	if cfg.TileSize <= 0 {
+		return nil, fmt.Errorf("shardstore: tile size %g must be positive", cfg.TileSize)
+	}
+	if cfg.MaxQueryRadius <= 0 {
+		return nil, fmt.Errorf("shardstore: max query radius %g must be positive", cfg.MaxQueryRadius)
+	}
+	margin := cfg.MaxQueryRadius + cfg.Store.R
+	if cfg.TileSize < 2*margin {
+		return nil, fmt.Errorf("shardstore: tile size %g must be >= 2*(MaxQueryRadius+R) = %g", cfg.TileSize, 2*margin)
+	}
+	// Validate the per-shard config eagerly, not on first Add.
+	if _, err := rssimap.NewStore(cfg.Store, nil); err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, margin: margin, shards: make(map[[2]int]*rssimap.Store)}
+	s.Add(records)
+	return s, nil
+}
+
+// Config returns the sharding configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+func (s *Store) tileOf(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / s.cfg.TileSize)), int(math.Floor(p.Y / s.cfg.TileSize))}
+}
+
+// tileDist returns the distance from p to the (closed) region of tile t.
+func (s *Store) tileDist(p geo.Point, t [2]int) float64 {
+	x0 := float64(t[0]) * s.cfg.TileSize
+	y0 := float64(t[1]) * s.cfg.TileSize
+	dx := math.Max(0, math.Max(x0-p.X, p.X-(x0+s.cfg.TileSize)))
+	dy := math.Max(0, math.Max(y0-p.Y, p.Y-(y0+s.cfg.TileSize)))
+	return math.Hypot(dx, dy)
+}
+
+// tilesFor appends the owner tile of p plus every neighboring tile within
+// the halo margin — at most a 2×2 corner block given TileSize ≥ 2·margin.
+func (s *Store) tilesFor(p geo.Point, out [][2]int) [][2]int {
+	out = out[:0]
+	owner := s.tileOf(p)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			t := [2]int{owner[0] + dx, owner[1] + dy}
+			if t == owner || s.tileDist(p, t) <= s.margin {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// Add ingests crowdsourced records: each is journaled, then appended to its
+// owner shard and halo-replicated to boundary neighbors. Shards are created
+// lazily; per-shard insertion preserves the global arrival order.
+func (s *Store) Add(records []rssimap.Record) {
+	if len(records) == 0 {
+		return
+	}
+	// Group into per-shard batches first (order-preserving), so each shard
+	// takes its write lock once per Add instead of once per record.
+	batches := make(map[[2]int][]rssimap.Record)
+	var tiles [][2]int
+	for _, rec := range records {
+		tiles = s.tilesFor(rec.Pos, tiles)
+		for _, t := range tiles {
+			batches[t] = append(batches[t], rec)
+		}
+	}
+
+	s.mu.Lock()
+	for _, rec := range records {
+		s.log = append(s.log, cloneRecord(rec))
+	}
+	targets := make([]*rssimap.Store, 0, len(batches))
+	order := make([][2]int, 0, len(batches))
+	for t := range batches {
+		sh, ok := s.shards[t]
+		if !ok {
+			// cfg.Store was validated in New; an empty store cannot fail.
+			sh, _ = rssimap.NewStore(s.cfg.Store, nil)
+			s.shards[t] = sh
+		}
+		targets = append(targets, sh)
+		order = append(order, t)
+	}
+	s.mu.Unlock()
+
+	// The expensive part — grid insertion and incremental θ2 maintenance —
+	// runs outside the top-level lock, under each shard's own write lock.
+	for i, sh := range targets {
+		sh.Add(batches[order[i]])
+	}
+}
+
+// AddUploads ingests every point of the given uploads that carries a scan.
+func (s *Store) AddUploads(uploads []*wifi.Upload) {
+	s.Add(rssimap.UploadRecords(uploads))
+}
+
+func cloneRecord(rec rssimap.Record) rssimap.Record {
+	m := make(map[string]int, len(rec.RSSI))
+	for mac, v := range rec.RSSI {
+		m[mac] = v
+	}
+	return rssimap.Record{Pos: rec.Pos, RSSI: m}
+}
+
+// Len returns the number of canonical (un-replicated) records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// Records returns every canonical record in insertion order (fresh copies).
+func (s *Store) Records() []rssimap.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rssimap.Record, len(s.log))
+	for i, rec := range s.log {
+		out[i] = cloneRecord(rec)
+	}
+	return out
+}
+
+// shardAt returns the shard owning position p, or nil when no record has
+// ever landed within the halo margin of p's tile (in which case no query of
+// radius ≤ MaxQueryRadius around p can have references either).
+func (s *Store) shardAt(p geo.Point) *rssimap.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards[s.tileOf(p)]
+}
+
+// ConfidenceTol evaluates Eq. 7 against the shard owning o. Exact for
+// r ≤ MaxQueryRadius.
+func (s *Store) ConfidenceTol(o geo.Point, mac string, rssi int, r float64, tol rssimap.Tolerance) (phi float64, num int) {
+	sh := s.shardAt(o)
+	if sh == nil {
+		return 0, 0
+	}
+	return sh.ConfidenceTol(o, mac, rssi, r, tol)
+}
+
+// Confidence evaluates Eq. 7 with exact RPD matching.
+func (s *Store) Confidence(o geo.Point, mac string, rssi int, r float64) (phi float64, num int) {
+	return s.ConfidenceTol(o, mac, rssi, r, 0)
+}
+
+// PointConfidences verifies the TopK strongest observations of one scan
+// against the shard owning o.
+func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
+	sh := s.shardAt(o)
+	if sh == nil {
+		return emptyConfidences(nil, scan, cfg)
+	}
+	return sh.PointConfidences(o, scan, cfg)
+}
+
+// emptyConfidences mirrors the global store's zero-reference answer: one
+// zero-valued entry per reported TopK AP.
+func emptyConfidences(dst []rssimap.PointConfidence, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
+	top := scan.TopK(cfg.TopK)
+	dst = dst[:0]
+	for _, obs := range top {
+		dst = append(dst, rssimap.PointConfidence{MAC: obs.MAC})
+	}
+	return dst
+}
+
+// checkFeatureRadius rejects feature configs the sharding cannot answer
+// exactly.
+func (s *Store) checkFeatureRadius(cfg rssimap.FeatureConfig) error {
+	if cfg.R > s.cfg.MaxQueryRadius {
+		return fmt.Errorf("shardstore: feature radius %g exceeds MaxQueryRadius %g", cfg.R, s.cfg.MaxQueryRadius)
+	}
+	return nil
+}
+
+// Features computes the Eq. 8 feature vector of an upload, routing each
+// point to the shard owning it. Results are bit-identical to the global
+// store's.
+func (s *Store) Features(u *wifi.Upload, cfg rssimap.FeatureConfig) ([]float64, error) {
+	if err := s.checkFeatureRadius(cfg); err != nil {
+		return nil, err
+	}
+	var buf []rssimap.PointConfidence
+	return rssimap.FeaturesFrom(u, cfg, func(_ int, pos geo.Point, scan wifi.Scan) []rssimap.PointConfidence {
+		sh := s.shardAt(pos)
+		if sh == nil {
+			buf = emptyConfidences(buf, scan, cfg)
+			return buf
+		}
+		buf = sh.PointConfidencesInto(buf, pos, scan, cfg)
+		return buf
+	})
+}
+
+// FeaturesBatch extracts the feature vectors of many uploads across the
+// worker pool; chunks land on whichever shards their points touch, so
+// concurrent verification only contends when trajectories share a tile.
+// Results are ordered by upload index and bit-identical to Features run
+// serially.
+func (s *Store) FeaturesBatch(uploads []*wifi.Upload, cfg rssimap.FeatureConfig) ([][]float64, error) {
+	for i, u := range uploads {
+		if err := u.Validate(); err != nil {
+			return nil, fmt.Errorf("upload %d: rssimap: %w", i, err)
+		}
+	}
+	if err := s.checkFeatureRadius(cfg); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(uploads))
+	var firstErr error
+	var errOnce sync.Once
+	parallel.ForEachChunk(len(uploads), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			feat, err := s.Features(uploads[i], cfg)
+			if err != nil {
+				errOnce.Do(func() { firstErr = fmt.Errorf("upload %d: %w", i, err) })
+				return
+			}
+			out[i] = feat
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Stats summarises shard occupancy.
+type Stats struct {
+	// Shards is the number of materialised tiles.
+	Shards int `json:"shards"`
+	// Records is the canonical record count.
+	Records int `json:"records"`
+	// StoredRecords counts per-shard copies, halo replicas included.
+	StoredRecords int `json:"stored_records"`
+	// MaxShardRecords is the most loaded shard's record count.
+	MaxShardRecords int `json:"max_shard_records"`
+	// TileSize echoes the configured tile side, metres.
+	TileSize float64 `json:"tile_size"`
+}
+
+// Stats returns a snapshot of shard occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Shards: len(s.shards), Records: len(s.log), TileSize: s.cfg.TileSize}
+	for _, sh := range s.shards {
+		n := sh.Len()
+		st.StoredRecords += n
+		if n > st.MaxShardRecords {
+			st.MaxShardRecords = n
+		}
+	}
+	return st
+}

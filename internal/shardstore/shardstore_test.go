@@ -1,0 +1,303 @@
+package shardstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+// randRecords builds crowdsourced records spread over a width×height area,
+// dense enough that reference queries and counting areas are non-trivial.
+func randRecords(rng *rand.Rand, n int, width, height float64) []rssimap.Record {
+	macs := make([]string, 40)
+	for i := range macs {
+		macs[i] = fmt.Sprintf("02:4e:00:00:00:%02x", i)
+	}
+	recs := make([]rssimap.Record, n)
+	for i := range recs {
+		m := make(map[string]int)
+		for j := 0; j < 3+rng.Intn(5); j++ {
+			m[macs[rng.Intn(len(macs))]] = -40 - rng.Intn(50)
+		}
+		recs[i] = rssimap.Record{
+			Pos:  geo.Point{X: rng.Float64() * width, Y: rng.Float64() * height},
+			RSSI: m,
+		}
+	}
+	return recs
+}
+
+// randUpload builds an upload whose trajectory wanders across tile
+// boundaries, every point carrying a scan.
+func randUpload(rng *rand.Rand, n int, width, height float64) *wifi.Upload {
+	pos := make([]geo.Point, n)
+	p := geo.Point{X: rng.Float64() * width, Y: rng.Float64() * height}
+	for i := range pos {
+		p.X = math.Abs(math.Mod(p.X+rng.NormFloat64()*4, width))
+		p.Y = math.Abs(math.Mod(p.Y+rng.NormFloat64()*4, height))
+		pos[i] = p
+	}
+	traj := trajectory.New(pos, time.Date(2022, 7, 1, 8, 0, 0, 0, time.UTC), time.Second)
+	scans := make([]wifi.Scan, n)
+	for i := range scans {
+		for j := 0; j < 4; j++ {
+			scans[i] = append(scans[i], wifi.Observation{
+				MAC:  fmt.Sprintf("02:4e:00:00:00:%02x", rng.Intn(40)),
+				RSSI: -40 - rng.Intn(50),
+			})
+		}
+	}
+	return &wifi.Upload{Traj: traj, Scans: scans}
+}
+
+func newPair(t *testing.T, recs []rssimap.Record) (*rssimap.Store, *Store) {
+	t.Helper()
+	global, err := rssimap.NewStore(rssimap.DefaultConfig(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := New(DefaultConfig(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return global, sharded
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TileSize = 10 // < 2*(5+3)
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("undersized tile must be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxQueryRadius = 0
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("zero query radius must be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.Store.R = -1
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("invalid per-shard store config must be rejected")
+	}
+}
+
+func TestConfidenceMatchesGlobalStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const width, height = 120, 90
+	global, sharded := newPair(t, randRecords(rng, 1500, width, height))
+
+	for trial := 0; trial < 500; trial++ {
+		o := geo.Point{X: rng.Float64() * width, Y: rng.Float64() * height}
+		mac := fmt.Sprintf("02:4e:00:00:00:%02x", rng.Intn(40))
+		rssi := -40 - rng.Intn(50)
+		r := 0.5 + rng.Float64()*4.5 // up to MaxQueryRadius
+		tol := rssimap.Tolerance(rng.Intn(3))
+		gPhi, gNum := global.ConfidenceTol(o, mac, rssi, r, tol)
+		sPhi, sNum := sharded.ConfidenceTol(o, mac, rssi, r, tol)
+		if gNum != sNum || math.Float64bits(gPhi) != math.Float64bits(sPhi) {
+			t.Fatalf("trial %d at %v r=%g: global (%v, %d) != sharded (%v, %d)",
+				trial, o, r, gPhi, gNum, sPhi, sNum)
+		}
+	}
+}
+
+func TestFeaturesBitIdenticalToGlobalStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const width, height = 120, 90
+	global, sharded := newPair(t, randRecords(rng, 1500, width, height))
+
+	cfg := rssimap.DefaultFeatureConfig()
+	uploads := make([]*wifi.Upload, 12)
+	for i := range uploads {
+		uploads[i] = randUpload(rng, 25, width, height)
+	}
+	for i, u := range uploads {
+		g, err := global.Features(u, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sharded.Features(u, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameVector(t, fmt.Sprintf("upload %d", i), g, s)
+	}
+	// The batch path must agree with the serial path on both backends.
+	gb, err := global.FeaturesBatch(uploads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sharded.FeaturesBatch(uploads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range uploads {
+		assertSameVector(t, fmt.Sprintf("batch upload %d", i), gb[i], sb[i])
+	}
+}
+
+func assertSameVector(t *testing.T, label string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: dim %d != %d", label, len(a), len(b))
+	}
+	for j := range a {
+		if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+			t.Fatalf("%s feature %d: %v != %v", label, j, a[j], b[j])
+		}
+	}
+}
+
+func TestIncrementalAddMatchesGlobalStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const width, height = 100, 80
+	initial := randRecords(rng, 600, width, height)
+	global, sharded := newPair(t, initial)
+
+	cfg := rssimap.DefaultFeatureConfig()
+	u := randUpload(rng, 20, width, height)
+	for round := 0; round < 3; round++ {
+		more := randRecords(rng, 200, width, height)
+		global.Add(more)
+		sharded.Add(more)
+		g, err := global.Features(u, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sharded.Features(u, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameVector(t, fmt.Sprintf("round %d", round), g, s)
+	}
+	if global.Len() != sharded.Len() {
+		t.Fatalf("len %d != %d", global.Len(), sharded.Len())
+	}
+}
+
+func TestRecordsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	recs := randRecords(rng, 300, 60, 60)
+	sharded, err := New(DefaultConfig(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sharded.Records()
+	if len(got) != len(recs) {
+		t.Fatalf("records %d != %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Pos != recs[i].Pos || len(got[i].RSSI) != len(recs[i].RSSI) {
+			t.Fatalf("record %d mismatch", i)
+		}
+		for mac, v := range recs[i].RSSI {
+			if got[i].RSSI[mac] != v {
+				t.Fatalf("record %d mac %s = %d, want %d", i, mac, got[i].RSSI[mac], v)
+			}
+		}
+	}
+	// Rebuilding a fresh sharded store from Records must answer identically.
+	rebuilt, err := New(DefaultConfig(), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := randUpload(rng, 15, 60, 60)
+	a, err := sharded.Features(u, rssimap.DefaultFeatureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rebuilt.Features(u, rssimap.DefaultFeatureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVector(t, "rebuilt", a, b)
+}
+
+func TestFeatureRadiusBoundEnforced(t *testing.T) {
+	sharded, err := New(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rssimap.DefaultFeatureConfig()
+	cfg.R = 50 // way past MaxQueryRadius
+	rng := rand.New(rand.NewSource(19))
+	if _, err := sharded.Features(randUpload(rng, 5, 50, 50), cfg); err == nil {
+		t.Fatal("feature radius beyond MaxQueryRadius must error")
+	}
+	if _, err := sharded.FeaturesBatch([]*wifi.Upload{randUpload(rng, 5, 50, 50)}, cfg); err == nil {
+		t.Fatal("batch feature radius beyond MaxQueryRadius must error")
+	}
+}
+
+func TestEmptyAreaMatchesGlobalStore(t *testing.T) {
+	// A query far from every record must agree with the global store's
+	// zero-reference answer on both the confidence and feature paths.
+	rng := rand.New(rand.NewSource(23))
+	recs := randRecords(rng, 100, 30, 30)
+	global, sharded := newPair(t, recs)
+	far := geo.Point{X: 5000, Y: 5000}
+	gPhi, gNum := global.ConfidenceTol(far, "02:4e:00:00:00:01", -60, 2.5, 1)
+	sPhi, sNum := sharded.ConfidenceTol(far, "02:4e:00:00:00:01", -60, 2.5, 1)
+	if gPhi != sPhi || gNum != sNum {
+		t.Fatalf("far query: global (%v, %d) != sharded (%v, %d)", gPhi, gNum, sPhi, sNum)
+	}
+	scan := wifi.Scan{{MAC: "02:4e:00:00:00:01", RSSI: -60}}
+	g := global.PointConfidences(far, scan, rssimap.DefaultFeatureConfig())
+	s := sharded.PointConfidences(far, scan, rssimap.DefaultFeatureConfig())
+	if len(g) != len(s) || len(s) != 1 || s[0] != g[0] {
+		t.Fatalf("far confidences: %+v != %+v", g, s)
+	}
+}
+
+// TestConcurrentAddAndQuery exercises cross-shard ingestion racing against
+// batch feature extraction; run under -race it is the subsystem's memory-
+// safety proof.
+func TestConcurrentAddAndQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const width, height = 150, 150
+	sharded, err := New(DefaultConfig(), randRecords(rng, 400, width, height))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]*wifi.Upload, 8)
+	for i := range uploads {
+		uploads[i] = randUpload(rng, 20, width, height)
+	}
+	batches := make([][]rssimap.Record, 8)
+	for i := range batches {
+		batches[i] = randRecords(rng, 100, width, height)
+	}
+	cfg := rssimap.DefaultFeatureConfig()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sharded.Add(batches[i])
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sharded.FeaturesBatch(uploads, cfg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := sharded.Len(), 400+8*100; got != want {
+		t.Fatalf("len after concurrent adds = %d, want %d", got, want)
+	}
+	st := sharded.Stats()
+	if st.Shards == 0 || st.Records != sharded.Len() || st.StoredRecords < st.Records {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,84 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout:
+//
+//	magic[8] (last byte 'S') | generation uint64 | length uint64 | crc uint32 | payload
+//
+// Snapshots are written to a temporary file, fsynced, and renamed into
+// place, so a reader only ever sees the previous complete snapshot or the
+// new complete snapshot — never a torn one.
+
+var snapMagic = [8]byte{'T', 'F', 'S', 'N', 'A', 'P', 1, 0}
+
+const snapHeaderSize = 8 + 8 + 8 + 4
+
+// ErrNoSnapshot reports that no snapshot file exists yet.
+var ErrNoSnapshot = errors.New("wal: no snapshot")
+
+// WriteSnapshot atomically replaces the snapshot at path with the given
+// generation and payload.
+func WriteSnapshot(path string, gen uint64, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	var hdr [snapHeaderSize]byte
+	copy(hdr[:8], snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], gen)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadSnapshot loads and verifies the snapshot at path. It returns
+// ErrNoSnapshot when the file does not exist.
+func ReadSnapshot(path string) (gen uint64, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil, ErrNoSnapshot
+		}
+		return 0, nil, fmt.Errorf("wal: read snapshot: %w", err)
+	}
+	if len(data) < snapHeaderSize || [8]byte(data[:8]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: snapshot header in %s", ErrCorrupt, path)
+	}
+	gen = binary.LittleEndian.Uint64(data[8:16])
+	n := binary.LittleEndian.Uint64(data[16:24])
+	if uint64(len(data)-snapHeaderSize) != n {
+		return 0, nil, fmt.Errorf("%w: snapshot length in %s", ErrCorrupt, path)
+	}
+	payload = data[snapHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[24:28]) {
+		return 0, nil, fmt.Errorf("%w: snapshot crc in %s", ErrCorrupt, path)
+	}
+	return gen, payload, nil
+}

@@ -1,0 +1,396 @@
+// Package wal implements the durability layer of the provider: an
+// append-only write-ahead log of length-prefixed, CRC-protected binary
+// frames, plus atomically-replaced snapshot files. Together they make the
+// crowdsourced RSSI history and the accept/reject ledger survive restarts
+// and crashes: every accepted upload is framed into the log before it is
+// acknowledged durable, and a snapshot of the full store state periodically
+// compacts the log back to empty.
+//
+// Layout of a log file:
+//
+//	header  = magic[8] | generation uint64          (16 bytes, little endian)
+//	frame   = length uint32 | crc uint32 | type byte | payload[length-1]
+//
+// length counts the type byte plus the payload; crc is IEEE CRC-32 over the
+// same bytes. On Open the log is scanned frame by frame and truncated at
+// the first torn or corrupt frame (a crash mid-write leaves at most one),
+// so an Append after recovery always lands on a clean tail.
+//
+// Generations order the log against snapshots: Reset — called after a
+// snapshot commits — atomically replaces the log with an empty one carrying
+// the snapshot's generation. A snapshot with a newer generation than the
+// log supersedes the log entirely (the crash window between snapshot rename
+// and log reset); equal generations mean the log holds the frames appended
+// since that snapshot.
+//
+// Appends are group-committed: writes go to the OS immediately, but fsync
+// is batched on SyncInterval so a burst of uploads shares one disk flush.
+// SyncInterval of zero syncs on every Append — the setting crash tests use.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+var magic = [8]byte{'T', 'F', 'W', 'A', 'L', 0, 1, 0}
+
+const (
+	headerSize      = 16
+	frameOverhead   = 8 // length + crc
+	maxFramePayload = 64 << 20
+)
+
+// ErrCorrupt reports a snapshot or log whose contents fail integrity
+// checks beyond what torn-tail truncation can repair.
+var ErrCorrupt = errors.New("wal: corrupt")
+
+// Options configures a log.
+type Options struct {
+	// SyncInterval batches fsync: appends return after the OS write, and a
+	// background flusher syncs at most once per interval. Zero syncs every
+	// Append before it returns (slow, fully durable).
+	SyncInterval time.Duration
+}
+
+// Log is an append-only frame log backed by one file.
+type Log struct {
+	path string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	gen    uint64
+	frames uint64
+	bytes  int64
+	dirty  bool
+	closed bool
+
+	flushDone chan struct{}
+	flushStop chan struct{}
+}
+
+// Open opens (or creates) the log at path, recovering a torn tail: the file
+// is scanned frame by frame and truncated at the first incomplete or
+// CRC-failing frame.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{path: path, opts: opts, f: f}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.SyncInterval > 0 {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// recover validates the header and scans frames, truncating at the first
+// torn or corrupt one.
+func (l *Log) recover() error {
+	info, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: stat: %w", err)
+	}
+	if info.Size() < headerSize {
+		// Empty or torn header: start a fresh generation-1 log.
+		return l.writeHeader(1)
+	}
+	var hdr [headerSize]byte
+	if _, err := l.f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("wal: read header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return fmt.Errorf("%w: bad magic in %s", ErrCorrupt, l.path)
+	}
+	l.gen = binary.LittleEndian.Uint64(hdr[8:])
+
+	// Scan frames to find the last clean offset.
+	offset := int64(headerSize)
+	size := info.Size()
+	var fh [frameOverhead]byte
+	buf := make([]byte, 4096)
+	for {
+		if size-offset < frameOverhead {
+			break
+		}
+		if _, err := l.f.ReadAt(fh[:], offset); err != nil {
+			return fmt.Errorf("wal: scan at %d: %w", offset, err)
+		}
+		n := binary.LittleEndian.Uint32(fh[:4])
+		if n == 0 || n > maxFramePayload || size-offset-frameOverhead < int64(n) {
+			break // torn tail
+		}
+		if int(n) > len(buf) {
+			buf = make([]byte, n)
+		}
+		body := buf[:n]
+		if _, err := l.f.ReadAt(body, offset+frameOverhead); err != nil {
+			return fmt.Errorf("wal: scan body at %d: %w", offset, err)
+		}
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(fh[4:]) {
+			break // corrupt tail
+		}
+		offset += frameOverhead + int64(n)
+		l.frames++
+	}
+	if offset < size {
+		if err := l.f.Truncate(offset); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync after truncate: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	l.bytes = offset
+	return nil
+}
+
+// writeHeader initialises the file with the given generation.
+func (l *Log) writeHeader(gen uint64) error {
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync header: %w", err)
+	}
+	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	l.gen = gen
+	l.frames = 0
+	l.bytes = headerSize
+	return nil
+}
+
+// Generation returns the log's generation number.
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// Stats returns the frame count and byte size of the log (header included).
+func (l *Log) Stats() (frames uint64, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frames, l.bytes
+}
+
+// Append writes one frame. The frame is handed to the OS before Append
+// returns; durability against power loss follows the SyncInterval batching
+// policy (interval 0 syncs inline).
+func (l *Log) Append(typ byte, payload []byte) error {
+	if len(payload)+1 > maxFramePayload {
+		return fmt.Errorf("wal: frame payload %d exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: append to closed log")
+	}
+	var fh [frameOverhead + 1]byte
+	n := uint32(len(payload) + 1)
+	binary.LittleEndian.PutUint32(fh[:4], n)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(fh[4:8], crc.Sum32())
+	fh[8] = typ
+	if _, err := l.f.Write(fh[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: append payload: %w", err)
+	}
+	l.frames++
+	l.bytes += frameOverhead + int64(n)
+	if l.opts.SyncInterval == 0 {
+		return l.f.Sync()
+	}
+	l.dirty = true
+	return nil
+}
+
+// Sync forces an fsync of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed {
+		return nil
+	}
+	l.dirty = false
+	return l.f.Sync()
+}
+
+// flushLoop is the group-commit goroutine: it fsyncs at most once per
+// SyncInterval while appends keep the log dirty.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.closed {
+				l.dirty = false
+				l.f.Sync()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Replay invokes fn for every clean frame in order. It reads through a
+// separate descriptor, so it is safe on an open log, but callers should
+// replay before appending (the intended recovery sequence).
+func (l *Log) Replay(fn func(typ byte, payload []byte) error) error {
+	l.mu.Lock()
+	limit := l.bytes
+	l.mu.Unlock()
+	f, err := os.Open(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	offset := int64(headerSize)
+	var fh [frameOverhead]byte
+	buf := make([]byte, 4096)
+	for offset < limit {
+		if _, err := f.ReadAt(fh[:], offset); err != nil {
+			return fmt.Errorf("wal: replay at %d: %w", offset, err)
+		}
+		n := binary.LittleEndian.Uint32(fh[:4])
+		if n == 0 || int64(n) > limit-offset-frameOverhead {
+			return fmt.Errorf("%w: frame at %d inside validated region", ErrCorrupt, offset)
+		}
+		if int(n) > len(buf) {
+			buf = make([]byte, n)
+		}
+		body := buf[:n]
+		if _, err := f.ReadAt(body, offset+frameOverhead); err != nil {
+			return fmt.Errorf("wal: replay body at %d: %w", offset, err)
+		}
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(fh[4:]) {
+			return fmt.Errorf("%w: crc mismatch at %d", ErrCorrupt, offset)
+		}
+		if err := fn(body[0], body[1:]); err != nil {
+			return err
+		}
+		offset += frameOverhead + int64(n)
+	}
+	return nil
+}
+
+// Reset atomically replaces the log with an empty one of the given
+// generation — the compaction step after a snapshot with that generation
+// has committed. A crash at any point leaves either the old log (the
+// snapshot's newer generation supersedes it) or the new empty log.
+func (l *Log) Reset(gen uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: reset of closed log")
+	}
+	tmp := l.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	if _, err := nf.Write(hdr[:]); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: reset header: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: reset sync: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: reset rename: %w", err)
+	}
+	if err := syncDir(filepath.Dir(l.path)); err != nil {
+		nf.Close()
+		return err
+	}
+	old := l.f
+	l.f = nf
+	old.Close()
+	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset seek: %w", err)
+	}
+	l.gen = gen
+	l.frames = 0
+	l.bytes = headerSize
+	l.dirty = false
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.flushStop != nil {
+		close(l.flushStop)
+	}
+	l.mu.Unlock()
+	if l.flushDone != nil {
+		<-l.flushDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.f.Sync()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

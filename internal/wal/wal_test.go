@@ -1,0 +1,273 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, path string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func collect(t *testing.T, l *Log) (types []byte, payloads [][]byte) {
+	t.Helper()
+	err := l.Replay(func(typ byte, payload []byte) error {
+		types = append(types, typ)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return types, payloads
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{})
+	want := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAB}, 10_000)}
+	for i, p := range want {
+		if err := l.Append(byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, path, Options{})
+	if l2.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", l2.Generation())
+	}
+	types, payloads := collect(t, l2)
+	if len(payloads) != len(want) {
+		t.Fatalf("replayed %d frames, want %d", len(payloads), len(want))
+	}
+	for i := range want {
+		if types[i] != byte(i+1) || !bytes.Equal(payloads[i], want[i]) {
+			t.Fatalf("frame %d = (%d, %q)", i, types[i], payloads[i])
+		}
+	}
+	frames, size := l2.Stats()
+	if frames != 3 || size <= headerSize {
+		t.Fatalf("stats = (%d, %d)", frames, size)
+	}
+}
+
+func TestTornTailTruncatedOnRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{})
+	for i := 0; i < 5; i++ {
+		if err := l.Append(1, []byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: chop the file mid-way through the last frame.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openT(t, path, Options{})
+	_, payloads := collect(t, l2)
+	if len(payloads) != 4 {
+		t.Fatalf("recovered %d frames, want 4 (torn fifth dropped)", len(payloads))
+	}
+	// The recovered log must accept fresh appends cleanly.
+	if err := l2.Append(2, []byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	_, payloads = collect(t, l2)
+	if len(payloads) != 5 || string(payloads[4]) != "after-recovery" {
+		t.Fatalf("after recovery: %d frames, last %q", len(payloads), payloads[len(payloads)-1])
+	}
+}
+
+func TestCorruptFrameTruncatedOnRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(1, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the last frame's payload: CRC must catch it.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := openT(t, path, Options{})
+	_, payloads := collect(t, l2)
+	if len(payloads) != 2 {
+		t.Fatalf("recovered %d frames, want 2", len(payloads))
+	}
+}
+
+func TestEmptyAndTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	// A fresh path initialises generation 1.
+	l := openT(t, filepath.Join(dir, "fresh.log"), Options{})
+	if l.Generation() != 1 {
+		t.Fatalf("fresh generation = %d", l.Generation())
+	}
+	// A file shorter than the header restarts clean.
+	torn := filepath.Join(dir, "torn.log")
+	if err := os.WriteFile(torn, []byte("TFW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, torn, Options{})
+	if l2.Generation() != 1 {
+		t.Fatalf("torn-header generation = %d", l2.Generation())
+	}
+	// Garbage magic is refused, not silently wiped.
+	bad := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(bad, bytes.Repeat([]byte{7}, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic error = %v", err)
+	}
+}
+
+func TestResetBumpsGenerationAndEmptiesLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{})
+	for i := 0; i < 4; i++ {
+		if err := l.Append(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(2); err != nil {
+		t.Fatal(err)
+	}
+	if g := l.Generation(); g != 2 {
+		t.Fatalf("generation after reset = %d", g)
+	}
+	if frames, _ := l.Stats(); frames != 0 {
+		t.Fatalf("frames after reset = %d", frames)
+	}
+	// The reset log keeps accepting appends, and both survive reopen.
+	if err := l.Append(9, []byte("post-reset")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, path, Options{})
+	if l2.Generation() != 2 {
+		t.Fatalf("reopened generation = %d", l2.Generation())
+	}
+	types, payloads := collect(t, l2)
+	if len(payloads) != 1 || types[0] != 9 || string(payloads[0]) != "post-reset" {
+		t.Fatalf("reopened frames = %v %q", types, payloads)
+	}
+}
+
+func TestBatchedSyncSurvivesCloseAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{SyncInterval: time.Millisecond})
+	for i := 0; i < 100; i++ {
+		if err := l.Append(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, path, Options{})
+	if frames, _ := l2.Stats(); frames != 100 {
+		t.Fatalf("frames = %d, want 100", frames)
+	}
+}
+
+func TestSnapshotRoundtripAndCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.bin")
+	if _, _, err := ReadSnapshot(path); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing snapshot error = %v", err)
+	}
+	payload := bytes.Repeat([]byte("state"), 1000)
+	if err := WriteSnapshot(path, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	gen, got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 7 || !bytes.Equal(got, payload) {
+		t.Fatalf("snapshot roundtrip gen=%d len=%d", gen, len(got))
+	}
+	// Overwrite replaces atomically.
+	if err := WriteSnapshot(path, 8, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	gen, got, err = ReadSnapshot(path)
+	if err != nil || gen != 8 || string(got) != "newer" {
+		t.Fatalf("second snapshot gen=%d payload=%q err=%v", gen, got, err)
+	}
+	// Flip a payload byte: CRC must reject.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot error = %v", err)
+	}
+}
+
+func TestReplayErrorPropagates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("stop")
+	n := 0
+	err := l.Replay(func(byte, []byte) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 2 {
+		t.Fatalf("replay err=%v after %d frames", err, n)
+	}
+}

@@ -74,7 +74,13 @@ func (t *tree) predict(x []float64) float64 {
 		if nd.Feature < 0 {
 			return nd.Weight
 		}
-		v := x[nd.Feature]
+		// A vector shorter than the training dimension (e.g. features of a
+		// shorter trajectory) treats the absent value as missing rather
+		// than panicking.
+		v := math.NaN()
+		if nd.Feature < len(x) {
+			v = x[nd.Feature]
+		}
 		if math.IsNaN(v) {
 			if nd.Default {
 				i = nd.Left
