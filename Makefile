@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-store check
+.PHONY: build test race vet bench bench-hot bench-store check \
+	fuzz-short chaos loadgen bench-loadgen
 
 build:
 	$(GO) build ./...
@@ -32,5 +33,23 @@ bench-hot:
 bench-store:
 	$(GO) test . -run NONE -benchmem \
 		-bench 'ShardedVsGlobal|WAL'
+
+# Short coverage-guided fuzzing of the WAL frame decoder and the
+# trajectory codecs (native go fuzzing; corpora live in testdata/fuzz/).
+fuzz-short:
+	$(GO) test ./internal/wal/ -run NONE -fuzz FuzzFrameDecode -fuzztime 20s
+	$(GO) test ./internal/trajectory/ -run NONE -fuzz FuzzTrajectoryCodec -fuzztime 20s
+
+# Crash-point exploration: replay the upload workload, crash at every
+# filesystem mutation site, recover, and check the durability invariants.
+chaos:
+	$(GO) test ./internal/chaos/ -race -short -v -run TestCrashPointExploration
+
+# Seeded load generator against a self-hosted provider; writes
+# BENCH_loadgen.json with throughput and latency percentiles.
+loadgen:
+	$(GO) run ./cmd/loadgen
+
+bench-loadgen: loadgen
 
 check: build vet test

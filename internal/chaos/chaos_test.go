@@ -1,0 +1,49 @@
+package chaos
+
+import "testing"
+
+// TestCrashPointExploration enumerates every filesystem mutation the
+// durability layer performs for a fixed workload and crashes at each one.
+// The run itself asserts the two recovery invariants; the test asserts the
+// exploration covered a meaningful crash surface.
+func TestCrashPointExploration(t *testing.T) {
+	rep, err := Run(Options{Seed: 1, Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites < 50 {
+		t.Fatalf("explored %d crash points, want >= 50", rep.Sites)
+	}
+	// The crash surface must include both extremes: crashes early enough
+	// that nothing survives, and crashes late enough that the full ledger
+	// was already acknowledged and must survive whole.
+	if rep.EmptyRecoveries == 0 {
+		t.Fatal("no crash point recovered to the empty state")
+	}
+	if rep.FullRecoveries == 0 {
+		t.Fatal("no crash point recovered the full accepted ledger")
+	}
+	if rep.MaxAcked == 0 {
+		t.Fatal("no crash point acknowledged any upload before dying")
+	}
+}
+
+// TestExplorationDeterministic pins the property the explorer depends on:
+// same seed, same fault-site count.
+func TestExplorationDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full exploration pass")
+	}
+	a, err := Run(Options{Seed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Seed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sites != b.Sites || a.MaxAcked != b.MaxAcked ||
+		a.EmptyRecoveries != b.EmptyRecoveries || a.FullRecoveries != b.FullRecoveries {
+		t.Fatalf("exploration not deterministic: %+v != %+v", a, b)
+	}
+}

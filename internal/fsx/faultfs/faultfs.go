@@ -1,0 +1,302 @@
+// Package faultfs wraps an fsx.FS with deterministic fault injection.
+//
+// Every mutating operation — create, write, truncate, sync, rename,
+// remove, mkdir, directory sync — is recorded with a monotonically
+// increasing sequence number, and a configured fault plan can fail exactly
+// the Nth one: with a generic injected error, with ENOSPC, or (for writes)
+// with a torn write that persists a seeded prefix of the buffer before
+// failing — the on-disk state a power cut mid-write leaves behind.
+//
+// With Options.Crash set, the first injected fault drops the filesystem
+// into a crashed state in which every later mutating operation fails with
+// ErrCrashed while reads keep working; the process under test limps along
+// exactly like one whose disk just died, and a recovery harness then
+// reopens the directory with a clean FS to assert what survived. Because
+// the fault site is an operation index and torn-write lengths derive only
+// from (seed, sequence), a crash-point explorer can enumerate every
+// recorded site and replay the workload against each one deterministically.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"trajforge/internal/fsx"
+)
+
+// ErrInjected is the error returned at a planned fault site.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every mutating operation after a crashing
+// fault has fired.
+var ErrCrashed = errors.New("faultfs: filesystem crashed")
+
+// OpKind classifies a mutating operation.
+type OpKind int
+
+const (
+	// OpAny matches every kind in Options.FailKind filters.
+	OpAny OpKind = iota
+	OpCreate
+	OpWrite
+	OpTruncate
+	OpSync
+	OpRename
+	OpRemove
+	OpMkdir
+	OpSyncDir
+)
+
+var opNames = [...]string{"any", "create", "write", "truncate", "sync", "rename", "remove", "mkdir", "syncdir"}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one recorded mutating operation.
+type Op struct {
+	// Seq is the 1-based index among all mutating operations.
+	Seq int
+	// Kind classifies the operation.
+	Kind OpKind
+	// Path is the file or directory operated on.
+	Path string
+	// Bytes is the buffer length for writes, 0 otherwise.
+	Bytes int
+	// Faulted reports whether a fault was injected at this operation.
+	Faulted bool
+}
+
+// Mode selects the flavor of an injected fault.
+type Mode int
+
+const (
+	// FaultError fails the operation with ErrInjected and no side effect.
+	FaultError Mode = iota
+	// FaultENOSPC fails the operation with a wrapped syscall.ENOSPC.
+	FaultENOSPC
+	// FaultTorn persists a seeded strict prefix of the buffer before
+	// failing (writes only; other kinds degrade to FaultError).
+	FaultTorn
+)
+
+// Options is the deterministic fault plan.
+type Options struct {
+	// Seed drives torn-write prefix lengths.
+	Seed int64
+	// FailAt faults the Nth (1-based) mutating operation; 0 disables.
+	FailAt int
+	// FailKind restricts FailAt's counting to one operation kind; OpAny
+	// (the zero value) counts every mutating operation.
+	FailKind OpKind
+	// Mode is the fault flavor.
+	Mode Mode
+	// Crash drops the FS into the crashed state once the fault fires:
+	// every subsequent mutating operation fails with ErrCrashed.
+	Crash bool
+	// Latency is injected before every mutating operation.
+	Latency time.Duration
+}
+
+// FS wraps an inner filesystem with the fault plan.
+type FS struct {
+	inner fsx.FS
+	opts  Options
+
+	mu      sync.Mutex
+	seq     int // mutating ops seen
+	kindSeq int // ops matching opts.FailKind seen
+	ops     []Op
+	crashed bool
+	faulted bool
+}
+
+var _ fsx.FS = (*FS)(nil)
+
+// New wraps inner with the given fault plan.
+func New(inner fsx.FS, opts Options) *FS {
+	return &FS{inner: inner, opts: opts}
+}
+
+// OpCount returns the number of mutating operations recorded so far.
+func (f *FS) OpCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// Ops returns a copy of the recorded mutation log.
+func (f *FS) Ops() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Op(nil), f.ops...)
+}
+
+// Faulted reports whether the planned fault has fired.
+func (f *FS) Faulted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faulted
+}
+
+// Crashed reports whether the FS is in the crashed state.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// beforeMutation records one mutating operation and decides its fate.
+// torn >= 0 means "persist exactly torn bytes of the buffer, then fail".
+func (f *FS) beforeMutation(kind OpKind, path string, nbytes int) (torn int, err error) {
+	if f.opts.Latency > 0 {
+		time.Sleep(f.opts.Latency)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	op := Op{Seq: f.seq, Kind: kind, Path: path, Bytes: nbytes}
+	if f.crashed {
+		op.Faulted = true
+		f.ops = append(f.ops, op)
+		return -1, fmt.Errorf("faultfs: %s %s: %w", kind, path, ErrCrashed)
+	}
+	if f.opts.FailKind == OpAny || f.opts.FailKind == kind {
+		f.kindSeq++
+	}
+	if f.opts.FailAt > 0 && !f.faulted && f.kindSeq == f.opts.FailAt &&
+		(f.opts.FailKind == OpAny || f.opts.FailKind == kind) {
+		f.faulted = true
+		if f.opts.Crash {
+			f.crashed = true
+		}
+		op.Faulted = true
+		f.ops = append(f.ops, op)
+		switch {
+		case f.opts.Mode == FaultTorn && kind == OpWrite && nbytes > 0:
+			// The prefix length depends only on (seed, seq), so a replay
+			// of the same workload tears the same write the same way.
+			rng := rand.New(rand.NewSource(f.opts.Seed ^ int64(f.seq)*0x9e3779b9))
+			return rng.Intn(nbytes), fmt.Errorf("faultfs: torn %s %s: %w", kind, path, ErrInjected)
+		case f.opts.Mode == FaultENOSPC:
+			return -1, fmt.Errorf("faultfs: %s %s: %w", kind, path, syscall.ENOSPC)
+		default:
+			return -1, fmt.Errorf("faultfs: %s %s: %w", kind, path, ErrInjected)
+		}
+	}
+	f.ops = append(f.ops, op)
+	return -1, nil
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (fsx.File, error) {
+	if flag&os.O_CREATE != 0 {
+		if _, err := f.beforeMutation(OpCreate, name, 0); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, path: name, inner: inner}, nil
+}
+
+func (f *FS) Open(name string) (fsx.File, error) {
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, path: name, inner: inner}, nil
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if _, err := f.beforeMutation(OpRename, newpath, 0); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if _, err := f.beforeMutation(OpRemove, name, 0); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := f.beforeMutation(OpMkdir, path, 0); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if _, err := f.beforeMutation(OpSyncDir, dir, 0); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// file wraps an fsx.File, gating mutations through the plan. Reads, seeks,
+// stats, and closes pass through untouched — a crashed disk still serves
+// its page cache, and recovery reopens through a clean FS anyway.
+type file struct {
+	fs    *FS
+	path  string
+	inner fsx.File
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	torn, err := f.fs.beforeMutation(OpWrite, f.path, len(p))
+	if err != nil {
+		if torn > 0 {
+			n, _ := f.inner.Write(p[:torn])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	torn, err := f.fs.beforeMutation(OpWrite, f.path, len(p))
+	if err != nil {
+		if torn > 0 {
+			n, _ := f.inner.WriteAt(p[:torn], off)
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *file) Truncate(size int64) error {
+	if _, err := f.fs.beforeMutation(OpTruncate, f.path, 0); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *file) Sync() error {
+	if _, err := f.fs.beforeMutation(OpSync, f.path, 0); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *file) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+func (f *file) Seek(off int64, whence int) (int64, error) {
+	return f.inner.Seek(off, whence)
+}
+func (f *file) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+func (f *file) Close() error               { return f.inner.Close() }

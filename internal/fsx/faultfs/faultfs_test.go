@@ -1,0 +1,202 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"trajforge/internal/fsx"
+)
+
+// runWorkload performs a fixed mutation sequence against fs under dir:
+// create, 3 writes, sync, truncate, rename, syncdir — 8 mutating ops.
+// It returns the first error encountered.
+func runWorkload(fs fsx.FS, dir string) error {
+	path := filepath.Join(dir, "w.bin")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("0123456789")); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Truncate(25); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(path, filepath.Join(dir, "w2.bin")); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+func TestRecordsMutations(t *testing.T) {
+	fs := New(fsx.OS, Options{})
+	if err := runWorkload(fs, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	ops := fs.Ops()
+	wantKinds := []OpKind{OpCreate, OpWrite, OpWrite, OpWrite, OpSync, OpTruncate, OpRename, OpSyncDir}
+	if len(ops) != len(wantKinds) {
+		t.Fatalf("recorded %d ops, want %d: %+v", len(ops), len(wantKinds), ops)
+	}
+	for i, op := range ops {
+		if op.Kind != wantKinds[i] || op.Seq != i+1 || op.Faulted {
+			t.Fatalf("op %d = %+v, want kind %v seq %d", i, op, wantKinds[i], i+1)
+		}
+	}
+	if ops[1].Bytes != 10 {
+		t.Fatalf("write bytes = %d, want 10", ops[1].Bytes)
+	}
+	if fs.Faulted() || fs.Crashed() {
+		t.Fatal("clean run must not fault")
+	}
+}
+
+func TestFailAtEverySite(t *testing.T) {
+	// Count sites with a clean pass, then verify each one can be failed
+	// and that the workload surfaces the injected error.
+	clean := New(fsx.OS, Options{})
+	if err := runWorkload(clean, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	n := clean.OpCount()
+	for k := 1; k <= n; k++ {
+		fs := New(fsx.OS, Options{FailAt: k})
+		err := runWorkload(fs, t.TempDir())
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("site %d: err = %v, want ErrInjected", k, err)
+		}
+		if !fs.Faulted() {
+			t.Fatalf("site %d: fault did not fire", k)
+		}
+		ops := fs.Ops()
+		if got := ops[len(ops)-1]; got.Seq != k || !got.Faulted {
+			t.Fatalf("site %d: last op %+v", k, got)
+		}
+	}
+}
+
+func TestENOSPCMode(t *testing.T) {
+	fs := New(fsx.OS, Options{FailAt: 2, Mode: FaultENOSPC})
+	err := runWorkload(fs, t.TempDir())
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(fsx.OS, Options{Seed: 7, FailAt: 2, Mode: FaultTorn})
+	err := runWorkload(fs, dir)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	// Op 2 is the first 10-byte write; a strict prefix must be on disk.
+	data, rerr := os.ReadFile(filepath.Join(dir, "w.bin"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(data) >= 10 {
+		t.Fatalf("torn write persisted %d bytes, want < 10", len(data))
+	}
+	for i, b := range data {
+		if b != byte('0'+i) {
+			t.Fatalf("torn content %q is not a prefix", data)
+		}
+	}
+
+	// Same plan, fresh dir: the torn prefix length must be identical.
+	dir2 := t.TempDir()
+	fs2 := New(fsx.OS, Options{Seed: 7, FailAt: 2, Mode: FaultTorn})
+	if err := runWorkload(fs2, dir2); !errors.Is(err, ErrInjected) {
+		t.Fatal(err)
+	}
+	data2, rerr := os.ReadFile(filepath.Join(dir2, "w.bin"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(data2) != string(data) {
+		t.Fatalf("torn prefix not deterministic: %q != %q", data2, data)
+	}
+}
+
+func TestTornFallsBackOnNonWrite(t *testing.T) {
+	// Site 5 is the sync; torn mode must degrade to a plain failure.
+	fs := New(fsx.OS, Options{FailAt: 5, Mode: FaultTorn})
+	if err := runWorkload(fs, t.TempDir()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrashStateStopsAllMutations(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(fsx.OS, Options{FailAt: 3, Crash: true})
+	if err := runWorkload(fs, dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("FS must be crashed")
+	}
+	// Every further mutation fails with ErrCrashed...
+	if err := fs.MkdirAll(filepath.Join(dir, "x"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash mkdir err = %v", err)
+	}
+	if _, err := fs.OpenFile(filepath.Join(dir, "y"), os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create err = %v", err)
+	}
+	// ...but reads still work.
+	if _, err := fs.ReadFile(filepath.Join(dir, "w.bin")); err != nil {
+		t.Fatalf("post-crash read err = %v", err)
+	}
+	f, err := fs.Open(filepath.Join(dir, "w.bin"))
+	if err != nil {
+		t.Fatalf("post-crash open err = %v", err)
+	}
+	f.Close()
+}
+
+func TestFailKindFilter(t *testing.T) {
+	// Fail the first syncdir only; the earlier create/write/sync sites
+	// must pass untouched.
+	fs := New(fsx.OS, Options{FailAt: 1, FailKind: OpSyncDir})
+	err := runWorkload(fs, t.TempDir())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	ops := fs.Ops()
+	last := ops[len(ops)-1]
+	if last.Kind != OpSyncDir || !last.Faulted {
+		t.Fatalf("faulted op = %+v, want syncdir", last)
+	}
+	for _, op := range ops[:len(ops)-1] {
+		if op.Faulted {
+			t.Fatalf("op %+v faulted before the syncdir", op)
+		}
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	fs := New(fsx.OS, Options{Latency: 2 * time.Millisecond})
+	start := time.Now()
+	if err := runWorkload(fs, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	// 8 mutating ops at >= 2ms each.
+	if elapsed := time.Since(start); elapsed < 16*time.Millisecond {
+		t.Fatalf("workload took %v, want >= 16ms of injected latency", elapsed)
+	}
+}

@@ -1,0 +1,89 @@
+// Package fsx is the filesystem seam of the durability layer. Everything
+// the WAL and snapshot code does to disk goes through the FS interface, so
+// tests can substitute a fault-injecting implementation (fsx/faultfs) that
+// fails the Nth write, tears a frame in half, or reports a full disk — the
+// crash states a provider serving millions of uploads will eventually see,
+// reproduced deterministically on a laptop.
+//
+// The interface is deliberately the narrow waist of what the durability
+// code actually uses — open/read/write/truncate/sync on files, rename,
+// read-file, mkdir-all, and directory fsync — not a general VFS.
+package fsx
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the durability layer uses.
+type File interface {
+	io.Writer
+	io.WriterAt
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	// Stat returns file metadata (the WAL only uses the size).
+	Stat() (os.FileInfo, error)
+	// Truncate resizes the file.
+	Truncate(size int64) error
+	// Sync flushes the file contents to stable storage.
+	Sync() error
+}
+
+// FS is the filesystem operations surface of the durability layer.
+type FS interface {
+	// OpenFile opens name with the given flags, creating it when
+	// os.O_CREATE is set.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadFile reads the whole of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates the directory path and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself, making renames and creations
+	// inside it durable against power loss.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

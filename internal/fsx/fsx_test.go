@@ -1,0 +1,82 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSFSRoundtrip exercises every FS method against a real directory, so
+// the seam is known-good before fault-injecting wrappers build on it.
+func TestOSFSRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(sub, "data.bin")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("WORLD"), 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 11 {
+		t.Fatalf("size = %d, want 11", info.Size())
+	}
+	var buf [5]byte
+	if _, err := f.ReadAt(buf[:], 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:]) != "WORLD" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("ReadFile = %q", data)
+	}
+
+	moved := filepath.Join(sub, "moved.bin")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OS.Open(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Open(moved); err == nil {
+		t.Fatal("removed file still opens")
+	}
+}

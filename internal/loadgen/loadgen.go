@@ -1,0 +1,388 @@
+// Package loadgen is a seeded, concurrent load generator for the
+// verification server. It simulates a collection area once (road network,
+// AP world, crowdsourced history — the same simulators the paper harness
+// uses), pre-builds a deterministic mix of real and forged upload request
+// bodies, and drives the HTTP API from a worker pool while recording
+// per-request latency.
+//
+// Everything observable about the workload derives from the seed: the
+// area, the trajectories, the forgeries, and the exact request bytes —
+// Workload.Digest is a SHA-256 over the bodies in index order, so two runs
+// with the same options provably generate identical load. Wall-clock only
+// enters the measurements, never the workload.
+//
+// The package doubles as the end-to-end soak: the short-mode test drives a
+// self-hosted in-process server under -race, exercising the full pipeline
+// (JSON decode, verification stages, ingestion, WAL) under concurrency.
+package loadgen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"trajforge/internal/dataset"
+	"trajforge/internal/detect"
+	"trajforge/internal/geo"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/server"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+	"trajforge/internal/xgb"
+)
+
+var origin = geo.LatLon{Lat: 32.06, Lon: 118.79}
+
+// Options configures a load run.
+type Options struct {
+	// Seed fixes the workload bytes. Default 1.
+	Seed int64
+	// N is the number of uploads to send. Default 200.
+	N int
+	// Workers is the sender-pool size. Default 8.
+	Workers int
+	// ForgedFrac is the fraction of uploads that are forgeries (attack-
+	// perturbed replays of the provider's own history). Default 0.3.
+	ForgedFrac float64
+	// Points per trajectory. Default 20.
+	Points int
+	// Hist is the number of historical uploads backing the provider (and
+	// the source pool for forgeries). Default 60.
+	Hist int
+	// BaseURL is the server to drive. Empty means the caller self-hosts
+	// (see Workload.SelfHost).
+	BaseURL string
+	// HTTPClient overrides the default client (e.g. a tuned transport).
+	HTTPClient *http.Client
+}
+
+func (o *Options) setDefaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.N <= 0 {
+		o.N = 200
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.ForgedFrac == 0 {
+		o.ForgedFrac = 0.3
+	}
+	if o.Points <= 0 {
+		o.Points = 20
+	}
+	if o.Hist <= 0 {
+		o.Hist = 60
+	}
+}
+
+// Item is one pre-built upload request.
+type Item struct {
+	// Body is the exact JSON posted to /v1/trajectory.
+	Body []byte
+	// Forged marks attack uploads (ground truth for the detection report).
+	Forged bool
+}
+
+// Workload is a deterministic request sequence plus the simulated world it
+// came from.
+type Workload struct {
+	// Items in send-index order.
+	Items []Item
+	// Digest is hex SHA-256 over all bodies in order — the reproducibility
+	// witness two equal-seed runs must agree on.
+	Digest string
+	// Hist is the provider's historical corpus (SelfHost trains from it).
+	Hist []*wifi.Upload
+	// Projection shared by workload encoding and the self-hosted server.
+	Projection *geo.Projection
+}
+
+// Build simulates the area and pre-encodes every request body.
+func Build(opts Options) (*Workload, error) {
+	opts.setDefaults()
+	nForged := int(math.Round(float64(opts.N) * opts.ForgedFrac))
+	if nForged > opts.N {
+		nForged = opts.N
+	}
+	nReal := opts.N - nForged
+
+	// One simulated campaign covers the provider's history and the fresh
+	// real uploads; forgeries are perturbed replays of history.
+	area, err := dataset.BuildArea(dataset.AreaSpec{
+		Name: "loadgen", Mode: trajectory.ModeWalking,
+		Width: 195, Height: 175, NumAPs: 300, BlockSize: 45,
+		Trajectories: opts.Hist + nReal,
+		Points:       opts.Points, Interval: 2 * time.Second,
+		Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: build area: %w", err)
+	}
+	w := &Workload{
+		Hist:       area.Uploads[:opts.Hist],
+		Projection: geo.NewProjection(origin),
+	}
+
+	// Interleave forged uploads deterministically through the sequence.
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	fresh := area.Uploads[opts.Hist:]
+	forgedEvery := 0
+	if nForged > 0 {
+		forgedEvery = opts.N / nForged
+	}
+	enc := server.NewClient("", w.Projection)
+	var freshIdx, forgedCount int
+	for i := 0; i < opts.N; i++ {
+		var u *wifi.Upload
+		forged := forgedEvery > 0 && forgedCount < nForged && i%forgedEvery == forgedEvery-1
+		if forged {
+			src := w.Hist[rng.Intn(len(w.Hist))]
+			if u, err = dataset.ForgeUpload(rng, src, 1.2); err != nil {
+				return nil, fmt.Errorf("loadgen: forge %d: %w", i, err)
+			}
+			u.Traj.ID = fmt.Sprintf("forged-%d", forgedCount)
+			forgedCount++
+		} else {
+			u = fresh[freshIdx%len(fresh)]
+			u.Traj.ID = fmt.Sprintf("real-%d", freshIdx)
+			freshIdx++
+		}
+		req, err := enc.BuildRequest(u)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: encode %d: %w", i, err)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshal %d: %w", i, err)
+		}
+		w.Items = append(w.Items, Item{Body: body, Forged: forged})
+	}
+
+	h := sha256.New()
+	for _, it := range w.Items {
+		h.Write(it.Body)
+	}
+	w.Digest = hex.EncodeToString(h.Sum(nil))
+	return w, nil
+}
+
+// Server is a self-hosted in-process verification server bootstrapped from
+// the workload's own simulated history, so forgeries are forgeries *of
+// this provider's* corpus and the detection numbers mean something.
+type Server struct {
+	Svc *server.Service
+	ts  *httptest.Server
+	// URL is the base URL to pass to Run.
+	URL string
+}
+
+// Close shuts the HTTP listener down and takes the final snapshot (when
+// the server was opened with a data directory).
+func (s *Server) Close() error {
+	s.ts.Close()
+	return s.Svc.Close()
+}
+
+// SelfHost trains a provider over the workload's history and serves the
+// verification API in-process. dataDir, when non-empty, turns on the WAL
+// persistence layer — the configuration the race soak uses.
+func (w *Workload) SelfHost(seed int64, dataDir string) (*Server, error) {
+	nStore := len(w.Hist) * 3 / 4
+	if nStore == 0 || nStore == len(w.Hist) {
+		return nil, fmt.Errorf("loadgen: history too small to split (%d)", len(w.Hist))
+	}
+	records := dataset.Records(w.Hist[:nStore])
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), records)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 13))
+	var fakes []*wifi.Upload
+	for _, u := range w.Hist[:nStore/2] {
+		f, err := dataset.ForgeUpload(rng, u, 1.2)
+		if err != nil {
+			return nil, err
+		}
+		fakes = append(fakes, f)
+	}
+	det, err := detect.TrainWiFiDetector(store, w.Hist[nStore:], fakes,
+		rssimap.DefaultFeatureConfig(), xgb.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: train detector: %w", err)
+	}
+	replay, err := detect.NewReplayChecker(1.2)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range w.Hist[:nStore] {
+		replay.AddHistory(u.Traj)
+	}
+	var persist *server.Persistence
+	if dataDir != "" {
+		if persist, err = server.OpenPersistence(dataDir, server.PersistOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	svc, err := server.New(server.Config{
+		Projection:     w.Projection,
+		Replay:         replay,
+		WiFi:           det,
+		IngestAccepted: true,
+		Persist:        persist,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(svc.Handler())
+	return &Server{Svc: svc, ts: ts, URL: ts.URL}, nil
+}
+
+// Result is the measured outcome of one run; it marshals to the
+// BENCH_loadgen.json schema.
+type Result struct {
+	Seed           int64   `json:"seed"`
+	Uploads        int     `json:"uploads"`
+	Workers        int     `json:"workers"`
+	ForgedSent     int     `json:"forged_sent"`
+	Errors         int     `json:"errors"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"`
+	RealAccepted   int     `json:"real_accepted"`
+	ForgedRejected int     `json:"forged_rejected"`
+	DurationSec    float64 `json:"duration_sec"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	P50Millis      float64 `json:"p50_ms"`
+	P95Millis      float64 `json:"p95_ms"`
+	P99Millis      float64 `json:"p99_ms"`
+	WorkloadDigest string  `json:"workload_digest"`
+}
+
+// Run drives baseURL with the workload from a pool of opts.Workers senders.
+// Worker g sends items g, g+W, g+2W, ... in order, so the byte stream each
+// worker produces is deterministic even though the interleaving on the wire
+// is not.
+func (w *Workload) Run(opts Options) (*Result, error) {
+	opts.setDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required (self-host via Workload.SelfHost)")
+	}
+	client := opts.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	url := opts.BaseURL + "/v1/trajectory"
+
+	type workerStats struct {
+		latencies                []float64 // milliseconds
+		errors                   int
+		accepted, rejected       int
+		realAccept, forgedReject int
+	}
+	stats := make([]workerStats, opts.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < opts.Workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			st := &stats[g]
+			for i := g; i < len(w.Items); i += opts.Workers {
+				it := w.Items[i]
+				t0 := time.Now()
+				v, err := postUpload(client, url, it.Body)
+				st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
+				if err != nil {
+					st.errors++
+					continue
+				}
+				if v.Accepted {
+					st.accepted++
+					if !it.Forged {
+						st.realAccept++
+					}
+				} else {
+					st.rejected++
+					if it.Forged {
+						st.forgedReject++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Seed:           opts.Seed,
+		Uploads:        len(w.Items),
+		Workers:        opts.Workers,
+		DurationSec:    elapsed.Seconds(),
+		WorkloadDigest: w.Digest,
+	}
+	var all []float64
+	for i := range stats {
+		st := &stats[i]
+		all = append(all, st.latencies...)
+		res.Errors += st.errors
+		res.Accepted += st.accepted
+		res.Rejected += st.rejected
+		res.RealAccepted += st.realAccept
+		res.ForgedRejected += st.forgedReject
+	}
+	for _, it := range w.Items {
+		if it.Forged {
+			res.ForgedSent++
+		}
+	}
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(len(w.Items)) / elapsed.Seconds()
+	}
+	sort.Float64s(all)
+	res.P50Millis = percentile(all, 0.50)
+	res.P95Millis = percentile(all, 0.95)
+	res.P99Millis = percentile(all, 0.99)
+	return res, nil
+}
+
+// postUpload sends one pre-encoded body and decodes the verdict.
+func postUpload(client *http.Client, url string, body []byte) (*server.Verdict, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var v server.Verdict
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// soakOptions keeps the -race soak quick while still exercising real
+// concurrency across the full pipeline.
+func soakOptions(t *testing.T) Options {
+	opts := Options{Seed: 11, N: 80, Workers: 6, Points: 16, Hist: 40}
+	if !testing.Short() {
+		opts.N = 160
+	}
+	_ = t
+	return opts
+}
+
+// TestWorkloadDeterministic pins the reproducibility contract: the digest
+// is a pure function of the options.
+func TestWorkloadDeterministic(t *testing.T) {
+	opts := Options{Seed: 5, N: 20, Points: 12, Hist: 20}
+	a, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different digests: %s != %s", a.Digest, b.Digest)
+	}
+	if len(a.Items) != 20 {
+		t.Fatalf("built %d items, want 20", len(a.Items))
+	}
+	var forged int
+	for _, it := range a.Items {
+		if it.Forged {
+			forged++
+		}
+	}
+	if forged == 0 || forged == len(a.Items) {
+		t.Fatalf("degenerate mix: %d forged of %d", forged, len(a.Items))
+	}
+
+	opts.Seed = 6
+	c, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest == a.Digest {
+		t.Fatal("different seeds produced the same digest")
+	}
+}
+
+// TestSoak is the end-to-end soak: a self-hosted provider with the WAL
+// enabled, hammered by the concurrent worker pool. Under -race this is the
+// concurrency check for the whole upload path (JSON decode, verification
+// stages, store ingestion, WAL appender).
+func TestSoak(t *testing.T) {
+	opts := soakOptions(t)
+	w, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := w.SelfHost(opts.Seed, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.BaseURL = srv.URL
+	res, err := w.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors: %+v", res.Errors, res)
+	}
+	if res.Accepted+res.Rejected != res.Uploads {
+		t.Fatalf("verdicts %d+%d != %d uploads", res.Accepted, res.Rejected, res.Uploads)
+	}
+	if res.RealAccepted == 0 {
+		t.Fatalf("no real upload accepted: %+v", res)
+	}
+	if res.ForgedSent == 0 || res.ForgedRejected == 0 {
+		t.Fatalf("forgery mix degenerate: %+v", res)
+	}
+	if res.ThroughputRPS <= 0 || res.P50Millis <= 0 ||
+		res.P95Millis < res.P50Millis || res.P99Millis < res.P95Millis {
+		t.Fatalf("implausible latency profile: %+v", res)
+	}
+	if res.WorkloadDigest != w.Digest {
+		t.Fatal("result does not carry the workload digest")
+	}
+	// The result must marshal to the BENCH_loadgen.json schema.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"throughput_rps", "p50_ms", "p95_ms", "p99_ms", "workload_digest"} {
+		var m map[string]any
+		if err := json.Unmarshal(blob, &m); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m[key]; !ok {
+			t.Fatalf("result JSON missing %q: %s", key, blob)
+		}
+	}
+	// Server-side counters must agree with the client's tally.
+	st := srv.Svc.Stats()
+	if st.Accepted != res.Accepted || st.Rejected != res.Rejected {
+		t.Fatalf("server counted %d/%d, client %d/%d",
+			st.Accepted, st.Rejected, res.Accepted, res.Rejected)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,13 +5,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"trajforge/internal/fsx"
 	"trajforge/internal/rssimap"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/wal"
@@ -31,8 +31,10 @@ const (
 
 // PersistOptions tunes the durability layer.
 type PersistOptions struct {
-	// SyncInterval is the WAL group-commit interval; zero fsyncs every
-	// append (fully durable, slow). Default 2ms.
+	// SyncInterval is the WAL group-commit interval; zero means the 2ms
+	// default. Negative fsyncs every append inline — fully durable and,
+	// because no background flusher runs, a deterministic filesystem-op
+	// sequence, which is what the chaos crash-point explorer needs.
 	SyncInterval time.Duration
 	// QueueDepth bounds the async append queue. Uploads block once the
 	// queue is full — the backpressure that keeps a slow disk from letting
@@ -41,6 +43,9 @@ type PersistOptions struct {
 	// CompactBytes auto-compacts (snapshot + log reset) once the WAL grows
 	// past this size. Default 64 MiB; negative disables auto-compaction.
 	CompactBytes int64
+	// FS is the filesystem the WAL and snapshots live on; nil means the
+	// real one. Fault-injection and chaos tests substitute fsx/faultfs.
+	FS fsx.FS
 }
 
 func (o *PersistOptions) setDefaults() {
@@ -52,6 +57,9 @@ func (o *PersistOptions) setDefaults() {
 	}
 	if o.CompactBytes == 0 {
 		o.CompactBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = fsx.OS
 	}
 }
 
@@ -119,6 +127,7 @@ type Persistence struct {
 
 	errMu    sync.Mutex
 	firstErr error
+	errCount atomic.Int64 // background append/sync/compact failures
 }
 
 // OpenPersistence opens (or initialises) the data directory and recovers
@@ -129,10 +138,15 @@ type Persistence struct {
 // was lost and recovery refuses to guess.
 func OpenPersistence(dir string, opts PersistOptions) (*Persistence, error) {
 	opts.setDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: data dir: %w", err)
 	}
-	log, err := wal.Open(filepath.Join(dir, walFileName), wal.Options{SyncInterval: opts.SyncInterval})
+	syncInterval := opts.SyncInterval
+	if syncInterval < 0 {
+		syncInterval = 0 // wal: zero = inline fsync per append
+	}
+	log, err := wal.Open(filepath.Join(dir, walFileName),
+		wal.Options{SyncInterval: syncInterval, FS: opts.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +170,7 @@ func OpenPersistence(dir string, opts PersistOptions) (*Persistence, error) {
 // load reconciles snapshot and WAL generations and replays the log.
 func (p *Persistence) load() error {
 	st := &RecoveredState{}
-	snapGen, payload, err := wal.ReadSnapshot(p.snapPath)
+	snapGen, payload, err := wal.ReadSnapshotFS(p.opts.FS, p.snapPath)
 	switch {
 	case errors.Is(err, wal.ErrNoSnapshot):
 		snapGen = 0
@@ -320,7 +334,7 @@ func (p *Persistence) compact() error {
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 		return fmt.Errorf("server: encode snapshot: %w", err)
 	}
-	if err := wal.WriteSnapshot(p.snapPath, gen, buf.Bytes()); err != nil {
+	if err := wal.WriteSnapshotFS(p.opts.FS, p.snapPath, gen, buf.Bytes()); err != nil {
 		return err
 	}
 	if err := p.log.Reset(gen); err != nil {
@@ -387,11 +401,13 @@ func (p *Persistence) close() error {
 	return err
 }
 
-// noteErr records the first background append failure.
+// noteErr counts and records background append/sync/compact failures; the
+// first one is kept verbatim for /v1/stats and Err.
 func (p *Persistence) noteErr(err error) {
 	if err == nil {
 		return
 	}
+	p.errCount.Add(1)
 	p.errMu.Lock()
 	if p.firstErr == nil {
 		p.firstErr = err
@@ -419,6 +435,10 @@ type PersistStats struct {
 	LastSnapshot string `json:"last_snapshot,omitempty"`
 	// QueueDepth is the current number of verdicts awaiting append.
 	QueueDepth int `json:"queue_depth"`
+	// Errors counts background persistence failures (failed appends,
+	// fsyncs, or compactions). Nonzero means acknowledged-durable can no
+	// longer be promised and the operator must intervene.
+	Errors int64 `json:"errors"`
 	// Error is the first background persistence failure, if any.
 	Error string `json:"error,omitempty"`
 }
@@ -430,6 +450,7 @@ func (p *Persistence) stats() *PersistStats {
 		WALFrames:  frames,
 		Generation: p.log.Generation(),
 		QueueDepth: len(p.queue),
+		Errors:     p.errCount.Load(),
 	}
 	if ns := p.lastSnapshot.Load(); ns != 0 {
 		st.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+
+	"trajforge/internal/fsx"
+	"trajforge/internal/fsx/faultfs"
+)
+
+// TestStatsSurfacePersistenceFaults pins the observability contract: a
+// background fsync failure in the durability layer must show up on
+// /v1/stats as a nonzero error counter with the first error verbatim —
+// never be swallowed by the async appender.
+func TestStatsSurfacePersistenceFaults(t *testing.T) {
+	// Sync #1 is the WAL header sync at creation; #2 is the first
+	// group-commit fsync after the upload's frame is appended.
+	fs := faultfs.New(fsx.OS, faultfs.Options{FailAt: 2, FailKind: faultfs.OpSync})
+	p, err := OpenPersistence(t.TempDir(), PersistOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, client := newTestService(t, Config{Persist: p})
+
+	if _, err := client.Upload(realisticUpload(t, 51)); err != nil {
+		t.Fatal(err)
+	}
+	// The durability barrier must report the failed fsync to the caller.
+	if err := p.Flush(); err == nil {
+		t.Fatal("Flush after injected fsync failure returned nil")
+	}
+
+	st, err := client.FetchStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Persistence == nil {
+		t.Fatal("stats missing persistence section")
+	}
+	if st.Persistence.Errors == 0 {
+		t.Fatalf("persistence errors = 0 after injected fsync failure: %+v", st.Persistence)
+	}
+	if st.Persistence.Error == "" {
+		t.Fatalf("persistence first error missing: %+v", st.Persistence)
+	}
+	if !fs.Faulted() {
+		t.Fatal("fault never fired")
+	}
+}

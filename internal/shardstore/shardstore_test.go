@@ -257,6 +257,196 @@ func TestEmptyAreaMatchesGlobalStore(t *testing.T) {
 	}
 }
 
+// TestHaloReplicationExactBoundaries pins tilesFor's closed-boundary
+// semantics. Each case ingests a single record at a geometric edge, so
+// Stats().StoredRecords is exactly the number of shards holding a copy.
+// The closed comparisons matter: a record exactly on a tile border or
+// exactly margin metres from it must still be replicated, or references
+// at distance exactly MaxQueryRadius (also a closed ball, see
+// rssimap's Dist2 <= r2) would be missed.
+func TestHaloReplicationExactBoundaries(t *testing.T) {
+	cfg := DefaultConfig()
+	margin := cfg.MaxQueryRadius + cfg.Store.R
+	cases := []struct {
+		name   string
+		pos    geo.Point
+		copies int
+	}{
+		{"tile interior", geo.Point{X: 12.5, Y: 12.5}, 1},
+		{"exactly on vertical border", geo.Point{X: 25, Y: 12.5}, 2},
+		{"exactly margin from the border", geo.Point{X: 25 + margin, Y: 12.5}, 2},
+		{"just past the margin", geo.Point{X: 25 + margin + 1e-9, Y: 12.5}, 1},
+		{"exactly on four-tile corner", geo.Point{X: 25, Y: 25}, 4},
+		{"margin from two edges, outside corner diagonal", geo.Point{X: 25 + margin, Y: 25 + margin}, 3},
+		{"origin corner", geo.Point{X: 0, Y: 0}, 4},
+		{"exactly on negative border", geo.Point{X: -25, Y: -12.5}, 2},
+		{"exactly on negative corner", geo.Point{X: -25, Y: -25}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := rssimap.Record{Pos: tc.pos, RSSI: map[string]int{"02:4e:00:00:00:01": -60}}
+			s, err := New(cfg, []rssimap.Record{rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Records != 1 {
+				t.Fatalf("canonical records = %d, want 1", st.Records)
+			}
+			if st.StoredRecords != tc.copies {
+				t.Fatalf("record at %v stored in %d shards, want %d", tc.pos, st.StoredRecords, tc.copies)
+			}
+		})
+	}
+}
+
+// TestBorderQueriesBitIdenticalToGlobal places records straddling tile
+// borders and queries at the exact geometric limits the sharding
+// guarantees — positions on the border itself, references at distance
+// exactly MaxQueryRadius, records exactly margin metres into a neighbor
+// — and demands bit-identical answers from both backends. randomised
+// coverage (TestConfidenceMatchesGlobalStore) almost never lands on
+// these measure-zero configurations.
+func TestBorderQueriesBitIdenticalToGlobal(t *testing.T) {
+	const mac = "02:4e:00:00:00:01"
+	const mac2 = "02:4e:00:00:00:02"
+	mkRec := func(x, y float64, rssi int) rssimap.Record {
+		return rssimap.Record{Pos: geo.Point{X: x, Y: y}, RSSI: map[string]int{mac: rssi, mac2: rssi - 7}}
+	}
+	cfg := DefaultConfig()
+	margin := cfg.MaxQueryRadius + cfg.Store.R
+	recs := []rssimap.Record{
+		// Cluster straddling the x=25 border: references on both sides
+		// whose Eq. 4 counting areas (radius R) cross it.
+		mkRec(20, 10, -60), mkRec(24, 10, -58), mkRec(25, 10, -61),
+		mkRec(26, 10, -59), mkRec(28, 10, -60), mkRec(30, 10, -62),
+		// Exactly margin past the tile-0 edge: replicated by the closed
+		// boundary, reachable only through a neighbor's counting area.
+		mkRec(25+margin, 10, -60),
+		// Four-tile corner cluster around (25,25).
+		mkRec(24.5, 24.5, -55), mkRec(25, 25, -56), mkRec(25.5, 25.5, -57),
+		mkRec(22, 22, -60), mkRec(28, 22, -60), mkRec(22, 28, -60), mkRec(28, 28, -60),
+		// Negative-coordinate border x=-25 (tile -2 / tile -1 boundary).
+		mkRec(-25, -10, -60), mkRec(-24, -10, -61), mkRec(-26, -10, -59),
+		mkRec(-20, -10, -60), mkRec(-30, -10, -62),
+	}
+	global, sharded := newPair(t, recs)
+
+	queries := []struct {
+		name     string
+		o        geo.Point
+		wantRefs bool // the MaxQueryRadius ball provably contains records
+	}{
+		// (25,10) is owned by tile 1 and its r=5 ball reaches (20,10) at
+		// distance exactly MaxQueryRadius — the closed-halo record.
+		{"exactly on border", geo.Point{X: 25, Y: 10}, true},
+		{"tile 0 side of border", geo.Point{X: 24, Y: 10}, true},
+		{"tile 1 side of border", geo.Point{X: 26, Y: 10}, true},
+		// From tile 0, record (26,10) across the border sits at distance
+		// exactly MaxQueryRadius.
+		{"cross-border record at exact query radius", geo.Point{X: 21, Y: 10}, true},
+		{"exactly on four-tile corner", geo.Point{X: 25, Y: 25}, true},
+		{"corner from tile (0,0)", geo.Point{X: 22, Y: 22}, true},
+		{"corner from tile (1,0)", geo.Point{X: 28, Y: 22}, true},
+		{"corner from tile (0,1)", geo.Point{X: 22, Y: 28}, true},
+		{"corner from tile (1,1)", geo.Point{X: 28, Y: 28}, true},
+		{"exactly on negative border", geo.Point{X: -25, Y: -10}, true},
+		{"negative border from tile -2", geo.Point{X: -29, Y: -10}, true},
+		{"negative border from tile -1", geo.Point{X: -21, Y: -10}, true},
+		{"empty far tile", geo.Point{X: 500, Y: 500}, false},
+	}
+	radii := []float64{2.5, cfg.MaxQueryRadius} // interior and the exact guarantee limit
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			sawRef := false
+			for _, r := range radii {
+				for tol := rssimap.Tolerance(0); tol <= 2; tol++ {
+					gPhi, gNum := global.ConfidenceTol(q.o, mac, -60, r, tol)
+					sPhi, sNum := sharded.ConfidenceTol(q.o, mac, -60, r, tol)
+					if gNum != sNum || math.Float64bits(gPhi) != math.Float64bits(sPhi) {
+						t.Fatalf("r=%g tol=%d: global (%v, %d) != sharded (%v, %d)",
+							r, tol, gPhi, gNum, sPhi, sNum)
+					}
+					if gNum > 0 {
+						sawRef = true
+					}
+				}
+			}
+			if sawRef != q.wantRefs {
+				t.Fatalf("query saw references = %v, want %v (placement is wrong)", sawRef, q.wantRefs)
+			}
+			scan := wifi.Scan{{MAC: mac, RSSI: -60}, {MAC: mac2, RSSI: -67}}
+			fcfg := rssimap.DefaultFeatureConfig()
+			g := global.PointConfidences(q.o, scan, fcfg)
+			s := sharded.PointConfidences(q.o, scan, fcfg)
+			if len(g) != len(s) {
+				t.Fatalf("confidences dim %d != %d", len(s), len(g))
+			}
+			for i := range g {
+				if g[i] != s[i] {
+					t.Fatalf("confidence %d: %+v != %+v", i, s[i], g[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBorderWalkFeaturesBitIdentical runs the full Eq. 8 feature path on
+// trajectories whose every point sits exactly on tile borders — the
+// positions where shardAt's floor() ownership flips — against a history
+// that also straddles those borders.
+func TestBorderWalkFeaturesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	recs := randRecords(rng, 800, 120, 120)
+	// Salt the random history with records exactly on borders and corners.
+	for i := 0; i < 40; i++ {
+		recs = append(recs, rssimap.Record{
+			Pos:  geo.Point{X: float64((i%4)+1) * 25, Y: float64(i) * 3},
+			RSSI: map[string]int{fmt.Sprintf("02:4e:00:00:00:%02x", i%40): -40 - i},
+		})
+	}
+	global, sharded := newPair(t, recs)
+
+	walks := []struct {
+		name string
+		pos  func(i int) geo.Point
+	}{
+		{"along border x=25", func(i int) geo.Point { return geo.Point{X: 25, Y: float64(i) * 2} }},
+		{"along border y=50", func(i int) geo.Point { return geo.Point{X: float64(i) * 2, Y: 50} }},
+		{"corner hopping", func(i int) geo.Point { return geo.Point{X: float64((i%3)+1) * 25, Y: float64((i/3)+1) * 25} }},
+	}
+	fcfg := rssimap.DefaultFeatureConfig()
+	for _, wk := range walks {
+		t.Run(wk.name, func(t *testing.T) {
+			const n = 24
+			pos := make([]geo.Point, n)
+			scans := make([]wifi.Scan, n)
+			for i := range pos {
+				pos[i] = wk.pos(i)
+				for j := 0; j < 4; j++ {
+					scans[i] = append(scans[i], wifi.Observation{
+						MAC:  fmt.Sprintf("02:4e:00:00:00:%02x", rng.Intn(40)),
+						RSSI: -40 - rng.Intn(50),
+					})
+				}
+			}
+			u := &wifi.Upload{
+				Traj:  trajectory.New(pos, time.Date(2022, 7, 1, 8, 0, 0, 0, time.UTC), time.Second),
+				Scans: scans,
+			}
+			g, err := global.Features(u, fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := sharded.Features(u, fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameVector(t, wk.name, g, s)
+		})
+	}
+}
+
 // TestConcurrentAddAndQuery exercises cross-shard ingestion racing against
 // batch feature extraction; run under -race it is the subsystem's memory-
 // safety proof.

@@ -1,0 +1,87 @@
+package trajectory
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"trajforge/internal/geo"
+)
+
+// FuzzTrajectoryCodec feeds arbitrary bytes to both upload decoders. The
+// contract: never panic; when the wire JSON decodes, it must re-encode and
+// decode again to the same trajectory (times exact, positions within the
+// lat/lon quantisation tolerance), and the CSV roundtrip of the decoded
+// trajectory must be bit-exact.
+func FuzzTrajectoryCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"points":[]}`))
+	f.Add([]byte(`{"id":"u1","mode":"walking","points":[` +
+		`{"lat":32.06,"lon":118.79,"time":1656666000000},` +
+		`{"lat":32.0601,"lon":118.7901,"time":1656666001000}]}`))
+	f.Add([]byte(`{"points":[{"lat":91,"lon":0,"time":0}]}`))      // out of range
+	f.Add([]byte(`{"points":[{"lat":null,"lon":null,"time":0}]}`)) // nulls
+	f.Add([]byte(`{"mode":"teleport","points":[]}`))               // unknown mode
+	f.Add([]byte(`x,y,unix_ms` + "\n" + `1.5,-2.25,1656666000000`))
+
+	pr := geo.NewProjection(geo.LatLon{Lat: 32.06, Lon: 118.79})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The CSV reader must never panic on raw input.
+		if ct, err := ReadCSV(bytes.NewReader(data)); err == nil && ct == nil {
+			t.Fatal("ReadCSV returned nil, nil")
+		}
+
+		tr, err := UnmarshalJSONWire(data, pr)
+		if err != nil {
+			return // malformed wire input is a valid refusal
+		}
+		out, err := MarshalJSONWire(tr, pr)
+		if err != nil {
+			t.Fatalf("re-encode of decoded trajectory: %v", err)
+		}
+		tr2, err := UnmarshalJSONWire(out, pr)
+		if err != nil {
+			t.Fatalf("decode of re-encoded trajectory: %v", err)
+		}
+		if tr2.ID != tr.ID || tr2.Mode != tr.Mode || len(tr2.Points) != len(tr.Points) {
+			t.Fatalf("wire roundtrip header: %q/%v/%d != %q/%v/%d",
+				tr2.ID, tr2.Mode, len(tr2.Points), tr.ID, tr.Mode, len(tr.Points))
+		}
+		for i := range tr.Points {
+			a, b := tr.Points[i], tr2.Points[i]
+			if !a.Time.Equal(b.Time) {
+				t.Fatalf("point %d time %v != %v", i, b.Time, a.Time)
+			}
+			// Plane -> lat/lon -> plane costs a few ulps of a degree; a
+			// micrometre bound is far above the drift and far below any
+			// position the pipeline could care about.
+			if math.Abs(a.Pos.X-b.Pos.X) > 1e-6 || math.Abs(a.Pos.Y-b.Pos.Y) > 1e-6 {
+				t.Fatalf("point %d pos %v != %v", i, b.Pos, a.Pos)
+			}
+		}
+
+		// CSV roundtrip is plane-native and must be exact to the bit.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		tr3, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("ReadCSV of WriteCSV output: %v", err)
+		}
+		if len(tr3.Points) != len(tr.Points) {
+			t.Fatalf("CSV roundtrip %d points, want %d", len(tr3.Points), len(tr.Points))
+		}
+		for i := range tr.Points {
+			a, b := tr.Points[i], tr3.Points[i]
+			if math.Float64bits(a.Pos.X) != math.Float64bits(b.Pos.X) ||
+				math.Float64bits(a.Pos.Y) != math.Float64bits(b.Pos.Y) {
+				t.Fatalf("CSV point %d pos bits differ: %v != %v", i, b.Pos, a.Pos)
+			}
+			if a.Time.UnixMilli() != b.Time.UnixMilli() {
+				t.Fatalf("CSV point %d time %v != %v", i, b.Time, a.Time)
+			}
+		}
+	})
+}

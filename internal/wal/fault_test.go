@@ -1,0 +1,209 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"trajforge/internal/fsx"
+	"trajforge/internal/fsx/faultfs"
+)
+
+// TestInitialCreateSyncsDir pins the durability fix: creating a fresh log
+// must fsync the parent directory, or the file's directory entry itself can
+// vanish on power loss.
+func TestInitialCreateSyncsDir(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(fsx.OS, faultfs.Options{})
+	l, err := Open(filepath.Join(dir, "t.wal"), Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var dirSyncs int
+	for _, op := range fs.Ops() {
+		if op.Kind == faultfs.OpSyncDir && op.Path == dir {
+			dirSyncs++
+		}
+	}
+	if dirSyncs == 0 {
+		t.Fatalf("fresh log creation recorded no directory sync: %+v", fs.Ops())
+	}
+
+	// Reopening the existing log must not rewrite the header or sync the
+	// directory again.
+	fs2 := faultfs.New(fsx.OS, faultfs.Options{})
+	l2, err := Open(filepath.Join(dir, "t.wal"), Options{FS: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for _, op := range fs2.Ops() {
+		if op.Kind == faultfs.OpSyncDir {
+			t.Fatalf("reopen synced the directory: %+v", fs2.Ops())
+		}
+	}
+}
+
+// TestCreateDirSyncFailureSurfaces: when the directory fsync after creating
+// a fresh log fails, Open must fail — not hand back a log whose existence
+// is not durable.
+func TestCreateDirSyncFailureSurfaces(t *testing.T) {
+	fs := faultfs.New(fsx.OS, faultfs.Options{FailAt: 1, FailKind: faultfs.OpSyncDir})
+	if _, err := Open(filepath.Join(t.TempDir(), "t.wal"), Options{FS: fs}); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("open with failing dir sync = %v, want injected error", err)
+	}
+}
+
+// TestSnapshotDirSyncFailureSurfaces covers the rename-durability seam of
+// the snapshot path: a failed directory fsync after the rename must fail
+// the snapshot write.
+func TestSnapshotDirSyncFailureSurfaces(t *testing.T) {
+	fs := faultfs.New(fsx.OS, faultfs.Options{FailAt: 1, FailKind: faultfs.OpSyncDir})
+	err := WriteSnapshotFS(fs, filepath.Join(t.TempDir(), "s.bin"), 1, []byte("payload"))
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("snapshot with failing dir sync = %v, want injected error", err)
+	}
+}
+
+// TestResetDirSyncFailureSurfaces covers the same seam in log compaction.
+func TestResetDirSyncFailureSurfaces(t *testing.T) {
+	// Dir sync #1 fires when the fresh log is created; #2 is Reset's.
+	fs := faultfs.New(fsx.OS, faultfs.Options{FailAt: 2, FailKind: faultfs.OpSyncDir})
+	l, err := Open(filepath.Join(t.TempDir(), "t.wal"), Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Reset(2); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("reset with failing dir sync = %v, want injected error", err)
+	}
+}
+
+// appendN appends n one-payload frames, failing the test on error.
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := l.Append(1, []byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestENOSPCAppendThenRecovery: a full disk mid-append surfaces to the
+// caller, and a reopen with a healthy filesystem recovers every frame
+// appended before the fault.
+func TestENOSPCAppendThenRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	// Write ops: #1 is the header; appends are (fh, payload) pairs, so the
+	// 4th append's payload is write op #9.
+	fs := faultfs.New(fsx.OS, faultfs.Options{
+		FailAt: 9, FailKind: faultfs.OpWrite, Mode: faultfs.FaultENOSPC, Crash: true,
+	})
+	l, err := Open(path, Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	if err := l.Append(1, []byte("doomed")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append on full disk = %v, want ENOSPC", err)
+	}
+	l.Close() // crashed FS: close errors are expected, recovery is what matters
+
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	frames, _ := l2.Stats()
+	if frames != 3 {
+		t.Fatalf("recovered %d frames, want 3", frames)
+	}
+	var got int
+	if err := l2.Replay(func(typ byte, p []byte) error { got++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("replayed %d frames, want 3", got)
+	}
+}
+
+// TestTornAppendTruncatedOnReopen: a torn frame write (power cut mid-frame)
+// leaves a prefix on disk; reopen must truncate it and keep every complete
+// frame.
+func TestTornAppendTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.wal")
+	fs := faultfs.New(fsx.OS, faultfs.Options{
+		Seed: 3, FailAt: 9, FailKind: faultfs.OpWrite, Mode: faultfs.FaultTorn, Crash: true,
+	})
+	l, err := Open(path, Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	if err := l.Append(1, []byte("torn-payload-torn-payload")); err == nil {
+		t.Fatal("torn append must error")
+	}
+	l.Close()
+
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	frames, _ := l2.Stats()
+	if frames != 3 {
+		t.Fatalf("recovered %d frames, want 3", frames)
+	}
+	// The log must accept fresh appends on the cleaned tail.
+	if err := l2.Append(2, []byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	var last []byte
+	if err := l2.Replay(func(typ byte, p []byte) error { last = append(last[:0], p...); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if string(last) != "after-recovery" {
+		t.Fatalf("last frame = %q", last)
+	}
+}
+
+// TestBackgroundSyncFailureWedgesLog: a group-commit fsync failure must not
+// be swallowed by the background flusher — the next Append has to report
+// it, because frames after a failed fsync have unknown durability.
+func TestBackgroundSyncFailureWedgesLog(t *testing.T) {
+	dir := t.TempDir()
+	// Sync #1 is the header sync at creation; #2 is the flusher's.
+	fs := faultfs.New(fsx.OS, faultfs.Options{FailAt: 2, FailKind: faultfs.OpSync})
+	l, err := Open(filepath.Join(dir, "t.wal"), Options{SyncInterval: time.Millisecond, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(1, []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := l.Append(1, []byte("probe"))
+		if err != nil {
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("wedged append = %v, want injected sync error", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background sync failure never surfaced on Append")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Sync must report the same wedge.
+	if err := l.Sync(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Sync after wedge = %v", err)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"trajforge/internal/fsx"
 )
 
 // Snapshot file layout:
@@ -28,8 +30,15 @@ var ErrNoSnapshot = errors.New("wal: no snapshot")
 // WriteSnapshot atomically replaces the snapshot at path with the given
 // generation and payload.
 func WriteSnapshot(path string, gen uint64, payload []byte) error {
+	return WriteSnapshotFS(fsx.OS, path, gen, payload)
+}
+
+// WriteSnapshotFS is WriteSnapshot against an injectable filesystem. The
+// sequence — write tmp, fsync tmp, rename, fsync directory — makes the
+// replacement atomic and the rename itself durable against power loss.
+func WriteSnapshotFS(fsys fsx.FS, path string, gen uint64, payload []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
@@ -52,16 +61,24 @@ func WriteSnapshot(path string, gen uint64, payload []byte) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("wal: snapshot close: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("wal: snapshot rename: %w", err)
 	}
-	return syncDir(filepath.Dir(path))
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("wal: snapshot sync dir: %w", err)
+	}
+	return nil
 }
 
 // ReadSnapshot loads and verifies the snapshot at path. It returns
 // ErrNoSnapshot when the file does not exist.
 func ReadSnapshot(path string) (gen uint64, payload []byte, err error) {
-	data, err := os.ReadFile(path)
+	return ReadSnapshotFS(fsx.OS, path)
+}
+
+// ReadSnapshotFS is ReadSnapshot against an injectable filesystem.
+func ReadSnapshotFS(fsys fsx.FS, path string) (gen uint64, payload []byte, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return 0, nil, ErrNoSnapshot

@@ -26,6 +26,13 @@
 // Appends are group-committed: writes go to the OS immediately, but fsync
 // is batched on SyncInterval so a burst of uploads shares one disk flush.
 // SyncInterval of zero syncs on every Append — the setting crash tests use.
+//
+// All disk access goes through the fsx seam (Options.FS), so the chaos and
+// fault-injection tests can fail any individual write, sync, rename, or
+// directory fsync and assert the recovery protocol holds. An fsync failure
+// wedges the log: after a failed sync the state of the file is unknown
+// (the kernel may have dropped the dirty pages), so every later Append and
+// Sync returns the original error instead of pretending to be durable.
 package wal
 
 import (
@@ -38,6 +45,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"trajforge/internal/fsx"
 )
 
 var magic = [8]byte{'T', 'F', 'W', 'A', 'L', 0, 1, 0}
@@ -58,20 +67,25 @@ type Options struct {
 	// background flusher syncs at most once per interval. Zero syncs every
 	// Append before it returns (slow, fully durable).
 	SyncInterval time.Duration
+	// FS is the filesystem the log lives on; nil means the real one.
+	FS fsx.FS
 }
 
 // Log is an append-only frame log backed by one file.
 type Log struct {
 	path string
 	opts Options
+	fs   fsx.FS
 
-	mu     sync.Mutex
-	f      *os.File
-	gen    uint64
-	frames uint64
-	bytes  int64
-	dirty  bool
-	closed bool
+	mu      sync.Mutex
+	f       fsx.File
+	gen     uint64
+	frames  uint64
+	bytes   int64
+	dirty   bool
+	closed  bool
+	fresh   bool  // header was (re)initialised during recovery
+	syncErr error // first fsync failure; wedges the log
 
 	flushDone chan struct{}
 	flushStop chan struct{}
@@ -79,16 +93,27 @@ type Log struct {
 
 // Open opens (or creates) the log at path, recovering a torn tail: the file
 // is scanned frame by frame and truncated at the first incomplete or
-// CRC-failing frame.
+// CRC-failing frame. A freshly created log syncs its parent directory, so
+// the file's own directory entry survives power loss.
 func Open(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fs := opts.FS
+	if fs == nil {
+		fs = fsx.OS
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &Log{path: path, opts: opts, f: f}
+	l := &Log{path: path, opts: opts, fs: fs, f: f}
 	if err := l.recover(); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if l.fresh {
+		if err := l.syncDir(); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	if opts.SyncInterval > 0 {
 		l.flushStop = make(chan struct{})
@@ -107,6 +132,7 @@ func (l *Log) recover() error {
 	}
 	if info.Size() < headerSize {
 		// Empty or torn header: start a fresh generation-1 log.
+		l.fresh = true
 		return l.writeHeader(1)
 	}
 	var hdr [headerSize]byte
@@ -211,6 +237,9 @@ func (l *Log) Append(typ byte, payload []byte) error {
 	if l.closed {
 		return errors.New("wal: append to closed log")
 	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
 	var fh [frameOverhead + 1]byte
 	n := uint32(len(payload) + 1)
 	binary.LittleEndian.PutUint32(fh[:4], n)
@@ -228,7 +257,7 @@ func (l *Log) Append(typ byte, payload []byte) error {
 	l.frames++
 	l.bytes += frameOverhead + int64(n)
 	if l.opts.SyncInterval == 0 {
-		return l.f.Sync()
+		return l.noteSync(l.f.Sync())
 	}
 	l.dirty = true
 	return nil
@@ -245,12 +274,29 @@ func (l *Log) syncLocked() error {
 	if l.closed {
 		return nil
 	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
 	l.dirty = false
-	return l.f.Sync()
+	return l.noteSync(l.f.Sync())
+}
+
+// noteSync wedges the log on the first fsync failure: after a failed sync
+// the kernel may have dropped the dirty pages, so no later Append or Sync
+// may report success. Called with l.mu held.
+func (l *Log) noteSync(err error) error {
+	if err != nil && l.syncErr == nil {
+		l.syncErr = fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	return nil
 }
 
 // flushLoop is the group-commit goroutine: it fsyncs at most once per
-// SyncInterval while appends keep the log dirty.
+// SyncInterval while appends keep the log dirty. A sync failure here is
+// recorded and surfaces on the next Append or Sync — never swallowed.
 func (l *Log) flushLoop() {
 	defer close(l.flushDone)
 	t := time.NewTicker(l.opts.SyncInterval)
@@ -261,9 +307,9 @@ func (l *Log) flushLoop() {
 			return
 		case <-t.C:
 			l.mu.Lock()
-			if l.dirty && !l.closed {
+			if l.dirty && !l.closed && l.syncErr == nil {
 				l.dirty = false
-				l.f.Sync()
+				l.noteSync(l.f.Sync())
 			}
 			l.mu.Unlock()
 		}
@@ -277,7 +323,7 @@ func (l *Log) Replay(fn func(typ byte, payload []byte) error) error {
 	l.mu.Lock()
 	limit := l.bytes
 	l.mu.Unlock()
-	f, err := os.Open(l.path)
+	f, err := l.fs.Open(l.path)
 	if err != nil {
 		return fmt.Errorf("wal: replay open: %w", err)
 	}
@@ -322,7 +368,7 @@ func (l *Log) Reset(gen uint64) error {
 		return errors.New("wal: reset of closed log")
 	}
 	tmp := l.path + ".tmp"
-	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	nf, err := l.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}
@@ -337,11 +383,11 @@ func (l *Log) Reset(gen uint64) error {
 		nf.Close()
 		return fmt.Errorf("wal: reset sync: %w", err)
 	}
-	if err := os.Rename(tmp, l.path); err != nil {
+	if err := l.fs.Rename(tmp, l.path); err != nil {
 		nf.Close()
 		return fmt.Errorf("wal: reset rename: %w", err)
 	}
-	if err := syncDir(filepath.Dir(l.path)); err != nil {
+	if err := l.syncDir(); err != nil {
 		nf.Close()
 		return err
 	}
@@ -355,6 +401,7 @@ func (l *Log) Reset(gen uint64) error {
 	l.frames = 0
 	l.bytes = headerSize
 	l.dirty = false
+	l.syncErr = nil // fresh file, fresh durability state
 	return nil
 }
 
@@ -374,7 +421,7 @@ func (l *Log) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	err := l.f.Sync()
+	err := l.noteSync(l.f.Sync())
 	l.closed = true
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
@@ -382,14 +429,10 @@ func (l *Log) Close() error {
 	return err
 }
 
-// syncDir fsyncs a directory so a rename inside it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: open dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+// syncDir fsyncs the log's directory so a rename or creation inside it is
+// durable.
+func (l *Log) syncDir() error {
+	if err := l.fs.SyncDir(filepath.Dir(l.path)); err != nil {
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}
 	return nil
