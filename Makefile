@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-store check \
+.PHONY: build test race vet lint bench bench-hot bench-store check \
 	fuzz-short chaos loadgen bench-loadgen
 
 build:
@@ -16,6 +16,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is optional locally (CI installs
+# it); the target degrades to a notice when the binary is absent.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Full benchmark harness: every table/figure of the paper plus the hot-kernel
 # micro-benchmarks. Slow — see bench-hot for the quick perf loop.
@@ -40,10 +49,12 @@ fuzz-short:
 	$(GO) test ./internal/wal/ -run NONE -fuzz FuzzFrameDecode -fuzztime 20s
 	$(GO) test ./internal/trajectory/ -run NONE -fuzz FuzzTrajectoryCodec -fuzztime 20s
 
-# Crash-point exploration: replay the upload workload, crash at every
-# filesystem mutation site, recover, and check the durability invariants.
+# Crash-point exploration plus the wedge-mid-workload breaker cycle:
+# replay the upload workload, crash at every filesystem mutation site (or
+# wedge the disk and watch the breaker trip, degrade, and heal), recover,
+# and check the durability invariants.
 chaos:
-	$(GO) test ./internal/chaos/ -race -short -v -run TestCrashPointExploration
+	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestWedgeMidWorkload'
 
 # Seeded load generator against a self-hosted provider; writes
 # BENCH_loadgen.json with throughput and latency percentiles.

@@ -9,10 +9,16 @@
 // by default); the workload digest in the output is a SHA-256 over the
 // exact request bytes, so equal seeds provably generate identical load.
 //
+// With -overload (on by default when self-hosting) a second scenario runs
+// after the throughput measurement: a capacity-starved provider is offered
+// several times its admitted concurrency and must shed the excess with
+// 429 + Retry-After while keeping admitted latency bounded; the result
+// lands under "overload" in the JSON output.
+//
 // Usage:
 //
 //	loadgen [-addr URL] [-seed 1] [-n 200] [-workers 8] [-forged 0.3]
-//	        [-points 20] [-data-dir DIR] [-out BENCH_loadgen.json]
+//	        [-points 20] [-data-dir DIR] [-overload] [-out BENCH_loadgen.json]
 package main
 
 import (
@@ -41,6 +47,8 @@ func run(args []string) error {
 	points := fs.Int("points", 20, "points per trajectory")
 	hist := fs.Int("hist", 60, "historical uploads backing the provider")
 	dataDir := fs.String("data-dir", "", "self-host with WAL persistence in this directory")
+	overload := fs.Bool("overload", true,
+		"also run the overload scenario against a capacity-starved self-hosted provider")
 	out := fs.String("out", "BENCH_loadgen.json", "result file (empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,8 +91,24 @@ func run(args []string) error {
 		res.ForgedRejected, res.ForgedSent,
 		res.RealAccepted, res.Uploads-res.ForgedSent)
 
+	// The overload scenario always self-hosts: it needs a provider with a
+	// deliberately tiny admission capacity, not the one under test above.
+	bench := &benchResult{Result: res}
+	if *overload {
+		fmt.Println("running overload scenario (capacity-starved provider)...")
+		ov, err := loadgen.RunOverload(loadgen.OverloadOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		bench.Overload = ov
+		fmt.Printf("overload: %d offered at %dx capacity: %d admitted, %d shed (429), %d errors\n",
+			ov.Offered, ov.Workers/ov.MaxInFlight, ov.Admitted, ov.Shed, ov.Errors)
+		fmt.Printf("overload: p99 %.2fms admitted vs %.2fms uncontended, accounting ok: %v\n",
+			ov.AdmittedP99Millis, ov.UncontendedP99Millis, ov.AccountingOK)
+	}
+
 	if *out != "" {
-		blob, err := json.MarshalIndent(res, "", "  ")
+		blob, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -94,4 +118,11 @@ func run(args []string) error {
 		fmt.Printf("result written to %s\n", *out)
 	}
 	return nil
+}
+
+// benchResult is the BENCH_loadgen.json schema: the flat throughput
+// result with the overload scenario nested beside it.
+type benchResult struct {
+	*loadgen.Result
+	Overload *loadgen.OverloadResult `json:"overload,omitempty"`
 }

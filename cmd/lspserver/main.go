@@ -4,17 +4,26 @@
 //
 //	POST /v1/trajectory   upload a trajectory (JSON; see internal/server)
 //	GET  /v1/stats        provider counters
-//	GET  /v1/health       liveness
+//	GET  /v1/health       liveness / readiness / degradation
 //
 // With -data-dir the provider state is durable: accepted uploads are
 // journaled to a write-ahead log before the next upload is served, the
 // full state is snapshotted on compaction and shutdown, and a restart
 // recovers counters, history, and the crowdsourced store bit-identically
-// — including uploads accepted moments before a crash.
+// — including uploads accepted moments before a crash. A circuit breaker
+// guards the WAL: when appends or syncs start failing the service flips
+// to degraded (uploads shed with 503, /v1/health non-200) instead of
+// acknowledging writes that would not survive a crash, and self-heals
+// via half-open compaction probes once the disk recovers.
+//
+// Overload control: -max-inflight bounds concurrent verification work,
+// -queue-depth bounds the FIFO wait queue behind it, and -upload-timeout
+// caps per-upload processing; excess load is shed with 429 + Retry-After.
 //
 // Usage:
 //
 //	lspserver -addr :8742 [-seed 1] [-uploads 300] [-data-dir DIR] [-sharded]
+//	          [-max-inflight N] [-queue-depth N] [-upload-timeout 10s]
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -33,6 +43,7 @@ import (
 	"trajforge"
 	"trajforge/internal/dataset"
 	"trajforge/internal/geo"
+	"trajforge/internal/resilience"
 	"trajforge/internal/rssimap"
 	"trajforge/internal/server"
 	"trajforge/internal/shardstore"
@@ -52,6 +63,14 @@ func run(args []string) error {
 	uploads := fs.Int("uploads", 300, "crowdsourced uploads to bootstrap the detector")
 	dataDir := fs.String("data-dir", "", "directory for the WAL and snapshots (empty = in-memory only)")
 	sharded := fs.Bool("sharded", false, "partition the RSSI store by geographic tile")
+	maxInflight := fs.Int("max-inflight", 4*runtime.NumCPU(),
+		"concurrent uploads admitted to the pipeline (0 = unbounded)")
+	queueDepth := fs.Int("queue-depth", 0,
+		"admission wait-queue bound (0 = 2x max-inflight)")
+	uploadTimeout := fs.Duration("upload-timeout", 10*time.Second,
+		"per-upload processing deadline (0 = none)")
+	breakerCooldown := fs.Duration("breaker-cooldown", time.Second,
+		"persistence breaker open period before a half-open heal probe")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,7 +80,11 @@ func run(args []string) error {
 	var persist *server.Persistence
 	var recovered *server.RecoveredState
 	if *dataDir != "" {
-		p, err := server.OpenPersistence(*dataDir, server.PersistOptions{})
+		p, err := server.OpenPersistence(*dataDir, server.PersistOptions{
+			// Fail closed on WAL trouble: shed uploads with 503 instead of
+			// issuing acks that would not survive a crash.
+			Breaker: &resilience.BreakerConfig{Cooldown: *breakerCooldown},
+		})
 		if err != nil {
 			return err
 		}
@@ -149,6 +172,9 @@ func run(args []string) error {
 		WiFi:           det,
 		IngestAccepted: persist != nil,
 		Persist:        persist,
+		MaxInFlight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		UploadTimeout:  *uploadTimeout,
 	})
 	if err != nil {
 		return err
@@ -169,6 +195,12 @@ func run(args []string) error {
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		// Body and response deadlines: a slow-loris body or a stalled
+		// reader cannot pin a connection (and its goroutine) forever.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		// Reap dead keep-alive connections.
+		IdleTimeout: 2 * time.Minute,
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight uploads, flush the
@@ -214,9 +246,21 @@ func printStats(st server.Stats) {
 		fmt.Printf("  stage %-6s %6d runs, avg %8.1f us, total %d ms\n",
 			name, sg.Count, sg.AvgMicros, sg.TotalMicros/1000)
 	}
+	if a := st.Admission; a != nil {
+		fmt.Printf("  admission: %d admitted, %d shed (queue full), %d shed (deadline), %d queue timeouts\n",
+			a.Admitted, a.ShedQueueFull, a.ShedDeadline, a.DeadlineExceeded)
+	}
+	if st.InternalErrors+st.DeadlineRejects+st.DegradedRejects > 0 {
+		fmt.Printf("  errors: %d internal, %d deadline, %d degraded rejects\n",
+			st.InternalErrors, st.DeadlineRejects, st.DegradedRejects)
+	}
 	if p := st.Persistence; p != nil {
 		fmt.Printf("  wal: %d frames, %d bytes, generation %d\n",
 			p.WALFrames, p.WALBytes, p.Generation)
+		if b := p.Breaker; b != nil {
+			fmt.Printf("  breaker: %s, %d opens, %d closes, %d probes\n",
+				b.State, b.Opens, b.Closes, b.Probes)
+		}
 	}
 	if sh := st.Shards; sh != nil {
 		fmt.Printf("  shards: %d tiles, %d records (%d stored with halo), busiest %d\n",

@@ -36,6 +36,11 @@ var ErrInjected = errors.New("faultfs: injected fault")
 // fault has fired.
 var ErrCrashed = errors.New("faultfs: filesystem crashed")
 
+// ErrWedged is returned by every mutating operation while the filesystem
+// is wedged (see FS.Wedge). Unlike a crash, a wedge is reversible: Heal
+// restores normal operation.
+var ErrWedged = errors.New("faultfs: filesystem wedged")
+
 // OpKind classifies a mutating operation.
 type OpKind int
 
@@ -116,6 +121,7 @@ type FS struct {
 	kindSeq int // ops matching opts.FailKind seen
 	ops     []Op
 	crashed bool
+	wedged  bool
 	faulted bool
 }
 
@@ -154,6 +160,32 @@ func (f *FS) Crashed() bool {
 	return f.crashed
 }
 
+// Wedge makes every subsequent mutating operation fail with ErrWedged
+// while reads keep working — a disk that went read-only or an exhausted
+// volume, rather than one that vanished. Heal reverses it. Wedge/Heal is
+// the primitive the chaos wedge-mid-workload scenario uses to drive the
+// persistence circuit breaker through trip, degraded service, and
+// half-open recovery.
+func (f *FS) Wedge() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.wedged = true
+}
+
+// Heal clears a wedge; mutating operations succeed again.
+func (f *FS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.wedged = false
+}
+
+// Wedged reports whether the FS is currently wedged.
+func (f *FS) Wedged() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.wedged
+}
+
 // beforeMutation records one mutating operation and decides its fate.
 // torn >= 0 means "persist exactly torn bytes of the buffer, then fail".
 func (f *FS) beforeMutation(kind OpKind, path string, nbytes int) (torn int, err error) {
@@ -168,6 +200,11 @@ func (f *FS) beforeMutation(kind OpKind, path string, nbytes int) (torn int, err
 		op.Faulted = true
 		f.ops = append(f.ops, op)
 		return -1, fmt.Errorf("faultfs: %s %s: %w", kind, path, ErrCrashed)
+	}
+	if f.wedged {
+		op.Faulted = true
+		f.ops = append(f.ops, op)
+		return -1, fmt.Errorf("faultfs: %s %s: %w", kind, path, ErrWedged)
 	}
 	if f.opts.FailKind == OpAny || f.opts.FailKind == kind {
 		f.kindSeq++

@@ -200,3 +200,36 @@ func TestLatencyInjection(t *testing.T) {
 		t.Fatalf("workload took %v, want >= 16ms of injected latency", elapsed)
 	}
 }
+
+func TestWedgeAndHeal(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(fsx.OS, Options{})
+	if err := runWorkload(fs, dir); err != nil {
+		t.Fatalf("healthy workload: %v", err)
+	}
+
+	fs.Wedge()
+	if !fs.Wedged() {
+		t.Fatal("Wedged() must report true after Wedge")
+	}
+	if err := runWorkload(fs, dir); !errors.Is(err, ErrWedged) {
+		t.Fatalf("wedged workload err = %v, want ErrWedged", err)
+	}
+	// Reads keep working while wedged: the disk is read-only, not gone.
+	if _, err := fs.ReadFile(filepath.Join(dir, "w2.bin")); err != nil {
+		t.Fatalf("wedged read: %v", err)
+	}
+
+	fs.Heal()
+	if fs.Wedged() {
+		t.Fatal("Wedged() must report false after Heal")
+	}
+	if err := runWorkload(fs, dir); err != nil {
+		t.Fatalf("healed workload: %v", err)
+	}
+	// The wedge is a state, not a planned fault: Faulted() tracks only
+	// the FailAt plan.
+	if fs.Faulted() {
+		t.Fatal("wedge must not count as the planned fault")
+	}
+}

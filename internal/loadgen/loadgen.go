@@ -194,10 +194,51 @@ func (s *Server) Close() error {
 	return s.Svc.Close()
 }
 
+// HostOptions tunes the self-hosted provider beyond the defaults.
+type HostOptions struct {
+	// Seed drives detector training (forgery generation for the training
+	// set).
+	Seed int64
+	// DataDir, when non-empty, turns on the WAL persistence layer.
+	DataDir string
+	// MaxInFlight/QueueDepth arm the admission controller (0 = unbounded,
+	// the legacy behaviour); UploadTimeout caps per-upload processing.
+	MaxInFlight   int
+	QueueDepth    int
+	UploadTimeout time.Duration
+	// ServiceDelay, when positive, injects a blocking delay into the
+	// motion stage of every upload. The overload scenario needs admitted
+	// uploads to *occupy* the pipeline for a fixed wall-clock time: on a
+	// small host, the real sub-millisecond CPU-bound stages run to
+	// completion between scheduler preemptions, so concurrent arrivals
+	// serialize ahead of the admission gate and the queue never fills.
+	// A blocking stage makes pipeline occupancy equal offered concurrency
+	// regardless of host parallelism.
+	ServiceDelay time.Duration
+}
+
+// slowMotion is a motion detector that models service time: it blocks
+// for a fixed delay and never rejects (so verdicts are unchanged).
+type slowMotion struct{ delay time.Duration }
+
+func (m slowMotion) Name() string { return "loadgen-delay" }
+
+func (m slowMotion) ProbReal(*trajectory.T) float64 {
+	time.Sleep(m.delay)
+	return 1
+}
+
 // SelfHost trains a provider over the workload's history and serves the
 // verification API in-process. dataDir, when non-empty, turns on the WAL
 // persistence layer — the configuration the race soak uses.
 func (w *Workload) SelfHost(seed int64, dataDir string) (*Server, error) {
+	return w.SelfHostOpts(HostOptions{Seed: seed, DataDir: dataDir})
+}
+
+// SelfHostOpts is SelfHost with the provider's resilience knobs exposed —
+// the overload scenario runs against a deliberately tiny admitted
+// capacity.
+func (w *Workload) SelfHostOpts(h HostOptions) (*Server, error) {
 	nStore := len(w.Hist) * 3 / 4
 	if nStore == 0 || nStore == len(w.Hist) {
 		return nil, fmt.Errorf("loadgen: history too small to split (%d)", len(w.Hist))
@@ -207,7 +248,7 @@ func (w *Workload) SelfHost(seed int64, dataDir string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed + 13))
+	rng := rand.New(rand.NewSource(h.Seed + 13))
 	var fakes []*wifi.Upload
 	for _, u := range w.Hist[:nStore/2] {
 		f, err := dataset.ForgeUpload(rng, u, 1.2)
@@ -229,17 +270,25 @@ func (w *Workload) SelfHost(seed int64, dataDir string) (*Server, error) {
 		replay.AddHistory(u.Traj)
 	}
 	var persist *server.Persistence
-	if dataDir != "" {
-		if persist, err = server.OpenPersistence(dataDir, server.PersistOptions{}); err != nil {
+	if h.DataDir != "" {
+		if persist, err = server.OpenPersistence(h.DataDir, server.PersistOptions{}); err != nil {
 			return nil, err
 		}
+	}
+	var motion detect.MotionDetector
+	if h.ServiceDelay > 0 {
+		motion = slowMotion{delay: h.ServiceDelay}
 	}
 	svc, err := server.New(server.Config{
 		Projection:     w.Projection,
 		Replay:         replay,
+		Motion:         motion,
 		WiFi:           det,
 		IngestAccepted: true,
 		Persist:        persist,
+		MaxInFlight:    h.MaxInFlight,
+		QueueDepth:     h.QueueDepth,
+		UploadTimeout:  h.UploadTimeout,
 	})
 	if err != nil {
 		return nil, err

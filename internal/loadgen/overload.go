@@ -1,0 +1,227 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// OverloadOptions configures the overload scenario: a self-hosted
+// provider with a deliberately tiny admitted capacity, hammered by a
+// sender pool several times larger. Offered concurrency divided by
+// MaxInFlight is the overload factor; the defaults give 16/2 = 8x, well
+// past the 4x the scenario promises.
+type OverloadOptions struct {
+	// Seed fixes the workload bytes (as in Options).
+	Seed int64
+	// N is the number of uploads offered in the overload phase. Default 160.
+	N int
+	// Warmup is the number of serial uncontended uploads measured first to
+	// fix the baseline p99. Default 24.
+	Warmup int
+	// Workers is the overload sender-pool size. Default 16.
+	Workers int
+	// MaxInFlight and QueueDepth bound the provider's admission. Defaults
+	// 2 and 2: capacity 4 requests on the premises at once.
+	MaxInFlight int
+	QueueDepth  int
+	// ServiceDelay is the blocking per-upload service time injected into
+	// the pipeline (see HostOptions.ServiceDelay); it makes pipeline
+	// occupancy track offered concurrency even on a single-CPU host.
+	// Default 5ms.
+	ServiceDelay time.Duration
+	// Points and Hist mirror Options. Defaults 20 and 60.
+	Points int
+	Hist   int
+}
+
+func (o *OverloadOptions) setDefaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.N <= 0 {
+		o.N = 160
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 24
+	}
+	if o.Workers <= 0 {
+		o.Workers = 16
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 2
+	}
+	if o.ServiceDelay <= 0 {
+		o.ServiceDelay = 5 * time.Millisecond
+	}
+	if o.Points <= 0 {
+		o.Points = 20
+	}
+	if o.Hist <= 0 {
+		o.Hist = 60
+	}
+}
+
+// OverloadResult is the measured outcome; it lands in BENCH_loadgen.json
+// under "overload".
+type OverloadResult struct {
+	Seed        int64 `json:"seed"`
+	Offered     int   `json:"offered"`
+	Workers     int   `json:"workers"`
+	MaxInFlight int   `json:"max_inflight"`
+	QueueDepth  int   `json:"queue_depth"`
+	// Admitted is the number of overload-phase uploads that got a verdict
+	// (HTTP 200); Shed is 429s; Errors is everything else.
+	Admitted int `json:"admitted"`
+	Shed     int `json:"shed"`
+	Errors   int `json:"errors"`
+	// RetryAfterMissing counts 429s that arrived without a Retry-After
+	// header (must be 0).
+	RetryAfterMissing int `json:"retry_after_missing"`
+	// UncontendedP99Millis is the warmup baseline; AdmittedP99Millis is
+	// the p99 over admitted (200) overload-phase uploads only — the bound
+	// the scenario asserts. Shed requests answer in microseconds and are
+	// excluded.
+	UncontendedP99Millis float64 `json:"uncontended_p99_ms"`
+	AdmittedP99Millis    float64 `json:"admitted_p99_ms"`
+	// Accounting cross-check from /v1/stats: every request offered in
+	// either phase was admitted or shed, nothing vanished.
+	StatsAdmitted int64  `json:"stats_admitted"`
+	StatsShed     int64  `json:"stats_shed"`
+	AccountingOK  bool   `json:"accounting_ok"`
+	Digest        string `json:"workload_digest"`
+}
+
+// RunOverload builds a workload, self-hosts a capacity-starved provider,
+// measures an uncontended baseline, then offers ≥4x the admitted
+// capacity and verifies the provider sheds instead of queueing without
+// bound: 429s carry Retry-After, admitted latency stays bounded, and the
+// admission counters account for every request offered.
+func RunOverload(opts OverloadOptions) (*OverloadResult, error) {
+	opts.setDefaults()
+	w, err := Build(Options{
+		Seed: opts.Seed, N: opts.Warmup + opts.N,
+		Points: opts.Points, Hist: opts.Hist,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := w.SelfHostOpts(HostOptions{
+		Seed:         opts.Seed,
+		MaxInFlight:  opts.MaxInFlight,
+		QueueDepth:   opts.QueueDepth,
+		ServiceDelay: opts.ServiceDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := srv.URL + "/v1/trajectory"
+
+	res := &OverloadResult{
+		Seed: opts.Seed, Offered: opts.N, Workers: opts.Workers,
+		MaxInFlight: opts.MaxInFlight, QueueDepth: opts.QueueDepth,
+		Digest: w.Digest,
+	}
+
+	// Phase 1 — uncontended baseline: one request in flight at a time can
+	// never queue, so its latency is pure pipeline time.
+	var warm []float64
+	for _, it := range w.Items[:opts.Warmup] {
+		t0 := time.Now()
+		code, _, err := post(client, url, it.Body)
+		if err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("loadgen: warmup upload failed (code %d): %v", code, err)
+		}
+		warm = append(warm, float64(time.Since(t0).Nanoseconds())/1e6)
+	}
+	sort.Float64s(warm)
+	res.UncontendedP99Millis = percentile(warm, 0.99)
+
+	// Phase 2 — overload: Workers closed-loop senders against a capacity
+	// of MaxInFlight+QueueDepth premises. No client retries here: a shed
+	// request must surface as exactly one 429.
+	type outcome struct {
+		admitted, shed, errors, noRetryAfter int
+		latencies                            []float64 // admitted only
+	}
+	items := w.Items[opts.Warmup:]
+	outs := make([]outcome, opts.Workers)
+	var wg sync.WaitGroup
+	for g := 0; g < opts.Workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			o := &outs[g]
+			for i := g; i < len(items); i += opts.Workers {
+				t0 := time.Now()
+				code, retryAfter, err := post(client, url, items[i].Body)
+				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+				switch {
+				case err != nil:
+					o.errors++
+				case code == http.StatusOK:
+					o.admitted++
+					o.latencies = append(o.latencies, ms)
+				case code == http.StatusTooManyRequests:
+					o.shed++
+					if retryAfter == "" {
+						o.noRetryAfter++
+					}
+				default:
+					o.errors++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var admittedLat []float64
+	for i := range outs {
+		o := &outs[i]
+		res.Admitted += o.admitted
+		res.Shed += o.shed
+		res.Errors += o.errors
+		res.RetryAfterMissing += o.noRetryAfter
+		admittedLat = append(admittedLat, o.latencies...)
+	}
+	sort.Float64s(admittedLat)
+	res.AdmittedP99Millis = percentile(admittedLat, 0.99)
+
+	// Accounting: the provider's own counters must cover every request
+	// offered across both phases — admitted + shed = offered, no request
+	// unaccounted for.
+	st := srv.Svc.Stats()
+	if st.Admission == nil {
+		return nil, fmt.Errorf("loadgen: admission stats missing")
+	}
+	a := st.Admission
+	res.StatsAdmitted = a.Admitted
+	res.StatsShed = a.ShedQueueFull + a.ShedDeadline + a.DeadlineExceeded
+	offeredTotal := int64(opts.Warmup + opts.N)
+	res.AccountingOK = res.StatsAdmitted+res.StatsShed == offeredTotal &&
+		res.StatsAdmitted == int64(opts.Warmup+res.Admitted) &&
+		res.Admitted+res.Shed+res.Errors == opts.N
+	return res, nil
+}
+
+// post sends one body and reports (status, Retry-After header, error);
+// the body is drained so connections are reused.
+func post(client *http.Client, url string, body []byte) (int, string, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var sink json.RawMessage
+	_ = json.NewDecoder(resp.Body).Decode(&sink)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}

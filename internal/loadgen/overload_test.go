@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestOverloadSheds drives 16 closed-loop senders into a provider that
+// admits 2 with a wait queue of 2 — an 8x concurrency overload. The
+// provider must shed the excess with 429 + Retry-After rather than queue
+// without bound, the latency of what it does admit must stay within 3x
+// the uncontended baseline, and the admission counters must account for
+// every request offered.
+func TestOverloadSheds(t *testing.T) {
+	opts := OverloadOptions{
+		Seed: 11, N: 96, Warmup: 16, Workers: 16,
+		MaxInFlight: 2, QueueDepth: 2, Points: 16, Hist: 40,
+	}
+	if !testing.Short() {
+		opts.N = 160
+	}
+	res, err := RunOverload(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d non-429 errors under overload: %+v", res.Errors, res)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("8x overload produced no sheds: %+v", res)
+	}
+	if res.Admitted == 0 {
+		t.Fatalf("overload starved every request: %+v", res)
+	}
+	if res.RetryAfterMissing != 0 {
+		t.Fatalf("%d of %d 429s lacked Retry-After", res.RetryAfterMissing, res.Shed)
+	}
+	if !res.AccountingOK {
+		t.Fatalf("admission accounting does not balance: %+v", res)
+	}
+	// Bounded p99: with at most QueueDepth requests ever waiting, an
+	// admitted request waits at most QueueDepth service times on top of
+	// its own. 3x baseline plus a small absolute fudge for scheduler
+	// noise on starved CI machines. Race instrumentation multiplies the
+	// CPU cost of every stage ~10x and starves single-CPU hosts, so the
+	// bound is only meaningful without it (the shed and accounting
+	// assertions above still run under -race).
+	if limit := 3*res.UncontendedP99Millis + 25; !raceEnabled && res.AdmittedP99Millis > limit {
+		t.Fatalf("admitted p99 %.1fms exceeds bound %.1fms (uncontended %.1fms)",
+			res.AdmittedP99Millis, limit, res.UncontendedP99Millis)
+	}
+	// The result must marshal to the BENCH_loadgen.json overload schema.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"admitted", "shed", "uncontended_p99_ms", "admitted_p99_ms", "accounting_ok"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("overload JSON missing %q: %s", key, blob)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled reports whether the race detector is compiled in; the
+// overload test keeps its latency bound honest only in non-race runs
+// (instrumentation multiplies CPU cost ~10x and starves small hosts).
+const raceEnabled = true

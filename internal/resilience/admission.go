@@ -1,0 +1,210 @@
+// Package resilience provides the request-level overload and
+// partial-failure machinery the verification server composes around its
+// pipeline: an admission controller (bounded concurrency plus a bounded
+// FIFO wait queue with deadline-aware shedding), a circuit breaker
+// (closed/open/half-open with monotonic-clock probes) for the persistence
+// path, and a budget-capped retry/backoff policy for clients.
+//
+// The pieces are deliberately independent of net/http: the admission
+// controller speaks context.Context, the breaker speaks Fail/Success, and
+// the retry policy is pure arithmetic — the server and client translate
+// them into 429/503 status codes, Retry-After headers, and sleep loops.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Acquire when both the in-flight slots and
+// the wait queue are saturated; HTTP handlers translate it to 429.
+var ErrQueueFull = errors.New("resilience: admission queue full")
+
+// ErrDeadline is returned by Acquire when the caller's deadline cannot be
+// met: either the estimated queue wait already exceeds the remaining
+// budget, or the deadline expired while queued.
+var ErrDeadline = errors.New("resilience: deadline cannot be met")
+
+// AdmissionConfig bounds the admission controller.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of requests served concurrently. Must be
+	// at least 1 (NewAdmission clamps).
+	MaxInFlight int
+	// QueueDepth is the number of requests allowed to wait for a slot
+	// beyond MaxInFlight; 0 means shed as soon as every slot is busy.
+	QueueDepth int
+}
+
+// AdmissionStats is the observable state of the controller, surfaced by
+// the server under /v1/stats.
+type AdmissionStats struct {
+	// MaxInFlight and QueueDepth echo the configuration.
+	MaxInFlight int `json:"max_inflight"`
+	QueueDepth  int `json:"queue_depth"`
+	// InFlight and Queued are instantaneous gauges.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// Admitted counts requests that acquired a slot.
+	Admitted int64 `json:"admitted"`
+	// ShedQueueFull counts requests rejected because the wait queue was
+	// saturated.
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	// ShedDeadline counts requests rejected up front because their
+	// deadline could not cover the estimated queue wait.
+	ShedDeadline int64 `json:"shed_deadline"`
+	// DeadlineExceeded counts requests whose deadline (or cancellation)
+	// fired while they were queued.
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// AvgServiceMicros is the EWMA of slot hold time, the basis of the
+	// deadline estimate and the Retry-After hint.
+	AvgServiceMicros float64 `json:"avg_service_micros"`
+}
+
+// waiter is one queued acquisition; grant carries the slot handoff.
+type waiter struct {
+	grant chan struct{}
+}
+
+// Admission is a bounded-concurrency semaphore with a bounded FIFO wait
+// queue. Release hands the freed slot directly to the oldest waiter, so
+// admission order is arrival order — no barging under load.
+type Admission struct {
+	mu       sync.Mutex
+	max      int
+	depth    int
+	inflight int
+	queue    []*waiter
+
+	admitted         int64
+	shedQueueFull    int64
+	shedDeadline     int64
+	deadlineExceeded int64
+
+	// avgServiceNanos is an EWMA (alpha 1/8) of how long admitted
+	// requests hold their slot; 0 until the first Release.
+	avgServiceNanos float64
+}
+
+// NewAdmission returns a controller admitting at most cfg.MaxInFlight
+// concurrent requests with cfg.QueueDepth waiters behind them.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 1
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	return &Admission{max: cfg.MaxInFlight, depth: cfg.QueueDepth}
+}
+
+// Acquire blocks until a slot is granted, the queue overflows, or the
+// context's deadline fires (or provably cannot be met). A nil error means
+// the caller holds a slot and must Release it exactly once.
+func (a *Admission) Acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		a.shedDeadline++
+		a.mu.Unlock()
+		return ErrDeadline
+	}
+	if a.inflight < a.max {
+		a.inflight++
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.depth {
+		a.shedQueueFull++
+		a.mu.Unlock()
+		return ErrQueueFull
+	}
+	// Deadline-aware shedding: if the estimated time to reach the front
+	// of the queue already exceeds the caller's remaining budget, fail
+	// now instead of burning a queue slot on a request that will time
+	// out anyway. The estimate is the EWMA service time times the number
+	// of departures that must happen first, spread over max slots.
+	if dl, ok := ctx.Deadline(); ok && a.avgServiceNanos > 0 {
+		waitNanos := a.avgServiceNanos * float64(len(a.queue)+1) / float64(a.max)
+		if time.Until(dl) < time.Duration(waitNanos) {
+			a.shedDeadline++
+			a.mu.Unlock()
+			return ErrDeadline
+		}
+	}
+	w := &waiter{grant: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.deadlineExceeded++
+				a.mu.Unlock()
+				return ErrDeadline
+			}
+		}
+		a.mu.Unlock()
+		// The grant raced the deadline: the slot is already ours, so the
+		// late cancellation loses and the request proceeds.
+		<-w.grant
+		return nil
+	}
+}
+
+// Release frees the caller's slot, handing it to the oldest waiter if any.
+// held is how long the slot was occupied; it feeds the service-time EWMA.
+func (a *Admission) Release(held time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h := float64(held.Nanoseconds()); h > 0 {
+		if a.avgServiceNanos == 0 {
+			a.avgServiceNanos = h
+		} else {
+			a.avgServiceNanos += (h - a.avgServiceNanos) / 8
+		}
+	}
+	if len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.admitted++
+		close(w.grant) // slot passes directly; inflight is unchanged
+		return
+	}
+	a.inflight--
+}
+
+// RetryAfter estimates how long a shed caller should wait before trying
+// again: the time for the current backlog to drain, floored at a second.
+func (a *Admission) RetryAfter() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	est := time.Duration(a.avgServiceNanos * float64(len(a.queue)+1) / float64(a.max))
+	if est < time.Second {
+		est = time.Second
+	}
+	return est.Round(time.Second)
+}
+
+// Stats snapshots the controller.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		MaxInFlight:      a.max,
+		QueueDepth:       a.depth,
+		InFlight:         a.inflight,
+		Queued:           len(a.queue),
+		Admitted:         a.admitted,
+		ShedQueueFull:    a.shedQueueFull,
+		ShedDeadline:     a.shedDeadline,
+		DeadlineExceeded: a.deadlineExceeded,
+		AvgServiceMicros: a.avgServiceNanos / 1e3,
+	}
+}

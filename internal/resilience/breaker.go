@@ -1,0 +1,207 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// StateClosed lets traffic through; failures are counted.
+	StateClosed BreakerState = iota
+	// StateOpen fails fast; after Cooldown a single probe is allowed.
+	StateOpen
+	// StateHalfOpen has one probe in flight deciding the next state.
+	StateHalfOpen
+)
+
+var stateNames = [...]string{"closed", "open", "half-open"}
+
+func (s BreakerState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that opens
+	// the breaker. Default 1: the persistence path it guards has no
+	// transient failure mode worth riding out — a failed append is a
+	// dropped frame either way.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe. Default 250ms.
+	Cooldown time.Duration
+	// Clock overrides the time source for tests; nil means time.Now.
+	// Elapsed-time comparisons go through time.Time's monotonic reading,
+	// so wall-clock steps cannot re-arm or starve the cooldown.
+	Clock func() time.Time
+}
+
+func (c *BreakerConfig) setDefaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 1
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// BreakerStats is the observable breaker state for /v1/stats.
+type BreakerStats struct {
+	// State is "closed", "open", or "half-open".
+	State string `json:"state"`
+	// Opens counts closed/half-open → open transitions.
+	Opens int64 `json:"opens"`
+	// Closes counts half-open → closed transitions (successful heals).
+	Closes int64 `json:"closes"`
+	// Probes counts half-open probes attempted.
+	Probes int64 `json:"probes"`
+	// ConsecutiveFailures is the current failure streak while closed.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+}
+
+// Breaker is a closed/open/half-open circuit breaker. It does not wrap
+// calls itself: the guarded component reports outcomes through Fail and
+// Success, gates work on State, and asks ProbeDue when it is willing to
+// risk a probe. This inversion lets the persistence layer use a full
+// snapshot+log-reset compaction as its probe — the only operation that
+// proves the disk is healthy again AND repairs the frames lost while the
+// breaker was open.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // monotonic anchor of the current open period
+
+	opens  int64
+	closes int64
+	probes int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.setDefaults()
+	return &Breaker{cfg: cfg}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether guarded work may proceed (breaker closed).
+func (b *Breaker) Allow() bool { return b.State() == StateClosed }
+
+// Fail records a failure. While closed it advances the streak and opens
+// the breaker at the threshold; in half-open it re-opens immediately and
+// re-arms the cooldown.
+func (b *Breaker) Fail() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.open()
+		}
+	case StateHalfOpen:
+		b.open()
+	case StateOpen:
+		// Already failing fast; keep the original cooldown anchor.
+	}
+}
+
+// open transitions to StateOpen; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = StateOpen
+	b.openedAt = b.cfg.Clock()
+	b.failures = 0
+	b.opens++
+}
+
+// Success records a success. In half-open it closes the breaker (the
+// probe proved recovery); while closed it resets the failure streak.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		b.state = StateClosed
+		b.failures = 0
+		b.closes++
+	case StateClosed:
+		b.failures = 0
+	case StateOpen:
+		// A success while open can only come from work admitted before
+		// the trip; it proves nothing about the fault, so ignore it.
+	}
+}
+
+// Ok records a success from regular (non-probe) work: it resets the
+// failure streak while closed and is ignored in every other state. Only
+// the half-open probe may close the breaker (via Success) — a stray
+// success from work admitted before the trip proves nothing about whether
+// the fault has cleared.
+func (b *Breaker) Ok() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateClosed {
+		b.failures = 0
+	}
+}
+
+// ProbeDue reports whether the cooldown has elapsed; if so it moves the
+// breaker to half-open and the caller MUST attempt exactly one probe and
+// report it through Success or Fail. At most one caller wins per open
+// period.
+func (b *Breaker) ProbeDue() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen || b.cfg.Clock().Sub(b.openedAt) < b.cfg.Cooldown {
+		return false
+	}
+	b.state = StateHalfOpen
+	b.probes++
+	return true
+}
+
+// ProbeIn returns how long until the next probe is due (0 when due now or
+// when the breaker is not open) — the appender's wake-up interval and the
+// basis of the server's Retry-After on degraded 503s.
+func (b *Breaker) ProbeIn() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.cfg.Clock().Sub(b.openedAt)
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Stats snapshots the breaker.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state.String(),
+		Opens:               b.opens,
+		Closes:              b.closes,
+		Probes:              b.probes,
+		ConsecutiveFailures: b.failures,
+	}
+}

@@ -1,0 +1,368 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionAdmitsUpToCapacity(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 3, QueueDepth: 0})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := a.Acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := a.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("4th acquire = %v, want ErrQueueFull", err)
+	}
+	st := a.Stats()
+	if st.InFlight != 3 || st.Admitted != 3 || st.ShedQueueFull != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	a.Release(time.Millisecond)
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestAdmissionQueueIsFIFO(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 4})
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stagger arrivals so queue order is deterministic.
+			ready <- struct{}{}
+			if err := a.Acquire(ctx); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.Release(0)
+		}(i)
+		<-ready
+		// Wait until the waiter is actually queued before starting the next.
+		for a.Stats().Queued != i+1 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	a.Release(0)
+	wg.Wait()
+	for i, g := range order {
+		if g != i {
+			t.Fatalf("admission order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestAdmissionShedsOnExpiredContext(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.Acquire(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("acquire with dead context = %v, want ErrDeadline", err)
+	}
+	if st := a.Stats(); st.ShedDeadline != 1 {
+		t.Fatalf("ShedDeadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 2})
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := a.Acquire(ctx)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("queued acquire = %v, want ErrDeadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline wait did not fire promptly")
+	}
+	st := a.Stats()
+	if st.DeadlineExceeded != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want the expired waiter dequeued", st)
+	}
+}
+
+func TestAdmissionDeadlineShedUpFront(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, QueueDepth: 8})
+	// Teach the EWMA a 100ms service time.
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	a.Release(100 * time.Millisecond)
+	// Occupy the slot and one queue position.
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := a.Acquire(context.Background()); err == nil {
+			a.Release(0)
+		}
+	}()
+	for a.Stats().Queued != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// A 1ms deadline cannot cover the ~200ms estimated wait: shed up front.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := a.Acquire(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("hopeless acquire = %v, want ErrDeadline", err)
+	}
+	if st := a.Stats(); st.ShedDeadline != 1 {
+		t.Fatalf("ShedDeadline = %d, want 1 (up-front shed, not queued timeout)", st.ShedDeadline)
+	}
+	a.Release(0)
+	<-done
+	a.Release(0)
+}
+
+func TestAdmissionConcurrentStress(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 4, QueueDepth: 4})
+	var peak, cur, served atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := a.Acquire(context.Background()); err != nil {
+					continue // shed
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				served.Add(1)
+				cur.Add(-1)
+				a.Release(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("observed %d concurrent holders, cap is 4", p)
+	}
+	st := a.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked slots: %+v", st)
+	}
+	if st.Admitted != served.Load() {
+		t.Fatalf("admitted %d, served %d", st.Admitted, served.Load())
+	}
+	if st.Admitted+st.ShedQueueFull+st.ShedDeadline+st.DeadlineExceeded != 64*20 {
+		t.Fatalf("accounting leak: %+v does not sum to %d", st, 64*20)
+	}
+}
+
+// testClock is a settable monotonic-ish clock for breaker tests.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &testClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Second, Clock: clk.Now})
+
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatal("new breaker must be closed")
+	}
+	b.Fail()
+	if b.State() != StateClosed {
+		t.Fatal("one failure below threshold must not open")
+	}
+	b.Success()
+	b.Fail() // streak reset by the success: still below threshold
+	if b.State() != StateClosed {
+		t.Fatal("success must reset the failure streak")
+	}
+	b.Fail()
+	if b.State() != StateOpen {
+		t.Fatal("threshold consecutive failures must open")
+	}
+	if b.ProbeDue() {
+		t.Fatal("probe must not be due before cooldown")
+	}
+	clk.Advance(time.Second)
+	if !b.ProbeDue() {
+		t.Fatal("probe must be due after cooldown")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatal("winning ProbeDue must move to half-open")
+	}
+	if b.ProbeDue() {
+		t.Fatal("only one probe per open period")
+	}
+	b.Fail()
+	if b.State() != StateOpen {
+		t.Fatal("failed probe must re-open")
+	}
+	clk.Advance(time.Second)
+	if !b.ProbeDue() {
+		t.Fatal("probe must be due again after re-armed cooldown")
+	}
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatal("successful probe must close")
+	}
+	st := b.Stats()
+	if st.Opens != 2 || st.Closes != 1 || st.Probes != 2 || st.State != "closed" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerProbeIn(t *testing.T) {
+	clk := &testClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Cooldown: time.Second, Clock: clk.Now})
+	if b.ProbeIn() != 0 {
+		t.Fatal("closed breaker has no probe countdown")
+	}
+	b.Fail() // threshold defaults to 1
+	if got := b.ProbeIn(); got != time.Second {
+		t.Fatalf("ProbeIn = %v, want 1s", got)
+	}
+	clk.Advance(700 * time.Millisecond)
+	if got := b.ProbeIn(); got != 300*time.Millisecond {
+		t.Fatalf("ProbeIn = %v, want 300ms", got)
+	}
+	clk.Advance(time.Hour)
+	if got := b.ProbeIn(); got != 0 {
+		t.Fatalf("ProbeIn = %v, want 0 when overdue", got)
+	}
+}
+
+func TestBreakerConcurrentProbeRace(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Cooldown: time.Nanosecond})
+	b.Fail()
+	time.Sleep(time.Millisecond)
+	var won atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.ProbeDue() {
+				won.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if won.Load() != 1 {
+		t.Fatalf("%d goroutines won the probe, want exactly 1", won.Load())
+	}
+}
+
+func TestRetrierBoundsAndJitterRange(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		Base:        10 * time.Millisecond,
+		Max:         80 * time.Millisecond,
+		Source:      rand.NewSource(42),
+	}
+	r := NewRetrier(p)
+	prev := p.Base
+	var n int
+	for {
+		d, ok := r.Next(0)
+		if !ok {
+			break
+		}
+		n++
+		if d < p.Base || d > p.Max {
+			t.Fatalf("delay %v outside [%v, %v]", d, p.Base, p.Max)
+		}
+		if lim := 3 * prev; d > lim && d != p.Max {
+			t.Fatalf("delay %v exceeds decorrelated bound 3*%v", d, prev)
+		}
+		prev = d
+	}
+	if n != p.MaxAttempts-1 {
+		t.Fatalf("got %d delays, want %d", n, p.MaxAttempts-1)
+	}
+}
+
+func TestRetrierBudgetCap(t *testing.T) {
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 100,
+		Base:        40 * time.Millisecond,
+		Max:         40 * time.Millisecond, // deterministic 40ms delays
+		Budget:      100 * time.Millisecond,
+	})
+	var total time.Duration
+	var n int
+	for {
+		d, ok := r.Next(0)
+		if !ok {
+			break
+		}
+		n++
+		total += d
+	}
+	if n != 2 || total != 80*time.Millisecond {
+		t.Fatalf("budget allowed %d sleeps totalling %v, want 2 totalling 80ms", n, total)
+	}
+}
+
+func TestRetrierHonorsServerFloor(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, Base: time.Millisecond, Max: 10 * time.Second})
+	d, ok := r.Next(3 * time.Second)
+	if !ok || d < 3*time.Second {
+		t.Fatalf("delay %v must honor the 3s Retry-After floor", d)
+	}
+}
+
+func TestRetrierZeroPolicyNeverRetries(t *testing.T) {
+	r := NewRetrier(RetryPolicy{})
+	if _, ok := r.Next(0); ok {
+		t.Fatal("zero policy must not grant retries")
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); err == nil {
+		t.Fatal("Sleep must return the context error")
+	}
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("short sleep: %v", err)
+	}
+}

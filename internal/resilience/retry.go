@@ -1,0 +1,115 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy is an exponential backoff with decorrelated jitter and a
+// hard sleep budget. The zero value retries nothing (MaxAttempts 0 means
+// one attempt, no retries); Defaults() returns the client's standard
+// policy.
+//
+// Delays follow the "decorrelated jitter" scheme: each delay is drawn
+// uniformly from [Base, 3*prev], capped at Max — successive retries
+// decorrelate across a fleet of clients instead of synchronising into
+// retry storms, while still backing off exponentially in expectation.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// <= 1 disables retries.
+	MaxAttempts int
+	// Base is the minimum delay between attempts.
+	Base time.Duration
+	// Max caps any single delay.
+	Max time.Duration
+	// Budget caps the cumulative sleep across all retries of one call;
+	// once spent, the call fails with the last error even if attempts
+	// remain. 0 means no cap.
+	Budget time.Duration
+	// Source seeds the jitter; nil uses a locked private source.
+	Source rand.Source
+}
+
+// DefaultRetryPolicy is the client's standard policy: up to 4 tries,
+// 50ms–2s decorrelated jitter, at most 5s of total sleeping.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Base: 50 * time.Millisecond, Max: 2 * time.Second, Budget: 5 * time.Second}
+}
+
+// Retrier tracks one call's retry state: attempt count, previous delay
+// (the decorrelation input), and remaining budget.
+type Retrier struct {
+	policy  RetryPolicy
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+	attempt int
+	prev    time.Duration
+	slept   time.Duration
+}
+
+// NewRetrier starts a retry sequence under the policy.
+func NewRetrier(p RetryPolicy) *Retrier {
+	r := &Retrier{policy: p, prev: p.Base}
+	if p.Source != nil {
+		r.rng = rand.New(p.Source)
+	}
+	return r
+}
+
+// jitter draws a uniform int64 in [0, n).
+func (r *Retrier) jitter(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if r.rng != nil {
+		r.rngMu.Lock()
+		defer r.rngMu.Unlock()
+		return r.rng.Int63n(n)
+	}
+	return rand.Int63n(n)
+}
+
+// Next returns the delay before the next attempt and whether one is
+// allowed. min is a server-supplied floor (a Retry-After hint); pass 0
+// when there is none. The returned delay is already charged against the
+// budget.
+func (r *Retrier) Next(min time.Duration) (time.Duration, bool) {
+	r.attempt++
+	if r.attempt >= r.policy.MaxAttempts {
+		return 0, false
+	}
+	d := r.policy.Base
+	if span := int64(3*r.prev - r.policy.Base); span > 0 {
+		d += time.Duration(r.jitter(span))
+	}
+	if r.policy.Max > 0 && d > r.policy.Max {
+		d = r.policy.Max
+	}
+	if d < min {
+		d = min
+	}
+	if r.policy.Budget > 0 && r.slept+d > r.policy.Budget {
+		return 0, false
+	}
+	r.prev = d
+	r.slept += d
+	return d, true
+}
+
+// Sleep waits d or until the context is done, returning the context error
+// in the latter case.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -2,25 +2,76 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"trajforge/internal/geo"
+	"trajforge/internal/resilience"
 	"trajforge/internal/wifi"
 )
 
-// Client is a minimal client for the verification service, used by the
-// example applications and the end-to-end tests.
+// StatusError is a non-200 answer from the verification service, carrying
+// enough structure for callers (and the retry loop) to branch on: the
+// status code, the server's error message, and its Retry-After hint.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Body is the server's error message (the "error" field of the JSON
+	// body, or the raw body when it was not JSON).
+	Body string
+	// RetryAfter is the server's Retry-After hint, 0 when absent.
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: status %d: %s", e.Code, e.Body)
+}
+
+// Retryable reports whether the failure is worth retrying: overload
+// shedding (429) and unavailability (502/503/504) pass transiently, while
+// client errors (400/404/405/413) will fail identically forever.
+func (e *StatusError) Retryable() bool {
+	switch e.Code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Client is the client for the verification service, used by the example
+// applications, the load generator, and the end-to-end tests. With a
+// non-zero Retry policy it retries shed (429), degraded (503), and
+// transport-level failures with decorrelated-jitter backoff, stamping an
+// Idempotency-Key header per logical upload so the server can collapse
+// wire retries of the same operation into one recorded verdict.
 type Client struct {
 	BaseURL    string
 	Projection *geo.Projection
 	HTTPClient *http.Client
+	// Retry governs upload retries; the zero value disables them.
+	Retry resilience.RetryPolicy
 }
 
-// NewClient returns a client for the service at baseURL.
+// NewClient returns a client with no retries (legacy behaviour).
 func NewClient(baseURL string, pr *geo.Projection) *Client {
 	return &Client{BaseURL: baseURL, Projection: pr, HTTPClient: http.DefaultClient}
+}
+
+// NewRetryingClient returns a client with the default retry policy and a
+// bounded per-request transport timeout.
+func NewRetryingClient(baseURL string, pr *geo.Projection) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		Projection: pr,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		Retry:      resilience.DefaultRetryPolicy(),
+	}
 }
 
 // BuildRequest converts an upload to the wire form.
@@ -46,6 +97,14 @@ func (c *Client) BuildRequest(u *wifi.Upload) (*UploadRequest, error) {
 
 // Upload sends the trajectory and returns the provider's verdict.
 func (c *Client) Upload(u *wifi.Upload) (*Verdict, error) {
+	return c.UploadContext(context.Background(), u)
+}
+
+// UploadContext sends the trajectory under the context's deadline,
+// retrying per the client's Retry policy. All wire attempts of one call
+// share an Idempotency-Key, so a retry after a lost response returns the
+// verdict the server already recorded instead of double-ingesting.
+func (c *Client) UploadContext(ctx context.Context, u *wifi.Upload) (*Verdict, error) {
 	req, err := c.BuildRequest(u)
 	if err != nil {
 		return nil, err
@@ -54,23 +113,83 @@ func (c *Client) Upload(u *wifi.Upload) (*Verdict, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: marshal upload: %w", err)
 	}
-	resp, err := c.HTTPClient.Post(c.BaseURL+"/v1/trajectory", "application/json", bytes.NewReader(body))
+	key := NewIdempotencyKey()
+	retrier := resilience.NewRetrier(c.Retry)
+	for {
+		v, err := c.postUpload(ctx, body, key)
+		if err == nil {
+			return v, nil
+		}
+		floor, retryable := retryDisposition(err)
+		if !retryable || ctx.Err() != nil {
+			return nil, err
+		}
+		d, ok := retrier.Next(floor)
+		if !ok {
+			return nil, fmt.Errorf("server: retries exhausted: %w", err)
+		}
+		if serr := resilience.Sleep(ctx, d); serr != nil {
+			return nil, fmt.Errorf("server: %v while backing off from: %w", serr, err)
+		}
+	}
+}
+
+// retryDisposition classifies one attempt's failure: transport errors are
+// retryable (the request may never have arrived — the idempotency key
+// makes the retry safe even if it did), typed status errors decide for
+// themselves and may carry a server-mandated delay floor.
+func retryDisposition(err error) (floor time.Duration, retryable bool) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter, se.Retryable()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	return 0, true
+}
+
+// postUpload performs one wire attempt.
+func (c *Client) postUpload(ctx context.Context, body []byte, key string) (*Verdict, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/trajectory", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("server: build post: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		hreq.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := c.HTTPClient.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("server: post upload: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return nil, fmt.Errorf("server: upload rejected with status %d: %s", resp.StatusCode, e.Error)
+		return nil, decodeStatusError(resp)
 	}
 	var v Verdict
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		return nil, fmt.Errorf("server: decode verdict: %w", err)
 	}
 	return &v, nil
+}
+
+// decodeStatusError builds the typed error for a non-200 response.
+func decodeStatusError(resp *http.Response) *StatusError {
+	se := &StatusError{Code: resp.StatusCode}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil {
+		se.Body = e.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
 }
 
 // FetchStats retrieves the provider counters.
@@ -85,4 +204,22 @@ func (c *Client) FetchStats() (*Stats, error) {
 		return nil, fmt.Errorf("server: decode stats: %w", err)
 	}
 	return &s, nil
+}
+
+// FetchHealth retrieves the health state. A degraded service answers 503;
+// that is still a successful fetch — the Health body says why.
+func (c *Client) FetchHealth() (*Health, error) {
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/v1/health")
+	if err != nil {
+		return nil, fmt.Errorf("server: get health: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, decodeStatusError(resp)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("server: decode health: %w", err)
+	}
+	return &h, nil
 }

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+)
+
+// dedupCache remembers the verdict served for each Idempotency-Key so a
+// client retry after a lost response replays the recorded verdict instead
+// of re-running the pipeline and double-ingesting the trajectory into the
+// history and the crowdsourced store. Capacity-bounded with FIFO
+// eviction: a key only needs to survive the client's retry window, which
+// is seconds, so the oldest entries are always the safest to drop.
+type dedupCache struct {
+	mu    sync.Mutex
+	cap   int
+	byKey map[string]Verdict
+	order []string // insertion order; head is the eviction candidate
+
+	hits      int64
+	evictions int64
+}
+
+func newDedupCache(capacity int) *dedupCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &dedupCache{cap: capacity, byKey: make(map[string]Verdict, capacity)}
+}
+
+// get returns the recorded verdict for key, if any.
+func (d *dedupCache) get(key string) (Verdict, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, ok := d.byKey[key]
+	if ok {
+		d.hits++
+	}
+	return v, ok
+}
+
+// put records the verdict served for key; a duplicate put keeps the first
+// verdict (the one whose side effects were recorded).
+func (d *dedupCache) put(key string, v Verdict) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.byKey[key]; ok {
+		return
+	}
+	for len(d.byKey) >= d.cap {
+		oldest := d.order[0]
+		d.order = d.order[1:]
+		delete(d.byKey, oldest)
+		d.evictions++
+	}
+	d.byKey[key] = v
+	d.order = append(d.order, key)
+}
+
+// DedupStats is the idempotency-dedup slice of /v1/stats.
+type DedupStats struct {
+	// Entries is the number of keys currently remembered.
+	Entries int `json:"entries"`
+	// Hits counts retried keys answered from the cache.
+	Hits int64 `json:"hits"`
+	// Evictions counts keys dropped to capacity pressure.
+	Evictions int64 `json:"evictions"`
+}
+
+func (d *dedupCache) stats() DedupStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DedupStats{Entries: len(d.byKey), Hits: d.hits, Evictions: d.evictions}
+}
+
+// NewIdempotencyKey returns a fresh 128-bit random key for the
+// Idempotency-Key header; the retrying client stamps one per logical
+// upload so every wire retry is recognisably the same operation.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; an empty key just means the
+		// upload is not replay-protected rather than broken.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}

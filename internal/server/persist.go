@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"trajforge/internal/fsx"
+	"trajforge/internal/resilience"
 	"trajforge/internal/rssimap"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/wal"
@@ -46,6 +47,16 @@ type PersistOptions struct {
 	// FS is the filesystem the WAL and snapshots live on; nil means the
 	// real one. Fault-injection and chaos tests substitute fsx/faultfs.
 	FS fsx.FS
+	// Breaker, when non-nil, arms the fail-closed circuit breaker around
+	// the persistence path: WAL append/sync/compact failures open it, the
+	// service sheds uploads with 503 while it is open, and after the
+	// cooldown a half-open probe attempts a full compaction — the one
+	// operation that both proves the disk is healthy again and repairs
+	// the frames dropped while the breaker was open (the snapshot
+	// captures the complete in-memory state). Nil keeps the legacy
+	// fail-open behaviour: verdicts keep flowing from memory and errors
+	// are only surfaced in /v1/stats.
+	Breaker *resilience.BreakerConfig
 }
 
 func (o *PersistOptions) setDefaults() {
@@ -128,6 +139,13 @@ type Persistence struct {
 	errMu    sync.Mutex
 	firstErr error
 	errCount atomic.Int64 // background append/sync/compact failures
+
+	// breaker guards the persistence path when PersistOptions.Breaker is
+	// set; healedErrs is the errCount value covered by the last committed
+	// snapshot — errors at or below it were repaired by a compaction, so
+	// only errCount > healedErrs means acked-durable is compromised.
+	breaker    *resilience.Breaker
+	healedErrs atomic.Int64
 }
 
 // OpenPersistence opens (or initialises) the data directory and recovers
@@ -159,6 +177,9 @@ func OpenPersistence(dir string, opts PersistOptions) (*Persistence, error) {
 		compactCh: make(chan chan error),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+	}
+	if opts.Breaker != nil {
+		p.breaker = resilience.NewBreaker(*opts.Breaker)
 	}
 	if err := p.load(); err != nil {
 		log.Close()
@@ -248,22 +269,54 @@ func (p *Persistence) enqueueLocked(e persistEntry) {
 	p.queue <- e
 }
 
-// run is the appender goroutine: it drains the queue into the WAL and
-// triggers auto-compaction.
+// run is the appender goroutine: it drains the queue into the WAL,
+// triggers auto-compaction, and — when the breaker is armed — wakes at
+// probe time to attempt the half-open heal.
 func (p *Persistence) run() {
 	defer close(p.done)
 	for {
+		if p.breaker != nil && p.breaker.ProbeDue() {
+			p.probe()
+		}
+		var probeC <-chan time.Time
+		var probeTimer *time.Timer
+		if p.breaker != nil && p.breaker.State() == resilience.StateOpen {
+			probeTimer = time.NewTimer(p.breaker.ProbeIn() + time.Millisecond)
+			probeC = probeTimer.C
+		}
 		select {
 		case e := <-p.queue:
 			p.appendEntry(e)
 			p.maybeAutoCompact()
 		case ch := <-p.compactCh:
 			ch <- p.compact()
+		case <-probeC:
+			// Loop back around; ProbeDue decides at the top.
 		case <-p.stop:
+			if probeTimer != nil {
+				probeTimer.Stop()
+			}
 			p.drainQueue()
 			return
 		}
+		if probeTimer != nil {
+			probeTimer.Stop()
+		}
 	}
+}
+
+// probe is the half-open trial: a full compaction. Success both proves
+// the filesystem accepts writes and syncs again AND repairs the durability
+// hole — every frame dropped while the breaker was open is inside the
+// snapshot, because the snapshot is cut from the in-memory state that
+// never stopped being correct. Failure re-opens the breaker and re-arms
+// the cooldown.
+func (p *Persistence) probe() {
+	if err := p.compact(); err != nil {
+		p.noteErr(err) // noteErr reports the failure to the breaker too
+		return
+	}
+	p.breaker.Success()
 }
 
 // appendEntry frames one entry into the log.
@@ -274,7 +327,7 @@ func (p *Persistence) appendEntry(e persistEntry) {
 		return
 	}
 	if !e.accepted {
-		p.noteErr(p.log.Append(frameRejected, nil))
+		p.noteOutcome(p.log.Append(frameRejected, nil))
 		return
 	}
 	buf, err := appendUpload(p.buf[:0], e.upload)
@@ -283,7 +336,19 @@ func (p *Persistence) appendEntry(e persistEntry) {
 		return
 	}
 	p.buf = buf
-	p.noteErr(p.log.Append(frameAccepted, buf))
+	p.noteOutcome(p.log.Append(frameAccepted, buf))
+}
+
+// noteOutcome records a frame append result: failures feed noteErr (and
+// the breaker), successes reset the breaker's failure streak.
+func (p *Persistence) noteOutcome(err error) {
+	if err == nil {
+		if p.breaker != nil {
+			p.breaker.Ok()
+		}
+		return
+	}
+	p.noteErr(err)
 }
 
 // drainQueue appends everything currently queued without blocking.
@@ -341,6 +406,10 @@ func (p *Persistence) compact() error {
 		return err
 	}
 	p.lastSnapshot.Store(time.Now().UnixNano())
+	// The snapshot captured the complete in-memory state, so every
+	// append failure before this point is repaired: frames that never
+	// made the log are inside the snapshot. Durability is whole again.
+	p.healedErrs.Store(p.errCount.Load())
 	return nil
 }
 
@@ -377,7 +446,16 @@ func (p *Persistence) Flush() error {
 		// still lands the barrier's predecessors; the final Close sync
 		// covers durability.
 	}
-	return p.Err()
+	// Only unhealed errors break the durability promise: failures whose
+	// frames a later snapshot captured (errCount <= healedErrs) are
+	// repaired, so acks issued after the heal are trustworthy again.
+	if p.errCount.Load() > p.healedErrs.Load() {
+		if err := p.Err(); err != nil {
+			return fmt.Errorf("server: durability compromised: %w", err)
+		}
+		return errors.New("server: durability compromised")
+	}
+	return nil
 }
 
 // close stops the appender, takes a final snapshot, and closes the log.
@@ -402,7 +480,9 @@ func (p *Persistence) close() error {
 }
 
 // noteErr counts and records background append/sync/compact failures; the
-// first one is kept verbatim for /v1/stats and Err.
+// first one is kept verbatim for /v1/stats and Err. When the breaker is
+// armed, every failure feeds it — in the closed state it advances the
+// streak toward opening, in half-open it re-opens.
 func (p *Persistence) noteErr(err error) {
 	if err == nil {
 		return
@@ -413,6 +493,33 @@ func (p *Persistence) noteErr(err error) {
 		p.firstErr = err
 	}
 	p.errMu.Unlock()
+	if p.breaker != nil {
+		p.breaker.Fail()
+	}
+}
+
+// degraded reports whether the service must fail closed: the breaker is
+// armed and not closed, so an upload ack could not be made durable.
+func (p *Persistence) degraded() bool {
+	return p.breaker != nil && p.breaker.State() != resilience.StateClosed
+}
+
+// retryAfter is the Retry-After hint for degraded 503s: the time until
+// the next half-open probe could readmit traffic.
+func (p *Persistence) retryAfter() time.Duration {
+	if p.breaker == nil {
+		return 0
+	}
+	return p.breaker.ProbeIn()
+}
+
+// breakerStats snapshots the breaker, nil when not armed.
+func (p *Persistence) breakerStats() *resilience.BreakerStats {
+	if p.breaker == nil {
+		return nil
+	}
+	st := p.breaker.Stats()
+	return &st
 }
 
 // Err returns the first background append/compact failure, if any.
@@ -436,11 +543,18 @@ type PersistStats struct {
 	// QueueDepth is the current number of verdicts awaiting append.
 	QueueDepth int `json:"queue_depth"`
 	// Errors counts background persistence failures (failed appends,
-	// fsyncs, or compactions). Nonzero means acknowledged-durable can no
-	// longer be promised and the operator must intervene.
-	Errors int64 `json:"errors"`
+	// fsyncs, or compactions). UnhealedErrors is the subset not yet
+	// repaired by a committed snapshot; nonzero means acknowledged-durable
+	// cannot currently be promised.
+	Errors         int64 `json:"errors"`
+	UnhealedErrors int64 `json:"unhealed_errors"`
 	// Error is the first background persistence failure, if any.
 	Error string `json:"error,omitempty"`
+	// Breaker reports the fail-closed circuit breaker when armed.
+	Breaker *resilience.BreakerStats `json:"breaker,omitempty"`
+	// Degraded mirrors the health endpoint: true while the breaker is
+	// open or probing and uploads are being shed with 503.
+	Degraded bool `json:"degraded"`
 }
 
 func (p *Persistence) stats() *PersistStats {
@@ -451,6 +565,11 @@ func (p *Persistence) stats() *PersistStats {
 		Generation: p.log.Generation(),
 		QueueDepth: len(p.queue),
 		Errors:     p.errCount.Load(),
+		Breaker:    p.breakerStats(),
+		Degraded:   p.degraded(),
+	}
+	if unhealed := st.Errors - p.healedErrs.Load(); unhealed > 0 {
+		st.UnhealedErrors = unhealed
 	}
 	if ns := p.lastSnapshot.Load(); ns != 0 {
 		st.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)

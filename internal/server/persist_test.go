@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"math"
 	"math/rand"
@@ -183,7 +184,7 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantVerdict, err := svc1.Verify(uploadFor(t, 888, 30))
+	wantVerdict, err := svc1.Verify(context.Background(), uploadFor(t, 888, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 	if st2.Accepted != wantAcc || st2.Rejected != wantRej || st2.History != st1.History {
 		t.Fatalf("restored stats = %+v, want %+v", st2, st1)
 	}
-	gotVerdict, err := svc2.Verify(uploadFor(t, 888, 30))
+	gotVerdict, err := svc2.Verify(context.Background(), uploadFor(t, 888, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 	for i := range replayed.Points {
 		replayed.Points[i].Pos.X += prng.NormFloat64() * 0.3
 	}
-	v, err := svc2.Verify(&wifi.Upload{Traj: replayed, Scans: accepted[0].Scans})
+	v, err := svc2.Verify(context.Background(), &wifi.Upload{Traj: replayed, Scans: accepted[0].Scans})
 	if err != nil {
 		t.Fatal(err)
 	}

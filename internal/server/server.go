@@ -10,16 +10,19 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"trajforge/internal/detect"
 	"trajforge/internal/geo"
+	"trajforge/internal/resilience"
 	"trajforge/internal/shardstore"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/wifi"
@@ -73,6 +76,22 @@ type Config struct {
 	// Persist.Recovered().Records before building the WiFi detector, then
 	// call Restore after New; Close takes the final snapshot.
 	Persist *Persistence
+	// MaxInFlight, when positive, bounds the number of uploads running the
+	// verification pipeline concurrently; excess requests wait in a
+	// bounded FIFO queue and are shed with 429 + Retry-After once the
+	// queue is full or their deadline provably cannot be met. Zero keeps
+	// the legacy unbounded behaviour.
+	MaxInFlight int
+	// QueueDepth is the admission wait-queue bound behind MaxInFlight;
+	// defaults to 2*MaxInFlight when zero. Ignored unless MaxInFlight > 0.
+	QueueDepth int
+	// UploadTimeout, when positive, is the per-upload processing deadline:
+	// the request context handed to the pipeline expires after this long,
+	// so shed or slow uploads stop burning pipeline CPU.
+	UploadTimeout time.Duration
+	// DedupCapacity bounds the idempotency-key replay cache (default
+	// 4096 keys, FIFO eviction).
+	DedupCapacity int
 }
 
 // stageNames lists the verification stages in pipeline order; it fixes the
@@ -97,6 +116,13 @@ type Service struct {
 	history  []*trajectory.T
 
 	stages [5]stageClock // indexed in stageNames order
+
+	admission *resilience.Admission // nil when MaxInFlight == 0
+	dedup     *dedupCache
+
+	internalErrors  atomic.Int64 // pipeline failures answered with 500
+	deadlineRejects atomic.Int64 // uploads cut off by UploadTimeout/disconnect mid-pipeline
+	degradedRejects atomic.Int64 // uploads refused with 503 while the breaker was open
 }
 
 // New returns a service; the projection is required.
@@ -107,7 +133,16 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxPoints <= 0 {
 		cfg.MaxPoints = 10000
 	}
-	s := &Service{cfg: cfg}
+	s := &Service{cfg: cfg, dedup: newDedupCache(cfg.DedupCapacity)}
+	if cfg.MaxInFlight > 0 {
+		depth := cfg.QueueDepth
+		if depth <= 0 {
+			depth = 2 * cfg.MaxInFlight
+		}
+		s.admission = resilience.NewAdmission(resilience.AdmissionConfig{
+			MaxInFlight: cfg.MaxInFlight, QueueDepth: depth,
+		})
+	}
 	if cfg.Persist != nil {
 		if err := cfg.Persist.bind(s); err != nil {
 			return nil, err
@@ -184,6 +219,20 @@ type Stats struct {
 	Rejected int                   `json:"rejected"`
 	History  int                   `json:"history"`
 	Stages   map[string]StageStats `json:"stages"`
+	// InternalErrors counts uploads that failed inside the pipeline and
+	// were answered with 500 — they are in neither Accepted nor Rejected,
+	// so without this counter they would vanish from the accounting.
+	InternalErrors int64 `json:"internal_errors"`
+	// DeadlineRejects counts uploads cut off mid-pipeline by the upload
+	// timeout or a client disconnect; DegradedRejects counts uploads
+	// refused with 503 while the persistence breaker was open.
+	DeadlineRejects int64 `json:"deadline_rejects"`
+	DegradedRejects int64 `json:"degraded_rejects"`
+	// Admission reports the overload-shedding state when MaxInFlight is
+	// configured.
+	Admission *resilience.AdmissionStats `json:"admission,omitempty"`
+	// Dedup reports the idempotency-key replay cache.
+	Dedup *DedupStats `json:"dedup,omitempty"`
 	// Persistence reports the WAL/snapshot state when a data directory is
 	// configured.
 	Persistence *PersistStats `json:"persistence,omitempty"`
@@ -215,11 +264,24 @@ func (s *Service) Stats() Stats {
 			sh = &v
 		}
 	}
+	var adm *resilience.AdmissionStats
+	if s.admission != nil {
+		v := s.admission.Stats()
+		adm = &v
+	}
+	dd := s.dedup.stats()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
 		Accepted: s.accepted, Rejected: s.rejected, History: len(s.history),
-		Stages: stages, Persistence: ps, Shards: sh,
+		Stages:          stages,
+		InternalErrors:  s.internalErrors.Load(),
+		DeadlineRejects: s.deadlineRejects.Load(),
+		DegradedRejects: s.degradedRejects.Load(),
+		Admission:       adm,
+		Dedup:           &dd,
+		Persistence:     ps,
+		Shards:          sh,
 	}
 }
 
@@ -287,8 +349,11 @@ func (s *Service) decode(req *UploadRequest) (*wifi.Upload, error) {
 	return &wifi.Upload{Traj: t, Scans: scans}, nil
 }
 
-// Verify runs the full pipeline on an already-decoded upload.
-func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
+// Verify runs the full pipeline on an already-decoded upload. The context
+// is consulted before every stage: a request that was shed, timed out, or
+// whose client disconnected stops burning pipeline CPU at the next stage
+// boundary instead of running the remaining detectors to completion.
+func (s *Service) Verify(ctx context.Context, u *wifi.Upload) (Verdict, error) {
 	v := Verdict{Checks: map[string]string{
 		"rules":  "skipped",
 		"route":  "skipped",
@@ -297,6 +362,9 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 		"wifi":   "skipped",
 	}}
 
+	if err := ctx.Err(); err != nil {
+		return v, err
+	}
 	if s.cfg.Rules != nil {
 		start := time.Now()
 		vs := s.cfg.Rules.Check(u.Traj)
@@ -309,6 +377,9 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 		v.Checks["rules"] = "pass"
 	}
 
+	if err := ctx.Err(); err != nil {
+		return v, err
+	}
 	if s.cfg.Route != nil {
 		start := time.Now()
 		irrational := s.cfg.Route.IsIrrational(u.Traj)
@@ -321,6 +392,9 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 		v.Checks["route"] = "pass"
 	}
 
+	if err := ctx.Err(); err != nil {
+		return v, err
+	}
 	if s.cfg.Replay != nil {
 		start := time.Now()
 		s.mu.RLock()
@@ -335,6 +409,9 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 		v.Checks["replay"] = "pass"
 	}
 
+	if err := ctx.Err(); err != nil {
+		return v, err
+	}
 	if s.cfg.Motion != nil {
 		start := time.Now()
 		p := s.cfg.Motion.ProbReal(u.Traj)
@@ -348,6 +425,9 @@ func (s *Service) Verify(u *wifi.Upload) (Verdict, error) {
 		v.Checks["motion"] = "pass"
 	}
 
+	if err := ctx.Err(); err != nil {
+		return v, err
+	}
 	if s.cfg.WiFi != nil {
 		// The detector's ProbFake runs the scratch-buffered feature path of
 		// rssimap, so per-request verification does not allocate per point.
@@ -397,19 +477,68 @@ func (s *Service) record(u *wifi.Upload, v Verdict) {
 	}
 }
 
+// Health is the /v1/health body. Live is true whenever the process
+// serves; Ready and Degraded track the persistence circuit breaker: an
+// open (or probing) breaker means acks would not survive a crash, so the
+// service reports degraded with a non-200 status and sheds uploads rather
+// than lie about durability.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "degraded"
+	Live     bool   `json:"live"`
+	Ready    bool   `json:"ready"`
+	Degraded bool   `json:"degraded"`
+	// Breaker is the persistence breaker state when one is armed.
+	Breaker string `json:"breaker,omitempty"`
+}
+
+// Health reports the service's liveness/readiness/degradation state.
+func (s *Service) Health() Health {
+	h := Health{Status: "ok", Live: true, Ready: true}
+	if s.cfg.Persist != nil {
+		if b := s.cfg.Persist.breakerStats(); b != nil {
+			h.Breaker = b.State
+		}
+		if s.cfg.Persist.degraded() {
+			h.Status = "degraded"
+			h.Ready = false
+			h.Degraded = true
+		}
+	}
+	return h
+}
+
 // Handler returns the HTTP mux of the service.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/trajectory", s.handleUpload)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("/v1/health", s.handleHealth)
 	return mux
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	h := s.Health()
+	code := http.StatusOK
+	if h.Degraded {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Persist.retryAfter()))
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// retryAfterSeconds renders a duration as a whole-second Retry-After
+// value, floored at 1 (a zero Retry-After invites an immediate retry
+// storm).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +546,48 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
 		return
 	}
+
+	// Fail closed while the persistence breaker is open: an ack now would
+	// promise a durability the WAL cannot deliver, so shed with 503 until
+	// the half-open probe heals the log.
+	if s.cfg.Persist != nil && s.cfg.Persist.degraded() {
+		s.degradedRejects.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Persist.retryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": "service degraded: persistence unavailable"})
+		return
+	}
+
+	// A retried Idempotency-Key replays the verdict already recorded for
+	// it: the original's side effects (history, store ingestion, WAL
+	// frame) happened exactly once even if the client never saw the ack.
+	key := r.Header.Get("Idempotency-Key")
+	if key != "" {
+		if v, ok := s.dedup.get(key); ok {
+			w.Header().Set("Idempotency-Replayed", "true")
+			writeJSON(w, http.StatusOK, v)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	if s.cfg.UploadTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.UploadTimeout)
+		defer cancel()
+	}
+
+	if s.admission != nil {
+		if err := s.admission.Acquire(ctx); err != nil {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.admission.RetryAfter()))
+			writeJSON(w, http.StatusTooManyRequests,
+				map[string]string{"error": "overloaded: " + err.Error()})
+			return
+		}
+		held := time.Now()
+		defer func() { s.admission.Release(time.Since(held)) }()
+	}
+
 	var req UploadRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -434,12 +605,25 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	verdict, err := s.Verify(u)
+	verdict, err := s.Verify(ctx, u)
 	if err != nil {
+		if ctx.Err() != nil {
+			// The deadline or the client cut the pipeline short; nothing
+			// was recorded, so a retry is safe and cheap to invite.
+			s.deadlineRejects.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"error": "upload deadline exceeded"})
+			return
+		}
+		s.internalErrors.Add(1)
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
 	s.record(u, verdict)
+	if key != "" {
+		s.dedup.put(key, verdict)
+	}
 	writeJSON(w, http.StatusOK, verdict)
 }
 

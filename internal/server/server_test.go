@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -358,11 +359,23 @@ func TestWiFiCheckInternalErrorSurfacesAs500(t *testing.T) {
 		Model:    nil,                                   // never reached
 		Features: rssimap.FeatureConfig{R: -1, TopK: 3}, // invalid radius
 	}
-	_, ts, client := newTestService(t, Config{WiFi: det})
+	svc, ts, client := newTestService(t, Config{WiFi: det})
 	_ = ts
 	u := realisticUpload(t, 41)
-	if _, err := client.Upload(u); err == nil {
+	_, err = client.Upload(u)
+	if err == nil {
 		t.Fatal("broken WiFi stage must surface an error")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("error = %v, want StatusError 500", err)
+	}
+	if se.Retryable() {
+		t.Fatal("a deterministic pipeline failure must not be retryable")
+	}
+	// The failure must also land on the observable counter.
+	if st := svc.Stats(); st.InternalErrors != 1 {
+		t.Fatalf("internal_errors = %d, want 1", st.InternalErrors)
 	}
 }
 
