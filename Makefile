@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test race vet lint bench bench-hot bench-store check \
-	fuzz-short chaos loadgen bench-loadgen
+	fuzz-short chaos loadgen bench-loadgen loadgen-stream
 
 build:
 	$(GO) build ./...
@@ -50,17 +50,24 @@ fuzz-short:
 	$(GO) test ./internal/trajectory/ -run NONE -fuzz FuzzTrajectoryCodec -fuzztime 20s
 
 # Crash-point exploration plus the wedge-mid-workload breaker cycle:
-# replay the upload workload, crash at every filesystem mutation site (or
-# wedge the disk and watch the breaker trip, degrade, and heal), recover,
-# and check the durability invariants.
+# replay the upload workload (batch and streaming sessions), crash at
+# every filesystem mutation site (or wedge the disk and watch the breaker
+# trip, degrade, and heal), recover, and check the durability invariants.
 chaos:
-	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestWedgeMidWorkload'
+	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestSessionCrashPointExploration|TestWedgeMidWorkload'
 
 # Seeded load generator against a self-hosted provider; writes
-# BENCH_loadgen.json with throughput and latency percentiles.
+# BENCH_loadgen.json with throughput and latency percentiles (batch,
+# overload, and streaming-session scenarios).
 loadgen:
 	$(GO) run ./cmd/loadgen
 
 bench-loadgen: loadgen
+
+# Streaming-session soak under the race detector: concurrent sessions with
+# interleaved chunk appends against a self-hosted streaming provider, plus
+# the deterministic-workload check.
+loadgen-stream:
+	$(GO) test ./internal/loadgen/ -race -count=1 -v -run 'TestStreamWorkloadDeterministic|TestStreamSoak'
 
 check: build vet test

@@ -15,10 +15,16 @@
 // 429 + Retry-After while keeping admitted latency bounded; the result
 // lands under "overload" in the JSON output.
 //
+// With -stream (on by default) a third scenario drives the /v1/session
+// streaming API: concurrent sessions with interleaved chunk appends and a
+// mixed real/forged population, reporting per-chunk latency percentiles
+// under "stream" in the JSON output.
+//
 // Usage:
 //
 //	loadgen [-addr URL] [-seed 1] [-n 200] [-workers 8] [-forged 0.3]
-//	        [-points 20] [-data-dir DIR] [-overload] [-out BENCH_loadgen.json]
+//	        [-points 20] [-data-dir DIR] [-overload] [-stream]
+//	        [-out BENCH_loadgen.json]
 package main
 
 import (
@@ -49,6 +55,8 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "self-host with WAL persistence in this directory")
 	overload := fs.Bool("overload", true,
 		"also run the overload scenario against a capacity-starved self-hosted provider")
+	streamFlag := fs.Bool("stream", true,
+		"also run the streaming-session scenario (concurrent sessions, interleaved chunks)")
 	out := fs.String("out", "BENCH_loadgen.json", "result file (empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +115,22 @@ func run(args []string) error {
 			ov.AdmittedP99Millis, ov.UncontendedP99Millis, ov.AccountingOK)
 	}
 
+	// The streaming scenario self-hosts its own streaming-enabled provider
+	// (the one under test above may not expose /v1/session).
+	if *streamFlag {
+		fmt.Println("running streaming scenario (concurrent sessions, interleaved chunks)...")
+		sr, err := loadgen.RunStream(loadgen.StreamOptions{Seed: *seed, Points: *points, Hist: *hist})
+		if err != nil {
+			return err
+		}
+		bench.Stream = sr
+		fmt.Printf("stream: %d sessions (%d forged), %d chunks at %.1f chunks/s: %d accepted, %d rejected, %d early exits, %d errors\n",
+			sr.Sessions, sr.ForgedSent, sr.ChunksSent, sr.ChunkThroughputRPS,
+			sr.Accepted, sr.Rejected, sr.EarlyExits, sr.Errors)
+		fmt.Printf("stream: chunk latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			sr.ChunkP50Millis, sr.ChunkP95Millis, sr.ChunkP99Millis)
+	}
+
 	if *out != "" {
 		blob, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
@@ -121,8 +145,9 @@ func run(args []string) error {
 }
 
 // benchResult is the BENCH_loadgen.json schema: the flat throughput
-// result with the overload scenario nested beside it.
+// result with the overload and streaming scenarios nested beside it.
 type benchResult struct {
 	*loadgen.Result
 	Overload *loadgen.OverloadResult `json:"overload,omitempty"`
+	Stream   *loadgen.StreamResult   `json:"stream,omitempty"`
 }

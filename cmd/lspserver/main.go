@@ -2,9 +2,12 @@
 // On startup it simulates a commercial area, collects a crowdsourced RSSI
 // history, trains the WiFi detector, and serves the verification API:
 //
-//	POST /v1/trajectory   upload a trajectory (JSON; see internal/server)
-//	GET  /v1/stats        provider counters
-//	GET  /v1/health       liveness / readiness / degradation
+//	POST /v1/trajectory     upload a trajectory (JSON; see internal/server)
+//	POST /v1/session/open   open a streaming verification session
+//	POST /v1/session/append append a chunk; acknowledged with a provisional verdict
+//	POST /v1/session/close  finalise; verdict bit-identical to /v1/trajectory
+//	GET  /v1/stats          provider counters
+//	GET  /v1/health         liveness / readiness / degradation
 //
 // With -data-dir the provider state is durable: accepted uploads are
 // journaled to a write-ahead log before the next upload is served, the
@@ -20,10 +23,15 @@
 // -queue-depth bounds the FIFO wait queue behind it, and -upload-timeout
 // caps per-upload processing; excess load is shed with 429 + Retry-After.
 //
+// Streaming sessions are bounded by -max-sessions concurrently open
+// sessions, evicted after -session-ttl (or 90s idle), and score a
+// provisional verdict over a sliding window of -session-window points.
+//
 // Usage:
 //
 //	lspserver -addr :8742 [-seed 1] [-uploads 300] [-data-dir DIR] [-sharded]
 //	          [-max-inflight N] [-queue-depth N] [-upload-timeout 10s]
+//	          [-max-sessions N] [-session-ttl 10m] [-session-window N]
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"trajforge/internal/rssimap"
 	"trajforge/internal/server"
 	"trajforge/internal/shardstore"
+	"trajforge/internal/stream"
 )
 
 func main() {
@@ -71,6 +80,12 @@ func run(args []string) error {
 		"per-upload processing deadline (0 = none)")
 	breakerCooldown := fs.Duration("breaker-cooldown", time.Second,
 		"persistence breaker open period before a half-open heal probe")
+	maxSessions := fs.Int("max-sessions", 1024,
+		"concurrently open streaming verification sessions")
+	sessionTTL := fs.Duration("session-ttl", 10*time.Minute,
+		"absolute streaming session lifetime")
+	sessionWindow := fs.Int("session-window", 16,
+		"sliding-window length (points) of the provisional streaming verdict")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,6 +190,11 @@ func run(args []string) error {
 		MaxInFlight:    *maxInflight,
 		QueueDepth:     *queueDepth,
 		UploadTimeout:  *uploadTimeout,
+		Stream: &stream.Config{
+			MaxSessions: *maxSessions,
+			TTL:         *sessionTTL,
+			Window:      *sessionWindow,
+		},
 	})
 	if err != nil {
 		return err
@@ -207,6 +227,21 @@ func run(args []string) error {
 	// WAL queue, and take the final snapshot.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Sweep expired streaming sessions so abandoned clients free their
+	// admission slots (and their abort verdicts reach the WAL) without
+	// waiting for another request to trip over them.
+	go func() {
+		t := time.NewTicker(15 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				svc.SweepSessions()
+			}
+		}
+	}()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -261,6 +296,10 @@ func printStats(st server.Stats) {
 			fmt.Printf("  breaker: %s, %d opens, %d closes, %d probes\n",
 				b.State, b.Opens, b.Closes, b.Probes)
 		}
+	}
+	if ss := st.Sessions; ss != nil && ss.Opened > 0 {
+		fmt.Printf("  sessions: %d opened, %d closed, %d early-exits, %d expired, %d chunks (%d points scored)\n",
+			ss.Opened, ss.Closed, ss.EarlyExits, ss.Expired, ss.Chunks, ss.PointsScored)
 	}
 	if sh := st.Shards; sh != nil {
 		fmt.Printf("  shards: %d tiles, %d records (%d stored with halo), busiest %d\n",

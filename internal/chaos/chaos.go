@@ -125,55 +125,64 @@ func walkUpload(seed int64, points int) (*wifi.Upload, error) {
 	return &wifi.Upload{Traj: traj, Scans: scans}, nil
 }
 
-// newFixture trains the detector and runs the crash-free reference pass
-// that fixes the verdict sequence and the per-prefix feature vectors.
-func newFixture(opts Options) (*fixture, error) {
-	f := &fixture{
-		opts: opts,
-		proj: geo.NewProjection(origin),
-		fcfg: rssimap.DefaultFeatureConfig(),
-	}
+// trainFixture builds the seeded bootstrap history and trains the WiFi
+// detector shared by the batch and streaming explorers. Only the records,
+// the model, and the feature config are returned — every pass builds its
+// own store.
+func trainFixture(seed int64, points int) ([]rssimap.Record, *xgb.Model, rssimap.FeatureConfig, error) {
+	fcfg := rssimap.DefaultFeatureConfig()
 
 	// Bootstrap store: a dense crowdsourced history along the route.
-	rng := rand.New(rand.NewSource(opts.Seed))
-	f.bootstrap = make([]rssimap.Record, 400)
-	for i := range f.bootstrap {
+	rng := rand.New(rand.NewSource(seed))
+	bootstrap := make([]rssimap.Record, 400)
+	for i := range bootstrap {
 		m := map[string]int{"02:4e:00:00:00:01": -55 - rng.Intn(20)}
 		if rng.Intn(2) == 0 {
 			m["02:4e:00:00:00:02"] = -60 - rng.Intn(20)
 		}
-		f.bootstrap[i] = rssimap.Record{
+		bootstrap[i] = rssimap.Record{
 			Pos:  geo.Point{X: rng.Float64() * 300, Y: rng.NormFloat64() * 3},
 			RSSI: m,
 		}
 	}
 
-	// Train a small but real WiFi detector; only the model and feature
-	// config are kept — every pass gets its own store.
-	trainStore, err := rssimap.NewStore(rssimap.DefaultConfig(), f.bootstrap)
+	trainStore, err := rssimap.NewStore(rssimap.DefaultConfig(), bootstrap)
 	if err != nil {
-		return nil, err
+		return nil, nil, fcfg, err
 	}
 	real := make([]*wifi.Upload, 4)
 	fake := make([]*wifi.Upload, 4)
 	for i := range real {
-		if real[i], err = walkUpload(opts.Seed+int64(700+i), opts.Points); err != nil {
-			return nil, err
+		if real[i], err = walkUpload(seed+int64(700+i), points); err != nil {
+			return nil, nil, fcfg, err
 		}
-		fk, err := walkUpload(opts.Seed+int64(710+i), opts.Points)
+		fk, err := walkUpload(seed+int64(710+i), points)
 		if err != nil {
-			return nil, err
+			return nil, nil, fcfg, err
 		}
 		for j := range fk.Scans {
 			fk.Scans[j] = wifi.Scan{{MAC: "02:4e:00:00:00:01", RSSI: -30}}
 		}
 		fake[i] = fk
 	}
-	det, err := detect.TrainWiFiDetector(trainStore, real, fake, f.fcfg, xgb.DefaultConfig())
+	det, err := detect.TrainWiFiDetector(trainStore, real, fake, fcfg, xgb.DefaultConfig())
 	if err != nil {
-		return nil, fmt.Errorf("chaos: train detector: %w", err)
+		return nil, nil, fcfg, fmt.Errorf("chaos: train detector: %w", err)
 	}
-	f.model = det.Model
+	return bootstrap, det.Model, fcfg, nil
+}
+
+// newFixture trains the detector and runs the crash-free reference pass
+// that fixes the verdict sequence and the per-prefix feature vectors.
+func newFixture(opts Options) (*fixture, error) {
+	f := &fixture{
+		opts: opts,
+		proj: geo.NewProjection(origin),
+	}
+	var err error
+	if f.bootstrap, f.model, f.fcfg, err = trainFixture(opts.Seed, opts.Points); err != nil {
+		return nil, err
+	}
 
 	// Workload: mostly-real uploads with a scripted rejection every 4th.
 	f.uploads = make([]*wifi.Upload, opts.Uploads)

@@ -35,6 +35,7 @@ import (
 	"trajforge/internal/geo"
 	"trajforge/internal/rssimap"
 	"trajforge/internal/server"
+	"trajforge/internal/stream"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/wifi"
 	"trajforge/internal/xgb"
@@ -215,6 +216,9 @@ type HostOptions struct {
 	// A blocking stage makes pipeline occupancy equal offered concurrency
 	// regardless of host parallelism.
 	ServiceDelay time.Duration
+	// Stream, when set, enables the /v1/session streaming endpoints — the
+	// configuration the streaming scenario drives.
+	Stream *stream.Config
 }
 
 // slowMotion is a motion detector that models service time: it blocks
@@ -289,6 +293,7 @@ func (w *Workload) SelfHostOpts(h HostOptions) (*Server, error) {
 		MaxInFlight:    h.MaxInFlight,
 		QueueDepth:     h.QueueDepth,
 		UploadTimeout:  h.UploadTimeout,
+		Stream:         h.Stream,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,386 @@
+package loadgen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"trajforge/internal/dataset"
+	"trajforge/internal/geo"
+	"trajforge/internal/server"
+	"trajforge/internal/stream"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+// This file is the streaming-session scenario: many concurrent sessions,
+// their chunk appends interleaved, a deterministic mix of real and forged
+// trajectories, per-chunk latency percentiles. Like the batch workload,
+// every request body is pre-encoded and digested, so equal seeds provably
+// offer identical load.
+
+// StreamOptions configures the streaming scenario.
+type StreamOptions struct {
+	// Seed fixes the workload bytes. Default 1.
+	Seed int64
+	// Sessions is the number of streaming sessions. Default 24.
+	Sessions int
+	// Chunks is the number of appends each session's trajectory is split
+	// into. Default 4.
+	Chunks int
+	// Workers is the sender-pool size; each worker drives its sessions'
+	// chunks round-robin, so appends interleave within a worker and race
+	// across workers. Default 6.
+	Workers int
+	// ForgedFrac is the fraction of forged sessions. Default 0.25.
+	ForgedFrac float64
+	// Points per trajectory. Default 20.
+	Points int
+	// Hist is the number of historical uploads backing the provider.
+	// Default 60.
+	Hist int
+	// BaseURL is the server to drive. Empty means RunStream self-hosts.
+	BaseURL string
+	// DataDir, when self-hosting, turns on the WAL persistence layer —
+	// session frames included.
+	DataDir string
+	// HTTPClient overrides the default client.
+	HTTPClient *http.Client
+}
+
+func (o *StreamOptions) setDefaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 24
+	}
+	if o.Chunks <= 0 {
+		o.Chunks = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = 6
+	}
+	if o.ForgedFrac == 0 {
+		o.ForgedFrac = 0.25
+	}
+	if o.Points <= 0 {
+		o.Points = 20
+	}
+	if o.Hist <= 0 {
+		o.Hist = 60
+	}
+	if o.Chunks > o.Points {
+		o.Chunks = o.Points
+	}
+}
+
+// StreamSession is one pre-encoded session: the exact bytes of its open,
+// append, and close requests.
+type StreamSession struct {
+	ID string
+	// Open, Appends (in seq order), and Close are the request bodies.
+	Open    []byte
+	Appends [][]byte
+	Close   []byte
+	// Forged marks attack sessions (ground truth for the detection report).
+	Forged bool
+}
+
+// StreamWorkload is a deterministic session sequence plus the simulated
+// world it came from; the embedded Workload carries the history the
+// self-hosted provider trains from.
+type StreamWorkload struct {
+	*Workload
+	Sessions []StreamSession
+	// StreamDigest is hex SHA-256 over every session's bodies in order.
+	StreamDigest string
+}
+
+// BuildStream simulates the area and pre-encodes every session request.
+func BuildStream(opts StreamOptions) (*StreamWorkload, error) {
+	opts.setDefaults()
+	nForged := int(math.Round(float64(opts.Sessions) * opts.ForgedFrac))
+	if nForged > opts.Sessions {
+		nForged = opts.Sessions
+	}
+	nReal := opts.Sessions - nForged
+
+	area, err := dataset.BuildArea(dataset.AreaSpec{
+		Name: "loadgen-stream", Mode: trajectory.ModeWalking,
+		Width: 195, Height: 175, NumAPs: 300, BlockSize: 45,
+		Trajectories: opts.Hist + nReal,
+		Points:       opts.Points, Interval: 2 * time.Second,
+		Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: build stream area: %w", err)
+	}
+	w := &StreamWorkload{Workload: &Workload{
+		Hist:       area.Uploads[:opts.Hist],
+		Projection: geo.NewProjection(origin),
+	}}
+
+	rng := rand.New(rand.NewSource(opts.Seed + 17))
+	fresh := area.Uploads[opts.Hist:]
+	forgedEvery := 0
+	if nForged > 0 {
+		forgedEvery = opts.Sessions / nForged
+	}
+	enc := server.NewClient("", w.Projection)
+	h := sha256.New()
+	var freshIdx, forgedCount int
+	for i := 0; i < opts.Sessions; i++ {
+		var u *wifi.Upload
+		forged := forgedEvery > 0 && forgedCount < nForged && i%forgedEvery == forgedEvery-1
+		if forged {
+			src := w.Hist[rng.Intn(len(w.Hist))]
+			if u, err = dataset.ForgeUpload(rng, src, 1.2); err != nil {
+				return nil, fmt.Errorf("loadgen: forge session %d: %w", i, err)
+			}
+			forgedCount++
+		} else {
+			u = fresh[freshIdx%len(fresh)]
+			freshIdx++
+		}
+		ss := StreamSession{ID: fmt.Sprintf("stream-%04d", i), Forged: forged}
+		mode := ""
+		if u.Traj.Mode != 0 {
+			mode = u.Traj.Mode.String()
+		}
+		if ss.Open, err = json.Marshal(server.SessionOpenRequest{ID: ss.ID, Mode: mode}); err != nil {
+			return nil, err
+		}
+		n := u.Traj.Len()
+		for c := 0; c < opts.Chunks; c++ {
+			lo, hi := c*n/opts.Chunks, (c+1)*n/opts.Chunks
+			if lo == hi {
+				continue
+			}
+			req, err := enc.BuildSessionAppend(ss.ID, len(ss.Appends), u, lo, hi)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: encode session %d chunk %d: %w", i, c, err)
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			ss.Appends = append(ss.Appends, body)
+		}
+		if ss.Close, err = json.Marshal(server.SessionCloseRequest{SessionID: ss.ID}); err != nil {
+			return nil, err
+		}
+		h.Write(ss.Open)
+		for _, b := range ss.Appends {
+			h.Write(b)
+		}
+		h.Write(ss.Close)
+		w.Sessions = append(w.Sessions, ss)
+	}
+	w.StreamDigest = hex.EncodeToString(h.Sum(nil))
+	return w, nil
+}
+
+// StreamResult is the measured outcome; it nests under "stream" in the
+// BENCH_loadgen.json schema.
+type StreamResult struct {
+	Seed             int64 `json:"seed"`
+	Sessions         int   `json:"sessions"`
+	ChunksPerSession int   `json:"chunks_per_session"`
+	Workers          int   `json:"workers"`
+	ForgedSent       int   `json:"forged_sent"`
+	// ChunksSent counts append requests actually sent — early-exited
+	// sessions stop streaming, so this can undershoot Sessions*Chunks.
+	ChunksSent int `json:"chunks_sent"`
+	Errors     int `json:"errors"`
+	// EarlyExits counts sessions the provider rejected mid-stream.
+	EarlyExits     int     `json:"early_exits"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"`
+	RealAccepted   int     `json:"real_accepted"`
+	ForgedRejected int     `json:"forged_rejected"`
+	DurationSec    float64 `json:"duration_sec"`
+	// ChunkThroughputRPS is append requests per second across the run.
+	ChunkThroughputRPS float64 `json:"chunk_throughput_rps"`
+	// Chunk append latency percentiles, milliseconds.
+	ChunkP50Millis float64 `json:"chunk_p50_ms"`
+	ChunkP95Millis float64 `json:"chunk_p95_ms"`
+	ChunkP99Millis float64 `json:"chunk_p99_ms"`
+	WorkloadDigest string  `json:"workload_digest"`
+}
+
+// Run drives baseURL with the session workload. Worker g owns sessions
+// g, g+W, g+2W, ...: it opens them all, then appends their chunks
+// round-robin (chunk 0 of each, chunk 1 of each, ...), then closes them in
+// order — so appends of different sessions interleave in every worker's
+// request stream, and workers race each other on the wire.
+func (w *StreamWorkload) Run(opts StreamOptions) (*StreamResult, error) {
+	opts.setDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required (self-host via RunStream)")
+	}
+	client := opts.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	type workerStats struct {
+		latencies                []float64 // chunk append milliseconds
+		chunksSent, errors       int
+		earlyExits               int
+		accepted, rejected       int
+		realAccept, forgedReject int
+	}
+	stats := make([]workerStats, opts.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < opts.Workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			st := &stats[g]
+			var mine []int
+			for i := g; i < len(w.Sessions); i += opts.Workers {
+				mine = append(mine, i)
+			}
+			rejected := make(map[int]bool)
+			failed := make(map[int]bool)
+			for _, i := range mine {
+				var open server.SessionOpenResponse
+				if err := postStream(client, opts.BaseURL+"/v1/session/open", w.Sessions[i].Open, &open); err != nil {
+					st.errors++
+					failed[i] = true
+				}
+			}
+			maxChunks := 0
+			for _, i := range mine {
+				if n := len(w.Sessions[i].Appends); n > maxChunks {
+					maxChunks = n
+				}
+			}
+			for c := 0; c < maxChunks; c++ {
+				for _, i := range mine {
+					if failed[i] || rejected[i] || c >= len(w.Sessions[i].Appends) {
+						continue
+					}
+					var ack server.SessionAppendResponse
+					t0 := time.Now()
+					err := postStream(client, opts.BaseURL+"/v1/session/append", w.Sessions[i].Appends[c], &ack)
+					st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
+					st.chunksSent++
+					if err != nil {
+						st.errors++
+						failed[i] = true
+						continue
+					}
+					if ack.Rejected {
+						rejected[i] = true
+						st.earlyExits++
+					}
+				}
+			}
+			for _, i := range mine {
+				if failed[i] {
+					continue
+				}
+				var v server.Verdict
+				if err := postStream(client, opts.BaseURL+"/v1/session/close", w.Sessions[i].Close, &v); err != nil {
+					st.errors++
+					continue
+				}
+				if v.Accepted {
+					st.accepted++
+					if !w.Sessions[i].Forged {
+						st.realAccept++
+					}
+				} else {
+					st.rejected++
+					if w.Sessions[i].Forged {
+						st.forgedReject++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &StreamResult{
+		Seed:             opts.Seed,
+		Sessions:         len(w.Sessions),
+		ChunksPerSession: opts.Chunks,
+		Workers:          opts.Workers,
+		DurationSec:      elapsed.Seconds(),
+		WorkloadDigest:   w.StreamDigest,
+	}
+	var all []float64
+	for i := range stats {
+		st := &stats[i]
+		all = append(all, st.latencies...)
+		res.ChunksSent += st.chunksSent
+		res.Errors += st.errors
+		res.EarlyExits += st.earlyExits
+		res.Accepted += st.accepted
+		res.Rejected += st.rejected
+		res.RealAccepted += st.realAccept
+		res.ForgedRejected += st.forgedReject
+	}
+	for _, ss := range w.Sessions {
+		if ss.Forged {
+			res.ForgedSent++
+		}
+	}
+	if elapsed > 0 {
+		res.ChunkThroughputRPS = float64(res.ChunksSent) / elapsed.Seconds()
+	}
+	sort.Float64s(all)
+	res.ChunkP50Millis = percentile(all, 0.50)
+	res.ChunkP95Millis = percentile(all, 0.95)
+	res.ChunkP99Millis = percentile(all, 0.99)
+	return res, nil
+}
+
+// RunStream builds the session workload, self-hosts a streaming-enabled
+// provider (unless opts.BaseURL targets one), and drives it.
+func RunStream(opts StreamOptions) (*StreamResult, error) {
+	opts.setDefaults()
+	w, err := BuildStream(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.BaseURL == "" {
+		srv, err := w.SelfHostOpts(HostOptions{
+			Seed:    opts.Seed,
+			DataDir: opts.DataDir,
+			Stream:  &stream.Config{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		opts.BaseURL = srv.URL
+	}
+	return w.Run(opts)
+}
+
+// postStream sends one pre-encoded session request and decodes the 200
+// response into out.
+func postStream(client *http.Client, url string, body []byte, out any) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

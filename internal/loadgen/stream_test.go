@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+
+	"trajforge/internal/stream"
+)
+
+// TestStreamWorkloadDeterministic pins the reproducibility contract for
+// the session workload: the digest is a pure function of the options.
+func TestStreamWorkloadDeterministic(t *testing.T) {
+	opts := StreamOptions{Seed: 5, Sessions: 10, Chunks: 3, Points: 12, Hist: 20}
+	a, err := BuildStream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildStream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StreamDigest != b.StreamDigest {
+		t.Fatalf("same seed, different digests: %s != %s", a.StreamDigest, b.StreamDigest)
+	}
+	if len(a.Sessions) != 10 {
+		t.Fatalf("built %d sessions, want 10", len(a.Sessions))
+	}
+	var forged int
+	for _, ss := range a.Sessions {
+		if ss.Forged {
+			forged++
+		}
+		if len(ss.Appends) == 0 || len(ss.Open) == 0 || len(ss.Close) == 0 {
+			t.Fatalf("session %s missing request bodies", ss.ID)
+		}
+	}
+	if forged == 0 || forged == len(a.Sessions) {
+		t.Fatalf("degenerate mix: %d forged of %d", forged, len(a.Sessions))
+	}
+
+	opts.Seed = 6
+	c, err := BuildStream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StreamDigest == a.StreamDigest {
+		t.Fatal("different seeds produced the same digest")
+	}
+}
+
+// TestStreamSoak is the streaming end-to-end soak: a self-hosted provider
+// with the WAL and session endpoints enabled, driven by concurrent workers
+// whose chunk appends interleave. Under -race this covers the whole
+// streaming path — open admission, chunk buffering and WAL journaling,
+// incremental scoring, close pipeline, accepted-session ingestion.
+func TestStreamSoak(t *testing.T) {
+	opts := StreamOptions{Seed: 11, Sessions: 18, Chunks: 3, Workers: 6, Points: 16, Hist: 40}
+	if !testing.Short() {
+		opts.Sessions = 36
+	}
+	opts.DataDir = t.TempDir()
+	w, err := BuildStream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := w.SelfHostOpts(HostOptions{
+		Seed:    opts.Seed,
+		DataDir: opts.DataDir,
+		Stream:  &stream.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.BaseURL = srv.URL
+	res, err := w.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors: %+v", res.Errors, res)
+	}
+	if res.Accepted+res.Rejected != res.Sessions {
+		t.Fatalf("verdicts %d+%d != %d sessions", res.Accepted, res.Rejected, res.Sessions)
+	}
+	if res.RealAccepted == 0 {
+		t.Fatalf("no real session accepted: %+v", res)
+	}
+	if res.ForgedSent == 0 || res.ForgedRejected == 0 {
+		t.Fatalf("forgery mix degenerate: %+v", res)
+	}
+	if res.ChunksSent == 0 || res.ChunkThroughputRPS <= 0 || res.ChunkP50Millis <= 0 ||
+		res.ChunkP95Millis < res.ChunkP50Millis || res.ChunkP99Millis < res.ChunkP95Millis {
+		t.Fatalf("implausible chunk latency profile: %+v", res)
+	}
+	if res.WorkloadDigest != w.StreamDigest {
+		t.Fatal("result does not carry the workload digest")
+	}
+	// The result must marshal to the BENCH_loadgen.json "stream" schema.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"chunk_throughput_rps", "chunk_p50_ms", "chunk_p95_ms", "chunk_p99_ms", "workload_digest"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("result JSON missing %q: %s", key, blob)
+		}
+	}
+	// Server-side session counters must agree with the client's tally.
+	st := srv.Svc.Stats()
+	if st.Sessions == nil {
+		t.Fatal("stats missing sessions block")
+	}
+	if st.Sessions.Opened != int64(res.Sessions) || st.Sessions.Closed != int64(res.Sessions) {
+		t.Fatalf("server opened/closed %d/%d sessions, client drove %d",
+			st.Sessions.Opened, st.Sessions.Closed, res.Sessions)
+	}
+	if st.Accepted != res.Accepted || st.Rejected != res.Rejected {
+		t.Fatalf("server counted %d/%d, client %d/%d",
+			st.Accepted, st.Rejected, res.Accepted, res.Rejected)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,6 +26,9 @@ type Backend interface {
 	ConfidenceTol(o geo.Point, mac string, rssi int, r float64, tol Tolerance) (phi float64, num int)
 	// PointConfidences verifies the TopK strongest observations of one scan.
 	PointConfidences(o geo.Point, scan wifi.Scan, cfg FeatureConfig) []PointConfidence
+	// PointConfidencesInto is PointConfidences appending into dst[:0] — the
+	// allocation-free form streaming verification runs per chunk.
+	PointConfidencesInto(dst []PointConfidence, o geo.Point, scan wifi.Scan, cfg FeatureConfig) []PointConfidence
 	// Features computes the Eq. 8 feature vector of an upload.
 	Features(u *wifi.Upload, cfg FeatureConfig) ([]float64, error)
 	// FeaturesBatch extracts the feature vectors of many uploads in parallel,

@@ -192,6 +192,86 @@ func decodeStatusError(resp *http.Response) *StatusError {
 	return se
 }
 
+// OpenSession opens a streaming verification session and returns its id.
+// id may be empty (the server generates one); mode is the claimed travel
+// mode as in batch uploads ("" = unknown).
+func (c *Client) OpenSession(id, mode string) (string, error) {
+	var resp SessionOpenResponse
+	if err := c.postJSON("/v1/session/open", SessionOpenRequest{ID: id, Mode: mode}, &resp); err != nil {
+		return "", err
+	}
+	return resp.SessionID, nil
+}
+
+// BuildSessionAppend encodes points [lo, hi) of the upload as chunk seq of
+// the session — the wire form AppendSession posts, exposed so workload
+// generators can pre-encode deterministic request bytes.
+func (c *Client) BuildSessionAppend(sessionID string, seq int, u *wifi.Upload, lo, hi int) (*SessionAppendRequest, error) {
+	if lo < 0 || hi > u.Traj.Len() || lo >= hi {
+		return nil, fmt.Errorf("server: chunk [%d, %d) of %d points", lo, hi, u.Traj.Len())
+	}
+	req := &SessionAppendRequest{
+		SessionID: sessionID, Seq: seq,
+		Points: make([]uploadPoint, 0, hi-lo),
+	}
+	for i := lo; i < hi; i++ {
+		p := u.Traj.Points[i]
+		ll := c.Projection.ToLatLon(p.Pos)
+		req.Points = append(req.Points, uploadPoint{
+			Lat:  ll.Lat,
+			Lon:  ll.Lon,
+			Time: p.Time.UnixMilli(),
+			Scan: u.Scans[i],
+		})
+	}
+	return req, nil
+}
+
+// AppendSession sends points [lo, hi) of the upload as chunk seq and
+// returns the provisional acknowledgement.
+func (c *Client) AppendSession(sessionID string, seq int, u *wifi.Upload, lo, hi int) (*SessionAppendResponse, error) {
+	req, err := c.BuildSessionAppend(sessionID, seq, u, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	var ack SessionAppendResponse
+	if err := c.postJSON("/v1/session/append", req, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// CloseSession finalises the session; the verdict is the batch pipeline's
+// answer over the assembled trajectory.
+func (c *Client) CloseSession(sessionID string) (*Verdict, error) {
+	var v Verdict
+	if err := c.postJSON("/v1/session/close", SessionCloseRequest{SessionID: sessionID}, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// postJSON posts one JSON request body and decodes a 200 response into
+// out; non-200 answers become typed StatusErrors.
+func (c *Client) postJSON(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("server: marshal %s: %w", path, err)
+	}
+	resp, err := c.HTTPClient.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server: post %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeStatusError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
 // FetchStats retrieves the provider counters.
 func (c *Client) FetchStats() (*Stats, error) {
 	resp, err := c.HTTPClient.Get(c.BaseURL + "/v1/stats")

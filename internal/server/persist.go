@@ -14,6 +14,7 @@ import (
 	"trajforge/internal/fsx"
 	"trajforge/internal/resilience"
 	"trajforge/internal/rssimap"
+	"trajforge/internal/stream"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/wal"
 	"trajforge/internal/wifi"
@@ -23,6 +24,13 @@ import (
 const (
 	frameAccepted byte = 1 // payload: one accepted upload (see walcodec.go)
 	frameRejected byte = 2 // empty payload; only bumps the rejected counter
+	// Streaming-session lifecycle frames. A session's history in the log is
+	// open → chunk* → verdict; recovery reassembles in-flight sessions from
+	// the frames after the last snapshot (plus the snapshot's own session
+	// list) and either resumes or aborts them.
+	frameSessionOpen    byte = 3 // payload: session id + claimed mode
+	frameSessionChunk   byte = 4 // payload: one chunk as an upload frame (id = session id)
+	frameSessionVerdict byte = 5 // payload: session id + outcome (rejected/accepted/aborted)
 )
 
 const (
@@ -90,12 +98,18 @@ type RecoveredState struct {
 	// in Records — Service.Restore applies them through the same code path
 	// a live accept takes, so recovery is equivalent to re-receiving them.
 	Uploads []*wifi.Upload
+	// Sessions are the streaming sessions still in flight at crash time:
+	// their journaled chunks, with no verdict frame yet. Service.Restore
+	// resumes each one (or aborts it with a journaled verdict when the
+	// restarted configuration cannot hold it).
+	Sessions []stream.SessionState
 }
 
 // Empty reports whether nothing was recovered (fresh data directory).
 func (st *RecoveredState) Empty() bool {
 	return st.Accepted == 0 && st.Rejected == 0 &&
-		len(st.Records) == 0 && len(st.History) == 0 && len(st.Uploads) == 0
+		len(st.Records) == 0 && len(st.History) == 0 &&
+		len(st.Uploads) == 0 && len(st.Sessions) == 0
 }
 
 // snapshotData is the gob-encoded snapshot payload. gob stores float64 and
@@ -104,13 +118,29 @@ type snapshotData struct {
 	Accepted, Rejected int
 	Records            []rssimap.Record
 	History            []*trajectory.T
+	Sessions           []stream.SessionState
 }
+
+// entryKind discriminates queued WAL appends. The zero value is a batch
+// verdict, so the pre-streaming enqueue sites read unchanged.
+type entryKind int
+
+const (
+	entryVerdict entryKind = iota
+	entrySessionOpen
+	entrySessionChunk
+	entrySessionVerdict
+)
 
 // persistEntry is one queued WAL append; a barrier entry (barrier != nil)
 // carries no frame and is closed once everything before it is on disk.
 type persistEntry struct {
-	accepted bool
-	upload   *wifi.Upload
+	kind     entryKind
+	accepted bool            // entryVerdict: upload accepted?
+	upload   *wifi.Upload    // accepted verdict payload, or one session chunk
+	sessID   string          // session open/verdict frames
+	mode     trajectory.Mode // session open frames
+	outcome  byte            // session verdict frames
 	barrier  chan struct{}
 }
 
@@ -191,6 +221,7 @@ func OpenPersistence(dir string, opts PersistOptions) (*Persistence, error) {
 // load reconciles snapshot and WAL generations and replays the log.
 func (p *Persistence) load() error {
 	st := &RecoveredState{}
+	pending := newPendingSessions()
 	snapGen, payload, err := wal.ReadSnapshotFS(p.opts.FS, p.snapPath)
 	switch {
 	case errors.Is(err, wal.ErrNoSnapshot):
@@ -204,6 +235,11 @@ func (p *Persistence) load() error {
 		}
 		st.Accepted, st.Rejected = snap.Accepted, snap.Rejected
 		st.Records, st.History = snap.Records, snap.History
+		for i := range snap.Sessions {
+			if err := pending.open(snap.Sessions[i]); err != nil {
+				return fmt.Errorf("%w: snapshot sessions: %v", wal.ErrCorrupt, err)
+			}
+		}
 	}
 
 	walGen := p.log.Generation()
@@ -232,6 +268,51 @@ func (p *Persistence) load() error {
 				st.Accepted++
 			case frameRejected:
 				st.Rejected++
+			case frameSessionOpen:
+				id, mode, err := decodeSessionOpen(payload)
+				if err != nil {
+					return err
+				}
+				if err := pending.open(stream.SessionState{ID: id, Mode: mode}); err != nil {
+					return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+				}
+			case frameSessionChunk:
+				chunk, err := decodeUpload(payload)
+				if err != nil {
+					return err
+				}
+				if err := pending.appendChunk(chunk); err != nil {
+					return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+				}
+			case frameSessionVerdict:
+				id, outcome, err := decodeSessionVerdict(payload)
+				if err != nil {
+					return err
+				}
+				sess, err := pending.resolve(id)
+				if err != nil {
+					return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+				}
+				switch outcome {
+				case sessionAccepted:
+					// The verdict frame carries no trajectory: the chunks
+					// already journaled every point bit-exact. Reassemble and
+					// replay through the same path a batch accept takes, in
+					// frame (= ingestion) order.
+					st.Uploads = append(st.Uploads, &wifi.Upload{
+						Traj: &trajectory.T{
+							ID: sess.ID, Mode: sess.Mode, Points: sess.Points,
+						},
+						Scans: sess.Scans,
+					})
+					st.Accepted++
+				case sessionRejected:
+					st.Rejected++
+				case sessionAborted:
+					// Expired or refused on restart: drop without a verdict.
+				default:
+					return fmt.Errorf("%w: unknown session outcome %d", wal.ErrCorrupt, outcome)
+				}
 			default:
 				return fmt.Errorf("%w: unknown frame type %d", wal.ErrCorrupt, typ)
 			}
@@ -241,8 +322,74 @@ func (p *Persistence) load() error {
 			return err
 		}
 	}
+	st.Sessions = pending.inFlight()
 	p.recovered = st
 	return nil
+}
+
+// pendingSessions tracks streaming sessions during replay: seeded from the
+// snapshot, grown by open/chunk frames, retired by verdict frames.
+// Whatever is left in flight at the end of the log is handed to
+// Service.Restore to resume or abort.
+type pendingSessions struct {
+	byID  map[string]*stream.SessionState
+	order []string
+}
+
+func newPendingSessions() *pendingSessions {
+	return &pendingSessions{byID: make(map[string]*stream.SessionState)}
+}
+
+func (ps *pendingSessions) open(st stream.SessionState) error {
+	if st.ID == "" {
+		return errors.New("session frame without an id")
+	}
+	if _, dup := ps.byID[st.ID]; dup {
+		return fmt.Errorf("session %q opened twice", st.ID)
+	}
+	if len(st.Scans) != len(st.Points) {
+		return fmt.Errorf("session %q has %d scans for %d points", st.ID, len(st.Scans), len(st.Points))
+	}
+	ps.byID[st.ID] = &st
+	ps.order = append(ps.order, st.ID)
+	return nil
+}
+
+func (ps *pendingSessions) appendChunk(chunk *wifi.Upload) error {
+	sess, ok := ps.byID[chunk.Traj.ID]
+	if !ok {
+		return fmt.Errorf("chunk for unopened session %q", chunk.Traj.ID)
+	}
+	sess.Points = append(sess.Points, chunk.Traj.Points...)
+	sess.Scans = append(sess.Scans, chunk.Scans...)
+	sess.Chunks++
+	return nil
+}
+
+func (ps *pendingSessions) resolve(id string) (*stream.SessionState, error) {
+	sess, ok := ps.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("verdict for unopened session %q", id)
+	}
+	delete(ps.byID, id)
+	for i, oid := range ps.order {
+		if oid == id {
+			ps.order = append(ps.order[:i], ps.order[i+1:]...)
+			break
+		}
+	}
+	return sess, nil
+}
+
+func (ps *pendingSessions) inFlight() []stream.SessionState {
+	if len(ps.order) == 0 {
+		return nil
+	}
+	out := make([]stream.SessionState, 0, len(ps.order))
+	for _, id := range ps.order {
+		out = append(out, *ps.byID[id])
+	}
+	return out
 }
 
 // Recovered returns the state reconstructed at open time.
@@ -326,17 +473,46 @@ func (p *Persistence) appendEntry(e persistEntry) {
 		close(e.barrier)
 		return
 	}
-	if !e.accepted {
-		p.noteOutcome(p.log.Append(frameRejected, nil))
-		return
+	switch e.kind {
+	case entryVerdict:
+		if !e.accepted {
+			p.noteOutcome(p.log.Append(frameRejected, nil))
+			return
+		}
+		buf, err := appendUpload(p.buf[:0], e.upload)
+		if err != nil {
+			p.noteErr(err)
+			return
+		}
+		p.buf = buf
+		p.noteOutcome(p.log.Append(frameAccepted, buf))
+	case entrySessionOpen:
+		buf, err := appendSessionOpen(p.buf[:0], e.sessID, e.mode)
+		if err != nil {
+			p.noteErr(err)
+			return
+		}
+		p.buf = buf
+		p.noteOutcome(p.log.Append(frameSessionOpen, buf))
+	case entrySessionChunk:
+		buf, err := appendUpload(p.buf[:0], e.upload)
+		if err != nil {
+			p.noteErr(err)
+			return
+		}
+		p.buf = buf
+		p.noteOutcome(p.log.Append(frameSessionChunk, buf))
+	case entrySessionVerdict:
+		buf, err := appendSessionVerdict(p.buf[:0], e.sessID, e.outcome)
+		if err != nil {
+			p.noteErr(err)
+			return
+		}
+		p.buf = buf
+		p.noteOutcome(p.log.Append(frameSessionVerdict, buf))
+	default:
+		p.noteErr(fmt.Errorf("server: unknown persist entry kind %d", e.kind))
 	}
-	buf, err := appendUpload(p.buf[:0], e.upload)
-	if err != nil {
-		p.noteErr(err)
-		return
-	}
-	p.buf = buf
-	p.noteOutcome(p.log.Append(frameAccepted, buf))
 }
 
 // noteOutcome records a frame append result: failures feed noteErr (and

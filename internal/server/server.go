@@ -24,6 +24,7 @@ import (
 	"trajforge/internal/geo"
 	"trajforge/internal/resilience"
 	"trajforge/internal/shardstore"
+	"trajforge/internal/stream"
 	"trajforge/internal/trajectory"
 	"trajforge/internal/wifi"
 )
@@ -92,6 +93,12 @@ type Config struct {
 	// DedupCapacity bounds the idempotency-key replay cache (default
 	// 4096 keys, FIFO eviction).
 	DedupCapacity int
+	// Stream, when set, enables the /v1/session streaming verification
+	// endpoints. New fills an unset Detector from WiFi and an unset
+	// MaxPoints from the service's MaxPoints, so the streaming path scores
+	// with the same detector and honours the same size cap as the batch
+	// path.
+	Stream *stream.Config
 }
 
 // stageNames lists the verification stages in pipeline order; it fixes the
@@ -119,6 +126,7 @@ type Service struct {
 
 	admission *resilience.Admission // nil when MaxInFlight == 0
 	dedup     *dedupCache
+	stream    *stream.Manager // nil unless Config.Stream is set
 
 	internalErrors  atomic.Int64 // pipeline failures answered with 500
 	deadlineRejects atomic.Int64 // uploads cut off by UploadTimeout/disconnect mid-pipeline
@@ -142,6 +150,20 @@ func New(cfg Config) (*Service, error) {
 		s.admission = resilience.NewAdmission(resilience.AdmissionConfig{
 			MaxInFlight: cfg.MaxInFlight, QueueDepth: depth,
 		})
+	}
+	if cfg.Stream != nil {
+		scfg := *cfg.Stream
+		if scfg.Detector == nil {
+			scfg.Detector = cfg.WiFi
+		}
+		if scfg.MaxPoints <= 0 {
+			scfg.MaxPoints = cfg.MaxPoints
+		}
+		mgr, err := stream.NewManager(scfg)
+		if err != nil {
+			return nil, err
+		}
+		s.stream = mgr
 	}
 	if cfg.Persist != nil {
 		if err := cfg.Persist.bind(s); err != nil {
@@ -179,6 +201,19 @@ func (s *Service) Restore(state *RecoveredState) {
 			s.cfg.WiFi.Store.AddUploads([]*wifi.Upload{u})
 		}
 	}
+	// Resume recovered in-flight sessions; one the streaming layer cannot
+	// hold (disabled, over limit, or inconsistent) is aborted cleanly with
+	// a journaled verdict so recovery never replays it again.
+	for _, st := range state.Sessions {
+		if s.stream != nil && s.stream.RestoreSession(st) == nil {
+			continue
+		}
+		if s.cfg.Persist != nil {
+			s.cfg.Persist.enqueueLocked(persistEntry{
+				kind: entrySessionVerdict, sessID: st.ID, outcome: sessionAborted,
+			})
+		}
+	}
 }
 
 // Close drains the persistence queue, takes a final snapshot, and closes
@@ -198,6 +233,9 @@ func (s *Service) snapshotLocked() snapshotData {
 	st.History = append([]*trajectory.T(nil), s.history...)
 	if s.cfg.WiFi != nil {
 		st.Records = s.cfg.WiFi.Store.Records()
+	}
+	if s.stream != nil {
+		st.Sessions = s.stream.SnapshotSessions()
 	}
 	return st
 }
@@ -239,6 +277,9 @@ type Stats struct {
 	// Shards reports store partitioning when the WiFi detector runs
 	// against a geo-sharded backend.
 	Shards *shardstore.Stats `json:"shards,omitempty"`
+	// Sessions reports the streaming verification lifecycle when the
+	// /v1/session endpoints are enabled.
+	Sessions *stream.Stats `json:"sessions,omitempty"`
 }
 
 // Stats returns a snapshot of the counters.
@@ -270,6 +311,11 @@ func (s *Service) Stats() Stats {
 		adm = &v
 	}
 	dd := s.dedup.stats()
+	var sess *stream.Stats
+	if s.stream != nil {
+		v := s.stream.Stats()
+		sess = &v
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
@@ -282,6 +328,7 @@ func (s *Service) Stats() Stats {
 		Dedup:           &dd,
 		Persistence:     ps,
 		Shards:          sh,
+		Sessions:        sess,
 	}
 }
 
@@ -314,7 +361,7 @@ func (s *Service) decode(req *UploadRequest) (*wifi.Upload, error) {
 	if len(req.Points) > s.cfg.MaxPoints {
 		return nil, fmt.Errorf("trajectory has %d points, limit %d", len(req.Points), s.cfg.MaxPoints)
 	}
-	t := &trajectory.T{ID: req.ID, Points: make([]trajectory.Point, len(req.Points))}
+	t := &trajectory.T{ID: req.ID}
 	if req.Mode != "" {
 		m, err := trajectory.ParseMode(req.Mode)
 		if err != nil {
@@ -322,14 +369,35 @@ func (s *Service) decode(req *UploadRequest) (*wifi.Upload, error) {
 		}
 		t.Mode = m
 	}
-	scans := make([]wifi.Scan, len(req.Points))
+	pts, scans, anyScan, err := s.decodePoints(req.Points)
+	if err != nil {
+		return nil, err
+	}
+	t.Points = pts
+	if err := t.Validate(500 * time.Millisecond); err != nil {
+		return nil, err
+	}
+	if !anyScan && (s.cfg.RequireScans || s.cfg.WiFi != nil) {
+		return nil, errors.New("upload carries no WiFi scans")
+	}
+	return &wifi.Upload{Traj: t, Scans: scans}, nil
+}
+
+// decodePoints converts wire points into projected plane points and scans —
+// the shared half of batch and streaming decoding. Trajectory-level rules
+// (length, timing) stay with the callers: the batch decoder validates the
+// whole trajectory at once, while the stream manager enforces them
+// incrementally across chunk boundaries.
+func (s *Service) decodePoints(points []uploadPoint) ([]trajectory.Point, []wifi.Scan, bool, error) {
+	pts := make([]trajectory.Point, len(points))
+	scans := make([]wifi.Scan, len(points))
 	var anyScan bool
-	for i, p := range req.Points {
+	for i, p := range points {
 		ll := geo.LatLon{Lat: p.Lat, Lon: p.Lon}
 		if !ll.Valid() {
-			return nil, fmt.Errorf("point %d: invalid coordinate %v", i, ll)
+			return nil, nil, false, fmt.Errorf("point %d: invalid coordinate %v", i, ll)
 		}
-		t.Points[i] = trajectory.Point{
+		pts[i] = trajectory.Point{
 			Pos:  s.cfg.Projection.ToPlane(ll),
 			Time: time.UnixMilli(p.Time).UTC(),
 		}
@@ -340,13 +408,7 @@ func (s *Service) decode(req *UploadRequest) (*wifi.Upload, error) {
 			scans[i] = wifi.Scan{}
 		}
 	}
-	if err := t.Validate(500 * time.Millisecond); err != nil {
-		return nil, err
-	}
-	if !anyScan && (s.cfg.RequireScans || s.cfg.WiFi != nil) {
-		return nil, errors.New("upload carries no WiFi scans")
-	}
-	return &wifi.Upload{Traj: t, Scans: scans}, nil
+	return pts, scans, anyScan, nil
 }
 
 // Verify runs the full pipeline on an already-decoded upload. The context
@@ -513,12 +575,22 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/trajectory", s.handleUpload)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/v1/session/open", s.handleSessionOpen)
+	mux.HandleFunc("/v1/session/append", s.handleSessionAppend)
+	mux.HandleFunc("/v1/session/close", s.handleSessionClose)
 	return mux
+}
+
+// writeMethodNotAllowed answers 405 with the mandatory Allow header
+// (RFC 9110 §15.5.6) listing the methods the endpoint does accept.
+func writeMethodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": allow + " only"})
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		writeMethodNotAllowed(w, http.MethodGet)
 		return
 	}
 	h := s.Health()
@@ -543,7 +615,7 @@ func retryAfterSeconds(d time.Duration) string {
 
 func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		writeMethodNotAllowed(w, http.MethodPost)
 		return
 	}
 
@@ -629,7 +701,7 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		writeMethodNotAllowed(w, http.MethodGet)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())

@@ -59,6 +59,80 @@ func appendUpload(buf []byte, u *wifi.Upload) ([]byte, error) {
 	return buf, nil
 }
 
+// appendSessionOpen encodes a frameSessionOpen payload:
+//
+//	u16 len(id) | id | u8 mode
+func appendSessionOpen(buf []byte, id string, mode trajectory.Mode) ([]byte, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: session open without an id")
+	}
+	if len(id) > math.MaxUint16 {
+		return nil, fmt.Errorf("server: session id of %d bytes too long to persist", len(id))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	buf = append(buf, byte(mode))
+	return buf, nil
+}
+
+// decodeSessionOpen parses a frameSessionOpen payload.
+func decodeSessionOpen(data []byte) (string, trajectory.Mode, error) {
+	r := &frameReader{data: data}
+	idLen, err := r.u16()
+	if err != nil {
+		return "", 0, err
+	}
+	id, err := r.take(int(idLen))
+	if err != nil {
+		return "", 0, err
+	}
+	mode, err := r.u8()
+	if err != nil {
+		return "", 0, err
+	}
+	if r.off != len(data) {
+		return "", 0, fmt.Errorf("server: %d trailing bytes in session open frame", len(data)-r.off)
+	}
+	return string(id), trajectory.Mode(mode), nil
+}
+
+// appendSessionVerdict encodes a frameSessionVerdict payload:
+//
+//	u16 len(id) | id | u8 outcome
+func appendSessionVerdict(buf []byte, id string, outcome byte) ([]byte, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: session verdict without an id")
+	}
+	if len(id) > math.MaxUint16 {
+		return nil, fmt.Errorf("server: session id of %d bytes too long to persist", len(id))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	buf = append(buf, outcome)
+	return buf, nil
+}
+
+// decodeSessionVerdict parses a frameSessionVerdict payload.
+func decodeSessionVerdict(data []byte) (string, byte, error) {
+	r := &frameReader{data: data}
+	idLen, err := r.u16()
+	if err != nil {
+		return "", 0, err
+	}
+	id, err := r.take(int(idLen))
+	if err != nil {
+		return "", 0, err
+	}
+	outcome, err := r.u8()
+	if err != nil {
+		return "", 0, err
+	}
+	if r.off != len(data) {
+		return "", 0, fmt.Errorf("server: %d trailing bytes in session verdict frame", len(data)-r.off)
+	}
+	return string(id), outcome, nil
+}
+
 // frameReader is a bounds-checked cursor over one frame payload.
 type frameReader struct {
 	data []byte

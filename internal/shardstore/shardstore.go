@@ -236,6 +236,16 @@ func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg rssimap.Featur
 	return sh.PointConfidences(o, scan, cfg)
 }
 
+// PointConfidencesInto is PointConfidences appending into dst[:0] — the
+// allocation-free form, routed to the shard owning o.
+func (s *Store) PointConfidencesInto(dst []rssimap.PointConfidence, o geo.Point, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
+	sh := s.shardAt(o)
+	if sh == nil {
+		return emptyConfidences(dst, scan, cfg)
+	}
+	return sh.PointConfidencesInto(dst, o, scan, cfg)
+}
+
 // emptyConfidences mirrors the global store's zero-reference answer: one
 // zero-valued entry per reported TopK AP.
 func emptyConfidences(dst []rssimap.PointConfidence, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
