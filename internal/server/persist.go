@@ -31,6 +31,7 @@ const (
 	frameSessionOpen    byte = 3 // payload: session id + claimed mode
 	frameSessionChunk   byte = 4 // payload: one chunk as an upload frame (id = session id)
 	frameSessionVerdict byte = 5 // payload: session id + outcome (rejected/accepted/aborted)
+	frameSessionReject  byte = 6 // payload: session id; early-exit fired, session still open
 )
 
 const (
@@ -130,6 +131,7 @@ const (
 	entrySessionOpen
 	entrySessionChunk
 	entrySessionVerdict
+	entrySessionReject
 )
 
 // persistEntry is one queued WAL append; a barrier entry (barrier != nil)
@@ -284,6 +286,14 @@ func (p *Persistence) load() error {
 				if err := pending.appendChunk(chunk); err != nil {
 					return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
 				}
+			case frameSessionReject:
+				id, err := decodeSessionReject(payload)
+				if err != nil {
+					return err
+				}
+				if err := pending.reject(id); err != nil {
+					return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+				}
 			case frameSessionVerdict:
 				id, outcome, err := decodeSessionVerdict(payload)
 				if err != nil {
@@ -363,6 +373,18 @@ func (ps *pendingSessions) appendChunk(chunk *wifi.Upload) error {
 	sess.Points = append(sess.Points, chunk.Traj.Points...)
 	sess.Scans = append(sess.Scans, chunk.Scans...)
 	sess.Chunks++
+	return nil
+}
+
+// reject marks a pending session as early-exit rejected. The marker frame
+// is journaled while the session is still registered, so replay must find
+// it in flight; a reject for a resolved or unknown session is corruption.
+func (ps *pendingSessions) reject(id string) error {
+	sess, ok := ps.byID[id]
+	if !ok {
+		return fmt.Errorf("reject marker for unopened session %q", id)
+	}
+	sess.Rejected = true
 	return nil
 }
 
@@ -510,6 +532,14 @@ func (p *Persistence) appendEntry(e persistEntry) {
 		}
 		p.buf = buf
 		p.noteOutcome(p.log.Append(frameSessionVerdict, buf))
+	case entrySessionReject:
+		buf, err := appendSessionReject(p.buf[:0], e.sessID)
+		if err != nil {
+			p.noteErr(err)
+			return
+		}
+		p.buf = buf
+		p.noteOutcome(p.log.Append(frameSessionReject, buf))
 	default:
 		p.noteErr(fmt.Errorf("server: unknown persist entry kind %d", e.kind))
 	}

@@ -158,15 +158,24 @@ func (s *Service) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 		s.writeStreamError(w, req.SessionID, err)
 		return
 	}
-	if !replayed {
-		// Scoring holds only the session lock, so concurrent sessions (and
-		// batch uploads) verify in parallel with this chunk's kernel runs.
-		ack, err = s.stream.Score(req.SessionID)
-		if err != nil {
-			s.internalErrors.Add(1)
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-			return
-		}
+	// Scoring holds only the session lock, so concurrent sessions (and
+	// batch uploads) verify in parallel with this chunk's kernel runs.
+	// Replays score too: the chunk may have committed and journaled on an
+	// earlier attempt whose Score then failed, and the retry must answer
+	// with a fresh verdict rather than echo the stale pre-score ack —
+	// Score is idempotent over already-scored points, so this is cheap.
+	ack, err = s.stream.Score(req.SessionID)
+	if err != nil {
+		s.internalErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if ack.Rejected {
+		// The early exit fired on this append (a rejected session refuses
+		// every later Buffer, so this Score call is the unique transition);
+		// journal the marker so recovery cannot silently readmit a client
+		// already told its prefix is confidently forged.
+		s.journalSessionReject(req.SessionID)
 	}
 	writeJSON(w, http.StatusOK, SessionAppendResponse{Ack: ack, Replayed: replayed})
 }
@@ -190,6 +199,22 @@ func (s *Service) bufferChunk(id string, seq int, pts []trajectory.Point, scans 
 		s.cfg.Persist.enqueueLocked(persistEntry{kind: entrySessionChunk, upload: chunk})
 	}
 	return ack, false, nil
+}
+
+// journalSessionReject journals the early-exit marker for id. Under the
+// service mutex the session table and the WAL queue move together: while
+// the session is still registered, its verdict frame (enqueued by
+// recordSession under this same mutex, which also resolves the session)
+// cannot yet be queued, so the marker always lands before the verdict.
+// If a concurrent close already resolved the session, the rejection is
+// recorded in the verdict itself and the marker is moot.
+func (s *Service) journalSessionReject(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Persist == nil || !s.stream.Registered(id) {
+		return
+	}
+	s.cfg.Persist.enqueueLocked(persistEntry{kind: entrySessionReject, sessID: id})
 }
 
 // handleSessionClose runs the batch pipeline over the assembled trajectory

@@ -223,6 +223,16 @@ func TestSessionErrorMapping(t *testing.T) {
 	if _, err := client.AppendSession(id, 5, u, 0, 2); statusOf(err) != http.StatusConflict {
 		t.Fatalf("out-of-order = %v", err)
 	}
+	// A negative seq is an ordering conflict, not a replay of chunk -1.
+	if _, err := client.AppendSession(id, -1, u, 0, 2); statusOf(err) != http.StatusConflict {
+		t.Fatalf("negative seq = %v", err)
+	}
+	// An oversized client-supplied id is refused up front — before the open
+	// frame could reach the WAL appender and fail there, degrading the
+	// whole service.
+	if _, err := client.OpenSession(strings.Repeat("x", stream.MaxIDLen+1), ""); statusOf(err) != http.StatusBadRequest {
+		t.Fatalf("oversized id = %v", err)
+	}
 	// Bad mode.
 	if _, err := client.OpenSession("", "hovercraft"); statusOf(err) != http.StatusBadRequest {
 		t.Fatalf("bad mode = %v", err)
@@ -311,6 +321,45 @@ func TestSessionEarlyExitOverHTTP(t *testing.T) {
 	st := svc.Stats()
 	if st.Rejected != 1 || st.Sessions.EarlyExits != 1 || st.Sessions.Closed != 1 {
 		t.Fatalf("stats = %+v / %+v", st, st.Sessions)
+	}
+}
+
+// TestSessionReplayRecoversFailedScore pins the retry contract: when a
+// chunk commits (and journals) but the scoring step fails before the
+// client hears back, retrying the same seq must answer with a freshly
+// scored ack — not echo the stale pre-score one, which would silently lose
+// the chunk's provisional verdict.
+func TestSessionReplayRecoversFailedScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), persistRecords(rng, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := trainTestDetector(t, store)
+	svc, _, client := newTestService(t, Config{
+		WiFi: det, Stream: &stream.Config{DisableEarlyExit: true},
+	})
+	u := uploadFor(t, 110, 12)
+	id, err := client.OpenSession("retry", "walking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the failure: commit the chunk without scoring it. The
+	// handler runs Buffer then Score; a Score failure leaves exactly this
+	// state behind — chunk applied and journaled, no provisional verdict.
+	if _, _, err := svc.bufferChunk(id, 0, u.Traj.Points[:8], u.Scans[:8]); err != nil {
+		t.Fatal(err)
+	}
+	// The retry replays the committed chunk and must carry a fresh verdict.
+	ack, err := client.AppendSession(id, 0, u, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Replayed {
+		t.Fatalf("retry not recognised as replay: %+v", ack)
+	}
+	if ack.Scored != 8 || ack.WindowPoints == 0 {
+		t.Fatalf("replayed ack not rescored: %+v", ack)
 	}
 }
 
@@ -509,6 +558,98 @@ func TestSessionCrashRecoveryResume(t *testing.T) {
 	}
 }
 
+// TestSessionEarlyExitSurvivesCrash proves the mid-stream rejection is as
+// durable as any verdict: after a crash, the recovered session is still
+// rejected — appends stay refused and close records the rejection without
+// running the pipeline — instead of silently reverting to open.
+func TestSessionEarlyExitSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(111))
+	recs := persistRecords(rng, 400)
+	store1, err := rssimap.NewStore(rssimap.DefaultConfig(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := trainTestDetector(t, store1)
+	streamCfg := func() *stream.Config {
+		return &stream.Config{Window: 8, EarlyExit: 0.5, EarlyExitAfter: 8}
+	}
+
+	// Run 1: stream a forged prefix until the early exit fires, flush,
+	// crash without closing.
+	p1, err := OpenPersistence(dir, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, client1 := newTestService(t, Config{
+		WiFi: det, Stream: streamCfg(), Persist: p1,
+	})
+	if err := p1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	u := uploadFor(t, 112, 16)
+	for j := range u.Scans {
+		u.Scans[j] = wifi.Scan{{MAC: "02:4e:00:00:00:01", RSSI: -30}}
+	}
+	id, err := client1.OpenSession("fraudster", "walking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := client1.AppendSession(id, 0, u, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Rejected {
+		t.Fatalf("forged prefix not rejected: %+v", ack)
+	}
+	if err := p1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: the rejection marker came back with the session.
+	p2, err := OpenPersistence(dir, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := p2.Recovered()
+	if len(state.Sessions) != 1 || !state.Sessions[0].Rejected {
+		t.Fatalf("recovered sessions = %+v", state.Sessions)
+	}
+	store2, err := rssimap.NewStore(rssimap.DefaultConfig(), state.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, _, client2 := newTestService(t, Config{
+		WiFi:   &detect.WiFiDetector{Store: store2, Model: det.Model, Features: det.Features},
+		Stream: streamCfg(), Persist: p2,
+	})
+	svc2.Restore(state)
+	if _, err := client2.AppendSession(id, 1, u, 12, 16); statusOf(err) != http.StatusConflict {
+		t.Fatalf("append after recovered rejection = %v", err)
+	}
+	v, err := client2.CloseSession(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted || v.Checks["wifi"] != "fail" || v.Checks["rules"] != "skipped" {
+		t.Fatalf("verdict after recovery = %+v", v)
+	}
+	if err := svc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 3: the verdict resolved the session for good.
+	p3, err := OpenPersistence(dir, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3 := p3.Recovered()
+	if len(st3.Sessions) != 0 || st3.Rejected != 1 || st3.Accepted != 0 {
+		t.Fatalf("run 3 recovery = %d sessions, %d/%d verdicts",
+			len(st3.Sessions), st3.Accepted, st3.Rejected)
+	}
+}
+
 // TestSessionRecoveryAbortsWhenStreamingDisabled proves recovery fails
 // safe: in-flight sessions recovered into a configuration that cannot hold
 // them are aborted with a journaled verdict, so the next recovery does not
@@ -595,5 +736,25 @@ func TestSessionCodecRoundtrip(t *testing.T) {
 		if _, _, err := decodeSessionVerdict(buf[:n]); err == nil {
 			t.Fatalf("verdict prefix of %d bytes decoded cleanly", n)
 		}
+	}
+
+	buf, err = appendSessionReject(nil, "sess-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err = decodeSessionReject(buf)
+	if err != nil || id != "sess-3" {
+		t.Fatalf("decoded reject = %q/%v", id, err)
+	}
+	for n := range buf {
+		if _, err := decodeSessionReject(buf[:n]); err == nil {
+			t.Fatalf("reject prefix of %d bytes decoded cleanly", n)
+		}
+	}
+	if _, err := decodeSessionReject(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := appendSessionReject(nil, ""); err == nil {
+		t.Fatal("empty id encoded")
 	}
 }

@@ -133,6 +133,38 @@ func decodeSessionVerdict(data []byte) (string, byte, error) {
 	return string(id), outcome, nil
 }
 
+// appendSessionReject encodes a frameSessionReject payload:
+//
+//	u16 len(id) | id
+func appendSessionReject(buf []byte, id string) ([]byte, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: session reject without an id")
+	}
+	if len(id) > math.MaxUint16 {
+		return nil, fmt.Errorf("server: session id of %d bytes too long to persist", len(id))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	return buf, nil
+}
+
+// decodeSessionReject parses a frameSessionReject payload.
+func decodeSessionReject(data []byte) (string, error) {
+	r := &frameReader{data: data}
+	idLen, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	id, err := r.take(int(idLen))
+	if err != nil {
+		return "", err
+	}
+	if r.off != len(data) {
+		return "", fmt.Errorf("server: %d trailing bytes in session reject frame", len(data)-r.off)
+	}
+	return string(id), nil
+}
+
 // frameReader is a bounds-checked cursor over one frame payload.
 type frameReader struct {
 	data []byte

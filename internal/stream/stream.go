@@ -45,10 +45,20 @@ import (
 	"trajforge/internal/wifi"
 )
 
+// MaxIDLen bounds client-supplied session ids. The cap keeps ids cheap to
+// journal and index, and — critically — guarantees the WAL codecs (which
+// frame ids with a u16 length) can never fail on an id the admission path
+// accepted: an oversized id failing asynchronously in the appender would
+// trip the persistence breaker, handing unauthenticated clients a
+// denial-of-service on durability.
+const MaxIDLen = 128
+
 // Sentinel errors the server maps to HTTP statuses.
 var (
 	// ErrLimit: the MaxSessions admission gate refused a new session.
 	ErrLimit = errors.New("stream: session limit reached")
+	// ErrIDTooLong: a client-supplied session id exceeds MaxIDLen.
+	ErrIDTooLong = fmt.Errorf("stream: session id exceeds %d bytes", MaxIDLen)
 	// ErrDuplicate: Open was given an id that is already open.
 	ErrDuplicate = errors.New("stream: session id already open")
 	// ErrNotFound: no open session has that id.
@@ -180,6 +190,7 @@ type session struct {
 
 	mu       sync.Mutex
 	phase    sessionPhase
+	rejected bool // sticky early-exit marker; survives the move to phaseClosing
 	points   []trajectory.Point
 	scans    []wifi.Scan
 	interval time.Duration // fixed by the first two points
@@ -208,6 +219,10 @@ type SessionState struct {
 	Chunks int
 	Points []trajectory.Point
 	Scans  []wifi.Scan
+	// Rejected carries the early-exit marker across crashes: a client that
+	// was told its prefix is confidently forged must still be refused after
+	// recovery, not silently readmitted.
+	Rejected bool
 }
 
 // Stats is the streaming slice of /v1/stats.
@@ -275,12 +290,17 @@ func (m *Manager) Open(id string, mode trajectory.Mode) (string, error) {
 	defer m.mu.Unlock()
 	if id == "" {
 		id = newSessionID()
+	} else if len(id) > MaxIDLen {
+		return "", ErrIDTooLong
 	} else if _, dup := m.sessions[id]; dup {
 		return "", ErrDuplicate
 	}
 	live := 0
 	for _, s := range m.sessions {
-		if !m.expiredAt(s, now) {
+		s.mu.Lock()
+		expired := m.expiredAt(s, now)
+		s.mu.Unlock()
+		if !expired {
 			live++
 		}
 	}
@@ -295,9 +315,9 @@ func (m *Manager) Open(id string, mode trajectory.Mode) (string, error) {
 }
 
 // expiredAt reports whether s is past its TTL or idle deadline. Callers
-// must not hold s.mu (reads of created/lastActive are guarded by the
-// callers' locking discipline: both fields only change under s.mu, and
-// every caller of expiredAt holds either m.mu or s.mu).
+// must hold s.mu: created is immutable once the session is published, but
+// lastActive is written by Buffer and BeginClose under s.mu alone, so
+// reading it under m.mu only would race with a concurrent append.
 func (m *Manager) expiredAt(s *session, now time.Time) bool {
 	return now.Sub(s.created) > m.cfg.TTL || now.Sub(s.lastActive) > m.cfg.IdleTimeout
 }
@@ -339,7 +359,9 @@ func (m *Manager) Buffer(id string, seq int, pts []trajectory.Point, scans []wif
 	if m.expiredAt(s, now) {
 		return s.lastAck, false, ErrExpired
 	}
-	if seq == s.chunks-1 {
+	// Only an actually-applied chunk can be replayed: on a fresh session
+	// (chunks == 0) a seq of -1 is an ordering error, not a replay.
+	if s.chunks > 0 && seq == s.chunks-1 {
 		return s.lastAck, true, nil
 	}
 	if seq != s.chunks {
@@ -465,6 +487,7 @@ func (m *Manager) Score(id string) (Ack, error) {
 	s.lastAck.WindowPoints = w
 	if !m.cfg.DisableEarlyExit && n >= m.cfg.EarlyExitAfter && prob >= m.cfg.EarlyExit {
 		s.phase = phaseRejected
+		s.rejected = true
 		s.lastAck.Rejected = true
 		m.earlyExits.Add(1)
 	}
@@ -516,7 +539,8 @@ func (m *Manager) BeginClose(id string) (*wifi.Upload, Ack, error) {
 
 // AbortClose returns a closing session to the open phase (used when the
 // assembled upload fails validation, so the client can append the missing
-// points and retry).
+// points and retry). A session the early exit already rejected returns to
+// the rejected phase instead — aborting a close never readmits appends.
 func (m *Manager) AbortClose(id string) {
 	s, err := m.lookup(id)
 	if err != nil {
@@ -524,7 +548,11 @@ func (m *Manager) AbortClose(id string) {
 	}
 	s.mu.Lock()
 	if s.phase == phaseClosing {
-		s.phase = phaseOpen
+		if s.rejected {
+			s.phase = phaseRejected
+		} else {
+			s.phase = phaseOpen
+		}
 	}
 	s.mu.Unlock()
 }
@@ -579,13 +607,22 @@ func (m *Manager) ExpiredIDs() []string {
 	for _, id := range m.order {
 		s := m.sessions[id]
 		s.mu.Lock()
-		closing := s.phase == phaseClosing
+		expired := s.phase != phaseClosing && m.expiredAt(s, now)
 		s.mu.Unlock()
-		if !closing && m.expiredAt(s, now) {
+		if expired {
 			ids = append(ids, id)
 		}
 	}
 	return ids
+}
+
+// Registered reports whether id is still in the session table (open,
+// rejected, or closing — anything not yet resolved or evicted).
+func (m *Manager) Registered(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.sessions[id]
+	return ok
 }
 
 // OpenCount returns the number of registered sessions.
@@ -632,11 +669,12 @@ func (m *Manager) SnapshotSessions() []SessionState {
 		s := m.sessions[id]
 		s.mu.Lock()
 		out = append(out, SessionState{
-			ID:     s.id,
-			Mode:   s.mode,
-			Chunks: s.chunks,
-			Points: append([]trajectory.Point(nil), s.points...),
-			Scans:  cloneScans(s.scans),
+			ID:       s.id,
+			Mode:     s.mode,
+			Chunks:   s.chunks,
+			Points:   append([]trajectory.Point(nil), s.points...),
+			Scans:    cloneScans(s.scans),
+			Rejected: s.rejected,
 		})
 		s.mu.Unlock()
 	}
@@ -686,6 +724,15 @@ func (m *Manager) RestoreSession(st SessionState) error {
 		s.interval = s.points[1].Time.Sub(s.points[0].Time)
 	}
 	s.lastAck = Ack{Seq: s.chunks, Points: len(s.points)}
+	if st.Rejected {
+		// The early exit fired before the crash and the client was told so;
+		// resume refusing appends, and Close records the rejection without
+		// the pipeline. (The provisional probability is not recovered — the
+		// journaled marker carries only the decision.)
+		s.phase = phaseRejected
+		s.rejected = true
+		s.lastAck.Rejected = true
+	}
 	m.sessions[st.ID] = s
 	m.order = append(m.order, st.ID)
 	m.openPoints.Add(int64(len(s.points)))

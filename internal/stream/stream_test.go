@@ -2,8 +2,10 @@ package stream
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -187,6 +189,11 @@ func TestLifecycle(t *testing.T) {
 	if _, _, err := m.AppendChunk(id, 3, u.Traj.Points[:4], u.Scans[:4]); !errors.As(err, &seqErr) || seqErr.Want != 0 {
 		t.Fatalf("out-of-order append = %v", err)
 	}
+	// A negative seq on a fresh session is an ordering error too, not a
+	// "replay" of a chunk that never existed.
+	if _, _, err := m.AppendChunk(id, -1, u.Traj.Points[:4], u.Scans[:4]); !errors.As(err, &seqErr) || seqErr.Want != 0 {
+		t.Fatalf("negative seq append = %v", err)
+	}
 	ack, replayed, err := m.AppendChunk(id, 0, u.Traj.Points[:4], u.Scans[:4])
 	if err != nil || replayed {
 		t.Fatalf("chunk 0: ack=%+v replayed=%v err=%v", ack, replayed, err)
@@ -332,6 +339,62 @@ func TestAdmissionAndExpiry(t *testing.T) {
 	if st.Opened != 3 || st.Expired != 2 || st.Open != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
+}
+
+func TestOpenIDLengthCap(t *testing.T) {
+	m := newManager(t, Config{})
+	if _, err := m.Open(strings.Repeat("x", MaxIDLen+1), 0); !errors.Is(err, ErrIDTooLong) {
+		t.Fatalf("oversized id open = %v", err)
+	}
+	if _, err := m.Open(strings.Repeat("x", MaxIDLen), 0); err != nil {
+		t.Fatalf("max-length id refused: %v", err)
+	}
+}
+
+// TestConcurrentOpenAndAppend hammers Open's live-session count and the
+// expiry sweep (both of which read every session's activity clock) against
+// concurrent appends that refresh those clocks — -race must prove the
+// interleaving safe.
+func TestConcurrentOpenAndAppend(t *testing.T) {
+	m := newManager(t, Config{MaxSessions: 256})
+	u := walkUpload(t, 5, 40)
+	const workers = 8
+	ids := make([]string, workers)
+	for i := range ids {
+		id, err := m.Open(fmt.Sprintf("w-%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			lo := 0
+			for seq := 0; seq < 10; seq++ {
+				if _, _, err := m.AppendChunk(ids[i], seq, u.Traj.Points[lo:lo+4], u.Scans[lo:lo+4]); err != nil {
+					t.Error(err)
+					return
+				}
+				lo += 4
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				id, err := m.Open("", 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				m.ExpiredIDs()
+				m.Evict(id, false)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestConfigValidation(t *testing.T) {
@@ -538,5 +601,51 @@ func TestSnapshotRestore(t *testing.T) {
 	tiny := newManager(t, Config{MaxPoints: 4})
 	if err := tiny.RestoreSession(states[0]); !errors.Is(err, ErrTooManyPoints) {
 		t.Fatalf("over-budget restore = %v", err)
+	}
+}
+
+// TestSnapshotRestoreRejected pins that the early-exit marker is sticky
+// across snapshot and restore: a client already told its prefix is forged
+// stays refused after recovery instead of being silently readmitted.
+func TestSnapshotRestoreRejected(t *testing.T) {
+	det := newDetector(t)
+	cfg := Config{Detector: det, Window: 8, EarlyExit: 0.5, EarlyExitAfter: 8}
+	m := newManager(t, cfg)
+	forged := walkUpload(t, 31, 16)
+	for i := range forged.Scans {
+		forged.Scans[i] = wifi.Scan{{MAC: "02:4e:00:00:00:01", RSSI: -30}}
+	}
+	id, err := m.Open("fraud", trajectory.ModeWalking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, _, err := m.AppendChunk(id, 0, forged.Traj.Points[:12], forged.Scans[:12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Rejected {
+		t.Fatalf("forged prefix not rejected: %+v", ack)
+	}
+
+	states := m.SnapshotSessions()
+	if len(states) != 1 || !states[0].Rejected {
+		t.Fatalf("snapshot = %+v", states)
+	}
+
+	m2 := newManager(t, cfg)
+	if err := m2.RestoreSession(states[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m2.AppendChunk(id, 1, forged.Traj.Points[12:], forged.Scans[12:]); !errors.Is(err, ErrRejected) {
+		t.Fatalf("append after restored rejection = %v", err)
+	}
+	u, ack, err := m2.BeginClose(id)
+	if err != nil || u != nil || !ack.Rejected {
+		t.Fatalf("close of restored rejection: upload=%v ack=%+v err=%v", u, ack, err)
+	}
+	// Aborting the close must not readmit a rejected session either.
+	m2.AbortClose(id)
+	if _, _, err := m2.AppendChunk(id, 1, forged.Traj.Points[12:], forged.Scans[12:]); !errors.Is(err, ErrRejected) {
+		t.Fatalf("append after aborted close of rejection = %v", err)
 	}
 }
