@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-hot bench-store check \
-	fuzz-short chaos loadgen bench-loadgen loadgen-stream
+.PHONY: build test race vet lint bench bench-hot bench-store bench-kernel \
+	check fuzz-short chaos loadgen bench-loadgen loadgen-stream
 
 build:
 	$(GO) build ./...
@@ -43,11 +43,19 @@ bench-store:
 	$(GO) test . -run NONE -benchmem \
 		-bench 'ShardedVsGlobal|WAL'
 
-# Short coverage-guided fuzzing of the WAL frame decoder and the
-# trajectory codecs (native go fuzzing; corpora live in testdata/fuzz/).
+# Verify-kernel microbenchmarks: pointer-tree baseline vs the flattened
+# compiled forest (single-row and batched), in go-bench form. The loadgen
+# "kernel" section reports the same comparison in points/sec.
+bench-kernel:
+	$(GO) test ./internal/xgb/ -run NONE -benchmem -bench 'BenchmarkKernel'
+
+# Short coverage-guided fuzzing of the WAL frame decoder, the trajectory
+# codecs, and the binary upload/session wire codec (native go fuzzing;
+# corpora live in testdata/fuzz/).
 fuzz-short:
 	$(GO) test ./internal/wal/ -run NONE -fuzz FuzzFrameDecode -fuzztime 20s
 	$(GO) test ./internal/trajectory/ -run NONE -fuzz FuzzTrajectoryCodec -fuzztime 20s
+	$(GO) test ./internal/server/ -run NONE -fuzz FuzzBinaryCodec -fuzztime 20s
 
 # Crash-point exploration plus the wedge-mid-workload breaker cycle:
 # replay the upload workload (batch and streaming sessions), crash at

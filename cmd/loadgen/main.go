@@ -20,11 +20,20 @@
 // mixed real/forged population, reporting per-chunk latency percentiles
 // under "stream" in the JSON output.
 //
+// With -binary (on by default when self-hosting) the same digested
+// workload is replayed over the binary wire (Content-Type
+// application/x-trajforge-v1) against a second, identically-built fresh
+// provider, so JSON and binary throughput are compared on equal footing;
+// the result lands under "binary". With -kernel (on by default) the
+// verify-kernel microbenchmark runs in-process — flattened vs pointer
+// scoring in points/sec, binary vs JSON decode in ops/sec — and lands
+// under "kernel".
+//
 // Usage:
 //
 //	loadgen [-addr URL] [-seed 1] [-n 200] [-workers 8] [-forged 0.3]
-//	        [-points 20] [-data-dir DIR] [-overload] [-stream]
-//	        [-out BENCH_loadgen.json]
+//	        [-points 20] [-data-dir DIR] [-overload] [-stream] [-binary]
+//	        [-kernel] [-out BENCH_loadgen.json]
 package main
 
 import (
@@ -57,6 +66,10 @@ func run(args []string) error {
 		"also run the overload scenario against a capacity-starved self-hosted provider")
 	streamFlag := fs.Bool("stream", true,
 		"also run the streaming-session scenario (concurrent sessions, interleaved chunks)")
+	binaryFlag := fs.Bool("binary", true,
+		"also replay the workload over the binary wire against a fresh provider (self-host only)")
+	kernelFlag := fs.Bool("kernel", true,
+		"also run the verify-kernel microbenchmark (flattened vs pointer, binary vs JSON)")
 	out := fs.String("out", "BENCH_loadgen.json", "result file (empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,9 +112,48 @@ func run(args []string) error {
 		res.ForgedRejected, res.ForgedSent,
 		res.RealAccepted, res.Uploads-res.ForgedSent)
 
+	bench := &benchResult{Result: res}
+
+	// The binary-wire comparison replays the same digested workload against
+	// a second fresh provider: a shared provider would replay-reject the
+	// repeats and short-circuit the pipeline, skewing the comparison.
+	if *binaryFlag && *addr == "" {
+		fmt.Println("replaying workload over the binary wire (fresh provider)...")
+		srv2, err := w.SelfHost(*seed, "")
+		if err != nil {
+			return err
+		}
+		binOpts := opts
+		binOpts.BaseURL = srv2.URL
+		binOpts.Binary = true
+		bres, err := w.Run(binOpts)
+		srv2.Close()
+		if err != nil {
+			return err
+		}
+		bench.Binary = bres
+		speedup := 0.0
+		if res.ThroughputRPS > 0 {
+			speedup = bres.ThroughputRPS / res.ThroughputRPS
+		}
+		fmt.Printf("binary wire: %.1f req/s vs %.1f json (%.2fx), p50 %.2fms p99 %.2fms\n",
+			bres.ThroughputRPS, res.ThroughputRPS, speedup, bres.P50Millis, bres.P99Millis)
+	}
+
+	if *kernelFlag {
+		fmt.Println("running verify-kernel microbenchmark...")
+		kr, err := loadgen.RunKernel(*seed)
+		if err != nil {
+			return err
+		}
+		bench.Kernel = kr
+		fmt.Printf("kernel: flattened batch %.0f points/s vs pointer %.0f (%.2fx); binary parse %.0f ops/s vs json %.0f (%.2fx)\n",
+			kr.FlatBatchPointsPerSec, kr.PointerPointsPerSec, kr.SpeedupBatchVsPointer,
+			kr.BinaryParseOpsPerSec, kr.JSONDecodeOpsPerSec, kr.DecodeSpeedup)
+	}
+
 	// The overload scenario always self-hosts: it needs a provider with a
 	// deliberately tiny admission capacity, not the one under test above.
-	bench := &benchResult{Result: res}
 	if *overload {
 		fmt.Println("running overload scenario (capacity-starved provider)...")
 		ov, err := loadgen.RunOverload(loadgen.OverloadOptions{Seed: *seed})
@@ -148,6 +200,11 @@ func run(args []string) error {
 // result with the overload and streaming scenarios nested beside it.
 type benchResult struct {
 	*loadgen.Result
+	// Binary is the same workload replayed over the binary wire against a
+	// fresh, identically-built provider.
+	Binary *loadgen.Result `json:"binary,omitempty"`
+	// Kernel is the in-process verify-kernel microbenchmark.
+	Kernel   *loadgen.KernelResult   `json:"kernel,omitempty"`
 	Overload *loadgen.OverloadResult `json:"overload,omitempty"`
 	Stream   *loadgen.StreamResult   `json:"stream,omitempty"`
 }

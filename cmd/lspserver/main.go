@@ -273,13 +273,13 @@ func run(args []string) error {
 func printStats(st server.Stats) {
 	fmt.Printf("session: %d accepted, %d rejected, %d in history\n",
 		st.Accepted, st.Rejected, st.History)
-	for _, name := range []string{"rules", "route", "replay", "motion", "wifi"} {
+	for _, name := range []string{"decode", "rules", "route", "replay", "motion", "features", "score", "persist"} {
 		sg := st.Stages[name]
 		if sg.Count == 0 {
 			continue
 		}
-		fmt.Printf("  stage %-6s %6d runs, avg %8.1f us, total %d ms\n",
-			name, sg.Count, sg.AvgMicros, sg.TotalMicros/1000)
+		fmt.Printf("  stage %-8s %6d runs, avg %8.1f us, p99 %6d us, total %d ms\n",
+			name, sg.Count, sg.AvgMicros, sg.P99Micros, sg.TotalMicros/1000)
 	}
 	if a := st.Admission; a != nil {
 		fmt.Printf("  admission: %d admitted, %d shed (queue full), %d shed (deadline), %d queue timeouts\n",

@@ -66,15 +66,19 @@ func (d *WiFiDetector) ProbFake(u *wifi.Upload) (float64, error) {
 }
 
 // ProbFakeBatch returns P(fake | upload) for many uploads, fanning the
-// feature extraction and prediction across the worker pool. Results are
-// ordered by upload index and identical to calling ProbFake serially.
+// feature extraction across the worker pool and scoring the assembled
+// feature block through the compiled flat forest in cache-friendly chunks
+// (xgb.PredictBatchInto). Results are ordered by upload index and
+// bit-identical to calling ProbFake serially.
 func (d *WiFiDetector) ProbFakeBatch(uploads []*wifi.Upload) ([]float64, error) {
 	feats, err := d.Store.FeaturesBatch(uploads, d.Features)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(feats))
-	parallel.ForEach(len(feats), func(i int) { out[i] = d.Model.PredictProb(feats[i]) })
+	parallel.ForEachChunk(len(feats), func(lo, hi int) {
+		d.Model.PredictBatchInto(out[lo:hi], feats[lo:hi])
+	})
 	return out, nil
 }
 

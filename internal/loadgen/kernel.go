@@ -1,0 +1,141 @@
+// Verify-kernel microbenchmark: the single-process measurements behind the
+// hot-path claims — flattened-forest scoring versus the pointer-tree
+// baseline (points/sec), and binary frame parsing versus JSON decoding of
+// the same upload body (ops/sec). It reuses the real components (a model
+// trained by internal/xgb, request bodies built by the workload encoder),
+// so the numbers describe the production code, not a synthetic proxy.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"trajforge/internal/server"
+	"trajforge/internal/xgb"
+)
+
+// KernelResult is the "kernel" section of BENCH_loadgen.json.
+type KernelResult struct {
+	// Model shape: scoring rows of Features columns through Trees trees.
+	Rows     int `json:"rows"`
+	Features int `json:"features"`
+	Trees    int `json:"trees"`
+
+	// Scoring throughput, points (rows) per second.
+	PointerPointsPerSec    float64 `json:"pointer_points_per_sec"`
+	FlatSinglePointsPerSec float64 `json:"flattened_single_points_per_sec"`
+	FlatBatchPointsPerSec  float64 `json:"flattened_batch_points_per_sec"`
+	// SpeedupBatchVsPointer is FlatBatch / Pointer — the acceptance
+	// criterion figure.
+	SpeedupBatchVsPointer float64 `json:"speedup_batch_vs_pointer"`
+
+	// Wire decode throughput over one representative upload body.
+	JSONBodyBytes        int     `json:"json_body_bytes"`
+	BinaryBodyBytes      int     `json:"binary_body_bytes"`
+	JSONDecodeOpsPerSec  float64 `json:"json_decode_ops_per_sec"`
+	BinaryParseOpsPerSec float64 `json:"binary_parse_ops_per_sec"`
+	// DecodeSpeedup is BinaryParse / JSONDecode.
+	DecodeSpeedup float64 `json:"decode_speedup"`
+}
+
+// kernelTrainingSet mirrors the xgb benchmark fixture: heavy tails and NaN
+// (missing) cells, so the kernels run their real predicated paths.
+func kernelTrainingSet(rng *rand.Rand, n, d int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		var s float64
+		for j := range row {
+			switch {
+			case rng.Float64() < 0.08:
+				row[j] = math.NaN()
+			case rng.Float64() < 0.1:
+				row[j] = rng.NormFloat64() * 1e6
+			default:
+				row[j] = rng.NormFloat64()
+			}
+			if !math.IsNaN(row[j]) {
+				s += row[j]
+			}
+		}
+		X[i] = row
+		if s > 0 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+// measure runs f repeatedly for at least minDur and returns iterations per
+// second.
+func measure(minDur time.Duration, f func()) float64 {
+	// Warm caches and the branch predictor off the clock.
+	f()
+	var iters int
+	start := time.Now()
+	for time.Since(start) < minDur {
+		f()
+		iters++
+	}
+	return float64(iters) / time.Since(start).Seconds()
+}
+
+// RunKernel measures the verify kernel and the wire codecs. The seed fixes
+// the model and the probe bodies; timings are wall-clock.
+func RunKernel(seed int64) (*KernelResult, error) {
+	const rows, feats = 512, 6
+	rng := rand.New(rand.NewSource(seed))
+	X, y := kernelTrainingSet(rng, rows, feats)
+	m, err := xgb.Train(X, y, xgb.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: train kernel model: %w", err)
+	}
+	res := &KernelResult{Rows: rows, Features: feats, Trees: len(m.Trees)}
+
+	const minDur = 300 * time.Millisecond
+	perCall := measure(minDur, func() {
+		for i := range X {
+			_ = m.PredictProbPointer(X[i])
+		}
+	})
+	res.PointerPointsPerSec = perCall * rows
+	perCall = measure(minDur, func() {
+		for i := range X {
+			_ = m.PredictProb(X[i])
+		}
+	})
+	res.FlatSinglePointsPerSec = perCall * rows
+	dst := make([]float64, rows)
+	perCall = measure(minDur, func() { m.PredictBatchInto(dst, X) })
+	res.FlatBatchPointsPerSec = perCall * rows
+	if res.PointerPointsPerSec > 0 {
+		res.SpeedupBatchVsPointer = res.FlatBatchPointsPerSec / res.PointerPointsPerSec
+	}
+
+	// One representative upload body, built by the real workload encoder.
+	w, err := Build(Options{Seed: seed, N: 1, Points: 40, Hist: 4})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: build codec probe: %w", err)
+	}
+	jsonBody, binBody := w.Items[0].Body, w.Items[0].BinaryBody
+	res.JSONBodyBytes, res.BinaryBodyBytes = len(jsonBody), len(binBody)
+	res.JSONDecodeOpsPerSec = measure(minDur, func() {
+		var req server.UploadRequest
+		if err := json.Unmarshal(jsonBody, &req); err != nil {
+			panic(err)
+		}
+	})
+	res.BinaryParseOpsPerSec = measure(minDur, func() {
+		if _, err := server.ParseUploadBinary(binBody); err != nil {
+			panic(err)
+		}
+	})
+	if res.JSONDecodeOpsPerSec > 0 {
+		res.DecodeSpeedup = res.BinaryParseOpsPerSec / res.JSONDecodeOpsPerSec
+	}
+	return res, nil
+}

@@ -62,6 +62,11 @@ type Options struct {
 	// BaseURL is the server to drive. Empty means the caller self-hosts
 	// (see Workload.SelfHost).
 	BaseURL string
+	// Binary posts the pre-encoded binary frames (Content-Type
+	// application/x-trajforge-v1) instead of the JSON bodies. The workload
+	// digest is unchanged — it is always over the canonical JSON bodies,
+	// so a JSON run and a binary run are provably the same logical load.
+	Binary bool
 	// HTTPClient overrides the default client (e.g. a tuned transport).
 	HTTPClient *http.Client
 }
@@ -91,6 +96,9 @@ func (o *Options) setDefaults() {
 type Item struct {
 	// Body is the exact JSON posted to /v1/trajectory.
 	Body []byte
+	// BinaryBody is the same request as a binary wire frame, posted
+	// instead of Body when Options.Binary is set.
+	BinaryBody []byte
 	// Forged marks attack uploads (ground truth for the detection report).
 	Forged bool
 }
@@ -167,7 +175,11 @@ func Build(opts Options) (*Workload, error) {
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: marshal %d: %w", i, err)
 		}
-		w.Items = append(w.Items, Item{Body: body, Forged: forged})
+		bin, err := server.EncodeUploadBinary(req)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: binary encode %d: %w", i, err)
+		}
+		w.Items = append(w.Items, Item{Body: body, BinaryBody: bin, Forged: forged})
 	}
 
 	h := sha256.New()
@@ -320,6 +332,13 @@ type Result struct {
 	P95Millis      float64 `json:"p95_ms"`
 	P99Millis      float64 `json:"p99_ms"`
 	WorkloadDigest string  `json:"workload_digest"`
+	// Wire is the request encoding driven: "json" or "binary".
+	Wire string `json:"wire"`
+	// StageP99Micros is the server-side per-stage p99 latency (decode,
+	// rules, ..., features, score, persist), fetched from /v1/stats after
+	// the run. Empty when the stats endpoint was unreachable. Against a
+	// shared long-running server the figures include prior traffic.
+	StageP99Micros map[string]int64 `json:"stage_p99_micros,omitempty"`
 }
 
 // Run drives baseURL with the workload from a pool of opts.Workers senders.
@@ -336,6 +355,10 @@ func (w *Workload) Run(opts Options) (*Result, error) {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
 	url := opts.BaseURL + "/v1/trajectory"
+	contentType := "application/json"
+	if opts.Binary {
+		contentType = server.ContentTypeBinary
+	}
 
 	type workerStats struct {
 		latencies                []float64 // milliseconds
@@ -353,8 +376,12 @@ func (w *Workload) Run(opts Options) (*Result, error) {
 			st := &stats[g]
 			for i := g; i < len(w.Items); i += opts.Workers {
 				it := w.Items[i]
+				body := it.Body
+				if opts.Binary {
+					body = it.BinaryBody
+				}
 				t0 := time.Now()
-				v, err := postUpload(client, url, it.Body)
+				v, err := postUpload(client, url, contentType, body)
 				st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
 				if err != nil {
 					st.errors++
@@ -406,12 +433,35 @@ func (w *Workload) Run(opts Options) (*Result, error) {
 	res.P50Millis = percentile(all, 0.50)
 	res.P95Millis = percentile(all, 0.95)
 	res.P99Millis = percentile(all, 0.99)
+	res.Wire = "json"
+	if opts.Binary {
+		res.Wire = "binary"
+	}
+	res.StageP99Micros = fetchStageP99s(client, opts.BaseURL)
 	return res, nil
 }
 
+// fetchStageP99s pulls the server-side per-stage tail latencies; a stats
+// failure degrades to nil rather than failing the run.
+func fetchStageP99s(client *http.Client, baseURL string) map[string]int64 {
+	sc := server.NewClient(baseURL, nil)
+	sc.HTTPClient = client
+	st, err := sc.FetchStats()
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]int64, len(st.Stages))
+	for name, sg := range st.Stages {
+		if sg.Count > 0 {
+			out[name] = sg.P99Micros
+		}
+	}
+	return out
+}
+
 // postUpload sends one pre-encoded body and decodes the verdict.
-func postUpload(client *http.Client, url string, body []byte) (*server.Verdict, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+func postUpload(client *http.Client, url, contentType string, body []byte) (*server.Verdict, error) {
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

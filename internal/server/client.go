@@ -56,6 +56,10 @@ type Client struct {
 	HTTPClient *http.Client
 	// Retry governs upload retries; the zero value disables them.
 	Retry resilience.RetryPolicy
+	// Binary switches uploads and session appends to the binary wire form
+	// (Content-Type ContentTypeBinary). Verdicts are bit-identical to the
+	// JSON wire; only the request encoding changes.
+	Binary bool
 }
 
 // NewClient returns a client with no retries (legacy behaviour).
@@ -109,9 +113,9 @@ func (c *Client) UploadContext(ctx context.Context, u *wifi.Upload) (*Verdict, e
 	if err != nil {
 		return nil, err
 	}
-	body, err := json.Marshal(req)
+	body, err := c.EncodeUpload(req)
 	if err != nil {
-		return nil, fmt.Errorf("server: marshal upload: %w", err)
+		return nil, err
 	}
 	key := NewIdempotencyKey()
 	retrier := resilience.NewRetrier(c.Retry)
@@ -149,6 +153,39 @@ func retryDisposition(err error) (floor time.Duration, retryable bool) {
 	return 0, true
 }
 
+// EncodeUpload renders the request body in the client's wire form: the
+// binary frame when Binary is set, canonical JSON otherwise.
+func (c *Client) EncodeUpload(req *UploadRequest) ([]byte, error) {
+	if c.Binary {
+		return EncodeUploadBinary(req)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("server: marshal upload: %w", err)
+	}
+	return body, nil
+}
+
+// EncodeSessionAppend renders an append body in the client's wire form.
+func (c *Client) EncodeSessionAppend(req *SessionAppendRequest) ([]byte, error) {
+	if c.Binary {
+		return EncodeSessionAppendBinary(req)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("server: marshal session append: %w", err)
+	}
+	return body, nil
+}
+
+// contentType is the Content-Type header of the client's wire form.
+func (c *Client) contentType() string {
+	if c.Binary {
+		return ContentTypeBinary
+	}
+	return "application/json"
+}
+
 // postUpload performs one wire attempt.
 func (c *Client) postUpload(ctx context.Context, body []byte, key string) (*Verdict, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -156,7 +193,7 @@ func (c *Client) postUpload(ctx context.Context, body []byte, key string) (*Verd
 	if err != nil {
 		return nil, fmt.Errorf("server: build post: %w", err)
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Content-Type", c.contentType())
 	if key != "" {
 		hreq.Header.Set("Idempotency-Key", key)
 	}
@@ -227,15 +264,19 @@ func (c *Client) BuildSessionAppend(sessionID string, seq int, u *wifi.Upload, l
 	return req, nil
 }
 
-// AppendSession sends points [lo, hi) of the upload as chunk seq and
-// returns the provisional acknowledgement.
+// AppendSession sends points [lo, hi) of the upload as chunk seq in the
+// client's wire form and returns the provisional acknowledgement.
 func (c *Client) AppendSession(sessionID string, seq int, u *wifi.Upload, lo, hi int) (*SessionAppendResponse, error) {
 	req, err := c.BuildSessionAppend(sessionID, seq, u, lo, hi)
 	if err != nil {
 		return nil, err
 	}
+	body, err := c.EncodeSessionAppend(req)
+	if err != nil {
+		return nil, err
+	}
 	var ack SessionAppendResponse
-	if err := c.postJSON("/v1/session/append", req, &ack); err != nil {
+	if err := c.postBody("/v1/session/append", body, &ack); err != nil {
 		return nil, err
 	}
 	return &ack, nil
@@ -259,6 +300,23 @@ func (c *Client) postJSON(path string, in, out interface{}) error {
 		return fmt.Errorf("server: marshal %s: %w", path, err)
 	}
 	resp, err := c.HTTPClient.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server: post %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeStatusError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// postBody posts pre-encoded bytes in the client's wire form; responses
+// are always JSON.
+func (c *Client) postBody(path string, body []byte, out interface{}) error {
+	resp, err := c.HTTPClient.Post(c.BaseURL+path, c.contentType(), bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("server: post %s: %w", path, err)
 	}

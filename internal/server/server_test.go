@@ -34,7 +34,7 @@ func (f *fixedMotion) Name() string                         { return "stub" }
 func (f *fixedMotion) ProbReal(t *trajectory.T) float64     { return f.prob }
 func (f *fixedMotion) set(p float64)                        { f.prob = p }
 func realisticUpload(t *testing.T, seed int64) *wifi.Upload { return uploadFor(t, seed, 30) }
-func uploadFor(t *testing.T, seed int64, n int) *wifi.Upload {
+func uploadFor(t testing.TB, seed int64, n int) *wifi.Upload {
 	t.Helper()
 	tk, err := mobility.Simulate(rand.New(rand.NewSource(seed)), mobility.Options{
 		Route:     []geo.Point{{X: 0, Y: 0}, {X: 300, Y: 0}},

@@ -144,16 +144,20 @@ func (s *Service) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 		held := time.Now()
 		defer func() { s.admission.Release(time.Since(held)) }()
 	}
-	var req SessionAppendRequest
-	if !decodeBody(w, r, &req) {
+	decodeStart := time.Now()
+	req, ok := readSessionAppendRequest(w, r)
+	if !ok {
 		return
 	}
 	pts, scans, _, err := s.decodePoints(req.Points)
+	s.observeStage(stageDecode, decodeStart)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	persistStart := time.Now()
 	ack, replayed, err := s.bufferChunk(req.SessionID, req.Seq, pts, scans)
+	s.observeStage(stagePersist, persistStart)
 	if err != nil {
 		s.writeStreamError(w, req.SessionID, err)
 		return
@@ -178,6 +182,28 @@ func (s *Service) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
 		s.journalSessionReject(req.SessionID)
 	}
 	writeJSON(w, http.StatusOK, SessionAppendResponse{Ack: ack, Replayed: replayed})
+}
+
+// readSessionAppendRequest reads one append body in whichever wire form
+// the Content-Type negotiates, mirroring readUploadRequest.
+func readSessionAppendRequest(w http.ResponseWriter, r *http.Request) (*SessionAppendRequest, bool) {
+	if !isBinaryRequest(r) {
+		var req SessionAppendRequest
+		if !decodeBody(w, r, &req) {
+			return nil, false
+		}
+		return &req, true
+	}
+	data, ok := readBinaryBody(w, r)
+	if !ok {
+		return nil, false
+	}
+	req, err := ParseSessionAppendBinary(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return nil, false
+	}
+	return req, true
 }
 
 // bufferChunk commits the chunk and journals its frame under the service

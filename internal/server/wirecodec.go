@@ -1,0 +1,382 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+// Binary request codec for the upload and session-append endpoints,
+// negotiated by Content-Type. JSON remains the default wire form; clients
+// that opt in send the same logical request as a versioned, length-checked
+// binary frame and skip JSON tokenisation on both ends. The framing
+// discipline is the WAL codec's: fixed little-endian fields, u16/u8 length
+// prefixes for strings, and exact IEEE-754 bits for every float — the
+// wire carries the lat/lon float64 bits that JSON also roundtrips
+// losslessly, so a binary upload decodes to the byte-identical
+// UploadRequest a JSON upload does and the verdict (probabilities
+// included) is bit-identical across the two encodings.
+//
+// Frame layout (little endian):
+//
+//	u8 version (1) | u8 kind | u32 payloadLen | payload
+//
+// kind=1 (upload) payload:
+//
+//	u16 len(id) | id | u8 mode | u32 nPoints |
+//	nPoints × { f64 lat | f64 lon | i64 unixMillis } |
+//	nPoints × { u16 nObs | nObs × { u8 len(mac) | mac | i16 rssi } }
+//
+// kind=2 (session append) payload:
+//
+//	u16 len(sessionID) | sessionID | u32 seq | u32 nPoints |
+//	points and scans as in kind=1
+//
+// The encoding is canonical — fixed field order, no optional fields, no
+// redundancy beyond payloadLen (which must equal the remaining byte count
+// exactly) — so encode(parse(frame)) reproduces the frame byte for byte;
+// FuzzBinaryCodec pins that property.
+
+// ContentTypeBinary is the negotiated media type of binary request bodies.
+const ContentTypeBinary = "application/x-trajforge-v1"
+
+const (
+	wireVersion           = 1
+	wireKindUpload        = 1
+	wireKindSessionAppend = 2
+
+	// wirePointSize is the fixed per-point cost (lat, lon, millis); scans
+	// follow separately. Used for the claims check before allocating.
+	wirePointSize = 24
+)
+
+// Typed decode failures, distinguishable with errors.Is.
+var (
+	// ErrWireTruncated: the frame ends before a declared field.
+	ErrWireTruncated = errors.New("server: truncated binary frame")
+	// ErrWireOversized: a declared count cannot fit the frame's bytes, or
+	// the payload length disagrees with the body.
+	ErrWireOversized = errors.New("server: oversized binary frame")
+	// ErrWireVersion: the version byte is not a version this server speaks.
+	ErrWireVersion = errors.New("server: unsupported binary frame version")
+	// ErrWireKind: the kind byte does not match the endpoint.
+	ErrWireKind = errors.New("server: wrong binary frame kind")
+	// ErrWireValue: a field holds a value with no wire meaning (an unknown
+	// travel mode, an RSSI outside int16).
+	ErrWireValue = errors.New("server: invalid binary frame value")
+)
+
+// wireReader is a bounds-checked cursor over one binary request frame —
+// the frameReader idiom with typed errors, since wire decode failures are
+// client-visible (400) and tested for identity.
+type wireReader struct {
+	data []byte
+	off  int
+}
+
+func (r *wireReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) || r.off+n < 0 {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrWireTruncated, n, r.off, len(r.data))
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wireReader) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *wireReader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *wireReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *wireReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// wireHeader parses and checks the three-field frame header, returning the
+// payload cursor.
+func wireHeader(data []byte, wantKind byte) (*wireReader, error) {
+	r := &wireReader{data: data}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("%w: got version %d, speak %d", ErrWireVersion, ver, wireVersion)
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if kind != wantKind {
+		return nil, fmt.Errorf("%w: got kind %d, endpoint takes %d", ErrWireKind, kind, wantKind)
+	}
+	plen, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	rest := len(data) - r.off
+	if int64(plen) > int64(rest) {
+		return nil, fmt.Errorf("%w: header declares %d payload bytes, %d present", ErrWireTruncated, plen, rest)
+	}
+	if int(plen) < rest {
+		return nil, fmt.Errorf("%w: header declares %d payload bytes, %d present", ErrWireOversized, plen, rest)
+	}
+	return r, nil
+}
+
+// wireMode maps a mode byte to the wire (JSON) mode string; 0 is the
+// unset mode and stays "".
+func wireMode(b byte) (string, error) {
+	if b == 0 {
+		return "", nil
+	}
+	m := trajectory.Mode(b)
+	for _, known := range trajectory.Modes() {
+		if m == known {
+			return m.String(), nil
+		}
+	}
+	return "", fmt.Errorf("%w: unknown travel mode byte %d", ErrWireValue, b)
+}
+
+// wireModeByte is wireMode's inverse for the encoder.
+func wireModeByte(mode string) (byte, error) {
+	if mode == "" {
+		return 0, nil
+	}
+	m, err := trajectory.ParseMode(mode)
+	if err != nil {
+		return 0, err
+	}
+	return byte(m), nil
+}
+
+// wirePoints parses n points and their scans off the cursor.
+func wirePoints(r *wireReader, n uint32) ([]uploadPoint, error) {
+	if int64(n)*wirePointSize > int64(len(r.data)-r.off) {
+		return nil, fmt.Errorf("%w: claims %d points in %d payload bytes", ErrWireOversized, n, len(r.data)-r.off)
+	}
+	pts := make([]uploadPoint, n)
+	for i := range pts {
+		lat, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		lon, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		ms, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		pts[i].Lat = math.Float64frombits(lat)
+		pts[i].Lon = math.Float64frombits(lon)
+		pts[i].Time = int64(ms)
+	}
+	for i := range pts {
+		nObs, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if nObs == 0 {
+			continue // nil scan, as JSON's absent "scan" field decodes
+		}
+		scan := make([]wifi.Observation, 0, nObs)
+		for j := 0; j < int(nObs); j++ {
+			macLen, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			mac, err := r.take(int(macLen))
+			if err != nil {
+				return nil, err
+			}
+			rssi, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			scan = append(scan, wifi.Observation{MAC: string(mac), RSSI: int(int16(rssi))})
+		}
+		pts[i].Scan = scan
+	}
+	return pts, nil
+}
+
+// appendWirePoints encodes points and scans onto buf — the encoder wirePoints
+// inverts.
+func appendWirePoints(buf []byte, pts []uploadPoint) ([]byte, error) {
+	for _, p := range pts {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Lat))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Lon))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Time))
+	}
+	for i, p := range pts {
+		if len(p.Scan) > math.MaxUint16 {
+			return nil, fmt.Errorf("%w: point %d scan has %d observations", ErrWireValue, i, len(p.Scan))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Scan)))
+		for _, obs := range p.Scan {
+			if len(obs.MAC) > math.MaxUint8 {
+				return nil, fmt.Errorf("%w: MAC %q longer than 255 bytes", ErrWireValue, obs.MAC)
+			}
+			if obs.RSSI < math.MinInt16 || obs.RSSI > math.MaxInt16 {
+				return nil, fmt.Errorf("%w: RSSI %d outside int16", ErrWireValue, obs.RSSI)
+			}
+			buf = append(buf, byte(len(obs.MAC)))
+			buf = append(buf, obs.MAC...)
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(obs.RSSI)))
+		}
+	}
+	return buf, nil
+}
+
+// finishWireFrame stamps the payload length into the header slot reserved
+// by the encoders.
+func finishWireFrame(buf []byte) []byte {
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(len(buf)-6))
+	return buf
+}
+
+// EncodeUploadBinary renders an upload request as a binary frame for
+// Content-Type ContentTypeBinary. It is the exact inverse of
+// ParseUploadBinary on every frame the parser accepts.
+func EncodeUploadBinary(req *UploadRequest) ([]byte, error) {
+	if len(req.ID) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: id of %d bytes", ErrWireValue, len(req.ID))
+	}
+	mode, err := wireModeByte(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 6, 6+2+len(req.ID)+1+4+len(req.Points)*wirePointSize)
+	buf[0], buf[1] = wireVersion, wireKindUpload
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.ID)))
+	buf = append(buf, req.ID...)
+	buf = append(buf, mode)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Points)))
+	buf, err = appendWirePoints(buf, req.Points)
+	if err != nil {
+		return nil, err
+	}
+	return finishWireFrame(buf), nil
+}
+
+// ParseUploadBinary parses a binary upload frame into the same
+// UploadRequest the JSON decoder produces; semantic validation (coordinate
+// ranges, point-count limits) stays with Service.decode, shared by both
+// wire forms.
+func ParseUploadBinary(data []byte) (*UploadRequest, error) {
+	r, err := wireHeader(data, wireKindUpload)
+	if err != nil {
+		return nil, err
+	}
+	idLen, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	id, err := r.take(int(idLen))
+	if err != nil {
+		return nil, err
+	}
+	modeByte, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := wireMode(modeByte)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := wirePoints(r, n)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWireOversized, len(data)-r.off)
+	}
+	return &UploadRequest{ID: string(id), Mode: mode, Points: pts}, nil
+}
+
+// EncodeSessionAppendBinary renders a session append as a binary frame.
+func EncodeSessionAppendBinary(req *SessionAppendRequest) ([]byte, error) {
+	if len(req.SessionID) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: session id of %d bytes", ErrWireValue, len(req.SessionID))
+	}
+	if req.Seq < 0 || int64(req.Seq) > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: seq %d outside uint32", ErrWireValue, req.Seq)
+	}
+	buf := make([]byte, 6, 6+2+len(req.SessionID)+8+len(req.Points)*wirePointSize)
+	buf[0], buf[1] = wireVersion, wireKindSessionAppend
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.SessionID)))
+	buf = append(buf, req.SessionID...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Seq))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Points)))
+	buf, err := appendWirePoints(buf, req.Points)
+	if err != nil {
+		return nil, err
+	}
+	return finishWireFrame(buf), nil
+}
+
+// ParseSessionAppendBinary parses a binary session-append frame.
+func ParseSessionAppendBinary(data []byte) (*SessionAppendRequest, error) {
+	r, err := wireHeader(data, wireKindSessionAppend)
+	if err != nil {
+		return nil, err
+	}
+	idLen, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	id, err := r.take(int(idLen))
+	if err != nil {
+		return nil, err
+	}
+	seq, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := wirePoints(r, n)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWireOversized, len(data)-r.off)
+	}
+	return &SessionAppendRequest{SessionID: string(id), Seq: int(seq), Points: pts}, nil
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHistogram is a lock-free log-bucketed duration histogram for hot
+// paths: Observe is a couple of atomic adds, and quantiles are read by
+// scanning the bucket counts without stopping writers. Buckets are
+// logarithmic with 16 linear sub-buckets per power of two, so any
+// reported quantile is within ~6.25% of the true value — plenty for
+// telemetry, with a fixed footprint and no allocation after construction.
+//
+// The zero value is ready to use.
+type LatencyHistogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+}
+
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // linear sub-buckets per octave
+	// 64-bit nanosecond values need (63-histSubBits) octaves above the
+	// initial linear range of [0, histSub).
+	histBuckets = (63-histSubBits+1)*histSub + histSub
+)
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - 1 // highest set bit, >= histSubBits
+	top := k - histSubBits
+	return (top+1)*histSub + int((v>>top)&(histSub-1))
+}
+
+// histUpper is the inclusive upper bound of bucket idx — the value a
+// quantile read reports, so quantiles never under-state latency.
+func histUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	top := idx/histSub - 1
+	lo := (int64(histSub) + int64(idx%histSub)) << top
+	return lo + (1 << top) - 1
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	v := d.Nanoseconds()
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns how many durations have been observed.
+func (h *LatencyHistogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the cumulative observed time.
+func (h *LatencyHistogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed durations, within one sub-bucket (~6.25%) of the true value.
+// It returns 0 when nothing has been observed. Concurrent observes make
+// the answer approximate, never a panic.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	n := h.total.Load()
+	if n <= 0 {
+		return 0
+	}
+	// Nearest-rank: the smallest value with at least ceil(q*n) observations
+	// at or below it. Truncating instead of ceiling would drop a rank and
+	// report p99 of a 6-sample set as the 5th value, not the max.
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return time.Duration(histUpper(i))
+		}
+	}
+	// Writers raced the scan past every bucket we read; report the top.
+	return time.Duration(histUpper(histBuckets - 1))
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketsCoverRange checks the index/upper-bound pair: every
+// value lands in a bucket whose upper bound is >= the value and within the
+// relative-error budget.
+func TestHistogramBucketsCoverRange(t *testing.T) {
+	probe := []int64{0, 1, 15, 16, 17, 31, 32, 100, 999, 1 << 20, (1 << 40) + 12345, 1<<62 + 7}
+	for _, v := range probe {
+		idx := histIndex(v)
+		up := histUpper(idx)
+		if up < v {
+			t.Fatalf("value %d: bucket %d upper bound %d below the value", v, idx, up)
+		}
+		if v >= histSub && float64(up-v) > float64(v)/histSub {
+			t.Fatalf("value %d: upper bound %d overshoots by more than 1/%d", v, up, histSub)
+		}
+		if idx > 0 && histUpper(idx-1) >= v {
+			t.Fatalf("value %d: previous bucket %d already covers it", v, idx-1)
+		}
+	}
+}
+
+// TestHistogramQuantiles compares histogram quantiles to exact ones over a
+// heavy-tailed sample; the log-bucket error bound must hold.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var h LatencyHistogram
+	vals := make([]int64, 5000)
+	for i := range vals {
+		v := int64(rng.ExpFloat64() * 2e6) // microsecond-to-second spread
+		vals[i] = v
+		h.Observe(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q).Nanoseconds()
+		if got < exact {
+			t.Fatalf("q%.2f = %d below exact %d (quantiles must not under-state)", q, got, exact)
+		}
+		if exact > histSub && float64(got) > float64(exact)*1.2 {
+			t.Fatalf("q%.2f = %d overshoots exact %d by more than 20%%", q, got, exact)
+		}
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+}
+
+// TestHistogramQuantileSmallSample pins nearest-rank behaviour on tiny
+// counts: the p99 of six samples is the sixth (largest) sample, so a
+// single slow outlier must show. A truncated rank would report the fifth
+// sample and place p99 below the mean.
+func TestHistogramQuantileSmallSample(t *testing.T) {
+	var h LatencyHistogram
+	for _, us := range []int64{6, 8, 10, 15, 20, 1000} {
+		h.Observe(time.Duration(us) * time.Microsecond)
+	}
+	if got := h.Quantile(0.99); got < 1000*time.Microsecond {
+		t.Fatalf("p99 of 6 samples = %v, must cover the 1ms outlier", got)
+	}
+	if got := h.Quantile(0.5); got.Nanoseconds() > histUpper(histIndex(15000)) {
+		t.Fatalf("p50 of 6 samples = %v, want <= the 3rd sample's bucket", got)
+	}
+	if got := h.Quantile(1); got < 1000*time.Microsecond {
+		t.Fatalf("p100 = %v, must cover the max", got)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines while a
+// reader polls quantiles; run under -race to pin lock-freedom.
+func TestHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Quantile(0.99)
+			}
+		}
+	}()
+	const writers, per = 8, 2000
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*1000 + i))
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*per)
+	}
+}

@@ -481,6 +481,9 @@ func (m *Manager) Score(id string) (Ack, error) {
 	if err != nil {
 		return s.lastAck, fmt.Errorf("stream: window features: %w", err)
 	}
+	// PredictProb runs the compiled flat-forest kernel (internal/xgb
+	// compile.go), so the per-chunk provisional verdict costs a contiguous
+	// array walk, not a pointer-tree traversal.
 	prob := det.Model.PredictProb(feat)
 	s.lastAck.Scored = s.scored
 	s.lastAck.ProvisionalProbFake = prob

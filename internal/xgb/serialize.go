@@ -33,5 +33,6 @@ func Load(r io.Reader) (*Model, error) {
 			}
 		}
 	}
+	m.forest() // compile the flat inference form eagerly
 	return &m, nil
 }

@@ -12,9 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // Config controls training.
@@ -97,13 +96,19 @@ func (t *tree) predict(x []float64) float64 {
 	}
 }
 
-// Model is a fitted boosted ensemble for binary classification.
+// Model is a fitted boosted ensemble for binary classification. The
+// exported pointer trees are the authoritative, serialised form; inference
+// runs through the compiled flat forest (compile.go), lowered eagerly by
+// Train and Load and lazily on first prediction for hand-built models.
+// Mutating Trees after the first prediction is not supported.
 type Model struct {
 	Trees      []tree
 	BaseMargin float64
 	NumFeat    int
 	// Gain accumulates per-feature split gain (importance).
 	Gain []float64
+
+	compiled atomic.Pointer[forest]
 }
 
 // Errors returned by Train.
@@ -182,42 +187,18 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 			margin[i] += tr.predict(X[i])
 		}
 	}
+	m.forest() // compile the flat inference form eagerly
 	return m, nil
 }
 
-// PredictProb returns P(label = 1 | x).
+// PredictProb returns P(label = 1 | x), scored through the compiled flat
+// forest (bit-identical to the pointer trees).
 func (m *Model) PredictProb(x []float64) float64 {
-	return sigmoid(m.margin(x))
+	return sigmoid(m.forest().margin1(x))
 }
 
 // Predict returns the hard label at the 0.5 threshold.
 func (m *Model) Predict(x []float64) bool { return m.PredictProb(x) >= 0.5 }
-
-func (m *Model) margin(x []float64) float64 {
-	s := m.BaseMargin
-	for i := range m.Trees {
-		s += m.Trees[i].predict(x)
-	}
-	return s
-}
-
-// PredictBatch scores many rows in parallel.
-func (m *Model) PredictBatch(X [][]float64) []float64 {
-	out := make([]float64, len(X))
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(X); i += workers {
-				out[i] = m.PredictProb(X[i])
-			}
-		}(w)
-	}
-	wg.Wait()
-	return out
-}
 
 // Importance returns gain-based feature importances normalised to sum 1
 // (all zeros when the model never split).
