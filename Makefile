@@ -56,13 +56,14 @@ fuzz-short:
 	$(GO) test ./internal/wal/ -run NONE -fuzz FuzzFrameDecode -fuzztime 20s
 	$(GO) test ./internal/trajectory/ -run NONE -fuzz FuzzTrajectoryCodec -fuzztime 20s
 	$(GO) test ./internal/server/ -run NONE -fuzz FuzzBinaryCodec -fuzztime 20s
+	$(GO) test ./internal/cluster/ -run NONE -fuzz FuzzClusterCodec -fuzztime 20s
 
 # Crash-point exploration plus the wedge-mid-workload breaker cycle:
 # replay the upload workload (batch and streaming sessions), crash at
 # every filesystem mutation site (or wedge the disk and watch the breaker
 # trip, degrade, and heal), recover, and check the durability invariants.
 chaos:
-	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestSessionCrashPointExploration|TestWedgeMidWorkload'
+	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestSessionCrashPointExploration|TestWedgeMidWorkload|TestClusterCrashPointExploration'
 
 # Seeded load generator against a self-hosted provider; writes
 # BENCH_loadgen.json with throughput and latency percentiles (batch,

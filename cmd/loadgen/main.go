@@ -29,11 +29,16 @@
 // scoring in points/sec, binary vs JSON decode in ops/sec — and lands
 // under "kernel".
 //
+// With -cluster (on by default) a further scenario re-runs the workload
+// against a provider whose RSSI backend is a three-node shard cluster
+// over loopback, live-migrating the busiest tile mid-run; req/s, forward
+// ratio, and latency percentiles land under "cluster".
+//
 // Usage:
 //
 //	loadgen [-addr URL] [-seed 1] [-n 200] [-workers 8] [-forged 0.3]
 //	        [-points 20] [-data-dir DIR] [-overload] [-stream] [-binary]
-//	        [-kernel] [-out BENCH_loadgen.json]
+//	        [-kernel] [-cluster] [-cluster-nodes 3] [-out BENCH_loadgen.json]
 package main
 
 import (
@@ -70,6 +75,9 @@ func run(args []string) error {
 		"also replay the workload over the binary wire against a fresh provider (self-host only)")
 	kernelFlag := fs.Bool("kernel", true,
 		"also run the verify-kernel microbenchmark (flattened vs pointer, binary vs JSON)")
+	clusterFlag := fs.Bool("cluster", true,
+		"also run the cluster scenario (multi-node shard backend, mid-run tile migration)")
+	clusterNodes := fs.Int("cluster-nodes", 3, "shard nodes in the cluster scenario")
 	out := fs.String("out", "BENCH_loadgen.json", "result file (empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -167,6 +175,24 @@ func run(args []string) error {
 			ov.AdmittedP99Millis, ov.UncontendedP99Millis, ov.AccountingOK)
 	}
 
+	// The cluster scenario always self-hosts: it needs the provider's WiFi
+	// backend swapped for an in-process multi-node shard cluster.
+	if *clusterFlag {
+		fmt.Println("running cluster scenario (multi-node shard backend, mid-run migration)...")
+		cr, err := loadgen.RunCluster(loadgen.ClusterOptions{
+			Seed: *seed, Workers: *workers, Nodes: *clusterNodes,
+			ForgedFrac: *forged, Points: *points, Hist: *hist,
+		})
+		if err != nil {
+			return err
+		}
+		bench.Cluster = cr
+		fmt.Printf("cluster: %d nodes, %d uploads: %.1f req/s, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			cr.Nodes, cr.Uploads, cr.ThroughputRPS, cr.P50Millis, cr.P95Millis, cr.P99Millis)
+		fmt.Printf("cluster: %d forwarded shard RPCs (forward ratio %.2f), %d halo updates, epoch %d -> %d (%d migration)\n",
+			cr.Forwarded, cr.ForwardRatio, cr.HaloUpdates, cr.EpochBefore, cr.Epoch, cr.Migrations)
+	}
+
 	// The streaming scenario self-hosts its own streaming-enabled provider
 	// (the one under test above may not expose /v1/session).
 	if *streamFlag {
@@ -207,4 +233,7 @@ type benchResult struct {
 	Kernel   *loadgen.KernelResult   `json:"kernel,omitempty"`
 	Overload *loadgen.OverloadResult `json:"overload,omitempty"`
 	Stream   *loadgen.StreamResult   `json:"stream,omitempty"`
+	// Cluster re-runs the workload against a provider backed by a
+	// multi-node shard cluster with a mid-run tile migration.
+	Cluster *loadgen.ClusterResult `json:"cluster,omitempty"`
 }

@@ -27,9 +27,19 @@
 // sessions, evicted after -session-ttl (or 90s idle), and score a
 // provisional verdict over a sliding window of -session-window points.
 //
+// Cluster mode splits the RSSI store across shard-node processes. A node
+// process serves tiles over the shard-transport RPC and keeps its own
+// WAL/snapshot lineage; a coordinator process runs the full verification
+// service with the distributed store as its backend, forwarding feature
+// extraction to the nodes that own each tile:
+//
+//	lspserver -node-id n1 -cluster-listen 127.0.0.1:7101 [-data-dir DIR]
+//	lspserver -join n1=127.0.0.1:7101,n2=127.0.0.1:7102,n3=127.0.0.1:7103
+//
 // Usage:
 //
 //	lspserver -addr :8742 [-seed 1] [-uploads 300] [-data-dir DIR] [-sharded]
+//	          [-node-id ID -cluster-listen ADDR | -join ID=ADDR,...]
 //	          [-max-inflight N] [-queue-depth N] [-upload-timeout 10s]
 //	          [-max-sessions N] [-session-ttl 10m] [-session-window N]
 package main
@@ -43,12 +53,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"flag"
 
 	"trajforge"
+	"trajforge/internal/cluster"
 	"trajforge/internal/dataset"
 	"trajforge/internal/geo"
 	"trajforge/internal/resilience"
@@ -72,6 +84,9 @@ func run(args []string) error {
 	uploads := fs.Int("uploads", 300, "crowdsourced uploads to bootstrap the detector")
 	dataDir := fs.String("data-dir", "", "directory for the WAL and snapshots (empty = in-memory only)")
 	sharded := fs.Bool("sharded", false, "partition the RSSI store by geographic tile")
+	nodeID := fs.String("node-id", "", "run as a cluster shard node with this member id (requires -cluster-listen)")
+	clusterListen := fs.String("cluster-listen", "", "shard-transport listen address for node mode")
+	join := fs.String("join", "", "run as a cluster coordinator over these nodes (comma-separated id=addr pairs)")
 	maxInflight := fs.Int("max-inflight", 4*runtime.NumCPU(),
 		"concurrent uploads admitted to the pipeline (0 = unbounded)")
 	queueDepth := fs.Int("queue-depth", 0,
@@ -88,6 +103,25 @@ func run(args []string) error {
 		"sliding-window length (points) of the provisional streaming verdict")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Node mode: no HTTP service, no bootstrap simulation — just the shard
+	// node serving tiles until signalled.
+	if *nodeID != "" {
+		if *clusterListen == "" {
+			return errors.New("-node-id requires -cluster-listen")
+		}
+		return runNode(*nodeID, *clusterListen, *dataDir)
+	}
+	if *clusterListen != "" {
+		return errors.New("-cluster-listen requires -node-id")
+	}
+	clusterNodes, err := parseJoin(*join)
+	if err != nil {
+		return err
+	}
+	if clusterNodes != nil && *sharded {
+		return errors.New("-join and -sharded are mutually exclusive backends")
 	}
 
 	// Open the durability layer first: recovered state decides below
@@ -152,9 +186,26 @@ func run(args []string) error {
 		records = recovered.Records
 	}
 	var store trajforge.RSSIBackend
-	if *sharded {
+	switch {
+	case clusterNodes != nil:
+		cs, cerr := cluster.NewStore(cluster.Options{
+			Shard: shardstore.DefaultConfig(),
+			Nodes: clusterNodes,
+		})
+		if cerr != nil {
+			return cerr
+		}
+		defer cs.Close()
+		// The coordinator owns the canonical log; the bootstrap (or the
+		// recovered snapshot) is replicated out to the shard nodes tile by
+		// tile, idempotently — a node that already holds a prefix from a
+		// previous coordinator incarnation skips it via the seq gate.
+		cs.Add(records)
+		fmt.Printf("cluster: %d nodes, epoch %d\n", len(clusterNodes), cs.Assignment().Epoch)
+		store = cs
+	case *sharded:
 		store, err = shardstore.New(shardstore.DefaultConfig(), records)
-	} else {
+	default:
 		store, err = rssimap.NewStore(rssimap.DefaultConfig(), records)
 	}
 	if err != nil {
@@ -268,6 +319,58 @@ func run(args []string) error {
 	}
 }
 
+// runNode serves one cluster shard node until SIGINT/SIGTERM. With a data
+// directory the node keeps its own WAL/snapshot lineage and recovers its
+// tiles (and journaled assignment epoch) across restarts; the coordinator
+// resyncs whatever tail it missed while down.
+func runNode(id, listen, dataDir string) error {
+	node, err := cluster.NewNode(id, shardstore.DefaultConfig(), cluster.NodeOptions{Dir: dataDir})
+	if err != nil {
+		return err
+	}
+	addr, err := node.Listen(listen)
+	if err != nil {
+		node.Close()
+		return err
+	}
+	if dataDir != "" {
+		fmt.Printf("node %s serving shard transport on %s (durable in %s)\n", id, addr, dataDir)
+	} else {
+		fmt.Printf("node %s serving shard transport on %s (memory-only)\n", id, addr)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("node shutting down...")
+	// Fold the WAL into a snapshot so the next start replays nothing.
+	if dataDir != "" {
+		if err := node.Compact(); err != nil {
+			node.Close()
+			return fmt.Errorf("final compaction: %w", err)
+		}
+	}
+	return node.Close()
+}
+
+// parseJoin parses the -join value: comma-separated id=addr pairs.
+func parseJoin(join string) (map[string]string, error) {
+	if join == "" {
+		return nil, nil
+	}
+	nodes := make(map[string]string)
+	for _, pair := range strings.Split(join, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("malformed -join entry %q (want id=addr)", pair)
+		}
+		if _, dup := nodes[id]; dup {
+			return nil, fmt.Errorf("duplicate node id %q in -join", id)
+		}
+		nodes[id] = addr
+	}
+	return nodes, nil
+}
+
 // printStats summarises the session: counters plus where verification time
 // went, per pipeline stage, plus durability and sharding state when on.
 func printStats(st server.Stats) {
@@ -304,5 +407,16 @@ func printStats(st server.Stats) {
 	if sh := st.Shards; sh != nil {
 		fmt.Printf("  shards: %d tiles, %d records (%d stored with halo), busiest %d\n",
 			sh.Shards, sh.Records, sh.StoredRecords, sh.MaxShardRecords)
+	}
+	if cl := st.Cluster; cl != nil {
+		fmt.Printf("  cluster: epoch %d, %d records, %d forwarded, %d halo updates, %d migrations\n",
+			cl.Epoch, cl.Records, cl.Forwarded, cl.HaloUpdates, cl.Migrations)
+		for _, ns := range cl.Nodes {
+			state := "synced"
+			if ns.Unsynced {
+				state = "UNSYNCED"
+			}
+			fmt.Printf("    node %-8s %4d tiles, %6d entries, %s\n", ns.ID, ns.Tiles, ns.Entries, state)
+		}
 	}
 }

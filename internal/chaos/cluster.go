@@ -1,0 +1,444 @@
+// Cluster crash-point explorer: the distributed sibling of Run. One fixed,
+// seeded ingest workload runs against a two-node shard cluster while a
+// tile migrates between the nodes, and the explorer kills one node — via a
+// crashing faultfs under its WAL/snapshot lineage — at every mutation site
+// that node's storage performs, old owner and new owner alike. After each
+// crash the cluster recovers the way a real deployment does: the dead node
+// restarts from its surviving files, a new coordinator incarnation fences
+// a higher epoch and replays the canonical record log, and resync heals
+// whatever tail the node lost.
+//
+// Three invariants hold at every crash point:
+//
+//  1. Acked data survives: every record acknowledged into the canonical
+//     log is served after recovery — the feature probes answer with
+//     float64 bits identical to a single-process store that ingested the
+//     same records and never crashed (recovered tiles are bit-identical,
+//     so verdicts computed from them are too).
+//
+//  2. No split-brain: any confidence query that *succeeds* during the
+//     crashed run is also bit-identical to the reference — epoch fencing
+//     means a node either answers correctly for a tile it owns or
+//     refuses; it never serves a stale copy.
+//
+//  3. Epochs are monotonic: the journaled epoch of a recovered node never
+//     exceeds what the coordinator issued, and the next coordinator
+//     incarnation fences strictly above every surviving node epoch.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"time"
+
+	"trajforge/internal/cluster"
+	"trajforge/internal/fsx"
+	"trajforge/internal/fsx/faultfs"
+	"trajforge/internal/geo"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/shardstore"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/wifi"
+)
+
+// ClusterOptions configures one cluster exploration run.
+type ClusterOptions struct {
+	// Seed drives the record workload and torn-write prefixes.
+	Seed int64
+	// Records is the workload length. Default 240.
+	Records int
+	// Dir is the scratch directory; each crash point gets a subdirectory.
+	Dir string
+	// Logf, when set, receives progress lines (e.g. testing.T.Logf).
+	Logf func(format string, args ...any)
+}
+
+// ClusterReport summarises a cluster exploration.
+type ClusterReport struct {
+	// Sites is the total number of crash points explored across both
+	// victim roles (migration source and migration target).
+	Sites int
+	// Committed and Aborted count how the mid-workload migration ended
+	// across crash points; both outcomes must appear, or the crash surface
+	// missed one side of the protocol.
+	Committed int
+	Aborted   int
+	// LiveProbeMatches counts crash points where the post-crash, pre-
+	// recovery probe still succeeded (served entirely by surviving nodes)
+	// and matched the reference bits.
+	LiveProbeMatches int
+}
+
+// clusterFixture is the deterministic workload shared by every crash point.
+type clusterFixture struct {
+	opts    ClusterOptions
+	cfg     shardstore.Config
+	fcfg    rssimap.FeatureConfig
+	batches [][]rssimap.Record
+	probes  []*wifi.Upload
+	refFeat [][]float64 // probe features over the full record set, never crashed
+	migTile [2]int
+	fromID  string
+	toID    string
+}
+
+// migrateAt is the batch index after which the tile migration fires.
+const migrateAt = 3
+
+func clusterRecords(rng *rand.Rand, n int) []rssimap.Record {
+	recs := make([]rssimap.Record, n)
+	for i := range recs {
+		m := make(map[string]int)
+		for j := 0; j < 3+rng.Intn(4); j++ {
+			m[fmt.Sprintf("02:4e:00:00:00:%02x", rng.Intn(24))] = -40 - rng.Intn(50)
+		}
+		recs[i] = rssimap.Record{
+			Pos:  geo.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60},
+			RSSI: m,
+		}
+	}
+	return recs
+}
+
+func clusterProbe(rng *rand.Rand, n int) *wifi.Upload {
+	pos := make([]geo.Point, n)
+	p := geo.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+	for i := range pos {
+		p.X = math.Abs(math.Mod(p.X+rng.NormFloat64()*4, 60))
+		p.Y = math.Abs(math.Mod(p.Y+rng.NormFloat64()*4, 60))
+		pos[i] = p
+	}
+	traj := trajectory.New(pos, time.Date(2022, 7, 1, 8, 0, 0, 0, time.UTC), time.Second)
+	scans := make([]wifi.Scan, n)
+	for i := range scans {
+		for j := 0; j < 3; j++ {
+			scans[i] = append(scans[i], wifi.Observation{
+				MAC:  fmt.Sprintf("02:4e:00:00:00:%02x", rng.Intn(24)),
+				RSSI: -40 - rng.Intn(50),
+			})
+		}
+	}
+	return &wifi.Upload{Traj: traj, Scans: scans}
+}
+
+func newClusterFixture(opts ClusterOptions) (*clusterFixture, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	all := clusterRecords(rng, opts.Records)
+	f := &clusterFixture{
+		opts: opts,
+		cfg:  shardstore.DefaultConfig(),
+		fcfg: rssimap.DefaultFeatureConfig(),
+	}
+	const batch = 40
+	for off := 0; off < len(all); off += batch {
+		end := off + batch
+		if end > len(all) {
+			end = len(all)
+		}
+		f.batches = append(f.batches, all[off:end])
+	}
+	if len(f.batches) <= migrateAt+1 {
+		return nil, fmt.Errorf("chaos: workload of %d records too short for a mid-run migration", len(all))
+	}
+	for i := 0; i < 2; i++ {
+		f.probes = append(f.probes, clusterProbe(rng, 12))
+	}
+
+	// Reference features from a single-process store that never crashed:
+	// the bits every recovery must reproduce.
+	ref, err := shardstore.New(f.cfg, all)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range f.probes {
+		feat, err := ref.Features(u, f.fcfg)
+		if err != nil {
+			return nil, err
+		}
+		f.refFeat = append(f.refFeat, feat)
+	}
+
+	// Dry run on memory-only nodes to fix the migration (tile, from, to)
+	// every crash point replays.
+	res, err := f.run("", "", nil)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: dry run: %w", err)
+	}
+	if res.migErr != nil {
+		return nil, fmt.Errorf("chaos: dry-run migration: %w", res.migErr)
+	}
+	if res.probeErr != nil {
+		return nil, fmt.Errorf("chaos: dry-run probe: %w", res.probeErr)
+	}
+	f.migTile, f.fromID, f.toID = res.migTile, res.fromID, res.toID
+	return f, nil
+}
+
+// clusterRunResult is what one workload execution observed.
+type clusterRunResult struct {
+	migTile    [2]int
+	fromID     string
+	toID       string
+	migErr     error
+	probeErr   error
+	probeMatch bool
+	epoch      uint64 // coordinator epoch when the run finished
+}
+
+// run executes the fixed workload. With dir == "" the nodes are memory-only
+// (the dry run); otherwise each node journals under dir/<id>, and the
+// victim node's filesystem is vfs (nil = healthy).
+func (f *clusterFixture) run(dir, victim string, vfs fsx.FS) (*clusterRunResult, error) {
+	ids := []string{"a", "b"}
+	nodes := make(map[string]*cluster.Node, 2)
+	addrs := make(map[string]string, 2)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, id := range ids {
+		var nopts cluster.NodeOptions
+		if dir != "" {
+			nopts.Dir = filepath.Join(dir, id)
+			if id == victim {
+				nopts.FS = vfs
+			}
+		}
+		node, err := cluster.NewNode(id, f.cfg, nopts)
+		if err != nil {
+			// The victim crashed before its storage even opened. Reserve a
+			// dead address so the coordinator sees connection-refused and
+			// the workload proceeds degraded.
+			if id == victim {
+				ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+				if lerr != nil {
+					return nil, lerr
+				}
+				addrs[id] = ln.Addr().String()
+				ln.Close()
+				continue
+			}
+			return nil, err
+		}
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		nodes[id] = node
+		addrs[id] = addr.String()
+	}
+
+	store, err := cluster.NewStore(cluster.Options{
+		Shard: f.cfg, Nodes: addrs, CallTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+
+	res := &clusterRunResult{}
+	for i, b := range f.batches {
+		store.Add(b)
+		if i == migrateAt {
+			if f.fromID == "" {
+				// Dry run: discover the migration the crash points replay.
+				tile, ok := store.BusiestTile()
+				if !ok {
+					return nil, errors.New("no busiest tile")
+				}
+				res.migTile = tile
+				res.fromID = store.Assignment().Owner(tile)
+				for _, id := range ids {
+					if id != res.fromID {
+						res.toID = id
+					}
+				}
+				res.migErr = store.Migrate(tile, res.toID)
+			} else {
+				res.migTile, res.fromID, res.toID = f.migTile, f.fromID, f.toID
+				res.migErr = store.Migrate(f.migTile, f.toID)
+			}
+		}
+	}
+
+	// Post-workload probe: allowed to fail (a dead node can make tiles
+	// unreachable) but never allowed to answer with different bits.
+	res.probeMatch = true
+	for i, u := range f.probes {
+		feat, err := store.Features(u, f.fcfg)
+		if err != nil {
+			res.probeErr = err
+			res.probeMatch = false
+			break
+		}
+		if !sameBits(feat, f.refFeat[i]) {
+			return nil, fmt.Errorf("live probe %d diverged from reference bits", i)
+		}
+	}
+	res.epoch = store.Assignment().Epoch
+	return res, nil
+}
+
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// recover restarts both nodes from their surviving files on a healthy
+// filesystem, fences a fresh coordinator above every journaled epoch,
+// replays the canonical log, and asserts the recovery invariants.
+func (f *clusterFixture) recoverAndCheck(dir string, crashed *clusterRunResult) error {
+	ids := []string{"a", "b"}
+	nodes := make(map[string]*cluster.Node, 2)
+	addrs := make(map[string]string, 2)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	var maxNodeEpoch uint64
+	for _, id := range ids {
+		node, err := cluster.NewNode(id, f.cfg, cluster.NodeOptions{Dir: filepath.Join(dir, id)})
+		if err != nil {
+			return fmt.Errorf("restart node %s: %w", id, err)
+		}
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		nodes[id] = node
+		addrs[id] = addr.String()
+		// Invariant 3a: a node can only know epochs the coordinator issued.
+		if e := node.Epoch(); e > crashed.epoch {
+			return fmt.Errorf("node %s recovered epoch %d above the coordinator's last issued %d", id, e, crashed.epoch)
+		} else if e > maxNodeEpoch {
+			maxNodeEpoch = e
+		}
+	}
+
+	store, err := cluster.NewStore(cluster.Options{
+		Shard: f.cfg, Nodes: addrs, CallTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	// Invariant 3b: the next incarnation fences strictly above everything
+	// that survived.
+	if e := store.Assignment().Epoch; e <= maxNodeEpoch {
+		return fmt.Errorf("new coordinator epoch %d does not fence above surviving node epoch %d", e, maxNodeEpoch)
+	}
+
+	// Canonical-log replay (what the server's WAL recovery drives); the
+	// per-tile seq gate deduplicates against whatever the nodes kept.
+	for _, b := range f.batches {
+		store.Add(b)
+	}
+
+	// Invariants 1 + 2: every probe answers, with reference bits.
+	for i, u := range f.probes {
+		feat, err := store.Features(u, f.fcfg)
+		if err != nil {
+			return fmt.Errorf("recovered probe %d: %w", i, err)
+		}
+		if !sameBits(feat, f.refFeat[i]) {
+			return fmt.Errorf("recovered probe %d diverged from reference bits", i)
+		}
+	}
+	return nil
+}
+
+// RunCluster explores kill-node-mid-migration crash points: for each victim
+// role (migration source, then target), it records every storage mutation
+// the victim performs during the fixed workload, then re-runs the workload
+// once per site with a crashing torn-write fault at that site and drives
+// recovery through the invariants above.
+func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
+	if opts.Records == 0 {
+		opts.Records = 240
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("chaos: ClusterOptions.Dir is required")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f, err := newClusterFixture(opts)
+	if err != nil {
+		return nil, err
+	}
+	logf("chaos: cluster workload: %d records in %d batches, migrating tile %v from %s to %s",
+		opts.Records, len(f.batches), f.migTile, f.fromID, f.toID)
+
+	rep := &ClusterReport{}
+	for _, victim := range []string{f.fromID, f.toID} {
+		role := "source"
+		if victim == f.toID {
+			role = "target"
+		}
+		// Counting pass: the victim runs on a recording, fault-free
+		// filesystem to enumerate its mutation sites.
+		counter := faultfs.New(fsx.OS, faultfs.Options{})
+		countDir := filepath.Join(opts.Dir, "count-"+victim)
+		res, err := f.run(countDir, victim, counter)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: counting pass (victim %s): %w", victim, err)
+		}
+		if res.migErr != nil {
+			return nil, fmt.Errorf("chaos: counting-pass migration (victim %s): %w", victim, res.migErr)
+		}
+		if res.probeErr != nil {
+			return nil, fmt.Errorf("chaos: counting-pass probe (victim %s): %w", victim, res.probeErr)
+		}
+		plan := counter.Ops()
+		logf("chaos: victim %s (%s): %d mutation sites", victim, role, len(plan))
+
+		for site := 1; site <= len(plan); site++ {
+			dir := filepath.Join(opts.Dir, fmt.Sprintf("%s-site-%03d", victim, site))
+			vfs := faultfs.New(fsx.OS, faultfs.Options{
+				Seed:   opts.Seed ^ int64(site),
+				FailAt: site,
+				Mode:   faultfs.FaultTorn,
+				Crash:  true,
+			})
+			res, err := f.run(dir, victim, vfs)
+			if err != nil {
+				return rep, fmt.Errorf("chaos: victim %s site %d (%s %s): %w",
+					victim, site, plan[site-1].Kind, filepath.Base(plan[site-1].Path), err)
+			}
+			if !vfs.Faulted() {
+				return rep, fmt.Errorf("chaos: victim %s site %d: fault never fired", victim, site)
+			}
+			rep.Sites++
+			if res.migErr != nil {
+				rep.Aborted++
+			} else {
+				rep.Committed++
+			}
+			if res.probeErr == nil && res.probeMatch {
+				rep.LiveProbeMatches++
+			}
+			if err := f.recoverAndCheck(dir, res); err != nil {
+				return rep, fmt.Errorf("chaos: victim %s site %d (%s %s, migration err %v): %w",
+					victim, site, plan[site-1].Kind, filepath.Base(plan[site-1].Path), res.migErr, err)
+			}
+		}
+	}
+	logf("chaos: explored %d cluster crash points: %d migrations committed, %d aborted, %d live probes matched",
+		rep.Sites, rep.Committed, rep.Aborted, rep.LiveProbeMatches)
+	return rep, nil
+}

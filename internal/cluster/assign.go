@@ -1,0 +1,110 @@
+// Tile→node assignment. The coordinator owns a versioned Assignment: a
+// member list, an epoch that increments on every ownership change, and an
+// override table for tiles that migration has moved off their default
+// owner. Default ownership is rendezvous (highest-random-weight) hashing,
+// so adding or removing a node reshuffles only the tiles that must move,
+// and every party — coordinator or node — computes the same owner from the
+// same assignment without coordination.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// rendezvousScore ranks node id for tile t with FNV-1a over the tile
+// coordinates and the id. The hash must be identical in every process —
+// coordinator and nodes each compute Owner() from the shared assignment,
+// and a process-seeded hash would give two processes two owners for one
+// tile — so a fixed algorithm, not a seeded one, is load-bearing here.
+func rendezvousScore(id string, t [2]int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(int64(t[0])))
+	mix(uint64(int64(t[1])))
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Assignment is one immutable version of the tile→node map.
+type Assignment struct {
+	// Epoch increments on every change. Nodes fence requests on it.
+	Epoch uint64
+	// Members are the node ids participating in rendezvous hashing,
+	// kept sorted.
+	Members []string
+	// Overrides pins specific tiles to a node regardless of the hash —
+	// the record of completed migrations.
+	Overrides map[[2]int]string
+}
+
+// Owner returns the node responsible for tile t, or "" when the
+// assignment has no members.
+func (a Assignment) Owner(t [2]int) string {
+	if id, ok := a.Overrides[t]; ok {
+		return id
+	}
+	best, bestScore := "", uint64(0)
+	for _, id := range a.Members {
+		s := rendezvousScore(id, t)
+		// Ties break toward the lexically larger id so the winner is
+		// deterministic regardless of member order.
+		if best == "" || s > bestScore || (s == bestScore && id > best) {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy safe to mutate into the next version.
+func (a Assignment) Clone() Assignment {
+	c := Assignment{
+		Epoch:     a.Epoch,
+		Members:   append([]string(nil), a.Members...),
+		Overrides: make(map[[2]int]string, len(a.Overrides)),
+	}
+	for t, id := range a.Overrides {
+		c.Overrides[t] = id
+	}
+	return c
+}
+
+// NewAssignment builds the epoch-1 assignment over the given members.
+func NewAssignment(members []string) (Assignment, error) {
+	ms := append([]string(nil), members...)
+	sort.Strings(ms)
+	for i := 1; i < len(ms); i++ {
+		if ms[i] == ms[i-1] {
+			return Assignment{}, fmt.Errorf("cluster: duplicate member %q", ms[i])
+		}
+	}
+	for _, id := range ms {
+		if id == "" {
+			return Assignment{}, fmt.Errorf("cluster: empty member id")
+		}
+	}
+	return Assignment{Epoch: 1, Members: ms, Overrides: map[[2]int]string{}}, nil
+}
+
+// hasMember reports whether id participates in the assignment.
+func (a Assignment) hasMember(id string) bool {
+	for _, m := range a.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,686 @@
+// A shard node: one member of the cluster, owning the tiles the assignment
+// maps to it. Each node keeps an independent rssimap.Store per tile plus
+// the tile's applied entry log, journals every mutation to its own
+// internal/wal lineage (WAL + snapshot, generation-reconciled exactly like
+// the server's persistence), and serves the shard-transport RPC over TCP.
+//
+// Fencing: the node journals the assignment epoch it last accepted, and
+// every tile-addressed request carries the sender's epoch. Queries demand
+// exact epoch equality *and* that the assignment maps the tile to this
+// node; mutations demand exact equality too, so a coordinator holding a
+// stale map — or a node that missed an epoch bump — gets statusWrongEpoch
+// (with the node's epoch) instead of silently acting on the wrong side of
+// a migration. Epochs only move forward: an assignment push with a lower
+// epoch is rejected, which is what makes split-brain tile ownership
+// impossible even across node restarts.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"trajforge/internal/fsx"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/shardstore"
+	"trajforge/internal/wal"
+)
+
+// Node WAL frame types.
+const (
+	nodeFrameEntries byte = 1 // one applied entry batch (codec entry list)
+	nodeFrameDrop    byte = 2 // one dropped tile (codec tile)
+	nodeFrameAssign  byte = 3 // one accepted assignment (codec assignment)
+)
+
+const (
+	nodeWALName  = "node.wal"
+	nodeSnapName = "node.snap"
+
+	// transportIdle bounds reads/writes that carry no request deadline.
+	transportIdle = 30 * time.Second
+)
+
+// NodeOptions configures a shard node.
+type NodeOptions struct {
+	// Dir is the node's durability directory; empty runs memory-only
+	// (no WAL, no snapshot — tests and throwaway nodes).
+	Dir string
+	// FS is the filesystem seam; nil means the real one.
+	FS fsx.FS
+	// SyncInterval is the node WAL's group-commit interval; zero fsyncs
+	// inline on every append (the chaos explorer's deterministic mode).
+	SyncInterval time.Duration
+}
+
+// tileState is one tile's replica on this node.
+type tileState struct {
+	store   *rssimap.Store
+	lastSeq uint64
+	entries []Entry // applied entries in order, for handoff and snapshots
+}
+
+// Node is one cluster member.
+type Node struct {
+	id   string
+	cfg  shardstore.Config
+	opts NodeOptions
+	fs   fsx.FS
+
+	mu     sync.RWMutex
+	epoch  uint64
+	assign Assignment
+	tiles  map[[2]int]*tileState
+	frozen map[[2]int]bool
+	log    *wal.Log
+	dead   error // first fatal storage failure; the node refuses everything after
+
+	connMu sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	statMu   sync.Mutex
+	adds     uint64
+	confs    uint64
+	installs uint64
+}
+
+// NewNode opens (or recovers) a shard node. With a Dir, state is loaded
+// snapshot-first then WAL-replayed, reconciling generations the same way
+// server persistence does.
+func NewNode(id string, cfg shardstore.Config, opts NodeOptions) (*Node, error) {
+	if id == "" {
+		return nil, errors.New("cluster: node id must be non-empty")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := rssimap.NewStore(cfg.Store, nil); err != nil {
+		return nil, err
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = fsx.OS
+	}
+	n := &Node{
+		id:     id,
+		cfg:    cfg,
+		opts:   opts,
+		fs:     fs,
+		tiles:  make(map[[2]int]*tileState),
+		frozen: make(map[[2]int]bool),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if opts.Dir == "" {
+		return n, nil
+	}
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: node dir: %w", err)
+	}
+	log, err := wal.Open(filepath.Join(opts.Dir, nodeWALName), wal.Options{SyncInterval: opts.SyncInterval, FS: fs})
+	if err != nil {
+		return nil, err
+	}
+	n.log = log
+	if err := n.load(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// ID returns the node's member id.
+func (n *Node) ID() string { return n.id }
+
+// Epoch returns the last assignment epoch the node accepted (and, when
+// durable, journaled) — the value fencing compares against.
+func (n *Node) Epoch() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.epoch
+}
+
+// snapPath returns the snapshot path (only valid with a Dir).
+func (n *Node) snapPath() string { return filepath.Join(n.opts.Dir, nodeSnapName) }
+
+// load reconciles snapshot and WAL generations and replays the log.
+func (n *Node) load() error {
+	snapGen, payload, err := wal.ReadSnapshotFS(n.fs, n.snapPath())
+	switch {
+	case errors.Is(err, wal.ErrNoSnapshot):
+		snapGen = 0
+	case err != nil:
+		return err
+	default:
+		if err := n.loadSnapshot(payload); err != nil {
+			return fmt.Errorf("%w: node snapshot: %v", wal.ErrCorrupt, err)
+		}
+	}
+	walGen := n.log.Generation()
+	switch {
+	case snapGen > walGen:
+		// Crash between snapshot rename and log reset: the snapshot already
+		// covers every frame of the stale log.
+		return n.log.Reset(snapGen)
+	case snapGen < walGen && walGen > 1:
+		return fmt.Errorf("%w: node snapshot generation %d behind log generation %d in %s",
+			wal.ErrCorrupt, snapGen, walGen, n.opts.Dir)
+	default:
+		return n.log.Replay(func(typ byte, payload []byte) error {
+			return n.replayFrame(typ, payload)
+		})
+	}
+}
+
+func (n *Node) replayFrame(typ byte, payload []byte) error {
+	r := &reader{data: payload}
+	switch typ {
+	case nodeFrameEntries:
+		entries, err := decodeEntries(r)
+		if err != nil {
+			return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+		}
+		if err := r.done(); err != nil {
+			return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+		}
+		n.applyEntriesLocked(entries)
+		return nil
+	case nodeFrameDrop:
+		t, err := r.tile()
+		if err != nil {
+			return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+		}
+		if err := r.done(); err != nil {
+			return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+		}
+		delete(n.tiles, t)
+		delete(n.frozen, t)
+		return nil
+	case nodeFrameAssign:
+		a, err := decodeAssignment(r)
+		if err != nil {
+			return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+		}
+		if err := r.done(); err != nil {
+			return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
+		}
+		// Replay preserves monotonicity: frames were only journaled for
+		// accepted (>= current) epochs.
+		if a.Epoch >= n.epoch {
+			n.epoch, n.assign = a.Epoch, a
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown node frame type %d", wal.ErrCorrupt, typ)
+	}
+}
+
+// applyEntriesLocked applies a batch, gated per tile on the applied
+// sequence high-water mark: an entry with Seq <= lastSeq is a duplicate
+// from a retried batch, a replayed WAL, or a resync, and is skipped. This
+// is what makes every delivery path idempotent.
+func (n *Node) applyEntriesLocked(entries []Entry) {
+	perTile := make(map[[2]int][]rssimap.Record)
+	var order [][2]int
+	for _, e := range entries {
+		ts := n.tiles[e.Tile]
+		if ts == nil {
+			st, _ := rssimap.NewStore(n.cfg.Store, nil)
+			ts = &tileState{store: st}
+			n.tiles[e.Tile] = ts
+		}
+		if e.Seq <= ts.lastSeq {
+			continue
+		}
+		ts.lastSeq = e.Seq
+		ts.entries = append(ts.entries, e)
+		if _, ok := perTile[e.Tile]; !ok {
+			order = append(order, e.Tile)
+		}
+		perTile[e.Tile] = append(perTile[e.Tile], e.Rec)
+	}
+	for _, t := range order {
+		n.tiles[t].store.Add(perTile[t])
+	}
+}
+
+// journal appends one frame to the node WAL. Any failure is fatal: the
+// node marks itself dead and refuses all further requests, modelling a
+// process whose disk just failed (the chaos explorer kills nodes exactly
+// this way). Memory-only nodes journal nothing.
+func (n *Node) journalLocked(typ byte, payload []byte) error {
+	if n.log == nil {
+		return nil
+	}
+	if err := n.log.Append(typ, payload); err != nil {
+		n.dead = fmt.Errorf("cluster: node %s storage failed: %w", n.id, err)
+		return n.dead
+	}
+	return nil
+}
+
+// Compact writes a snapshot of the full node state and resets the WAL to
+// the next generation — the same two-phase protocol as server persistence:
+// the snapshot is durably renamed into place before the log resets, so a
+// crash between the two replays the old log onto the old snapshot or
+// re-points the new log, never loses a frame.
+func (n *Node) Compact() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.log == nil {
+		return nil
+	}
+	if n.dead != nil {
+		return n.dead
+	}
+	payload, err := n.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	gen := n.log.Generation() + 1
+	if err := wal.WriteSnapshotFS(n.fs, n.snapPath(), gen, payload); err != nil {
+		return err
+	}
+	return n.log.Reset(gen)
+}
+
+// snapshotLocked encodes the full node state with the wire codec —
+// deterministic bytes, no gob: assignment, then each tile's applied log
+// in tile order.
+func (n *Node) snapshotLocked() ([]byte, error) {
+	buf, err := appendAssignment(nil, n.assign)
+	if err != nil {
+		return nil, err
+	}
+	tiles := make([][2]int, 0, len(n.tiles))
+	for t := range n.tiles {
+		tiles = append(tiles, t)
+	}
+	sort.Slice(tiles, func(i, j int) bool { return tileLess(tiles[i], tiles[j]) })
+	buf = appendU32(buf, uint32(len(tiles)))
+	for _, t := range tiles {
+		ts := n.tiles[t]
+		if buf, err = appendTile(buf, t); err != nil {
+			return nil, err
+		}
+		buf = appendU64(buf, ts.lastSeq)
+		if buf, err = appendEntries(buf, ts.entries); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func (n *Node) loadSnapshot(payload []byte) error {
+	r := &reader{data: payload}
+	a, err := decodeAssignment(r)
+	if err != nil {
+		return err
+	}
+	n.epoch, n.assign = a.Epoch, a
+	nt, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nt); i++ {
+		t, err := r.tile()
+		if err != nil {
+			return err
+		}
+		lastSeq, err := r.u64()
+		if err != nil {
+			return err
+		}
+		entries, err := decodeEntries(r)
+		if err != nil {
+			return err
+		}
+		st, err := rssimap.NewStore(n.cfg.Store, nil)
+		if err != nil {
+			return err
+		}
+		ts := &tileState{store: st, lastSeq: lastSeq, entries: entries}
+		recs := make([]rssimap.Record, len(entries))
+		for j, e := range entries {
+			recs[j] = e.Rec
+		}
+		ts.store.Add(recs)
+		n.tiles[t] = ts
+	}
+	return r.done()
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	buf = appendU32(buf, uint32(v))
+	return appendU32(buf, uint32(v>>32))
+}
+
+// Serve accepts shard-transport connections until the listener closes.
+// Each connection is one request/response stream handled sequentially —
+// the coordinator opens one ordered connection for ingest and a small
+// pool for queries.
+func (n *Node) Serve(ln net.Listener) error {
+	n.connMu.Lock()
+	if n.closed {
+		n.connMu.Unlock()
+		ln.Close()
+		return errors.New("cluster: node closed")
+	}
+	n.ln = ln
+	n.connMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		n.connMu.Lock()
+		if n.closed {
+			n.connMu.Unlock()
+			conn.Close()
+			return errors.New("cluster: node closed")
+		}
+		n.conns[conn] = struct{}{}
+		n.connMu.Unlock()
+		go n.serveConn(conn)
+	}
+}
+
+// Listen starts serving on addr and returns the bound address — the
+// one-call form cmd/lspserver's node mode and in-process tests use.
+func (n *Node) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go n.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops serving and closes the WAL.
+func (n *Node) Close() error {
+	n.connMu.Lock()
+	n.closed = true
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for c := range n.conns {
+		c.Close()
+	}
+	n.connMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.log != nil {
+		return n.log.Close()
+	}
+	return nil
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		n.connMu.Lock()
+		delete(n.conns, conn)
+		n.connMu.Unlock()
+	}()
+	for {
+		msg, err := readMsg(conn, time.Now().Add(transportIdle))
+		if err != nil {
+			return
+		}
+		resp, dl := n.dispatch(msg)
+		if resp == nil {
+			return
+		}
+		if err := writeMsg(conn, resp, dl); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one request, returning the response and the absolute
+// deadline for writing it (derived from the request's remaining-time
+// field, so a forward whose originating client gave up cannot hold a
+// node connection).
+func (n *Node) dispatch(msg any) (any, time.Time) {
+	now := time.Now()
+	switch m := msg.(type) {
+	case *Hello:
+		return n.handleHello(), wireDeadline(m.Deadline, now, transportIdle)
+	case *AddReq:
+		return n.handleAdd(m, false), wireDeadline(m.Deadline, now, transportIdle)
+	case *InstallReq:
+		return n.handleAdd((*AddReq)(m), true), wireDeadline(m.Deadline, now, transportIdle)
+	case *ConfReq:
+		return n.handleConf(m), wireDeadline(m.Deadline, now, transportIdle)
+	case *FreezeReq:
+		return n.handleFreeze(m), wireDeadline(m.Deadline, now, transportIdle)
+	case *FetchTileReq:
+		return n.handleFetch(m), wireDeadline(m.Deadline, now, transportIdle)
+	case *DropReq:
+		return n.handleDrop(m), wireDeadline(m.Deadline, now, transportIdle)
+	case *AssignReq:
+		return n.handleAssign(m), wireDeadline(m.Deadline, now, transportIdle)
+	case *SeqsReq:
+		return n.handleSeqs(), wireDeadline(m.Deadline, now, transportIdle)
+	case *StatsReq:
+		return n.handleStats(), wireDeadline(m.Deadline, now, transportIdle)
+	default:
+		// Protocol violation (a response kind on the request stream):
+		// drop the connection.
+		return nil, time.Time{}
+	}
+}
+
+func (n *Node) handleHello() *Ack {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.dead != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: n.dead.Error()}
+	}
+	return &Ack{Status: statusOK, Epoch: n.epoch}
+}
+
+// handleAdd ingests a batch (install=false) or a migration install
+// (install=true). Both journal the batch as one WAL frame before touching
+// memory, so recovery replays exactly the acked batches; the seq gate
+// makes the replay — and any coordinator retry — idempotent.
+func (n *Node) handleAdd(m *AddReq, install bool) *Ack {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: n.dead.Error()}
+	}
+	if m.Epoch != n.epoch {
+		return &Ack{Status: statusWrongEpoch, Epoch: n.epoch}
+	}
+	if !install {
+		for _, e := range m.Entries {
+			if n.frozen[e.Tile] {
+				return &Ack{Status: statusFrozen, Epoch: n.epoch, Msg: fmt.Sprintf("tile %v frozen", e.Tile)}
+			}
+		}
+	}
+	payload, err := appendEntries(nil, m.Entries)
+	if err != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: err.Error()}
+	}
+	if err := n.journalLocked(nodeFrameEntries, payload); err != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: err.Error()}
+	}
+	n.applyEntriesLocked(m.Entries)
+	n.statMu.Lock()
+	if install {
+		n.installs++
+	} else {
+		n.adds++
+	}
+	n.statMu.Unlock()
+	return &Ack{Status: statusOK, Epoch: n.epoch}
+}
+
+// handleConf answers a point-confidence query. Queries fence hard: exact
+// epoch match and current ownership, so during a migration's ownership
+// flip no two nodes will both answer for the tile.
+func (n *Node) handleConf(m *ConfReq) *ConfResp {
+	n.mu.RLock()
+	if n.dead != nil {
+		resp := &ConfResp{Status: statusFailed, Epoch: n.epoch, Msg: n.dead.Error()}
+		n.mu.RUnlock()
+		return resp
+	}
+	if m.Epoch != n.epoch {
+		resp := &ConfResp{Status: statusWrongEpoch, Epoch: n.epoch}
+		n.mu.RUnlock()
+		return resp
+	}
+	if owner := n.assign.Owner(m.Tile); owner != n.id {
+		resp := &ConfResp{Status: statusNotOwner, Epoch: n.epoch, Msg: fmt.Sprintf("tile %v owned by %q", m.Tile, owner)}
+		n.mu.RUnlock()
+		return resp
+	}
+	ts := n.tiles[m.Tile]
+	epoch := n.epoch
+	n.mu.RUnlock()
+
+	n.statMu.Lock()
+	n.confs++
+	n.statMu.Unlock()
+
+	var confs []rssimap.PointConfidence
+	if ts == nil {
+		confs = shardstore.EmptyConfidences(nil, m.Scan, m.Cfg)
+	} else {
+		// The per-tile store has its own lock; queries on different tiles
+		// of this node never contend.
+		confs = ts.store.PointConfidencesInto(nil, m.Pos, m.Scan, m.Cfg)
+	}
+	return &ConfResp{Status: statusOK, Epoch: epoch, Confs: confs}
+}
+
+// handleFreeze marks a tile read-only ahead of a migration handoff. The
+// flag is memory-only: if the node crashes mid-migration the coordinator
+// restarts the handoff from scratch, re-freezing first.
+func (n *Node) handleFreeze(m *FreezeReq) *Ack {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: n.dead.Error()}
+	}
+	if m.Epoch != n.epoch {
+		return &Ack{Status: statusWrongEpoch, Epoch: n.epoch}
+	}
+	n.frozen[m.Tile] = true
+	return &Ack{Status: statusOK, Epoch: n.epoch}
+}
+
+// handleFetch hands a tile's applied entry log to the migration driver,
+// in applied (= sequence) order.
+func (n *Node) handleFetch(m *FetchTileReq) *TileState {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.dead != nil {
+		return &TileState{Status: statusFailed, Epoch: n.epoch, Msg: n.dead.Error()}
+	}
+	if m.Epoch != n.epoch {
+		return &TileState{Status: statusWrongEpoch, Epoch: n.epoch}
+	}
+	resp := &TileState{Status: statusOK, Epoch: n.epoch}
+	if ts := n.tiles[m.Tile]; ts != nil {
+		resp.Entries = append([]Entry(nil), ts.entries...)
+	}
+	return resp
+}
+
+// handleDrop removes a migrated-away tile. Journaled: a recovered node
+// must not resurrect a tile it no longer owns.
+func (n *Node) handleDrop(m *DropReq) *Ack {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: n.dead.Error()}
+	}
+	if m.Epoch != n.epoch {
+		return &Ack{Status: statusWrongEpoch, Epoch: n.epoch}
+	}
+	payload, err := appendTile(nil, m.Tile)
+	if err != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: err.Error()}
+	}
+	if err := n.journalLocked(nodeFrameDrop, payload); err != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: err.Error()}
+	}
+	delete(n.tiles, m.Tile)
+	delete(n.frozen, m.Tile)
+	return &Ack{Status: statusOK, Epoch: n.epoch}
+}
+
+// handleAssign installs a new assignment. Higher epochs are journaled
+// before they apply and clear every freeze (each migration attempt —
+// committed or aborted — ends in an epoch bump); the current epoch is an
+// idempotent re-push; lower epochs are fenced off.
+func (n *Node) handleAssign(m *AssignReq) *Ack {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: n.dead.Error()}
+	}
+	switch {
+	case m.Assign.Epoch < n.epoch:
+		return &Ack{Status: statusWrongEpoch, Epoch: n.epoch}
+	case m.Assign.Epoch == n.epoch && n.epoch != 0:
+		return &Ack{Status: statusOK, Epoch: n.epoch}
+	}
+	payload, err := appendAssignment(nil, m.Assign)
+	if err != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: err.Error()}
+	}
+	if err := n.journalLocked(nodeFrameAssign, payload); err != nil {
+		return &Ack{Status: statusFailed, Epoch: n.epoch, Msg: err.Error()}
+	}
+	n.epoch, n.assign = m.Assign.Epoch, m.Assign.Clone()
+	for t := range n.frozen {
+		delete(n.frozen, t)
+	}
+	return &Ack{Status: statusOK, Epoch: n.epoch}
+}
+
+func (n *Node) handleSeqs() *SeqsResp {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.dead != nil {
+		return &SeqsResp{Status: statusFailed, Epoch: n.epoch, Msg: n.dead.Error()}
+	}
+	resp := &SeqsResp{Status: statusOK, Epoch: n.epoch}
+	for t, ts := range n.tiles {
+		resp.Tiles = append(resp.Tiles, TileSeq{Tile: t, Seq: ts.lastSeq})
+	}
+	sort.Slice(resp.Tiles, func(i, j int) bool { return tileLess(resp.Tiles[i].Tile, resp.Tiles[j].Tile) })
+	return resp
+}
+
+func (n *Node) handleStats() *StatsResp {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	resp := &StatsResp{Status: statusOK, Epoch: n.epoch, Tiles: uint32(len(n.tiles))}
+	if n.dead != nil {
+		resp.Status = statusFailed
+		resp.Msg = n.dead.Error()
+	}
+	for _, ts := range n.tiles {
+		resp.Entries += uint64(len(ts.entries))
+	}
+	if n.log != nil {
+		resp.WALFrames, resp.WALBytes = n.log.Stats()
+		resp.Generation = n.log.Generation()
+	}
+	return resp
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// writeMsg encodes msg and writes the frame to the connection. A non-zero
+// deadline bounds the write.
+func writeMsg(conn net.Conn, msg any, deadline time.Time) error {
+	frame, err := EncodeFrame(msg)
+	if err != nil {
+		return err
+	}
+	if err := conn.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	_, err = conn.Write(frame)
+	return err
+}
+
+// readMsg reads one frame off the connection and decodes it. A non-zero
+// deadline bounds the read.
+func readMsg(conn net.Conn, deadline time.Time) (any, error) {
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[2:6])
+	if int64(plen) > maxFrameBytes-6 {
+		return nil, fmt.Errorf("%w: payload of %d bytes", ErrOversized, plen)
+	}
+	frame := make([]byte, 6+int(plen))
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(conn, frame[6:]); err != nil {
+		return nil, err
+	}
+	return DecodeFrame(frame)
+}
+
+// deadlineMs converts an absolute deadline to the wire's "milliseconds
+// remaining" field: 0 means none, expired deadlines round up to 1 so the
+// receiver still sees a bound.
+func deadlineMs(deadline time.Time, now time.Time) uint32 {
+	if deadline.IsZero() {
+		return 0
+	}
+	left := deadline.Sub(now)
+	if left <= 0 {
+		return 1
+	}
+	ms := (left + time.Millisecond - 1) / time.Millisecond
+	if ms > 1<<31 {
+		return 1 << 31
+	}
+	return uint32(ms)
+}
+
+// wireDeadline converts a wire deadline field back to an absolute time for
+// conn deadlines; zero (no deadline) maps to a generous transport bound so
+// a dead peer cannot wedge a connection forever.
+func wireDeadline(ms uint32, now time.Time, fallback time.Duration) time.Time {
+	if ms == 0 {
+		return now.Add(fallback)
+	}
+	return now.Add(time.Duration(ms) * time.Millisecond)
+}

@@ -1,0 +1,625 @@
+// The coordinator store: the cluster's rssimap.Backend. It owns the
+// canonical record log (the single global insertion order every per-tile
+// replica is a restriction of), the tile→node assignment, and one client
+// per node. Ingestion fans each record out to its owner tile plus halo
+// neighbors — exactly shardstore's replication geometry, so a confidence
+// query routes to one tile on one node and returns bits identical to the
+// single-process sharded store. Node failures are never fatal to acked
+// data: the canonical log is the source of truth, and Resync replays any
+// tail a node lost, gated by per-tile sequence numbers.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/parallel"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/shardstore"
+	"trajforge/internal/wifi"
+)
+
+// Options configures a coordinator store.
+type Options struct {
+	// Shard is the tile geometry, shared bit-for-bit with shardstore.
+	Shard shardstore.Config
+	// Nodes maps member id → shard-transport address.
+	Nodes map[string]string
+	// CallTimeout bounds RPCs that carry no request deadline.
+	CallTimeout time.Duration
+}
+
+const defaultCallTimeout = 10 * time.Second
+
+// addChunk bounds entries per ingest/install frame, so a migration crash
+// leaves a clean prefix and retries stay idempotent via the seq gate.
+const addChunk = 128
+
+// migration is one in-flight tile handoff.
+type migration struct {
+	to string
+	// buffer holds entries for the migrating tile that arrived after the
+	// freeze; they flush to the winning owner at the post-migration epoch.
+	buffer []Entry
+}
+
+// Store is the coordinator: a distributed rssimap.Backend.
+type Store struct {
+	cfg  shardstore.Config
+	opts Options
+
+	mu        sync.RWMutex
+	log       []rssimap.Record
+	tileIndex map[[2]int][]int // tile → canonical log indices (halo included)
+	assign    Assignment
+	migrating map[[2]int]*migration
+	nodes     map[string]*nodeClient
+
+	forwards   atomic.Uint64 // confidence RPCs sent to nodes
+	halo       atomic.Uint64 // halo (non-owner-tile) entries fanned out
+	localHits  atomic.Uint64 // empty-tile queries answered locally
+	migrations atomic.Uint64 // committed migrations
+	aborted    atomic.Uint64 // aborted migrations
+	resyncs    atomic.Uint64 // completed node resyncs
+}
+
+var _ rssimap.Backend = (*Store)(nil)
+var _ rssimap.ContextBackend = (*Store)(nil)
+
+// NewStore connects a coordinator to its nodes and installs the first
+// assignment. Nodes that are unreachable start unsynced and heal through
+// Resync; an epoch above every node's journaled epoch fences off any
+// previous coordinator incarnation.
+func NewStore(opts Options) (*Store, error) {
+	if err := opts.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = defaultCallTimeout
+	}
+	members := make([]string, 0, len(opts.Nodes))
+	for id := range opts.Nodes {
+		members = append(members, id)
+	}
+	assign, err := NewAssignment(members)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:       opts.Shard,
+		opts:      opts,
+		tileIndex: make(map[[2]int][]int),
+		migrating: make(map[[2]int]*migration),
+		nodes:     make(map[string]*nodeClient, len(opts.Nodes)),
+	}
+	for id, addr := range opts.Nodes {
+		s.nodes[id] = &nodeClient{id: id, addr: addr, timeout: opts.CallTimeout}
+	}
+	// Probe every node: the new epoch must exceed whatever any node
+	// journaled under a previous coordinator.
+	var maxEpoch uint64
+	for _, nc := range s.sortedNodes() {
+		ack, err := nc.call(&Hello{NodeID: nc.id}, time.Time{})
+		if err != nil {
+			nc.markUnsynced(err)
+			continue
+		}
+		if a, ok := ack.(*Ack); ok && a.Epoch > maxEpoch {
+			maxEpoch = a.Epoch
+		}
+	}
+	assign.Epoch = maxEpoch + 1
+	s.assign = assign
+	s.pushAssignment()
+	return s, nil
+}
+
+// sortedNodes returns the node clients in id order (deterministic fan-out).
+func (s *Store) sortedNodes() []*nodeClient {
+	ids := make([]string, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*nodeClient, len(ids))
+	for i, id := range ids {
+		out[i] = s.nodes[id]
+	}
+	return out
+}
+
+// pushAssignment best-effort pushes the current assignment to every node;
+// nodes that miss it heal on the next wrongEpoch retry or Resync.
+func (s *Store) pushAssignment() {
+	s.mu.RLock()
+	assign := s.assign.Clone()
+	s.mu.RUnlock()
+	for _, nc := range s.sortedNodes() {
+		if err := nc.pushAssign(assign); err != nil {
+			nc.markUnsynced(err)
+		}
+	}
+}
+
+// Close drops every node connection. Node processes keep running.
+func (s *Store) Close() error {
+	for _, nc := range s.nodes {
+		nc.close()
+	}
+	return nil
+}
+
+// Config returns the shared tile geometry.
+func (s *Store) Config() shardstore.Config { return s.cfg }
+
+func cloneRecord(rec rssimap.Record) rssimap.Record {
+	m := make(map[string]int, len(rec.RSSI))
+	for mac, v := range rec.RSSI {
+		m[mac] = v
+	}
+	return rssimap.Record{Pos: rec.Pos, RSSI: m}
+}
+
+// Add appends records to the canonical log and fans each out to the nodes
+// owning its tiles (owner + halo). Sequence numbers are the canonical log
+// positions, assigned under the lock together with the per-node outbox
+// order — so every node sees every tile's entries in canonical order, and
+// the per-tile replica a node builds is bit-identical to the shard the
+// single-process store would build. Wire errors mark the node unsynced
+// (the canonical log replays the tail later); Add itself never loses data.
+func (s *Store) Add(records []rssimap.Record) {
+	if len(records) == 0 {
+		return
+	}
+	s.mu.Lock()
+	var tiles [][2]int
+	perNode := make(map[string][]Entry)
+	for _, in := range records {
+		rec := cloneRecord(in)
+		idx := len(s.log)
+		s.log = append(s.log, rec)
+		seq := uint64(idx) + 1
+		tiles = s.cfg.TilesFor(rec.Pos, tiles)
+		for ti, t := range tiles {
+			s.tileIndex[t] = append(s.tileIndex[t], idx)
+			if ti > 0 {
+				s.halo.Add(1)
+			}
+			if mig := s.migrating[t]; mig != nil {
+				mig.buffer = append(mig.buffer, Entry{Tile: t, Seq: seq, Rec: rec})
+				continue
+			}
+			owner := s.assign.Owner(t)
+			perNode[owner] = append(perNode[owner], Entry{Tile: t, Seq: seq, Rec: rec})
+		}
+	}
+	epoch := s.assign.Epoch
+	ids := make([]string, 0, len(perNode))
+	for id := range perNode {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	targets := make([]*nodeClient, 0, len(ids))
+	for _, id := range ids {
+		nc := s.nodes[id]
+		// Enqueue under s.mu: outbox order == canonical order.
+		nc.enqueue(&AddReq{Epoch: epoch, Entries: perNode[id]})
+		targets = append(targets, nc)
+	}
+	s.mu.Unlock()
+
+	for _, nc := range targets {
+		if err := nc.flush(s); err != nil {
+			nc.markUnsynced(err)
+		}
+	}
+}
+
+// AddUploads ingests every point of the given uploads that carries a scan.
+func (s *Store) AddUploads(uploads []*wifi.Upload) {
+	s.Add(rssimap.UploadRecords(uploads))
+}
+
+// Len returns the number of canonical records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// Records returns every canonical record in insertion order (fresh copies).
+func (s *Store) Records() []rssimap.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rssimap.Record, len(s.log))
+	for i, rec := range s.log {
+		out[i] = cloneRecord(rec)
+	}
+	return out
+}
+
+// queryTarget resolves the node answering for position o, or reports that
+// the owning tile is empty (answerable locally, bit-identical to a node
+// holding no records for it).
+func (s *Store) queryTarget(o geo.Point) (tile [2]int, nc *nodeClient, epoch uint64, empty bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tile = s.cfg.TileOf(o)
+	if len(s.tileIndex[tile]) == 0 {
+		return tile, nil, s.assign.Epoch, true
+	}
+	return tile, s.nodes[s.assign.Owner(tile)], s.assign.Epoch, false
+}
+
+// forwardConfs runs one point-confidence query against the owning node,
+// retrying across epoch bumps (a migration can commit between resolving
+// the owner and the node answering) and healing unsynced nodes first.
+func (s *Store) forwardConfs(ctx context.Context, o geo.Point, scan wifi.Scan, cfg rssimap.FeatureConfig) ([]rssimap.PointConfidence, error) {
+	var deadline time.Time
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		tile, nc, epoch, empty := s.queryTarget(o)
+		if empty {
+			s.localHits.Add(1)
+			return shardstore.EmptyConfidences(nil, scan, cfg), nil
+		}
+		if nc == nil {
+			return nil, fmt.Errorf("cluster: tile %v has no owner", tile)
+		}
+		if nc.isUnsynced() {
+			if err := s.Resync(nc.id); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		s.forwards.Add(1)
+		resp, err := nc.call(&ConfReq{
+			Deadline: deadlineMs(deadline, time.Now()),
+			Epoch:    epoch,
+			Tile:     tile,
+			Pos:      o,
+			Cfg:      cfg,
+			Scan:     scan,
+		}, deadline)
+		if err != nil {
+			nc.markUnsynced(err)
+			lastErr = err
+			continue
+		}
+		cr, ok := resp.(*ConfResp)
+		if !ok {
+			return nil, fmt.Errorf("%w: %T to a confidence query", ErrKind, resp)
+		}
+		switch cr.Status {
+		case statusOK:
+			return cr.Confs, nil
+		case statusWrongEpoch, statusNotOwner:
+			// The assignment moved under us (or the node is behind).
+			// Re-push and re-resolve.
+			s.pushAssignment()
+			lastErr = fmt.Errorf("cluster: node %s fenced query (status %d, node epoch %d)", nc.id, cr.Status, cr.Epoch)
+		default:
+			return nil, fmt.Errorf("cluster: node %s query failed: %s", nc.id, cr.Msg)
+		}
+	}
+	return nil, fmt.Errorf("cluster: confidence query exhausted retries: %w", lastErr)
+}
+
+// ConfidenceTol evaluates Eq. 7 for one reported (mac, rssi) at o on the
+// node owning o's tile. A single-observation TopK-1 confidence query runs
+// the identical kernel (same θ1/θ2 weights, same accumulation order), so
+// the forwarded answer is bit-identical to the local store's.
+func (s *Store) ConfidenceTol(o geo.Point, mac string, rssi int, r float64, tol rssimap.Tolerance) (phi float64, num int) {
+	confs, err := s.forwardConfs(context.Background(), o, wifi.Scan{{MAC: mac, RSSI: rssi}},
+		rssimap.FeatureConfig{R: r, TopK: 1, Tol: tol})
+	if err != nil || len(confs) == 0 {
+		return 0, 0
+	}
+	return confs[0].Phi, confs[0].Num
+}
+
+// Confidence evaluates Eq. 7 with exact RPD matching.
+func (s *Store) Confidence(o geo.Point, mac string, rssi int, r float64) (phi float64, num int) {
+	return s.ConfidenceTol(o, mac, rssi, r, 0)
+}
+
+// PointConfidences verifies the TopK strongest observations of one scan
+// against the node owning o's tile.
+func (s *Store) PointConfidences(o geo.Point, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
+	confs, err := s.forwardConfs(context.Background(), o, scan, cfg)
+	if err != nil {
+		return shardstore.EmptyConfidences(nil, scan, cfg)
+	}
+	return confs
+}
+
+// PointConfidencesInto is PointConfidences appending into dst[:0].
+func (s *Store) PointConfidencesInto(dst []rssimap.PointConfidence, o geo.Point, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
+	return append(dst[:0], s.PointConfidences(o, scan, cfg)...)
+}
+
+// checkFeatureRadius rejects feature configs the tile geometry cannot
+// answer exactly — the same bound shardstore enforces.
+func (s *Store) checkFeatureRadius(cfg rssimap.FeatureConfig) error {
+	if cfg.R > s.cfg.MaxQueryRadius {
+		return fmt.Errorf("cluster: feature radius %g exceeds MaxQueryRadius %g", cfg.R, s.cfg.MaxQueryRadius)
+	}
+	return nil
+}
+
+// Features computes the Eq. 8 feature vector of an upload, forwarding each
+// point's confidence query to the node owning it. Aggregation runs through
+// rssimap.FeaturesFrom, so the vector is bit-identical to the local
+// backends'.
+func (s *Store) Features(u *wifi.Upload, cfg rssimap.FeatureConfig) ([]float64, error) {
+	return s.FeaturesContext(context.Background(), u, cfg)
+}
+
+// FeaturesContext is Features carrying the originating request's context:
+// its deadline rides every forwarded RPC (the wire's remaining-time field
+// and the conn deadlines), so admission control accounts remote time and a
+// shed request stops consuming node capacity.
+func (s *Store) FeaturesContext(ctx context.Context, u *wifi.Upload, cfg rssimap.FeatureConfig) ([]float64, error) {
+	if err := s.checkFeatureRadius(cfg); err != nil {
+		return nil, err
+	}
+	var rpcErr error
+	feat, err := rssimap.FeaturesFrom(u, cfg, func(_ int, pos geo.Point, scan wifi.Scan) []rssimap.PointConfidence {
+		if rpcErr != nil {
+			return shardstore.EmptyConfidences(nil, scan, cfg)
+		}
+		confs, err := s.forwardConfs(ctx, pos, scan, cfg)
+		if err != nil {
+			rpcErr = err
+			return shardstore.EmptyConfidences(nil, scan, cfg)
+		}
+		return confs
+	})
+	if rpcErr != nil {
+		return nil, rpcErr
+	}
+	return feat, err
+}
+
+// FeaturesBatch extracts the feature vectors of many uploads across the
+// worker pool; each upload's queries fan out to whichever nodes own its
+// tiles. Results are ordered by upload index and bit-identical to Features
+// run serially.
+func (s *Store) FeaturesBatch(uploads []*wifi.Upload, cfg rssimap.FeatureConfig) ([][]float64, error) {
+	for i, u := range uploads {
+		if err := u.Validate(); err != nil {
+			return nil, fmt.Errorf("upload %d: rssimap: %w", i, err)
+		}
+	}
+	if err := s.checkFeatureRadius(cfg); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(uploads))
+	var firstErr error
+	var errOnce sync.Once
+	parallel.ForEachChunk(len(uploads), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			feat, err := s.Features(uploads[i], cfg)
+			if err != nil {
+				errOnce.Do(func() { firstErr = fmt.Errorf("upload %d: %w", i, err) })
+				return
+			}
+			out[i] = feat
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Resync replays onto one node everything the canonical log says it should
+// hold: push the current assignment, read the node's per-tile sequence
+// high-water marks, send every missing tail entry, and drop tiles the node
+// no longer owns. Idempotent (the seq gate skips what the node kept), and
+// the reason a node crash is never data loss.
+func (s *Store) Resync(id string) error {
+	nc := s.nodes[id]
+	if nc == nil {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	nc.sendMu.Lock()
+	defer nc.sendMu.Unlock()
+
+	s.mu.RLock()
+	assign := s.assign.Clone()
+	owned := make(map[[2]int][]int)
+	for t, idxs := range s.tileIndex {
+		if len(idxs) > 0 && assign.Owner(t) == id && s.migrating[t] == nil {
+			owned[t] = idxs
+		}
+	}
+	logRef := s.log
+	s.mu.RUnlock()
+
+	if err := nc.pushAssignLocked(assign); err != nil {
+		return err
+	}
+	resp, err := nc.callLocked(&SeqsReq{}, time.Time{})
+	if err != nil {
+		return err
+	}
+	sr, ok := resp.(*SeqsResp)
+	if !ok || sr.Status != statusOK {
+		return fmt.Errorf("cluster: node %s seqs read failed", id)
+	}
+	nodeSeq := make(map[[2]int]uint64, len(sr.Tiles))
+	for _, ts := range sr.Tiles {
+		nodeSeq[ts.Tile] = ts.Seq
+	}
+
+	// Replay missing tails, chunked, in canonical order per tile.
+	var batch []Entry
+	flushBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		req := &AddReq{Epoch: assign.Epoch, Entries: batch}
+		ack, err := nc.ackCallLocked(req)
+		if err != nil {
+			return err
+		}
+		if ack.Status != statusOK {
+			return fmt.Errorf("cluster: resync add to %s: status %d %s", id, ack.Status, ack.Msg)
+		}
+		batch = batch[:0]
+		return nil
+	}
+	tiles := make([][2]int, 0, len(owned))
+	for t := range owned {
+		tiles = append(tiles, t)
+	}
+	sort.Slice(tiles, func(i, j int) bool { return tileLess(tiles[i], tiles[j]) })
+	for _, t := range tiles {
+		have := nodeSeq[t]
+		for _, idx := range owned[t] {
+			seq := uint64(idx) + 1
+			if seq <= have {
+				continue
+			}
+			batch = append(batch, Entry{Tile: t, Seq: seq, Rec: logRef[idx]})
+			if len(batch) >= addChunk {
+				if err := flushBatch(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flushBatch(); err != nil {
+		return err
+	}
+
+	// Drop tiles the node reported but no longer owns.
+	for _, ts := range sr.Tiles {
+		if _, ok := owned[ts.Tile]; ok {
+			continue
+		}
+		ack, err := nc.ackCallLocked(&DropReq{Epoch: assign.Epoch, Tile: ts.Tile})
+		if err != nil {
+			return err
+		}
+		if ack.Status != statusOK && ack.Status != statusWrongEpoch {
+			return fmt.Errorf("cluster: resync drop %v on %s: status %d %s", ts.Tile, id, ack.Status, ack.Msg)
+		}
+	}
+
+	// Only declare the node healthy if the world didn't move mid-resync.
+	s.mu.RLock()
+	current := s.assign.Epoch
+	s.mu.RUnlock()
+	if current != assign.Epoch {
+		return fmt.Errorf("cluster: epoch moved during resync of %s", id)
+	}
+	nc.clearUnsynced()
+	s.resyncs.Add(1)
+	return nil
+}
+
+// NodeStats is one node's view in the coordinator's stats.
+type NodeStats struct {
+	ID string `json:"id"`
+	// Tiles is the number of non-empty tiles the assignment maps here.
+	Tiles int `json:"tiles"`
+	// Entries is the number of (tile, record) replicas assigned here.
+	Entries int  `json:"entries"`
+	Unsynced bool `json:"unsynced,omitempty"`
+}
+
+// StoreStats summarises cluster state for /v1/stats.
+type StoreStats struct {
+	Epoch             uint64      `json:"epoch"`
+	Records           int         `json:"records"`
+	Nodes             []NodeStats `json:"nodes"`
+	Forwarded         uint64      `json:"forwarded_requests"`
+	HaloUpdates       uint64      `json:"halo_updates"`
+	LocalEmptyAnswers uint64      `json:"local_empty_answers"`
+	Migrations        uint64      `json:"migrations"`
+	AbortedMigrations uint64      `json:"aborted_migrations"`
+	Resyncs           uint64      `json:"resyncs"`
+	MigrationInFlight bool        `json:"migration_in_flight"`
+}
+
+// Stats returns a snapshot of cluster state from the coordinator's view —
+// no node RPCs, so it is safe on the serving path.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	st := StoreStats{
+		Epoch:             s.assign.Epoch,
+		Records:           len(s.log),
+		MigrationInFlight: len(s.migrating) > 0,
+	}
+	perNode := make(map[string]*NodeStats, len(s.nodes))
+	for _, id := range s.assign.Members {
+		perNode[id] = &NodeStats{ID: id}
+	}
+	for t, idxs := range s.tileIndex {
+		if len(idxs) == 0 {
+			continue
+		}
+		if ns := perNode[s.assign.Owner(t)]; ns != nil {
+			ns.Tiles++
+			ns.Entries += len(idxs)
+		}
+	}
+	s.mu.RUnlock()
+	ids := make([]string, 0, len(perNode))
+	for id := range perNode {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ns := perNode[id]
+		if nc := s.nodes[id]; nc != nil {
+			ns.Unsynced = nc.isUnsynced()
+		}
+		st.Nodes = append(st.Nodes, *ns)
+	}
+	st.Forwarded = s.forwards.Load()
+	st.HaloUpdates = s.halo.Load()
+	st.LocalEmptyAnswers = s.localHits.Load()
+	st.Migrations = s.migrations.Load()
+	st.AbortedMigrations = s.aborted.Load()
+	st.Resyncs = s.resyncs.Load()
+	return st
+}
+
+// Assignment returns the current assignment (a copy).
+func (s *Store) Assignment() Assignment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.assign.Clone()
+}
+
+// BusiestTile returns the non-empty tile with the most replicas — the
+// rebalance candidate loadgen migrates mid-run.
+func (s *Store) BusiestTile() ([2]int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best [2]int
+	bestN := 0
+	for t, idxs := range s.tileIndex {
+		if len(idxs) > bestN || (len(idxs) == bestN && bestN > 0 && tileLess(t, best)) {
+			best, bestN = t, len(idxs)
+		}
+	}
+	return best, bestN > 0
+}

@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestClusterScenario drives the cluster scenario end to end: a provider
+// whose WiFi backend is a three-node shard cluster over loopback, a live
+// busiest-tile migration mid-run, and the counters that land in
+// BENCH_loadgen.json under "cluster".
+func TestClusterScenario(t *testing.T) {
+	opts := ClusterOptions{Seed: 11, N: 60, Workers: 6, Points: 16, Hist: 40}
+	if !testing.Short() {
+		opts.N = 120
+	}
+	res, err := RunCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors: %+v", res.Errors, res)
+	}
+	if res.Accepted+res.Rejected != res.Uploads {
+		t.Fatalf("verdicts %d+%d != %d uploads", res.Accepted, res.Rejected, res.Uploads)
+	}
+	if res.Accepted == 0 || res.Rejected == 0 {
+		t.Fatalf("degenerate verdict mix: %+v", res)
+	}
+	if res.Forwarded == 0 {
+		t.Fatal("no shard RPCs forwarded — backend was not the cluster")
+	}
+	if res.ForwardRatio <= 0 || res.ForwardRatio > 1 {
+		t.Fatalf("implausible forward ratio %v", res.ForwardRatio)
+	}
+	if res.Migrations != 1 || res.Epoch <= res.EpochBefore {
+		t.Fatalf("mid-run migration not reflected: %+v", res)
+	}
+	if len(res.PerNodeTiles) != opts.Nodes && len(res.PerNodeTiles) != 3 {
+		t.Fatalf("per-node tiles for %d nodes: %+v", len(res.PerNodeTiles), res.PerNodeTiles)
+	}
+	var tiles int
+	for _, n := range res.PerNodeTiles {
+		tiles += n
+	}
+	if tiles == 0 {
+		t.Fatal("no tiles assigned anywhere")
+	}
+	if res.ThroughputRPS <= 0 || res.P50Millis <= 0 ||
+		res.P95Millis < res.P50Millis || res.P99Millis < res.P95Millis {
+		t.Fatalf("implausible latency profile: %+v", res)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"throughput_rps", "forward_ratio", "forwarded_requests", "epoch", "p99_ms"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("result JSON missing %q: %s", key, blob)
+		}
+	}
+}

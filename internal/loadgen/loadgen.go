@@ -231,6 +231,11 @@ type HostOptions struct {
 	// Stream, when set, enables the /v1/session streaming endpoints — the
 	// configuration the streaming scenario drives.
 	Stream *stream.Config
+	// WiFiStore, when set, replaces the trained detector's RSSI backend —
+	// model and feature config are unchanged, so verdicts depend only on
+	// the backend answering with the same bits. The cluster scenario
+	// points this at a multi-node store over the same records.
+	WiFiStore rssimap.Backend
 }
 
 // slowMotion is a motion detector that models service time: it blocks
@@ -277,6 +282,9 @@ func (w *Workload) SelfHostOpts(h HostOptions) (*Server, error) {
 		rssimap.DefaultFeatureConfig(), xgb.DefaultConfig())
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: train detector: %w", err)
+	}
+	if h.WiFiStore != nil {
+		det = &detect.WiFiDetector{Store: h.WiFiStore, Model: det.Model, Features: det.Features}
 	}
 	replay, err := detect.NewReplayChecker(1.2)
 	if err != nil {

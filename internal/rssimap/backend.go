@@ -1,6 +1,8 @@
 package rssimap
 
 import (
+	"context"
+
 	"trajforge/internal/geo"
 	"trajforge/internal/wifi"
 )
@@ -37,3 +39,16 @@ type Backend interface {
 }
 
 var _ Backend = (*Store)(nil)
+
+// ContextBackend is a Backend whose feature extraction can carry the
+// originating request's context. Remote backends (internal/cluster) use the
+// context deadline to bound forwarded RPCs, so admission control's
+// deadline-aware shedding accounts remote time too; in-process backends
+// don't need it and simply ignore the context. The verification server
+// type-asserts for this interface and prefers FeaturesContext when present.
+type ContextBackend interface {
+	Backend
+	// FeaturesContext computes the Eq. 8 feature vector of an upload,
+	// propagating ctx's deadline into any forwarded work.
+	FeaturesContext(ctx context.Context, u *wifi.Upload, cfg FeatureConfig) ([]float64, error)
+}

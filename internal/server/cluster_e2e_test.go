@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trajforge/internal/cluster"
+	"trajforge/internal/detect"
+	"trajforge/internal/shardstore"
+	"trajforge/internal/stream"
+	"trajforge/internal/wifi"
+)
+
+// TestClusterBackendVerdictsBitIdentical is the distributed headline
+// property over the wire: a verification service whose WiFi detector runs
+// against a multi-node cluster store produces verdicts — batch uploads and
+// chunked streaming sessions alike — bit-identical to a single-process
+// service over the same records, including across a live tile migration.
+func TestClusterBackendVerdictsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	recs := persistRecords(rng, 500)
+
+	// Single-process reference backend.
+	single, err := shardstore.New(shardstore.DefaultConfig(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three shard nodes + coordinator over the same records.
+	addrs := make(map[string]string, 3)
+	nodes := make(map[string]*cluster.Node, 3)
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("n%d", i)
+		node, err := cluster.NewNode(id, shardstore.DefaultConfig(), cluster.NodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = node
+		addrs[id] = addr.String()
+	}
+	clusterStore, err := cluster.NewStore(cluster.Options{Shard: shardstore.DefaultConfig(), Nodes: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		clusterStore.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	clusterStore.Add(recs)
+
+	// One model, two backends: the verdict difference, if any, can only
+	// come from the store.
+	det := trainTestDetector(t, single)
+	detLocal := &detect.WiFiDetector{Store: single, Model: det.Model, Features: det.Features}
+	detCluster := &detect.WiFiDetector{Store: clusterStore, Model: det.Model, Features: det.Features}
+
+	_, _, localClient := newTestService(t, Config{
+		Motion: &fixedMotion{prob: 0.9}, WiFi: detLocal,
+		Stream: &stream.Config{DisableEarlyExit: true},
+	})
+	_, _, clusterClient := newTestService(t, Config{
+		Motion: &fixedMotion{prob: 0.9}, WiFi: detCluster,
+		Stream: &stream.Config{DisableEarlyExit: true},
+	})
+
+	checkTrials := func(base int64) {
+		t.Helper()
+		for trial := 0; trial < 4; trial++ {
+			u := uploadFor(t, base+int64(trial), 12+trial*5)
+			u.Traj.ID = "cluster-prop"
+			if trial%2 == 1 { // forged uploads must agree bit-for-bit too
+				for j := range u.Scans {
+					u.Scans[j] = wifi.Scan{{MAC: "02:4e:00:00:00:01", RSSI: -30}}
+				}
+			}
+			want, err := localClient.Upload(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := clusterClient.Upload(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameVerdict(t, got, want)
+
+			// Streamed through the cluster-backed service in random chunks,
+			// the close verdict must still match the single-process batch.
+			var sizes []int
+			for n := u.Traj.Len(); n > 0; {
+				c := 1 + rng.Intn(6)
+				if c > n {
+					c = n
+				}
+				sizes = append(sizes, c)
+				n -= c
+			}
+			streamed := streamUpload(t, clusterClient, u, sizes)
+			sameVerdict(t, streamed, want)
+		}
+	}
+
+	checkTrials(3000)
+
+	// Live-migrate the busiest tile and re-run: verdicts must not move.
+	tile, ok := clusterStore.BusiestTile()
+	if !ok {
+		t.Fatal("no busiest tile")
+	}
+	from := clusterStore.Assignment().Owner(tile)
+	var to string
+	for id := range nodes {
+		if id != from {
+			to = id
+			break
+		}
+	}
+	epochBefore := clusterStore.Assignment().Epoch
+	if err := clusterStore.Migrate(tile, to); err != nil {
+		t.Fatal(err)
+	}
+	checkTrials(4000)
+
+	// The cluster section must ride /v1/stats end to end.
+	st, err := clusterClient.FetchStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := st.Cluster
+	if cl == nil {
+		t.Fatal("stats missing cluster section")
+	}
+	if cl.Epoch <= epochBefore {
+		t.Fatalf("stats epoch %d did not advance past %d", cl.Epoch, epochBefore)
+	}
+	if cl.Migrations != 1 || cl.MigrationInFlight {
+		t.Fatalf("cluster stats = %+v", cl)
+	}
+	if cl.Forwarded == 0 {
+		t.Fatal("no forwarded requests counted")
+	}
+	if len(cl.Nodes) != 3 {
+		t.Fatalf("cluster stats report %d nodes", len(cl.Nodes))
+	}
+	var tiles int
+	for _, ns := range cl.Nodes {
+		tiles += ns.Tiles
+	}
+	if tiles == 0 {
+		t.Fatal("cluster stats report no per-node tiles")
+	}
+	if lst, err := localClient.FetchStats(); err != nil {
+		t.Fatal(err)
+	} else if lst.Cluster != nil {
+		t.Fatal("single-process service grew a cluster section")
+	}
+}

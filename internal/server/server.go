@@ -22,9 +22,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trajforge/internal/cluster"
 	"trajforge/internal/detect"
 	"trajforge/internal/geo"
 	"trajforge/internal/resilience"
+	"trajforge/internal/rssimap"
 	"trajforge/internal/shardstore"
 	"trajforge/internal/stats"
 	"trajforge/internal/stream"
@@ -304,6 +306,11 @@ type Stats struct {
 	// Shards reports store partitioning when the WiFi detector runs
 	// against a geo-sharded backend.
 	Shards *shardstore.Stats `json:"shards,omitempty"`
+	// Cluster reports distributed-store state when the WiFi detector runs
+	// against a multi-node cluster backend: assignment epoch, per-node
+	// tile occupancy, forwarded-request and halo-update counters, and
+	// whether a tile migration is in flight.
+	Cluster *cluster.StoreStats `json:"cluster,omitempty"`
 	// Sessions reports the streaming verification lifecycle when the
 	// /v1/session endpoints are enabled.
 	Sessions *stream.Stats `json:"sessions,omitempty"`
@@ -327,10 +334,15 @@ func (s *Service) Stats() Stats {
 		ps = s.cfg.Persist.stats()
 	}
 	var sh *shardstore.Stats
+	var cl *cluster.StoreStats
 	if s.cfg.WiFi != nil {
 		if ss, ok := s.cfg.WiFi.Store.(*shardstore.Store); ok {
 			v := ss.Stats()
 			sh = &v
+		}
+		if cs, ok := s.cfg.WiFi.Store.(*cluster.Store); ok {
+			v := cs.Stats()
+			cl = &v
 		}
 	}
 	var adm *resilience.AdmissionStats
@@ -356,6 +368,7 @@ func (s *Service) Stats() Stats {
 		Dedup:           &dd,
 		Persistence:     ps,
 		Shards:          sh,
+		Cluster:         cl,
 		Sessions:        sess,
 	}
 }
@@ -439,6 +452,19 @@ func (s *Service) decodePoints(points []uploadPoint) ([]trajectory.Point, []wifi
 		}
 	}
 	return pts, scans, anyScan, nil
+}
+
+// backendFeatures extracts Eq. 8 features, threading the request context
+// through backends that can carry it. A distributed backend forwards
+// per-point confidence queries to remote shard nodes; propagating the
+// upload deadline means a shed or disconnected request stops consuming
+// remote node capacity too, and admission control's deadline accounting
+// covers remote time the same as local time.
+func backendFeatures(ctx context.Context, b rssimap.Backend, u *wifi.Upload, cfg rssimap.FeatureConfig) ([]float64, error) {
+	if cb, ok := b.(rssimap.ContextBackend); ok {
+		return cb.FeaturesContext(ctx, u, cfg)
+	}
+	return b.Features(u, cfg)
 }
 
 // Verify runs the full pipeline on an already-decoded upload. The context
@@ -527,7 +553,7 @@ func (s *Service) Verify(ctx context.Context, u *wifi.Upload) (Verdict, error) {
 		// kernel. Together they are exactly detect.ProbFake, so the verdict
 		// is bit-identical to the single-call path.
 		start := time.Now()
-		feat, err := s.cfg.WiFi.Store.Features(u, s.cfg.WiFi.Features)
+		feat, err := backendFeatures(ctx, s.cfg.WiFi.Store, u, s.cfg.WiFi.Features)
 		s.observeStage(stageFeatures, start)
 		if err != nil {
 			return v, fmt.Errorf("server: wifi check: %w", err)

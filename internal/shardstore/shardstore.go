@@ -57,6 +57,65 @@ func DefaultConfig() Config {
 	return Config{Store: rssimap.DefaultConfig(), TileSize: 25, MaxQueryRadius: 5}
 }
 
+// Margin is the halo replication margin: a record is replicated into every
+// neighboring tile whose region lies within this distance of it.
+func (c Config) Margin() float64 { return c.MaxQueryRadius + c.Store.R }
+
+// Validate checks the sharding geometry — the same checks New applies.
+func (c Config) Validate() error {
+	if c.TileSize <= 0 {
+		return fmt.Errorf("shardstore: tile size %g must be positive", c.TileSize)
+	}
+	if c.MaxQueryRadius <= 0 {
+		return fmt.Errorf("shardstore: max query radius %g must be positive", c.MaxQueryRadius)
+	}
+	if c.TileSize < 2*c.Margin() {
+		return fmt.Errorf("shardstore: tile size %g must be >= 2*(MaxQueryRadius+R) = %g", c.TileSize, 2*c.Margin())
+	}
+	return nil
+}
+
+// TileOf returns the tile owning position p. The tiling is shared with
+// internal/cluster, which distributes these same tiles across nodes — the
+// geometry must agree bit-for-bit for cross-backend feature identity.
+func (c Config) TileOf(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / c.TileSize)), int(math.Floor(p.Y / c.TileSize))}
+}
+
+// TileDist returns the distance from p to the (closed) region of tile t.
+func (c Config) TileDist(p geo.Point, t [2]int) float64 {
+	x0 := float64(t[0]) * c.TileSize
+	y0 := float64(t[1]) * c.TileSize
+	dx := math.Max(0, math.Max(x0-p.X, p.X-(x0+c.TileSize)))
+	dy := math.Max(0, math.Max(y0-p.Y, p.Y-(y0+c.TileSize)))
+	return math.Hypot(dx, dy)
+}
+
+// TilesFor appends the owner tile of p plus every neighboring tile within
+// the halo margin — at most a 2×2 corner block given TileSize ≥ 2·Margin.
+// The owner tile is always first.
+func (c Config) TilesFor(p geo.Point, out [][2]int) [][2]int {
+	out = out[:0]
+	owner := c.TileOf(p)
+	margin := c.Margin()
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			t := [2]int{owner[0] + dx, owner[1] + dy}
+			if t == owner {
+				continue
+			}
+			if c.TileDist(p, t) <= margin {
+				out = append(out, t)
+			}
+		}
+	}
+	// Owner first: callers that only need the owning tile read out[0].
+	out = append(out, [2]int{})
+	copy(out[1:], out[:len(out)-1])
+	out[0] = owner
+	return out
+}
+
 // Store is a geo-sharded crowdsourced RSSI history. It implements
 // rssimap.Backend, so detectors and the verification server use it
 // interchangeably with the global store.
@@ -77,21 +136,14 @@ var _ rssimap.Backend = (*Store)(nil)
 
 // New builds a sharded store over the given records.
 func New(cfg Config, records []rssimap.Record) (*Store, error) {
-	if cfg.TileSize <= 0 {
-		return nil, fmt.Errorf("shardstore: tile size %g must be positive", cfg.TileSize)
-	}
-	if cfg.MaxQueryRadius <= 0 {
-		return nil, fmt.Errorf("shardstore: max query radius %g must be positive", cfg.MaxQueryRadius)
-	}
-	margin := cfg.MaxQueryRadius + cfg.Store.R
-	if cfg.TileSize < 2*margin {
-		return nil, fmt.Errorf("shardstore: tile size %g must be >= 2*(MaxQueryRadius+R) = %g", cfg.TileSize, 2*margin)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	// Validate the per-shard config eagerly, not on first Add.
 	if _, err := rssimap.NewStore(cfg.Store, nil); err != nil {
 		return nil, err
 	}
-	s := &Store{cfg: cfg, margin: margin, shards: make(map[[2]int]*rssimap.Store)}
+	s := &Store{cfg: cfg, margin: cfg.Margin(), shards: make(map[[2]int]*rssimap.Store)}
 	s.Add(records)
 	return s, nil
 }
@@ -99,33 +151,12 @@ func New(cfg Config, records []rssimap.Record) (*Store, error) {
 // Config returns the sharding configuration.
 func (s *Store) Config() Config { return s.cfg }
 
-func (s *Store) tileOf(p geo.Point) [2]int {
-	return [2]int{int(math.Floor(p.X / s.cfg.TileSize)), int(math.Floor(p.Y / s.cfg.TileSize))}
-}
-
-// tileDist returns the distance from p to the (closed) region of tile t.
-func (s *Store) tileDist(p geo.Point, t [2]int) float64 {
-	x0 := float64(t[0]) * s.cfg.TileSize
-	y0 := float64(t[1]) * s.cfg.TileSize
-	dx := math.Max(0, math.Max(x0-p.X, p.X-(x0+s.cfg.TileSize)))
-	dy := math.Max(0, math.Max(y0-p.Y, p.Y-(y0+s.cfg.TileSize)))
-	return math.Hypot(dx, dy)
-}
+func (s *Store) tileOf(p geo.Point) [2]int { return s.cfg.TileOf(p) }
 
 // tilesFor appends the owner tile of p plus every neighboring tile within
 // the halo margin — at most a 2×2 corner block given TileSize ≥ 2·margin.
 func (s *Store) tilesFor(p geo.Point, out [][2]int) [][2]int {
-	out = out[:0]
-	owner := s.tileOf(p)
-	for dx := -1; dx <= 1; dx++ {
-		for dy := -1; dy <= 1; dy++ {
-			t := [2]int{owner[0] + dx, owner[1] + dy}
-			if t == owner || s.tileDist(p, t) <= s.margin {
-				out = append(out, t)
-			}
-		}
-	}
-	return out
+	return s.cfg.TilesFor(p, out)
 }
 
 // Add ingests crowdsourced records: each is journaled, then appended to its
@@ -246,15 +277,23 @@ func (s *Store) PointConfidencesInto(dst []rssimap.PointConfidence, o geo.Point,
 	return sh.PointConfidencesInto(dst, o, scan, cfg)
 }
 
-// emptyConfidences mirrors the global store's zero-reference answer: one
-// zero-valued entry per reported TopK AP.
-func emptyConfidences(dst []rssimap.PointConfidence, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
+// EmptyConfidences mirrors the global store's zero-reference answer: one
+// zero-valued entry per reported TopK AP — the reply a query against a tile
+// that never received a record must produce. Exported because
+// internal/cluster short-circuits queries against empty tiles with the
+// identical answer instead of forwarding them.
+func EmptyConfidences(dst []rssimap.PointConfidence, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
 	top := scan.TopK(cfg.TopK)
 	dst = dst[:0]
 	for _, obs := range top {
 		dst = append(dst, rssimap.PointConfidence{MAC: obs.MAC})
 	}
 	return dst
+}
+
+// emptyConfidences keeps the internal call sites short.
+func emptyConfidences(dst []rssimap.PointConfidence, scan wifi.Scan, cfg rssimap.FeatureConfig) []rssimap.PointConfidence {
+	return EmptyConfidences(dst, scan, cfg)
 }
 
 // checkFeatureRadius rejects feature configs the sharding cannot answer
