@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: build test race vet lint bench bench-hot bench-store bench-kernel \
-	check fuzz-short chaos loadgen bench-loadgen loadgen-stream
+	check fuzz-short chaos loadgen bench-loadgen loadgen-stream \
+	bench-openloop bench-openloop-short loadgen-openloop-race
 
 build:
 	$(GO) build ./...
@@ -78,5 +79,21 @@ bench-loadgen: loadgen
 # the deterministic-workload check.
 loadgen-stream:
 	$(GO) test ./internal/loadgen/ -race -count=1 -v -run 'TestStreamWorkloadDeterministic|TestStreamSoak'
+
+# City-scale open-loop sweep: Poisson/diurnal arrivals of mixed
+# honest/attack traffic at 0.25x-4x of measured closed-loop capacity,
+# against the single-process and 3-node cluster backends; writes
+# latency-vs-offered-load curves to BENCH_openloop.json.
+bench-openloop:
+	$(GO) run ./cmd/loadgen -openloop
+
+# CI-sized variant: two load points, a smaller city, same output schema.
+bench-openloop-short:
+	$(GO) run ./cmd/loadgen -openloop -openloop-short
+
+# Open-loop engine soak under the race detector: a tiny two-point sweep
+# (both backends) plus the deterministic-workload digest check.
+loadgen-openloop-race:
+	$(GO) test ./internal/loadgen/ -race -count=1 -v -run 'TestOpenLoopWorkloadDeterministic|TestOpenLoopSoak'
 
 check: build vet test

@@ -34,11 +34,23 @@
 // over loopback, live-migrating the busiest tile mid-run; req/s, forward
 // ratio, and latency percentiles land under "cluster".
 //
+// With -openloop the command switches to the open-loop city harness
+// instead: a Poisson/diurnal arrival schedule over a simulated city of
+// agents drives mixed honest/attack traffic (batch uploads, streaming
+// sessions, replayed navigation forgeries, spoof-jump teleports) at
+// offered loads from 0.25x to 4x of the measured closed-loop capacity,
+// against both single-process and cluster backends. Latency-vs-offered-
+// load curves, shed ratios, and per-class verdict accuracy land under
+// "openloop" in BENCH_openloop.json. -openloop-short runs a reduced
+// 2-point sweep for CI.
+//
 // Usage:
 //
 //	loadgen [-addr URL] [-seed 1] [-n 200] [-workers 8] [-forged 0.3]
 //	        [-points 20] [-data-dir DIR] [-overload] [-stream] [-binary]
 //	        [-kernel] [-cluster] [-cluster-nodes 3] [-out BENCH_loadgen.json]
+//	loadgen -openloop [-openloop-short] [-seed 1] [-cluster-nodes 3]
+//	        [-openloop-out BENCH_openloop.json]
 package main
 
 import (
@@ -46,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"trajforge/internal/loadgen"
 )
@@ -79,8 +92,18 @@ func run(args []string) error {
 		"also run the cluster scenario (multi-node shard backend, mid-run tile migration)")
 	clusterNodes := fs.Int("cluster-nodes", 3, "shard nodes in the cluster scenario")
 	out := fs.String("out", "BENCH_loadgen.json", "result file (empty = stdout only)")
+	openloop := fs.Bool("openloop", false,
+		"run the open-loop city harness instead (Poisson/diurnal arrivals, mixed honest/attack traffic, offered-load sweep)")
+	openloopShort := fs.Bool("openloop-short", false,
+		"reduced open-loop sweep for CI: fewer events, 2 load points")
+	openloopOut := fs.String("openloop-out", "BENCH_openloop.json",
+		"open-loop result file (empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *openloop {
+		return runOpenLoop(*seed, *clusterNodes, *openloopShort, *openloopOut)
 	}
 
 	opts := loadgen.Options{
@@ -218,6 +241,60 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("result written to %s\n", *out)
+	}
+	return nil
+}
+
+// runOpenLoop drives the open-loop city harness and writes the
+// BENCH_openloop.json schema ({"openloop": ...}).
+func runOpenLoop(seed int64, nodes int, short bool, out string) error {
+	opts := loadgen.OpenLoopOptions{Seed: seed, Nodes: nodes}
+	if short {
+		opts.Events = 80
+		opts.Multipliers = []float64{0.5, 2}
+		opts.Agents = 60
+		opts.Hist = 48
+		opts.Points = 16
+		opts.ChunkGap = 150 * time.Millisecond
+	}
+	fmt.Printf("building open-loop city workload (seed %d)...\n", seed)
+	res, err := loadgen.RunOpenLoop(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload digest %s (%d pool events, %d agents)\n",
+		res.WorkloadDigest[:16], res.PoolEvents, res.Agents)
+	for _, b := range []*loadgen.OLBackendResult{res.Single, res.Cluster} {
+		if b == nil {
+			continue
+		}
+		fmt.Printf("[%s] closed-loop capacity %.1f req/s (p99 %.2fms, sched slack p99 %.1fms)\n",
+			b.Backend, b.ClosedLoop.CapacityRPS, b.ClosedLoop.P99Millis, b.ClosedLoop.SchedSlackP99Millis)
+		for _, p := range b.Points {
+			fmt.Printf("[%s] x%-4.2f offered %.1f req/s: p50 %.2fms p99 %.2fms (from-send %.2fms), shed %.1f%%, errors %d\n",
+				b.Backend, p.Multiplier, p.OfferedRPS, p.P50Millis, p.P99Millis,
+				p.P99FromSendMillis, p.ShedRatio*100, p.Errors)
+			for _, cls := range []string{"honest", "honest_stream", "nav_attack", "spoof_jump"} {
+				if cs := p.Classes[cls]; cs != nil {
+					fmt.Printf("[%s]        %-13s %3d sent, %3d verdicts, accuracy %.2f, p99 %.2fms\n",
+						b.Backend, cls, cs.Sent, cs.Completed, cs.Accuracy, cs.P99Millis)
+				}
+			}
+		}
+		if g := b.OmissionGap; g != nil {
+			fmt.Printf("[%s] coordinated-omission gap at x%.2f: open-loop p99 %.2fms vs closed-loop %.2fms (%.1fx)\n",
+				b.Backend, g.Multiplier, g.OpenLoopP99Millis, g.ClosedLoopP99Millis, g.Ratio)
+		}
+	}
+	if out != "" {
+		blob, err := json.MarshalIndent(map[string]*loadgen.OpenLoopResult{"openloop": res}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("result written to %s\n", out)
 	}
 	return nil
 }

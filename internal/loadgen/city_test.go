@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/trajectory"
+)
+
+func smallCityOpts(seed int64) CityOptions {
+	return CityOptions{
+		Seed: seed, Agents: 16, Hist: 10, Points: 12,
+		Width: 220, Height: 180, NumAPs: 160, BlockSize: 50,
+	}
+}
+
+func TestBuildCityDeterministic(t *testing.T) {
+	a, err := BuildCity(smallCityOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCity(smallCityOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Agents) != len(b.Agents) {
+		t.Fatalf("agent count %d vs %d", len(a.Agents), len(b.Agents))
+	}
+	for i := range a.Agents {
+		x, y := a.Agents[i], b.Agents[i]
+		if x.District != y.District || x.Mode != y.Mode || x.Home != y.Home {
+			t.Fatalf("agent %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+	if len(a.Hist) != len(b.Hist) {
+		t.Fatalf("hist count %d vs %d", len(a.Hist), len(b.Hist))
+	}
+	for i := range a.Hist {
+		pa, pb := a.Hist[i].Traj.Positions(), b.Hist[i].Traj.Positions()
+		if len(pa) != len(pb) {
+			t.Fatalf("hist %d point count %d vs %d", i, len(pa), len(pb))
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("hist %d point %d differs: %v vs %v", i, j, pa[j], pb[j])
+			}
+		}
+	}
+}
+
+func TestCityDistrictsAndModes(t *testing.T) {
+	c, err := BuildCity(smallCityOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Districts) == 0 {
+		t.Fatal("no districts")
+	}
+	byDistrict := make(map[int]int)
+	modes := make(map[trajectory.Mode]int)
+	for _, a := range c.Agents {
+		if a.District < 0 || a.District >= len(c.Districts) {
+			t.Fatalf("agent %d homed in unknown district %d", a.ID, a.District)
+		}
+		byDistrict[a.District]++
+		modes[a.Mode]++
+		if a.Mode != trajectory.ModeWalking && a.Mode != trajectory.ModeCycling && a.Mode != trajectory.ModeDriving {
+			t.Fatalf("agent %d has unknown mode %v", a.ID, a.Mode)
+		}
+	}
+	if len(byDistrict) == 0 {
+		t.Fatal("no agents assigned to districts")
+	}
+	if len(modes) < 2 {
+		t.Fatalf("expected a mode mix across 16 agents, got %v", modes)
+	}
+	for _, d := range c.Districts {
+		if d.Weight <= 0 {
+			t.Fatalf("district %s has non-positive weight", d.Name)
+		}
+	}
+}
+
+func TestCityUploadGenerators(t *testing.T) {
+	c, err := BuildCity(smallCityOpts(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	a := c.Agents[0]
+
+	u, err := c.HonestUpload(rng, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Traj.Len() != c.Opts.Points || len(u.Scans) != c.Opts.Points {
+		t.Fatalf("honest upload %d points / %d scans, want %d", u.Traj.Len(), len(u.Scans), c.Opts.Points)
+	}
+
+	nav, err := c.NavAttackUpload(rng, a, c.Hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nav.Traj.Len() == 0 || len(nav.Scans) != nav.Traj.Len() {
+		t.Fatalf("nav attack has %d points / %d scans", nav.Traj.Len(), len(nav.Scans))
+	}
+
+	sp, err := c.SpoofJumpUpload(rng, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Traj.Len() != c.Opts.Points {
+		t.Fatalf("spoof upload has %d points, want %d", sp.Traj.Len(), c.Opts.Points)
+	}
+	// The claimed track must actually jump: some consecutive step well
+	// beyond what the honest simulator produces at this interval.
+	pos := sp.Traj.Positions()
+	maxStep := 0.0
+	for i := 1; i < len(pos); i++ {
+		if d := geo.Dist(pos[i-1], pos[i]); d > maxStep {
+			maxStep = d
+		}
+	}
+	if maxStep < 50 {
+		t.Fatalf("spoof track max step %.1fm, expected a teleport jump ≥50m", maxStep)
+	}
+}

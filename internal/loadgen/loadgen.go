@@ -236,6 +236,12 @@ type HostOptions struct {
 	// the backend answering with the same bits. The cluster scenario
 	// points this at a multi-node store over the same records.
 	WiFiStore rssimap.Backend
+	// Detector, when set, skips training and reuses the given model +
+	// feature config against a fresh store rebuilt from the workload
+	// history (providers are stateful — replay history and accepted-upload
+	// ingestion — so the open-loop sweep trains once and rebuilds a clean
+	// provider around the shared model at every load point).
+	Detector *detect.WiFiDetector
 }
 
 // slowMotion is a motion detector that models service time: it blocks
@@ -256,6 +262,37 @@ func (w *Workload) SelfHost(seed int64, dataDir string) (*Server, error) {
 	return w.SelfHostOpts(HostOptions{Seed: seed, DataDir: dataDir})
 }
 
+// trainDetector splits hist into a reference store (first 3/4) and a
+// training set (held-out real uploads + forgeries of stored ones), and
+// trains the WiFi detector every self-hosted provider serves with. The
+// returned detector's Store is the fresh reference store.
+func trainDetector(hist []*wifi.Upload, seed int64) (*detect.WiFiDetector, error) {
+	nStore := len(hist) * 3 / 4
+	if nStore == 0 || nStore == len(hist) {
+		return nil, fmt.Errorf("loadgen: history too small to split (%d)", len(hist))
+	}
+	records := dataset.Records(hist[:nStore])
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), records)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 13))
+	var fakes []*wifi.Upload
+	for _, u := range hist[:nStore/2] {
+		f, err := dataset.ForgeUpload(rng, u, 1.2)
+		if err != nil {
+			return nil, err
+		}
+		fakes = append(fakes, f)
+	}
+	det, err := detect.TrainWiFiDetector(store, hist[nStore:], fakes,
+		rssimap.DefaultFeatureConfig(), xgb.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: train detector: %w", err)
+	}
+	return det, nil
+}
+
 // SelfHostOpts is SelfHost with the provider's resilience knobs exposed —
 // the overload scenario runs against a deliberately tiny admitted
 // capacity.
@@ -264,24 +301,16 @@ func (w *Workload) SelfHostOpts(h HostOptions) (*Server, error) {
 	if nStore == 0 || nStore == len(w.Hist) {
 		return nil, fmt.Errorf("loadgen: history too small to split (%d)", len(w.Hist))
 	}
-	records := dataset.Records(w.Hist[:nStore])
-	store, err := rssimap.NewStore(rssimap.DefaultConfig(), records)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(h.Seed + 13))
-	var fakes []*wifi.Upload
-	for _, u := range w.Hist[:nStore/2] {
-		f, err := dataset.ForgeUpload(rng, u, 1.2)
-		if err != nil {
-			return nil, err
+	var det *detect.WiFiDetector
+	var err error
+	if h.Detector != nil {
+		store, serr := rssimap.NewStore(rssimap.DefaultConfig(), dataset.Records(w.Hist[:nStore]))
+		if serr != nil {
+			return nil, serr
 		}
-		fakes = append(fakes, f)
-	}
-	det, err := detect.TrainWiFiDetector(store, w.Hist[nStore:], fakes,
-		rssimap.DefaultFeatureConfig(), xgb.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("loadgen: train detector: %w", err)
+		det = &detect.WiFiDetector{Store: store, Model: h.Detector.Model, Features: h.Detector.Features}
+	} else if det, err = trainDetector(w.Hist, h.Seed); err != nil {
+		return nil, err
 	}
 	if h.WiFiStore != nil {
 		det = &detect.WiFiDetector{Store: h.WiFiStore, Model: det.Model, Features: det.Features}
@@ -305,6 +334,7 @@ func (w *Workload) SelfHostOpts(h HostOptions) (*Server, error) {
 	}
 	svc, err := server.New(server.Config{
 		Projection:     w.Projection,
+		Rules:          detect.NewRuleChecker(),
 		Replay:         replay,
 		Motion:         motion,
 		WiFi:           det,
@@ -339,7 +369,15 @@ type Result struct {
 	P50Millis      float64 `json:"p50_ms"`
 	P95Millis      float64 `json:"p95_ms"`
 	P99Millis      float64 `json:"p99_ms"`
-	WorkloadDigest string  `json:"workload_digest"`
+	// SchedSlackP99Millis is the p99 of intended-start vs actual-start
+	// slack: how late each request began relative to a uniform schedule at
+	// the worker's achieved rate. A closed-loop pool only starts a request
+	// when the previous response returns, so server slowdowns silently
+	// stretch the schedule instead of queueing — this field reports how
+	// much coordinated omission the scenario hid (the open-loop harness
+	// measures the same effect directly).
+	SchedSlackP99Millis float64 `json:"sched_slack_p99_ms"`
+	WorkloadDigest      string  `json:"workload_digest"`
 	// Wire is the request encoding driven: "json" or "binary".
 	Wire string `json:"wire"`
 	// StageP99Micros is the server-side per-stage p99 latency (decode,
@@ -370,6 +408,7 @@ func (w *Workload) Run(opts Options) (*Result, error) {
 
 	type workerStats struct {
 		latencies                []float64 // milliseconds
+		startOffsets             []float64 // seconds from run start
 		errors                   int
 		accepted, rejected       int
 		realAccept, forgedReject int
@@ -389,6 +428,7 @@ func (w *Workload) Run(opts Options) (*Result, error) {
 					body = it.BinaryBody
 				}
 				t0 := time.Now()
+				st.startOffsets = append(st.startOffsets, t0.Sub(start).Seconds())
 				v, err := postUpload(client, url, contentType, body)
 				st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
 				if err != nil {
@@ -419,10 +459,11 @@ func (w *Workload) Run(opts Options) (*Result, error) {
 		DurationSec:    elapsed.Seconds(),
 		WorkloadDigest: w.Digest,
 	}
-	var all []float64
+	var all, slacks []float64
 	for i := range stats {
 		st := &stats[i]
 		all = append(all, st.latencies...)
+		slacks = append(slacks, schedSlacks(st.startOffsets, elapsed.Seconds())...)
 		res.Errors += st.errors
 		res.Accepted += st.accepted
 		res.Rejected += st.rejected
@@ -438,9 +479,11 @@ func (w *Workload) Run(opts Options) (*Result, error) {
 		res.ThroughputRPS = float64(len(w.Items)) / elapsed.Seconds()
 	}
 	sort.Float64s(all)
+	sort.Float64s(slacks)
 	res.P50Millis = percentile(all, 0.50)
 	res.P95Millis = percentile(all, 0.95)
 	res.P99Millis = percentile(all, 0.99)
+	res.SchedSlackP99Millis = percentile(slacks, 0.99) * 1000
 	res.Wire = "json"
 	if opts.Binary {
 		res.Wire = "binary"

@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func tinyOpenLoopOpts(seed int64) OpenLoopOptions {
+	return OpenLoopOptions{
+		Seed: seed, Events: 24, Multipliers: []float64{0.5, 2},
+		Agents: 14, Hist: 12, Points: 12,
+		Chunks: 3, ChunkGap: 60 * time.Millisecond,
+	}
+}
+
+func TestOpenLoopWorkloadDeterministic(t *testing.T) {
+	a, err := BuildOpenLoop(tinyOpenLoopOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildOpenLoop(tinyOpenLoopOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different digests:\n%s\n%s", a.Digest, b.Digest)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	c, err := BuildOpenLoop(tinyOpenLoopOpts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest == a.Digest {
+		t.Fatal("different seeds produced the same digest")
+	}
+}
+
+func TestOpenLoopScheduleAndMix(t *testing.T) {
+	w, err := BuildOpenLoop(tinyOpenLoopOpts(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool covers the largest multiplier.
+	if want := 48; len(w.Events) != want {
+		t.Fatalf("pool has %d events, want %d", len(w.Events), want)
+	}
+	// Arrivals strictly increase (a schedule, not a grab bag).
+	for i := 1; i < len(w.Events); i++ {
+		if w.Events[i].Unit <= w.Events[i-1].Unit {
+			t.Fatalf("arrivals not increasing at %d: %f then %f", i, w.Events[i-1].Unit, w.Events[i].Unit)
+		}
+	}
+	for i := range w.Events {
+		ev := &w.Events[i]
+		switch ev.Class {
+		case ClassHonestStream:
+			if ev.Open == nil || ev.Close == nil || len(ev.Appends) == 0 {
+				t.Fatalf("event %d: stream event missing requests", i)
+			}
+			if !ev.Expected {
+				t.Fatalf("event %d: honest stream expected-reject", i)
+			}
+		case ClassHonest:
+			if ev.Body == nil || !ev.Expected {
+				t.Fatalf("event %d: bad honest event", i)
+			}
+		case ClassNavAttack, ClassSpoofJump:
+			if ev.Body == nil || ev.Expected {
+				t.Fatalf("event %d: attack event marked expected-accept", i)
+			}
+		default:
+			t.Fatalf("event %d: unknown class %q", i, ev.Class)
+		}
+	}
+	total := 0
+	for _, n := range w.ClassMix {
+		total += n
+	}
+	if total != len(w.Events) {
+		t.Fatalf("class mix sums to %d, want %d", total, len(w.Events))
+	}
+}
+
+// TestOpenLoopSoak drives a miniature open-loop sweep end to end — both
+// backends, mixed classes, real HTTP — small enough for -race CI.
+func TestOpenLoopSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop soak is slow; run without -short")
+	}
+	opts := OpenLoopOptions{
+		Seed: 2, Events: 20, Multipliers: []float64{0.5, 2},
+		Agents: 14, Hist: 12, Points: 12,
+		Chunks: 2, ChunkGap: 40 * time.Millisecond,
+		Nodes: 2,
+	}
+	res, err := RunOpenLoop(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []*OLBackendResult{res.Single, res.Cluster} {
+		if b == nil {
+			t.Fatal("missing backend result")
+		}
+		if b.ClosedLoop == nil || b.ClosedLoop.CapacityRPS <= 0 {
+			t.Fatalf("%s: no calibration capacity", b.Backend)
+		}
+		if len(b.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", b.Backend, len(b.Points))
+		}
+		for _, p := range b.Points {
+			if p.RequestsSent == 0 {
+				t.Fatalf("%s x%.2f: nothing sent", b.Backend, p.Multiplier)
+			}
+			if p.Completed+p.Shed+p.Errors != p.RequestsSent {
+				t.Fatalf("%s x%.2f: accounting mismatch: %d completed + %d shed + %d errors != %d sent",
+					b.Backend, p.Multiplier, p.Completed, p.Shed, p.Errors, p.RequestsSent)
+			}
+			if p.RequestsSent+p.RequestsSkipped != p.RequestsScheduled {
+				t.Fatalf("%s x%.2f: %d sent + %d skipped != %d scheduled",
+					b.Backend, p.Multiplier, p.RequestsSent, p.RequestsSkipped, p.RequestsScheduled)
+			}
+			if len(p.Classes) == 0 {
+				t.Fatalf("%s x%.2f: no class stats", b.Backend, p.Multiplier)
+			}
+			for cls, cs := range p.Classes {
+				if cs.Sent == 0 {
+					t.Fatalf("%s x%.2f: class %s has zero sent", b.Backend, p.Multiplier, cls)
+				}
+			}
+		}
+		if b.OmissionGap == nil {
+			t.Fatalf("%s: no omission gap recorded", b.Backend)
+		}
+	}
+	if res.WorkloadDigest == "" {
+		t.Fatal("no workload digest")
+	}
+}

@@ -1,0 +1,138 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/trajectory"
+)
+
+// allModes are the three concrete transport modes the city model mixes.
+var allModes = []trajectory.Mode{
+	trajectory.ModeWalking, trajectory.ModeCycling, trajectory.ModeDriving,
+}
+
+// TestSimulateBitIdenticalPerMode pins seed determinism for every mode the
+// open-loop city model uses: same seed, same options → the same track to
+// the last bit (true positions, noisy fixes, and timestamps alike). The
+// workload digest of the load harness depends on this.
+func TestSimulateBitIdenticalPerMode(t *testing.T) {
+	for _, mode := range allModes {
+		a := simulate(t, 77, mode, 50)
+		b := simulate(t, 77, mode, 50)
+		if len(a.Points) != len(b.Points) {
+			t.Fatalf("%v: point counts differ: %d vs %d", mode, len(a.Points), len(b.Points))
+		}
+		for i := range a.Points {
+			pa, pb := a.Points[i], b.Points[i]
+			if pa.True != pb.True {
+				t.Fatalf("%v: true pos diverged at %d: %v vs %v", mode, i, pa.True, pb.True)
+			}
+			if pa.Fix != pb.Fix {
+				t.Fatalf("%v: fix diverged at %d: %v vs %v", mode, i, pa.Fix, pb.Fix)
+			}
+			if !pa.Time.Equal(pb.Time) {
+				t.Fatalf("%v: timestamp diverged at %d: %v vs %v", mode, i, pa.Time, pb.Time)
+			}
+		}
+	}
+}
+
+// longRoute is a 1.6 km two-corner course, long enough that driving does
+// not run out of road inside the sampled window.
+func longRoute() []geo.Point {
+	return []geo.Point{{X: 0, Y: 0}, {X: 600, Y: 0}, {X: 600, Y: 500}, {X: 100, Y: 500}}
+}
+
+// TestSimulateRespectsProfileCaps is the distribution sanity check: for
+// every mode, ground-truth speeds stay inside the OU envelope around the
+// profile's cruise speed, speed changes respect the profile's
+// acceleration/deceleration bounds, and the per-mode mean speeds order the
+// way the profiles say they must.
+func TestSimulateRespectsProfileCaps(t *testing.T) {
+	// Cruise (p90) speed per mode; means include planned stops, so the
+	// cruise quantile is what orders the modes.
+	cruiseByMode := make(map[trajectory.Mode]float64)
+	for _, mode := range allModes {
+		prof := ProfileFor(mode)
+		tk, err := Simulate(rand.New(rand.NewSource(83)), Options{
+			Route: longRoute(), Mode: mode,
+			Start: _t0, Interval: time.Second, MaxPoints: 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths := tk.TruePositions()
+		dt := 1.0
+		speeds := make([]float64, 0, len(truths)-1)
+		for i := 1; i < len(truths); i++ {
+			speeds = append(speeds, geo.Dist(truths[i-1], truths[i])/dt)
+		}
+		// The speed process targets Cruise + an OU deviation with marginal
+		// sd SpeedSD; 6 sd is far outside anything the integrator should
+		// produce.
+		ceil := prof.CruiseSpeed + 6*prof.SpeedSD
+		sum := 0.0
+		for i, v := range speeds {
+			sum += v
+			if v > ceil {
+				t.Fatalf("%v: speed[%d] = %.2f m/s above envelope %.2f", mode, i, v, ceil)
+			}
+		}
+		mean := sum / float64(len(speeds))
+		if mean <= 0.15*prof.CruiseSpeed || mean > 1.4*prof.CruiseSpeed {
+			t.Fatalf("%v: mean speed %.2f m/s implausible for cruise %.2f", mode, mean, prof.CruiseSpeed)
+		}
+		sorted := append([]float64(nil), speeds...)
+		sort.Float64s(sorted)
+		cruiseByMode[mode] = sorted[len(sorted)*9/10]
+		// Interval-averaged speed changes cannot exceed the per-dt
+		// acceleration bounds (25% slack for chord-vs-arc shortening
+		// through turns).
+		cap := math.Max(prof.MaxAccel, prof.MaxDecel) * 1.25
+		for i := 1; i < len(speeds); i++ {
+			if d := math.Abs(speeds[i]-speeds[i-1]) / dt; d > cap {
+				t.Fatalf("%v: |dv|[%d] = %.2f m/s^2 above profile cap %.2f", mode, i, d, cap)
+			}
+		}
+	}
+	if !(cruiseByMode[trajectory.ModeWalking] < cruiseByMode[trajectory.ModeCycling] &&
+		cruiseByMode[trajectory.ModeCycling] < cruiseByMode[trajectory.ModeDriving]) {
+		t.Fatalf("mode cruise-speed ordering violated: %v", cruiseByMode)
+	}
+}
+
+// TestSimulateSlowsForSharpTurns pins the turn-speed cap: a driving track
+// must pass close to a right-angle corner well below cruise speed.
+func TestSimulateSlowsForSharpTurns(t *testing.T) {
+	prof := ProfileFor(trajectory.ModeDriving)
+	tk, err := Simulate(rand.New(rand.NewSource(97)), Options{
+		Route: longRoute(), Mode: trajectory.ModeDriving,
+		Start: _t0, Interval: time.Second, MaxPoints: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := geo.Point{X: 600, Y: 0}
+	truths := tk.TruePositions()
+	minNear := math.Inf(1)
+	for i := 1; i < len(truths); i++ {
+		if geo.Dist(truths[i], corner) > 20 {
+			continue
+		}
+		if v := geo.Dist(truths[i-1], truths[i]); v < minNear {
+			minNear = v
+		}
+	}
+	if math.IsInf(minNear, 1) {
+		t.Fatal("track never came within 20 m of the corner")
+	}
+	if minNear > prof.TurnSpeed*2 {
+		t.Fatalf("corner speed %.2f m/s, want ≤ %.2f (turn cap %.2f with slack)",
+			minNear, prof.TurnSpeed*2, prof.TurnSpeed)
+	}
+}

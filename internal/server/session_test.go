@@ -758,3 +758,79 @@ func TestSessionCodecRoundtrip(t *testing.T) {
 		t.Fatal("empty id encoded")
 	}
 }
+
+// TestSessionSlowChunksStraddleTTLSweep is the HTTP-level pin of the
+// absolute-TTL rule: a session streaming chunks slowly enough to straddle
+// the TTL — while every append keeps its idle deadline fresh — must get
+// 410 Gone on the append that lands past the TTL and must never receive a
+// partial verdict from close. A sweep between the expiry and the next
+// request turns the 410 into a 404 (evicted), never into a verdict.
+func TestSessionSlowChunksStraddleTTLSweep(t *testing.T) {
+	var clkMu sync.Mutex
+	now := _t0
+	clock := func() time.Time {
+		clkMu.Lock()
+		defer clkMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clkMu.Lock()
+		now = now.Add(d)
+		clkMu.Unlock()
+	}
+	svc, _, client := newTestService(t, Config{Stream: &stream.Config{
+		TTL: 5 * time.Minute, IdleTimeout: time.Hour, Clock: clock,
+	}})
+	u := uploadFor(t, 118, 12)
+
+	id, err := client.OpenSession("slow-ttl", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 3; seq++ {
+		ack, err := client.AppendSession(id, seq, u, seq*3, (seq+1)*3)
+		if err != nil {
+			t.Fatalf("chunk %d at %v: %v", seq, clock().Sub(_t0), err)
+		}
+		if ack.Rejected {
+			t.Fatalf("chunk %d rejected mid-stream", seq)
+		}
+		advance(2 * time.Minute)
+	}
+	// t = 6m > TTL = 5m; the idle deadline is 2 minutes fresh. The append
+	// straddling the TTL answers 410 — the client learns the session is
+	// dead, not that its chunk was acked.
+	if _, err := client.AppendSession(id, 3, u, 9, 12); statusOf(err) != http.StatusGone {
+		t.Fatalf("append past TTL = %v, want 410", err)
+	}
+	// The 410 evicted the session; a retried close finds nothing — and in
+	// particular no partial verdict over the 9 buffered points.
+	if _, err := client.CloseSession(id); statusOf(err) != http.StatusNotFound {
+		t.Fatalf("close after TTL eviction = %v, want 404", err)
+	}
+
+	// Second session: the ticker sweep (rather than a straddling request)
+	// collects it once the TTL passes, with the same no-partial-verdict
+	// outcome for the client.
+	id2, err := client.OpenSession("slow-ttl-2", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.AppendSession(id2, 0, u, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	advance(6 * time.Minute)
+	if n := svc.SweepSessions(); n != 1 {
+		t.Fatalf("sweep evicted %d sessions, want 1", n)
+	}
+	if _, err := client.AppendSession(id2, 1, u, 6, 9); statusOf(err) != http.StatusNotFound {
+		t.Fatalf("append after sweep = %v, want 404", err)
+	}
+	if _, err := client.CloseSession(id2); statusOf(err) != http.StatusNotFound {
+		t.Fatalf("close after sweep = %v, want 404", err)
+	}
+	st := svc.Stats()
+	if st.Sessions == nil || st.Sessions.Expired != 2 {
+		t.Fatalf("expired sessions = %+v, want 2", st.Sessions)
+	}
+}

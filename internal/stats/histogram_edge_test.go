@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramEmpty pins the zero-value contract: no observations means
+// zero quantiles, zero count, zero sum — not a panic, not a stale bucket.
+func TestHistogramEmpty(t *testing.T) {
+	var h LatencyHistogram
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram q%.3f = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram count %d sum %v", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramSingleSample: with one observation, every quantile is that
+// sample (its bucket upper bound — never understated, within the
+// sub-bucket error budget).
+func TestHistogramSingleSample(t *testing.T) {
+	var h LatencyHistogram
+	const v = 1234567 * time.Nanosecond
+	h.Observe(v)
+	for _, q := range []float64{0.001, 0.25, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < v {
+			t.Fatalf("q%.3f = %v understates the single sample %v", q, got, v)
+		}
+		if float64(got) > float64(v)*(1+1.0/histSub) {
+			t.Fatalf("q%.3f = %v overshoots %v beyond a sub-bucket", q, got, v)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != v {
+		t.Fatalf("count %d sum %v after one observe", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramBeyondTopOctave feeds durations at and beyond the top
+// octave — 1<<62 and MaxInt64 nanoseconds (~292 years) — and checks the
+// bucket math neither panics, overflows negative, nor understates. The
+// very top bucket's inclusive upper bound is exactly MaxInt64.
+func TestHistogramBeyondTopOctave(t *testing.T) {
+	var h LatencyHistogram
+	huge := []time.Duration{1 << 62, math.MaxInt64 - 1, math.MaxInt64}
+	for _, v := range huge {
+		h.Observe(v)
+	}
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("p100 of MaxInt64 sample = %v (%d), want MaxInt64", got, got.Nanoseconds())
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got < 0 {
+			t.Fatalf("q%.2f went negative (%d): bucket bound overflow", q, got.Nanoseconds())
+		}
+		if got := h.Quantile(q); got < 1<<62 {
+			t.Fatalf("q%.2f = %v understates the smallest huge sample", q, got)
+		}
+	}
+	if h.Count() != int64(len(huge)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(huge))
+	}
+
+	// Negative durations clamp to zero rather than indexing below bucket 0.
+	var neg LatencyHistogram
+	neg.Observe(-time.Second)
+	if got := neg.Quantile(1); got != 0 {
+		t.Fatalf("negative observation mapped to %v, want clamp to 0", got)
+	}
+}
+
+// TestHistogramConcurrentExtremes records values spanning the full bucket
+// range from several writers while readers poll quantiles, count, and sum.
+// Under -race this pins lock-freedom on the extreme-value paths; the
+// readers additionally assert invariants that must hold mid-flight:
+// quantiles are never negative and the count never decreases.
+func TestHistogramConcurrentExtremes(t *testing.T) {
+	var h LatencyHistogram
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastCount int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if q := h.Quantile(0.99); q < 0 {
+					t.Errorf("mid-flight p99 negative: %v", q)
+					return
+				}
+				if c := h.Count(); c < lastCount {
+					t.Errorf("count went backwards: %d after %d", c, lastCount)
+					return
+				} else {
+					lastCount = c
+				}
+				_ = h.Sum()
+			}
+		}()
+	}
+	vals := []time.Duration{0, 1, 15, 16, 1 << 20, 1 << 40, 1 << 62, math.MaxInt64, -1}
+	const writers, per = 4, 3000
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(vals[(g+i)%len(vals)])
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	readers.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*per)
+	}
+}

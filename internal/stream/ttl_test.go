@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSlowChunkSessionStraddlesTTL pins the absolute-TTL rule for a
+// session that never goes idle: a client streaming chunks slowly enough
+// keeps refreshing the idle deadline, but once the session's total
+// lifetime crosses the TTL the next append must be refused with
+// ErrExpired (410 over HTTP) and the ack must be the unchanged previous
+// one — an expired session must never leak a partial verdict.
+func TestSlowChunkSessionStraddlesTTL(t *testing.T) {
+	clk := &fakeClock{now: t0}
+	m := newManager(t, Config{
+		TTL: 5 * time.Minute, IdleTimeout: time.Hour,
+		Clock: clk.Now,
+	})
+	u := walkUpload(t, 17, 12)
+	id, err := m.Open("slow", u.Traj.Mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three chunks, two minutes apart: each append lands inside the TTL
+	// and refreshes the idle deadline, so only the absolute TTL can fire.
+	var lastAck Ack
+	for seq := 0; seq < 3; seq++ {
+		lo, hi := seq*3, (seq+1)*3
+		ack, replayed, err := m.AppendChunk(id, seq, u.Traj.Points[lo:hi], u.Scans[lo:hi])
+		if err != nil || replayed {
+			t.Fatalf("chunk %d at %v: err=%v replayed=%v", seq, clk.Now().Sub(t0), err, replayed)
+		}
+		lastAck = ack
+		clk.Advance(2 * time.Minute)
+	}
+	// t = 6m > TTL = 5m, idle deadline still fresh (last append 2m ago).
+	ack, replayed, err := m.AppendChunk(id, 3, u.Traj.Points[9:12], u.Scans[9:12])
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("append past TTL = %v, want ErrExpired", err)
+	}
+	if replayed {
+		t.Fatal("expired append reported as replay")
+	}
+	if ack != lastAck {
+		t.Fatalf("expired append changed the ack: %+v vs %+v", ack, lastAck)
+	}
+
+	// Closing must not produce a verdict either — no partial verdict from
+	// the buffered 9 points.
+	if _, _, err := m.BeginClose(id); !errors.Is(err, ErrExpired) {
+		t.Fatalf("close past TTL = %v, want ErrExpired", err)
+	}
+
+	// The session is sweepable and the eviction counts as an expiry.
+	ids := m.ExpiredIDs()
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("expired ids = %v, want [%s]", ids, id)
+	}
+	if !m.Evict(id, true) {
+		t.Fatal("evict failed")
+	}
+	if st := m.Stats(); st.Expired != 1 || st.Open != 0 {
+		t.Fatalf("stats after sweep = %+v", st)
+	}
+	// After eviction the id is unknown, not expired.
+	if _, _, err := m.AppendChunk(id, 3, u.Traj.Points[9:12], u.Scans[9:12]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("append after eviction = %v, want ErrNotFound", err)
+	}
+}
