@@ -64,7 +64,7 @@ fuzz-short:
 # every filesystem mutation site (or wedge the disk and watch the breaker
 # trip, degrade, and heal), recover, and check the durability invariants.
 chaos:
-	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestSessionCrashPointExploration|TestWedgeMidWorkload|TestClusterCrashPointExploration'
+	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestSessionCrashPointExploration|TestWedgeMidWorkload|TestClusterCrashPointExploration|TestReplicatedCrashPointExploration|TestCoordinatorCrashPointExploration'
 
 # Seeded load generator against a self-hosted provider; writes
 # BENCH_loadgen.json with throughput and latency percentiles (batch,

@@ -32,7 +32,11 @@
 // With -cluster (on by default) a further scenario re-runs the workload
 // against a provider whose RSSI backend is a three-node shard cluster
 // over loopback, live-migrating the busiest tile mid-run; req/s, forward
-// ratio, and latency percentiles land under "cluster".
+// ratio, and latency percentiles land under "cluster". A second pass runs
+// with follower replication on, killing the busiest tile's primary node
+// (and re-replicating its tiles) at the workload midpoint; forward ratio,
+// replica-read ratio, and latency percentiles land under
+// "cluster_replicated".
 //
 // With -openloop the command switches to the open-loop city harness
 // instead: a Poisson/diurnal arrival schedule over a simulated city of
@@ -214,6 +218,20 @@ func run(args []string) error {
 			cr.Nodes, cr.Uploads, cr.ThroughputRPS, cr.P50Millis, cr.P95Millis, cr.P99Millis)
 		fmt.Printf("cluster: %d forwarded shard RPCs (forward ratio %.2f), %d halo updates, epoch %d -> %d (%d migration)\n",
 			cr.Forwarded, cr.ForwardRatio, cr.HaloUpdates, cr.EpochBefore, cr.Epoch, cr.Migrations)
+
+		fmt.Println("running replicated cluster scenario (follower replicas, mid-run node kill)...")
+		rr, err := loadgen.RunClusterReplicated(loadgen.ClusterOptions{
+			Seed: *seed, Workers: *workers, Nodes: *clusterNodes,
+			ForgedFrac: *forged, Points: *points, Hist: *hist,
+		})
+		if err != nil {
+			return err
+		}
+		bench.ClusterReplicated = rr
+		fmt.Printf("cluster_replicated: %d nodes, %d uploads: %.1f req/s, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			rr.Nodes, rr.Uploads, rr.ThroughputRPS, rr.P50Millis, rr.P95Millis, rr.P99Millis)
+		fmt.Printf("cluster_replicated: killed %s mid-run: %d errors, forward ratio %.2f, replica-read ratio %.2f, %d repairs, %d retried calls\n",
+			rr.KilledNode, rr.Errors, rr.ForwardRatio, rr.ReplicaReadRatio, rr.Repairs, rr.RetriedCalls)
 	}
 
 	// The streaming scenario self-hosts its own streaming-enabled provider
@@ -313,4 +331,7 @@ type benchResult struct {
 	// Cluster re-runs the workload against a provider backed by a
 	// multi-node shard cluster with a mid-run tile migration.
 	Cluster *loadgen.ClusterResult `json:"cluster,omitempty"`
+	// ClusterReplicated re-runs it with follower replication on and the
+	// busiest tile's primary node killed (and repaired) mid-run.
+	ClusterReplicated *loadgen.ClusterReplicatedResult `json:"cluster_replicated,omitempty"`
 }

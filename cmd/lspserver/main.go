@@ -36,10 +36,28 @@
 //	lspserver -node-id n1 -cluster-listen 127.0.0.1:7101 [-data-dir DIR]
 //	lspserver -join n1=127.0.0.1:7101,n2=127.0.0.1:7102,n3=127.0.0.1:7103
 //
+// With -replicate every tile also lives on a follower node: ingestion
+// dual-writes, reads fail over when the primary is unreachable, and
+// -repair-every re-replicates a dead node's tiles in the background while
+// -rebalance-every migrates the hottest tile off the most-loaded node.
+// -cluster-data-dir gives the coordinator its own WAL/snapshot lineage so
+// a restart recovers the canonical record log and assignment epoch from
+// disk instead of replaying the bootstrap corpus. A standby coordinator
+// (-lease FILE -standby) waits for the active's lease to lapse, then takes
+// over at a higher fencing epoch:
+//
+//	lspserver -join ... -replicate -cluster-data-dir DIR \
+//	          -lease /shared/coord.lease -coord-id c1
+//	lspserver -join ... -replicate -cluster-data-dir DIR2 \
+//	          -lease /shared/coord.lease -coord-id c2 -standby
+//
 // Usage:
 //
 //	lspserver -addr :8742 [-seed 1] [-uploads 300] [-data-dir DIR] [-sharded]
 //	          [-node-id ID -cluster-listen ADDR | -join ID=ADDR,...]
+//	          [-replicate] [-cluster-data-dir DIR] [-repair-every 0]
+//	          [-rebalance-every 0] [-lease FILE] [-lease-ttl 5s]
+//	          [-coord-id ID] [-standby]
 //	          [-max-inflight N] [-queue-depth N] [-upload-timeout 10s]
 //	          [-max-sessions N] [-session-ttl 10m] [-session-window N]
 package main
@@ -87,6 +105,16 @@ func run(args []string) error {
 	nodeID := fs.String("node-id", "", "run as a cluster shard node with this member id (requires -cluster-listen)")
 	clusterListen := fs.String("cluster-listen", "", "shard-transport listen address for node mode")
 	join := fs.String("join", "", "run as a cluster coordinator over these nodes (comma-separated id=addr pairs)")
+	replicate := fs.Bool("replicate", false, "place a follower replica of every tile (requires -join with >= 2 nodes)")
+	clusterDataDir := fs.String("cluster-data-dir", "", "directory for the coordinator's own WAL/snapshots (requires -join)")
+	repairEvery := fs.Duration("repair-every", 0,
+		"re-replicate dead nodes' tiles in the background at this interval (0 = off; requires -replicate)")
+	rebalanceEvery := fs.Duration("rebalance-every", 0,
+		"migrate the hottest tile off the most-loaded node at this interval (0 = off; requires -join)")
+	leasePath := fs.String("lease", "", "coordinator lease file shared between active and standby (requires -join)")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Second, "coordinator lease time-to-live")
+	coordID := fs.String("coord-id", "coord1", "coordinator identity written to the lease file")
+	standby := fs.Bool("standby", false, "wait for the active coordinator's lease to lapse before taking over")
 	maxInflight := fs.Int("max-inflight", 4*runtime.NumCPU(),
 		"concurrent uploads admitted to the pipeline (0 = unbounded)")
 	queueDepth := fs.Int("queue-depth", 0,
@@ -122,6 +150,47 @@ func run(args []string) error {
 	}
 	if clusterNodes != nil && *sharded {
 		return errors.New("-join and -sharded are mutually exclusive backends")
+	}
+	if clusterNodes == nil {
+		switch {
+		case *replicate:
+			return errors.New("-replicate requires -join")
+		case *clusterDataDir != "":
+			return errors.New("-cluster-data-dir requires -join")
+		case *leasePath != "" || *standby:
+			return errors.New("-lease/-standby require -join")
+		case *repairEvery != 0 || *rebalanceEvery != 0:
+			return errors.New("-repair-every/-rebalance-every require -join")
+		}
+	}
+	if *repairEvery != 0 && !*replicate {
+		return errors.New("-repair-every requires -replicate")
+	}
+
+	// The lease gates store creation: building the Store fences the previous
+	// coordinator off the nodes, so a standby must not build one until the
+	// active's claim has lapsed. Liveness only — safety is the epoch fence.
+	var lease *cluster.Lease
+	leaseLost := make(chan struct{})
+	if *leasePath != "" {
+		lease, err = cluster.NewLease(nil, *leasePath, *coordID, *leaseTTL)
+		if err != nil {
+			return err
+		}
+		if *standby {
+			fmt.Printf("standby %s: waiting for lease %s...\n", *coordID, *leasePath)
+			for {
+				if err := lease.Acquire(time.Now()); err == nil {
+					break
+				} else if !errors.Is(err, cluster.ErrLeaseHeld) {
+					return err
+				}
+				time.Sleep(*leaseTTL / 3)
+			}
+			fmt.Printf("standby %s: lease acquired, taking over\n", *coordID)
+		} else if err := lease.Acquire(time.Now()); err != nil {
+			return fmt.Errorf("another coordinator is active: %w", err)
+		}
 	}
 
 	// Open the durability layer first: recovered state decides below
@@ -186,22 +255,37 @@ func run(args []string) error {
 		records = recovered.Records
 	}
 	var store trajforge.RSSIBackend
+	var cs *cluster.Store
 	switch {
 	case clusterNodes != nil:
-		cs, cerr := cluster.NewStore(cluster.Options{
-			Shard: shardstore.DefaultConfig(),
-			Nodes: clusterNodes,
+		cs, err = cluster.NewStore(cluster.Options{
+			Shard:     shardstore.DefaultConfig(),
+			Nodes:     clusterNodes,
+			Replicate: *replicate,
+			Dir:       *clusterDataDir,
 		})
-		if cerr != nil {
-			return cerr
+		if err != nil {
+			return err
 		}
 		defer cs.Close()
 		// The coordinator owns the canonical log; the bootstrap (or the
 		// recovered snapshot) is replicated out to the shard nodes tile by
 		// tile, idempotently — a node that already holds a prefix from a
-		// previous coordinator incarnation skips it via the seq gate.
-		cs.Add(records)
-		fmt.Printf("cluster: %d nodes, epoch %d\n", len(clusterNodes), cs.Assignment().Epoch)
+		// previous coordinator incarnation skips it via the seq gate. A
+		// coordinator restarting over -cluster-data-dir recovered the log
+		// from its own WAL already; feeding the bootstrap again is absorbed
+		// the same way, except the log itself which dedups nothing — so skip
+		// the re-feed entirely when the WAL recovered records.
+		if cs.Len() == 0 {
+			cs.Add(records)
+		} else {
+			fmt.Printf("cluster: coordinator WAL recovered %d records, skipping bootstrap feed\n", cs.Len())
+		}
+		mode := "primary-only"
+		if *replicate {
+			mode = "replicated"
+		}
+		fmt.Printf("cluster: %d nodes, epoch %d, %s\n", len(clusterNodes), cs.Assignment().Epoch, mode)
 		store = cs
 	case *sharded:
 		store, err = shardstore.New(shardstore.DefaultConfig(), records)
@@ -278,6 +362,77 @@ func run(args []string) error {
 	// WAL queue, and take the final snapshot.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Renew the coordinator lease at a third of its ttl; losing it means a
+	// standby fenced us off the nodes, so stop serving rather than answer
+	// from a store the cluster no longer listens to.
+	if lease != nil {
+		interval := *leaseTTL / 3
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := lease.Renew(time.Now()); err != nil {
+						fmt.Fprintln(os.Stderr, "lspserver: coordinator lease lost:", err)
+						close(leaseLost)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Background repair: any node that stays unreachable gets its tiles
+	// re-replicated onto the surviving members; a node that merely lagged is
+	// healed in place with a resync from the canonical log.
+	if cs != nil && *repairEvery > 0 {
+		go func() {
+			t := time.NewTicker(*repairEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					for _, ns := range cs.Stats().Nodes {
+						if !ns.Unsynced {
+							continue
+						}
+						if err := cs.Resync(ns.ID); err == nil {
+							fmt.Printf("cluster: resynced lagging node %s\n", ns.ID)
+							continue
+						}
+						if err := cs.Rereplicate(ns.ID); err == nil {
+							fmt.Printf("cluster: re-replicated tiles off dead node %s\n", ns.ID)
+						}
+					}
+				}
+			}
+		}()
+	}
+	// Background rebalance: one bounded step per tick, each migrating the
+	// hottest tile off the most-loaded node when that narrows the spread.
+	if cs != nil && *rebalanceEvery > 0 {
+		go func() {
+			t := time.NewTicker(*rebalanceEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if moved, err := cs.Rebalance(); err == nil && moved {
+						fmt.Println("cluster: rebalanced hottest tile off most-loaded node")
+					}
+				}
+			}
+		}()
+	}
 	// Sweep expired streaming sessions so abandoned clients free their
 	// admission slots (and their abort verdicts reach the WAL) without
 	// waiting for another request to trip over them.
@@ -300,23 +455,32 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 		fmt.Println("shutting down...")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
-		}
-		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return err
-		}
-		printStats(svc.Stats())
-		if err := svc.Close(); err != nil {
-			return fmt.Errorf("final snapshot: %w", err)
-		}
-		if persist != nil {
-			fmt.Printf("state persisted to %s\n", *dataDir)
-		}
-		return nil
+	case <-leaseLost:
+		fmt.Println("coordinator lease lost; shutting down...")
 	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	printStats(svc.Stats())
+	if err := svc.Close(); err != nil {
+		return fmt.Errorf("final snapshot: %w", err)
+	}
+	if persist != nil {
+		fmt.Printf("state persisted to %s\n", *dataDir)
+	}
+	// Hand the lease back so a standby takes over without waiting out the
+	// ttl. A lost lease was already someone else's to keep.
+	if lease != nil {
+		if err := lease.Release(time.Now()); err != nil {
+			fmt.Fprintln(os.Stderr, "lspserver: lease release:", err)
+		}
+	}
+	return nil
 }
 
 // runNode serves one cluster shard node until SIGINT/SIGTERM. With a data
@@ -411,12 +575,24 @@ func printStats(st server.Stats) {
 	if cl := st.Cluster; cl != nil {
 		fmt.Printf("  cluster: epoch %d, %d records, %d forwarded, %d halo updates, %d migrations\n",
 			cl.Epoch, cl.Records, cl.Forwarded, cl.HaloUpdates, cl.Migrations)
+		if cl.Replicated {
+			fmt.Printf("  replication: %d replica reads, %d repairs, %d rebalances, %d retried calls, %d expired rejects\n",
+				cl.ReplicaReads, cl.Repairs, cl.Rebalances, cl.RetriedCalls, cl.ExpiredRejects)
+		}
+		if cl.WALFrames > 0 || cl.Generation > 0 {
+			fmt.Printf("  coordinator wal: %d frames, %d bytes, generation %d\n",
+				cl.WALFrames, cl.WALBytes, cl.Generation)
+		}
+		if cl.Degraded {
+			fmt.Printf("  DEGRADED: %s\n", cl.DegradedReason)
+		}
 		for _, ns := range cl.Nodes {
 			state := "synced"
 			if ns.Unsynced {
 				state = "UNSYNCED"
 			}
-			fmt.Printf("    node %-8s %4d tiles, %6d entries, %s\n", ns.ID, ns.Tiles, ns.Entries, state)
+			fmt.Printf("    node %-8s %4d tiles (+%d follower), %6d entries, %s\n",
+				ns.ID, ns.Tiles, ns.FollowerTiles, ns.Entries, state)
 		}
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"trajforge/internal/fsx"
 	"trajforge/internal/fsx/faultfs"
 	"trajforge/internal/geo"
+	"trajforge/internal/resilience"
 	"trajforge/internal/rssimap"
 	"trajforge/internal/shardstore"
 	"trajforge/internal/trajectory"
@@ -235,6 +236,9 @@ func (f *clusterFixture) run(dir, victim string, vfs fsx.FS) (*clusterRunResult,
 
 	store, err := cluster.NewStore(cluster.Options{
 		Shard: f.cfg, Nodes: addrs, CallTimeout: 5 * time.Second,
+		// Retries would only re-dial the deliberately-dead victim; one
+		// attempt keeps every crash point fast and deterministic.
+		Retry: &resilience.RetryPolicy{MaxAttempts: 1},
 	})
 	if err != nil {
 		return nil, err
@@ -330,6 +334,7 @@ func (f *clusterFixture) recoverAndCheck(dir string, crashed *clusterRunResult) 
 
 	store, err := cluster.NewStore(cluster.Options{
 		Shard: f.cfg, Nodes: addrs, CallTimeout: 5 * time.Second,
+		Retry: &resilience.RetryPolicy{MaxAttempts: 1},
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,423 @@
+// Replicated-cluster crash-point explorer: the kill-a-replica sibling of
+// RunCluster. The same seeded workload runs against a THREE-node cluster
+// with tile replication on — every tile has a primary and a follower, and
+// ingest dual-writes both — while a mid-run migration moves the busiest
+// tile onto the node that is neither its primary nor its follower. The
+// explorer kills, in turn, the busiest tile's primary and its follower, at
+// every storage mutation site the victim performs, then drives the repair
+// path (Rereplicate) and recovery through the invariants:
+//
+//  1. Queries during the failure window return the correct answer or a
+//     typed refusal, never wrong or partial bits: a probe that succeeds —
+//     served by the primary, or failed over to the follower — must match
+//     the single-process reference bit-for-bit.
+//
+//  2. Re-replication restores redundancy without an operator: after
+//     Rereplicate(victim), probes are served entirely by survivors and
+//     still match the reference bits.
+//
+//  3. Acked data recovers bit-identically: restart every node from its
+//     surviving files, fence a fresh coordinator, replay the canonical
+//     log — all probes match, and epochs stay monotonic.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"time"
+
+	"trajforge/internal/cluster"
+	"trajforge/internal/fsx"
+	"trajforge/internal/fsx/faultfs"
+	"trajforge/internal/resilience"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/shardstore"
+	"trajforge/internal/wifi"
+)
+
+// ReplicatedOptions configures one replicated-cluster exploration run.
+type ReplicatedOptions struct {
+	// Seed drives the record workload and torn-write prefixes.
+	Seed int64
+	// Records is the workload length. Default 200.
+	Records int
+	// Dir is the scratch directory; each crash point gets a subdirectory.
+	Dir string
+	// Logf, when set, receives progress lines (e.g. testing.T.Logf).
+	Logf func(format string, args ...any)
+}
+
+// ReplicatedReport summarises a replicated-cluster exploration.
+type ReplicatedReport struct {
+	// Sites is the total number of crash points explored across both
+	// victim roles (tile primary, tile follower).
+	Sites int
+	// Committed and Aborted count how the mid-workload migration ended.
+	Committed int
+	Aborted   int
+	// FailoverMatches counts crash points where the pre-repair probes all
+	// succeeded (failing over to surviving replicas as needed) and matched
+	// the reference bits.
+	FailoverMatches int
+	// RepairMatches counts crash points where the post-Rereplicate probes
+	// all succeeded and matched the reference bits.
+	RepairMatches int
+	// Repairs counts completed Rereplicate calls across crash points.
+	Repairs uint64
+	// ReplicaReads totals follower-served queries across crash points —
+	// proof the failover path actually ran.
+	ReplicaReads uint64
+}
+
+// replicatedFixture is the deterministic workload shared by every crash
+// point.
+type replicatedFixture struct {
+	opts    ReplicatedOptions
+	cfg     shardstore.Config
+	fcfg    rssimap.FeatureConfig
+	batches [][]rssimap.Record
+	probes  []*wifi.Upload
+	refFeat [][]float64
+	migTile [2]int
+	primary string // migTile's pre-migration owner
+	follow  string // migTile's pre-migration follower
+	migTo   string // migration target: neither primary nor follower
+}
+
+var replicatedIDs = []string{"a", "b", "c"}
+
+func newReplicatedFixture(opts ReplicatedOptions) (*replicatedFixture, error) {
+	f := &replicatedFixture{
+		opts: opts,
+		cfg:  shardstore.DefaultConfig(),
+		fcfg: rssimap.DefaultFeatureConfig(),
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	all := clusterRecords(rng, opts.Records)
+	const batch = 40
+	for off := 0; off < len(all); off += batch {
+		end := off + batch
+		if end > len(all) {
+			end = len(all)
+		}
+		f.batches = append(f.batches, all[off:end])
+	}
+	if len(f.batches) <= migrateAt+1 {
+		return nil, fmt.Errorf("chaos: workload of %d records too short for a mid-run migration", len(all))
+	}
+	for i := 0; i < 2; i++ {
+		f.probes = append(f.probes, clusterProbe(rng, 12))
+	}
+
+	ref, err := shardstore.New(f.cfg, all)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range f.probes {
+		feat, err := ref.Features(u, f.fcfg)
+		if err != nil {
+			return nil, err
+		}
+		f.refFeat = append(f.refFeat, feat)
+	}
+
+	// Dry run on memory-only nodes to fix (tile, primary, follower, target).
+	res, err := f.run("", "", nil)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: replicated dry run: %w", err)
+	}
+	if res.migErr != nil {
+		return nil, fmt.Errorf("chaos: replicated dry-run migration: %w", res.migErr)
+	}
+	if res.preErr != nil || res.postErr != nil {
+		return nil, fmt.Errorf("chaos: replicated dry-run probe: pre %v post %v", res.preErr, res.postErr)
+	}
+	f.migTile, f.primary, f.follow, f.migTo = res.migTile, res.primary, res.follow, res.migTo
+	if f.follow == "" {
+		return nil, errors.New("chaos: replicated dry run produced no follower")
+	}
+	return f, nil
+}
+
+// replicatedRunResult is what one workload execution observed.
+type replicatedRunResult struct {
+	migTile          [2]int
+	primary, follow  string
+	migTo            string
+	migErr           error
+	preErr, postErr  error
+	preOK, postOK    bool
+	repairErr        error
+	repairs          uint64
+	replicaReads     uint64
+	epoch            uint64
+}
+
+// run executes the fixed workload: ingest with dual-writes, a mid-run
+// migration, probes against the degraded cluster (failover window), a
+// Rereplicate of the victim, and probes again against the repaired world.
+// With dir == "" the nodes are memory-only (the dry run); otherwise each
+// node journals under dir/<id>, and the victim's filesystem is vfs.
+func (f *replicatedFixture) run(dir, victim string, vfs fsx.FS) (*replicatedRunResult, error) {
+	nodes := make(map[string]*cluster.Node, len(replicatedIDs))
+	addrs := make(map[string]string, len(replicatedIDs))
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, id := range replicatedIDs {
+		var nopts cluster.NodeOptions
+		if dir != "" {
+			nopts.Dir = filepath.Join(dir, id)
+			if id == victim {
+				nopts.FS = vfs
+			}
+		}
+		node, err := cluster.NewNode(id, f.cfg, nopts)
+		if err != nil {
+			if id == victim {
+				// Crashed before its storage opened: reserve a dead address so
+				// the coordinator sees connection-refused.
+				ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+				if lerr != nil {
+					return nil, lerr
+				}
+				addrs[id] = ln.Addr().String()
+				ln.Close()
+				continue
+			}
+			return nil, err
+		}
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		nodes[id] = node
+		addrs[id] = addr.String()
+	}
+
+	store, err := cluster.NewStore(cluster.Options{
+		Shard: f.cfg, Nodes: addrs, CallTimeout: 5 * time.Second,
+		Replicate: true,
+		Retry:     &resilience.RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+
+	res := &replicatedRunResult{}
+	for i, b := range f.batches {
+		store.Add(b)
+		if i == migrateAt {
+			if f.primary == "" {
+				// Dry run: discover the (tile, primary, follower, target) every
+				// crash point replays.
+				tile, ok := store.BusiestTile()
+				if !ok {
+					return nil, errors.New("no busiest tile")
+				}
+				assign := store.Assignment()
+				res.migTile = tile
+				res.primary = assign.Owner(tile)
+				res.follow = assign.Follower(tile)
+				for _, id := range replicatedIDs {
+					if id != res.primary && id != res.follow {
+						res.migTo = id
+					}
+				}
+				res.migErr = store.Migrate(tile, res.migTo)
+			} else {
+				res.migTile, res.primary, res.follow, res.migTo = f.migTile, f.primary, f.follow, f.migTo
+				res.migErr = store.Migrate(f.migTile, f.migTo)
+			}
+		}
+	}
+
+	// Failure-window probes: a query that succeeds — served by the primary
+	// or failed over to the follower — must match the reference bits.
+	// Errors are tolerated (a typed refusal is a correct answer); wrong
+	// bits are not.
+	res.preOK = true
+	for i, u := range f.probes {
+		feat, err := store.Features(u, f.fcfg)
+		if err != nil {
+			res.preErr = err
+			res.preOK = false
+			break
+		}
+		if !sameBits(feat, f.refFeat[i]) {
+			return nil, fmt.Errorf("failover probe %d diverged from reference bits", i)
+		}
+	}
+
+	// Background repair: re-replicate the victim's tiles onto survivors.
+	if victim != "" {
+		res.repairErr = store.Rereplicate(victim)
+	}
+
+	// Post-repair probes: survivors alone must serve reference bits.
+	res.postOK = true
+	for i, u := range f.probes {
+		feat, err := store.Features(u, f.fcfg)
+		if err != nil {
+			res.postErr = err
+			res.postOK = false
+			break
+		}
+		if !sameBits(feat, f.refFeat[i]) {
+			return nil, fmt.Errorf("post-repair probe %d diverged from reference bits", i)
+		}
+	}
+
+	st := store.Stats()
+	res.repairs = st.Repairs
+	res.replicaReads = st.ReplicaReads
+	res.epoch = st.Epoch
+	return res, nil
+}
+
+// recoverAndCheck restarts all three nodes from their surviving files,
+// fences a fresh replicated coordinator, replays the canonical log, and
+// asserts bit-identity plus epoch monotonicity.
+func (f *replicatedFixture) recoverAndCheck(dir string, crashed *replicatedRunResult) error {
+	nodes := make(map[string]*cluster.Node, len(replicatedIDs))
+	addrs := make(map[string]string, len(replicatedIDs))
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	var maxNodeEpoch uint64
+	for _, id := range replicatedIDs {
+		node, err := cluster.NewNode(id, f.cfg, cluster.NodeOptions{Dir: filepath.Join(dir, id)})
+		if err != nil {
+			return fmt.Errorf("restart node %s: %w", id, err)
+		}
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		nodes[id] = node
+		addrs[id] = addr.String()
+		if e := node.Epoch(); e > crashed.epoch {
+			return fmt.Errorf("node %s recovered epoch %d above the coordinator's last issued %d", id, e, crashed.epoch)
+		} else if e > maxNodeEpoch {
+			maxNodeEpoch = e
+		}
+	}
+
+	store, err := cluster.NewStore(cluster.Options{
+		Shard: f.cfg, Nodes: addrs, CallTimeout: 5 * time.Second,
+		Replicate: true,
+		Retry:     &resilience.RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	if e := store.Assignment().Epoch; e <= maxNodeEpoch {
+		return fmt.Errorf("new coordinator epoch %d does not fence above surviving node epoch %d", e, maxNodeEpoch)
+	}
+
+	for _, b := range f.batches {
+		store.Add(b)
+	}
+	for i, u := range f.probes {
+		feat, err := store.Features(u, f.fcfg)
+		if err != nil {
+			return fmt.Errorf("recovered probe %d: %w", i, err)
+		}
+		if !sameBits(feat, f.refFeat[i]) {
+			return fmt.Errorf("recovered probe %d diverged from reference bits", i)
+		}
+	}
+	return nil
+}
+
+// RunClusterReplicated explores kill-a-replica crash points: for the
+// busiest tile's primary and then its follower, it records every storage
+// mutation the victim performs during the fixed workload, then re-runs the
+// workload once per site with a crashing torn-write fault at that site and
+// drives failover, repair, and recovery through the invariants above.
+func RunClusterReplicated(opts ReplicatedOptions) (*ReplicatedReport, error) {
+	if opts.Records == 0 {
+		opts.Records = 200
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("chaos: ReplicatedOptions.Dir is required")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f, err := newReplicatedFixture(opts)
+	if err != nil {
+		return nil, err
+	}
+	logf("chaos: replicated workload: %d records in %d batches, tile %v primary %s follower %s migrating to %s",
+		opts.Records, len(f.batches), f.migTile, f.primary, f.follow, f.migTo)
+
+	rep := &ReplicatedReport{}
+	for _, victim := range []string{f.primary, f.follow} {
+		role := "primary"
+		if victim == f.follow {
+			role = "follower"
+		}
+		counter := faultfs.New(fsx.OS, faultfs.Options{})
+		countDir := filepath.Join(opts.Dir, "count-"+victim)
+		res, err := f.run(countDir, victim, counter)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: replicated counting pass (victim %s): %w", victim, err)
+		}
+		if res.migErr != nil {
+			return nil, fmt.Errorf("chaos: replicated counting-pass migration (victim %s): %w", victim, res.migErr)
+		}
+		plan := counter.Ops()
+		logf("chaos: victim %s (%s): %d mutation sites", victim, role, len(plan))
+
+		for site := 1; site <= len(plan); site++ {
+			dir := filepath.Join(opts.Dir, fmt.Sprintf("%s-site-%03d", victim, site))
+			vfs := faultfs.New(fsx.OS, faultfs.Options{
+				Seed:   opts.Seed ^ int64(site),
+				FailAt: site,
+				Mode:   faultfs.FaultTorn,
+				Crash:  true,
+			})
+			res, err := f.run(dir, victim, vfs)
+			if err != nil {
+				return rep, fmt.Errorf("chaos: replicated victim %s site %d (%s %s): %w",
+					victim, site, plan[site-1].Kind, filepath.Base(plan[site-1].Path), err)
+			}
+			if !vfs.Faulted() {
+				return rep, fmt.Errorf("chaos: replicated victim %s site %d: fault never fired", victim, site)
+			}
+			rep.Sites++
+			if res.migErr != nil {
+				rep.Aborted++
+			} else {
+				rep.Committed++
+			}
+			if res.preOK {
+				rep.FailoverMatches++
+			}
+			if res.postOK {
+				rep.RepairMatches++
+			}
+			rep.Repairs += res.repairs
+			rep.ReplicaReads += res.replicaReads
+			if err := f.recoverAndCheck(dir, res); err != nil {
+				return rep, fmt.Errorf("chaos: replicated victim %s site %d (%s %s, migration err %v): %w",
+					victim, site, plan[site-1].Kind, filepath.Base(plan[site-1].Path), res.migErr, err)
+			}
+		}
+	}
+	logf("chaos: explored %d replicated crash points: %d committed, %d aborted, %d failover matches, %d repair matches, %d replica reads",
+		rep.Sites, rep.Committed, rep.Aborted, rep.FailoverMatches, rep.RepairMatches, rep.ReplicaReads)
+	return rep, nil
+}

@@ -1,0 +1,69 @@
+package chaos
+
+import "testing"
+
+// TestReplicatedCrashPointExploration kills the busiest tile's primary,
+// then its follower, at every storage mutation the victim performs during
+// a replicated three-node workload with a mid-run migration, a failover
+// window, and a Rereplicate repair. RunClusterReplicated itself asserts
+// the invariants (failover and repaired answers bit-identical to the
+// single-process reference, recovery bit-identical, monotonic epochs); the
+// test asserts the exploration actually drove the replication machinery.
+func TestReplicatedCrashPointExploration(t *testing.T) {
+	rep, err := RunClusterReplicated(ReplicatedOptions{Seed: 11, Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites < 30 {
+		t.Fatalf("explored %d replicated crash points, want >= 30", rep.Sites)
+	}
+	if rep.Committed == 0 {
+		t.Fatal("no crash point left the migration committed")
+	}
+	if rep.Aborted == 0 {
+		t.Fatal("no crash point aborted the migration")
+	}
+	// A dead primary must not take the failure window down with it: the
+	// follower replica serves, and serves the right bits.
+	if rep.FailoverMatches == 0 {
+		t.Fatal("no crash point served matching probes during the failover window")
+	}
+	if rep.ReplicaReads == 0 {
+		t.Fatal("no query was ever served by a follower replica")
+	}
+	// The repair path must both run and leave a cluster that answers.
+	if rep.Repairs == 0 {
+		t.Fatal("no crash point completed a re-replication")
+	}
+	if rep.RepairMatches == 0 {
+		t.Fatal("no crash point served matching probes after repair")
+	}
+}
+
+// TestCoordinatorCrashPointExploration kills the coordinator's own WAL at
+// every mutation site it performs and drives a standby takeover over the
+// same directory. RunCoordinator itself asserts fail-closed ingestion,
+// acked-prefix bit-identity during the degraded window, WAL-only recovery
+// (only un-journaled tail batches are re-fed), and epoch fencing across
+// the takeover; the test asserts the exploration covered the interesting
+// regimes.
+func TestCoordinatorCrashPointExploration(t *testing.T) {
+	rep, err := RunCoordinator(CoordinatorOptions{Seed: 13, Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sites < 10 {
+		t.Fatalf("explored %d coordinator crash points, want >= 10", rep.Sites)
+	}
+	// Mid-ingest journal deaths must refuse batches (fail closed) at some
+	// sites, and bootstrap deaths must appear at the early sites.
+	if rep.FailedClosed == 0 {
+		t.Fatal("no crash point caused ingestion to fail closed")
+	}
+	if rep.BootstrapDeaths == 0 {
+		t.Fatal("no crash point killed the coordinator at bootstrap")
+	}
+	if rep.DegradedProbeMatches == 0 {
+		t.Fatal("no crash point served matching probes from the degraded coordinator")
+	}
+}

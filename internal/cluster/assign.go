@@ -49,6 +49,14 @@ type Assignment struct {
 	// Overrides pins specific tiles to a node regardless of the hash —
 	// the record of completed migrations.
 	Overrides map[[2]int]string
+	// Replicate turns on primary+follower placement: every tile gains a
+	// second replica on its Follower node, dual-written by the
+	// coordinator, and reads may fail over to it.
+	Replicate bool
+	// FollowerOverrides pins specific tiles' follower replicas to a node
+	// regardless of the hash — the record of re-replications after a node
+	// death or a migration that displaced the default follower.
+	FollowerOverrides map[[2]int]string
 }
 
 // Owner returns the node responsible for tile t, or "" when the
@@ -69,15 +77,48 @@ func (a Assignment) Owner(t [2]int) string {
 	return best
 }
 
+// Follower returns the node holding tile t's second replica, or "" when
+// replication is off or the assignment has fewer than two members. The
+// default follower is the highest-scoring member that is not the owner —
+// the same rendezvous hash every process computes, so the coordinator and
+// every node agree on the follower without coordination.
+func (a Assignment) Follower(t [2]int) string {
+	if !a.Replicate || len(a.Members) < 2 {
+		return ""
+	}
+	owner := a.Owner(t)
+	if id, ok := a.FollowerOverrides[t]; ok && id != owner {
+		return id
+	}
+	best, bestScore := "", uint64(0)
+	for _, id := range a.Members {
+		if id == owner {
+			continue
+		}
+		s := rendezvousScore(id, t)
+		if best == "" || s > bestScore || (s == bestScore && id > best) {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
 // Clone returns a deep copy safe to mutate into the next version.
 func (a Assignment) Clone() Assignment {
 	c := Assignment{
 		Epoch:     a.Epoch,
 		Members:   append([]string(nil), a.Members...),
 		Overrides: make(map[[2]int]string, len(a.Overrides)),
+		Replicate: a.Replicate,
 	}
 	for t, id := range a.Overrides {
 		c.Overrides[t] = id
+	}
+	if a.FollowerOverrides != nil {
+		c.FollowerOverrides = make(map[[2]int]string, len(a.FollowerOverrides))
+		for t, id := range a.FollowerOverrides {
+			c.FollowerOverrides[t] = id
+		}
 	}
 	return c
 }
@@ -97,6 +138,12 @@ func NewAssignment(members []string) (Assignment, error) {
 		}
 	}
 	return Assignment{Epoch: 1, Members: ms, Overrides: map[[2]int]string{}}, nil
+}
+
+// replicaOf reports whether id holds a replica (primary or follower) of
+// tile t under this assignment.
+func (a Assignment) replicaOf(t [2]int, id string) bool {
+	return a.Owner(t) == id || (a.Replicate && a.Follower(t) == id)
 }
 
 // hasMember reports whether id participates in the assignment.

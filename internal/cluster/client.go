@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"trajforge/internal/resilience"
 )
 
 // nodeClient is the coordinator's connection bundle for one node: an
@@ -15,6 +18,14 @@ type nodeClient struct {
 	id      string
 	addr    string
 	timeout time.Duration
+	// retry is the transient-transport-error policy (dial refused, EOF,
+	// reset). Every shard request is idempotent — adds and installs by the
+	// per-tile seq gate, assignment pushes and drops by epoch, reads by
+	// nature — so re-sending a request whose response was lost is safe.
+	retry resilience.RetryPolicy
+	// retried counts retried transport attempts, shared across the
+	// store's clients for /v1/stats.
+	retried *atomic.Uint64
 
 	// sendMu serializes the ingest stream; the conn below it is only
 	// touched with sendMu held.
@@ -49,8 +60,15 @@ func (nc *nodeClient) transportDeadline(deadline time.Time) time.Time {
 	return deadline
 }
 
-// call runs one request/response exchange on a pooled query connection.
+// call runs one request/response exchange on a pooled query connection,
+// retrying transient transport errors under the client's jittered policy.
 func (nc *nodeClient) call(msg any, deadline time.Time) (any, error) {
+	return nc.withRetry(deadline, func() (any, error) {
+		return nc.callOnce(msg, deadline)
+	})
+}
+
+func (nc *nodeClient) callOnce(msg any, deadline time.Time) (any, error) {
 	conn, err := nc.acquire()
 	if err != nil {
 		return nil, err
@@ -67,6 +85,32 @@ func (nc *nodeClient) call(msg any, deadline time.Time) (any, error) {
 	}
 	nc.release(conn)
 	return resp, nil
+}
+
+// withRetry runs fn until it succeeds, the policy is exhausted, or the
+// caller's deadline passed. Only transport errors reach fn's error return
+// (typed refusals come back as responses), and every shard request is
+// idempotent, so a blind re-send after a node restart is safe — this is
+// what keeps a mid-batch node bounce invisible to upload clients.
+func (nc *nodeClient) withRetry(deadline time.Time, fn func() (any, error)) (any, error) {
+	r := resilience.NewRetrier(nc.retry)
+	for {
+		resp, err := fn()
+		if err == nil {
+			return resp, nil
+		}
+		d, ok := r.Next(0)
+		if !ok {
+			return nil, err
+		}
+		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+			return nil, err
+		}
+		if nc.retried != nil {
+			nc.retried.Add(1)
+		}
+		time.Sleep(d)
+	}
 }
 
 func (nc *nodeClient) acquire() (net.Conn, error) {
@@ -92,8 +136,15 @@ func (nc *nodeClient) release(conn net.Conn) {
 	conn.Close()
 }
 
-// callLocked runs one exchange on the ingest conn. sendMu must be held.
+// callLocked runs one exchange on the ingest conn, retrying transient
+// transport errors (reconnecting between attempts). sendMu must be held.
 func (nc *nodeClient) callLocked(msg any, deadline time.Time) (any, error) {
+	return nc.withRetry(deadline, func() (any, error) {
+		return nc.callLockedOnce(msg, deadline)
+	})
+}
+
+func (nc *nodeClient) callLockedOnce(msg any, deadline time.Time) (any, error) {
 	if nc.ingest == nil {
 		conn, err := nc.dial()
 		if err != nil {

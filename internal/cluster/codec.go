@@ -70,6 +70,7 @@ const (
 	statusNotOwner   byte = 2 // tile not assigned to this node at this epoch
 	statusFrozen     byte = 3 // tile is frozen for migration (writes rejected)
 	statusFailed     byte = 4 // node-side failure (message in Msg)
+	statusExpired    byte = 5 // request deadline already expired; refused unworked
 )
 
 // Typed decode failures, distinguishable with errors.Is.
@@ -195,6 +196,9 @@ type StatsResp struct {
 	WALFrames  uint64
 	WALBytes   int64
 	Generation uint64
+	// ExpiredRejects counts requests the node refused unworked because
+	// their wire deadline had already expired on arrival.
+	ExpiredRejects uint64
 }
 
 // reader is a bounds-checked cursor over one frame.
@@ -656,8 +660,71 @@ func decodeConfs(r *reader) ([]rssimap.PointConfidence, error) {
 
 // --- assignment ---
 
+// Assignment flag bits.
+const (
+	assignReplicate = 1 << 0
+	assignFlagsMask = assignReplicate
+)
+
+// appendOverrideMap encodes one tile→node map in strict tile order.
+func appendOverrideMap(buf []byte, m map[[2]int]string) ([]byte, error) {
+	if len(m) > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: %d overrides", ErrValue, len(m))
+	}
+	tiles := make([][2]int, 0, len(m))
+	for t := range m {
+		tiles = append(tiles, t)
+	}
+	sort.Slice(tiles, func(i, j int) bool { return tileLess(tiles[i], tiles[j]) })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tiles)))
+	var err error
+	for _, t := range tiles {
+		if buf, err = appendTile(buf, t); err != nil {
+			return nil, err
+		}
+		if buf, err = appendStr16(buf, m[t]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func decodeOverrideMap(r *reader) (map[[2]int]string, error) {
+	no, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	const overrideMinBytes = 8 + 2
+	if int64(no)*overrideMinBytes > int64(len(r.data)-r.off) {
+		return nil, fmt.Errorf("%w: claims %d overrides in %d payload bytes", ErrOversized, no, len(r.data)-r.off)
+	}
+	m := make(map[[2]int]string, no)
+	var prev [2]int
+	for i := 0; i < int(no); i++ {
+		t, err := r.tile()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && !tileLess(prev, t) {
+			return nil, fmt.Errorf("%w: overrides not in strict tile order (%v after %v)", ErrValue, t, prev)
+		}
+		prev = t
+		id, err := r.str16()
+		if err != nil {
+			return nil, err
+		}
+		m[t] = id
+	}
+	return m, nil
+}
+
 func appendAssignment(buf []byte, a Assignment) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint64(buf, a.Epoch)
+	var flags byte
+	if a.Replicate {
+		flags |= assignReplicate
+	}
+	buf = append(buf, flags)
 	if len(a.Members) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: %d members", ErrValue, len(a.Members))
 	}
@@ -670,29 +737,10 @@ func appendAssignment(buf []byte, a Assignment) ([]byte, error) {
 			return nil, err
 		}
 	}
-	if len(a.Overrides) > math.MaxUint32 {
-		return nil, fmt.Errorf("%w: %d overrides", ErrValue, len(a.Overrides))
+	if buf, err = appendOverrideMap(buf, a.Overrides); err != nil {
+		return nil, err
 	}
-	tiles := make([][2]int, 0, len(a.Overrides))
-	for t := range a.Overrides {
-		tiles = append(tiles, t)
-	}
-	sort.Slice(tiles, func(i, j int) bool {
-		if tiles[i][0] != tiles[j][0] {
-			return tiles[i][0] < tiles[j][0]
-		}
-		return tiles[i][1] < tiles[j][1]
-	})
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tiles)))
-	for _, t := range tiles {
-		if buf, err = appendTile(buf, t); err != nil {
-			return nil, err
-		}
-		if buf, err = appendStr16(buf, a.Overrides[t]); err != nil {
-			return nil, err
-		}
-	}
-	return buf, nil
+	return appendOverrideMap(buf, a.FollowerOverrides)
 }
 
 func decodeAssignment(r *reader) (Assignment, error) {
@@ -702,6 +750,14 @@ func decodeAssignment(r *reader) (Assignment, error) {
 		return a, err
 	}
 	a.Epoch = epoch
+	flags, err := r.u8()
+	if err != nil {
+		return a, err
+	}
+	if flags&^byte(assignFlagsMask) != 0 {
+		return a, fmt.Errorf("%w: unknown assignment flags %#x", ErrValue, flags)
+	}
+	a.Replicate = flags&assignReplicate != 0
 	nm, err := r.u16()
 	if err != nil {
 		return a, err
@@ -717,30 +773,11 @@ func decodeAssignment(r *reader) (Assignment, error) {
 		}
 		a.Members = append(a.Members, id)
 	}
-	no, err := r.u32()
-	if err != nil {
+	if a.Overrides, err = decodeOverrideMap(r); err != nil {
 		return a, err
 	}
-	const overrideMinBytes = 8 + 2
-	if int64(no)*overrideMinBytes > int64(len(r.data)-r.off) {
-		return a, fmt.Errorf("%w: claims %d overrides in %d payload bytes", ErrOversized, no, len(r.data)-r.off)
-	}
-	a.Overrides = make(map[[2]int]string, no)
-	var prev [2]int
-	for i := 0; i < int(no); i++ {
-		t, err := r.tile()
-		if err != nil {
-			return a, err
-		}
-		if i > 0 && !tileLess(prev, t) {
-			return a, fmt.Errorf("%w: overrides not in strict tile order (%v after %v)", ErrValue, t, prev)
-		}
-		prev = t
-		id, err := r.str16()
-		if err != nil {
-			return a, err
-		}
-		a.Overrides[t] = id
+	if a.FollowerOverrides, err = decodeOverrideMap(r); err != nil {
+		return a, err
 	}
 	return a, nil
 }
@@ -876,6 +913,7 @@ func EncodeFrame(msg any) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint64(buf, m.WALFrames)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.WALBytes))
 		buf = binary.LittleEndian.AppendUint64(buf, m.Generation)
+		buf = binary.LittleEndian.AppendUint64(buf, m.ExpiredRejects)
 		return finishFrame(buf)
 	default:
 		return nil, fmt.Errorf("%w: cannot encode %T", ErrKind, msg)
@@ -1123,6 +1161,9 @@ func DecodeFrame(data []byte) (any, error) {
 		}
 		m.WALBytes = int64(wb)
 		if m.Generation, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if m.ExpiredRejects, err = r.u64(); err != nil {
 			return nil, err
 		}
 		return m, r.done()

@@ -1,0 +1,149 @@
+// Coordinator lease: a single file naming the active coordinator and when
+// its claim expires. The lease is a LIVENESS device only — it keeps two
+// coordinators from duelling over the same nodes in the common case.
+// SAFETY never depends on it: a coordinator that comes up fences at an
+// epoch above every node's journaled epoch, so even if two coordinators
+// ever hold the lease at once (clock skew, a stalled renewer), the nodes
+// accept exactly one of them and answer the other with statusWrongEpoch.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"trajforge/internal/fsx"
+)
+
+// ErrLeaseHeld reports an acquire attempt while another holder's lease is
+// still live.
+var ErrLeaseHeld = errors.New("cluster: lease held")
+
+// ErrLeaseLost reports a renew or release by a process that no longer
+// holds the lease — the signal for a coordinator to stop driving nodes.
+var ErrLeaseLost = errors.New("cluster: lease lost")
+
+// Lease is a file-based coordinator lease on a shared directory.
+type Lease struct {
+	fs   fsx.FS
+	path string
+	id   string
+	ttl  time.Duration
+}
+
+// NewLease builds a lease handle for holder id at path. A nil fs uses the
+// real filesystem; ttl must be positive.
+func NewLease(fs fsx.FS, path, id string, ttl time.Duration) (*Lease, error) {
+	if id == "" {
+		return nil, errors.New("cluster: lease holder id must be non-empty")
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("cluster: lease ttl must be positive, got %v", ttl)
+	}
+	if fs == nil {
+		fs = fsx.OS
+	}
+	return &Lease{fs: fs, path: path, id: id, ttl: ttl}, nil
+}
+
+// Holder reads the current lease: who holds it and whether the claim is
+// still live at now. A missing or malformed file reads as unheld — a torn
+// write loses at most one renewal, never grants two holders.
+func (l *Lease) Holder(now time.Time) (holder string, live bool, err error) {
+	data, err := l.fs.ReadFile(l.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return "", false, nil
+		}
+		return "", false, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		return "", false, nil
+	}
+	expiry, err := strconv.ParseInt(strings.TrimSpace(lines[1]), 10, 64)
+	if err != nil {
+		return "", false, nil
+	}
+	holder = strings.TrimSpace(lines[0])
+	return holder, holder != "" && now.UnixMilli() < expiry, nil
+}
+
+// Acquire takes the lease when it is unheld, expired, or already ours,
+// stamping expiry = now + ttl. Returns ErrLeaseHeld while another holder's
+// claim is live.
+func (l *Lease) Acquire(now time.Time) error {
+	holder, live, err := l.Holder(now)
+	if err != nil {
+		return err
+	}
+	if live && holder != l.id {
+		return fmt.Errorf("%w by %q", ErrLeaseHeld, holder)
+	}
+	return l.write(now)
+}
+
+// Renew extends a held lease. Returns ErrLeaseLost when the file names a
+// different live holder — the caller must stop acting as coordinator.
+func (l *Lease) Renew(now time.Time) error {
+	holder, live, err := l.Holder(now)
+	if err != nil {
+		return err
+	}
+	if live && holder != l.id {
+		return fmt.Errorf("%w: now held by %q", ErrLeaseLost, holder)
+	}
+	if !live && holder != l.id {
+		// Expired and someone else was the last holder: do not silently
+		// resurrect — re-acquire explicitly instead.
+		return fmt.Errorf("%w: expired, last holder %q", ErrLeaseLost, holder)
+	}
+	return l.write(now)
+}
+
+// Release gives the lease up immediately (expiry in the past) so a standby
+// can take over without waiting out the ttl. Only a current holder's
+// release writes; anyone else's is a no-op.
+func (l *Lease) Release(now time.Time) error {
+	holder, _, err := l.Holder(now)
+	if err != nil {
+		return err
+	}
+	if holder != l.id {
+		return nil
+	}
+	return l.writeExpiry(now.UnixMilli() - 1)
+}
+
+func (l *Lease) write(now time.Time) error {
+	return l.writeExpiry(now.Add(l.ttl).UnixMilli())
+}
+
+// writeExpiry atomically replaces the lease file (tmp + rename + dir sync)
+// so readers see either the old claim or the new one, never a torn write.
+func (l *Lease) writeExpiry(expiryMilli int64) error {
+	tmp := l.path + ".tmp"
+	f, err := l.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%s\n%d\n", l.id, expiryMilli); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	return l.fs.SyncDir(filepath.Dir(l.path))
+}

@@ -46,6 +46,10 @@ func (s *Store) Migrate(tile [2]int, to string) error {
 		s.mu.Unlock()
 		return ErrMigrationInFlight
 	}
+	if s.repairing.Load() {
+		s.mu.Unlock()
+		return ErrRepairInFlight
+	}
 	from := s.assign.Owner(tile)
 	epoch := s.assign.Epoch
 	if from == to {
@@ -105,58 +109,119 @@ func (s *Store) runMigration(tile [2]int, from, to string, epoch uint64) error {
 	handoff = s.topUpHandoff(tile, handoff)
 
 	// Install on the new owner in bounded chunks.
-	toNC.sendMu.Lock()
+	if err := s.installHandoff(toNC, epoch, handoff); err != nil {
+		return fmt.Errorf("cluster: migrate %v: install on %s: %w", tile, to, err)
+	}
+
+	// With replication on, the post-commit follower may be a node holding
+	// nothing for this tile (the move displaces the rendezvous follower).
+	// Install the same handoff there ahead of the commit — same seqs, so
+	// the install is idempotent and either replica serves identical bits
+	// from the first post-commit query. An old owner staying on as follower
+	// needs nothing: it already holds everything up to the freeze. Follower
+	// install failure is survivable (Resync heals it) and must not abort an
+	// otherwise-complete handoff.
+	s.mu.RLock()
+	prospective := migratedAssign(s.assign, tile, to)
+	oldFollower := s.assign.Follower(tile)
+	s.mu.RUnlock()
+	if nf := prospective.Follower(tile); nf != "" && nf != to && nf != from {
+		if fnc := s.nodes[nf]; fnc != nil {
+			if err := s.installHandoff(fnc, epoch, handoff); err != nil {
+				fnc.markUnsynced(fmt.Errorf("cluster: migrate %v: follower install on %s: %w", tile, nf, err))
+			}
+		}
+	}
+
+	// Commit: epoch bump + override + buffered-write re-route, atomically
+	// under the coordinator lock, journaled before any node hears of it.
+	s.mu.Lock()
+	next := migratedAssign(s.assign, tile, to)
+	s.assign = next
+	s.journalAssignLocked(next)
+	mig := s.migrating[tile]
+	delete(s.migrating, tile)
+	var flushTargets []*nodeClient
+	if mig != nil && len(mig.buffer) > 0 {
+		toNC.enqueue(&AddReq{Epoch: next.Epoch, Entries: mig.buffer})
+		flushTargets = append(flushTargets, toNC)
+		if nf := next.Follower(tile); nf != "" && nf != to {
+			if fnc := s.nodes[nf]; fnc != nil {
+				fnc.enqueue(&AddReq{Epoch: next.Epoch, Entries: mig.buffer})
+				flushTargets = append(flushTargets, fnc)
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.migrations.Add(1)
+
+	// Publish the new world, retire copies on nodes that no longer hold a
+	// replica, deliver buffered writes.
+	s.pushAssignment()
+	for _, id := range []string{from, oldFollower} {
+		if id == "" || next.replicaOf(tile, id) {
+			continue
+		}
+		nc := s.nodes[id]
+		if nc == nil {
+			continue
+		}
+		nc.sendMu.Lock()
+		ack, err := nc.ackCallLocked(&DropReq{Epoch: next.Epoch, Tile: tile})
+		nc.sendMu.Unlock()
+		if err != nil {
+			nc.markUnsynced(err)
+		} else if ack.Status != statusOK {
+			nc.markUnsynced(fmt.Errorf("cluster: drop %v on %s: status %d %s", tile, id, ack.Status, ack.Msg))
+		}
+	}
+	for _, nc := range flushTargets {
+		if err := nc.flush(s); err != nil {
+			nc.markUnsynced(err)
+		}
+	}
+	return nil
+}
+
+// installHandoff ships a tile's entry log to one node in bounded chunks
+// under kindInstall. A crash mid-install leaves a clean prefix; the
+// per-tile sequence gate makes a retried install idempotent.
+func (s *Store) installHandoff(nc *nodeClient, epoch uint64, handoff []Entry) error {
+	nc.sendMu.Lock()
+	defer nc.sendMu.Unlock()
 	for off := 0; off < len(handoff); off += addChunk {
 		end := off + addChunk
 		if end > len(handoff) {
 			end = len(handoff)
 		}
-		ack, err := toNC.ackCallLocked(&InstallReq{Epoch: epoch, Entries: handoff[off:end]})
+		ack, err := nc.ackCallLocked(&InstallReq{Epoch: epoch, Entries: handoff[off:end]})
 		if err != nil {
-			toNC.sendMu.Unlock()
-			toNC.markUnsynced(err)
-			return fmt.Errorf("cluster: migrate %v: install on %s: %w", tile, to, err)
+			nc.markUnsynced(err)
+			return err
 		}
 		if ack.Status != statusOK {
-			toNC.sendMu.Unlock()
-			return fmt.Errorf("cluster: migrate %v: install on %s: status %d %s", tile, to, ack.Status, ack.Msg)
+			return fmt.Errorf("status %d %s", ack.Status, ack.Msg)
 		}
 	}
-	toNC.sendMu.Unlock()
+	return nil
+}
 
-	// Commit: epoch bump + override + buffered-write re-route, atomically
-	// under the coordinator lock.
-	s.mu.Lock()
-	next := s.assign.Clone()
+// migratedAssign computes the assignment after committing a migration of
+// tile to `to`: epoch bump, ownership override (trimmed when rendezvous
+// already agrees), and follower-override cleanup so a pinned follower can
+// never alias the new owner.
+func migratedAssign(a Assignment, tile [2]int, to string) Assignment {
+	next := a.Clone()
 	next.Epoch++
 	next.Overrides[tile] = to
 	if ownerWithout(next, tile) == to {
 		// The override is redundant under rendezvous; keep the map minimal.
 		delete(next.Overrides, tile)
 	}
-	s.assign = next
-	mig := s.migrating[tile]
-	delete(s.migrating, tile)
-	if mig != nil && len(mig.buffer) > 0 {
-		toNC.enqueue(&AddReq{Epoch: next.Epoch, Entries: mig.buffer})
+	if next.FollowerOverrides[tile] == to {
+		delete(next.FollowerOverrides, tile)
 	}
-	s.mu.Unlock()
-	s.migrations.Add(1)
-
-	// Publish the new world, retire the old copy, deliver buffered writes.
-	s.pushAssignment()
-	fromNC.sendMu.Lock()
-	ack, err = fromNC.ackCallLocked(&DropReq{Epoch: next.Epoch, Tile: tile})
-	fromNC.sendMu.Unlock()
-	if err != nil {
-		fromNC.markUnsynced(err)
-	} else if ack.Status != statusOK {
-		fromNC.markUnsynced(fmt.Errorf("cluster: drop %v on %s: status %d %s", tile, from, ack.Status, ack.Msg))
-	}
-	if err := toNC.flush(s); err != nil {
-		toNC.markUnsynced(err)
-	}
-	return nil
+	return next
 }
 
 // ownerWithout computes the rendezvous owner of tile ignoring overrides.
@@ -199,16 +264,26 @@ func (s *Store) abortMigration(tile [2]int) {
 	next := s.assign.Clone()
 	next.Epoch++
 	s.assign = next
+	s.journalAssignLocked(next)
 	owner := next.Owner(tile)
-	nc := s.nodes[owner]
-	if mig != nil && len(mig.buffer) > 0 && nc != nil {
-		nc.enqueue(&AddReq{Epoch: next.Epoch, Entries: mig.buffer})
+	var targets []*nodeClient
+	if mig != nil && len(mig.buffer) > 0 {
+		if nc := s.nodes[owner]; nc != nil {
+			nc.enqueue(&AddReq{Epoch: next.Epoch, Entries: mig.buffer})
+			targets = append(targets, nc)
+		}
+		if f := next.Follower(tile); f != "" && f != owner {
+			if nc := s.nodes[f]; nc != nil {
+				nc.enqueue(&AddReq{Epoch: next.Epoch, Entries: mig.buffer})
+				targets = append(targets, nc)
+			}
+		}
 	}
 	s.mu.Unlock()
 	s.aborted.Add(1)
 
 	s.pushAssignment()
-	if nc != nil {
+	for _, nc := range targets {
 		if err := nc.flush(s); err != nil {
 			nc.markUnsynced(err)
 		}

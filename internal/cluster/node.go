@@ -88,6 +88,7 @@ type Node struct {
 	adds     uint64
 	confs    uint64
 	installs uint64
+	expired  uint64
 }
 
 // NewNode opens (or recovers) a shard node. With a Dir, state is loaded
@@ -449,35 +450,80 @@ func (n *Node) serveConn(conn net.Conn) {
 // dispatch handles one request, returning the response and the absolute
 // deadline for writing it (derived from the request's remaining-time
 // field, so a forward whose originating client gave up cannot hold a
-// node connection).
+// node connection). Requests whose wire deadline carries the expired
+// sentinel are refused unworked with statusExpired: the sender's own
+// clock said the originating client already gave up, and the relative
+// encoding means receiver clock skew cannot fake (or mask) that.
 func (n *Node) dispatch(msg any) (any, time.Time) {
 	now := time.Now()
 	switch m := msg.(type) {
 	case *Hello:
-		return n.handleHello(), wireDeadline(m.Deadline, now, transportIdle)
+		return n.guard(m.Deadline, func() any { return n.handleHello() }), wireDeadline(m.Deadline, now, transportIdle)
 	case *AddReq:
-		return n.handleAdd(m, false), wireDeadline(m.Deadline, now, transportIdle)
+		return n.guard(m.Deadline, func() any { return n.handleAdd(m, false) }), wireDeadline(m.Deadline, now, transportIdle)
 	case *InstallReq:
-		return n.handleAdd((*AddReq)(m), true), wireDeadline(m.Deadline, now, transportIdle)
+		return n.guard(m.Deadline, func() any { return n.handleAdd((*AddReq)(m), true) }), wireDeadline(m.Deadline, now, transportIdle)
 	case *ConfReq:
+		if m.Deadline == deadlineExpiredMs {
+			return n.refuseExpired(&ConfResp{}), wireDeadline(m.Deadline, now, transportIdle)
+		}
 		return n.handleConf(m), wireDeadline(m.Deadline, now, transportIdle)
 	case *FreezeReq:
-		return n.handleFreeze(m), wireDeadline(m.Deadline, now, transportIdle)
+		return n.guard(m.Deadline, func() any { return n.handleFreeze(m) }), wireDeadline(m.Deadline, now, transportIdle)
 	case *FetchTileReq:
+		if m.Deadline == deadlineExpiredMs {
+			return n.refuseExpired(&TileState{}), wireDeadline(m.Deadline, now, transportIdle)
+		}
 		return n.handleFetch(m), wireDeadline(m.Deadline, now, transportIdle)
 	case *DropReq:
-		return n.handleDrop(m), wireDeadline(m.Deadline, now, transportIdle)
+		return n.guard(m.Deadline, func() any { return n.handleDrop(m) }), wireDeadline(m.Deadline, now, transportIdle)
 	case *AssignReq:
-		return n.handleAssign(m), wireDeadline(m.Deadline, now, transportIdle)
+		return n.guard(m.Deadline, func() any { return n.handleAssign(m) }), wireDeadline(m.Deadline, now, transportIdle)
 	case *SeqsReq:
+		if m.Deadline == deadlineExpiredMs {
+			return n.refuseExpired(&SeqsResp{}), wireDeadline(m.Deadline, now, transportIdle)
+		}
 		return n.handleSeqs(), wireDeadline(m.Deadline, now, transportIdle)
 	case *StatsReq:
+		// Stats are cheap and operators want them even from skewed or
+		// overloaded callers; never refuse them.
 		return n.handleStats(), wireDeadline(m.Deadline, now, transportIdle)
 	default:
 		// Protocol violation (a response kind on the request stream):
 		// drop the connection.
 		return nil, time.Time{}
 	}
+}
+
+// guard refuses Ack-answered requests whose deadline already expired.
+func (n *Node) guard(deadline uint32, handle func() any) any {
+	if deadline == deadlineExpiredMs {
+		return n.refuseExpired(&Ack{})
+	}
+	return handle()
+}
+
+// refuseExpired stamps resp (a zero-valued typed response) with the
+// statusExpired refusal and counts it.
+func (n *Node) refuseExpired(resp any) any {
+	n.mu.RLock()
+	epoch := n.epoch
+	n.mu.RUnlock()
+	n.statMu.Lock()
+	n.expired++
+	n.statMu.Unlock()
+	const msg = "deadline expired before dispatch"
+	switch m := resp.(type) {
+	case *Ack:
+		m.Status, m.Epoch, m.Msg = statusExpired, epoch, msg
+	case *ConfResp:
+		m.Status, m.Epoch, m.Msg = statusExpired, epoch, msg
+	case *TileState:
+		m.Status, m.Epoch, m.Msg = statusExpired, epoch, msg
+	case *SeqsResp:
+		m.Status, m.Epoch, m.Msg = statusExpired, epoch, msg
+	}
+	return resp
 }
 
 func (n *Node) handleHello() *Ack {
@@ -528,8 +574,11 @@ func (n *Node) handleAdd(m *AddReq, install bool) *Ack {
 }
 
 // handleConf answers a point-confidence query. Queries fence hard: exact
-// epoch match and current ownership, so during a migration's ownership
-// flip no two nodes will both answer for the tile.
+// epoch match and a current replica claim — the primary, or (under a
+// replicated assignment) the follower, whose tile copy is built from the
+// same seq-gated entries in the same canonical order and is therefore
+// bit-identical. During a migration's ownership flip no node outside the
+// replica set at the current epoch will answer for the tile.
 func (n *Node) handleConf(m *ConfReq) *ConfResp {
 	n.mu.RLock()
 	if n.dead != nil {
@@ -542,8 +591,9 @@ func (n *Node) handleConf(m *ConfReq) *ConfResp {
 		n.mu.RUnlock()
 		return resp
 	}
-	if owner := n.assign.Owner(m.Tile); owner != n.id {
-		resp := &ConfResp{Status: statusNotOwner, Epoch: n.epoch, Msg: fmt.Sprintf("tile %v owned by %q", m.Tile, owner)}
+	if !n.assign.replicaOf(m.Tile, n.id) {
+		resp := &ConfResp{Status: statusNotOwner, Epoch: n.epoch,
+			Msg: fmt.Sprintf("tile %v owned by %q", m.Tile, n.assign.Owner(m.Tile))}
 		n.mu.RUnlock()
 		return resp
 	}
@@ -682,5 +732,8 @@ func (n *Node) handleStats() *StatsResp {
 		resp.WALFrames, resp.WALBytes = n.log.Stats()
 		resp.Generation = n.log.Generation()
 	}
+	n.statMu.Lock()
+	resp.ExpiredRejects = n.expired
+	n.statMu.Unlock()
 	return resp
 }

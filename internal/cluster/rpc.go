@@ -44,16 +44,24 @@ func readMsg(conn net.Conn, deadline time.Time) (any, error) {
 	return DecodeFrame(frame)
 }
 
+// deadlineExpiredMs is the wire sentinel for "the deadline had already
+// passed when the sender stamped this request". The field is otherwise
+// relative (milliseconds remaining), so it is immune to clock skew between
+// sender and receiver — only the sender's own clock decides expiry, and
+// the receiver refuses the request unworked on seeing the sentinel.
+const deadlineExpiredMs = ^uint32(0)
+
 // deadlineMs converts an absolute deadline to the wire's "milliseconds
-// remaining" field: 0 means none, expired deadlines round up to 1 so the
-// receiver still sees a bound.
+// remaining" field: 0 means none, already-expired deadlines become the
+// deadlineExpiredMs sentinel so the receiver can refuse without guessing
+// at the sender's clock.
 func deadlineMs(deadline time.Time, now time.Time) uint32 {
 	if deadline.IsZero() {
 		return 0
 	}
 	left := deadline.Sub(now)
 	if left <= 0 {
-		return 1
+		return deadlineExpiredMs
 	}
 	ms := (left + time.Millisecond - 1) / time.Millisecond
 	if ms > 1<<31 {
@@ -64,10 +72,15 @@ func deadlineMs(deadline time.Time, now time.Time) uint32 {
 
 // wireDeadline converts a wire deadline field back to an absolute time for
 // conn deadlines; zero (no deadline) maps to a generous transport bound so
-// a dead peer cannot wedge a connection forever.
+// a dead peer cannot wedge a connection forever, and the expired sentinel
+// maps to a minimal bound (the handler refuses such requests anyway, but
+// the response still needs a write deadline).
 func wireDeadline(ms uint32, now time.Time, fallback time.Duration) time.Time {
-	if ms == 0 {
+	switch ms {
+	case 0:
 		return now.Add(fallback)
+	case deadlineExpiredMs:
+		return now.Add(time.Second)
 	}
 	return now.Add(time.Duration(ms) * time.Millisecond)
 }

@@ -18,10 +18,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trajforge/internal/fsx"
 	"trajforge/internal/geo"
 	"trajforge/internal/parallel"
+	"trajforge/internal/resilience"
 	"trajforge/internal/rssimap"
 	"trajforge/internal/shardstore"
+	"trajforge/internal/wal"
 	"trajforge/internal/wifi"
 )
 
@@ -33,9 +36,35 @@ type Options struct {
 	Nodes map[string]string
 	// CallTimeout bounds RPCs that carry no request deadline.
 	CallTimeout time.Duration
+	// Replicate turns on primary+follower tile placement: ingest batches
+	// dual-write to both replicas and reads fail over to the follower
+	// when the primary is unreachable.
+	Replicate bool
+	// Dir is the coordinator's durability directory: the canonical record
+	// log and every assignment epoch spill to a WAL + snapshot lineage
+	// there, so a coordinator restart recovers from disk instead of
+	// needing the seed corpus re-fed. Empty runs memory-only.
+	Dir string
+	// FS is the filesystem seam for Dir; nil means the real one.
+	FS fsx.FS
+	// SyncInterval is the coordinator WAL's group-commit interval; zero
+	// fsyncs inline on every append.
+	SyncInterval time.Duration
+	// Retry overrides the transient-transport-error retry policy for
+	// coordinator→node RPCs; nil uses defaultShardRetry. A MaxAttempts<=1
+	// policy disables retries (what the chaos explorers use to keep
+	// crash-point runs fast and deterministic).
+	Retry *resilience.RetryPolicy
 }
 
 const defaultCallTimeout = 10 * time.Second
+
+// defaultShardRetry keeps a node bounce invisible without stalling the
+// query path for seconds: up to 3 tries with 25–250ms decorrelated jitter
+// and at most one second of sleeping per call.
+func defaultShardRetry() resilience.RetryPolicy {
+	return resilience.RetryPolicy{MaxAttempts: 3, Base: 25 * time.Millisecond, Max: 250 * time.Millisecond, Budget: time.Second}
+}
 
 // addChunk bounds entries per ingest/install frame, so a migration crash
 // leaves a clean prefix and retries stay idempotent via the seq gate.
@@ -53,6 +82,7 @@ type migration struct {
 type Store struct {
 	cfg  shardstore.Config
 	opts Options
+	fs   fsx.FS
 
 	mu        sync.RWMutex
 	log       []rssimap.Record
@@ -60,13 +90,21 @@ type Store struct {
 	assign    Assignment
 	migrating map[[2]int]*migration
 	nodes     map[string]*nodeClient
+	wlog      *wal.Log // canonical-log + assignment journal (nil = memory-only)
+	walErr    error    // first fatal journal failure; Add fails closed after
 
-	forwards   atomic.Uint64 // confidence RPCs sent to nodes
-	halo       atomic.Uint64 // halo (non-owner-tile) entries fanned out
-	localHits  atomic.Uint64 // empty-tile queries answered locally
-	migrations atomic.Uint64 // committed migrations
-	aborted    atomic.Uint64 // aborted migrations
-	resyncs    atomic.Uint64 // completed node resyncs
+	forwards     atomic.Uint64 // confidence RPCs sent to nodes
+	halo         atomic.Uint64 // halo (non-owner-tile) entries fanned out
+	localHits    atomic.Uint64 // empty-tile queries answered locally
+	migrations   atomic.Uint64 // committed migrations
+	aborted      atomic.Uint64 // aborted migrations
+	resyncs      atomic.Uint64 // completed node resyncs
+	replicaReads atomic.Uint64 // queries answered by a follower replica
+	retried      atomic.Uint64 // retried node RPC transport attempts
+	repairs      atomic.Uint64 // completed re-replications (dead-node repairs)
+	rebalances   atomic.Uint64 // completed automatic rebalances
+	expired      atomic.Uint64 // forwards refused because the deadline had expired
+	repairing    atomic.Bool   // a re-replication is in flight
 }
 
 var _ rssimap.Backend = (*Store)(nil)
@@ -74,8 +112,14 @@ var _ rssimap.ContextBackend = (*Store)(nil)
 
 // NewStore connects a coordinator to its nodes and installs the first
 // assignment. Nodes that are unreachable start unsynced and heal through
-// Resync; an epoch above every node's journaled epoch fences off any
+// Resync; an epoch above every node's journaled epoch — and above the
+// coordinator's own journaled epoch, when durable — fences off any
 // previous coordinator incarnation.
+//
+// With Options.Dir, the canonical record log and the assignment recover
+// from the coordinator's own WAL/snapshot lineage, and every reachable
+// node is resynced from the recovered log at startup: restart needs zero
+// seed-corpus replay.
 func NewStore(opts Options) (*Store, error) {
 	if err := opts.Shard.Validate(); err != nil {
 		return nil, err
@@ -86,6 +130,10 @@ func NewStore(opts Options) (*Store, error) {
 	if opts.CallTimeout <= 0 {
 		opts.CallTimeout = defaultCallTimeout
 	}
+	retry := defaultShardRetry()
+	if opts.Retry != nil {
+		retry = *opts.Retry
+	}
 	members := make([]string, 0, len(opts.Nodes))
 	for id := range opts.Nodes {
 		members = append(members, id)
@@ -94,6 +142,7 @@ func NewStore(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	assign.Replicate = opts.Replicate && len(members) > 1
 	s := &Store{
 		cfg:       opts.Shard,
 		opts:      opts,
@@ -102,11 +151,27 @@ func NewStore(opts Options) (*Store, error) {
 		nodes:     make(map[string]*nodeClient, len(opts.Nodes)),
 	}
 	for id, addr := range opts.Nodes {
-		s.nodes[id] = &nodeClient{id: id, addr: addr, timeout: opts.CallTimeout}
+		s.nodes[id] = &nodeClient{id: id, addr: addr, timeout: opts.CallTimeout, retry: retry, retried: &s.retried}
 	}
+
+	// Durable coordinators recover the canonical log and the last
+	// journaled assignment (epoch, overrides, follower placements) from
+	// their own WAL lineage before talking to any node.
+	recoveredAssign, err := s.openDurability()
+	if err != nil {
+		return nil, err
+	}
+	if recoveredAssign != nil {
+		assign = s.reconcileAssignment(assign, *recoveredAssign)
+	}
+
 	// Probe every node: the new epoch must exceed whatever any node
-	// journaled under a previous coordinator.
-	var maxEpoch uint64
+	// journaled under a previous coordinator — and whatever this
+	// coordinator's own WAL journaled before it last stopped.
+	maxEpoch := assign.Epoch - 1
+	if recoveredAssign != nil && recoveredAssign.Epoch > maxEpoch {
+		maxEpoch = recoveredAssign.Epoch
+	}
 	for _, nc := range s.sortedNodes() {
 		ack, err := nc.call(&Hello{NodeID: nc.id}, time.Time{})
 		if err != nil {
@@ -118,9 +183,47 @@ func NewStore(opts Options) (*Store, error) {
 		}
 	}
 	assign.Epoch = maxEpoch + 1
+	s.mu.Lock()
 	s.assign = assign
+	s.journalAssignLocked(assign)
+	s.mu.Unlock()
 	s.pushAssignment()
+
+	// A recovered log is the source of truth: replay every node's missing
+	// tail from it now, so the cluster serves the acked world without the
+	// operator re-feeding anything. Failures leave the node unsynced — the
+	// query path and the repair loop heal it later.
+	if s.wlog != nil && s.Len() > 0 {
+		for _, nc := range s.sortedNodes() {
+			if err := s.Resync(nc.id); err != nil {
+				nc.markUnsynced(err)
+			}
+		}
+	}
 	return s, nil
+}
+
+// reconcileAssignment merges a journaled assignment into the fresh one
+// built from the configured member set: overrides survive only while
+// their target is still a member, and the journaled epoch becomes the
+// fencing floor.
+func (s *Store) reconcileAssignment(fresh, recovered Assignment) Assignment {
+	out := fresh
+	out.Epoch = recovered.Epoch
+	for t, id := range recovered.Overrides {
+		if out.hasMember(id) {
+			out.Overrides[t] = id
+		}
+	}
+	for t, id := range recovered.FollowerOverrides {
+		if out.hasMember(id) {
+			if out.FollowerOverrides == nil {
+				out.FollowerOverrides = make(map[[2]int]string)
+			}
+			out.FollowerOverrides[t] = id
+		}
+	}
+	return out
 }
 
 // sortedNodes returns the node clients in id order (deterministic fan-out).
@@ -150,10 +253,14 @@ func (s *Store) pushAssignment() {
 	}
 }
 
-// Close drops every node connection. Node processes keep running.
+// Close drops every node connection and closes the coordinator WAL. Node
+// processes keep running.
 func (s *Store) Close() error {
 	for _, nc := range s.nodes {
 		nc.close()
+	}
+	if s.wlog != nil {
+		return s.wlog.Close()
 	}
 	return nil
 }
@@ -170,21 +277,33 @@ func cloneRecord(rec rssimap.Record) rssimap.Record {
 }
 
 // Add appends records to the canonical log and fans each out to the nodes
-// owning its tiles (owner + halo). Sequence numbers are the canonical log
+// holding its tiles (owner + halo; with replication on, the follower gets
+// the same entries — a dual-write with identical seqs, so either replica
+// serves bit-identical answers). Sequence numbers are the canonical log
 // positions, assigned under the lock together with the per-node outbox
 // order — so every node sees every tile's entries in canonical order, and
 // the per-tile replica a node builds is bit-identical to the shard the
-// single-process store would build. Wire errors mark the node unsynced
-// (the canonical log replays the tail later); Add itself never loses data.
+// single-process store would build. With durability on, the batch is
+// journaled to the coordinator WAL before any node sees it (a journal
+// failure fails the ingest closed — nothing is acked the coordinator's own
+// log did not capture). Wire errors mark the node unsynced (the canonical
+// log replays the tail later); Add itself never loses data.
 func (s *Store) Add(records []rssimap.Record) {
 	if len(records) == 0 {
 		return
 	}
+	recs := make([]rssimap.Record, len(records))
+	for i, in := range records {
+		recs[i] = cloneRecord(in)
+	}
 	s.mu.Lock()
+	if err := s.journalRecordsLocked(recs); err != nil {
+		s.mu.Unlock()
+		return
+	}
 	var tiles [][2]int
 	perNode := make(map[string][]Entry)
-	for _, in := range records {
-		rec := cloneRecord(in)
+	for _, rec := range recs {
 		idx := len(s.log)
 		s.log = append(s.log, rec)
 		seq := uint64(idx) + 1
@@ -194,12 +313,16 @@ func (s *Store) Add(records []rssimap.Record) {
 			if ti > 0 {
 				s.halo.Add(1)
 			}
+			e := Entry{Tile: t, Seq: seq, Rec: rec}
 			if mig := s.migrating[t]; mig != nil {
-				mig.buffer = append(mig.buffer, Entry{Tile: t, Seq: seq, Rec: rec})
+				mig.buffer = append(mig.buffer, e)
 				continue
 			}
 			owner := s.assign.Owner(t)
-			perNode[owner] = append(perNode[owner], Entry{Tile: t, Seq: seq, Rec: rec})
+			perNode[owner] = append(perNode[owner], e)
+			if f := s.assign.Follower(t); f != "" && f != owner {
+				perNode[f] = append(perNode[f], e)
+			}
 		}
 	}
 	epoch := s.assign.Epoch
@@ -247,73 +370,123 @@ func (s *Store) Records() []rssimap.Record {
 	return out
 }
 
-// queryTarget resolves the node answering for position o, or reports that
-// the owning tile is empty (answerable locally, bit-identical to a node
+// ErrExpired reports a shard request refused because its deadline had
+// already passed — at the coordinator before dispatch, or at the node on
+// arrival. A typed refusal, never a partial answer: callers treat it the
+// way they treat context.DeadlineExceeded.
+var ErrExpired = errors.New("cluster: deadline expired before dispatch")
+
+// queryTarget resolves the nodes answering for position o — the tile's
+// primary and (with replication on) its follower — or reports that the
+// owning tile is empty (answerable locally, bit-identical to a node
 // holding no records for it).
-func (s *Store) queryTarget(o geo.Point) (tile [2]int, nc *nodeClient, epoch uint64, empty bool) {
+func (s *Store) queryTarget(o geo.Point) (tile [2]int, primary, follower *nodeClient, epoch uint64, empty bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	tile = s.cfg.TileOf(o)
 	if len(s.tileIndex[tile]) == 0 {
-		return tile, nil, s.assign.Epoch, true
+		return tile, nil, nil, s.assign.Epoch, true
 	}
-	return tile, s.nodes[s.assign.Owner(tile)], s.assign.Epoch, false
+	owner := s.assign.Owner(tile)
+	primary = s.nodes[owner]
+	// A migrating tile has no settled follower replica: reads stay on the
+	// primary until commit.
+	if s.migrating[tile] == nil {
+		if f := s.assign.Follower(tile); f != "" && f != owner {
+			follower = s.nodes[f]
+		}
+	}
+	return tile, primary, follower, s.assign.Epoch, false
 }
 
-// forwardConfs runs one point-confidence query against the owning node,
-// retrying across epoch bumps (a migration can commit between resolving
-// the owner and the node answering) and healing unsynced nodes first.
+// forwardConfs runs one point-confidence query against the node owning the
+// tile, failing over to the follower replica when the primary is
+// unreachable (both replicas apply the same entries under the same seqs,
+// so either answer is bit-identical), retrying across epoch bumps (a
+// migration can commit between resolving the owner and the node
+// answering), and healing unsynced nodes first. A request whose deadline
+// already passed is refused with ErrExpired before any node sees it.
 func (s *Store) forwardConfs(ctx context.Context, o geo.Point, scan wifi.Scan, cfg rssimap.FeatureConfig) ([]rssimap.PointConfidence, error) {
 	var deadline time.Time
 	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			s.expired.Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrExpired, err)
+		}
 		if d, ok := ctx.Deadline(); ok {
 			deadline = d
 		}
 	}
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
-		tile, nc, epoch, empty := s.queryTarget(o)
+		tile, primary, follower, epoch, empty := s.queryTarget(o)
 		if empty {
 			s.localHits.Add(1)
 			return shardstore.EmptyConfidences(nil, scan, cfg), nil
 		}
-		if nc == nil {
+		if primary == nil {
 			return nil, fmt.Errorf("cluster: tile %v has no owner", tile)
 		}
-		if nc.isUnsynced() {
-			if err := s.Resync(nc.id); err != nil {
+		// Primary first; the follower is the fallback. When the primary is
+		// already known-bad and the follower is healthy, skip straight to
+		// the follower rather than stalling the query on a resync attempt.
+		order := []*nodeClient{primary}
+		if follower != nil {
+			if primary.isUnsynced() && !follower.isUnsynced() {
+				order = []*nodeClient{follower, primary}
+			} else {
+				order = append(order, follower)
+			}
+		}
+		retarget := false
+		for _, nc := range order {
+			if nc.isUnsynced() {
+				if err := s.Resync(nc.id); err != nil {
+					lastErr = err
+					continue
+				}
+			}
+			s.forwards.Add(1)
+			resp, err := nc.call(&ConfReq{
+				Deadline: deadlineMs(deadline, time.Now()),
+				Epoch:    epoch,
+				Tile:     tile,
+				Pos:      o,
+				Cfg:      cfg,
+				Scan:     scan,
+			}, deadline)
+			if err != nil {
+				nc.markUnsynced(err)
 				lastErr = err
 				continue
 			}
-		}
-		s.forwards.Add(1)
-		resp, err := nc.call(&ConfReq{
-			Deadline: deadlineMs(deadline, time.Now()),
-			Epoch:    epoch,
-			Tile:     tile,
-			Pos:      o,
-			Cfg:      cfg,
-			Scan:     scan,
-		}, deadline)
-		if err != nil {
-			nc.markUnsynced(err)
-			lastErr = err
-			continue
-		}
-		cr, ok := resp.(*ConfResp)
-		if !ok {
-			return nil, fmt.Errorf("%w: %T to a confidence query", ErrKind, resp)
-		}
-		switch cr.Status {
-		case statusOK:
-			return cr.Confs, nil
-		case statusWrongEpoch, statusNotOwner:
-			// The assignment moved under us (or the node is behind).
-			// Re-push and re-resolve.
-			s.pushAssignment()
-			lastErr = fmt.Errorf("cluster: node %s fenced query (status %d, node epoch %d)", nc.id, cr.Status, cr.Epoch)
-		default:
-			return nil, fmt.Errorf("cluster: node %s query failed: %s", nc.id, cr.Msg)
+			cr, ok := resp.(*ConfResp)
+			if !ok {
+				return nil, fmt.Errorf("%w: %T to a confidence query", ErrKind, resp)
+			}
+			switch cr.Status {
+			case statusOK:
+				if nc != primary {
+					s.replicaReads.Add(1)
+				}
+				return cr.Confs, nil
+			case statusExpired:
+				s.expired.Add(1)
+				return nil, fmt.Errorf("%w: node %s: %s", ErrExpired, nc.id, cr.Msg)
+			case statusWrongEpoch, statusNotOwner:
+				// The assignment moved under us (or the node is behind).
+				// Re-push and re-resolve.
+				s.pushAssignment()
+				lastErr = fmt.Errorf("cluster: node %s fenced query (status %d, node epoch %d)", nc.id, cr.Status, cr.Epoch)
+				retarget = true
+			default:
+				// statusFailed (dead storage) and the like: the replica may
+				// still answer.
+				lastErr = fmt.Errorf("cluster: node %s query failed: %s", nc.id, cr.Msg)
+			}
+			if retarget {
+				break
+			}
 		}
 	}
 	return nil, fmt.Errorf("cluster: confidence query exhausted retries: %w", lastErr)
@@ -428,10 +601,11 @@ func (s *Store) FeaturesBatch(uploads []*wifi.Upload, cfg rssimap.FeatureConfig)
 }
 
 // Resync replays onto one node everything the canonical log says it should
-// hold: push the current assignment, read the node's per-tile sequence
-// high-water marks, send every missing tail entry, and drop tiles the node
-// no longer owns. Idempotent (the seq gate skips what the node kept), and
-// the reason a node crash is never data loss.
+// hold — the tiles it owns plus, with replication on, the tiles it follows:
+// push the current assignment, read the node's per-tile sequence high-water
+// marks, send every missing tail entry, and drop tiles the node no longer
+// holds a replica of. Idempotent (the seq gate skips what the node kept),
+// and the reason a node crash is never data loss.
 func (s *Store) Resync(id string) error {
 	nc := s.nodes[id]
 	if nc == nil {
@@ -444,7 +618,7 @@ func (s *Store) Resync(id string) error {
 	assign := s.assign.Clone()
 	owned := make(map[[2]int][]int)
 	for t, idxs := range s.tileIndex {
-		if len(idxs) > 0 && assign.Owner(t) == id && s.migrating[t] == nil {
+		if len(idxs) > 0 && assign.replicaOf(t, id) && s.migrating[t] == nil {
 			owned[t] = idxs
 		}
 	}
@@ -537,10 +711,15 @@ func (s *Store) Resync(id string) error {
 // NodeStats is one node's view in the coordinator's stats.
 type NodeStats struct {
 	ID string `json:"id"`
-	// Tiles is the number of non-empty tiles the assignment maps here.
+	// Tiles is the number of non-empty tiles the assignment maps here as
+	// primary.
 	Tiles int `json:"tiles"`
-	// Entries is the number of (tile, record) replicas assigned here.
-	Entries int  `json:"entries"`
+	// FollowerTiles is the number of non-empty tiles this node follows
+	// (second replica); zero with replication off.
+	FollowerTiles int `json:"follower_tiles,omitempty"`
+	// Entries is the number of (tile, record) replicas assigned here as
+	// primary.
+	Entries  int  `json:"entries"`
 	Unsynced bool `json:"unsynced,omitempty"`
 }
 
@@ -556,6 +735,17 @@ type StoreStats struct {
 	AbortedMigrations uint64      `json:"aborted_migrations"`
 	Resyncs           uint64      `json:"resyncs"`
 	MigrationInFlight bool        `json:"migration_in_flight"`
+	Replicated        bool        `json:"replicated,omitempty"`
+	ReplicaReads      uint64      `json:"replica_reads,omitempty"`
+	RetriedCalls      uint64      `json:"retried_calls,omitempty"`
+	Repairs           uint64      `json:"repairs,omitempty"`
+	Rebalances        uint64      `json:"rebalances,omitempty"`
+	ExpiredRejects    uint64      `json:"expired_rejects,omitempty"`
+	Degraded          bool        `json:"degraded,omitempty"`
+	DegradedReason    string      `json:"degraded_reason,omitempty"`
+	WALFrames         uint64      `json:"wal_frames,omitempty"`
+	WALBytes          uint64      `json:"wal_bytes,omitempty"`
+	Generation        uint64      `json:"wal_generation,omitempty"`
 }
 
 // Stats returns a snapshot of cluster state from the coordinator's view —
@@ -566,6 +756,7 @@ func (s *Store) Stats() StoreStats {
 		Epoch:             s.assign.Epoch,
 		Records:           len(s.log),
 		MigrationInFlight: len(s.migrating) > 0,
+		Replicated:        s.assign.Replicate,
 	}
 	perNode := make(map[string]*NodeStats, len(s.nodes))
 	for _, id := range s.assign.Members {
@@ -575,10 +766,21 @@ func (s *Store) Stats() StoreStats {
 		if len(idxs) == 0 {
 			continue
 		}
-		if ns := perNode[s.assign.Owner(t)]; ns != nil {
+		owner := s.assign.Owner(t)
+		if ns := perNode[owner]; ns != nil {
 			ns.Tiles++
 			ns.Entries += len(idxs)
 		}
+		if f := s.assign.Follower(t); f != "" && f != owner {
+			if ns := perNode[f]; ns != nil {
+				ns.FollowerTiles++
+			}
+		}
+	}
+	if s.wlog != nil {
+		frames, bytes := s.wlog.Stats()
+		st.WALFrames, st.WALBytes = frames, uint64(bytes)
+		st.Generation = s.wlog.Generation()
 	}
 	s.mu.RUnlock()
 	ids := make([]string, 0, len(perNode))
@@ -599,7 +801,52 @@ func (s *Store) Stats() StoreStats {
 	st.Migrations = s.migrations.Load()
 	st.AbortedMigrations = s.aborted.Load()
 	st.Resyncs = s.resyncs.Load()
+	st.ReplicaReads = s.replicaReads.Load()
+	st.RetriedCalls = s.retried.Load()
+	st.Repairs = s.repairs.Load()
+	st.Rebalances = s.rebalances.Load()
+	st.ExpiredRejects = s.expired.Load()
+	st.Degraded, st.DegradedReason = s.HealthStatus()
 	return st
+}
+
+// HealthStatus reports whether the cluster is degraded — still serving,
+// but with reduced redundancy or durability — and why: the coordinator's
+// own journal failed, a migration or repair is mid-flight, or some
+// non-empty tile currently has no synced replica at all.
+func (s *Store) HealthStatus() (degraded bool, reason string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.walErr != nil {
+		return true, s.walErr.Error()
+	}
+	if s.repairing.Load() {
+		return true, "re-replication in flight"
+	}
+	if len(s.migrating) > 0 {
+		return true, "migration in flight"
+	}
+	for t, idxs := range s.tileIndex {
+		if len(idxs) == 0 {
+			continue
+		}
+		owner := s.assign.Owner(t)
+		live := false
+		if nc := s.nodes[owner]; nc != nil && !nc.isUnsynced() {
+			live = true
+		}
+		if !live {
+			if f := s.assign.Follower(t); f != "" && f != owner {
+				if nc := s.nodes[f]; nc != nil && !nc.isUnsynced() {
+					live = true
+				}
+			}
+		}
+		if !live {
+			return true, fmt.Sprintf("tile %v has no live replica", t)
+		}
+	}
+	return false, ""
 }
 
 // Assignment returns the current assignment (a copy).

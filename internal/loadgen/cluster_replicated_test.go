@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestClusterReplicatedScenario drives the replicated cluster scenario end
+// to end: follower replicas on every tile, the busiest tile's primary node
+// killed (and its tiles re-replicated) at the workload midpoint, and the
+// counters that land in BENCH_loadgen.json under "cluster_replicated".
+func TestClusterReplicatedScenario(t *testing.T) {
+	opts := ClusterOptions{Seed: 11, N: 60, Workers: 6, Points: 16, Hist: 40}
+	if !testing.Short() {
+		opts.N = 120
+	}
+	res, err := RunClusterReplicated(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline property: a node died mid-run and no client saw it.
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors despite replication: %+v", res.Errors, res)
+	}
+	if res.Accepted+res.Rejected != res.Uploads {
+		t.Fatalf("verdicts %d+%d != %d uploads", res.Accepted, res.Rejected, res.Uploads)
+	}
+	if res.Accepted == 0 || res.Rejected == 0 {
+		t.Fatalf("degenerate verdict mix: %+v", res)
+	}
+	if res.KilledNode == "" {
+		t.Fatal("no node was killed")
+	}
+	if res.Forwarded == 0 {
+		t.Fatal("no shard RPCs forwarded — backend was not the cluster")
+	}
+	if res.ForwardRatio <= 0 || res.ForwardRatio > 1 {
+		t.Fatalf("implausible forward ratio %v", res.ForwardRatio)
+	}
+	if res.ReplicaReads == 0 {
+		t.Fatal("no reads were served by follower replicas after the kill")
+	}
+	if res.ReplicaReadRatio <= 0 || res.ReplicaReadRatio > 1 {
+		t.Fatalf("implausible replica-read ratio %v", res.ReplicaReadRatio)
+	}
+	if res.Repairs == 0 {
+		t.Fatal("the killed node's tiles were never re-replicated")
+	}
+	if res.Epoch <= res.EpochBefore {
+		t.Fatalf("repair did not advance the epoch: %+v", res)
+	}
+	if res.ThroughputRPS <= 0 || res.P50Millis <= 0 ||
+		res.P95Millis < res.P50Millis || res.P99Millis < res.P95Millis {
+		t.Fatalf("implausible latency profile: %+v", res)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"throughput_rps", "forward_ratio", "replica_reads", "replica_read_ratio", "killed_node", "repairs", "p99_ms"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("result JSON missing %q: %s", key, blob)
+		}
+	}
+}

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"testing"
 
 	"trajforge/internal/cluster"
 	"trajforge/internal/detect"
+	"trajforge/internal/resilience"
 	"trajforge/internal/shardstore"
 	"trajforge/internal/stream"
 	"trajforge/internal/wifi"
@@ -159,5 +162,91 @@ func TestClusterBackendVerdictsBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	} else if lst.Cluster != nil {
 		t.Fatal("single-process service grew a cluster section")
+	}
+}
+
+// TestClusterHealthDegraded wires the distributed store's health into
+// /v1/health: a replicated cluster backend reports ok while every tile has
+// a live replica, and flips to 503 degraded — with a reason and a
+// Retry-After — once a tile loses all of them.
+func TestClusterHealthDegraded(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	recs := persistRecords(rng, 300)
+
+	single, err := shardstore.New(shardstore.DefaultConfig(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make(map[string]string, 2)
+	nodes := make(map[string]*cluster.Node, 2)
+	for i := 1; i <= 2; i++ {
+		id := fmt.Sprintf("n%d", i)
+		node, err := cluster.NewNode(id, shardstore.DefaultConfig(), cluster.NodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = node
+		addrs[id] = addr.String()
+	}
+	clusterStore, err := cluster.NewStore(cluster.Options{
+		Shard: shardstore.DefaultConfig(), Nodes: addrs, Replicate: true,
+		Retry: &resilience.RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		clusterStore.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	clusterStore.Add(recs)
+
+	det := trainTestDetector(t, single)
+	detCluster := &detect.WiFiDetector{Store: clusterStore, Model: det.Model, Features: det.Features}
+	_, ts, _ := newTestService(t, Config{Motion: &fixedMotion{prob: 0.9}, WiFi: detCluster})
+
+	fetchHealth := func() (int, Health, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h, resp.Header.Get("Retry-After")
+	}
+
+	if code, h, _ := fetchHealth(); code != http.StatusOK || h.Degraded || !h.Ready {
+		t.Fatalf("healthy replicated cluster: code %d, health %+v", code, h)
+	}
+
+	// Kill every node, then probe so the coordinator notices the deaths:
+	// with both replicas of every tile dark, readiness must drop.
+	for _, n := range nodes {
+		n.Close()
+	}
+	clusterStore.ConfidenceTol(recs[0].Pos, "02:4e:00:00:00:01", -50, 5, 2)
+
+	code, h, retryAfter := fetchHealth()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded cluster health = %d, want 503", code)
+	}
+	if !h.Degraded || h.Ready || h.Status != "degraded" {
+		t.Fatalf("degraded cluster health body = %+v", h)
+	}
+	if h.Reason == "" {
+		t.Fatal("degraded health carries no reason")
+	}
+	if retryAfter == "" {
+		t.Fatal("degraded health carries no Retry-After")
 	}
 }

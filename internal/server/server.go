@@ -602,10 +602,12 @@ func (s *Service) record(u *wifi.Upload, v Verdict) {
 }
 
 // Health is the /v1/health body. Live is true whenever the process
-// serves; Ready and Degraded track the persistence circuit breaker: an
-// open (or probing) breaker means acks would not survive a crash, so the
-// service reports degraded with a non-200 status and sheds uploads rather
-// than lie about durability.
+// serves; Ready and Degraded track the persistence circuit breaker and
+// the distributed store: an open (or probing) breaker means acks would
+// not survive a crash, and a cluster tile with no live replica (or a
+// migration/failover in flight) means answers could be partial — either
+// way the service reports degraded with a non-200 status and a reason
+// rather than lie about its guarantees.
 type Health struct {
 	Status   string `json:"status"` // "ok" or "degraded"
 	Live     bool   `json:"live"`
@@ -613,6 +615,8 @@ type Health struct {
 	Degraded bool   `json:"degraded"`
 	// Breaker is the persistence breaker state when one is armed.
 	Breaker string `json:"breaker,omitempty"`
+	// Reason says what is degraded when Degraded is set.
+	Reason string `json:"reason,omitempty"`
 }
 
 // Health reports the service's liveness/readiness/degradation state.
@@ -626,6 +630,19 @@ func (s *Service) Health() Health {
 			h.Status = "degraded"
 			h.Ready = false
 			h.Degraded = true
+			h.Reason = "persistence unavailable"
+		}
+	}
+	if s.cfg.WiFi != nil {
+		if cs, ok := s.cfg.WiFi.Store.(*cluster.Store); ok {
+			if deg, reason := cs.HealthStatus(); deg {
+				h.Status = "degraded"
+				h.Ready = false
+				h.Degraded = true
+				if h.Reason == "" {
+					h.Reason = reason
+				}
+			}
 		}
 	}
 	return h
@@ -658,7 +675,13 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := s.Health()
 	code := http.StatusOK
 	if h.Degraded {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Persist.retryAfter()))
+		// Cluster-only degradation has no breaker to consult; a flat 1s
+		// backoff keeps probes cheap while replicas heal.
+		retry := time.Second
+		if s.cfg.Persist != nil && s.cfg.Persist.degraded() {
+			retry = s.cfg.Persist.retryAfter()
+		}
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)
