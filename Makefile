@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: build test race vet lint bench bench-hot bench-store bench-kernel \
 	check fuzz-short chaos loadgen bench-loadgen loadgen-stream \
-	bench-openloop bench-openloop-short loadgen-openloop-race
+	bench-openloop bench-openloop-short loadgen-openloop-race bench-poison
 
 build:
 	$(GO) build ./...
@@ -64,7 +64,13 @@ fuzz-short:
 # every filesystem mutation site (or wedge the disk and watch the breaker
 # trip, degrade, and heal), recover, and check the durability invariants.
 chaos:
-	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestSessionCrashPointExploration|TestWedgeMidWorkload|TestClusterCrashPointExploration|TestReplicatedCrashPointExploration|TestCoordinatorCrashPointExploration'
+	$(GO) test ./internal/chaos/ -race -short -v -run 'TestCrashPointExploration|TestSessionCrashPointExploration|TestWedgeMidWorkload|TestClusterCrashPointExploration|TestReplicatedCrashPointExploration|TestCoordinatorCrashPointExploration|TestTrustCrashPointExploration'
+
+# Sybil store-poisoning experiment: the same seeded campaign against an
+# undefended server and the trust-weighted pipeline; writes
+# BENCH_poison.json with rounds-to-breach and the attack cost ratio.
+bench-poison:
+	$(GO) run ./cmd/experiments -run poison
 
 # Seeded load generator against a self-hosted provider; writes
 # BENCH_loadgen.json with throughput and latency percentiles (batch,

@@ -23,7 +23,8 @@ func main() {
 
 func run() int {
 	scaleName := flag.String("scale", "test", "experiment scale: test (minutes) or paper (tens of minutes)")
-	runList := flag.String("run", "all", "comma-separated experiments: table1,fig3,mind,table2,rcal,table3,fig4,fig5,fig6,table4,ablation,gru,devices or all (extensions gru/devices are not in all)")
+	runList := flag.String("run", "all", "comma-separated experiments: table1,fig3,mind,table2,rcal,table3,fig4,fig5,fig6,table4,ablation,gru,devices,poison or all (extensions gru/devices/poison are not in all)")
+	poisonOut := flag.String("poison-out", "BENCH_poison.json", "artifact path for the poison experiment result")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -249,6 +250,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Println(res.Render())
+		done()
+	}
+	if want["poison"] { // artifact-writing extension: explicit opt-in only
+		done := section("Extension: Sybil poisoning (undefended vs defended)")
+		res, err := experiments.Poison(experiments.PoisonOptions{})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(res.Render())
+		if err := res.WriteJSON(*poisonOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("   wrote %s\n", *poisonOut)
 		done()
 	}
 	if need("table4") {

@@ -60,6 +60,8 @@
 //	          [-coord-id ID] [-standby]
 //	          [-max-inflight N] [-queue-depth N] [-upload-timeout 10s]
 //	          [-max-sessions N] [-session-ttl 10m] [-session-window N]
+//	          [-trust] [-quarantine-k N] [-trust-floor F] [-trust-promote F]
+//	          [-trust-refresh N] [-drift-window N]
 package main
 
 import (
@@ -86,6 +88,7 @@ import (
 	"trajforge/internal/server"
 	"trajforge/internal/shardstore"
 	"trajforge/internal/stream"
+	"trajforge/internal/trust"
 )
 
 func main() {
@@ -129,6 +132,18 @@ func run(args []string) error {
 		"absolute streaming session lifetime")
 	sessionWindow := fs.Int("session-window", 16,
 		"sliding-window length (points) of the provisional streaming verdict")
+	trustOn := fs.Bool("trust", false,
+		"route accepted uploads through the poisoning-resistant trust pipeline")
+	quarantineK := fs.Int("quarantine-k", 3,
+		"distinct contributors required to promote a quarantined point (<=1 disables staging)")
+	trustFloor := fs.Float64("trust-floor", 0.05,
+		"minimum contributor trust weight in the store's density term")
+	trustPromote := fs.Float64("trust-promote", 0.8,
+		"trust weight above which a contributor's points skip quarantine")
+	trustRefresh := fs.Int("trust-refresh", 32,
+		"accepted uploads between pushes of the trust-weight table into the store")
+	driftWindow := fs.Int("drift-window", 64,
+		"records per tile between drift-alarm histogram rotations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -315,16 +330,28 @@ func run(args []string) error {
 		replay.AddHistory(u.Traj)
 	}
 
+	var trustCfg *trust.Config
+	if *trustOn {
+		tc := trust.DefaultConfig()
+		tc.Quarantine.K = *quarantineK
+		tc.Quarantine.PromoteTrust = *trustPromote
+		tc.Ledger.Floor = *trustFloor
+		tc.WeightRefresh = *trustRefresh
+		tc.Drift.Window = *driftWindow
+		trustCfg = &tc
+	}
+
 	pr := geo.NewProjection(geo.LatLon{Lat: 32.06, Lon: 118.79})
 	svc, err := trajforge.NewVerificationServer(server.Config{
 		Projection:     pr,
 		Replay:         replay,
 		WiFi:           det,
-		IngestAccepted: persist != nil,
+		IngestAccepted: persist != nil || trustCfg != nil,
 		Persist:        persist,
 		MaxInFlight:    *maxInflight,
 		QueueDepth:     *queueDepth,
 		UploadTimeout:  *uploadTimeout,
+		Trust:          trustCfg,
 		Stream: &stream.Config{
 			MaxSessions: *maxSessions,
 			TTL:         *sessionTTL,

@@ -1,0 +1,224 @@
+package attack
+
+// Sybil crowdsourcing-poisoning campaign. Unlike the trajectory-level
+// attacks in this package (naive navigation, C&W perturbation), the Sybil
+// campaign does not try to slip one forged upload past the detector — it
+// attacks the crowdsourced reference store itself. A roster of colluding
+// uploader identities submits otherwise-honest trips whose WiFi scans near
+// a target location are shifted, a little more each round, toward a
+// fabricated radio story. Every accepted poison upload moves the target
+// tile's reference-point distribution; once the store believes the story,
+// a forgery claiming the target position with the fabricated scans passes
+// the RSSI countermeasure that would have caught it on day one.
+//
+// The campaign is fully deterministic in its inputs: the caller supplies
+// the carrier-track source (seed-derived city trips), and the poisoning
+// schedule is a pure function of the round index.
+
+import (
+	"fmt"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/wifi"
+)
+
+// SybilOptions parameterises a poisoning campaign.
+type SybilOptions struct {
+	// Sybils is the number of colluding uploader identities. Default 6.
+	Sybils int
+	// MaxRounds caps the campaign length. Default 24.
+	MaxRounds int
+	// StepDB is the adaptive ramp increment: the campaign raises the
+	// story shift by StepDB after a well-accepted round and retreats by
+	// StepDB after a badly-rejected one, so the poison tracks the
+	// provider's evolving acceptance boundary instead of running a blind
+	// schedule. Default 2.
+	StepDB int
+	// Target is the attacked location; scans measured within Radius of it
+	// are the ones the campaign shifts. Default radius 35 m.
+	Target geo.Point
+	Radius float64
+	// DeltaDB is the full-strength story: the per-AP RSSI shift (dB) the
+	// campaign drives the target's reference points toward. Default 14.
+	DeltaDB int
+}
+
+func (o *SybilOptions) setDefaults() {
+	if o.Sybils <= 0 {
+		o.Sybils = 6
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 24
+	}
+	if o.StepDB <= 0 {
+		o.StepDB = 2
+	}
+	if o.Radius <= 0 {
+		o.Radius = 35
+	}
+	if o.DeltaDB == 0 {
+		o.DeltaDB = 14
+	}
+}
+
+// Defaulted returns a copy of the options with every unset field filled
+// with its default, so callers that size carrier trips or report campaign
+// parameters see the values the campaign will actually run with.
+func (o SybilOptions) Defaulted() SybilOptions {
+	o.setDefaults()
+	return o
+}
+
+// SybilName returns the campaign's uploader identity for sybil index i.
+func SybilName(i int) string { return fmt.Sprintf("sybil-%03d", i) }
+
+// PoisonUpload turns one honest carrier trip into a poison upload: scans
+// taken within Radius of the target are shifted by the given story shift
+// (dB). The trajectory itself stays genuine — the poison must keep
+// passing the motion, route, and replay stages; only the radio story near
+// the target is bent.
+func (o *SybilOptions) PoisonUpload(u *wifi.Upload, shiftDB int) *wifi.Upload {
+	return o.shifted(u, shiftDB)
+}
+
+// ProbeUpload builds the breach probe from an honest carrier trip: the
+// claimed trajectory is kept, but every scan near the target reports the
+// full-strength fabricated story. Against a clean store this is exactly
+// the forgery class the RSSI countermeasure catches (claimed position with
+// a radio environment measured nowhere near it); it passes only once the
+// store's reference points have been dragged onto the story.
+func (o *SybilOptions) ProbeUpload(u *wifi.Upload) *wifi.Upload {
+	return o.shifted(u, o.DeltaDB)
+}
+
+// shifted clones the upload, adding delta dB to every observation of every
+// scan whose fix lies within Radius of the target.
+func (o *SybilOptions) shifted(u *wifi.Upload, delta int) *wifi.Upload {
+	out := &wifi.Upload{
+		Traj:        u.Traj,
+		Scans:       make([]wifi.Scan, len(u.Scans)),
+		Contributor: u.Contributor,
+	}
+	pos := u.Traj.Positions()
+	for i, scan := range u.Scans {
+		if i < len(pos) && geo.Dist(pos[i], o.Target) <= o.Radius {
+			cp := scan.Clone()
+			for j := range cp {
+				cp[j].RSSI += delta
+			}
+			out.Scans[i] = cp
+		} else {
+			out.Scans[i] = scan
+		}
+	}
+	return out
+}
+
+// TouchesTarget reports whether the upload has at least minPoints fixes
+// within the campaign radius — carrier trips that never pass the target
+// carry no poison and waste a round.
+func (o *SybilOptions) TouchesTarget(u *wifi.Upload, minPoints int) bool {
+	n := 0
+	for _, p := range u.Traj.Positions() {
+		if geo.Dist(p, o.Target) <= o.Radius {
+			n++
+			if n >= minPoints {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SybilReport is the measured outcome of one campaign.
+type SybilReport struct {
+	// Breached is true when a probe finally passed verification;
+	// BreachRound is the 1-based round it happened in (0 = never).
+	Breached    bool `json:"breached"`
+	BreachRound int  `json:"breach_round"`
+	// PoisonSent / PoisonAccepted count the campaign's uploads — accepted
+	// poison is the attacker's cost metric: every accepted upload is one
+	// the defence let through, and a defence that forces more of them
+	// before the breach has raised the attack's price.
+	PoisonSent     int `json:"poison_sent"`
+	PoisonAccepted int `json:"poison_accepted"`
+	// ProbePFakeFirst / ProbePFakeLast are the detector's scores for the
+	// first and last probe — the distance the store's belief moved.
+	ProbePFakeFirst float64 `json:"probe_pfake_first"`
+	ProbePFakeLast  float64 `json:"probe_pfake_last"`
+	// FinalShiftDB is the story shift the adaptive ramp reached by the
+	// end of the campaign — how far the provider let the story run.
+	FinalShiftDB int `json:"final_shift_db"`
+}
+
+// SybilCampaign drives the poisoning loop against a provider the caller
+// abstracts behind two callbacks:
+//
+//   - submit posts one poison upload under the given sybil identity and
+//     reports whether the provider accepted (and therefore ingested) it;
+//   - probe verifies the breach forgery WITHOUT ingesting it and returns
+//     the detector's pFake plus the overall verdict.
+//
+// carrier(sybil, round) supplies the honest trip the round's poison rides
+// on. The loop runs until a probe passes or MaxRounds is exhausted.
+//
+// The story shift ramps adaptively: it starts at StepDB and after each
+// round moves by StepDB — up (capped at DeltaDB) when at least two thirds
+// of the round's poison was accepted, down (floored at StepDB) when less
+// than a third was. A patient attacker watching accept/reject feedback
+// would do exactly this: push while the provider swallows the story, back
+// off the moment it balks.
+func (o SybilOptions) SybilCampaign(
+	carrier func(sybil, round int) (*wifi.Upload, error),
+	submit func(name string, u *wifi.Upload) (bool, error),
+	probe func(round int) (pFake float64, passed bool, err error),
+) (*SybilReport, error) {
+	o.setDefaults()
+	rep := &SybilReport{}
+	shift := o.StepDB
+	for round := 0; round < o.MaxRounds; round++ {
+		accepted := 0
+		for s := 0; s < o.Sybils; s++ {
+			u, err := carrier(s, round)
+			if err != nil {
+				return nil, fmt.Errorf("attack: sybil carrier %d/%d: %w", s, round, err)
+			}
+			ok, err := submit(SybilName(s), o.PoisonUpload(u, shift))
+			if err != nil {
+				return nil, fmt.Errorf("attack: sybil submit %d/%d: %w", s, round, err)
+			}
+			rep.PoisonSent++
+			if ok {
+				accepted++
+			}
+		}
+		rep.PoisonAccepted += accepted
+		rep.FinalShiftDB = shift
+		switch {
+		case accepted*3 >= o.Sybils*2:
+			shift += o.StepDB
+			if shift > o.DeltaDB {
+				shift = o.DeltaDB
+			}
+		case accepted*3 < o.Sybils:
+			shift -= o.StepDB
+			if shift < o.StepDB {
+				shift = o.StepDB
+			}
+		}
+		pFake, passed, err := probe(round)
+		if err != nil {
+			return nil, fmt.Errorf("attack: sybil probe %d: %w", round, err)
+		}
+		if round == 0 {
+			rep.ProbePFakeFirst = pFake
+		}
+		rep.ProbePFakeLast = pFake
+		if passed {
+			rep.Breached = true
+			rep.BreachRound = round + 1
+			return rep, nil
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,392 @@
+package chaos
+
+// Trust-pipeline crash explorer. The batch explorer (chaos.go) proves the
+// durability layer replays accepted uploads into the serving store
+// bit-identically; this one turns the poisoning-resistant ingestion path
+// (internal/trust) on, so every quarantine-store mutation — staging,
+// corroboration, promotion, weight push — sits between the WAL frame and
+// the serving store at every crash point. Three invariants extend the
+// batch ones:
+//
+//  1. Promoted points survive: the recovered serving store answers the
+//     feature probe bit-for-bit like a reference pipeline that ingested
+//     the same accepted prefix and never crashed.
+//  2. Quarantined points are never served pre-promotion: the recovered
+//     serving store holds exactly the reference prefix's record count —
+//     recovery re-stages pending points, it does not leak them.
+//  3. The whole pipeline state (ledger, quarantine, drift, per-tile
+//     provenance) recovers to the reference prefix exactly, compared via
+//     the /v1/stats trust summary.
+//
+// The workload interleaves three contributor identities so corroboration
+// (Quarantine.K = 2) promotes some points mid-workload while others are
+// still pending at every crash point.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"time"
+
+	"trajforge/internal/detect"
+	"trajforge/internal/fsx"
+	"trajforge/internal/fsx/faultfs"
+	"trajforge/internal/geo"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/server"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/trust"
+	"trajforge/internal/wifi"
+	"trajforge/internal/xgb"
+)
+
+// trustChaosConfig is the pipeline configuration the explorer runs:
+// two-contributor corroboration with no trust bypass, and a weight push
+// every other accepted upload so the θ2 table is hot at most crash points.
+func trustChaosConfig() trust.Config {
+	cfg := trust.DefaultConfig()
+	cfg.Quarantine.K = 2
+	cfg.Quarantine.PromoteTrust = 0.99
+	cfg.WeightRefresh = 2
+	return cfg
+}
+
+// trustFixture mirrors fixture with the trust pipeline enabled and the
+// per-prefix reference extended to the serving-store size and the trust
+// stats summary.
+type trustFixture struct {
+	opts      Options
+	proj      *geo.Projection
+	bootstrap []rssimap.Record
+	model     *xgb.Model
+	fcfg      rssimap.FeatureConfig
+	uploads   []*wifi.Upload
+	probs     []float64
+	probe     *wifi.Upload
+	verdicts  []bool
+	features  [][]float64 // probe features indexed by accepted-upload count
+	storeLens []int       // serving-store record count, same index
+	trustSt   [][]byte    // /v1/stats trust summary (JSON), same index
+}
+
+// contributorOf names the workload's three colluding-free devices.
+func contributorOf(i int) string { return fmt.Sprintf("dev-%c", 'a'+rune(i%3)) }
+
+// retimeUpload shifts every fix by d so successive uploads advance the
+// pipeline's event clock — recovery must reproduce ledger aging and
+// quarantine timestamps from the replayed uploads alone.
+func retimeUpload(u *wifi.Upload, d time.Duration) {
+	pts := make([]trajectory.Point, len(u.Traj.Points))
+	for i, p := range u.Traj.Points {
+		pts[i] = trajectory.Point{Pos: p.Pos, Time: p.Time.Add(d)}
+	}
+	u.Traj = &trajectory.T{ID: u.Traj.ID, Mode: u.Traj.Mode, Points: pts}
+}
+
+func (f *trustFixture) newService(p *server.Persistence, store *rssimap.Store) (*server.Service, *boundClient, func(), error) {
+	stub := &motionStub{prob: 0.9}
+	rc, err := detect.NewReplayChecker(1.2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tcfg := trustChaosConfig()
+	svc, err := server.New(server.Config{
+		Projection:     f.proj,
+		Motion:         stub,
+		Replay:         rc,
+		WiFi:           &detect.WiFiDetector{Store: store, Model: f.model, Features: f.fcfg},
+		IngestAccepted: true,
+		Trust:          &tcfg,
+		Persist:        p,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ts := httptest.NewServer(svc.Handler())
+	cleanup := func() {
+		ts.Close()
+		svc.Close()
+	}
+	return svc, &boundClient{client: server.NewClient(ts.URL, f.proj), stub: stub}, cleanup, nil
+}
+
+// trustSummary marshals the service's trust stats for exact comparison.
+func trustSummary(svc *server.Service) ([]byte, error) {
+	st := svc.Stats()
+	if st.Trust == nil {
+		return nil, fmt.Errorf("chaos: trust pipeline not active")
+	}
+	return json.Marshal(st.Trust)
+}
+
+// newTrustFixture trains the shared detector, builds the contributor
+// workload, and runs the crash-free reference pass.
+func newTrustFixture(opts Options) (*trustFixture, error) {
+	f := &trustFixture{
+		opts: opts,
+		proj: geo.NewProjection(origin),
+	}
+	var err error
+	if f.bootstrap, f.model, f.fcfg, err = trainFixture(opts.Seed, opts.Points); err != nil {
+		return nil, err
+	}
+
+	f.uploads = make([]*wifi.Upload, opts.Uploads)
+	f.probs = make([]float64, opts.Uploads)
+	for i := range f.uploads {
+		if f.uploads[i], err = walkUpload(opts.Seed+int64(800+i), opts.Points); err != nil {
+			return nil, err
+		}
+		f.uploads[i].Contributor = contributorOf(i)
+		retimeUpload(f.uploads[i], time.Duration(i)*10*time.Minute)
+		f.probs[i] = 0.9
+		if i%4 == 3 {
+			f.probs[i] = 0.1
+		}
+	}
+	if f.probe, err = walkUpload(opts.Seed+999, 30); err != nil {
+		return nil, err
+	}
+
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), f.bootstrap)
+	if err != nil {
+		return nil, err
+	}
+	svc, client, cleanup, err := f.newService(nil, store)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	record := func() error {
+		want, err := store.Features(f.probe, f.fcfg)
+		if err != nil {
+			return err
+		}
+		ts, err := trustSummary(svc)
+		if err != nil {
+			return err
+		}
+		f.features = append(f.features, want)
+		f.storeLens = append(f.storeLens, store.Len())
+		f.trustSt = append(f.trustSt, ts)
+		return nil
+	}
+	if err := record(); err != nil {
+		return nil, err
+	}
+	f.verdicts = make([]bool, opts.Uploads)
+	for i, u := range f.uploads {
+		client.stub.prob = f.probs[i]
+		v, err := client.client.Upload(u)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: trust reference upload %d: %w", i, err)
+		}
+		f.verdicts[i] = v.Accepted
+		if v.Accepted {
+			if err := record(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if n := len(f.features) - 1; n == 0 || n == opts.Uploads {
+		return nil, fmt.Errorf("chaos: degenerate trust workload: %d/%d accepted", n, opts.Uploads)
+	}
+	// The workload must actually exercise the staging store: some points
+	// promoted into serving, some still pending at the end — otherwise the
+	// quarantine invariants are vacuous.
+	var final trust.Stats
+	if err := json.Unmarshal(f.trustSt[len(f.trustSt)-1], &final); err != nil {
+		return nil, err
+	}
+	if final.Promoted == 0 || final.Pending == 0 {
+		return nil, fmt.Errorf("chaos: trust workload promoted %d / pending %d, need both > 0",
+			final.Promoted, final.Pending)
+	}
+	return f, nil
+}
+
+func (f *trustFixture) runWorkload(dir string, fs fsx.FS) (acked int, err error) {
+	p, perr := server.OpenPersistence(dir, server.PersistOptions{FS: fs, SyncInterval: -1})
+	if perr != nil {
+		return 0, nil
+	}
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), f.bootstrap)
+	if err != nil {
+		return 0, err
+	}
+	_, client, cleanup, err := f.newService(p, store)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	compacted := p.Compact() == nil
+	alive := compacted
+	for i, u := range f.uploads {
+		client.stub.prob = f.probs[i]
+		v, uerr := client.client.Upload(u)
+		if uerr != nil {
+			return acked, fmt.Errorf("chaos: trust workload upload %d: %w", i, uerr)
+		}
+		if v.Accepted != f.verdicts[i] {
+			return acked, fmt.Errorf("chaos: trust verdict %d = %v, want %v", i, v.Accepted, f.verdicts[i])
+		}
+		if alive && p.Flush() == nil {
+			acked = i + 1
+		} else {
+			alive = false
+		}
+	}
+	return acked, nil
+}
+
+func (f *trustFixture) checkRecovery(dir string, acked int) (accepted int, empty bool, err error) {
+	p, err := server.OpenPersistence(dir, server.PersistOptions{SyncInterval: -1})
+	if err != nil {
+		return 0, false, fmt.Errorf("recovery open: %w", err)
+	}
+	state := p.Recovered()
+
+	total := state.Accepted + state.Rejected
+	if total > len(f.verdicts) {
+		return 0, false, fmt.Errorf("recovered %d verdicts, workload has %d", total, len(f.verdicts))
+	}
+	wantAccepted := 0
+	for _, v := range f.verdicts[:total] {
+		if v {
+			wantAccepted++
+		}
+	}
+	if state.Accepted != wantAccepted {
+		return 0, false, fmt.Errorf("recovered %d accepted of %d verdicts, want %d (not a prefix)",
+			state.Accepted, total, wantAccepted)
+	}
+	if total < acked {
+		return 0, false, fmt.Errorf("recovered %d verdicts, %d were acknowledged durable", total, acked)
+	}
+
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), state.Records)
+	if err != nil {
+		return 0, false, fmt.Errorf("recovery store: %w", err)
+	}
+	svc, _, cleanup, err := f.newService(p, store)
+	if err != nil {
+		return 0, false, err
+	}
+	defer cleanup()
+	svc.Restore(state)
+	if state.Empty() {
+		return 0, true, nil
+	}
+
+	// Invariant 1: promoted points survive bit-identically — the probe's
+	// feature vector over the recovered serving store matches the
+	// reference prefix exactly, trust-weighted θ2 table included.
+	got, err := store.Features(f.probe, f.fcfg)
+	if err != nil {
+		return 0, false, fmt.Errorf("recovery features: %w", err)
+	}
+	want := f.features[state.Accepted]
+	if len(got) != len(want) {
+		return 0, false, fmt.Errorf("recovered feature dim %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			return 0, false, fmt.Errorf("feature %d = %v, want %v (bits differ)", i, got[i], want[i])
+		}
+	}
+
+	// Invariant 2: quarantined points are never served pre-promotion —
+	// the recovered serving store is exactly the reference prefix's size,
+	// so recovery re-staged the pending points instead of leaking them.
+	if store.Len() != f.storeLens[state.Accepted] {
+		return 0, false, fmt.Errorf("recovered serving store holds %d records, reference prefix holds %d",
+			store.Len(), f.storeLens[state.Accepted])
+	}
+
+	// Invariant 3: ledger, quarantine, drift, and per-tile provenance all
+	// recover to the reference prefix exactly.
+	ts, err := trustSummary(svc)
+	if err != nil {
+		return 0, false, err
+	}
+	if !bytes.Equal(ts, f.trustSt[state.Accepted]) {
+		return 0, false, fmt.Errorf("recovered trust stats %s, want %s", ts, f.trustSt[state.Accepted])
+	}
+	return state.Accepted, false, nil
+}
+
+// RunTrust explores every crash point of the trust-pipeline workload.
+func RunTrust(opts Options) (*Report, error) {
+	if opts.Uploads <= 0 {
+		opts.Uploads = 12
+	}
+	if opts.Points <= 0 {
+		opts.Points = 20
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("chaos: Options.Dir is required")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	f, err := newTrustFixture(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	counter := faultfs.New(fsx.OS, faultfs.Options{})
+	acked, err := f.runWorkload(filepath.Join(opts.Dir, "count"), counter)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: trust counting pass: %w", err)
+	}
+	if acked != opts.Uploads {
+		return nil, fmt.Errorf("chaos: trust counting pass acknowledged %d/%d uploads", acked, opts.Uploads)
+	}
+	plan := counter.Ops()
+	rep := &Report{Sites: len(plan)}
+	logf("chaos: trust pipeline: %d fault sites, %d uploads (%d accepted in reference run)",
+		rep.Sites, opts.Uploads, len(f.features)-1)
+
+	for site := 1; site <= len(plan); site++ {
+		dir := filepath.Join(opts.Dir, fmt.Sprintf("site-%03d", site))
+		fs := faultfs.New(fsx.OS, faultfs.Options{
+			Seed:   opts.Seed ^ int64(site),
+			FailAt: site,
+			Mode:   faultfs.FaultTorn,
+			Crash:  true,
+		})
+		acked, err := f.runWorkload(dir, fs)
+		if err != nil {
+			return rep, fmt.Errorf("chaos: trust site %d (%s %s): %w",
+				site, plan[site-1].Kind, filepath.Base(plan[site-1].Path), err)
+		}
+		if !fs.Faulted() {
+			return rep, fmt.Errorf("chaos: trust site %d (%s): fault never fired", site, plan[site-1].Kind)
+		}
+		accepted, empty, err := f.checkRecovery(dir, acked)
+		if err != nil {
+			return rep, fmt.Errorf("chaos: trust site %d (%s %s, acked %d): %w",
+				site, plan[site-1].Kind, filepath.Base(plan[site-1].Path), acked, err)
+		}
+		if empty {
+			rep.EmptyRecoveries++
+			if acked > 0 {
+				return rep, fmt.Errorf("chaos: trust site %d: empty recovery after %d acknowledged uploads", site, acked)
+			}
+		}
+		if accepted == len(f.features)-1 {
+			rep.FullRecoveries++
+		}
+		if acked > rep.MaxAcked {
+			rep.MaxAcked = acked
+		}
+	}
+	logf("chaos: trust exploration: %d crash points: %d empty recoveries, %d full, max acked %d",
+		rep.Sites, rep.EmptyRecoveries, rep.FullRecoveries, rep.MaxAcked)
+	return rep, nil
+}

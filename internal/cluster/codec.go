@@ -8,7 +8,14 @@
 //
 // Frame layout (little endian):
 //
-//	u8 version (1) | u8 kind | u32 payloadLen | payload
+//	u8 version (2) | u8 kind | u32 payloadLen | payload
+//
+// Version 2 added the contributor identity (str8) to every record — the
+// ingestion provenance the trust pipeline relies on — so provenance
+// crosses node boundaries and tile migrations bit-identically. The codec
+// also frames each node's tile WAL, so a node's durable lineage carries
+// provenance too. Version 1 frames are refused (a cluster is always one
+// build).
 //
 // Every request payload starts with `u32 deadlineMs` — the milliseconds the
 // originating request has left, 0 for none — so a node can stop working on
@@ -38,7 +45,7 @@ import (
 )
 
 const (
-	codecVersion = 1
+	codecVersion = 2
 
 	// maxFrameBytes bounds one frame on the wire (header + payload).
 	maxFrameBytes = 32 << 20
@@ -399,11 +406,15 @@ func appendRecord(buf []byte, rec rssimap.Record) ([]byte, error) {
 		}
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(rssi)))
 	}
+	if buf, err = appendStr8(buf, rec.Contributor); err != nil {
+		return nil, err
+	}
 	return buf, nil
 }
 
-// recMinBytes is the fixed per-record wire cost (pos + AP count).
-const recMinBytes = 8 + 8 + 2
+// recMinBytes is the fixed per-record wire cost (pos + AP count +
+// contributor length byte).
+const recMinBytes = 8 + 8 + 2 + 1
 
 func decodeRecord(r *reader) (rssimap.Record, error) {
 	var rec rssimap.Record
@@ -436,6 +447,9 @@ func decodeRecord(r *reader) (rssimap.Record, error) {
 			return rec, err
 		}
 		rec.RSSI[mac] = int(int16(rssi))
+	}
+	if rec.Contributor, err = r.str8(); err != nil {
+		return rec, err
 	}
 	return rec, nil
 }
@@ -646,6 +660,10 @@ func decodeConfs(r *reader) ([]rssimap.PointConfidence, error) {
 			return nil, err
 		}
 		confs[i].Num = int(num)
+		// Cluster nodes never install contributor trust tables, so the
+		// trusted mass always equals the cardinality and is not carried on
+		// the wire.
+		confs[i].TrustNum = float64(num)
 		if confs[i].Residual, err = r.f64(); err != nil {
 			return nil, err
 		}

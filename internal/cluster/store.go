@@ -273,7 +273,7 @@ func cloneRecord(rec rssimap.Record) rssimap.Record {
 	for mac, v := range rec.RSSI {
 		m[mac] = v
 	}
-	return rssimap.Record{Pos: rec.Pos, RSSI: m}
+	return rssimap.Record{Pos: rec.Pos, RSSI: m, Contributor: rec.Contributor}
 }
 
 // Add appends records to the canonical log and fans each out to the nodes

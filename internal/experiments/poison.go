@@ -1,0 +1,484 @@
+package experiments
+
+// Poisoning experiment: the Sybil crowdsourcing attack of
+// internal/attack/sybil.go against the provider, undefended (direct store
+// ingestion) versus defended (the internal/trust pipeline: contributor
+// ledger, trust-weighted θ2, quarantine staging, drift alarm). Both runs
+// share the seed, the city, the target, and the campaign schedule, so the
+// only variable is the defence. The headline number is the cost ratio:
+// how many accepted poison uploads the attacker pays before a forged
+// probe passes, defended over undefended.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"trajforge/internal/attack"
+	"trajforge/internal/dataset"
+	"trajforge/internal/detect"
+	"trajforge/internal/geo"
+	"trajforge/internal/loadgen"
+	"trajforge/internal/rssimap"
+	"trajforge/internal/server"
+	"trajforge/internal/trajectory"
+	"trajforge/internal/trust"
+	"trajforge/internal/wifi"
+	"trajforge/internal/xgb"
+)
+
+// PoisonOptions configures the poisoning experiment.
+type PoisonOptions struct {
+	// Seed fixes the city, the campaign, and every upload byte. Default 1.
+	Seed int64
+	// Agents / Hist size the city and its training corpus. Defaults 40, 60.
+	Agents, Hist int
+	// Honest is how many honest contributors upload each round alongside
+	// the sybils — the background traffic trust scores are earned against.
+	// Default 4.
+	Honest int
+	// RoundGap is the simulated time between campaign rounds; the trust
+	// ledger ages contributors on this clock. Default 30 min.
+	RoundGap time.Duration
+	// Campaign is the attack schedule; Target/Radius are filled from the
+	// city if zero.
+	Campaign attack.SybilOptions
+	// Trust is the defended variant's pipeline config; zeroed fields take
+	// trust.DefaultConfig values.
+	Trust trust.Config
+}
+
+func (o *PoisonOptions) setDefaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Agents <= 0 {
+		o.Agents = 40
+	}
+	if o.Hist <= 0 {
+		o.Hist = 60
+	}
+	if o.Honest <= 0 {
+		o.Honest = 4
+	}
+	if o.RoundGap <= 0 {
+		o.RoundGap = 30 * time.Minute
+	}
+	// Campaign pacing: a dozen colluders per round, and a round budget
+	// deep enough that a defence which merely delays the breach still has
+	// to hold out several times longer than the undefended provider.
+	if o.Campaign.Sybils == 0 {
+		o.Campaign.Sybils = 12
+	}
+	if o.Campaign.MaxRounds == 0 {
+		o.Campaign.MaxRounds = 40
+	}
+}
+
+// PoisonVariant is one run (undefended or defended) of the campaign.
+type PoisonVariant struct {
+	Name string `json:"name"`
+	attack.SybilReport
+	// HonestSent / HonestAccepted track the background traffic — the
+	// defence must not price honest contributors out.
+	HonestSent     int `json:"honest_sent"`
+	HonestAccepted int `json:"honest_accepted"`
+	// DriftAlarmed reports whether the tile drift alarm fired during the
+	// campaign (always false undefended: there is no detector).
+	DriftAlarmed bool `json:"drift_alarmed"`
+	// QuarantinePending is the staging depth at campaign end.
+	QuarantinePending int `json:"quarantine_pending"`
+	// HealthReason is /v1/health's degraded reason at campaign end.
+	HealthReason string `json:"health_reason,omitempty"`
+}
+
+// PoisonResult is the BENCH_poison.json schema.
+type PoisonResult struct {
+	Seed       int64         `json:"seed"`
+	Sybils     int           `json:"sybils"`
+	MaxRounds  int           `json:"max_rounds"`
+	DeltaDB    int           `json:"delta_db"`
+	Undefended PoisonVariant `json:"undefended"`
+	Defended   PoisonVariant `json:"defended"`
+	// CostRatio is defended accepted-poison spend over undefended — how
+	// much the trust pipeline raised the attacker's price. When the
+	// defended campaign never breaches, the spend is the full-campaign
+	// cost and the ratio is a lower bound.
+	CostRatio float64 `json:"cost_ratio"`
+}
+
+// Render formats the result as the aligned text table the experiments
+// command prints.
+func (r *PoisonResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sybil poisoning: %d sybils, +%d dB story, %d-round cap (seed %d)\n",
+		r.Sybils, r.DeltaDB, r.MaxRounds, r.Seed)
+	fmt.Fprintf(&b, "%-11s %8s %8s %8s %8s %8s %7s %s\n",
+		"variant", "breach", "poison", "accept", "p1", "pN", "drift", "honest")
+	row := func(v *PoisonVariant) {
+		breach := "never"
+		if v.Breached {
+			breach = fmt.Sprintf("r%d", v.BreachRound)
+		}
+		drift := "-"
+		if v.DriftAlarmed {
+			drift = "ALARM"
+		}
+		fmt.Fprintf(&b, "%-11s %8s %8d %8d %8.3f %8.3f %7s %d/%d\n",
+			v.Name, breach, v.PoisonSent, v.PoisonAccepted,
+			v.ProbePFakeFirst, v.ProbePFakeLast, drift, v.HonestAccepted, v.HonestSent)
+	}
+	row(&r.Undefended)
+	row(&r.Defended)
+	fmt.Fprintf(&b, "attack cost ratio (defended/undefended accepted poison): %.1fx\n", r.CostRatio)
+	return b.String()
+}
+
+// WriteJSON writes the BENCH_poison.json artifact.
+func (r *PoisonResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Poison runs the campaign against both variants.
+func Poison(opts PoisonOptions) (*PoisonResult, error) {
+	opts.setDefaults()
+	und, err := runPoisonVariant(opts, false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: undefended poison run: %w", err)
+	}
+	def, err := runPoisonVariant(opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: defended poison run: %w", err)
+	}
+	camp := opts.Campaign.Defaulted()
+	res := &PoisonResult{
+		Seed: opts.Seed, DeltaDB: camp.DeltaDB,
+		Sybils: camp.Sybils, MaxRounds: camp.MaxRounds,
+		Undefended: und.PoisonVariant, Defended: def.PoisonVariant,
+	}
+	if und.PoisonAccepted > 0 {
+		res.CostRatio = float64(def.PoisonAccepted) / float64(und.PoisonAccepted)
+	}
+	return res, nil
+}
+
+// poisonRun is a variant's outcome plus loop bookkeeping.
+type poisonRun struct {
+	PoisonVariant
+	roundsRun int
+}
+
+// retime shifts every fix of the upload by d, so successive campaign
+// rounds advance the trust ledger's event clock the way real crowdsourced
+// traffic would.
+func retime(u *wifi.Upload, d time.Duration) *wifi.Upload {
+	pts := make([]trajectory.Point, len(u.Traj.Points))
+	for i, p := range u.Traj.Points {
+		pts[i] = trajectory.Point{Pos: p.Pos, Time: p.Time.Add(d)}
+	}
+	return &wifi.Upload{
+		Traj:        &trajectory.T{ID: u.Traj.ID, Mode: u.Traj.Mode, Points: pts},
+		Scans:       u.Scans,
+		Contributor: u.Contributor,
+	}
+}
+
+func runPoisonVariant(opts PoisonOptions, defended bool) (*poisonRun, error) {
+	city, err := loadgen.BuildCity(loadgen.CityOptions{
+		Seed: opts.Seed, Agents: opts.Agents, Hist: opts.Hist,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Train the detector from the city's historical corpus, exactly as the
+	// serving providers do: first 3/4 seeds the reference store, the rest
+	// plus forgeries of stored trips trains the model. Alongside the usual
+	// displaced-route forgeries, the training mix includes radio-shift
+	// forgeries — honest routes whose scans (all of them, or a contiguous
+	// stretch) report a fabricated dB story — the exact class the Sybil
+	// campaign's breach probe belongs to. A provider that never trained on
+	// radio lies cannot price them, defended or not.
+	nStore := len(city.Hist) * 3 / 4
+	store, err := rssimap.NewStore(rssimap.DefaultConfig(), recordsOf(city.Hist[:nStore]))
+	if err != nil {
+		return nil, err
+	}
+	frng := rand.New(rand.NewSource(opts.Seed + 13))
+	var fakes []*wifi.Upload
+	for _, u := range city.Hist[:nStore/2] {
+		f, err := dataset.ForgeUpload(frng, u, 1.2)
+		if err != nil {
+			return nil, err
+		}
+		fakes = append(fakes, f)
+	}
+	for i, u := range city.Hist[:nStore/2] {
+		delta := 4 + (i%4)*4 // 4..16 dB stories
+		if i%2 == 1 {
+			delta = -delta
+		}
+		fakes = append(fakes, shiftScans(u, delta, i%3 == 0))
+	}
+	// Genuine examples: the held-out trips, plus noisy re-walks of trips
+	// the store already holds. Without the re-walks the model never sees a
+	// genuine trip over a densely-mapped corridor (tiny residual, many
+	// references) and misreads exactly that signature as forged; with them
+	// the boundary is monotone in the residual, which is what Eq. 8 is
+	// after.
+	grng := rand.New(rand.NewSource(opts.Seed + 29))
+	genuine := append([]*wifi.Upload{}, city.Hist[nStore:]...)
+	for _, u := range city.Hist[:nStore/2] {
+		genuine = append(genuine, jitterUpload(grng, u, 1.5, 1))
+	}
+	det, err := detect.TrainWiFiDetector(store, genuine, fakes,
+		rssimap.DefaultFeatureConfig(), xgb.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	var trustCfg *trust.Config
+	if defended {
+		tc := opts.Trust
+		if tc.TileSize == 0 && tc.WeightRefresh == 0 &&
+			tc.Quarantine.K == 0 && tc.Drift.Window == 0 {
+			// Campaign-scale calibration of the production defaults: the
+			// experiment's whole campaign is a few dozen uploads per tile,
+			// so the weight push cadence and the drift window shrink to
+			// match (the city-scale defaults would only react after the
+			// campaign ended).
+			tc = trust.DefaultConfig()
+			tc.WeightRefresh = 2
+			tc.Drift.Window = 16
+			tc.Drift.MinSamples = 8
+			tc.Drift.BinDB = 2
+		}
+		trustCfg = &tc
+	}
+	svc, err := server.New(server.Config{
+		Projection:     city.Projection,
+		Rules:          detect.NewRuleChecker(),
+		WiFi:           det,
+		IngestAccepted: true,
+		Trust:          trustCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := server.NewClient(ts.URL, city.Projection)
+
+	// Target: a mid-route fix of the oldest stored trip — a spot with real
+	// honest reference coverage, where a fabricated radio story actually
+	// has an incumbent distribution to displace.
+	camp := opts.Campaign.Defaulted()
+	if camp.Target == (geo.Point{}) {
+		pts := city.Hist[0].Traj.Positions()
+		camp.Target = pts[len(pts)/2]
+	}
+
+	// Candidate carrier trips are honest trips by the city's own first few
+	// agents — the ones whose routes cover the target — retried until one
+	// passes close enough to carry poison. The sybil identities ride real
+	// mobility, so their uploads clear the motion and route stages on merit.
+	rng := rand.New(rand.NewSource(opts.Seed + 101))
+	targetTrip := func() (*wifi.Upload, error) {
+		for tries := 0; tries < 64; tries++ {
+			a := city.Agents[tries%4]
+			u, err := city.HonestUpload(rng, a)
+			if err != nil {
+				return nil, err
+			}
+			if camp.TouchesTarget(u, 3) {
+				return u, nil
+			}
+		}
+		return nil, fmt.Errorf("no carrier trip touches the target")
+	}
+
+	run := &poisonRun{}
+	run.Name = "undefended"
+	if defended {
+		run.Name = "defended"
+	}
+
+	submit := func(name string, u *wifi.Upload) (bool, error) {
+		u.Contributor = name
+		v, err := client.Upload(u)
+		if err != nil {
+			return false, err
+		}
+		return v.Accepted, nil
+	}
+	// The breach probe is one fixed forgery, vetted against the clean
+	// store: its honest carrier passes verification and its forged form
+	// fails. Re-scoring the same forgery every round isolates the one
+	// moving part — the reference store — from carrier-trip luck.
+	probeTrip, err := func() (*wifi.Upload, error) {
+		for tries := 0; tries < 64; tries++ {
+			u, err := targetTrip()
+			if err != nil {
+				return nil, err
+			}
+			ph, err := det.ProbFake(u)
+			if err != nil {
+				return nil, err
+			}
+			pf, err := det.ProbFake(camp.ProbeUpload(u))
+			if err != nil {
+				return nil, err
+			}
+			if ph < 0.5 && pf >= 0.5 {
+				return u, nil
+			}
+		}
+		return nil, fmt.Errorf("no vetted probe trip (honest passes, forged fails)")
+	}()
+	if err != nil {
+		return nil, err
+	}
+	// Probes go through Verify directly: scoring without ingestion, so the
+	// probe itself cannot poison (or be priced into) the store.
+	probe := func(round int) (float64, bool, error) {
+		forged := camp.ProbeUpload(retime(probeTrip, time.Duration(round)*opts.RoundGap))
+		v, err := svc.Verify(context.Background(), forged)
+		if err != nil {
+			return 0, false, err
+		}
+		pFake := 1.0
+		if v.WiFiProbFake != nil {
+			pFake = *v.WiFiProbFake
+		}
+		return pFake, v.Accepted, nil
+	}
+
+	// Interleave honest background traffic with the campaign: stable user
+	// identities upload real trips drawn from across the whole city (honest
+	// traffic is city-wide; only the attack concentrates on one spot),
+	// earning the trust the sybils have to compete with.
+	honestRound := func(round int) error {
+		for h := 0; h < opts.Honest; h++ {
+			a := city.Agents[(5+h+round*opts.Honest)%len(city.Agents)]
+			u, err := city.HonestUpload(rng, a)
+			if err != nil {
+				return err
+			}
+			u.Traj.ID = fmt.Sprintf("honest-%d-r%d", h, round)
+			ok, err := submit(fmt.Sprintf("user-%03d", h), retime(u, time.Duration(round)*opts.RoundGap))
+			if err != nil {
+				return err
+			}
+			run.HonestSent++
+			if ok {
+				run.HonestAccepted++
+			}
+		}
+		return nil
+	}
+
+	// The sybils all commute along the planned forgery's own corridor —
+	// the attacker poisons exactly where the forgery will later claim to
+	// be, so every accepted upload drops reference points onto the probe's
+	// fixes. Each trip is re-timed (advancing the event clock), given a
+	// fresh trajectory ID, and jittered the way a dozen real handsets on
+	// the same street would be: a couple of metres of GPS scatter and
+	// ±1 dB of radio noise per device.
+	jrng := rand.New(rand.NewSource(opts.Seed + 707))
+	rep, err := camp.SybilCampaign(
+		func(sybil, round int) (*wifi.Upload, error) {
+			if sybil == 0 {
+				if err := honestRound(round); err != nil {
+					return nil, err
+				}
+				run.roundsRun = round + 1
+			}
+			u := jitterUpload(jrng, retime(probeTrip, time.Duration(round)*opts.RoundGap), 1.5, 1)
+			u.Traj.ID = fmt.Sprintf("syb%d-r%d", sybil, round)
+			return u, nil
+		},
+		submit,
+		probe,
+	)
+	if err != nil {
+		return nil, err
+	}
+	run.SybilReport = *rep
+
+	st := svc.Stats()
+	if st.Trust != nil {
+		run.DriftAlarmed = len(st.Trust.DriftAlarmed) > 0
+		run.QuarantinePending = st.Trust.Pending
+	}
+	if h := svc.Health(); h.Degraded {
+		run.HealthReason = h.Reason
+	}
+	return run, nil
+}
+
+// recordsOf flattens uploads into store records (positions + scans).
+func recordsOf(uploads []*wifi.Upload) []rssimap.Record {
+	return rssimap.UploadRecords(uploads)
+}
+
+// jitterUpload clones the upload with per-device measurement noise: each
+// fix scattered by a zero-mean gaussian of the given sigma (metres) and
+// each RSSI reading nudged by up to ±db. Two handsets riding the same
+// street never report byte-identical tracks; neither do the sybils.
+func jitterUpload(rng *rand.Rand, u *wifi.Upload, sigma float64, db int) *wifi.Upload {
+	pts := make([]trajectory.Point, len(u.Traj.Points))
+	for i, p := range u.Traj.Points {
+		pts[i] = trajectory.Point{
+			Pos: geo.Point{
+				X: p.Pos.X + rng.NormFloat64()*sigma,
+				Y: p.Pos.Y + rng.NormFloat64()*sigma,
+			},
+			Time: p.Time,
+		}
+	}
+	scans := make([]wifi.Scan, len(u.Scans))
+	for i, scan := range u.Scans {
+		cp := scan.Clone()
+		for j := range cp {
+			cp[j].RSSI += rng.Intn(2*db+1) - db
+		}
+		scans[i] = cp
+	}
+	return &wifi.Upload{
+		Traj:        &trajectory.T{ID: u.Traj.ID, Mode: u.Traj.Mode, Points: pts},
+		Scans:       scans,
+		Contributor: u.Contributor,
+	}
+}
+
+// shiftScans builds a radio-shift forgery for detector training: the
+// honest route with every observation (or, with partial set, only the
+// second half of the trip) reporting delta dB off the truth.
+func shiftScans(u *wifi.Upload, delta int, partial bool) *wifi.Upload {
+	out := &wifi.Upload{Traj: u.Traj, Scans: make([]wifi.Scan, len(u.Scans))}
+	from := 0
+	if partial {
+		from = len(u.Scans) / 2
+	}
+	for i, scan := range u.Scans {
+		if i < from {
+			out.Scans[i] = scan
+			continue
+		}
+		cp := scan.Clone()
+		for j := range cp {
+			cp[j].RSSI += delta
+		}
+		out.Scans[i] = cp
+	}
+	return out
+}

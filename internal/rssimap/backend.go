@@ -40,6 +40,19 @@ type Backend interface {
 
 var _ Backend = (*Store)(nil)
 
+// TrustWeighted is the optional trust-weighting surface of a Backend: a
+// contributor → weight table that down-weights low-trust mass in the θ2
+// density term. Store and shardstore.Store implement it; backends that
+// cannot (remote cluster stores) simply don't, and callers type-assert.
+type TrustWeighted interface {
+	// SetTrustWeights installs (nil removes) the contributor trust table.
+	// Weights apply to records already stored and records added later; an
+	// all-1.0 table is bit-identical to no table.
+	SetTrustWeights(weights map[string]float64)
+}
+
+var _ TrustWeighted = (*Store)(nil)
+
 // ContextBackend is a Backend whose feature extraction can carry the
 // originating request's context. Remote backends (internal/cluster) use the
 // context deadline to bound forwarded RPCs, so admission control's

@@ -83,6 +83,14 @@ type PointConfidence struct {
 	Phi float64
 	// Num is the number of reference points used.
 	Num int
+	// TrustNum is the trusted reference mass: the sum of the contributors'
+	// trust weights over the same reference points. Without a trust table
+	// it equals float64(Num) exactly (integer-valued additions of 1.0), as
+	// it does under an all-1.0 table — so trust-blind callers see identical
+	// numbers. The feature vector reports coverage as TrustNum, which is
+	// what stops a flood of low-trust uploads from inflating apparent
+	// coverage even after individual θ1/θ2 down-weighting.
+	TrustNum float64
 	// Residual is |reported - θ1-weighted reference mean| in dB over the
 	// references that heard the AP; NaN-free: it is 0 when no reference
 	// heard the AP (Heard reports that case).
@@ -131,15 +139,32 @@ func (s *Store) pointConfidencesLocked(sc *scratch, o geo.Point, scan wifi.Scan,
 	}
 	// θ1 weights (Eq. 5), shared by every AP of the scan. The distance is
 	// floored at a few centimetres so a coincident record cannot absorb all
-	// weight.
+	// weight. With a trust table installed, each reference's θ1 mass is
+	// scaled by its contributor's weight, so low-trust records neither steer
+	// Φ nor drag the residual reference mean at full strength (an all-1.0
+	// table multiplies by exactly 1.0 and stays bit-identical).
 	const minDist = 0.05
 	invSum := 0.0
+	mass := 0.0
 	sc.inv = resizeF64(sc.inv, len(refs))
 	inv := sc.inv
 	for i, idx := range refs {
 		d := math.Max(minDist, geo.Dist(s.records[idx].pos, o))
 		inv[i] = 1 / d
+		if s.wByID != nil {
+			w := s.wByID[s.records[idx].contrib]
+			inv[i] *= w
+			mass += w
+		} else {
+			mass += 1.0
+		}
 		invSum += inv[i]
+	}
+	if invSum == 0 { // every reference weighted to zero: nothing to verify against
+		for i, obs := range top {
+			out[i] = PointConfidence{MAC: obs.MAC, Num: len(refs)}
+		}
+		return out
 	}
 	for i, obs := range top {
 		var phi float64
@@ -160,7 +185,7 @@ func (s *Store) pointConfidencesLocked(sc *scratch, o geo.Point, scan wifi.Scan,
 				}
 			}
 		}
-		pc := PointConfidence{MAC: obs.MAC, Phi: phi, Num: len(refs), Heard: heard}
+		pc := PointConfidence{MAC: obs.MAC, Phi: phi, Num: len(refs), TrustNum: mass, Heard: heard}
 		if wSum > 0 {
 			diff := float64(obs.RSSI) - wMean/wSum
 			if diff < 0 {
@@ -281,7 +306,9 @@ func aggregateFeatures(sc *scratch, u *wifi.Upload, cfg FeatureConfig, confsAt f
 				continue
 			}
 			if cfg.IncludeNum {
-				out = append(out, float64(confs[j].Num))
+				// Coverage is reported as trusted mass, not raw cardinality
+				// (identical without a trust table — see TrustNum).
+				out = append(out, confs[j].TrustNum)
 			}
 			out = append(out, confs[j].Phi)
 			if cfg.IncludeResiduals {
@@ -292,7 +319,7 @@ func aggregateFeatures(sc *scratch, u *wifi.Upload, cfg FeatureConfig, confsAt f
 				}
 			}
 			phiSum += confs[j].Phi
-			numSum += float64(confs[j].Num)
+			numSum += confs[j].TrustNum
 		}
 		slots := float64(cfg.TopK)
 		pointPhi = append(pointPhi, phiSum/slots)

@@ -25,13 +25,16 @@ import (
 )
 
 // Record is one crowdsourced historical point: where a user reported being
-// and what their phone heard there.
+// and what their phone heard there. Contributor is the uploader the point
+// came from (ingestion provenance); empty is the legacy anonymous
+// contributor.
 type Record struct {
-	Pos  geo.Point
-	RSSI map[string]int // MAC -> dBm
+	Pos         geo.Point
+	RSSI        map[string]int // MAC -> dBm
+	Contributor string
 }
 
-// RecordFromScan converts a scan into a record.
+// RecordFromScan converts a scan into an (anonymous) record.
 func RecordFromScan(pos geo.Point, s wifi.Scan) Record {
 	m := make(map[string]int, len(s))
 	for _, o := range s {
@@ -62,6 +65,7 @@ type reading struct {
 // storedRecord is the internal, query-optimised form of a Record.
 type storedRecord struct {
 	pos      geo.Point
+	contrib  int32     // interned contributor ID
 	readings []reading // sorted by mac
 }
 
@@ -96,6 +100,25 @@ type Store struct {
 	// rebuilds the table from the map.
 	macNames []string
 
+	// contribIDs/contribNames intern contributor identities exactly like
+	// MACs, so per-record provenance costs 4 bytes.
+	contribIDs   map[string]int32
+	contribNames []string
+
+	// trust, when non-nil, down-weights low-trust contributors in the θ2
+	// density term: the counting-area population ε of Eq. 6 becomes the sum
+	// of contributor trust weights over the area instead of its cardinality.
+	// wByID caches the weight per interned contributor (unknown contributors
+	// default to 1.0 — fully trusted, matching the unweighted store), and
+	// wsum[i] caches that trusted mass over neighbors[i], summed in
+	// ascending record-index order so grown and rebuilt stores accumulate
+	// bit-identically. With every weight exactly 1.0 the sum equals
+	// float64(len(neighbors[i])) exactly (integer-valued float64 additions),
+	// so an all-trusted store answers bit-identically to the unweighted one.
+	trust map[string]float64
+	wByID []float64
+	wsum  []float64
+
 	cell float64
 	grid map[[2]int][]int32
 
@@ -119,29 +142,49 @@ func NewStore(cfg Config, records []Record) (*Store, error) {
 		return nil, fmt.Errorf("rssimap: density base %g must be in (0, 1)", cfg.DensityBase)
 	}
 	s := &Store{
-		cfg:    cfg,
-		macIDs: make(map[string]int32),
-		cell:   cfg.R,
-		grid:   make(map[[2]int][]int32),
+		cfg:        cfg,
+		macIDs:     make(map[string]int32),
+		contribIDs: make(map[string]int32),
+		cell:       cfg.R,
+		grid:       make(map[[2]int][]int32),
 	}
 	s.records = make([]storedRecord, 0, len(records))
 	for _, rec := range records {
 		s.appendRecordLocked(rec)
 	}
-	// Precompute RPD counting areas and the θ2 cache.
+	// Precompute RPD counting areas and the θ2 cache. Counting areas are
+	// kept in ascending record-index order — Add appends only ever-larger
+	// indices, so the invariant is cheap to maintain and makes the trusted
+	// mass accumulation order canonical.
 	s.neighbors = make([][]int32, len(s.records))
 	s.th2 = make([]float64, len(s.records))
 	for i := range s.records {
-		s.neighbors[i] = s.withinRadius(s.records[i].pos, cfg.R)
+		area := s.withinRadius(s.records[i].pos, cfg.R)
+		sortInt32(area)
+		s.neighbors[i] = area
 		s.th2[i] = s.theta2Fresh(int32(i))
 	}
 	return s, nil
 }
 
+// sortInt32 sorts ascending in place.
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
 // appendRecordLocked interns MACs and appends the record plus its grid
 // entry; the caller must hold the write lock (or be the constructor).
 func (s *Store) appendRecordLocked(rec Record) int32 {
-	sr := storedRecord{pos: rec.Pos, readings: make([]reading, 0, len(rec.RSSI))}
+	cid, ok := s.contribIDs[rec.Contributor]
+	if !ok {
+		cid = int32(len(s.contribIDs))
+		s.contribIDs[rec.Contributor] = cid
+		s.contribNames = append(s.contribNames, rec.Contributor)
+		if s.trust != nil {
+			s.wByID = append(s.wByID, s.trustWeightOf(rec.Contributor))
+		}
+	}
+	sr := storedRecord{pos: rec.Pos, contrib: cid, readings: make([]reading, 0, len(rec.RSSI))}
 	for mac, v := range rec.RSSI {
 		id, ok := s.macIDs[mac]
 		if !ok {
@@ -176,7 +219,7 @@ func (s *Store) Record(i int) Record {
 	for _, rd := range sr.readings {
 		m[names[rd.mac]] = int(rd.rssi)
 	}
-	return Record{Pos: sr.pos, RSSI: m}
+	return Record{Pos: sr.pos, RSSI: m, Contributor: s.contribNames[sr.contrib]}
 }
 
 func (s *Store) macNamesLocked() []string { return s.macNames }
@@ -194,7 +237,7 @@ func (s *Store) Records() []Record {
 		for _, rd := range sr.readings {
 			m[names[rd.mac]] = int(rd.rssi)
 		}
-		out[i] = Record{Pos: sr.pos, RSSI: m}
+		out[i] = Record{Pos: sr.pos, RSSI: m, Contributor: s.contribNames[sr.contrib]}
 	}
 	return out
 }
@@ -212,8 +255,24 @@ func (s *Store) Add(records []Record) {
 		// θ2 cache entries of exactly those records change, so they are
 		// recomputed here and nowhere else.
 		area := s.withinRadius(rec.Pos, s.cfg.R)
+		sortInt32(area)
 		s.neighbors = append(s.neighbors, area)
 		s.th2 = append(s.th2, 0)
+		if s.trust != nil {
+			// Maintain the trusted-mass cache: idx is the largest index, so
+			// appending its weight to each neighbor's running sum preserves
+			// the canonical ascending-index accumulation order, and the new
+			// record's own sum walks the (sorted) area from scratch.
+			w := s.wByID[s.records[idx].contrib]
+			var sum float64
+			for _, n := range area {
+				if n != idx {
+					s.wsum[n] += w
+				}
+				sum += s.wByID[s.records[n].contrib]
+			}
+			s.wsum = append(s.wsum, sum)
+		}
 		for _, n := range area {
 			if n != idx {
 				s.neighbors[n] = append(s.neighbors[n], idx)
@@ -231,7 +290,8 @@ func (s *Store) AddUploads(uploads []*wifi.Upload) {
 
 // UploadRecords extracts the crowdsourced records of the given uploads:
 // every point that carries a scan, in point order, skipping invalid
-// uploads — the shared ingestion rule of every Backend.
+// uploads — the shared ingestion rule of every Backend. Each record is
+// stamped with the upload's contributor identity.
 func UploadRecords(uploads []*wifi.Upload) []Record {
 	var recs []Record
 	for _, u := range uploads {
@@ -242,7 +302,9 @@ func UploadRecords(uploads []*wifi.Upload) []Record {
 			if len(u.Scans[i]) == 0 {
 				continue
 			}
-			recs = append(recs, RecordFromScan(pt.Pos, u.Scans[i]))
+			rec := RecordFromScan(pt.Pos, u.Scans[i])
+			rec.Contributor = u.Contributor
+			recs = append(recs, rec)
 		}
 	}
 	return recs
@@ -327,7 +389,65 @@ func (s *Store) Density(h int32) float64 {
 }
 
 func (s *Store) densityLocked(h int32) float64 {
-	return float64(len(s.neighbors[h])) / (math.Pi * s.cfg.R * s.cfg.R)
+	return s.trustMassLocked(h) / (math.Pi * s.cfg.R * s.cfg.R)
+}
+
+// trustMassLocked returns the counting-area population of record h — the
+// plain cardinality for an unweighted store, or the cached sum of
+// contributor trust weights when a trust table is installed.
+func (s *Store) trustMassLocked(h int32) float64 {
+	if s.wsum != nil {
+		return s.wsum[h]
+	}
+	return float64(len(s.neighbors[h]))
+}
+
+// trustWeightOf returns the installed trust weight of a contributor;
+// contributors absent from the table (bootstrap data, the legacy anonymous
+// contributor) are fully trusted. Callers must hold the write lock.
+func (s *Store) trustWeightOf(name string) float64 {
+	if w, ok := s.trust[name]; ok {
+		return w
+	}
+	return 1.0
+}
+
+// SetTrustWeights installs (or, with nil, removes) a contributor trust
+// table. While installed, the θ2 density term of Eq. 6 counts each record
+// in a counting area with its contributor's weight instead of 1, and the
+// θ1 inverse-distance weights of Eq. 5 (and with them the residual
+// reference mean) are scaled by the same per-record weight — mass uploaded
+// by low-trust contributors neither inflates RPD reliability nor steers
+// per-point verification at full strength. The call recomputes the
+// trusted-mass and θ2 caches for every record; subsequent Adds maintain
+// them incrementally. An all-1.0 (or empty) table leaves every answer
+// bit-identical to the unweighted store.
+func (s *Store) SetTrustWeights(weights map[string]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if weights == nil {
+		s.trust, s.wByID, s.wsum = nil, nil, nil
+	} else {
+		s.trust = make(map[string]float64, len(weights))
+		for k, v := range weights {
+			s.trust[k] = v
+		}
+		s.wByID = make([]float64, len(s.contribNames))
+		for i, name := range s.contribNames {
+			s.wByID[i] = s.trustWeightOf(name)
+		}
+		s.wsum = make([]float64, len(s.records))
+		for i := range s.records {
+			var sum float64
+			for _, n := range s.neighbors[i] { // ascending index order
+				sum += s.wByID[s.records[n].contrib]
+			}
+			s.wsum[i] = sum
+		}
+	}
+	for i := range s.records {
+		s.th2[i] = s.theta2Fresh(int32(i))
+	}
 }
 
 // theta2Fresh evaluates Eq. 6 from scratch: reliability of the RPD of
@@ -392,7 +512,8 @@ func (s *Store) confidenceTolLocked(sc *scratch, o geo.Point, mac string, rssi i
 	if !known {
 		return 0, len(refs)
 	}
-	// θ1 normalisation: sum of inverse distances (Eq. 5). Floor the
+	// θ1 normalisation: sum of inverse distances (Eq. 5), trust-scaled per
+	// reference when a contributor weight table is installed. Floor the
 	// distance at a few centimetres so a coincident record does not absorb
 	// all weight.
 	const minDist = 0.05
@@ -402,7 +523,13 @@ func (s *Store) confidenceTolLocked(sc *scratch, o geo.Point, mac string, rssi i
 	for i, idx := range refs {
 		d := math.Max(minDist, geo.Dist(s.records[idx].pos, o))
 		inv[i] = 1 / d
+		if s.wByID != nil {
+			inv[i] *= s.wByID[s.records[idx].contrib]
+		}
 		invSum += inv[i]
+	}
+	if invSum == 0 { // every reference weighted to zero
+		return 0, len(refs)
 	}
 	for i, idx := range refs {
 		theta1 := inv[i] / invSum

@@ -83,7 +83,11 @@ func (c *Client) BuildRequest(u *wifi.Upload) (*UploadRequest, error) {
 	if err := u.Validate(); err != nil {
 		return nil, fmt.Errorf("server: build request: %w", err)
 	}
-	req := &UploadRequest{ID: u.Traj.ID, Points: make([]uploadPoint, u.Traj.Len())}
+	req := &UploadRequest{
+		ID:          u.Traj.ID,
+		Contributor: u.Contributor,
+		Points:      make([]uploadPoint, u.Traj.Len()),
+	}
 	if u.Traj.Mode != 0 {
 		req.Mode = u.Traj.Mode.String()
 	}
@@ -233,8 +237,16 @@ func decodeStatusError(resp *http.Response) *StatusError {
 // id may be empty (the server generates one); mode is the claimed travel
 // mode as in batch uploads ("" = unknown).
 func (c *Client) OpenSession(id, mode string) (string, error) {
+	return c.OpenSessionAs(id, mode, "")
+}
+
+// OpenSessionAs is OpenSession with an uploader identity for the
+// provenance/trust pipeline; empty means the legacy anonymous
+// contributor.
+func (c *Client) OpenSessionAs(id, mode, contributor string) (string, error) {
 	var resp SessionOpenResponse
-	if err := c.postJSON("/v1/session/open", SessionOpenRequest{ID: id, Mode: mode}, &resp); err != nil {
+	req := SessionOpenRequest{ID: id, Mode: mode, Contributor: contributor}
+	if err := c.postJSON("/v1/session/open", req, &resp); err != nil {
 		return "", err
 	}
 	return resp.SessionID, nil

@@ -16,6 +16,7 @@ import (
 	"trajforge/internal/rssimap"
 	"trajforge/internal/stream"
 	"trajforge/internal/trajectory"
+	"trajforge/internal/trust"
 	"trajforge/internal/wal"
 	"trajforge/internal/wifi"
 )
@@ -99,11 +100,22 @@ type RecoveredState struct {
 	// in Records — Service.Restore applies them through the same code path
 	// a live accept takes, so recovery is equivalent to re-receiving them.
 	Uploads []*wifi.Upload
+	// UploadScores holds the WiFi detector's pFake verdict score for each
+	// entry of Uploads (same index). The trust ledger's agreement
+	// statistic feeds on the score, so replay must hand Restore the exact
+	// value the live accept saw; pre-provenance frames recover as 0.
+	UploadScores []float64
 	// Sessions are the streaming sessions still in flight at crash time:
 	// their journaled chunks, with no verdict frame yet. Service.Restore
 	// resumes each one (or aborts it with a journaled verdict when the
 	// restarted configuration cannot hold it).
 	Sessions []stream.SessionState
+	// Trust is the trust-pipeline state (ledger, quarantine, drift) at
+	// snapshot time; nil for pre-provenance snapshots or when the trust
+	// pipeline is disabled. WAL replay through Service.Restore re-applies
+	// post-snapshot uploads on top of it, event-time driven, so the
+	// recovered pipeline matches the crashed one bit-identically.
+	Trust *trust.PipelineState
 }
 
 // Empty reports whether nothing was recovered (fresh data directory).
@@ -120,6 +132,9 @@ type snapshotData struct {
 	Records            []rssimap.Record
 	History            []*trajectory.T
 	Sessions           []stream.SessionState
+	// Trust is nil when the trust pipeline is disabled; gob decodes old
+	// snapshots (no Trust field) to nil, keeping them recoverable.
+	Trust *trust.PipelineState
 }
 
 // entryKind discriminates queued WAL appends. The zero value is a batch
@@ -137,13 +152,15 @@ const (
 // persistEntry is one queued WAL append; a barrier entry (barrier != nil)
 // carries no frame and is closed once everything before it is on disk.
 type persistEntry struct {
-	kind     entryKind
-	accepted bool            // entryVerdict: upload accepted?
-	upload   *wifi.Upload    // accepted verdict payload, or one session chunk
-	sessID   string          // session open/verdict frames
-	mode     trajectory.Mode // session open frames
-	outcome  byte            // session verdict frames
-	barrier  chan struct{}
+	kind        entryKind
+	accepted    bool            // entryVerdict: upload accepted?
+	upload      *wifi.Upload    // accepted verdict payload, or one session chunk
+	sessID      string          // session open/verdict frames
+	mode        trajectory.Mode // session open frames
+	contributor string          // session open frames: uploader identity
+	outcome     byte            // session verdict frames
+	pFake       float64         // detector score of accepted verdicts
+	barrier     chan struct{}
 }
 
 // Persistence is the provider's durability layer: a write-ahead log of
@@ -237,6 +254,7 @@ func (p *Persistence) load() error {
 		}
 		st.Accepted, st.Rejected = snap.Accepted, snap.Rejected
 		st.Records, st.History = snap.Records, snap.History
+		st.Trust = snap.Trust
 		for i := range snap.Sessions {
 			if err := pending.open(snap.Sessions[i]); err != nil {
 				return fmt.Errorf("%w: snapshot sessions: %v", wal.ErrCorrupt, err)
@@ -262,24 +280,25 @@ func (p *Persistence) load() error {
 		err := p.log.Replay(func(typ byte, payload []byte) error {
 			switch typ {
 			case frameAccepted:
-				u, err := decodeUpload(payload)
+				u, pFake, err := decodeUpload(payload)
 				if err != nil {
 					return err
 				}
 				st.Uploads = append(st.Uploads, u)
+				st.UploadScores = append(st.UploadScores, pFake)
 				st.Accepted++
 			case frameRejected:
 				st.Rejected++
 			case frameSessionOpen:
-				id, mode, err := decodeSessionOpen(payload)
+				id, mode, contributor, err := decodeSessionOpen(payload)
 				if err != nil {
 					return err
 				}
-				if err := pending.open(stream.SessionState{ID: id, Mode: mode}); err != nil {
+				if err := pending.open(stream.SessionState{ID: id, Mode: mode, Contributor: contributor}); err != nil {
 					return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
 				}
 			case frameSessionChunk:
-				chunk, err := decodeUpload(payload)
+				chunk, _, err := decodeUpload(payload)
 				if err != nil {
 					return err
 				}
@@ -295,7 +314,7 @@ func (p *Persistence) load() error {
 					return fmt.Errorf("%w: %v", wal.ErrCorrupt, err)
 				}
 			case frameSessionVerdict:
-				id, outcome, err := decodeSessionVerdict(payload)
+				id, outcome, pFake, err := decodeSessionVerdict(payload)
 				if err != nil {
 					return err
 				}
@@ -313,8 +332,10 @@ func (p *Persistence) load() error {
 						Traj: &trajectory.T{
 							ID: sess.ID, Mode: sess.Mode, Points: sess.Points,
 						},
-						Scans: sess.Scans,
+						Scans:       sess.Scans,
+						Contributor: sess.Contributor,
 					})
+					st.UploadScores = append(st.UploadScores, pFake)
 					st.Accepted++
 				case sessionRejected:
 					st.Rejected++
@@ -501,7 +522,7 @@ func (p *Persistence) appendEntry(e persistEntry) {
 			p.noteOutcome(p.log.Append(frameRejected, nil))
 			return
 		}
-		buf, err := appendUpload(p.buf[:0], e.upload)
+		buf, err := appendUpload(p.buf[:0], e.upload, e.pFake)
 		if err != nil {
 			p.noteErr(err)
 			return
@@ -509,7 +530,7 @@ func (p *Persistence) appendEntry(e persistEntry) {
 		p.buf = buf
 		p.noteOutcome(p.log.Append(frameAccepted, buf))
 	case entrySessionOpen:
-		buf, err := appendSessionOpen(p.buf[:0], e.sessID, e.mode)
+		buf, err := appendSessionOpen(p.buf[:0], e.sessID, e.mode, e.contributor)
 		if err != nil {
 			p.noteErr(err)
 			return
@@ -517,7 +538,7 @@ func (p *Persistence) appendEntry(e persistEntry) {
 		p.buf = buf
 		p.noteOutcome(p.log.Append(frameSessionOpen, buf))
 	case entrySessionChunk:
-		buf, err := appendUpload(p.buf[:0], e.upload)
+		buf, err := appendUpload(p.buf[:0], e.upload, 0)
 		if err != nil {
 			p.noteErr(err)
 			return
@@ -525,7 +546,7 @@ func (p *Persistence) appendEntry(e persistEntry) {
 		p.buf = buf
 		p.noteOutcome(p.log.Append(frameSessionChunk, buf))
 	case entrySessionVerdict:
-		buf, err := appendSessionVerdict(p.buf[:0], e.sessID, e.outcome)
+		buf, err := appendSessionVerdict(p.buf[:0], e.sessID, e.outcome, e.pFake)
 		if err != nil {
 			p.noteErr(err)
 			return

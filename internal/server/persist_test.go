@@ -33,13 +33,22 @@ func TestUploadCodecRoundtrip(t *testing.T) {
 	u.Traj.Points[5].Pos.X = math.Nextafter(12.5, 13)
 	u.Traj.Points[5].Pos.Y = -0.0
 
-	buf, err := appendUpload(nil, u)
+	u.Contributor = "device-0042"
+
+	const pFake = 0.1875 // exactly representable: bit-equality must hold
+	buf, err := appendUpload(nil, u, pFake)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeUpload(buf)
+	got, gotScore, err := decodeUpload(buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got.Contributor != u.Contributor {
+		t.Fatalf("decoded contributor = %q, want %q", got.Contributor, u.Contributor)
+	}
+	if math.Float64bits(gotScore) != math.Float64bits(pFake) {
+		t.Fatalf("decoded pFake = %v, want %v", gotScore, pFake)
 	}
 	if got.Traj.ID != u.Traj.ID || got.Traj.Mode != u.Traj.Mode || got.Traj.Len() != u.Traj.Len() {
 		t.Fatalf("decoded header = %q/%v/%d", got.Traj.ID, got.Traj.Mode, got.Traj.Len())
@@ -66,7 +75,7 @@ func TestUploadCodecRoundtrip(t *testing.T) {
 	}
 	// Truncations at every prefix length must error, never panic.
 	for n := range buf {
-		if _, err := decodeUpload(buf[:n]); err == nil {
+		if _, _, err := decodeUpload(buf[:n]); err == nil {
 			t.Fatalf("prefix of %d bytes decoded cleanly", n)
 		}
 	}
@@ -347,7 +356,7 @@ func TestSnapshotSupersedesStaleLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf, err := appendUpload(nil, uploadFor(t, 95, 10))
+	buf, err := appendUpload(nil, uploadFor(t, 95, 10), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

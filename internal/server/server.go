@@ -31,6 +31,7 @@ import (
 	"trajforge/internal/stats"
 	"trajforge/internal/stream"
 	"trajforge/internal/trajectory"
+	"trajforge/internal/trust"
 	"trajforge/internal/wifi"
 )
 
@@ -98,6 +99,11 @@ type Config struct {
 	// DedupCapacity bounds the idempotency-key replay cache (default
 	// 4096 keys, FIFO eviction).
 	DedupCapacity int
+	// Trust, when set (and WiFi ingestion is on), routes accepted uploads
+	// through the poisoning-resistant pipeline: contributor trust ledger,
+	// quarantine staging, drift alarm, and trust-weighted θ2 on the store
+	// backend. Nil keeps the legacy direct-ingestion path bit-identically.
+	Trust *trust.Config
 	// Stream, when set, enables the /v1/session streaming verification
 	// endpoints. New fills an unset Detector from WiFi and an unset
 	// MaxPoints from the service's MaxPoints, so the streaming path scores
@@ -153,6 +159,7 @@ type Service struct {
 	admission *resilience.Admission // nil when MaxInFlight == 0
 	dedup     *dedupCache
 	stream    *stream.Manager // nil unless Config.Stream is set
+	trust     *trust.Pipeline // nil unless Config.Trust is set
 
 	internalErrors  atomic.Int64 // pipeline failures answered with 500
 	deadlineRejects atomic.Int64 // uploads cut off by UploadTimeout/disconnect mid-pipeline
@@ -191,6 +198,9 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.stream = mgr
 	}
+	if cfg.Trust != nil && cfg.WiFi != nil {
+		s.trust = trust.NewPipeline(*cfg.Trust, cfg.WiFi.Store)
+	}
 	if cfg.Persist != nil {
 		if err := cfg.Persist.bind(s); err != nil {
 			return nil, err
@@ -212,20 +222,27 @@ func (s *Service) Restore(state *RecoveredState) {
 	defer s.mu.Unlock()
 	s.accepted = state.Accepted
 	s.rejected = state.Rejected
+	if s.trust != nil && state.Trust != nil {
+		// Trust state first: WAL replay below builds on the snapshot's
+		// ledger/quarantine/drift exactly as live ingestion did.
+		s.trust.RestoreState(*state.Trust)
+	}
 	for _, t := range state.History {
 		s.history = append(s.history, t)
 		if s.cfg.Replay != nil {
 			s.cfg.Replay.AddHistory(t)
 		}
 	}
-	for _, u := range state.Uploads {
+	for i, u := range state.Uploads {
 		s.history = append(s.history, u.Traj)
 		if s.cfg.Replay != nil {
 			s.cfg.Replay.AddHistory(u.Traj)
 		}
-		if s.cfg.IngestAccepted && s.cfg.WiFi != nil {
-			s.cfg.WiFi.Store.AddUploads([]*wifi.Upload{u})
+		var pFake float64
+		if i < len(state.UploadScores) {
+			pFake = state.UploadScores[i]
 		}
+		s.ingestLocked(u, pFake)
 	}
 	// Resume recovered in-flight sessions; one the streaming layer cannot
 	// hold (disabled, over limit, or inconsistent) is aborted cleanly with
@@ -262,6 +279,10 @@ func (s *Service) snapshotLocked() snapshotData {
 	}
 	if s.stream != nil {
 		st.Sessions = s.stream.SnapshotSessions()
+	}
+	if s.trust != nil {
+		ts := s.trust.State()
+		st.Trust = &ts
 	}
 	return st
 }
@@ -314,7 +335,15 @@ type Stats struct {
 	// Sessions reports the streaming verification lifecycle when the
 	// /v1/session endpoints are enabled.
 	Sessions *stream.Stats `json:"sessions,omitempty"`
+	// Trust reports the poisoning-resistance pipeline when one is
+	// configured: contributor counts, trust histogram, quarantine depth,
+	// and per-tile provenance with drift-alarm state.
+	Trust *trust.Stats `json:"trust,omitempty"`
 }
+
+// statsMaxTiles caps the per-tile provenance list in /v1/stats so a
+// city-scale store cannot blow up the stats payload.
+const statsMaxTiles = 64
 
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats {
@@ -356,6 +385,11 @@ func (s *Service) Stats() Stats {
 		v := s.stream.Stats()
 		sess = &v
 	}
+	var tr *trust.Stats
+	if s.trust != nil {
+		v := s.trust.Stats(statsMaxTiles)
+		tr = &v
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
@@ -370,6 +404,7 @@ func (s *Service) Stats() Stats {
 		Shards:          sh,
 		Cluster:         cl,
 		Sessions:        sess,
+		Trust:           tr,
 	}
 }
 
@@ -391,9 +426,12 @@ type uploadPoint struct {
 
 // UploadRequest is the wire form of a trajectory upload.
 type UploadRequest struct {
-	ID     string        `json:"id,omitempty"`
-	Mode   string        `json:"mode,omitempty"`
-	Points []uploadPoint `json:"points"`
+	ID   string `json:"id,omitempty"`
+	Mode string `json:"mode,omitempty"`
+	// Contributor identifies the uploader for the provenance/trust
+	// pipeline; empty means the legacy anonymous contributor.
+	Contributor string        `json:"contributor,omitempty"`
+	Points      []uploadPoint `json:"points"`
 }
 
 // decode converts the wire request into internal types.
@@ -423,7 +461,7 @@ func (s *Service) decode(req *UploadRequest) (*wifi.Upload, error) {
 	if !anyScan && (s.cfg.RequireScans || s.cfg.WiFi != nil) {
 		return nil, errors.New("upload carries no WiFi scans")
 	}
-	return &wifi.Upload{Traj: t, Scans: scans}, nil
+	return &wifi.Upload{Traj: t, Scans: scans, Contributor: req.Contributor}, nil
 }
 
 // decodePoints converts wire points into projected plane points and scans —
@@ -587,11 +625,10 @@ func (s *Service) record(u *wifi.Upload, v Verdict) {
 		if s.cfg.Replay != nil {
 			s.cfg.Replay.AddHistory(u.Traj)
 		}
-		if s.cfg.IngestAccepted && s.cfg.WiFi != nil {
-			s.cfg.WiFi.Store.AddUploads([]*wifi.Upload{u})
-		}
+		pFake := verdictScore(v)
+		s.ingestLocked(u, pFake)
 		if s.cfg.Persist != nil {
-			s.cfg.Persist.enqueueLocked(persistEntry{accepted: true, upload: u})
+			s.cfg.Persist.enqueueLocked(persistEntry{accepted: true, upload: u, pFake: pFake})
 		}
 		return
 	}
@@ -599,6 +636,40 @@ func (s *Service) record(u *wifi.Upload, v Verdict) {
 	if s.cfg.Persist != nil {
 		s.cfg.Persist.enqueueLocked(persistEntry{accepted: false})
 	}
+}
+
+// verdictScore extracts the WiFi detector's pFake from a verdict; 0 when
+// the detector did not run.
+func verdictScore(v Verdict) float64 {
+	if v.WiFiProbFake != nil {
+		return *v.WiFiProbFake
+	}
+	return 0
+}
+
+// ingestLocked feeds one accepted upload into the crowdsourced store —
+// directly, or through the trust pipeline when one is configured. Called
+// with s.mu held; the WAL replay in Restore takes the identical path, so
+// a recovered store (and trust state) matches the live one bit-identically.
+func (s *Service) ingestLocked(u *wifi.Upload, pFake float64) {
+	if !s.cfg.IngestAccepted || s.cfg.WiFi == nil {
+		return
+	}
+	if s.trust != nil {
+		s.trust.IngestUpload(u, pFake, uploadEventTime(u))
+		return
+	}
+	s.cfg.WiFi.Store.AddUploads([]*wifi.Upload{u})
+}
+
+// uploadEventTime is the event clock the trust pipeline runs on: the
+// upload's latest point time. Wall clocks would make WAL replay diverge
+// from live ingestion; point times are journaled bit-exact.
+func uploadEventTime(u *wifi.Upload) time.Time {
+	if n := len(u.Traj.Points); n > 0 {
+		return u.Traj.Points[n-1].Time
+	}
+	return time.Time{}
 }
 
 // Health is the /v1/health body. Live is true whenever the process
@@ -617,6 +688,16 @@ type Health struct {
 	Breaker string `json:"breaker,omitempty"`
 	// Reason says what is degraded when Degraded is set.
 	Reason string `json:"reason,omitempty"`
+}
+
+// TrustWeight returns the trust pipeline's current weight for a
+// contributor, or 1.0 when no pipeline is configured (every contributor
+// fully trusted — matching the unweighted store).
+func (s *Service) TrustWeight(name string) float64 {
+	if s.trust == nil {
+		return 1.0
+	}
+	return s.trust.Weight(name)
 }
 
 // Health reports the service's liveness/readiness/degradation state.
@@ -642,6 +723,18 @@ func (s *Service) Health() Health {
 				if h.Reason == "" {
 					h.Reason = reason
 				}
+			}
+		}
+	}
+	if s.trust != nil {
+		if reason := s.trust.DriftAlarmReason(); reason != "" {
+			// A drift alarm is a data-quality signal, not a serving outage:
+			// the node stays Ready (load balancers should not eject it) but
+			// reports degraded so operators see the suspected poisoning.
+			h.Status = "degraded"
+			h.Degraded = true
+			if h.Reason == "" {
+				h.Reason = reason
 			}
 		}
 	}

@@ -31,6 +31,10 @@ import (
 type SessionOpenRequest struct {
 	ID   string `json:"id,omitempty"`
 	Mode string `json:"mode,omitempty"`
+	// Contributor identifies the uploader for the provenance/trust
+	// pipeline; empty means the legacy anonymous contributor. Identity is
+	// bound at open time and applies to the whole session.
+	Contributor string `json:"contributor,omitempty"`
 }
 
 // SessionOpenResponse returns the session id to append against.
@@ -89,11 +93,11 @@ func (s *Service) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		}
 		mode = m
 	}
-	id, err := s.openSession(req.ID, mode)
+	id, err := s.openSession(req.ID, mode, req.Contributor)
 	if errors.Is(err, stream.ErrLimit) {
 		// Expired sessions may be holding slots; sweep and retry once.
 		s.SweepSessions()
-		id, err = s.openSession(req.ID, mode)
+		id, err = s.openSession(req.ID, mode, req.Contributor)
 	}
 	if err != nil {
 		s.writeStreamError(w, req.ID, err)
@@ -104,16 +108,16 @@ func (s *Service) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 
 // openSession registers the session and journals the open frame under the
 // service mutex, so the frame lands before any of the session's chunks.
-func (s *Service) openSession(id string, mode trajectory.Mode) (string, error) {
+func (s *Service) openSession(id string, mode trajectory.Mode, contributor string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id, err := s.stream.Open(id, mode)
+	id, err := s.stream.OpenAs(id, mode, contributor)
 	if err != nil {
 		return "", err
 	}
 	if s.cfg.Persist != nil {
 		s.cfg.Persist.enqueueLocked(persistEntry{
-			kind: entrySessionOpen, sessID: id, mode: mode,
+			kind: entrySessionOpen, sessID: id, mode: mode, contributor: contributor,
 		})
 	}
 	return id, nil
@@ -374,19 +378,17 @@ func (s *Service) recordSession(id string, u *wifi.Upload, v Verdict) {
 		if s.cfg.Replay != nil {
 			s.cfg.Replay.AddHistory(u.Traj)
 		}
-		if s.cfg.IngestAccepted && s.cfg.WiFi != nil {
-			// The paper's crowdsourcing loop closes here: a session verified
-			// as real feeds its scans back into the RSSI store through the
-			// incremental append (θ2-cache) path, on whichever backend —
-			// global or sharded — the detector runs against.
-			s.cfg.WiFi.Store.AddUploads([]*wifi.Upload{u})
-		}
+		// The paper's crowdsourcing loop closes here: a session verified
+		// as real feeds its scans back into the RSSI store (through the
+		// trust pipeline when one is configured), on whichever backend —
+		// global or sharded — the detector runs against.
+		s.ingestLocked(u, verdictScore(v))
 	} else {
 		s.rejected++
 	}
 	if s.cfg.Persist != nil {
 		s.cfg.Persist.enqueueLocked(persistEntry{
-			kind: entrySessionVerdict, sessID: id, outcome: outcome,
+			kind: entrySessionVerdict, sessID: id, outcome: outcome, pFake: verdictScore(v),
 		})
 	}
 	s.stream.Resolve(id)

@@ -704,38 +704,81 @@ func TestSessionRecoveryAbortsWhenStreamingDisabled(t *testing.T) {
 
 // TestSessionCodecRoundtrip pins the new WAL frame payload codecs.
 func TestSessionCodecRoundtrip(t *testing.T) {
-	buf, err := appendSessionOpen(nil, "sess-1", 2)
+	buf, err := appendSessionOpen(nil, "sess-1", 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, mode, err := decodeSessionOpen(buf)
-	if err != nil || id != "sess-1" || mode != 2 {
-		t.Fatalf("decoded open = %q/%v/%v", id, mode, err)
+	id, mode, contrib, err := decodeSessionOpen(buf)
+	if err != nil || id != "sess-1" || mode != 2 || contrib != "" {
+		t.Fatalf("decoded open = %q/%v/%q/%v", id, mode, contrib, err)
 	}
 	for n := range buf {
-		if _, _, err := decodeSessionOpen(buf[:n]); err == nil {
+		if _, _, _, err := decodeSessionOpen(buf[:n]); err == nil {
 			t.Fatalf("open prefix of %d bytes decoded cleanly", n)
 		}
 	}
-	if _, _, err := decodeSessionOpen(append(buf, 0)); err == nil {
+	if _, _, _, err := decodeSessionOpen(append(buf, 0)); err == nil {
 		t.Fatal("trailing byte accepted")
 	}
-	if _, err := appendSessionOpen(nil, "", 0); err == nil {
+	if _, err := appendSessionOpen(nil, "", 0, ""); err == nil {
 		t.Fatal("empty id encoded")
 	}
 
-	buf, err = appendSessionVerdict(nil, "sess-2", sessionAccepted)
+	// A contributor-carrying open frame roundtrips; the prefix that stops
+	// at the mode byte is itself a valid anonymous legacy frame, so the
+	// truncation sweep starts after it.
+	buf, err = appendSessionOpen(nil, "sess-1", 2, "device-7")
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, outcome, err := decodeSessionVerdict(buf)
-	if err != nil || id != "sess-2" || outcome != sessionAccepted {
-		t.Fatalf("decoded verdict = %q/%d/%v", id, outcome, err)
+	legacyLen := 2 + len("sess-1") + 1
+	id, mode, contrib, err = decodeSessionOpen(buf)
+	if err != nil || id != "sess-1" || mode != 2 || contrib != "device-7" {
+		t.Fatalf("decoded open = %q/%v/%q/%v", id, mode, contrib, err)
 	}
+	for n := legacyLen + 1; n < len(buf); n++ {
+		if _, _, _, err := decodeSessionOpen(buf[:n]); err == nil {
+			t.Fatalf("open prefix of %d bytes decoded cleanly", n)
+		}
+	}
+	// An explicitly-present empty contributor block is refused: the
+	// canonical encoding of "no contributor" is no block at all.
+	bad := append(append([]byte(nil), buf[:legacyLen]...), 0, 0)
+	if _, _, _, err := decodeSessionOpen(bad); err == nil {
+		t.Fatal("empty contributor block accepted")
+	}
+
+	buf, err = appendSessionVerdict(nil, "sess-2", sessionAccepted, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, outcome, pFake, err := decodeSessionVerdict(buf)
+	if err != nil || id != "sess-2" || outcome != sessionAccepted || pFake != 0.25 {
+		t.Fatalf("decoded verdict = %q/%d/%v/%v", id, outcome, pFake, err)
+	}
+	// The prefix that stops at the outcome byte is a valid legacy frame
+	// (score recovers as 0); every other truncation must error.
+	legacyLen = 2 + len("sess-2") + 1
 	for n := range buf {
-		if _, _, err := decodeSessionVerdict(buf[:n]); err == nil {
+		_, _, gotScore, err := decodeSessionVerdict(buf[:n])
+		if n == legacyLen {
+			if err != nil || gotScore != 0 {
+				t.Fatalf("legacy verdict frame = %v/%v", gotScore, err)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("verdict prefix of %d bytes decoded cleanly", n)
 		}
+	}
+
+	// Rejected/aborted verdicts carry no score and roundtrip bare.
+	buf, err = appendSessionVerdict(nil, "sess-2", sessionAborted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, outcome, _, err := decodeSessionVerdict(buf); err != nil || outcome != sessionAborted || id != "sess-2" {
+		t.Fatalf("decoded abort = %q/%d/%v", id, outcome, err)
 	}
 
 	buf, err = appendSessionReject(nil, "sess-3")

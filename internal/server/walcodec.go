@@ -17,21 +17,33 @@ import (
 // (little-endian IEEE-754 bits), so a store rebuilt from the log answers
 // feature queries bit-identically to the store that ingested the upload.
 //
-// Layout (version 1, little endian):
+// Layout (version 2, little endian):
 //
 //	u8 version | u8 mode | u16 len(id) | id |
 //	u32 nPoints | nPoints × { f64 X | f64 Y | i64 unixNanos } |
-//	nPoints × { u16 nObs | nObs × { u8 len(mac) | mac | i16 rssi } }
+//	nPoints × { u16 nObs | nObs × { u8 len(mac) | mac | i16 rssi } } |
+//	u16 len(contributor) | contributor | f64 pFake
+//
+// Version 1 frames (pre-provenance) end after the scans; decodeUpload
+// accepts both, mapping v1 to the legacy anonymous contributor with a
+// zero score, so WALs written before the trust subsystem still recover.
+// pFake is the WiFi detector's verdict score (exact IEEE-754 bits): the
+// trust ledger's agreement statistic feeds on it, so replay must see the
+// same value the live accept saw. Session chunk frames reuse this codec
+// with pFake 0 — their score rides the session verdict frame instead.
 
-const uploadCodecVersion = 1
+const uploadCodecVersion = 2
 
 // appendUpload encodes u onto buf and returns the extended slice.
-func appendUpload(buf []byte, u *wifi.Upload) ([]byte, error) {
+func appendUpload(buf []byte, u *wifi.Upload, pFake float64) ([]byte, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
 	if len(u.Traj.ID) > math.MaxUint16 {
 		return nil, fmt.Errorf("server: upload id of %d bytes too long to persist", len(u.Traj.ID))
+	}
+	if len(u.Contributor) > math.MaxUint16 {
+		return nil, fmt.Errorf("server: contributor of %d bytes too long to persist", len(u.Contributor))
 	}
 	buf = append(buf, uploadCodecVersion, byte(u.Traj.Mode))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(u.Traj.ID)))
@@ -56,50 +68,84 @@ func appendUpload(buf []byte, u *wifi.Upload) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(obs.RSSI)))
 		}
 	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(u.Contributor)))
+	buf = append(buf, u.Contributor...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pFake))
 	return buf, nil
 }
 
 // appendSessionOpen encodes a frameSessionOpen payload:
 //
-//	u16 len(id) | id | u8 mode
-func appendSessionOpen(buf []byte, id string, mode trajectory.Mode) ([]byte, error) {
+//	u16 len(id) | id | u8 mode [ | u16 len(contributor) | contributor ]
+//
+// The contributor block is appended only when non-empty; old frames (and
+// anonymous sessions) end after the mode byte, so pre-provenance WALs
+// still decode.
+func appendSessionOpen(buf []byte, id string, mode trajectory.Mode, contributor string) ([]byte, error) {
 	if id == "" {
 		return nil, fmt.Errorf("server: session open without an id")
 	}
 	if len(id) > math.MaxUint16 {
 		return nil, fmt.Errorf("server: session id of %d bytes too long to persist", len(id))
 	}
+	if len(contributor) > math.MaxUint16 {
+		return nil, fmt.Errorf("server: contributor of %d bytes too long to persist", len(contributor))
+	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
 	buf = append(buf, id...)
 	buf = append(buf, byte(mode))
+	if contributor != "" {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(contributor)))
+		buf = append(buf, contributor...)
+	}
 	return buf, nil
 }
 
 // decodeSessionOpen parses a frameSessionOpen payload.
-func decodeSessionOpen(data []byte) (string, trajectory.Mode, error) {
+func decodeSessionOpen(data []byte) (string, trajectory.Mode, string, error) {
 	r := &frameReader{data: data}
 	idLen, err := r.u16()
 	if err != nil {
-		return "", 0, err
+		return "", 0, "", err
 	}
 	id, err := r.take(int(idLen))
 	if err != nil {
-		return "", 0, err
+		return "", 0, "", err
 	}
 	mode, err := r.u8()
 	if err != nil {
-		return "", 0, err
+		return "", 0, "", err
+	}
+	var contributor string
+	if r.off != len(data) {
+		cLen, err := r.u16()
+		if err != nil {
+			return "", 0, "", err
+		}
+		c, err := r.take(int(cLen))
+		if err != nil {
+			return "", 0, "", err
+		}
+		if len(c) == 0 {
+			return "", 0, "", fmt.Errorf("server: empty contributor block in session open frame")
+		}
+		contributor = string(c)
 	}
 	if r.off != len(data) {
-		return "", 0, fmt.Errorf("server: %d trailing bytes in session open frame", len(data)-r.off)
+		return "", 0, "", fmt.Errorf("server: %d trailing bytes in session open frame", len(data)-r.off)
 	}
-	return string(id), trajectory.Mode(mode), nil
+	return string(id), trajectory.Mode(mode), contributor, nil
 }
 
 // appendSessionVerdict encodes a frameSessionVerdict payload:
 //
-//	u16 len(id) | id | u8 outcome
-func appendSessionVerdict(buf []byte, id string, outcome byte) ([]byte, error) {
+//	u16 len(id) | id | u8 outcome [ | f64 pFake ]
+//
+// The detector score is appended only for accepted outcomes — it feeds
+// the trust ledger's agreement statistic at replay, and only accepted
+// sessions reach the trust pipeline. Old frames (and rejects/aborts) end
+// after the outcome byte, so pre-provenance WALs still decode.
+func appendSessionVerdict(buf []byte, id string, outcome byte, pFake float64) ([]byte, error) {
 	if id == "" {
 		return nil, fmt.Errorf("server: session verdict without an id")
 	}
@@ -109,28 +155,39 @@ func appendSessionVerdict(buf []byte, id string, outcome byte) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
 	buf = append(buf, id...)
 	buf = append(buf, outcome)
+	if outcome == sessionAccepted {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pFake))
+	}
 	return buf, nil
 }
 
 // decodeSessionVerdict parses a frameSessionVerdict payload.
-func decodeSessionVerdict(data []byte) (string, byte, error) {
+func decodeSessionVerdict(data []byte) (string, byte, float64, error) {
 	r := &frameReader{data: data}
 	idLen, err := r.u16()
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	id, err := r.take(int(idLen))
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	outcome, err := r.u8()
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
+	}
+	var pFake float64
+	if r.off != len(data) {
+		bits, err := r.u64()
+		if err != nil {
+			return "", 0, 0, err
+		}
+		pFake = math.Float64frombits(bits)
 	}
 	if r.off != len(data) {
-		return "", 0, fmt.Errorf("server: %d trailing bytes in session verdict frame", len(data)-r.off)
+		return "", 0, 0, fmt.Errorf("server: %d trailing bytes in session verdict frame", len(data)-r.off)
 	}
-	return string(id), outcome, nil
+	return string(id), outcome, pFake, nil
 }
 
 // appendSessionReject encodes a frameSessionReject payload:
@@ -213,33 +270,33 @@ func (r *frameReader) u64() (uint64, error) {
 }
 
 // decodeUpload parses one frame payload back into an upload.
-func decodeUpload(data []byte) (*wifi.Upload, error) {
+func decodeUpload(data []byte) (*wifi.Upload, float64, error) {
 	r := &frameReader{data: data}
 	ver, err := r.u8()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if ver != uploadCodecVersion {
-		return nil, fmt.Errorf("server: unknown upload frame version %d", ver)
+	if ver != 1 && ver != uploadCodecVersion {
+		return nil, 0, fmt.Errorf("server: unknown upload frame version %d", ver)
 	}
 	mode, err := r.u8()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	idLen, err := r.u16()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	id, err := r.take(int(idLen))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n, err := r.u32()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if int64(n)*24 > int64(len(data)) {
-		return nil, fmt.Errorf("server: upload frame claims %d points in %d bytes", n, len(data))
+		return nil, 0, fmt.Errorf("server: upload frame claims %d points in %d bytes", n, len(data))
 	}
 	t := &trajectory.T{
 		ID:     string(id),
@@ -249,15 +306,15 @@ func decodeUpload(data []byte) (*wifi.Upload, error) {
 	for i := range t.Points {
 		xb, err := r.u64()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		yb, err := r.u64()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		ns, err := r.u64()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		t.Points[i].Pos.X = math.Float64frombits(xb)
 		t.Points[i].Pos.Y = math.Float64frombits(yb)
@@ -267,28 +324,46 @@ func decodeUpload(data []byte) (*wifi.Upload, error) {
 	for i := range scans {
 		nObs, err := r.u16()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		scan := make(wifi.Scan, 0, nObs)
 		for j := 0; j < int(nObs); j++ {
 			macLen, err := r.u8()
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			mac, err := r.take(int(macLen))
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			rssi, err := r.u16()
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			scan = append(scan, wifi.Observation{MAC: string(mac), RSSI: int(int16(rssi))})
 		}
 		scans[i] = scan
 	}
-	if r.off != len(data) {
-		return nil, fmt.Errorf("server: %d trailing bytes in upload frame", len(data)-r.off)
+	var contributor string
+	var pFake float64
+	if ver >= 2 {
+		cLen, err := r.u16()
+		if err != nil {
+			return nil, 0, err
+		}
+		c, err := r.take(int(cLen))
+		if err != nil {
+			return nil, 0, err
+		}
+		contributor = string(c)
+		bits, err := r.u64()
+		if err != nil {
+			return nil, 0, err
+		}
+		pFake = math.Float64frombits(bits)
 	}
-	return &wifi.Upload{Traj: t, Scans: scans}, nil
+	if r.off != len(data) {
+		return nil, 0, fmt.Errorf("server: %d trailing bytes in upload frame", len(data)-r.off)
+	}
+	return &wifi.Upload{Traj: t, Scans: scans, Contributor: contributor}, pFake, nil
 }

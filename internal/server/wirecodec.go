@@ -30,15 +30,23 @@ import (
 //	u16 len(id) | id | u8 mode | u32 nPoints |
 //	nPoints × { f64 lat | f64 lon | i64 unixMillis } |
 //	nPoints × { u16 nObs | nObs × { u8 len(mac) | mac | i16 rssi } }
+//	[ | u16 len(contributor) | contributor ]
+//
+// The contributor block is present iff the contributor is non-empty
+// (the parser rejects a present-but-empty block), so pre-provenance
+// frames — which end after the scans — parse unchanged as the legacy
+// anonymous contributor and canonicity is preserved in both directions.
 //
 // kind=2 (session append) payload:
 //
 //	u16 len(sessionID) | sessionID | u32 seq | u32 nPoints |
-//	points and scans as in kind=1
+//	points and scans as in kind=1 (no contributor block: identity is
+//	bound at /v1/session/open)
 //
-// The encoding is canonical — fixed field order, no optional fields, no
-// redundancy beyond payloadLen (which must equal the remaining byte count
-// exactly) — so encode(parse(frame)) reproduces the frame byte for byte;
+// The encoding is canonical — fixed field order, the one optional field
+// constrained so only one encoding exists per value, no redundancy beyond
+// payloadLen (which must equal the remaining byte count exactly) — so
+// encode(parse(frame)) reproduces the frame byte for byte;
 // FuzzBinaryCodec pins that property.
 
 // ContentTypeBinary is the negotiated media type of binary request bodies.
@@ -276,6 +284,9 @@ func EncodeUploadBinary(req *UploadRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(req.Contributor) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: contributor of %d bytes", ErrWireValue, len(req.Contributor))
+	}
 	buf := make([]byte, 6, 6+2+len(req.ID)+1+4+len(req.Points)*wirePointSize)
 	buf[0], buf[1] = wireVersion, wireKindUpload
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.ID)))
@@ -285,6 +296,10 @@ func EncodeUploadBinary(req *UploadRequest) ([]byte, error) {
 	buf, err = appendWirePoints(buf, req.Points)
 	if err != nil {
 		return nil, err
+	}
+	if req.Contributor != "" {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.Contributor)))
+		buf = append(buf, req.Contributor...)
 	}
 	return finishWireFrame(buf), nil
 }
@@ -322,10 +337,27 @@ func ParseUploadBinary(data []byte) (*UploadRequest, error) {
 	if err != nil {
 		return nil, err
 	}
+	var contributor string
+	if r.off != len(data) {
+		cLen, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := r.take(int(cLen))
+		if err != nil {
+			return nil, err
+		}
+		if len(c) == 0 {
+			// An empty contributor must be encoded by omission, else two
+			// frames would decode to the same request and canonicity breaks.
+			return nil, fmt.Errorf("%w: empty contributor block", ErrWireValue)
+		}
+		contributor = string(c)
+	}
 	if r.off != len(data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWireOversized, len(data)-r.off)
 	}
-	return &UploadRequest{ID: string(id), Mode: mode, Points: pts}, nil
+	return &UploadRequest{ID: string(id), Mode: mode, Points: pts, Contributor: contributor}, nil
 }
 
 // EncodeSessionAppendBinary renders a session append as a binary frame.

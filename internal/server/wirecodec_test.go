@@ -279,6 +279,13 @@ func FuzzBinaryCodec(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed)
+	req.Contributor = "device-fuzz"
+	cseed, err := EncodeUploadBinary(req)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cseed)
+	req.Contributor = ""
 	areq, err := c.BuildSessionAppend("sess-fuzz", 1, u, 0, 6)
 	if err != nil {
 		f.Fatal(err)
@@ -350,13 +357,19 @@ func TestRegenBinaryCodecCorpus(t *testing.T) {
 	}
 	corrupt := append([]byte(nil), upFrame...)
 	corrupt[0] = 99
+	req.Contributor = "corpus-device-7"
+	contribFrame, err := EncodeUploadBinary(req)
+	if err != nil {
+		t.Fatal(err)
+	}
 	entries := map[string][]byte{
-		"seed-upload":          upFrame,
-		"seed-session-append":  apFrame,
-		"seed-upload-no-scans": nsFrame,
-		"seed-truncated":       upFrame[:len(upFrame)/3],
-		"seed-bad-version":     corrupt,
-		"seed-header-only":     {wireVersion, wireKindUpload, 0, 0, 0, 0},
+		"seed-upload":             upFrame,
+		"seed-upload-contributor": contribFrame,
+		"seed-session-append":     apFrame,
+		"seed-upload-no-scans":    nsFrame,
+		"seed-truncated":          upFrame[:len(upFrame)/3],
+		"seed-bad-version":        corrupt,
+		"seed-header-only":        {wireVersion, wireKindUpload, 0, 0, 0, 0},
 	}
 	dir := filepath.Join("testdata", "fuzz", "FuzzBinaryCodec")
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -130,9 +130,13 @@ type Store struct {
 	mu     sync.RWMutex
 	shards map[[2]int]*rssimap.Store
 	log    []rssimap.Record
+	// trust, when non-nil, is the contributor trust table installed on every
+	// shard (existing and lazily created) — see rssimap.TrustWeighted.
+	trust map[string]float64
 }
 
 var _ rssimap.Backend = (*Store)(nil)
+var _ rssimap.TrustWeighted = (*Store)(nil)
 
 // New builds a sharded store over the given records.
 func New(cfg Config, records []rssimap.Record) (*Store, error) {
@@ -188,6 +192,9 @@ func (s *Store) Add(records []rssimap.Record) {
 		if !ok {
 			// cfg.Store was validated in New; an empty store cannot fail.
 			sh, _ = rssimap.NewStore(s.cfg.Store, nil)
+			if s.trust != nil {
+				sh.SetTrustWeights(s.trust)
+			}
 			s.shards[t] = sh
 		}
 		targets = append(targets, sh)
@@ -207,12 +214,40 @@ func (s *Store) AddUploads(uploads []*wifi.Upload) {
 	s.Add(rssimap.UploadRecords(uploads))
 }
 
+// SetTrustWeights installs (nil removes) the contributor trust table on
+// every shard. Because each shard preserves global insertion order and
+// halo replication gives the owning shard the complete counting area of
+// every reachable reference, the trusted-mass accumulation order per
+// record matches the global store's — answers stay bit-identical across
+// backends under any weight table.
+func (s *Store) SetTrustWeights(weights map[string]float64) {
+	s.mu.Lock()
+	if weights == nil {
+		s.trust = nil
+	} else {
+		s.trust = make(map[string]float64, len(weights))
+		for k, v := range weights {
+			s.trust[k] = v
+		}
+	}
+	trust := s.trust
+	targets := make([]*rssimap.Store, 0, len(s.shards))
+	for _, sh := range s.shards {
+		targets = append(targets, sh)
+	}
+	s.mu.Unlock()
+	// Per-shard recomputation runs under each shard's own write lock.
+	for _, sh := range targets {
+		sh.SetTrustWeights(trust)
+	}
+}
+
 func cloneRecord(rec rssimap.Record) rssimap.Record {
 	m := make(map[string]int, len(rec.RSSI))
 	for mac, v := range rec.RSSI {
 		m[mac] = v
 	}
-	return rssimap.Record{Pos: rec.Pos, RSSI: m}
+	return rssimap.Record{Pos: rec.Pos, RSSI: m, Contributor: rec.Contributor}
 }
 
 // Len returns the number of canonical (un-replicated) records.

@@ -185,8 +185,9 @@ const (
 
 // session is one in-flight streaming verification.
 type session struct {
-	id   string
-	mode trajectory.Mode
+	id          string
+	mode        trajectory.Mode
+	contributor string // uploader identity bound at open; "" = anonymous
 
 	mu       sync.Mutex
 	phase    sessionPhase
@@ -219,6 +220,10 @@ type SessionState struct {
 	Chunks int
 	Points []trajectory.Point
 	Scans  []wifi.Scan
+	// Contributor is the uploader identity bound at open ("" = legacy
+	// anonymous); it survives snapshots and WAL replay so a resumed
+	// session's accepted upload carries the same provenance.
+	Contributor string
 	// Rejected carries the early-exit marker across crashes: a client that
 	// was told its prefix is confidently forged must still be refused after
 	// recovery, not silently readmitted.
@@ -285,6 +290,13 @@ func newSessionID() string {
 // a burst of abandoned sessions cannot wedge admission until their ids are
 // swept.
 func (m *Manager) Open(id string, mode trajectory.Mode) (string, error) {
+	return m.OpenAs(id, mode, "")
+}
+
+// OpenAs is Open with the uploader identity bound to the session; the
+// assembled upload BeginClose returns carries it, so accepted sessions
+// ingest with provenance.
+func (m *Manager) OpenAs(id string, mode trajectory.Mode, contributor string) (string, error) {
 	now := m.cfg.Clock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -307,7 +319,7 @@ func (m *Manager) Open(id string, mode trajectory.Mode) (string, error) {
 	if live >= m.cfg.MaxSessions {
 		return "", ErrLimit
 	}
-	s := &session{id: id, mode: mode, created: now, lastActive: now}
+	s := &session{id: id, mode: mode, contributor: contributor, created: now, lastActive: now}
 	m.sessions[id] = s
 	m.order = append(m.order, id)
 	m.opened.Add(1)
@@ -534,8 +546,9 @@ func (m *Manager) BeginClose(id string) (*wifi.Upload, Ack, error) {
 	}
 	s.phase = phaseClosing
 	u := &wifi.Upload{
-		Traj:  &trajectory.T{ID: s.id, Mode: s.mode, Points: s.points},
-		Scans: s.scans,
+		Traj:        &trajectory.T{ID: s.id, Mode: s.mode, Points: s.points},
+		Scans:       s.scans,
+		Contributor: s.contributor,
 	}
 	return u, s.lastAck, nil
 }
@@ -672,12 +685,13 @@ func (m *Manager) SnapshotSessions() []SessionState {
 		s := m.sessions[id]
 		s.mu.Lock()
 		out = append(out, SessionState{
-			ID:       s.id,
-			Mode:     s.mode,
-			Chunks:   s.chunks,
-			Points:   append([]trajectory.Point(nil), s.points...),
-			Scans:    cloneScans(s.scans),
-			Rejected: s.rejected,
+			ID:          s.id,
+			Mode:        s.mode,
+			Chunks:      s.chunks,
+			Points:      append([]trajectory.Point(nil), s.points...),
+			Scans:       cloneScans(s.scans),
+			Rejected:    s.rejected,
+			Contributor: s.contributor,
 		})
 		s.mu.Unlock()
 	}
@@ -715,13 +729,14 @@ func (m *Manager) RestoreSession(st SessionState) error {
 		return ErrLimit
 	}
 	s := &session{
-		id:         st.ID,
-		mode:       st.Mode,
-		points:     append([]trajectory.Point(nil), st.Points...),
-		scans:      cloneScans(st.Scans),
-		chunks:     st.Chunks,
-		created:    now,
-		lastActive: now,
+		id:          st.ID,
+		mode:        st.Mode,
+		contributor: st.Contributor,
+		points:      append([]trajectory.Point(nil), st.Points...),
+		scans:       cloneScans(st.Scans),
+		chunks:      st.Chunks,
+		created:     now,
+		lastActive:  now,
 	}
 	if len(s.points) >= 2 {
 		s.interval = s.points[1].Time.Sub(s.points[0].Time)

@@ -1,0 +1,246 @@
+package trust
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DriftConfig parameterises the per-tile RPD drift alarm.
+type DriftConfig struct {
+	// Window is the number of served records per tile between snapshot
+	// rotations: the live window is compared against the previous
+	// (trailing) window each time it fills.
+	Window int
+	// MinSamples gates comparison: both the live window and the trailing
+	// snapshot must hold at least this many records, else the rotation is
+	// silent (a trailing snapshot shorter than the window never alarms).
+	MinSamples int
+	// High and Low are the L1-distance hysteresis thresholds: the alarm
+	// trips at >= High and clears only at <= Low, so honest churn
+	// hovering near the trigger cannot flap it.
+	High, Low float64
+	// BinDB is the dBm width of one histogram bin.
+	BinDB int
+}
+
+// DefaultDriftConfig returns the calibrated alarm parameters.
+func DefaultDriftConfig() DriftConfig {
+	return DriftConfig{Window: 64, MinSamples: 32, High: 0.5, Low: 0.25, BinDB: 4}
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	d := DefaultDriftConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = d.MinSamples
+	}
+	if c.High <= 0 {
+		c.High = d.High
+	}
+	if c.Low <= 0 {
+		c.Low = d.Low
+	}
+	if c.BinDB <= 0 {
+		c.BinDB = d.BinDB
+	}
+	return c
+}
+
+// TileDriftState is the gob-serialisable drift state of one tile — part
+// of the snapshot surface and the /v1/stats drift report.
+type TileDriftState struct {
+	Tile      [2]int
+	Live      map[int]int // live-window histogram: bin -> reading count
+	LiveRecs  int
+	Snap      map[int]int // trailing-window histogram
+	SnapRecs  int
+	Alarmed   bool
+	LastDist  float64 // L1 distance at the last rotation
+	Rotations int
+}
+
+type tileDrift struct {
+	live      map[int]int
+	liveRecs  int
+	snap      map[int]int
+	snapRecs  int
+	alarmed   bool
+	lastDist  float64
+	rotations int
+}
+
+// DriftDetector watches the distribution of RSSI mass entering each
+// tile's serving store and alarms when one window's histogram moves too
+// far from the trailing window's. It is not internally locked; the
+// owning Pipeline serialises access.
+type DriftDetector struct {
+	cfg   DriftConfig
+	tiles map[[2]int]*tileDrift
+}
+
+// NewDriftDetector builds an empty detector.
+func NewDriftDetector(cfg DriftConfig) *DriftDetector {
+	return &DriftDetector{cfg: cfg.withDefaults(), tiles: make(map[[2]int]*tileDrift)}
+}
+
+// Observe feeds one served record's readings into its tile's live
+// window, rotating and comparing when the window fills.
+func (d *DriftDetector) Observe(tile [2]int, rssi map[string]int) {
+	td, ok := d.tiles[tile]
+	if !ok {
+		td = &tileDrift{live: make(map[int]int)}
+		d.tiles[tile] = td
+	}
+	for _, v := range rssi {
+		td.live[v/d.cfg.BinDB]++
+	}
+	td.liveRecs++
+	if td.liveRecs >= d.cfg.Window {
+		d.rotate(td)
+	}
+}
+
+// rotate compares the filled live window against the trailing snapshot,
+// applies hysteresis, and makes the live window the new snapshot.
+func (d *DriftDetector) rotate(td *tileDrift) {
+	if td.snapRecs >= d.cfg.MinSamples && td.liveRecs >= d.cfg.MinSamples {
+		dist := l1Dist(td.live, td.snap)
+		td.lastDist = dist
+		if dist >= d.cfg.High {
+			td.alarmed = true
+		} else if dist <= d.cfg.Low {
+			td.alarmed = false
+		}
+	}
+	td.snap, td.snapRecs = td.live, td.liveRecs
+	td.live, td.liveRecs = make(map[int]int), 0
+	td.rotations++
+}
+
+// l1Dist is the L1 distance between the two normalised histograms.
+func l1Dist(a, b map[int]int) float64 {
+	var na, nb int
+	for _, c := range a {
+		na += c
+	}
+	for _, c := range b {
+		nb += c
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	var dist float64
+	for bin, c := range a {
+		pa := float64(c) / float64(na)
+		pb := float64(b[bin]) / float64(nb)
+		dist += absF(pa - pb)
+	}
+	for bin, c := range b {
+		if _, ok := a[bin]; !ok {
+			dist += float64(c) / float64(nb)
+		}
+	}
+	return dist
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TileAlarmed reports whether the given tile is currently in alarm.
+func (d *DriftDetector) TileAlarmed(tile [2]int) bool {
+	td, ok := d.tiles[tile]
+	return ok && td.alarmed
+}
+
+// Alarmed returns the tiles currently in alarm, sorted for deterministic
+// reporting.
+func (d *DriftDetector) Alarmed() [][2]int {
+	var out [][2]int
+	for tile, td := range d.tiles {
+		if td.alarmed {
+			out = append(out, tile)
+		}
+	}
+	sortTiles(out)
+	return out
+}
+
+// AlarmReason renders the alarmed tiles as one health-reason string, or
+// "" when no tile is in alarm.
+func (d *DriftDetector) AlarmReason() string {
+	alarmed := d.Alarmed()
+	if len(alarmed) == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("rpd drift alarm on %d tile(s):", len(alarmed))
+	for i, t := range alarmed {
+		if i == 4 {
+			s += " …"
+			break
+		}
+		s += fmt.Sprintf(" (%d,%d)", t[0], t[1])
+	}
+	return s
+}
+
+// State returns the gob-serialisable drift state of every tracked tile,
+// deterministically ordered.
+func (d *DriftDetector) State() []TileDriftState {
+	out := make([]TileDriftState, 0, len(d.tiles))
+	for tile, td := range d.tiles {
+		out = append(out, TileDriftState{
+			Tile: tile, Live: cloneHist(td.live), LiveRecs: td.liveRecs,
+			Snap: cloneHist(td.snap), SnapRecs: td.snapRecs,
+			Alarmed: td.alarmed, LastDist: td.lastDist, Rotations: td.rotations,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tile[0] != out[j].Tile[0] {
+			return out[i].Tile[0] < out[j].Tile[0]
+		}
+		return out[i].Tile[1] < out[j].Tile[1]
+	})
+	return out
+}
+
+// RestoreState replaces the detector contents with a snapshot.
+func (d *DriftDetector) RestoreState(states []TileDriftState) {
+	d.tiles = make(map[[2]int]*tileDrift, len(states))
+	for _, st := range states {
+		td := &tileDrift{
+			live: cloneHist(st.Live), liveRecs: st.LiveRecs,
+			snap: cloneHist(st.Snap), snapRecs: st.SnapRecs,
+			alarmed: st.Alarmed, lastDist: st.LastDist, rotations: st.Rotations,
+		}
+		if td.live == nil {
+			td.live = make(map[int]int)
+		}
+		d.tiles[st.Tile] = td
+	}
+}
+
+func cloneHist(h map[int]int) map[int]int {
+	if h == nil {
+		return nil
+	}
+	out := make(map[int]int, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func sortTiles(tiles [][2]int) {
+	sort.Slice(tiles, func(i, j int) bool {
+		if tiles[i][0] != tiles[j][0] {
+			return tiles[i][0] < tiles[j][0]
+		}
+		return tiles[i][1] < tiles[j][1]
+	})
+}

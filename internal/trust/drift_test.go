@@ -1,0 +1,114 @@
+package trust
+
+import (
+	"math"
+	"testing"
+)
+
+// feedDrift pushes n single-reading records of the given RSSI into the
+// tile.
+func feedDrift(d *DriftDetector, tile [2]int, rssi, n int) {
+	for i := 0; i < n; i++ {
+		d.Observe(tile, map[string]int{"ap-1": rssi})
+	}
+}
+
+func TestDriftEmptyTileNeverAlarms(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{})
+	if d.TileAlarmed([2]int{3, 4}) {
+		t.Fatal("an unobserved tile reports alarmed")
+	}
+	if got := d.AlarmReason(); got != "" {
+		t.Fatalf("empty detector alarm reason = %q, want empty", got)
+	}
+	if got := d.Alarmed(); len(got) != 0 {
+		t.Fatalf("empty detector alarmed tiles = %v", got)
+	}
+}
+
+func TestDriftShortTrailingSnapshotNeverAlarms(t *testing.T) {
+	// The very first rotation has an empty trailing snapshot; a snapshot
+	// below MinSamples must stay silent no matter how far the live window
+	// sits from it.
+	d := NewDriftDetector(DriftConfig{Window: 8, MinSamples: 8})
+	tile := [2]int{0, 0}
+	feedDrift(d, tile, -60, 8) // first rotation: no snapshot at all
+	if d.TileAlarmed(tile) {
+		t.Fatal("first rotation alarmed against an empty snapshot")
+	}
+	// A radically different window against a too-short snapshot: the
+	// snapshot holds 8 records but each carries one reading; shrink
+	// MinSamples semantics are record-based, so rebuild with a higher bar.
+	d2 := NewDriftDetector(DriftConfig{Window: 4, MinSamples: 8})
+	feedDrift(d2, tile, -60, 4) // rotation: snap = 4 records < MinSamples
+	feedDrift(d2, tile, -20, 4) // huge shift, but snapshot is too short
+	if d2.TileAlarmed(tile) {
+		t.Fatal("alarm fired against a trailing snapshot below MinSamples")
+	}
+}
+
+func TestDriftAlarmAndHysteresis(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{Window: 8, MinSamples: 8, High: 0.6, Low: 0.2, BinDB: 4})
+	tile := [2]int{1, 2}
+
+	feedDrift(d, tile, -60, 8) // snapshot: all mass in one bin
+	feedDrift(d, tile, -60, 8) // identical window: distance 0, no alarm
+	if d.TileAlarmed(tile) {
+		t.Fatal("identical distributions alarmed")
+	}
+	feedDrift(d, tile, -20, 8) // all mass moved bins: L1 distance 2
+	if !d.TileAlarmed(tile) {
+		t.Fatal("a full distribution shift did not alarm")
+	}
+	if got := d.AlarmReason(); got == "" {
+		t.Fatal("alarmed detector returned empty reason")
+	}
+
+	// Hysteresis: the next window is 6×-20 + 2×-60, L1 distance 0.5 from
+	// the trailing snapshot — inside the (Low, High) band. A fresh tile
+	// would not trip on it, but a latched alarm must not clear on it.
+	mixed := func() {
+		feedDrift(d, tile, -20, 6)
+		feedDrift(d, tile, -60, 2)
+	}
+	mixed()
+	if !d.TileAlarmed(tile) {
+		t.Fatal("alarm cleared inside the hysteresis band (distance above Low)")
+	}
+	// …and only a window matching the trailing snapshot (distance ≤ Low)
+	// clears it.
+	mixed()
+	if d.TileAlarmed(tile) {
+		t.Fatal("alarm stayed latched after the distribution settled")
+	}
+}
+
+func TestDriftStateRoundTrip(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{Window: 8, MinSamples: 8})
+	feedDrift(d, [2]int{0, 0}, -60, 8)
+	feedDrift(d, [2]int{0, 0}, -60, 8)
+	feedDrift(d, [2]int{0, 0}, -20, 5) // alarm pending, live window partial
+	feedDrift(d, [2]int{7, 7}, -50, 3)
+
+	r := NewDriftDetector(DriftConfig{Window: 8, MinSamples: 8})
+	r.RestoreState(d.State())
+
+	// Finishing the live window on both must produce identical alarms and
+	// distances — the restored detector is mid-window bit-identical.
+	feedDrift(d, [2]int{0, 0}, -20, 3)
+	feedDrift(r, [2]int{0, 0}, -20, 3)
+	if d.TileAlarmed([2]int{0, 0}) != r.TileAlarmed([2]int{0, 0}) {
+		t.Fatal("restored detector disagrees on alarm after finishing the window")
+	}
+	ds, rs := d.State(), r.State()
+	if len(ds) != len(rs) {
+		t.Fatalf("state sizes differ: %d vs %d", len(ds), len(rs))
+	}
+	for i := range ds {
+		if ds[i].Tile != rs[i].Tile || ds[i].Alarmed != rs[i].Alarmed ||
+			ds[i].Rotations != rs[i].Rotations ||
+			math.Float64bits(ds[i].LastDist) != math.Float64bits(rs[i].LastDist) {
+			t.Fatalf("tile %v state diverged after restore: %+v vs %+v", ds[i].Tile, ds[i], rs[i])
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package trust
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/rssimap"
+)
+
+// QuarantineConfig parameterises the staging store for new reference
+// points.
+type QuarantineConfig struct {
+	// K is the number of distinct contributors (the point's own included)
+	// that must corroborate a quarantined point before it promotes into
+	// the serving store. K <= 1 promotes every point immediately.
+	K int
+	// PromoteTrust is the contributor trust weight at or above which a
+	// point bypasses quarantine entirely — established contributors don't
+	// pay the corroboration lag.
+	PromoteTrust float64
+	// TTL is how long an uncorroborated point may wait (event time)
+	// before it expires without ever being served.
+	TTL time.Duration
+	// Radius is the corroboration radius: two points corroborate only if
+	// they lie within it.
+	Radius float64
+	// RSSITol is the per-AP dBm tolerance for corroboration matching.
+	RSSITol int
+	// MinMatch is the minimum number of shared APs (within RSSITol) two
+	// points must report to corroborate each other.
+	MinMatch int
+}
+
+// DefaultQuarantineConfig returns the calibrated staging parameters.
+func DefaultQuarantineConfig() QuarantineConfig {
+	return QuarantineConfig{K: 3, PromoteTrust: 0.8, TTL: 6 * time.Hour, Radius: 3, RSSITol: 6, MinMatch: 1}
+}
+
+func (c QuarantineConfig) withDefaults() QuarantineConfig {
+	d := DefaultQuarantineConfig()
+	if c.K == 0 {
+		c.K = d.K
+	}
+	if c.PromoteTrust <= 0 {
+		c.PromoteTrust = d.PromoteTrust
+	}
+	if c.TTL <= 0 {
+		c.TTL = d.TTL
+	}
+	if c.Radius <= 0 {
+		c.Radius = d.Radius
+	}
+	if c.RSSITol <= 0 {
+		c.RSSITol = d.RSSITol
+	}
+	if c.MinMatch <= 0 {
+		c.MinMatch = d.MinMatch
+	}
+	return c
+}
+
+// PendingState is the gob-serialisable form of one quarantined point —
+// part of the snapshot surface.
+type PendingState struct {
+	Rec        rssimap.Record
+	At         time.Time
+	Seq        uint64
+	Supporters []string // sorted
+}
+
+type pendingEntry struct {
+	rec        rssimap.Record
+	at         time.Time
+	seq        uint64
+	supporters map[string]struct{}
+	promoted   bool // tombstone until swept from the grid
+}
+
+// Quarantine is the staging store: points wait here until corroborated
+// by K distinct contributors, promoted on trust, or expired. It is not
+// internally locked; the owning Pipeline serialises access. Promotion
+// releases points in quarantine-arrival order, so replaying the same
+// ingestion sequence reproduces the serving store bit-identically.
+type Quarantine struct {
+	cfg     QuarantineConfig
+	pending []*pendingEntry
+	grid    map[[2]int][]*pendingEntry
+	nextSeq uint64
+
+	promotedTotal  int
+	expiredTotal   int
+	admittedDirect int
+}
+
+// NewQuarantine builds an empty staging store.
+func NewQuarantine(cfg QuarantineConfig) *Quarantine {
+	return &Quarantine{cfg: cfg.withDefaults(), grid: make(map[[2]int][]*pendingEntry)}
+}
+
+func (q *Quarantine) cellOf(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / q.cfg.Radius)), int(math.Floor(p.Y / q.cfg.Radius))}
+}
+
+// corroborates reports whether two records confirm each other: close in
+// space and agreeing on at least MinMatch shared APs within tolerance.
+func (q *Quarantine) corroborates(a, b rssimap.Record) bool {
+	if geo.Dist2(a.Pos, b.Pos) > q.cfg.Radius*q.cfg.Radius {
+		return false
+	}
+	match := 0
+	for mac, va := range a.RSSI {
+		if vb, ok := b.RSSI[mac]; ok && absInt(va-vb) <= q.cfg.RSSITol {
+			match++
+			if match >= q.cfg.MinMatch {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Ingest stages one record from a contributor with the given trust
+// weight at event time now. It returns the records this ingestion
+// releases into the serving store, in quarantine-arrival order (the new
+// record itself last when it promotes directly), and whether the new
+// record was quarantined.
+func (q *Quarantine) Ingest(rec rssimap.Record, weight float64, now time.Time) (promoted []rssimap.Record, quarantined bool) {
+	direct := weight >= q.cfg.PromoteTrust || q.cfg.K <= 1
+	var released []*pendingEntry
+
+	// The new point corroborates waiting points near it — whether or not
+	// it is itself trusted enough to skip quarantine.
+	cells := q.cellsAround(rec.Pos)
+	for _, cell := range cells {
+		for _, e := range q.grid[cell] {
+			if e.promoted || e.rec.Contributor == rec.Contributor {
+				continue
+			}
+			if q.corroborates(e.rec, rec) {
+				e.supporters[rec.Contributor] = struct{}{}
+				if len(e.supporters) >= q.cfg.K {
+					e.promoted = true
+					released = append(released, e)
+				}
+			}
+		}
+	}
+
+	var entry *pendingEntry
+	if !direct {
+		entry = &pendingEntry{
+			rec: rec, at: now, seq: q.nextSeq,
+			supporters: map[string]struct{}{rec.Contributor: {}},
+		}
+		q.nextSeq++
+		// Count support the waiting points already give the new one.
+		for _, cell := range cells {
+			for _, e := range q.grid[cell] {
+				if e.promoted || e.rec.Contributor == rec.Contributor {
+					continue
+				}
+				if q.corroborates(e.rec, rec) {
+					entry.supporters[e.rec.Contributor] = struct{}{}
+				}
+			}
+		}
+		if len(entry.supporters) >= q.cfg.K {
+			entry.promoted = true
+			released = append(released, entry)
+		} else {
+			q.pending = append(q.pending, entry)
+			q.grid[q.cellOf(rec.Pos)] = append(q.grid[q.cellOf(rec.Pos)], entry)
+			quarantined = true
+		}
+	}
+
+	sort.Slice(released, func(i, j int) bool { return released[i].seq < released[j].seq })
+	for _, e := range released {
+		promoted = append(promoted, e.rec)
+	}
+	if direct {
+		q.admittedDirect++
+		promoted = append(promoted, rec)
+	}
+	q.promotedTotal += len(promoted)
+	if len(released) > 0 {
+		q.sweep()
+	}
+	return promoted, quarantined
+}
+
+// cellsAround returns the 3×3 grid block covering every entry within
+// Radius of p.
+func (q *Quarantine) cellsAround(p geo.Point) [][2]int {
+	c := q.cellOf(p)
+	out := make([][2]int, 0, 9)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			out = append(out, [2]int{c[0] + dx, c[1] + dy})
+		}
+	}
+	return out
+}
+
+// Expire drops every quarantined point older than TTL at event time now
+// and returns how many expired — points that never earned their way into
+// the serving store.
+func (q *Quarantine) Expire(now time.Time) int {
+	expired := 0
+	for _, e := range q.pending {
+		if !e.promoted && now.Sub(e.at) > q.cfg.TTL {
+			e.promoted = true // tombstone; never served
+			expired++
+		}
+	}
+	if expired > 0 {
+		q.expiredTotal += expired
+		q.sweep()
+	}
+	return expired
+}
+
+// sweep removes tombstoned entries from the pending list and the grid.
+func (q *Quarantine) sweep() {
+	live := q.pending[:0]
+	for _, e := range q.pending {
+		if !e.promoted {
+			live = append(live, e)
+		}
+	}
+	q.pending = live
+	for cell, entries := range q.grid {
+		keep := entries[:0]
+		for _, e := range entries {
+			if !e.promoted {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) == 0 {
+			delete(q.grid, cell)
+		} else {
+			q.grid[cell] = keep
+		}
+	}
+}
+
+// Pending returns the number of points currently in quarantine.
+func (q *Quarantine) Pending() int { return len(q.pending) }
+
+// PromotedTotal returns how many points have been released to the
+// serving store since construction (direct promotions included).
+func (q *Quarantine) PromotedTotal() int { return q.promotedTotal }
+
+// ExpiredTotal returns how many points expired unserved.
+func (q *Quarantine) ExpiredTotal() int { return q.expiredTotal }
+
+// State returns the gob-serialisable quarantine state for snapshots.
+type QuarantineState struct {
+	Pending        []PendingState
+	NextSeq        uint64
+	PromotedTotal  int
+	ExpiredTotal   int
+	AdmittedDirect int
+}
+
+// State snapshots the staging store deterministically (pending points in
+// arrival order, supporters sorted).
+func (q *Quarantine) State() QuarantineState {
+	st := QuarantineState{
+		NextSeq: q.nextSeq, PromotedTotal: q.promotedTotal,
+		ExpiredTotal: q.expiredTotal, AdmittedDirect: q.admittedDirect,
+	}
+	for _, e := range q.pending {
+		sup := make([]string, 0, len(e.supporters))
+		for s := range e.supporters {
+			sup = append(sup, s)
+		}
+		sort.Strings(sup)
+		st.Pending = append(st.Pending, PendingState{
+			Rec: cloneRecord(e.rec), At: e.at, Seq: e.seq, Supporters: sup,
+		})
+	}
+	return st
+}
+
+// RestoreState replaces the staging store contents with a snapshot.
+func (q *Quarantine) RestoreState(st QuarantineState) {
+	q.pending = nil
+	q.grid = make(map[[2]int][]*pendingEntry)
+	q.nextSeq = st.NextSeq
+	q.promotedTotal = st.PromotedTotal
+	q.expiredTotal = st.ExpiredTotal
+	q.admittedDirect = st.AdmittedDirect
+	for _, ps := range st.Pending {
+		e := &pendingEntry{
+			rec: cloneRecord(ps.Rec), at: ps.At, seq: ps.Seq,
+			supporters: make(map[string]struct{}, len(ps.Supporters)),
+		}
+		for _, s := range ps.Supporters {
+			e.supporters[s] = struct{}{}
+		}
+		q.pending = append(q.pending, e)
+		q.grid[q.cellOf(e.rec.Pos)] = append(q.grid[q.cellOf(e.rec.Pos)], e)
+	}
+}
+
+func cloneRecord(rec rssimap.Record) rssimap.Record {
+	m := make(map[string]int, len(rec.RSSI))
+	for mac, v := range rec.RSSI {
+		m[mac] = v
+	}
+	return rssimap.Record{Pos: rec.Pos, RSSI: m, Contributor: rec.Contributor}
+}

@@ -1,0 +1,149 @@
+package trust
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"trajforge/internal/geo"
+	"trajforge/internal/rssimap"
+)
+
+func recAt(x, y float64, contrib string, rssi int) rssimap.Record {
+	return rssimap.Record{
+		Pos:         geo.Point{X: x, Y: y},
+		RSSI:        map[string]int{"ap-1": rssi},
+		Contributor: contrib,
+	}
+}
+
+// lowTrust is well under the default PromoteTrust of 0.8, so every
+// ingestion below goes through the corroboration path.
+const lowTrust = 0.1
+
+func TestQuarantineCorroborationPromotes(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{K: 3})
+	now := tRef
+
+	promoted, quarantined := q.Ingest(recAt(0, 0, "a", -60), lowTrust, now)
+	if len(promoted) != 0 || !quarantined {
+		t.Fatalf("first point: promoted=%d quarantined=%v, want staged", len(promoted), quarantined)
+	}
+	promoted, _ = q.Ingest(recAt(1, 0, "b", -61), lowTrust, now)
+	if len(promoted) != 0 {
+		t.Fatalf("two distinct contributors promoted %d points, K=3 needs a third", len(promoted))
+	}
+	// The third distinct contributor corroborates both waiting points —
+	// they release in quarantine-arrival order. Its OWN point only counts
+	// corroborators still waiting when it arrives (the two it just
+	// promoted are spent), so it stages and waits for fresh support: every
+	// point pays the K-contributor price, promoting is not a fast lane for
+	// the promoter.
+	promoted, quarantined = q.Ingest(recAt(0.5, 0.5, "c", -62), lowTrust, now)
+	if len(promoted) != 2 || !quarantined {
+		t.Fatalf("third contributor: promoted=%d quarantined=%v, want 2 released + itself staged", len(promoted), quarantined)
+	}
+	if promoted[0].Contributor != "a" || promoted[1].Contributor != "b" {
+		t.Fatalf("promotion order = [%s %s], want quarantine-arrival order [a b]",
+			promoted[0].Contributor, promoted[1].Contributor)
+	}
+	if q.Pending() != 1 {
+		t.Fatalf("pending = %d after promotion, want just the promoter's own point", q.Pending())
+	}
+	if q.PromotedTotal() != 2 {
+		t.Fatalf("promoted total = %d, want 2", q.PromotedTotal())
+	}
+}
+
+func TestQuarantineSameContributorCannotSelfCorroborate(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{K: 2})
+	for i := 0; i < 5; i++ {
+		promoted, _ := q.Ingest(recAt(0, 0, "solo", -60), lowTrust, tRef)
+		if len(promoted) != 0 {
+			t.Fatalf("upload %d: a single contributor self-corroborated %d points", i, len(promoted))
+		}
+	}
+	if q.Pending() != 5 {
+		t.Fatalf("pending = %d, want all 5 staged", q.Pending())
+	}
+}
+
+func TestQuarantineCorroborationNeedsProximityAndRSSI(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{K: 2, Radius: 3, RSSITol: 6})
+	q.Ingest(recAt(0, 0, "a", -60), lowTrust, tRef)
+	// Too far away: no corroboration despite matching RSSI.
+	if promoted, _ := q.Ingest(recAt(10, 0, "b", -60), lowTrust, tRef); len(promoted) != 0 {
+		t.Fatal("points 10 m apart corroborated each other (radius is 3 m)")
+	}
+	// Close but radio-inconsistent: no corroboration.
+	if promoted, _ := q.Ingest(recAt(0.5, 0, "c", -80), lowTrust, tRef); len(promoted) != 0 {
+		t.Fatal("a 20 dB disagreement corroborated (tolerance is 6 dB)")
+	}
+	// Close and consistent: promotes.
+	if promoted, _ := q.Ingest(recAt(0.5, 0, "d", -63), lowTrust, tRef); len(promoted) == 0 {
+		t.Fatal("a close, radio-consistent point from a distinct contributor failed to corroborate")
+	}
+}
+
+func TestQuarantineTrustedContributorBypasses(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{K: 3, PromoteTrust: 0.8})
+	promoted, quarantined := q.Ingest(recAt(0, 0, "vet", -60), 0.9, tRef)
+	if len(promoted) != 1 || quarantined {
+		t.Fatalf("trusted ingestion: promoted=%d quarantined=%v, want direct promotion", len(promoted), quarantined)
+	}
+	// The trusted point still corroborates waiting strangers' points.
+	q.Ingest(recAt(5, 5, "x", -70), lowTrust, tRef)
+	q.Ingest(recAt(5, 5, "y", -70), lowTrust, tRef)
+	promoted, _ = q.Ingest(recAt(5, 5, "vet", -70), 0.9, tRef)
+	if len(promoted) != 3 {
+		t.Fatalf("trusted pass-through released %d points, want its own + 2 corroborated", len(promoted))
+	}
+}
+
+func TestQuarantineExpireOnEventClock(t *testing.T) {
+	// The clock is injectable: everything is driven by the caller's event
+	// time, so the same sequence replays identically in recovery.
+	q := NewQuarantine(QuarantineConfig{K: 3, TTL: time.Hour})
+	q.Ingest(recAt(0, 0, "a", -60), lowTrust, tRef)
+	q.Ingest(recAt(50, 50, "b", -70), lowTrust, tRef.Add(30*time.Minute))
+
+	if n := q.Expire(tRef.Add(time.Hour)); n != 0 {
+		t.Fatalf("expired %d points at exactly TTL, want 0 (TTL is exclusive)", n)
+	}
+	if n := q.Expire(tRef.Add(time.Hour + time.Second)); n != 1 {
+		t.Fatalf("expired %d points past the first TTL, want 1", n)
+	}
+	if q.Pending() != 1 || q.ExpiredTotal() != 1 {
+		t.Fatalf("pending=%d expiredTotal=%d, want 1/1", q.Pending(), q.ExpiredTotal())
+	}
+	// An expired point is gone: late corroborators cannot resurrect it.
+	if promoted, _ := q.Ingest(recAt(0, 0, "c", -60), lowTrust, tRef.Add(2*time.Hour)); len(promoted) != 0 {
+		t.Fatalf("corroborating an expired point released %d records", len(promoted))
+	}
+}
+
+func TestQuarantineStateRoundTripPromotesIdentically(t *testing.T) {
+	build := func() *Quarantine {
+		q := NewQuarantine(QuarantineConfig{K: 3})
+		q.Ingest(recAt(0, 0, "a", -60), lowTrust, tRef)
+		q.Ingest(recAt(1, 0, "b", -61), lowTrust, tRef.Add(time.Minute))
+		return q
+	}
+	live := build()
+	restored := NewQuarantine(QuarantineConfig{K: 3})
+	restored.RestoreState(build().State())
+
+	for name, q := range map[string]*Quarantine{"live": live, "restored": restored} {
+		promoted, _ := q.Ingest(recAt(0.5, 0, "c", -60), lowTrust, tRef.Add(2*time.Minute))
+		if len(promoted) != 2 {
+			t.Fatalf("%s: promoted %d, want 2", name, len(promoted))
+		}
+		got := fmt.Sprintf("%s/%s", promoted[0].Contributor, promoted[1].Contributor)
+		if got != "a/b" {
+			t.Fatalf("%s: promotion order %s, want a/b", name, got)
+		}
+		if q.Pending() != 1 {
+			t.Fatalf("%s: pending = %d, want the promoter's own staged point", name, q.Pending())
+		}
+	}
+}

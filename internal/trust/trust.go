@@ -1,0 +1,241 @@
+// Package trust hardens the crowdsourcing loop of the paper's defense
+// against poisoning. Accepted trajectories feed the RSSI reference store
+// that judges future uploads, so colluding Sybil uploaders can slowly
+// shift a tile's reference-point distribution until forgeries there pass
+// (the attack class of internal/attack.SybilCampaign). This package is
+// the defense side: a per-contributor trust ledger whose weights
+// down-weight low-trust mass in the θ2 density term
+// (rssimap.TrustWeighted), a quarantine-then-promote staging store that
+// admits new reference points only after corroboration by distinct
+// contributors or an earned trust threshold, and a per-tile drift alarm
+// that compares the live RPD distribution against a trailing snapshot.
+//
+// Everything is event-time driven: callers pass the upload's event time
+// explicitly, so replaying the same upload sequence (WAL recovery)
+// reproduces ledger, quarantine, and drift state bit-identically.
+package trust
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// LedgerConfig parameterises the contributor trust function.
+type LedgerConfig struct {
+	// AgeFull is the contributor age (event time since first accepted
+	// upload) at which the age component saturates at 1.
+	AgeFull time.Duration
+	// TilesFull is the distinct-tile count at which the diversity
+	// component saturates at 1.
+	TilesFull int
+	// AgreeFull is the mean detector agreement (1 - P_fake over accepted
+	// uploads) at which the agreement component saturates at 1.
+	AgreeFull float64
+	// Floor is the minimum weight: even a brand-new contributor's mass
+	// counts this much, so honest newcomers are dampened, not erased.
+	Floor float64
+	// GatedHalf is the drift-implication scale: a contributor whose
+	// promoted points keep landing in drift-alarmed tiles has their weight
+	// divided by (1 + gated/GatedHalf). The division is applied after the
+	// floor, so drift-implicated mass forfeits the newcomer floor — the
+	// floor protects honest newcomers, not contributors actively feeding a
+	// distribution shift.
+	GatedHalf float64
+}
+
+// DefaultLedgerConfig returns the calibrated trust function.
+func DefaultLedgerConfig() LedgerConfig {
+	return LedgerConfig{AgeFull: 24 * time.Hour, TilesFull: 4, AgreeFull: 0.6, Floor: 0.05, GatedHalf: 8}
+}
+
+func (c LedgerConfig) withDefaults() LedgerConfig {
+	d := DefaultLedgerConfig()
+	if c.AgeFull <= 0 {
+		c.AgeFull = d.AgeFull
+	}
+	if c.TilesFull <= 0 {
+		c.TilesFull = d.TilesFull
+	}
+	if c.AgreeFull <= 0 {
+		c.AgreeFull = d.AgreeFull
+	}
+	if c.Floor <= 0 {
+		c.Floor = d.Floor
+	}
+	if c.GatedHalf <= 0 {
+		c.GatedHalf = d.GatedHalf
+	}
+	return c
+}
+
+// ContributorState is the gob-serialisable ledger entry of one
+// contributor — part of the snapshot surface.
+type ContributorState struct {
+	Name      string
+	FirstSeen time.Time
+	Uploads   int
+	Tiles     [][2]int // distinct tiles, sorted, for deterministic snapshots
+	AgreeSum  float64
+	AgreeN    int
+	Gated     int // promoted points of theirs withheld by the drift alarm
+}
+
+// Ledger tracks per-contributor provenance statistics and derives trust
+// weights from them. It is not internally locked; the owning Pipeline
+// serialises access.
+type Ledger struct {
+	cfg LedgerConfig
+	m   map[string]*contributor
+}
+
+type contributor struct {
+	firstSeen time.Time
+	uploads   int
+	tiles     map[[2]int]struct{}
+	agreeSum  float64
+	agreeN    int
+	gated     int
+}
+
+// NewLedger builds an empty ledger.
+func NewLedger(cfg LedgerConfig) *Ledger {
+	return &Ledger{cfg: cfg.withDefaults(), m: make(map[string]*contributor)}
+}
+
+// Observe records one accepted upload by the named contributor: the tiles
+// it touched and the detector's agreement 1 - P_fake, at event time now.
+func (l *Ledger) Observe(name string, tiles [][2]int, agree float64, now time.Time) {
+	c, ok := l.m[name]
+	if !ok {
+		c = &contributor{firstSeen: now, tiles: make(map[[2]int]struct{})}
+		l.m[name] = c
+	}
+	c.uploads++
+	for _, t := range tiles {
+		c.tiles[t] = struct{}{}
+	}
+	c.agreeSum += agree
+	c.agreeN++
+}
+
+// Penalize charges the named contributor with n drift-implicated points:
+// promoted points of theirs that a tile's drift alarm withheld from
+// serving. Implication divides the contributor's weight below the floor
+// (see LedgerConfig.GatedHalf) — because weights are applied at query
+// time, this retroactively neutralises mass the contributor already got
+// into the serving store before the alarm fired. Unknown contributors are
+// ignored (their records can only have come through corroboration of an
+// already-observed upload).
+func (l *Ledger) Penalize(name string, n int) {
+	if c, ok := l.m[name]; ok && n > 0 {
+		c.gated += n
+	}
+}
+
+// Weight returns the contributor's trust weight in [Floor, 1] at event
+// time now: the product of three saturating components — service age,
+// tile diversity, and detector agreement. A mature, diverse, agreeing
+// contributor earns exactly 1.0, so an all-honest steady state is
+// bit-identical to the unweighted store. Unknown contributors return the
+// floor.
+func (l *Ledger) Weight(name string, now time.Time) float64 {
+	c, ok := l.m[name]
+	if !ok {
+		return l.cfg.Floor
+	}
+	age := satF(now.Sub(c.firstSeen).Seconds(), l.cfg.AgeFull.Seconds())
+	div := satF(float64(len(c.tiles)), float64(l.cfg.TilesFull))
+	agree := 1.0
+	if c.agreeN > 0 {
+		agree = satF(c.agreeSum/float64(c.agreeN), l.cfg.AgreeFull)
+	}
+	w := math.Max(l.cfg.Floor, age*div*agree)
+	if c.gated > 0 {
+		// Drift implication forfeits the floor: mass a contributor pushed
+		// at a shifting tile stops counting, including what already serves.
+		w /= 1 + float64(c.gated)/l.cfg.GatedHalf
+	}
+	return w
+}
+
+// satF is the saturating ramp min(1, x/full).
+func satF(x, full float64) float64 {
+	if x >= full {
+		return 1
+	}
+	if x <= 0 {
+		return 0
+	}
+	return x / full
+}
+
+// Weights returns the full contributor → weight table at event time now —
+// the value pushed into rssimap.TrustWeighted backends.
+func (l *Ledger) Weights(now time.Time) map[string]float64 {
+	out := make(map[string]float64, len(l.m))
+	for name := range l.m {
+		out[name] = l.Weight(name, now)
+	}
+	return out
+}
+
+// Len returns the number of known contributors.
+func (l *Ledger) Len() int { return len(l.m) }
+
+// Histogram buckets every contributor's weight at event time now into
+// bins equal subdivisions of [0, 1] (the last bin is closed at 1).
+func (l *Ledger) Histogram(bins int, now time.Time) []int {
+	h := make([]int, bins)
+	for name := range l.m {
+		w := l.Weight(name, now)
+		i := int(w * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		h[i]++
+	}
+	return h
+}
+
+// State returns the gob-serialisable ledger state, deterministically
+// ordered, for snapshots.
+func (l *Ledger) State() []ContributorState {
+	out := make([]ContributorState, 0, len(l.m))
+	for name, c := range l.m {
+		tiles := make([][2]int, 0, len(c.tiles))
+		for t := range c.tiles {
+			tiles = append(tiles, t)
+		}
+		sort.Slice(tiles, func(i, j int) bool {
+			if tiles[i][0] != tiles[j][0] {
+				return tiles[i][0] < tiles[j][0]
+			}
+			return tiles[i][1] < tiles[j][1]
+		})
+		out = append(out, ContributorState{
+			Name: name, FirstSeen: c.firstSeen, Uploads: c.uploads,
+			Tiles: tiles, AgreeSum: c.agreeSum, AgreeN: c.agreeN,
+			Gated: c.gated,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RestoreState replaces the ledger contents with a snapshot.
+func (l *Ledger) RestoreState(states []ContributorState) {
+	l.m = make(map[string]*contributor, len(states))
+	for _, st := range states {
+		c := &contributor{
+			firstSeen: st.FirstSeen, uploads: st.Uploads,
+			tiles:    make(map[[2]int]struct{}, len(st.Tiles)),
+			agreeSum: st.AgreeSum, agreeN: st.AgreeN,
+			gated: st.Gated,
+		}
+		for _, t := range st.Tiles {
+			c.tiles[t] = struct{}{}
+		}
+		l.m[st.Name] = c
+	}
+}

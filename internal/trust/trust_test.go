@@ -1,0 +1,116 @@
+package trust
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var tRef = time.Date(2022, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func tilesN(n int) [][2]int {
+	out := make([][2]int, n)
+	for i := range out {
+		out[i] = [2]int{i, 0}
+	}
+	return out
+}
+
+func TestLedgerNewcomerGetsFloor(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	if w := l.Weight("nobody", tRef); w != 0.05 {
+		t.Fatalf("unknown contributor weight = %v, want the 0.05 floor", w)
+	}
+	l.Observe("fresh", tilesN(1), 1.0, tRef)
+	if w := l.Weight("fresh", tRef); w != 0.05 {
+		t.Fatalf("brand-new contributor weight = %v, want the 0.05 floor (age 0)", w)
+	}
+}
+
+func TestLedgerMatureContributorEarnsExactlyOne(t *testing.T) {
+	// A contributor past every saturation point must weigh exactly 1.0 —
+	// the bit-identity discipline depends on mature honest contributors
+	// multiplying reference mass by exactly 1.
+	l := NewLedger(LedgerConfig{})
+	l.Observe("vet", tilesN(4), 0.9, tRef)
+	now := tRef.Add(24 * time.Hour)
+	if w := l.Weight("vet", now); w != 1.0 {
+		t.Fatalf("mature contributor weight = %v, want exactly 1.0", w)
+	}
+}
+
+func TestLedgerComponentsScaleWeight(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	l.Observe("half", tilesN(2), 0.9, tRef) // 2 of 4 tiles: diversity 0.5
+	now := tRef.Add(24 * time.Hour)         // age saturated
+	if w := l.Weight("half", now); w != 0.5 {
+		t.Fatalf("half-diversity weight = %v, want 0.5", w)
+	}
+	// Poor agreement drags the product down.
+	l.Observe("suspect", tilesN(4), 0.15, tRef) // agree 0.15/0.6 = 0.25
+	if w := l.Weight("suspect", now); math.Abs(w-0.25) > 1e-12 {
+		t.Fatalf("low-agreement weight = %v, want 0.25", w)
+	}
+}
+
+func TestLedgerPenaltyForfeitsFloor(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	l.Observe("sybil", tilesN(1), 1.0, tRef)
+	if w := l.Weight("sybil", tRef); w != 0.05 {
+		t.Fatalf("pre-penalty weight = %v, want floor", w)
+	}
+	// GatedHalf defaults to 8: 8 gated points halve the floored weight.
+	l.Penalize("sybil", 8)
+	if w := l.Weight("sybil", tRef); w != 0.025 {
+		t.Fatalf("weight after 8 gated points = %v, want 0.025 (below the floor)", w)
+	}
+	l.Penalize("sybil", 72) // 80 total: /(1+10)
+	if w := l.Weight("sybil", tRef); math.Abs(w-0.05/11) > 1e-15 {
+		t.Fatalf("weight after 80 gated points = %v, want %v", w, 0.05/11)
+	}
+}
+
+func TestLedgerPenalizeUnknownOrZeroIsNoop(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	l.Penalize("ghost", 5)
+	if l.Len() != 0 {
+		t.Fatal("penalizing an unknown contributor must not create a ledger entry")
+	}
+	l.Observe("a", tilesN(1), 1.0, tRef)
+	before := l.Weight("a", tRef)
+	l.Penalize("a", 0)
+	if got := l.Weight("a", tRef); got != before {
+		t.Fatalf("zero-count penalty changed weight %v -> %v", before, got)
+	}
+}
+
+func TestLedgerStateRoundTrip(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	l.Observe("a", tilesN(3), 0.8, tRef)
+	l.Observe("b", tilesN(1), 0.2, tRef.Add(time.Hour))
+	l.Penalize("a", 5)
+
+	r := NewLedger(LedgerConfig{})
+	r.RestoreState(l.State())
+	now := tRef.Add(30 * time.Hour)
+	for _, name := range []string{"a", "b", "unknown"} {
+		lw, rw := l.Weight(name, now), r.Weight(name, now)
+		if math.Float64bits(lw) != math.Float64bits(rw) {
+			t.Fatalf("restored weight(%q) = %v, want %v (bits differ)", name, rw, lw)
+		}
+	}
+	if got, want := r.Histogram(10, now), l.Histogram(10, now); len(got) != len(want) {
+		t.Fatalf("histogram size %d != %d", len(got), len(want))
+	}
+}
+
+func TestLedgerHistogramBuckets(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	now := tRef.Add(24 * time.Hour)
+	l.Observe("fresh", tilesN(1), 1.0, now) // age 0 at eval: floor 0.05 -> bin 0
+	l.Observe("vet", tilesN(4), 0.9, tRef)  // saturated at eval: 1.0 -> last bin
+	h := l.Histogram(10, now)
+	if h[0] != 1 || h[9] != 1 {
+		t.Fatalf("histogram = %v, want one contributor in bin 0 and one in bin 9", h)
+	}
+}

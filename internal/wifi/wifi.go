@@ -229,9 +229,12 @@ func (w *World) ScanWithDevice(rng *rand.Rand, pos geo.Point, deviceOffset float
 
 // Upload pairs a trajectory with the WiFi scan collected at each point —
 // the P_i = [loc_i, RSSI_i, MAC_i] triples the paper's defense ingests.
+// Contributor is the optional uploader identity used for ingestion
+// provenance; empty means the legacy anonymous contributor.
 type Upload struct {
-	Traj  *trajectory.T
-	Scans []Scan
+	Traj        *trajectory.T
+	Scans       []Scan
+	Contributor string
 }
 
 // Validate checks that scans and points line up.
